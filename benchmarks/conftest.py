@@ -1,0 +1,32 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark module regenerates one experiment row of the paper
+(see DESIGN.md, "Per-experiment index") and prints a paper-vs-measured
+table via the ``report`` fixture.  Run with ``pytest benchmarks/
+--benchmark-only -s`` to see the tables alongside the timing output.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def _report(experiment: str, rows: list[tuple[str, str, str]]) -> None:
+    width_label = max(len(r[0]) for r in rows)
+    width_paper = max(len(r[1]) for r in rows + [("", "paper", "")])
+    print(f"\n=== {experiment} ===")
+    print(
+        f"{'quantity'.ljust(width_label)}  "
+        f"{'paper'.ljust(width_paper)}  measured"
+    )
+    for label, paper, measured in rows:
+        print(
+            f"{label.ljust(width_label)}  "
+            f"{paper.ljust(width_paper)}  {measured}"
+        )
+
+
+@pytest.fixture
+def report():
+    """Print a paper-vs-measured table for one experiment."""
+    return _report

@@ -1,0 +1,55 @@
+"""E2 — Section 4 baseline: 3TS SRGs and the two requirement levels.
+
+Paper numbers (all host/sensor reliabilities 0.999, t1 on h1, t2 on
+h2, the rest on h3):
+
+    lambda_s1 = lambda_s2 = 0.999
+    lambda_l1 = lambda_l2 = 0.998001
+    lambda_u1 = lambda_u2 = 0.997003
+
+With LRC(u) = 0.99 the implementation is reliable; with 0.9975 it is
+not.  The bench times the joint schedulability/reliability analysis.
+"""
+
+import pytest
+
+from repro.experiments import (
+    baseline_implementation,
+    three_tank_architecture,
+    three_tank_spec,
+)
+from repro.validity import check_validity
+
+
+def test_bench_3ts_baseline(benchmark, report):
+    spec = three_tank_spec()  # LRC(u) = 0.99
+    strict = three_tank_spec(lrc_u=0.9975)
+    arch = three_tank_architecture()
+    impl = baseline_implementation()
+
+    result = benchmark(check_validity, spec, arch, impl)
+
+    assert result.valid
+    srgs = result.reliability.srgs()
+    assert srgs["l1"] == pytest.approx(0.998001, abs=1e-9)
+    assert srgs["u1"] == pytest.approx(0.997002999, abs=1e-9)
+
+    strict_report = check_validity(strict, arch, impl)
+    assert not strict_report.valid
+    assert {v.communicator
+            for v in strict_report.reliability.violations()} == {"u1", "u2"}
+
+    report(
+        "E2 / Section 4 — baseline SRGs and verdicts",
+        [
+            ("lambda_s1", "0.999", f"{srgs['s1']:.9f}"),
+            ("lambda_l1", "0.998001", f"{srgs['l1']:.9f}"),
+            ("lambda_u1", "0.997003", f"{srgs['u1']:.9f}"),
+            ("reliable at LRC 0.99", "yes",
+             "yes" if result.reliability.reliable else "no"),
+            ("reliable at LRC 0.9975", "no",
+             "yes" if strict_report.reliability.reliable else "no"),
+            ("schedulable", "(implied)",
+             "yes" if result.schedulability.schedulable else "no"),
+        ],
+    )

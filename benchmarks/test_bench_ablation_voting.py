@@ -1,0 +1,109 @@
+"""Ablation — first-non-bottom voting vs majority voting.
+
+The paper's semantics assumes functionally correct tasks, so all
+reliable replicas agree and taking the first non-bottom value is both
+correct and cheapest.  Majority voting is the fallback when the
+agreement assumption is dropped.  Under the paper's assumptions the
+two must produce identical traces; the bench asserts that and measures
+the runtime overhead of majority voting.
+"""
+
+from repro.experiments import (
+    ACTUATORS,
+    bind_control_functions,
+    scenario1_implementation,
+    three_tank_architecture,
+    three_tank_spec,
+)
+from repro.runtime import (
+    BernoulliFaults,
+    Simulator,
+    first_non_bottom,
+    majority_vote,
+)
+
+ITERATIONS = 1500
+
+
+def run(voter, seed=5):
+    spec = three_tank_spec(functions=bind_control_functions())
+    arch = three_tank_architecture()
+    simulator = Simulator(
+        spec, arch, scenario1_implementation(),
+        faults=BernoulliFaults(arch), voter=voter,
+        actuator_communicators=ACTUATORS, seed=seed,
+    )
+    return simulator.run(ITERATIONS)
+
+
+def test_bench_ablation_voting(benchmark, report):
+    reference = run(first_non_bottom)
+
+    majority = benchmark.pedantic(
+        run, args=(majority_vote,), rounds=1, iterations=1
+    )
+
+    # Same seed, deterministic tasks: identical traces.
+    assert reference.values == majority.values
+    averages_first = reference.limit_averages()
+    averages_majority = majority.limit_averages()
+
+    # Drop the fail-silence assumption: a value-faulty host makes
+    # first-non-bottom unusable (agreement check trips) while a
+    # 2-of-3 majority masks the corruption — this is why Section 2
+    # assumes fail-silent hosts for the cheap voting rule.
+    from repro.errors import RuntimeSimulationError
+    from repro.mapping import Implementation
+    from repro.model import Communicator, Specification, Task
+    from repro.arch import Architecture, ExecutionMetrics, Host, Sensor
+    from repro.runtime import ValueFaults
+
+    comms = [
+        Communicator("x", period=10, lrc=0.9, init=0.0),
+        Communicator("y", period=10, lrc=0.9, init=0.0),
+    ]
+    tmr_spec = Specification(
+        comms,
+        [Task("t", [("x", 0)], [("y", 1)], function=lambda x: x + 1.0)],
+    )
+    tmr_arch = Architecture(
+        hosts=[Host("h1"), Host("h2"), Host("h3")],
+        sensors=[Sensor("s")],
+        metrics=ExecutionMetrics(default_wcet=1, default_wctt=1),
+    )
+    tmr_impl = Implementation(
+        {"t": {"h1", "h2", "h3"}}, {"x": {"s"}}
+    )
+    byzantine = ValueFaults(1.0, hosts={"h2"}, magnitude=100.0)
+    masked = Simulator(
+        tmr_spec, tmr_arch, tmr_impl, faults=byzantine,
+        voter=majority_vote, seed=0,
+    ).run(10)
+    majority_masks = masked.values["y"][1:] == [1.0] * 9
+    first_trips = False
+    try:
+        Simulator(
+            tmr_spec, tmr_arch, tmr_impl, faults=byzantine, seed=0
+        ).run(5)
+    except RuntimeSimulationError:
+        first_trips = True
+    assert majority_masks and first_trips
+
+    report(
+        "Ablation — voting strategy",
+        [
+            ("fail-silent: traces identical",
+             "yes (agreement assumption)",
+             "yes" if reference.values == majority.values else "NO"),
+            ("limavg(u1), first-non-bottom", "n/a",
+             f"{averages_first['u1']:.6f}"),
+            ("limavg(u1), majority", "same",
+             f"{averages_majority['u1']:.6f}"),
+            ("value-faulty host: majority masks it (TMR)",
+             "(beyond the paper's model)",
+             "yes" if majority_masks else "NO"),
+            ("value-faulty host: first-non-bottom usable",
+             "no — needs fail-silence",
+             "no" if first_trips else "yes"),
+        ],
+    )

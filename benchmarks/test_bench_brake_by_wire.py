@@ -1,0 +1,78 @@
+"""E5b — fault injection on the second application (brake-by-wire).
+
+Repeats the pull-the-plug experiment (E5) on the automotive workload
+the paper's introduction motivates: a distributed ABS panic stop.
+With the slip controllers replicated, unplugging an ECU mid-stop
+leaves the stopping distance bit-identical; without replication, the
+front brake freezes and the stop lengthens.
+"""
+
+import pytest
+
+from repro.experiments import (
+    brake_baseline_implementation,
+    brake_closed_loop,
+    brake_replicated_implementation,
+)
+from repro.plants.brake_by_wire import BrakeByWirePlant
+from repro.runtime import ScriptedFaults
+
+UNPLUG = {"ecu1": [(2000, None)]}
+
+
+def locked_reference() -> float:
+    plant = BrakeByWirePlant()
+    onset = None
+    time = 0.0
+    while not plant.stopped() and time < 30.0:
+        if time >= 1.0:
+            if onset is None:
+                onset = plant.distance
+            plant.set_torque(0, 2200.0)
+            plant.set_torque(1, 2200.0)
+        plant.step(0.02)
+        time += 0.02
+    return plant.distance - onset
+
+
+def test_bench_brake_by_wire(benchmark, report):
+    healthy = brake_closed_loop(brake_replicated_implementation())
+
+    faulted = benchmark.pedantic(
+        brake_closed_loop,
+        args=(brake_replicated_implementation(),),
+        kwargs={"faults": ScriptedFaults(host_outages=UNPLUG)},
+        rounds=1,
+        iterations=1,
+    )
+
+    base_healthy = brake_closed_loop(brake_baseline_implementation())
+    base_faulted = brake_closed_loop(
+        brake_baseline_implementation(),
+        faults=ScriptedFaults(host_outages=UNPLUG),
+    )
+    locked = locked_reference()
+
+    assert faulted.stopping_distance() == pytest.approx(
+        healthy.stopping_distance(), abs=1e-12
+    )
+    assert (
+        base_faulted.stopping_distance()
+        > base_healthy.stopping_distance() + 1.0
+    )
+    assert healthy.stopping_distance() < 0.85 * locked
+
+    report(
+        "E5b / brake-by-wire — panic stop distances (m)",
+        [
+            ("locked wheels (no ABS)", "(physics)", f"{locked:.1f}"),
+            ("distributed ABS, no fault", "(baseline)",
+             f"{healthy.stopping_distance():.1f}"),
+            ("replicated, ecu1 unplugged", "no change",
+             f"{faulted.stopping_distance():.1f}"),
+            ("unreplicated, ecu1 unplugged", "(degrades)",
+             f"{base_faulted.stopping_distance():.1f}"),
+            ("effect of unplug w/ replication", "none",
+             f"{abs(faulted.stopping_distance() - healthy.stopping_distance()):.2e}"),
+        ],
+    )

@@ -1,0 +1,94 @@
+"""E7 — specification with memory: the cycle pathology of Section 3.
+
+Paper: "Consider a task t, with model 1, that reads and writes to a
+communicator c.  Once bottom is written, the value of c is always
+bottom from that instant on.  Hence if lambda_t < 1, then the long-run
+average of the number of reliable values of c is 0 with probability 1.
+The solution ... at least one task in the cycle with an independent
+input failure model."
+"""
+
+import pytest
+
+from repro.arch import Architecture, ExecutionMetrics, Host
+from repro.experiments import cyclic_specification
+from repro.mapping import Implementation
+from repro.model import unsafe_cycles
+from repro.runtime import BernoulliFaults, Simulator
+
+ITERATIONS = 6000
+HOST_RELIABILITY = 0.995
+
+
+def arch_one_host():
+    return Architecture(
+        hosts=[Host("h1", HOST_RELIABILITY)],
+        metrics=ExecutionMetrics(default_wcet=1, default_wctt=1),
+    )
+
+
+def run(model, seed=0):
+    spec = cyclic_specification(model)
+    arch = arch_one_host()
+    impl = Implementation({"integrate": {"h1"}})
+    simulator = Simulator(
+        spec, arch, impl, faults=BernoulliFaults(arch), seed=seed
+    )
+    return simulator.run(ITERATIONS).limit_averages()["acc"]
+
+
+def test_bench_cycle_pathology(benchmark, report):
+    series_average = benchmark.pedantic(
+        run, args=("series",), rounds=1, iterations=1
+    )
+    independent_average = run("independent")
+
+    # The series cycle collapses towards 0 (it dies at the first
+    # failure, expected within ~1/0.005 = 200 iterations of 6000).
+    assert series_average < 0.15
+    # The independent breaker restores limavg = lambda_t.
+    assert independent_average == pytest.approx(
+        HOST_RELIABILITY, abs=0.01
+    )
+    assert unsafe_cycles(cyclic_specification("series")) == [["acc"]]
+    assert unsafe_cycles(cyclic_specification("independent")) == []
+
+    # Extension: a PARALLEL breaker with a fresh input recovers to a
+    # stationary average between 0 and lambda_t, predicted exactly by
+    # the Markov analysis.
+    from repro.experiments import cyclic_specification_with_input
+    from repro.mapping import Implementation as Impl
+    from repro.reliability import analyze_memory_cycles
+    from repro.arch import Sensor as Sens
+
+    spec = cyclic_specification_with_input("parallel")
+    arch = Architecture(
+        hosts=[Host("h1", HOST_RELIABILITY)],
+        sensors=[Sens("s1", 0.8)],
+        metrics=ExecutionMetrics(default_wcet=1, default_wctt=1),
+    )
+    impl = Impl({"integrate": {"h1"}}, {"ext": {"s1"}})
+    predicted = analyze_memory_cycles(spec, impl, arch)["acc"]
+    simulated = Simulator(
+        spec, arch, impl, faults=BernoulliFaults(arch), seed=2
+    ).run(ITERATIONS).limit_averages()["acc"]
+    assert simulated == pytest.approx(
+        predicted.limit_average, abs=0.02
+    )
+
+    report(
+        "E7 / Section 3 — communicator cycle pathology "
+        f"(lambda_t = {HOST_RELIABILITY})",
+        [
+            ("limavg, series cycle", "0 (a.s.)",
+             f"{series_average:.4f}"),
+            ("limavg, independent breaker", f"{HOST_RELIABILITY}",
+             f"{independent_average:.4f}"),
+            ("series cycle flagged unsafe", "yes", "yes"),
+            ("independent cycle flagged safe", "yes", "yes"),
+            ("limavg, parallel breaker + input (Markov)",
+             "(beyond the paper)",
+             f"{predicted.limit_average:.4f} predicted / "
+             f"{simulated:.4f} simulated"),
+        ],
+    )

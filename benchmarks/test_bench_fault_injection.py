@@ -1,0 +1,64 @@
+"""E5 — the pull-the-plug experiment on the closed-loop 3TS.
+
+The paper: "we unplugged one of the two hosts from the network and
+verified that there was no change in the control performance of the
+system."  Here the 3TS plant runs in closed loop on the distributed
+runtime; unplugging either host under the scenario-1 replication
+leaves the RMS tracking error bit-identical, while the same fault
+without replication degrades tank 2's regulation.
+"""
+
+import pytest
+
+from repro.experiments import (
+    SETPOINT,
+    baseline_implementation,
+    closed_loop_simulator,
+    scenario1_implementation,
+)
+from repro.plants import control_performance
+from repro.runtime import ScriptedFaults
+
+ITERATIONS = 160  # 80 s of plant time
+UNPLUG_AT = 30_000  # ms
+
+
+def run_case(implementation, victim=None):
+    faults = None
+    if victim is not None:
+        faults = ScriptedFaults(host_outages={victim: [(UNPLUG_AT, None)]})
+    simulator, environment = closed_loop_simulator(
+        implementation, faults=faults
+    )
+    simulator.run(ITERATIONS)
+    log2 = environment.level_log["l2"]
+    return control_performance(log2[len(log2) // 2:], SETPOINT)
+
+
+def test_bench_fault_injection(benchmark, report):
+    healthy = run_case(scenario1_implementation())
+
+    unplugged = benchmark(run_case, scenario1_implementation(), "h2")
+
+    baseline_healthy = run_case(baseline_implementation())
+    baseline_unplugged = run_case(baseline_implementation(), "h2")
+
+    # Replication: unplugging has *no effect* (identical trajectory).
+    assert unplugged == pytest.approx(healthy, abs=1e-12)
+    # No replication: regulation of tank 2 measurably degrades.
+    assert baseline_unplugged > 1.5 * baseline_healthy
+
+    report(
+        "E5 / HTL experiment — unplug one host (RMS level error, tank 2)",
+        [
+            ("replicated, no fault", "(baseline)", f"{healthy:.6f}"),
+            ("replicated, h2 unplugged", "no change",
+             f"{unplugged:.6f}"),
+            ("unreplicated, no fault", "n/a",
+             f"{baseline_healthy:.6f}"),
+            ("unreplicated, h2 unplugged", "(would degrade)",
+             f"{baseline_unplugged:.6f}"),
+            ("effect of unplug w/ replication", "none",
+             f"{abs(unplugged - healthy):.2e}"),
+        ],
+    )

@@ -1,0 +1,67 @@
+"""E10 — incremental analysis: local refinement checks vs full re-analysis.
+
+The paper argues that refinement "reduces the complexity of a joint
+schedulability/reliability analysis significantly" because each design
+step is verified with local per-task checks.  The bench sweeps the
+specification size and compares the cost of the full joint analysis
+against the incremental certification of a refinement step.
+"""
+
+import time
+
+from repro.experiments import random_system, refine_system
+from repro.refinement import incremental_check
+from repro.validity import check_validity
+
+
+def find_valid_system(layers, tasks_per_layer):
+    for seed in range(40):
+        system = random_system(
+            seed, layers=layers, tasks_per_layer=tasks_per_layer, hosts=4
+        )
+        if check_validity(*system).valid:
+            return system
+    raise AssertionError("no valid random system found")
+
+
+def timed(callable_, *args, repeats=5, **kwargs):
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = callable_(*args, **kwargs)
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def test_bench_incremental(benchmark, report):
+    rows = []
+    sizes = [(2, 2), (3, 3), (4, 4), (5, 5)]
+    sample_pair = None
+    for layers, per_layer in sizes:
+        coarse = find_valid_system(layers, per_layer)
+        fine, kappa = refine_system(*coarse)
+        if sample_pair is None:
+            sample_pair = (fine, coarse, kappa)
+        full_time, _ = timed(check_validity, *fine)
+        inc_time, result = timed(incremental_check, fine, coarse, kappa)
+        assert result.valid and result.via_refinement
+        tasks = layers * per_layer
+        rows.append(
+            (
+                f"{tasks} tasks: full / incremental",
+                "incremental much cheaper",
+                f"{full_time * 1e3:.2f} ms / {inc_time * 1e3:.2f} ms "
+                f"({full_time / inc_time:.1f}x)",
+            )
+        )
+        # The local checks must win, increasingly so at scale.
+        assert inc_time < full_time
+
+    fine, coarse, kappa = sample_pair
+    benchmark(incremental_check, fine, coarse, kappa)
+
+    report(
+        "E10 / incremental refinement analysis vs full joint analysis",
+        rows,
+    )

@@ -1,0 +1,45 @@
+"""E9 — refinement checking and validity transfer (Proposition 2).
+
+Lemmas 1 and 2: when the six local refinement constraints hold, a
+valid implementation of the abstract system is valid for the refining
+one.  The bench validates the transfer over a batch of generated
+refinement pairs and times the local checks themselves.
+"""
+
+from repro.experiments import random_system, refine_system
+from repro.refinement import check_refinement
+from repro.validity import check_validity
+
+
+def test_bench_refinement(benchmark, report):
+    pairs = []
+    transferred = 0
+    checked = 0
+    for seed in range(20):
+        coarse = random_system(seed, layers=2, tasks_per_layer=2)
+        if not check_validity(*coarse).valid:
+            continue
+        fine, kappa = refine_system(*coarse)
+        pairs.append((coarse, fine, kappa))
+        checked += 1
+        assert check_refinement(fine, coarse, kappa).refines
+        if check_validity(*fine).valid:
+            transferred += 1
+    assert checked >= 5
+    # Proposition 2: validity transfers on *every* refinement pair.
+    assert transferred == checked
+
+    coarse, fine, kappa = pairs[0]
+    result = benchmark(check_refinement, fine, coarse, kappa)
+    assert result.refines
+
+    report(
+        "E9 / Proposition 2 — validity transfer over refinement",
+        [
+            ("valid abstract systems generated", "n/a", str(checked)),
+            ("refinement constraints hold", "by construction",
+             f"{checked}/{checked}"),
+            ("validity transferred to refining system",
+             "always (Prop. 2)", f"{transferred}/{checked}"),
+        ],
+    )

@@ -1,0 +1,89 @@
+"""Scaling — joint analysis and simulator throughput vs system size.
+
+Not a paper table, but the repository-level performance envelope a
+downstream user cares about: how the joint analysis scales with the
+number of tasks and hosts, and how many task iterations per second the
+distributed runtime simulator sustains.
+"""
+
+import time
+
+from repro.arch import Architecture, ExecutionMetrics, Host, Sensor
+from repro.experiments import (
+    random_implementation,
+    random_specification,
+)
+from repro.runtime import BernoulliFaults, Simulator
+from repro.validity import check_validity
+
+
+def make_system(layers, per_layer, hosts):
+    spec = random_specification(
+        0, layers=layers, tasks_per_layer=per_layer, inputs=3
+    )
+    arch = Architecture(
+        hosts=[Host(f"h{i}", 0.995) for i in range(hosts)],
+        sensors=[Sensor(f"s{i}", 0.995) for i in range(3)],
+        metrics=ExecutionMetrics(default_wcet=1, default_wctt=1),
+    )
+    impl = random_implementation(spec, arch, 0, max_replicas=2)
+    return spec, arch, impl
+
+
+def best_of(callable_, repeats=5):
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        callable_()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_bench_scaling_analysis(benchmark, report):
+    rows = []
+    previous = None
+    for layers, per_layer in ((2, 2), (3, 4), (4, 8), (5, 12)):
+        spec, arch, impl = make_system(layers, per_layer, hosts=4)
+        elapsed = best_of(lambda: check_validity(spec, arch, impl))
+        tasks = layers * per_layer
+        rows.append(
+            (f"analysis, {tasks} tasks", "polynomial growth",
+             f"{elapsed * 1e3:.2f} ms")
+        )
+        previous = elapsed
+    assert previous < 1.0  # 60 tasks in under a second
+
+    spec, arch, impl = make_system(3, 4, hosts=4)
+    benchmark(check_validity, spec, arch, impl)
+    report("Scaling — joint analysis vs task count", rows)
+
+
+def test_bench_scaling_simulator(benchmark, report):
+    spec, arch, impl = make_system(3, 3, hosts=3)
+    iterations = 3000
+
+    def run():
+        simulator = Simulator(
+            spec, arch, impl, faults=BernoulliFaults(arch), seed=0
+        )
+        return simulator.run(iterations)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.iterations == iterations
+
+    elapsed = best_of(run, repeats=1)
+    throughput = iterations / elapsed
+    replications = sum(
+        len(impl.hosts_of(task)) for task in spec.tasks
+    )
+    report(
+        "Scaling — simulator throughput",
+        [
+            ("tasks / replications", "n/a",
+             f"{len(spec.tasks)} / {replications}"),
+            ("iterations simulated", "n/a", str(iterations)),
+            ("throughput", "n/a",
+             f"{throughput:,.0f} iterations/s"),
+        ],
+    )
+    assert throughput > 500

@@ -1,0 +1,44 @@
+"""E3 — Scenario 1: controller replication on h1 + h2.
+
+Paper: replicating t1 and t2 on both hosts lifts the task reliability
+to ``1 - (1 - 0.999)^2 = 0.999999`` and the SRGs of u1/u2 to
+0.998000002, which meets the strict LRC of 0.9975.
+"""
+
+import pytest
+
+from repro.experiments import (
+    scenario1_implementation,
+    three_tank_architecture,
+    three_tank_spec,
+)
+from repro.reliability import communicator_srgs, task_reliability
+from repro.validity import check_validity
+
+
+def test_bench_scenario1(benchmark, report):
+    spec = three_tank_spec(lrc_u=0.9975)
+    arch = three_tank_architecture()
+    impl = scenario1_implementation()
+
+    srgs = benchmark(communicator_srgs, spec, impl, arch)
+
+    lambda_t1 = task_reliability("t1", impl, arch)
+    assert lambda_t1 == pytest.approx(0.999999, abs=1e-12)
+    assert srgs["u1"] == pytest.approx(0.998000002, abs=1e-9)
+    assert srgs["u2"] == pytest.approx(0.998000002, abs=1e-9)
+    validity = check_validity(spec, arch, impl)
+    assert validity.valid
+
+    report(
+        "E3 / Scenario 1 — task replication",
+        [
+            ("lambda_t1 (replicated)", "0.999999", f"{lambda_t1:.9f}"),
+            ("lambda_u1", "~0.998000002", f"{srgs['u1']:.9f}"),
+            ("meets LRC 0.9975", "yes",
+             "yes" if srgs["u1"] >= 0.9975 else "no"),
+            ("valid (joint analysis)", "yes",
+             "yes" if validity.valid else "no"),
+            ("task replicas", "8", str(impl.replication_count())),
+        ],
+    )

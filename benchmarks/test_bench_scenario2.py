@@ -1,0 +1,45 @@
+"""E4 — Scenario 2: sensor duplication with model-2 read tasks.
+
+Paper: reading from two sensors each (reliability 0.999, parallel
+input failure model) lifts ``lambda_l1`` to
+``0.999 * (1 - (1 - 0.999)^2) = 0.998999001`` and the SRGs of u1/u2 to
+0.998, again meeting the strict LRC of 0.9975.
+"""
+
+import pytest
+
+from repro.experiments import (
+    scenario2_implementation,
+    three_tank_architecture,
+    three_tank_spec,
+)
+from repro.reliability import communicator_srgs
+from repro.validity import check_validity
+
+
+def test_bench_scenario2(benchmark, report):
+    spec = three_tank_spec(lrc_u=0.9975)
+    arch = three_tank_architecture()
+    impl = scenario2_implementation()
+
+    srgs = benchmark(communicator_srgs, spec, impl, arch)
+
+    assert srgs["l1"] == pytest.approx(0.998999001, abs=1e-9)
+    assert srgs["u1"] == pytest.approx(0.998, abs=1e-5)
+    assert srgs["u1"] >= 0.9975
+    validity = check_validity(spec, arch, impl)
+    assert validity.valid
+
+    report(
+        "E4 / Scenario 2 — sensor replication",
+        [
+            ("lambda_l1", "0.998999001", f"{srgs['l1']:.9f}"),
+            ("lambda_u1", "~0.998", f"{srgs['u1']:.9f}"),
+            ("meets LRC 0.9975", "yes",
+             "yes" if srgs["u1"] >= 0.9975 else "no"),
+            ("valid (joint analysis)", "yes",
+             "yes" if validity.valid else "no"),
+            ("sensors per input", "2",
+             str(len(impl.sensors_of("s1")))),
+        ],
+    )

@@ -1,0 +1,84 @@
+"""E11 — replication synthesis vs the related-work baselines.
+
+Compares three ways of choosing a replication mapping on the strict
+3TS requirement (LRC 0.9975 on the pump commands):
+
+* the LRC-driven synthesis of this paper's framework (minimal
+  replicas meeting every LRC + the timeline);
+* the bi-criteria heuristic of Assayad/Girault/Kalla [1] (sweeping the
+  length/reliability compromise weight);
+* the failure-pattern/priority scheme of Pinello et al. [13]
+  (tolerate any single-host failure for the control chain).
+
+The paper's qualitative claim: LRC-driven synthesis meets exactly the
+stated requirement at minimal cost, while priority- and
+heuristic-driven schemes either over-provision or cannot express the
+per-communicator target.
+"""
+
+from repro.experiments import three_tank_architecture, three_tank_spec
+from repro.reliability import check_reliability
+from repro.synthesis import (
+    FailurePattern,
+    pareto_front,
+    priority_replication,
+    synthesize_replication,
+)
+
+
+def test_bench_synthesis(benchmark, report):
+    spec = three_tank_spec(lrc_u=0.9975)
+    arch = three_tank_architecture()
+
+    result = benchmark(synthesize_replication, spec, arch)
+    assert result.valid
+
+    # Baseline [1]: sweep the compromise knob; pick the cheapest
+    # Pareto point whose mapping satisfies all LRCs (if any).
+    front = pareto_front(spec, arch,
+                         thetas=(0.0, 0.25, 0.5, 0.75, 1.0))
+    bicriteria_ok = [
+        r for r in front
+        if check_reliability(spec, arch, r.implementation).reliable
+    ]
+    bicriteria_cost = (
+        min(r.replication_count for r in bicriteria_ok)
+        if bicriteria_ok
+        else None
+    )
+
+    # Baseline [13]: tolerate any single-host failure for every task.
+    priorities = {name: 2 for name in spec.tasks}
+    patterns = [
+        FailurePattern({host}, priority=1) for host in arch.host_names()
+    ]
+    priority_impl = priority_replication(spec, arch, priorities, patterns)
+    priority_reliable = check_reliability(
+        spec, arch, priority_impl
+    ).reliable
+
+    rows = [
+        ("LRC synthesis: replicas", "minimal",
+         str(result.replication_count)),
+        ("LRC synthesis: sensors per input", "2 (scenario 2)",
+         str(len(result.implementation.sensors_of('s1')))),
+        ("LRC synthesis meets 0.9975", "yes",
+         "yes" if result.valid else "no"),
+        ("bi-criteria [1]: cheapest reliable point",
+         "over-provisions",
+         str(bicriteria_cost) if bicriteria_cost else "none found"),
+        ("priority [13]: replicas (1-fault-tolerant)",
+         "over-provisions",
+         str(priority_impl.replication_count())),
+        ("priority [13] meets 0.9975", "(not its target)",
+         "yes" if priority_reliable else "no"),
+    ]
+
+    # Shape assertions: the LRC-driven mapping is the cheapest of the
+    # approaches that actually meet the requirement.
+    assert result.replication_count <= priority_impl.replication_count()
+    if bicriteria_cost is not None:
+        assert result.replication_count <= bicriteria_cost
+
+    report("E11 / synthesis comparison on the strict 3TS requirement",
+           rows)

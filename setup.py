@@ -1,0 +1,10 @@
+"""Setup shim for environments without the `wheel` package.
+
+`pip install -e . --no-build-isolation` needs `bdist_wheel` on this
+offline box; `python setup.py develop` (or pip's legacy editable path)
+works with plain setuptools.  Configuration lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,22 @@
+"""Architecture model: hosts, sensors, network, and constraint maps.
+
+Implements the paper's ``A = (hset, sset, C_S)``: a set of fail-silent
+hosts connected over an atomic broadcast network, a set of sensors,
+and the architectural constraints for a specification — host/sensor
+reliability maps (``hrel``, ``srel``) and per-task execution metrics
+(``wemap`` for WCETs, ``wtmap`` for worst-case broadcast/transmission
+times).
+"""
+
+from repro.arch.host import Host
+from repro.arch.sensor import Sensor
+from repro.arch.network import BroadcastNetwork
+from repro.arch.architecture import Architecture, ExecutionMetrics
+
+__all__ = [
+    "Architecture",
+    "BroadcastNetwork",
+    "ExecutionMetrics",
+    "Host",
+    "Sensor",
+]

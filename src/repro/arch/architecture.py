@@ -1,0 +1,155 @@
+"""The architecture tuple ``A = (hset, sset, C_S)``.
+
+Bundles the hosts, sensors, broadcast network, and the architectural
+constraint maps for a given specification: the worst-case execution
+time of each task on each host (``wemap``) and the worst-case
+broadcast/transmission time of each task's output from each host
+(``wtmap``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from repro.arch.host import Host
+from repro.arch.network import BroadcastNetwork
+from repro.arch.sensor import Sensor
+from repro.errors import ArchitectureError
+
+
+@dataclass(frozen=True)
+class ExecutionMetrics:
+    """WCET and WCTT maps, ``wemap`` and ``wtmap`` of the paper.
+
+    Both map ``(task_name, host_name)`` to a positive integer number of
+    time units.  A uniform default may be supplied for entries that are
+    not listed explicitly, which keeps synthetic workload generators
+    compact.
+    """
+
+    wcet: Mapping[tuple[str, str], int] = field(default_factory=dict)
+    wctt: Mapping[tuple[str, str], int] = field(default_factory=dict)
+    default_wcet: int | None = None
+    default_wctt: int | None = None
+
+    def __post_init__(self) -> None:
+        for label, table in (("wcet", self.wcet), ("wctt", self.wctt)):
+            for key, value in table.items():
+                if not isinstance(value, int) or value <= 0:
+                    raise ArchitectureError(
+                        f"{label}[{key}] must be a positive integer, "
+                        f"got {value!r}"
+                    )
+        for label, value in (
+            ("default_wcet", self.default_wcet),
+            ("default_wctt", self.default_wctt),
+        ):
+            if value is not None and (not isinstance(value, int) or value <= 0):
+                raise ArchitectureError(
+                    f"{label} must be a positive integer, got {value!r}"
+                )
+
+    def wcet_of(self, task: str, host: str) -> int:
+        """Return ``wemap(task, host)``."""
+        key = (task, host)
+        if key in self.wcet:
+            return self.wcet[key]
+        if self.default_wcet is not None:
+            return self.default_wcet
+        raise ArchitectureError(
+            f"no WCET declared for task {task!r} on host {host!r}"
+        )
+
+    def wctt_of(self, task: str, host: str) -> int:
+        """Return ``wtmap(task, host)``."""
+        key = (task, host)
+        if key in self.wctt:
+            return self.wctt[key]
+        if self.default_wctt is not None:
+            return self.default_wctt
+        raise ArchitectureError(
+            f"no WCTT declared for task {task!r} on host {host!r}"
+        )
+
+
+@dataclass(frozen=True)
+class Architecture:
+    """A distributed architecture of fail-silent hosts and sensors.
+
+    Parameters
+    ----------
+    hosts:
+        The hosts ``hset``, connected over *network*.
+    sensors:
+        The sensors ``sset`` available to update input communicators.
+    metrics:
+        The execution metrics ``wemap``/``wtmap``.
+    network:
+        The shared atomic broadcast medium.
+    """
+
+    hosts: Mapping[str, Host]
+    sensors: Mapping[str, Sensor]
+    metrics: ExecutionMetrics
+    network: BroadcastNetwork
+
+    def __init__(
+        self,
+        hosts: Iterable[Host],
+        sensors: Iterable[Sensor] = (),
+        metrics: ExecutionMetrics | None = None,
+        network: BroadcastNetwork | None = None,
+    ) -> None:
+        hset: dict[str, Host] = {}
+        for host in hosts:
+            if host.name in hset:
+                raise ArchitectureError(f"duplicate host name {host.name!r}")
+            hset[host.name] = host
+        if not hset:
+            raise ArchitectureError("an architecture needs at least one host")
+        sset: dict[str, Sensor] = {}
+        for sensor in sensors:
+            if sensor.name in sset:
+                raise ArchitectureError(
+                    f"duplicate sensor name {sensor.name!r}"
+                )
+            sset[sensor.name] = sensor
+        object.__setattr__(self, "hosts", hset)
+        object.__setattr__(self, "sensors", sset)
+        object.__setattr__(self, "metrics", metrics or ExecutionMetrics())
+        object.__setattr__(self, "network", network or BroadcastNetwork())
+
+    def hrel(self, host: str) -> float:
+        """Return the reliability ``hrel(h)`` of the named host."""
+        try:
+            return self.hosts[host].reliability
+        except KeyError:
+            raise ArchitectureError(f"unknown host {host!r}") from None
+
+    def srel(self, sensor: str) -> float:
+        """Return the reliability ``srel(s)`` of the named sensor."""
+        try:
+            return self.sensors[sensor].reliability
+        except KeyError:
+            raise ArchitectureError(f"unknown sensor {sensor!r}") from None
+
+    def host_names(self) -> list[str]:
+        """Return the host names in sorted order."""
+        return sorted(self.hosts)
+
+    def sensor_names(self) -> list[str]:
+        """Return the sensor names in sorted order."""
+        return sorted(self.sensors)
+
+    def wcet(self, task: str, host: str) -> int:
+        """Return ``wemap(task, host)`` after validating the host name."""
+        if host not in self.hosts:
+            raise ArchitectureError(f"unknown host {host!r}")
+        return self.metrics.wcet_of(task, host)
+
+    def wctt(self, task: str, host: str) -> int:
+        """Return ``wtmap(task, host)`` after validating the host name."""
+        if host not in self.hosts:
+            raise ArchitectureError(f"unknown host {host!r}")
+        return self.metrics.wctt_of(task, host)

@@ -1,0 +1,43 @@
+"""Fail-silent hosts.
+
+A host either works correctly or stops producing output entirely
+(fail-silence, after Cristian 1991); it never emits garbage.  The
+reliability ``hrel(h)`` is the probability that the host does *not*
+fail during the execution of one task invocation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ArchitectureError
+
+
+@dataclass(frozen=True, order=True)
+class Host:
+    """A fail-silent processing host.
+
+    Parameters
+    ----------
+    name:
+        Unique host name.
+    reliability:
+        ``hrel(h) in (0, 1]``: probability that one task invocation on
+        this host completes (the host does not fail during it).
+    """
+
+    name: str
+    reliability: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ArchitectureError("host name must be non-empty")
+        if not 0.0 < self.reliability <= 1.0:
+            raise ArchitectureError(
+                f"host {self.name!r}: reliability must lie in (0, 1], "
+                f"got {self.reliability!r}"
+            )
+
+    def failure_probability(self) -> float:
+        """Return ``1 - hrel(h)``, the per-invocation failure probability."""
+        return 1.0 - self.reliability

@@ -1,0 +1,49 @@
+"""The broadcast network connecting all hosts.
+
+The paper assumes a reliable broadcast network and notes that
+less-than-perfect broadcast can be handled readily as long as failures
+are *atomic*: either every host receives the value or none does.  This
+module models exactly that: a broadcast succeeds with probability
+``reliability`` and on failure no host receives anything (the sending
+replication's contribution becomes unreliable).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ArchitectureError
+
+
+@dataclass(frozen=True)
+class BroadcastNetwork:
+    """An atomic broadcast network.
+
+    Parameters
+    ----------
+    reliability:
+        Probability in ``(0, 1]`` that one broadcast is delivered to
+        all hosts.  The default ``1.0`` is the paper's assumption.
+    bandwidth:
+        Number of simultaneous broadcasts the medium carries; ``1``
+        models a single shared bus (the schedulability analysis treats
+        the network as that many unit-capacity resources).
+    """
+
+    reliability: float = 1.0
+    bandwidth: int = 1
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.reliability <= 1.0:
+            raise ArchitectureError(
+                f"network reliability must lie in (0, 1], "
+                f"got {self.reliability!r}"
+            )
+        if self.bandwidth < 1:
+            raise ArchitectureError(
+                f"network bandwidth must be >= 1, got {self.bandwidth!r}"
+            )
+
+    def is_perfect(self) -> bool:
+        """Return ``True`` iff broadcasts never fail."""
+        return self.reliability == 1.0

@@ -1,0 +1,43 @@
+"""Fail-silent sensors.
+
+Sensors update input communicators.  Like hosts they are fail-silent:
+a failed sensor reading yields the unreliable value ``BOTTOM`` rather
+than a wrong measurement.  ``srel(s)`` is the probability that one
+periodic update succeeds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ArchitectureError
+
+
+@dataclass(frozen=True, order=True)
+class Sensor:
+    """A fail-silent physical sensor.
+
+    Parameters
+    ----------
+    name:
+        Unique sensor name.
+    reliability:
+        ``srel(s) in (0, 1]``: probability that one periodic update of
+        the bound input communicator delivers a reliable value.
+    """
+
+    name: str
+    reliability: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ArchitectureError("sensor name must be non-empty")
+        if not 0.0 < self.reliability <= 1.0:
+            raise ArchitectureError(
+                f"sensor {self.name!r}: reliability must lie in (0, 1], "
+                f"got {self.reliability!r}"
+            )
+
+    def failure_probability(self) -> float:
+        """Return ``1 - srel(s)``, the per-update failure probability."""
+        return 1.0 - self.reliability

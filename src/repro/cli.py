@@ -1,0 +1,356 @@
+"""Command-line front-end for the design flow.
+
+Mirrors the paper's prototype tool-chain as a CLI::
+
+    python -m repro analyze    --htl prog.htl --arch arch.json --impl impl.json
+    python -m repro synthesize --htl prog.htl --arch arch.json -o impl.json
+    python -m repro ecode      --htl prog.htl --arch arch.json --impl impl.json
+    python -m repro simulate   --htl prog.htl --arch arch.json --impl impl.json \
+                               --iterations 10000 --bernoulli
+    python -m repro check      --htl prog.htl
+
+Specifications may come from HTL source (``--htl``) or from the JSON
+form of :mod:`repro.io` (``--spec``).  Task functions and switch
+conditions, being code, are supplied through ``--bindings module.py``:
+a Python file whose ``FUNCTIONS`` and ``CONDITIONS`` dicts are used as
+the registries.  Exit status is 0 when the requested check passes and
+1 when it fails, so the tool slots into CI pipelines.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib.util
+import sys
+from typing import Any, Callable, Mapping
+
+from repro.errors import ReproError
+from repro.htl.compiler import compile_program
+from repro.htl.ecode import generate_ecode
+from repro.io import (
+    architecture_from_dict,
+    dump_json,
+    implementation_from_dict,
+    implementation_to_dict,
+    load_json,
+    specification_from_dict,
+)
+from repro.model.specification import Specification
+from repro.reliability.srg import communicator_srgs
+from repro.runtime.engine import Simulator
+from repro.runtime.faults import BernoulliFaults, ScriptedFaults
+from repro.synthesis.replication import synthesize_replication
+from repro.validity import check_validity
+
+
+def _load_bindings(
+    path: str | None,
+) -> tuple[dict[str, Callable[..., Any]], dict[str, Callable[..., Any]]]:
+    if path is None:
+        return {}, {}
+    module_spec = importlib.util.spec_from_file_location(
+        "repro_cli_bindings", path
+    )
+    if module_spec is None or module_spec.loader is None:
+        raise ReproError(f"cannot import bindings file {path!r}")
+    module = importlib.util.module_from_spec(module_spec)
+    module_spec.loader.exec_module(module)
+    functions = getattr(module, "FUNCTIONS", {})
+    conditions = getattr(module, "CONDITIONS", {})
+    return dict(functions), dict(conditions)
+
+
+def _load_specification(
+    args: argparse.Namespace,
+    functions: Mapping[str, Callable[..., Any]],
+    conditions: Mapping[str, Callable[..., Any]],
+) -> Specification:
+    if args.htl:
+        with open(args.htl, "r", encoding="utf-8") as handle:
+            source = handle.read()
+        compiled = compile_program(
+            source, functions=functions, conditions=conditions
+        )
+        return compiled.specification()
+    if args.spec:
+        return specification_from_dict(
+            load_json(args.spec), functions=functions
+        )
+    raise ReproError("provide a specification via --htl or --spec")
+
+
+def _add_common_inputs(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--htl", help="HTL source file")
+    parser.add_argument("--spec", help="specification JSON file")
+    parser.add_argument(
+        "--bindings",
+        help="Python file exporting FUNCTIONS / CONDITIONS registries",
+    )
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    functions, conditions = _load_bindings(args.bindings)
+    spec = _load_specification(args, functions, conditions)
+    print(
+        f"specification OK: {len(spec.tasks)} tasks, "
+        f"{len(spec.communicators)} communicators, "
+        f"period {spec.period()}"
+    )
+    for name in sorted(spec.tasks):
+        read, write = spec.let(name)
+        print(f"  {name}: LET [{read}, {write}]")
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    functions, conditions = _load_bindings(args.bindings)
+    spec = _load_specification(args, functions, conditions)
+    arch = architecture_from_dict(load_json(args.arch))
+    implementation = implementation_from_dict(load_json(args.impl))
+    report = check_validity(spec, arch, implementation)
+    print(report.summary())
+    return 0 if report.valid else 1
+
+
+def _cmd_synthesize(args: argparse.Namespace) -> int:
+    functions, conditions = _load_bindings(args.bindings)
+    spec = _load_specification(args, functions, conditions)
+    arch = architecture_from_dict(load_json(args.arch))
+    result = synthesize_replication(
+        spec,
+        arch,
+        max_replicas=args.max_replicas,
+        require_schedulable=not args.skip_schedulability,
+    )
+    print(
+        f"synthesised {result.replication_count} task replicas "
+        f"({result.explored} nodes explored)"
+    )
+    for task in sorted(spec.tasks):
+        hosts = ", ".join(sorted(result.implementation.hosts_of(task)))
+        print(f"  {task} -> {hosts}")
+    for comm in sorted(spec.input_communicators()):
+        sensors = ", ".join(
+            sorted(result.implementation.sensors_of(comm))
+        )
+        print(f"  {comm} <- {sensors}")
+    if args.output:
+        dump_json(
+            implementation_to_dict(result.implementation), args.output
+        )
+        print(f"wrote {args.output}")
+    return 0 if result.valid else 1
+
+
+def _cmd_ecode(args: argparse.Namespace) -> int:
+    functions, conditions = _load_bindings(args.bindings)
+    spec = _load_specification(args, functions, conditions)
+    arch = architecture_from_dict(load_json(args.arch))
+    implementation = implementation_from_dict(load_json(args.impl))
+    ecode = generate_ecode(spec, arch, implementation)
+    print(ecode.render())
+    if ecode.timeline is not None:
+        print()
+        print(ecode.timeline.render())
+        return 0 if ecode.timeline.feasible else 1
+    return 0
+
+
+def _cmd_dot(args: argparse.Namespace) -> int:
+    from repro.dot import (
+        dependency_graph_dot,
+        mapping_dot,
+        specification_graph_dot,
+    )
+
+    functions, conditions = _load_bindings(args.bindings)
+    spec = _load_specification(args, functions, conditions)
+    if args.view == "spec":
+        print(specification_graph_dot(spec), end="")
+    elif args.view == "dataflow":
+        print(dependency_graph_dot(spec), end="")
+    else:  # mapping
+        if not args.arch or not args.impl:
+            raise ReproError(
+                "the mapping view needs --arch and --impl"
+            )
+        arch = architecture_from_dict(load_json(args.arch))
+        implementation = implementation_from_dict(load_json(args.impl))
+        print(mapping_dot(spec, arch, implementation), end="")
+    return 0
+
+
+def _cmd_normalize(args: argparse.Namespace) -> int:
+    from repro.htl.pretty import normalise
+
+    if not args.htl:
+        raise ReproError("normalize needs --htl")
+    with open(args.htl, "r", encoding="utf-8") as handle:
+        source = handle.read()
+    print(normalise(source), end="")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.report import design_report
+
+    functions, conditions = _load_bindings(args.bindings)
+    spec = _load_specification(args, functions, conditions)
+    arch = architecture_from_dict(load_json(args.arch))
+    implementation = implementation_from_dict(load_json(args.impl))
+    print(design_report(spec, arch, implementation))
+    return 0 if check_validity(spec, arch, implementation).valid else 1
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    functions, conditions = _load_bindings(args.bindings)
+    spec = _load_specification(args, functions, conditions)
+    arch = architecture_from_dict(load_json(args.arch))
+    implementation = implementation_from_dict(load_json(args.impl))
+
+    injectors = []
+    if args.bernoulli:
+        injectors.append(BernoulliFaults(arch))
+    outages: dict[str, list[tuple[int, int | None]]] = {}
+    for entry in args.unplug or []:
+        host, _, when = entry.partition(":")
+        if not when:
+            raise ReproError(
+                f"--unplug expects HOST:TIME, got {entry!r}"
+            )
+        outages.setdefault(host, []).append((int(when), None))
+    if outages:
+        injectors.append(ScriptedFaults(host_outages=outages))
+    faults = None
+    if len(injectors) == 1:
+        faults = injectors[0]
+    elif injectors:
+        from repro.runtime.faults import CompositeFaults
+
+        faults = CompositeFaults(injectors)
+
+    simulator = Simulator(
+        spec, arch, implementation, faults=faults, seed=args.seed
+    )
+    result = simulator.run(args.iterations)
+    print(result.summary())
+    srgs = communicator_srgs(spec, implementation, arch)
+    averages = result.limit_averages()
+    print("\nobserved vs analytic SRG:")
+    for name in sorted(spec.communicators):
+        print(
+            f"  {name}: observed {averages[name]:.6f}  "
+            f"SRG {srgs[name]:.6f}"
+        )
+    return 0 if result.satisfies_lrcs(slack=args.slack) else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "joint schedulability/reliability design flow for "
+            "interacting real-time tasks (DATE 2008 reproduction)"
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    check = subparsers.add_parser(
+        "check", help="parse and validate a specification"
+    )
+    _add_common_inputs(check)
+    check.set_defaults(handler=_cmd_check)
+
+    analyze = subparsers.add_parser(
+        "analyze", help="joint schedulability/reliability analysis"
+    )
+    _add_common_inputs(analyze)
+    analyze.add_argument("--arch", required=True,
+                         help="architecture JSON file")
+    analyze.add_argument("--impl", required=True,
+                         help="implementation JSON file")
+    analyze.set_defaults(handler=_cmd_analyze)
+
+    synthesize = subparsers.add_parser(
+        "synthesize", help="synthesise a valid replication mapping"
+    )
+    _add_common_inputs(synthesize)
+    synthesize.add_argument("--arch", required=True)
+    synthesize.add_argument("-o", "--output",
+                            help="write the mapping as JSON")
+    synthesize.add_argument("--max-replicas", type=int, default=None)
+    synthesize.add_argument("--skip-schedulability", action="store_true")
+    synthesize.set_defaults(handler=_cmd_synthesize)
+
+    full_report = subparsers.add_parser(
+        "report",
+        help="full design report: analysis, margins, timeline, advice",
+    )
+    _add_common_inputs(full_report)
+    full_report.add_argument("--arch", required=True)
+    full_report.add_argument("--impl", required=True)
+    full_report.set_defaults(handler=_cmd_report)
+
+    ecode = subparsers.add_parser(
+        "ecode", help="generate and print E-code + timeline"
+    )
+    _add_common_inputs(ecode)
+    ecode.add_argument("--arch", required=True)
+    ecode.add_argument("--impl", required=True)
+    ecode.set_defaults(handler=_cmd_ecode)
+
+    dot = subparsers.add_parser(
+        "dot", help="export a Graphviz view of the design"
+    )
+    _add_common_inputs(dot)
+    dot.add_argument(
+        "--view", choices=("spec", "dataflow", "mapping"),
+        default="dataflow",
+    )
+    dot.add_argument("--arch", help="architecture JSON (mapping view)")
+    dot.add_argument("--impl", help="implementation JSON (mapping view)")
+    dot.set_defaults(handler=_cmd_dot)
+
+    normalize = subparsers.add_parser(
+        "normalize", help="pretty-print an HTL program canonically"
+    )
+    _add_common_inputs(normalize)
+    normalize.set_defaults(handler=_cmd_normalize)
+
+    simulate = subparsers.add_parser(
+        "simulate", help="run the distributed runtime simulator"
+    )
+    _add_common_inputs(simulate)
+    simulate.add_argument("--arch", required=True)
+    simulate.add_argument("--impl", required=True)
+    simulate.add_argument("--iterations", type=int, default=1000)
+    simulate.add_argument("--seed", type=int, default=0)
+    simulate.add_argument("--slack", type=float, default=0.01,
+                          help="LRC slack for finite-sample noise")
+    simulate.add_argument(
+        "--bernoulli", action="store_true",
+        help="inject transient faults matching hrel/srel",
+    )
+    simulate.add_argument(
+        "--unplug", action="append", metavar="HOST:TIME",
+        help="take HOST down permanently at TIME (repeatable)",
+    )
+    simulate.set_defaults(handler=_cmd_simulate)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit status."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,151 @@
+"""Graphviz DOT export of design artifacts.
+
+Renders the specification graph, the communicator data-flow, and the
+replication mapping as DOT strings for external visualisation
+(``dot -Tpdf``).  Pure string generation — no Graphviz dependency.
+"""
+
+from __future__ import annotations
+
+from repro.arch.architecture import Architecture
+from repro.mapping.implementation import Implementation
+from repro.model.graph import (
+    SpecificationGraph,
+    communicator_dependency_graph,
+)
+from repro.model.specification import Specification
+
+
+def _quote(name: object) -> str:
+    return '"' + str(name).replace('"', '\\"') + '"'
+
+
+def specification_graph_dot(spec: Specification) -> str:
+    """Render the exact specification graph ``G_S`` as DOT.
+
+    Communicator instances are ellipses labelled ``c[i] @ t``; tasks
+    are boxes.  Persistence edges are dashed.
+    """
+    graph = SpecificationGraph(spec).graph
+    lines = [
+        "digraph specification {",
+        "  rankdir=LR;",
+        '  node [fontname="Helvetica"];',
+    ]
+    for vertex in sorted(graph.nodes, key=str):
+        if isinstance(vertex, tuple):
+            name, instance = vertex
+            time = spec.communicators[name].period * instance
+            lines.append(
+                f"  {_quote(vertex)} [shape=ellipse, "
+                f'label="{name}[{instance}]\\n@{time}"];'
+            )
+        else:
+            lines.append(
+                f"  {_quote(vertex)} [shape=box, style=bold, "
+                f'label="{vertex}"];'
+            )
+    for source, target in sorted(graph.edges, key=str):
+        persistence = (
+            isinstance(source, tuple)
+            and isinstance(target, tuple)
+            and source[0] == target[0]
+        )
+        style = " [style=dashed]" if persistence else ""
+        lines.append(f"  {_quote(source)} -> {_quote(target)}{style};")
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def dependency_graph_dot(spec: Specification) -> str:
+    """Render the communicator data-flow graph as DOT.
+
+    Edges are labelled with the tasks inducing them; input
+    communicators are shaded.
+    """
+    graph = communicator_dependency_graph(spec)
+    inputs = spec.input_communicators()
+    lines = [
+        "digraph dataflow {",
+        "  rankdir=LR;",
+        '  node [shape=ellipse, fontname="Helvetica"];',
+    ]
+    for name in sorted(graph.nodes):
+        attributes = 'style=filled, fillcolor="#dddddd"' if (
+            name in inputs
+        ) else ""
+        comm = spec.communicators[name]
+        label = f"{name}\\npi={comm.period}, lrc={comm.lrc:g}"
+        extra = f", {attributes}" if attributes else ""
+        lines.append(f'  {_quote(name)} [label="{label}"{extra}];')
+    for source, target, data in sorted(
+        graph.edges(data=True), key=lambda e: (e[0], e[1])
+    ):
+        label = ", ".join(sorted(data["tasks"]))
+        lines.append(
+            f'  {_quote(source)} -> {_quote(target)} [label="{label}"];'
+        )
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def mapping_dot(
+    spec: Specification,
+    arch: Architecture,
+    implementation: Implementation,
+) -> str:
+    """Render the replication mapping as a host-clustered DOT graph.
+
+    One cluster per host containing its task replications; sensors
+    feed the input communicators' reader tasks.
+    """
+    lines = [
+        "digraph mapping {",
+        '  node [fontname="Helvetica"];',
+    ]
+    for index, host in enumerate(sorted(arch.hosts)):
+        lines.append(f"  subgraph cluster_{index} {{")
+        lines.append(
+            f'    label="{host} (hrel={arch.hrel(host):g})";'
+        )
+        for task in implementation.tasks_on(host):
+            lines.append(
+                f'    {_quote(f"{task}@{host}")} [shape=box, '
+                f'label="{task}"];'
+            )
+        lines.append("  }")
+    for comm in sorted(spec.input_communicators()):
+        for sensor in sorted(implementation.sensors_of(comm)):
+            node = f"sensor {sensor}"
+            lines.append(
+                f"  {_quote(node)} [shape=diamond, "
+                f'label="{sensor}\\n(srel={arch.srel(sensor):g})"];'
+            )
+            for reader in spec.readers_of(comm):
+                for host in sorted(
+                    implementation.hosts_of(reader.name)
+                ):
+                    lines.append(
+                        f"  {_quote(node)} -> "
+                        f'{_quote(f"{reader.name}@{host}")} '
+                        f'[label="{comm}"];'
+                    )
+    # Data-flow edges between replications (writer -> reader).
+    for comm in sorted(spec.communicators):
+        writer = spec.writer_of(comm)
+        if writer is None:
+            continue
+        for reader in spec.readers_of(comm):
+            for source_host in sorted(
+                implementation.hosts_of(writer.name)
+            ):
+                for target_host in sorted(
+                    implementation.hosts_of(reader.name)
+                ):
+                    lines.append(
+                        f'  {_quote(f"{writer.name}@{source_host}")} -> '
+                        f'{_quote(f"{reader.name}@{target_host}")} '
+                        f'[label="{comm}"];'
+                    )
+    lines.append("}")
+    return "\n".join(lines) + "\n"

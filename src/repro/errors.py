@@ -1,0 +1,75 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch library failures without catching unrelated bugs.
+The sub-hierarchy mirrors the phases of the design flow: building a
+specification, describing an architecture, mapping tasks to hosts,
+analysing the result, compiling HTL source, and running the simulator.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SpecificationError(ReproError):
+    """A specification violates one of the structural restrictions of
+    the model (Section 2 of the paper): duplicate names, empty input or
+    output lists, read time not strictly earlier than write time, two
+    tasks writing to the same communicator, or references to undeclared
+    communicators."""
+
+
+class ArchitectureError(ReproError):
+    """An architecture description is inconsistent: reliabilities
+    outside ``(0, 1]``, missing WCET/WCTT entries, duplicate host or
+    sensor names."""
+
+
+class MappingError(ReproError):
+    """An implementation maps a task to an empty host set, to an
+    unknown host, or omits a task entirely."""
+
+
+class AnalysisError(ReproError):
+    """A reliability or schedulability analysis cannot be carried out,
+    e.g. the SRG induction is attempted on a specification whose
+    communicator-dependency graph is cyclic without independent-model
+    cycle breakers."""
+
+
+class RefinementError(ReproError):
+    """A refinement check was invoked on malformed inputs, e.g. the
+    task mapping ``kappa`` is not total or not one-to-one."""
+
+
+class HTLSyntaxError(ReproError):
+    """The HTL frontend rejected the source text.
+
+    Carries the 1-based source position of the offending token.
+    """
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        location = f" (line {line}, column {column})" if line else ""
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.column = column
+
+
+class HTLSemanticError(ReproError):
+    """The HTL program parsed but is semantically ill-formed: unknown
+    communicator in a task declaration, duplicate mode names, a start
+    mode that does not exist, or inconsistent port types."""
+
+
+class RuntimeSimulationError(ReproError):
+    """The distributed runtime simulator was configured inconsistently,
+    e.g. a failure script references an unknown host, or the simulation
+    horizon is not a multiple of the specification period."""
+
+
+class SynthesisError(ReproError):
+    """Replication synthesis failed: no replication mapping within the
+    allowed bounds satisfies all logical reliability constraints."""

@@ -1,0 +1,68 @@
+"""The specification-with-memory pathology of Section 3.
+
+A task that reads and writes the *same* communicator forms a
+communicator cycle.  With the series input failure model, the first
+unreliable write poisons the cycle: the communicator carries ``BOTTOM``
+from then on, so the long-run average of reliable values is 0 with
+probability 1 whenever the task's reliability is below 1 — no matter
+how high the SRG.  Giving the task the *independent* input failure
+model breaks the cycle: an unreliable input is replaced by the default
+value, and the limit average equals the task reliability again.
+"""
+
+from __future__ import annotations
+
+from repro.model.communicator import Communicator
+from repro.model.specification import Specification
+from repro.model.task import FailureModel, Task
+
+
+def cyclic_specification(
+    model: "FailureModel | str" = FailureModel.SERIES,
+    lrc: float = 0.9,
+    period: int = 10,
+) -> Specification:
+    """Return a one-task accumulator specification with a self cycle.
+
+    The task reads instance 0 of ``acc`` and writes instance 1 (one
+    period later), i.e. ``acc`` integrates itself — the canonical
+    stateful control pattern the paper warns about.
+    """
+    model = FailureModel.parse(model)
+    communicator = Communicator("acc", period=period, lrc=lrc, init=0.0)
+    task = Task(
+        "integrate",
+        inputs=[("acc", 0)],
+        outputs=[("acc", 1)],
+        model=model,
+        defaults={"acc": 0.0},
+        function=lambda value: value + 1.0,
+    )
+    return Specification([communicator], [task])
+
+
+def cyclic_specification_with_input(
+    model: "FailureModel | str" = FailureModel.PARALLEL,
+    lrc: float = 0.9,
+    period: int = 10,
+) -> Specification:
+    """A self-cycle accumulator that also reads a fresh sensor input.
+
+    With the parallel failure model the external input lets the cycle
+    *recover* from a poisoned state — the case the Markov analysis of
+    :mod:`repro.reliability.markov` quantifies exactly.
+    """
+    model = FailureModel.parse(model)
+    communicators = [
+        Communicator("acc", period=period, lrc=lrc, init=0.0),
+        Communicator("ext", period=period, lrc=0.5, init=0.0),
+    ]
+    task = Task(
+        "integrate",
+        inputs=[("acc", 0), ("ext", 0)],
+        outputs=[("acc", 1)],
+        model=model,
+        defaults={"acc": 0.0, "ext": 0.0},
+        function=lambda acc, ext: acc + ext + 1.0,
+    )
+    return Specification(communicators, [task])

@@ -1,0 +1,147 @@
+"""HTL source text for the paper's systems.
+
+The 3TS controller written in the HTL subset, with the LRC
+annotations of Section 4.  ``THREE_TANK_HTL`` uses the baseline
+requirement (``lrc 0.99`` on the pump commands);
+``three_tank_htl(lrc_u=...)`` renders the source for other
+requirement levels (e.g. the 0.9975 scenario study).  The program
+also exercises mode switching: each controller module has a ``hold``
+fallback mode invoking a degraded controller task with identical
+reliability constraints, as the paper's experiment describes.
+"""
+
+from __future__ import annotations
+
+THREE_TANK_HTL_TEMPLATE = """
+// Three-tank system controller (Fig. 2), HTL subset.
+program ThreeTankSystem {{
+  communicator s1 : float period 500 init 0.25 lrc {lrc_s} ;
+  communicator s2 : float period 500 init 0.25 lrc {lrc_s} ;
+  communicator l1 : float period 100 init 0.25 lrc {lrc_l} ;
+  communicator l2 : float period 100 init 0.25 lrc {lrc_l} ;
+  communicator u1 : float period 100 init 0.0  lrc {lrc_u} ;
+  communicator u2 : float period 100 init 0.0  lrc {lrc_u} ;
+  communicator r1 : float period 500 init 0.0  lrc {lrc_r} ;
+  communicator r2 : float period 500 init 0.0  lrc {lrc_r} ;
+
+  module Sensing start main {{
+    task read1 input (s1[0]) output (l1[2])
+      model parallel default (s1 = 0.25) function "read1" ;
+    task read2 input (s2[0]) output (l2[2])
+      model parallel default (s2 = 0.25) function "read2" ;
+    mode main period 500 {{
+      invoke read1 ;
+      invoke read2 ;
+    }}
+  }}
+
+  module Control1 start regulate {{
+    task t1 input (l1[2]) output (u1[4])
+      model series function "t1" ;
+    task t1_hold input (l1[2]) output (u1[4])
+      model series function "t1_hold" ;
+    mode regulate period 500 {{
+      invoke t1 ;
+      switch to hold when "level1_out_of_range" ;
+    }}
+    mode hold period 500 {{
+      invoke t1_hold ;
+      switch to regulate when "level1_in_range" ;
+    }}
+  }}
+
+  module Control2 start regulate {{
+    task t2 input (l2[2]) output (u2[4])
+      model series function "t2" ;
+    task t2_hold input (l2[2]) output (u2[4])
+      model series function "t2_hold" ;
+    mode regulate period 500 {{
+      invoke t2 ;
+      switch to hold when "level2_out_of_range" ;
+    }}
+    mode hold period 500 {{
+      invoke t2_hold ;
+      switch to regulate when "level2_in_range" ;
+    }}
+  }}
+
+  module Estimation start main {{
+    task estimate1 input (l1[2], u1[4]) output (r1[1])
+      model series function "estimate1" ;
+    task estimate2 input (l2[2], u2[4]) output (r2[1])
+      model series function "estimate2" ;
+    mode main period 500 {{
+      invoke estimate1 ;
+      invoke estimate2 ;
+    }}
+  }}
+}}
+"""
+
+
+def three_tank_htl(
+    lrc_u: float = 0.99,
+    lrc_l: float = 0.99,
+    lrc_s: float = 0.999,
+    lrc_r: float = 0.99,
+) -> str:
+    """Render the 3TS HTL source with the given LRCs."""
+    return THREE_TANK_HTL_TEMPLATE.format(
+        lrc_u=lrc_u, lrc_l=lrc_l, lrc_s=lrc_s, lrc_r=lrc_r
+    )
+
+
+#: The baseline-requirement rendering (LRC 0.99 on the pump commands).
+THREE_TANK_HTL = three_tank_htl()
+
+
+BRAKE_BY_WIRE_HTL = """
+// Distributed brake-by-wire / ABS controller, HTL subset.
+program BrakeByWire {
+  communicator ws_f  : float period 20 init 100.0 lrc 0.999 ;
+  communicator ws_r  : float period 20 init 100.0 lrc 0.999 ;
+  communicator pedal : float period 20 init 0.0   lrc 0.999 ;
+  communicator vref  : float period 10 init 30.0  lrc 0.99 ;
+  communicator tq_f  : float period 10 init 0.0   lrc 0.99 ;
+  communicator tq_r  : float period 10 init 0.0   lrc 0.99 ;
+
+  module Estimation start main {
+    task estimate_v input (ws_f[0], ws_r[0]) output (vref[1])
+      model parallel default (ws_f = 0.0, ws_r = 0.0)
+      function "estimate_v" ;
+    mode main period 20 {
+      invoke estimate_v ;
+    }
+  }
+
+  module FrontAxle start abs {
+    task abs_f input (ws_f[0], vref[1], pedal[0]) output (tq_f[2])
+      model series function "abs_f" ;
+    task passthrough_f input (ws_f[0], vref[1], pedal[0])
+      output (tq_f[2]) model series function "passthrough_f" ;
+    mode abs period 20 {
+      invoke abs_f ;
+      switch to direct when "abs_defeated" ;
+    }
+    mode direct period 20 {
+      invoke passthrough_f ;
+      switch to abs when "abs_enabled" ;
+    }
+  }
+
+  module RearAxle start abs {
+    task abs_r input (ws_r[0], vref[1], pedal[0]) output (tq_r[2])
+      model series function "abs_r" ;
+    task passthrough_r input (ws_r[0], vref[1], pedal[0])
+      output (tq_r[2]) model series function "passthrough_r" ;
+    mode abs period 20 {
+      invoke abs_r ;
+      switch to direct when "abs_defeated" ;
+    }
+    mode direct period 20 {
+      invoke passthrough_r ;
+      switch to abs when "abs_enabled" ;
+    }
+  }
+}
+"""

@@ -1,0 +1,269 @@
+"""Seeded random system generators.
+
+Used by property-based tests (Proposition 1, refinement transfer, RBD
+agreement) and by the scaling benchmarks (E10, E11).  The generator
+builds layered, memory-free, race-free specifications by
+construction:
+
+* input communicators form layer 0 and are sensor-updated;
+* a task in layer ``l`` (1-based) reads communicator instances at time
+  ``(l - 1) * STEP`` and writes fresh communicators at ``l * STEP``,
+  so every read time is strictly earlier than the write time and the
+  data flow is acyclic.
+
+Everything is driven by a seed, so generated systems are reproducible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.arch.architecture import Architecture, ExecutionMetrics
+from repro.arch.host import Host
+from repro.arch.sensor import Sensor
+from repro.mapping.implementation import Implementation
+from repro.model.communicator import Communicator
+from repro.model.specification import Specification
+from repro.model.task import FailureModel, Task
+
+#: Time distance between consecutive task layers.
+STEP = 40
+
+#: Periods available to input communicators (all divide STEP).
+INPUT_PERIODS = (10, 20, 40)
+
+
+def _rng(seed: "int | np.random.Generator") -> np.random.Generator:
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def _sum_function(count: int):
+    def function(*values: float) -> float:
+        return float(sum(values[:count]))
+
+    return function
+
+
+def random_specification(
+    seed: "int | np.random.Generator" = 0,
+    layers: int = 3,
+    tasks_per_layer: int = 3,
+    inputs: int = 3,
+    lrc_range: tuple[float, float] = (0.5, 0.95),
+    models: tuple[FailureModel, ...] = (
+        FailureModel.SERIES,
+        FailureModel.PARALLEL,
+        FailureModel.INDEPENDENT,
+    ),
+) -> Specification:
+    """Generate a layered, memory-free specification.
+
+    Parameters bound the shape: *layers* x *tasks_per_layer* tasks over
+    *inputs* sensor-fed communicators; LRCs are drawn uniformly from
+    *lrc_range*; failure models uniformly from *models*.
+    """
+    rng = _rng(seed)
+    communicators: list[Communicator] = []
+    available: list[tuple[str, int]] = []  # (name, producing layer)
+    for index in range(inputs):
+        period = int(rng.choice(INPUT_PERIODS))
+        name = f"in{index}"
+        communicators.append(
+            Communicator(
+                name,
+                period=period,
+                lrc=float(rng.uniform(*lrc_range)),
+                init=0.0,
+            )
+        )
+        available.append((name, 0))
+
+    task_list: list[Task] = []
+    for layer in range(1, layers + 1):
+        read_time = (layer - 1) * STEP
+        produced: list[tuple[str, int]] = []
+        for index in range(tasks_per_layer):
+            candidates = [
+                (name, lay) for name, lay in available if lay < layer
+            ]
+            count = int(rng.integers(1, min(3, len(candidates)) + 1))
+            chosen = rng.choice(len(candidates), size=count, replace=False)
+            input_ports = []
+            defaults = {}
+            for pick in chosen:
+                name, _ = candidates[int(pick)]
+                period = next(
+                    c.period for c in communicators if c.name == name
+                )
+                input_ports.append((name, read_time // period))
+                defaults[name] = 0.0
+            out_name = f"c{layer}_{index}"
+            communicators.append(
+                Communicator(
+                    out_name,
+                    period=STEP,
+                    lrc=float(rng.uniform(*lrc_range)),
+                    init=0.0,
+                )
+            )
+            task_list.append(
+                Task(
+                    f"t{layer}_{index}",
+                    inputs=input_ports,
+                    outputs=[(out_name, layer)],
+                    model=models[int(rng.integers(0, len(models)))],
+                    defaults=defaults,
+                    function=_sum_function(len(input_ports)),
+                )
+            )
+            produced.append((out_name, layer))
+        available.extend(produced)
+    return Specification(communicators, task_list)
+
+
+def random_architecture(
+    seed: "int | np.random.Generator" = 0,
+    hosts: int = 4,
+    sensors: int = 3,
+    reliability_range: tuple[float, float] = (0.9, 0.999),
+    wcet_range: tuple[int, int] = (1, 6),
+    wctt_range: tuple[int, int] = (1, 3),
+) -> Architecture:
+    """Generate an architecture with uniform random reliabilities."""
+    rng = _rng(seed)
+    host_list = [
+        Host(f"h{i}", float(rng.uniform(*reliability_range)))
+        for i in range(hosts)
+    ]
+    sensor_list = [
+        Sensor(f"s{i}", float(rng.uniform(*reliability_range)))
+        for i in range(sensors)
+    ]
+    return Architecture(
+        hosts=host_list,
+        sensors=sensor_list,
+        metrics=ExecutionMetrics(
+            default_wcet=int(rng.integers(*wcet_range)),
+            default_wctt=int(rng.integers(*wctt_range)),
+        ),
+    )
+
+
+def random_implementation(
+    spec: Specification,
+    arch: Architecture,
+    seed: "int | np.random.Generator" = 0,
+    max_replicas: int = 2,
+) -> Implementation:
+    """Map every task to a random non-empty host subset.
+
+    Input communicators are bound to one random sensor each.
+    """
+    rng = _rng(seed)
+    hosts = arch.host_names()
+    sensors = arch.sensor_names()
+    assignment = {}
+    for name in sorted(spec.tasks):
+        size = int(rng.integers(1, min(max_replicas, len(hosts)) + 1))
+        picks = rng.choice(len(hosts), size=size, replace=False)
+        assignment[name] = {hosts[int(p)] for p in picks}
+    binding = {}
+    for comm in sorted(spec.input_communicators()):
+        binding[comm] = {sensors[int(rng.integers(0, len(sensors)))]}
+    return Implementation(assignment, binding)
+
+
+def random_system(
+    seed: int = 0,
+    layers: int = 3,
+    tasks_per_layer: int = 3,
+    hosts: int = 4,
+    max_replicas: int = 2,
+) -> tuple[Specification, Architecture, Implementation]:
+    """Generate a complete random (S, A, I) triple from one seed."""
+    rng = _rng(seed)
+    spec = random_specification(
+        rng, layers=layers, tasks_per_layer=tasks_per_layer
+    )
+    arch = random_architecture(rng, hosts=hosts)
+    implementation = random_implementation(
+        spec, arch, rng, max_replicas=max_replicas
+    )
+    return spec, arch, implementation
+
+
+def refine_system(
+    spec: Specification,
+    arch: Architecture,
+    implementation: Implementation,
+    lrc_scale: float = 0.5,
+    cost_shrink: int = 1,
+) -> tuple[
+    tuple[Specification, Architecture, Implementation], dict[str, str]
+]:
+    """Derive a refining system satisfying every refinement constraint.
+
+    Tasks are renamed (``t`` -> ``t_r``), the LRCs of every
+    task-written communicator are multiplied by *lrc_scale*, and the
+    default WCET/WCTT are reduced by *cost_shrink* (floored at 1).
+    Ports, failure models, and the replication mapping are preserved,
+    so the pair ``(refining, kappa)`` satisfies constraints (a) and
+    (b1)–(b6) by construction — ideal for refinement/incremental
+    benchmarks and property tests.
+
+    Returns ``((fine_spec, fine_arch, fine_impl), kappa)``.
+    """
+    kappa = {f"{name}_r": name for name in spec.tasks}
+    renamed = [
+        Task(
+            f"{task.name}_r",
+            inputs=task.inputs,
+            outputs=task.outputs,
+            model=task.model,
+            defaults=task.defaults,
+            function=task.function,
+        )
+        for task in spec.tasks.values()
+    ]
+    lrc_changes = {
+        name: spec.communicators[name].lrc * lrc_scale
+        for task in spec.tasks.values()
+        for name in task.output_communicators()
+    }
+    fine_spec = spec.with_tasks(renamed).replace_lrcs(lrc_changes)
+    metrics = arch.metrics
+    fine_arch = Architecture(
+        hosts=arch.hosts.values(),
+        sensors=arch.sensors.values(),
+        metrics=ExecutionMetrics(
+            wcet={
+                (f"{task}_r", host): value
+                for (task, host), value in metrics.wcet.items()
+            },
+            wctt={
+                (f"{task}_r", host): value
+                for (task, host), value in metrics.wctt.items()
+            },
+            default_wcet=(
+                max(1, metrics.default_wcet - cost_shrink)
+                if metrics.default_wcet is not None
+                else None
+            ),
+            default_wctt=(
+                max(1, metrics.default_wctt - cost_shrink)
+                if metrics.default_wctt is not None
+                else None
+            ),
+        ),
+        network=arch.network,
+    )
+    fine_impl = Implementation(
+        {
+            f"{name}_r": implementation.hosts_of(name)
+            for name in spec.tasks
+        },
+        implementation.sensor_binding,
+    )
+    return (fine_spec, fine_arch, fine_impl), kappa

@@ -1,0 +1,63 @@
+"""The HTL-subset frontend and logical-reliability-enhanced compiler.
+
+The paper extends the Hierarchical Timing Language (HTL) with logical
+reliability constraints and implements a prototype compiler and
+runtime.  This package reimplements the analysed fragment: programs
+declare communicators (with periods, initial values, and LRCs),
+modules with tasks (ports, failure models, defaults) and modes
+(periodic invocation sets with mode switches).  The compiler performs
+the semantic checks, flattens a mode selection into a
+:class:`~repro.model.specification.Specification`, runs the joint
+schedulability/reliability analysis, and emits time-tagged E-code
+executed by the runtime's E-machine.
+"""
+
+from repro.htl.lexer import Token, TokenKind, tokenize
+from repro.htl.ast import (
+    CommunicatorDecl,
+    InvokeStmt,
+    ModeDecl,
+    ModuleDecl,
+    ProgramDecl,
+    SwitchStmt,
+    TaskDecl,
+)
+from repro.htl.parser import parse_program
+from repro.htl.compiler import (
+    CompiledProgram,
+    compile_program,
+    switching_preserves_reliability,
+)
+from repro.htl.ecode import ECode, Instruction, Opcode, generate_ecode
+from repro.htl.pretty import normalise, render_program
+from repro.htl.refinement import (
+    check_program_refinement,
+    incremental_program_check,
+    infer_kappa,
+)
+
+__all__ = [
+    "check_program_refinement",
+    "incremental_program_check",
+    "infer_kappa",
+    "normalise",
+    "render_program",
+    "CommunicatorDecl",
+    "CompiledProgram",
+    "ECode",
+    "Instruction",
+    "InvokeStmt",
+    "ModeDecl",
+    "ModuleDecl",
+    "Opcode",
+    "ProgramDecl",
+    "SwitchStmt",
+    "TaskDecl",
+    "Token",
+    "TokenKind",
+    "compile_program",
+    "generate_ecode",
+    "parse_program",
+    "switching_preserves_reliability",
+    "tokenize",
+]

@@ -1,0 +1,116 @@
+"""Abstract syntax tree of the HTL subset.
+
+The AST mirrors the surface syntax one-to-one; all semantic
+interpretation (type checks, period consistency, flattening into a
+:class:`~repro.model.specification.Specification`) happens in
+:mod:`repro.htl.compiler`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass(frozen=True)
+class CommunicatorDecl:
+    """``communicator NAME : TYPE period INT init LITERAL [lrc NUM];``"""
+
+    name: str
+    type_name: str  # "float", "int", or "bool"
+    period: int
+    init: Any
+    lrc: float
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class TaskDecl:
+    """A task declaration inside a module.
+
+    ``ports`` entries are ``(communicator, instance)`` pairs as written
+    in the source; ``function_name`` refers into the compiler's
+    function registry.
+    """
+
+    name: str
+    inputs: tuple[tuple[str, int], ...]
+    outputs: tuple[tuple[str, int], ...]
+    model: str  # "series", "parallel", "independent"
+    defaults: tuple[tuple[str, Any], ...]
+    function_name: str | None
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class InvokeStmt:
+    """``invoke TASK;`` inside a mode."""
+
+    task: str
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class SwitchStmt:
+    """``switch to MODE when "CONDITION";`` inside a mode."""
+
+    target: str
+    condition_name: str
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class ModeDecl:
+    """``mode NAME period INT { invoke ...; switch ...; }``"""
+
+    name: str
+    period: int
+    invokes: tuple[InvokeStmt, ...]
+    switches: tuple[SwitchStmt, ...]
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class ModuleDecl:
+    """``module NAME [start MODE] { task...; mode... }``"""
+
+    name: str
+    start_mode: str | None
+    tasks: tuple[TaskDecl, ...]
+    modes: tuple[ModeDecl, ...]
+    line: int = 0
+
+    def mode_named(self, name: str) -> ModeDecl:
+        for mode in self.modes:
+            if mode.name == name:
+                return mode
+        raise KeyError(name)
+
+    def task_named(self, name: str) -> TaskDecl:
+        for task in self.tasks:
+            if task.name == name:
+                return task
+        raise KeyError(name)
+
+
+@dataclass(frozen=True)
+class ProgramDecl:
+    """``program NAME [refines PARENT [(t_impl = t, ...)]] { ... }``
+
+    ``parent`` names the abstract program this one refines; ``kappa``
+    lists the declared task mapping (refining task, abstract task).
+    An empty ``kappa`` with a ``parent`` means "infer by name".
+    """
+
+    name: str
+    communicators: tuple[CommunicatorDecl, ...] = field(default_factory=tuple)
+    modules: tuple[ModuleDecl, ...] = field(default_factory=tuple)
+    line: int = 0
+    parent: str | None = None
+    kappa: tuple[tuple[str, str], ...] = field(default_factory=tuple)
+
+    def module_named(self, name: str) -> ModuleDecl:
+        for module in self.modules:
+            if module.name == name:
+                return module
+        raise KeyError(name)

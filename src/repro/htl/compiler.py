@@ -1,0 +1,363 @@
+"""Semantic analysis and flattening of HTL programs.
+
+The compiler checks an HTL program, binds task functions and switch
+conditions from registries, and flattens a *mode selection* (one mode
+per module) into a :class:`~repro.model.specification.Specification`
+on which the joint schedulability/reliability analysis runs — this is
+the "logical-reliability-enhanced" compilation path of the paper's
+prototype.
+
+Semantic rules enforced beyond the structural restrictions of the
+model layer:
+
+* names are globally unique across communicators, tasks, and modules;
+  mode names are unique per module;
+* ports reference declared communicators and literals match the
+  declared communicator types;
+* every module has at least one mode; the start mode (default: the
+  first) exists; invoked tasks are declared in the same module; switch
+  targets exist;
+* a mode's period is a positive common multiple of the periods of all
+  communicators its tasks access, every invoked task's write time fits
+  in the period, all selected modes share one period, and the
+  flattened specification's derived period equals it (so the
+  flattened LET semantics coincides with HTL's modes).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator, Mapping
+
+from repro.arch.architecture import Architecture
+from repro.errors import HTLSemanticError
+from repro.htl.ast import ModeDecl, ModuleDecl, ProgramDecl, TaskDecl
+from repro.htl.parser import parse_program
+from repro.mapping.implementation import Implementation
+from repro.model.communicator import Communicator
+from repro.model.specification import Specification
+from repro.model.task import Task
+from repro.reliability.analysis import check_reliability
+
+TYPE_MAP: dict[str, type] = {"float": float, "int": int, "bool": bool}
+
+
+def _check_literal(value: Any, type_name: str, context: str) -> Any:
+    if type_name == "float":
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise HTLSemanticError(
+                f"{context}: expected a float literal, got {value!r}"
+            )
+        return float(value)
+    if type_name == "int":
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise HTLSemanticError(
+                f"{context}: expected an int literal, got {value!r}"
+            )
+        return value
+    if isinstance(value, bool):
+        return value
+    raise HTLSemanticError(
+        f"{context}: expected a bool literal, got {value!r}"
+    )
+
+
+@dataclass
+class CompiledProgram:
+    """A semantically checked HTL program with bound registries."""
+
+    program: ProgramDecl
+    functions: Mapping[str, Callable[..., Any]]
+    conditions: Mapping[str, Callable[..., bool]]
+    communicators: dict[str, Communicator]
+
+    def start_selection(self) -> dict[str, str]:
+        """Return the default mode selection (each module's start mode)."""
+        selection = {}
+        for module in self.program.modules:
+            selection[module.name] = (
+                module.start_mode or module.modes[0].name
+            )
+        return selection
+
+    def mode_selections(self) -> Iterator[dict[str, str]]:
+        """Yield every combination of one mode per module."""
+        modules = self.program.modules
+        mode_lists = [
+            [mode.name for mode in module.modes] for module in modules
+        ]
+        for combo in itertools.product(*mode_lists):
+            yield {
+                module.name: mode_name
+                for module, mode_name in zip(modules, combo)
+            }
+
+    def specification(
+        self, selection: Mapping[str, str] | None = None
+    ) -> Specification:
+        """Flatten the given mode selection into a specification.
+
+        *selection* maps module names to mode names; unmentioned
+        modules use their start mode.
+        """
+        chosen = self.start_selection()
+        if selection:
+            for module_name, mode_name in selection.items():
+                try:
+                    module = self.program.module_named(module_name)
+                except KeyError:
+                    raise HTLSemanticError(
+                        f"unknown module {module_name!r} in mode selection"
+                    ) from None
+                try:
+                    module.mode_named(mode_name)
+                except KeyError:
+                    raise HTLSemanticError(
+                        f"module {module_name!r} has no mode {mode_name!r}"
+                    ) from None
+                chosen[module_name] = mode_name
+
+        tasks: list[Task] = []
+        mode_periods: set[int] = set()
+        for module in self.program.modules:
+            mode = module.mode_named(chosen[module.name])
+            mode_periods.add(mode.period)
+            for invoke in mode.invokes:
+                declaration = module.task_named(invoke.task)
+                tasks.append(self._build_task(declaration))
+        if len(mode_periods) > 1:
+            raise HTLSemanticError(
+                f"selected modes have different periods "
+                f"{sorted(mode_periods)}; the flattened analysis needs a "
+                f"single specification period"
+            )
+        spec = Specification(self.communicators.values(), tasks)
+        if mode_periods and spec.period() != next(iter(mode_periods)):
+            raise HTLSemanticError(
+                f"flattened specification period {spec.period()} differs "
+                f"from the mode period {next(iter(mode_periods))}; adjust "
+                f"write instances or the mode period"
+            )
+        return spec
+
+    def _build_task(self, declaration: TaskDecl) -> Task:
+        function = None
+        if declaration.function_name is not None:
+            function = self.functions.get(declaration.function_name)
+        return Task(
+            declaration.name,
+            inputs=declaration.inputs,
+            outputs=declaration.outputs,
+            model=declaration.model,
+            defaults=dict(declaration.defaults),
+            function=function,
+        )
+
+    def condition(self, name: str) -> Callable[..., bool]:
+        """Resolve a switch condition from the registry."""
+        try:
+            return self.conditions[name]
+        except KeyError:
+            raise HTLSemanticError(
+                f"switch condition {name!r} is not in the condition "
+                f"registry"
+            ) from None
+
+
+def compile_program(
+    source: "str | ProgramDecl",
+    functions: Mapping[str, Callable[..., Any]] | None = None,
+    conditions: Mapping[str, Callable[..., bool]] | None = None,
+) -> CompiledProgram:
+    """Parse (if needed), check, and bind an HTL program.
+
+    Raises :class:`~repro.errors.HTLSyntaxError` on parse errors and
+    :class:`~repro.errors.HTLSemanticError` on semantic violations.
+    Missing function bindings are allowed (analysis-only tasks);
+    missing condition bindings surface when the condition is resolved.
+    """
+    program = (
+        parse_program(source) if isinstance(source, str) else source
+    )
+    functions = dict(functions or {})
+    conditions = dict(conditions or {})
+
+    communicators: dict[str, Communicator] = {}
+    for decl in program.communicators:
+        if decl.name in communicators:
+            raise HTLSemanticError(
+                f"duplicate communicator {decl.name!r} (line {decl.line})"
+            )
+        init = _check_literal(
+            decl.init, decl.type_name, f"communicator {decl.name!r} init"
+        )
+        communicators[decl.name] = Communicator(
+            decl.name,
+            period=decl.period,
+            lrc=decl.lrc,
+            ctype=TYPE_MAP[decl.type_name],
+            init=init,
+        )
+
+    seen_names: set[str] = set(communicators)
+    seen_modules: set[str] = set()
+    for module in program.modules:
+        if module.name in seen_modules or module.name in seen_names:
+            raise HTLSemanticError(
+                f"duplicate name {module.name!r} (line {module.line})"
+            )
+        seen_modules.add(module.name)
+        if not module.modes:
+            raise HTLSemanticError(
+                f"module {module.name!r} has no modes (line {module.line})"
+            )
+        _check_module(module, communicators, seen_names)
+
+    return CompiledProgram(
+        program=program,
+        functions=functions,
+        conditions=conditions,
+        communicators=communicators,
+    )
+
+
+def _check_module(
+    module: ModuleDecl,
+    communicators: Mapping[str, Communicator],
+    seen_names: set[str],
+) -> None:
+    task_names: set[str] = set()
+    for task in module.tasks:
+        if task.name in seen_names or task.name in task_names:
+            raise HTLSemanticError(
+                f"duplicate name {task.name!r} (line {task.line})"
+            )
+        task_names.add(task.name)
+        for comm, _ in list(task.inputs) + list(task.outputs):
+            if comm not in communicators:
+                raise HTLSemanticError(
+                    f"task {task.name!r}: unknown communicator {comm!r} "
+                    f"(line {task.line})"
+                )
+        input_names = {comm for comm, _ in task.inputs}
+        for comm, value in task.defaults:
+            if comm not in input_names:
+                raise HTLSemanticError(
+                    f"task {task.name!r}: default for {comm!r} which is "
+                    f"not an input (line {task.line})"
+                )
+            _check_literal(
+                value,
+                _type_name(communicators[comm]),
+                f"task {task.name!r} default for {comm!r}",
+            )
+    seen_names.update(task_names)
+
+    mode_names: set[str] = set()
+    for mode in module.modes:
+        if mode.name in mode_names:
+            raise HTLSemanticError(
+                f"module {module.name!r}: duplicate mode {mode.name!r} "
+                f"(line {mode.line})"
+            )
+        mode_names.add(mode.name)
+        _check_mode(module, mode, communicators, task_names)
+
+    start = module.start_mode
+    if start is not None and start not in mode_names:
+        raise HTLSemanticError(
+            f"module {module.name!r}: start mode {start!r} does not exist"
+        )
+
+
+def _type_name(communicator: Communicator) -> str:
+    for name, ctype in TYPE_MAP.items():
+        if communicator.ctype is ctype:
+            return name
+    return "float"
+
+
+def _check_mode(
+    module: ModuleDecl,
+    mode: ModeDecl,
+    communicators: Mapping[str, Communicator],
+    task_names: set[str],
+) -> None:
+    if mode.period <= 0:
+        raise HTLSemanticError(
+            f"mode {mode.name!r}: period must be positive "
+            f"(line {mode.line})"
+        )
+    invoked: set[str] = set()
+    for invoke in mode.invokes:
+        if invoke.task not in task_names:
+            raise HTLSemanticError(
+                f"mode {mode.name!r}: invoked task {invoke.task!r} is not "
+                f"declared in module {module.name!r} (line {invoke.line})"
+            )
+        if invoke.task in invoked:
+            raise HTLSemanticError(
+                f"mode {mode.name!r}: task {invoke.task!r} invoked twice "
+                f"(line {invoke.line})"
+            )
+        invoked.add(invoke.task)
+        declaration = module.task_named(invoke.task)
+        accessed = {
+            comm
+            for comm, _ in list(declaration.inputs)
+            + list(declaration.outputs)
+        }
+        for comm in sorted(accessed):
+            if mode.period % communicators[comm].period:
+                raise HTLSemanticError(
+                    f"mode {mode.name!r}: period {mode.period} is not a "
+                    f"multiple of communicator {comm!r} period "
+                    f"{communicators[comm].period}"
+                )
+        write = min(
+            communicators[comm].period * instance
+            for comm, instance in declaration.outputs
+        )
+        if write > mode.period:
+            raise HTLSemanticError(
+                f"mode {mode.name!r}: task {invoke.task!r} writes at "
+                f"{write}, after the mode period {mode.period}"
+            )
+    for switch in mode.switches:
+        targets = {m.name for m in module.modes}
+        if switch.target not in targets:
+            raise HTLSemanticError(
+                f"mode {mode.name!r}: switch target {switch.target!r} "
+                f"does not exist (line {switch.line})"
+            )
+
+
+def switching_preserves_reliability(
+    compiled: CompiledProgram,
+    arch: Architecture,
+    implementation_for: Callable[[Specification], Implementation],
+) -> bool:
+    """Check that every mode selection yields the same LRC verdicts.
+
+    The paper applies the Section 3 analysis to programs with mode
+    switches only when switches target tasks with identical
+    reliability constraints; this helper verifies that premise by
+    enumerating all mode selections, mapping each flattened
+    specification through *implementation_for*, and comparing the
+    per-communicator satisfied/violated verdicts.
+    """
+    verdict_sets: list[tuple[tuple[str, bool], ...]] = []
+    for selection in compiled.mode_selections():
+        spec = compiled.specification(selection)
+        implementation = implementation_for(spec)
+        report = check_reliability(spec, arch, implementation)
+        verdict_sets.append(
+            tuple(
+                (v.communicator, v.satisfied)
+                for v in sorted(
+                    report.verdicts, key=lambda v: v.communicator
+                )
+            )
+        )
+    return all(v == verdict_sets[0] for v in verdict_sets[1:])

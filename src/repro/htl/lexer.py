@@ -1,0 +1,188 @@
+"""Tokenizer for the HTL subset.
+
+Token kinds: identifiers/keywords, integer and float literals, string
+literals (double-quoted, used for function and condition names), and
+single-character punctuation.  ``//`` line comments and ``/* */``
+block comments are skipped.  Every token carries its 1-based source
+position for error reporting.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import HTLSyntaxError
+
+KEYWORDS = frozenset(
+    {
+        "program",
+        "communicator",
+        "module",
+        "task",
+        "mode",
+        "invoke",
+        "switch",
+        "to",
+        "when",
+        "input",
+        "output",
+        "model",
+        "default",
+        "function",
+        "period",
+        "init",
+        "lrc",
+        "start",
+        "refines",
+        "true",
+        "false",
+        "float",
+        "int",
+        "bool",
+        "series",
+        "parallel",
+        "independent",
+    }
+)
+
+PUNCTUATION = frozenset("{}()[]:;,=-")
+
+
+class TokenKind(enum.Enum):
+    """Lexical category of a token."""
+
+    IDENT = "ident"
+    KEYWORD = "keyword"
+    NUMBER = "number"
+    STRING = "string"
+    PUNCT = "punct"
+    EOF = "eof"
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position."""
+
+    kind: TokenKind
+    text: str
+    line: int
+    column: int
+
+    def is_keyword(self, word: str) -> bool:
+        return self.kind is TokenKind.KEYWORD and self.text == word
+
+    def is_punct(self, char: str) -> bool:
+        return self.kind is TokenKind.PUNCT and self.text == char
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize HTL source text; raises :class:`HTLSyntaxError`."""
+    tokens: list[Token] = []
+    line, column = 1, 1
+    index = 0
+    length = len(source)
+
+    def advance(count: int = 1) -> None:
+        nonlocal index, line, column
+        for _ in range(count):
+            if index < length and source[index] == "\n":
+                line += 1
+                column = 1
+            else:
+                column += 1
+            index += 1
+
+    while index < length:
+        char = source[index]
+        if char in " \t\r\n":
+            advance()
+            continue
+        if source.startswith("//", index):
+            while index < length and source[index] != "\n":
+                advance()
+            continue
+        if source.startswith("/*", index):
+            start_line, start_column = line, column
+            advance(2)
+            while index < length and not source.startswith("*/", index):
+                advance()
+            if index >= length:
+                raise HTLSyntaxError(
+                    "unterminated block comment", start_line, start_column
+                )
+            advance(2)
+            continue
+        if char == '"':
+            start_line, start_column = line, column
+            advance()
+            begin = index
+            while index < length and source[index] != '"':
+                if source[index] == "\n":
+                    raise HTLSyntaxError(
+                        "unterminated string literal",
+                        start_line,
+                        start_column,
+                    )
+                advance()
+            if index >= length:
+                raise HTLSyntaxError(
+                    "unterminated string literal", start_line, start_column
+                )
+            text = source[begin:index]
+            advance()  # closing quote
+            tokens.append(
+                Token(TokenKind.STRING, text, start_line, start_column)
+            )
+            continue
+        if char.isdigit() or (
+            char == "." and index + 1 < length and source[index + 1].isdigit()
+        ):
+            start_line, start_column = line, column
+            begin = index
+            seen_dot = False
+            seen_exp = False
+            while index < length:
+                current = source[index]
+                if current.isdigit():
+                    advance()
+                elif current == "." and not seen_dot and not seen_exp:
+                    seen_dot = True
+                    advance()
+                elif current in "eE" and not seen_exp:
+                    seen_exp = True
+                    advance()
+                    if index < length and source[index] in "+-":
+                        advance()
+                else:
+                    break
+            tokens.append(
+                Token(
+                    TokenKind.NUMBER,
+                    source[begin:index],
+                    start_line,
+                    start_column,
+                )
+            )
+            continue
+        if char.isalpha() or char == "_":
+            start_line, start_column = line, column
+            begin = index
+            while index < length and (
+                source[index].isalnum() or source[index] == "_"
+            ):
+                advance()
+            text = source[begin:index]
+            kind = (
+                TokenKind.KEYWORD if text in KEYWORDS else TokenKind.IDENT
+            )
+            tokens.append(Token(kind, text, start_line, start_column))
+            continue
+        if char in PUNCTUATION:
+            tokens.append(Token(TokenKind.PUNCT, char, line, column))
+            advance()
+            continue
+        raise HTLSyntaxError(f"unexpected character {char!r}", line, column)
+
+    tokens.append(Token(TokenKind.EOF, "", line, column))
+    return tokens

@@ -1,0 +1,351 @@
+"""Recursive-descent parser for the HTL subset.
+
+Grammar (EBNF)::
+
+    program      := "program" IDENT [refinesclause]
+                    "{" (communicator | module)* "}"
+    refinesclause:= "refines" IDENT
+                    ["(" IDENT "=" IDENT ("," IDENT "=" IDENT)* ")"]
+    communicator := "communicator" IDENT ":" type "period" INT
+                    "init" literal ["lrc" NUMBER] ";"
+    type         := "float" | "int" | "bool"
+    module       := "module" IDENT ["start" IDENT]
+                    "{" (taskdecl | mode)* "}"
+    taskdecl     := "task" IDENT "input" portlist "output" portlist
+                    ["model" model] ["default" defaults]
+                    ["function" STRING] ";"
+    model        := "series" | "parallel" | "independent"
+    portlist     := "(" port ("," port)* ")"
+    port         := IDENT "[" INT "]"
+    defaults     := "(" IDENT "=" literal ("," IDENT "=" literal)* ")"
+    mode         := "mode" IDENT "period" INT "{" stmt* "}"
+    stmt         := "invoke" IDENT ";"
+                  | "switch" "to" IDENT "when" STRING ";"
+    literal      := ["-"] NUMBER | "true" | "false"
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import HTLSyntaxError
+from repro.htl.ast import (
+    CommunicatorDecl,
+    InvokeStmt,
+    ModeDecl,
+    ModuleDecl,
+    ProgramDecl,
+    SwitchStmt,
+    TaskDecl,
+)
+from repro.htl.lexer import Token, TokenKind, tokenize
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]):
+        self.tokens = tokens
+        self.position = 0
+
+    # -- token stream helpers ------------------------------------------
+
+    def peek(self) -> Token:
+        return self.tokens[self.position]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.position]
+        if token.kind is not TokenKind.EOF:
+            self.position += 1
+        return token
+
+    def error(self, message: str, token: Token | None = None) -> HTLSyntaxError:
+        token = token or self.peek()
+        return HTLSyntaxError(message, token.line, token.column)
+
+    def expect_keyword(self, word: str) -> Token:
+        token = self.peek()
+        if not token.is_keyword(word):
+            raise self.error(f"expected {word!r}, found {token.text!r}")
+        return self.advance()
+
+    def expect_punct(self, char: str) -> Token:
+        token = self.peek()
+        if not token.is_punct(char):
+            raise self.error(f"expected {char!r}, found {token.text!r}")
+        return self.advance()
+
+    def expect_ident(self, what: str) -> Token:
+        token = self.peek()
+        if token.kind is not TokenKind.IDENT:
+            raise self.error(f"expected {what}, found {token.text!r}")
+        return self.advance()
+
+    def expect_string(self, what: str) -> Token:
+        token = self.peek()
+        if token.kind is not TokenKind.STRING:
+            raise self.error(f'expected "{what}", found {token.text!r}')
+        return self.advance()
+
+    def expect_int(self, what: str) -> int:
+        token = self.peek()
+        if token.kind is not TokenKind.NUMBER or any(
+            c in token.text for c in ".eE"
+        ):
+            raise self.error(f"expected integer {what}, found {token.text!r}")
+        self.advance()
+        return int(token.text)
+
+    def expect_number(self, what: str) -> float:
+        token = self.peek()
+        if token.kind is not TokenKind.NUMBER:
+            raise self.error(f"expected number {what}, found {token.text!r}")
+        self.advance()
+        return float(token.text)
+
+    def parse_literal(self) -> Any:
+        token = self.peek()
+        if token.is_keyword("true"):
+            self.advance()
+            return True
+        if token.is_keyword("false"):
+            self.advance()
+            return False
+        negative = False
+        if token.is_punct("-"):
+            self.advance()
+            negative = True
+            token = self.peek()
+        if token.kind is not TokenKind.NUMBER:
+            raise self.error(f"expected literal, found {token.text!r}")
+        self.advance()
+        if any(c in token.text for c in ".eE"):
+            value: Any = float(token.text)
+        else:
+            value = int(token.text)
+        return -value if negative else value
+
+    # -- grammar productions -------------------------------------------
+
+    def parse_program(self) -> ProgramDecl:
+        start = self.expect_keyword("program")
+        name = self.expect_ident("program name").text
+        parent = None
+        kappa: list[tuple[str, str]] = []
+        if self.peek().is_keyword("refines"):
+            self.advance()
+            parent = self.expect_ident("parent program name").text
+            if self.peek().is_punct("("):
+                self.advance()
+                while True:
+                    fine = self.expect_ident("refining task name").text
+                    self.expect_punct("=")
+                    coarse = self.expect_ident("abstract task name").text
+                    kappa.append((fine, coarse))
+                    if self.peek().is_punct(","):
+                        self.advance()
+                        continue
+                    break
+                self.expect_punct(")")
+        self.expect_punct("{")
+        communicators: list[CommunicatorDecl] = []
+        modules: list[ModuleDecl] = []
+        while not self.peek().is_punct("}"):
+            token = self.peek()
+            if token.is_keyword("communicator"):
+                communicators.append(self.parse_communicator())
+            elif token.is_keyword("module"):
+                modules.append(self.parse_module())
+            else:
+                raise self.error(
+                    f"expected 'communicator' or 'module', found "
+                    f"{token.text!r}"
+                )
+        self.expect_punct("}")
+        end = self.peek()
+        if end.kind is not TokenKind.EOF:
+            raise self.error(
+                f"trailing input after program body: {end.text!r}", end
+            )
+        return ProgramDecl(
+            name=name,
+            communicators=tuple(communicators),
+            modules=tuple(modules),
+            line=start.line,
+            parent=parent,
+            kappa=tuple(kappa),
+        )
+
+    def parse_communicator(self) -> CommunicatorDecl:
+        start = self.expect_keyword("communicator")
+        name = self.expect_ident("communicator name").text
+        self.expect_punct(":")
+        type_token = self.peek()
+        if not (
+            type_token.is_keyword("float")
+            or type_token.is_keyword("int")
+            or type_token.is_keyword("bool")
+        ):
+            raise self.error(
+                f"expected a type (float/int/bool), found "
+                f"{type_token.text!r}"
+            )
+        self.advance()
+        self.expect_keyword("period")
+        period = self.expect_int("period")
+        self.expect_keyword("init")
+        init = self.parse_literal()
+        lrc = 1.0
+        if self.peek().is_keyword("lrc"):
+            self.advance()
+            lrc = self.expect_number("LRC")
+        self.expect_punct(";")
+        return CommunicatorDecl(
+            name=name,
+            type_name=type_token.text,
+            period=period,
+            init=init,
+            lrc=lrc,
+            line=start.line,
+        )
+
+    def parse_module(self) -> ModuleDecl:
+        start = self.expect_keyword("module")
+        name = self.expect_ident("module name").text
+        start_mode = None
+        if self.peek().is_keyword("start"):
+            self.advance()
+            start_mode = self.expect_ident("start mode name").text
+        self.expect_punct("{")
+        tasks: list[TaskDecl] = []
+        modes: list[ModeDecl] = []
+        while not self.peek().is_punct("}"):
+            token = self.peek()
+            if token.is_keyword("task"):
+                tasks.append(self.parse_task())
+            elif token.is_keyword("mode"):
+                modes.append(self.parse_mode())
+            else:
+                raise self.error(
+                    f"expected 'task' or 'mode', found {token.text!r}"
+                )
+        self.expect_punct("}")
+        return ModuleDecl(
+            name=name,
+            start_mode=start_mode,
+            tasks=tuple(tasks),
+            modes=tuple(modes),
+            line=start.line,
+        )
+
+    def parse_task(self) -> TaskDecl:
+        start = self.expect_keyword("task")
+        name = self.expect_ident("task name").text
+        self.expect_keyword("input")
+        inputs = self.parse_portlist()
+        self.expect_keyword("output")
+        outputs = self.parse_portlist()
+        model = "series"
+        if self.peek().is_keyword("model"):
+            self.advance()
+            token = self.peek()
+            if not (
+                token.is_keyword("series")
+                or token.is_keyword("parallel")
+                or token.is_keyword("independent")
+            ):
+                raise self.error(
+                    f"expected a failure model, found {token.text!r}"
+                )
+            self.advance()
+            model = token.text
+        defaults: list[tuple[str, Any]] = []
+        if self.peek().is_keyword("default"):
+            self.advance()
+            self.expect_punct("(")
+            while True:
+                comm = self.expect_ident("communicator name").text
+                self.expect_punct("=")
+                defaults.append((comm, self.parse_literal()))
+                if self.peek().is_punct(","):
+                    self.advance()
+                    continue
+                break
+            self.expect_punct(")")
+        function_name = None
+        if self.peek().is_keyword("function"):
+            self.advance()
+            function_name = self.expect_string("function name").text
+        self.expect_punct(";")
+        return TaskDecl(
+            name=name,
+            inputs=inputs,
+            outputs=outputs,
+            model=model,
+            defaults=tuple(defaults),
+            function_name=function_name,
+            line=start.line,
+        )
+
+    def parse_portlist(self) -> tuple[tuple[str, int], ...]:
+        self.expect_punct("(")
+        ports: list[tuple[str, int]] = []
+        while True:
+            name = self.expect_ident("communicator name").text
+            self.expect_punct("[")
+            instance = self.expect_int("instance")
+            self.expect_punct("]")
+            ports.append((name, instance))
+            if self.peek().is_punct(","):
+                self.advance()
+                continue
+            break
+        self.expect_punct(")")
+        return tuple(ports)
+
+    def parse_mode(self) -> ModeDecl:
+        start = self.expect_keyword("mode")
+        name = self.expect_ident("mode name").text
+        self.expect_keyword("period")
+        period = self.expect_int("mode period")
+        self.expect_punct("{")
+        invokes: list[InvokeStmt] = []
+        switches: list[SwitchStmt] = []
+        while not self.peek().is_punct("}"):
+            token = self.peek()
+            if token.is_keyword("invoke"):
+                self.advance()
+                task = self.expect_ident("task name")
+                self.expect_punct(";")
+                invokes.append(InvokeStmt(task.text, line=task.line))
+            elif token.is_keyword("switch"):
+                self.advance()
+                self.expect_keyword("to")
+                target = self.expect_ident("mode name")
+                self.expect_keyword("when")
+                condition = self.expect_string("condition name")
+                self.expect_punct(";")
+                switches.append(
+                    SwitchStmt(
+                        target.text, condition.text, line=target.line
+                    )
+                )
+            else:
+                raise self.error(
+                    f"expected 'invoke' or 'switch', found {token.text!r}"
+                )
+        self.expect_punct("}")
+        return ModeDecl(
+            name=name,
+            period=period,
+            invokes=tuple(invokes),
+            switches=tuple(switches),
+            line=start.line,
+        )
+
+
+def parse_program(source: str) -> ProgramDecl:
+    """Parse HTL source text into a :class:`ProgramDecl`.
+
+    Raises :class:`~repro.errors.HTLSyntaxError` with the source
+    position on the first syntax error.
+    """
+    return _Parser(tokenize(source)).parse_program()

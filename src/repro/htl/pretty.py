@@ -1,0 +1,126 @@
+"""Pretty-printer for HTL abstract syntax trees.
+
+Renders a :class:`~repro.htl.ast.ProgramDecl` back to concrete HTL
+syntax.  The printer is the inverse of the parser up to layout:
+``parse_program(render_program(ast))`` reproduces the same AST (modulo
+source line numbers), which the test suite asserts on every program it
+touches.  Used by the CLI to normalise hand-written programs and by
+tooling that manipulates ASTs (e.g. LRC rewriting).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.htl.ast import (
+    CommunicatorDecl,
+    ModeDecl,
+    ModuleDecl,
+    ProgramDecl,
+    TaskDecl,
+)
+
+_INDENT = "  "
+
+
+def _literal(value: Any) -> str:
+    if value is True:
+        return "true"
+    if value is False:
+        return "false"
+    return repr(value)
+
+
+def _ports(ports: tuple[tuple[str, int], ...]) -> str:
+    return "(" + ", ".join(f"{name}[{i}]" for name, i in ports) + ")"
+
+
+def render_communicator(decl: CommunicatorDecl) -> str:
+    """Render one communicator declaration."""
+    parts = [
+        f"communicator {decl.name} : {decl.type_name}",
+        f"period {decl.period}",
+        f"init {_literal(decl.init)}",
+    ]
+    if decl.lrc != 1.0:
+        parts.append(f"lrc {decl.lrc!r}")
+    return " ".join(parts) + " ;"
+
+
+def render_task(decl: TaskDecl, indent: int = 0) -> str:
+    """Render one task declaration."""
+    pad = _INDENT * indent
+    lines = [
+        f"{pad}task {decl.name}",
+        f"{pad}{_INDENT}input {_ports(decl.inputs)}",
+        f"{pad}{_INDENT}output {_ports(decl.outputs)}",
+    ]
+    if decl.model != "series":
+        lines.append(f"{pad}{_INDENT}model {decl.model}")
+    if decl.defaults:
+        rendered = ", ".join(
+            f"{name} = {_literal(value)}"
+            for name, value in decl.defaults
+        )
+        lines.append(f"{pad}{_INDENT}default ({rendered})")
+    if decl.function_name is not None:
+        lines.append(f'{pad}{_INDENT}function "{decl.function_name}"')
+    return "\n".join(lines) + " ;"
+
+
+def render_mode(decl: ModeDecl, indent: int = 0) -> str:
+    """Render one mode declaration."""
+    pad = _INDENT * indent
+    lines = [f"{pad}mode {decl.name} period {decl.period} {{"]
+    for invoke in decl.invokes:
+        lines.append(f"{pad}{_INDENT}invoke {invoke.task} ;")
+    for switch in decl.switches:
+        lines.append(
+            f"{pad}{_INDENT}switch to {switch.target} "
+            f'when "{switch.condition_name}" ;'
+        )
+    lines.append(f"{pad}}}")
+    return "\n".join(lines)
+
+
+def render_module(decl: ModuleDecl, indent: int = 0) -> str:
+    """Render one module declaration."""
+    pad = _INDENT * indent
+    header = f"{pad}module {decl.name}"
+    if decl.start_mode is not None:
+        header += f" start {decl.start_mode}"
+    lines = [header + " {"]
+    for task in decl.tasks:
+        lines.append(render_task(task, indent + 1))
+    for mode in decl.modes:
+        lines.append(render_mode(mode, indent + 1))
+    lines.append(f"{pad}}}")
+    return "\n".join(lines)
+
+
+def render_program(program: ProgramDecl) -> str:
+    """Render a whole program; inverse of the parser up to layout."""
+    header = f"program {program.name}"
+    if program.parent is not None:
+        header += f" refines {program.parent}"
+        if program.kappa:
+            mapping = ", ".join(
+                f"{fine} = {coarse}" for fine, coarse in program.kappa
+            )
+            header += f" ({mapping})"
+    lines = [header + " {"]
+    for communicator in program.communicators:
+        lines.append(_INDENT + render_communicator(communicator))
+    for module in program.modules:
+        lines.append(render_module(module, 1))
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def normalise(asts_or_source: "ProgramDecl | str") -> str:
+    """Return the canonical rendering of a program or source text."""
+    from repro.htl.parser import parse_program
+
+    if isinstance(asts_or_source, str):
+        asts_or_source = parse_program(asts_or_source)
+    return render_program(asts_or_source)

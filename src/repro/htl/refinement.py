@@ -1,0 +1,158 @@
+"""Program-level refinement checking for HTL.
+
+HTL is a *hierarchical* language: a program can be refined by a more
+detailed program whose tasks map one-to-one into the abstract one.
+This module lifts the Section 3 refinement relation from flattened
+specifications to compiled HTL programs: flatten both (for chosen mode
+selections) and run the local constraint checks, so an HTL design flow
+can certify each refinement step without re-running the global joint
+analysis (see :mod:`repro.refinement.incremental`).
+
+A mode-switching subtlety the paper notes: switches must target tasks
+with identical reliability constraints.  For program refinement we
+correspondingly check the chosen selections; use
+:func:`repro.htl.compiler.switching_preserves_reliability` to cover
+all selections.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.arch.architecture import Architecture
+from repro.errors import RefinementError
+from repro.htl.compiler import CompiledProgram
+from repro.mapping.implementation import Implementation
+from repro.refinement.incremental import IncrementalResult, incremental_check
+from repro.refinement.relation import RefinementReport, check_refinement
+
+
+def infer_kappa(
+    fine: CompiledProgram,
+    coarse: CompiledProgram,
+    fine_selection: Mapping[str, str] | None = None,
+    coarse_selection: Mapping[str, str] | None = None,
+) -> dict[str, str]:
+    """Infer the task mapping by matched names and name prefixes.
+
+    A refining task maps to the abstract task of the same name, or to
+    the unique abstract task whose name is a prefix of it (so
+    ``control_v2`` refines ``control``).  Raises
+    :class:`RefinementError` when a refining task matches no or
+    several abstract tasks.
+    """
+    fine_tasks = set(fine.specification(fine_selection).tasks)
+    coarse_tasks = set(coarse.specification(coarse_selection).tasks)
+    kappa: dict[str, str] = {}
+    for name in sorted(fine_tasks):
+        if name in coarse_tasks:
+            kappa[name] = name
+            continue
+        prefixes = sorted(
+            candidate
+            for candidate in coarse_tasks
+            if name.startswith(candidate)
+        )
+        if not prefixes:
+            raise RefinementError(
+                f"cannot infer a target for refining task {name!r}"
+            )
+        if len(prefixes) > 1:
+            raise RefinementError(
+                f"refining task {name!r} matches several abstract "
+                f"tasks: {prefixes}"
+            )
+        kappa[name] = prefixes[0]
+    return kappa
+
+
+def check_program_refinement(
+    fine: tuple[CompiledProgram, Architecture, Implementation],
+    coarse: tuple[CompiledProgram, Architecture, Implementation],
+    kappa: Mapping[str, str] | None = None,
+    fine_selection: Mapping[str, str] | None = None,
+    coarse_selection: Mapping[str, str] | None = None,
+) -> RefinementReport:
+    """Check that one compiled HTL program refines another.
+
+    Both programs are flattened for the given mode selections (start
+    modes by default) and the local refinement constraints of
+    Section 3 run on the results.  *kappa* defaults to
+    :func:`infer_kappa`.
+    """
+    fine_program, fine_arch, fine_impl = fine
+    coarse_program, coarse_arch, coarse_impl = coarse
+    if kappa is None:
+        kappa = resolve_kappa(
+            fine_program, coarse_program, fine_selection,
+            coarse_selection,
+        )
+    fine_spec = fine_program.specification(fine_selection)
+    coarse_spec = coarse_program.specification(coarse_selection)
+    return check_refinement(
+        (fine_spec, fine_arch, fine_impl),
+        (coarse_spec, coarse_arch, coarse_impl),
+        kappa,
+    )
+
+
+def resolve_kappa(
+    fine: CompiledProgram,
+    coarse: CompiledProgram,
+    fine_selection: Mapping[str, str] | None = None,
+    coarse_selection: Mapping[str, str] | None = None,
+) -> dict[str, str]:
+    """Resolve the task mapping, honouring a declared ``refines`` clause.
+
+    When the refining program declares ``refines Parent (a = b, ...)``,
+    the parent name must match *coarse* and the declared pairs are
+    used (restricted to the tasks of the selected modes); an empty
+    declared mapping, or no clause at all, falls back to
+    :func:`infer_kappa`.
+    """
+    declaration = fine.program
+    if declaration.parent is not None:
+        if declaration.parent != coarse.program.name:
+            raise RefinementError(
+                f"program {declaration.name!r} declares it refines "
+                f"{declaration.parent!r}, not {coarse.program.name!r}"
+            )
+        if declaration.kappa:
+            fine_tasks = set(fine.specification(fine_selection).tasks)
+            return {
+                fine_name: coarse_name
+                for fine_name, coarse_name in declaration.kappa
+                if fine_name in fine_tasks
+            }
+    return infer_kappa(fine, coarse, fine_selection, coarse_selection)
+
+
+def incremental_program_check(
+    fine: tuple[CompiledProgram, Architecture, Implementation],
+    coarse: tuple[CompiledProgram, Architecture, Implementation],
+    kappa: Mapping[str, str] | None = None,
+    coarse_valid: bool = True,
+    fine_selection: Mapping[str, str] | None = None,
+    coarse_selection: Mapping[str, str] | None = None,
+) -> IncrementalResult:
+    """Certify a refining HTL program incrementally (Proposition 2).
+
+    Like :func:`repro.refinement.incremental_check` but taking
+    compiled programs; falls back to the full joint analysis of the
+    refining program when a refinement constraint fails.
+    """
+    fine_program, fine_arch, fine_impl = fine
+    coarse_program, coarse_arch, coarse_impl = coarse
+    if kappa is None:
+        kappa = resolve_kappa(
+            fine_program, coarse_program, fine_selection,
+            coarse_selection,
+        )
+    fine_spec = fine_program.specification(fine_selection)
+    coarse_spec = coarse_program.specification(coarse_selection)
+    return incremental_check(
+        (fine_spec, fine_arch, fine_impl),
+        (coarse_spec, coarse_arch, coarse_impl),
+        kappa,
+        coarse_valid=coarse_valid,
+    )

@@ -1,0 +1,253 @@
+"""JSON (de)serialisation of specifications, architectures, mappings.
+
+The analysis side of the design flow is data-driven: communicator
+declarations, reliability maps, WCET/WCTT tables, and replication
+mappings are plain values.  This module defines a stable JSON format
+for them so the command-line tool (:mod:`repro.cli`) and external
+design flows can exchange artifacts.
+
+Task *functions* are code, not data: a serialised task stores a
+function *name*, resolved against a registry on load (exactly like the
+HTL compiler's ``function "name"`` binding).  Specifications loaded
+without a registry are analysis-only.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Callable, Mapping
+
+from repro.arch.architecture import Architecture, ExecutionMetrics
+from repro.arch.host import Host
+from repro.arch.network import BroadcastNetwork
+from repro.arch.sensor import Sensor
+from repro.errors import ReproError
+from repro.mapping.implementation import Implementation
+from repro.model.communicator import Communicator
+from repro.model.specification import Specification
+from repro.model.task import Task
+
+_TYPE_NAMES = {"float": float, "int": int, "bool": bool}
+_TYPE_LABELS = {float: "float", int: "int", bool: "bool"}
+
+
+class SerializationError(ReproError):
+    """A JSON document does not match the expected schema."""
+
+
+def _require(document: Mapping[str, Any], key: str, context: str) -> Any:
+    if key not in document:
+        raise SerializationError(f"{context}: missing key {key!r}")
+    return document[key]
+
+
+# ---------------------------------------------------------------------------
+# Specification
+# ---------------------------------------------------------------------------
+
+
+def specification_to_dict(spec: Specification) -> dict[str, Any]:
+    """Render a specification as a JSON-compatible dict.
+
+    Task functions are stored by their ``__name__`` when present.
+    """
+    return {
+        "communicators": [
+            {
+                "name": comm.name,
+                "period": comm.period,
+                "lrc": comm.lrc,
+                "type": _TYPE_LABELS.get(comm.ctype, "float"),
+                "init": comm.init,
+            }
+            for comm in spec.communicators.values()
+        ],
+        "tasks": [
+            {
+                "name": task.name,
+                "inputs": [
+                    [port.communicator, port.instance]
+                    for port in task.inputs
+                ],
+                "outputs": [
+                    [port.communicator, port.instance]
+                    for port in task.outputs
+                ],
+                "model": task.model.name.lower(),
+                "defaults": dict(task.defaults),
+                "function": (
+                    getattr(task.function, "__name__", None)
+                    if task.function is not None
+                    else None
+                ),
+            }
+            for task in spec.tasks.values()
+        ],
+    }
+
+
+def specification_from_dict(
+    document: Mapping[str, Any],
+    functions: Mapping[str, Callable[..., Any]] | None = None,
+) -> Specification:
+    """Build a specification from its dict form.
+
+    *functions* resolves task function names; unresolved names yield
+    analysis-only tasks.
+    """
+    functions = functions or {}
+    communicators = []
+    for entry in _require(document, "communicators", "specification"):
+        communicators.append(
+            Communicator(
+                _require(entry, "name", "communicator"),
+                period=_require(entry, "period", "communicator"),
+                lrc=entry.get("lrc", 1.0),
+                ctype=_TYPE_NAMES.get(entry.get("type", "float"), float),
+                init=entry.get("init", 0.0),
+            )
+        )
+    tasks = []
+    for entry in _require(document, "tasks", "specification"):
+        function_name = entry.get("function")
+        tasks.append(
+            Task(
+                _require(entry, "name", "task"),
+                inputs=[tuple(p) for p in _require(entry, "inputs", "task")],
+                outputs=[
+                    tuple(p) for p in _require(entry, "outputs", "task")
+                ],
+                model=entry.get("model", "series"),
+                defaults=entry.get("defaults", {}),
+                function=(
+                    functions.get(function_name)
+                    if function_name is not None
+                    else None
+                ),
+            )
+        )
+    return Specification(communicators, tasks)
+
+
+# ---------------------------------------------------------------------------
+# Architecture
+# ---------------------------------------------------------------------------
+
+
+def architecture_to_dict(arch: Architecture) -> dict[str, Any]:
+    """Render an architecture as a JSON-compatible dict."""
+    metrics = arch.metrics
+    return {
+        "hosts": [
+            {"name": host.name, "reliability": host.reliability}
+            for host in arch.hosts.values()
+        ],
+        "sensors": [
+            {"name": sensor.name, "reliability": sensor.reliability}
+            for sensor in arch.sensors.values()
+        ],
+        "network": {
+            "reliability": arch.network.reliability,
+            "bandwidth": arch.network.bandwidth,
+        },
+        "metrics": {
+            "default_wcet": metrics.default_wcet,
+            "default_wctt": metrics.default_wctt,
+            "wcet": [
+                {"task": task, "host": host, "value": value}
+                for (task, host), value in sorted(metrics.wcet.items())
+            ],
+            "wctt": [
+                {"task": task, "host": host, "value": value}
+                for (task, host), value in sorted(metrics.wctt.items())
+            ],
+        },
+    }
+
+
+def architecture_from_dict(document: Mapping[str, Any]) -> Architecture:
+    """Build an architecture from its dict form."""
+    hosts = [
+        Host(
+            _require(entry, "name", "host"),
+            entry.get("reliability", 1.0),
+        )
+        for entry in _require(document, "hosts", "architecture")
+    ]
+    sensors = [
+        Sensor(
+            _require(entry, "name", "sensor"),
+            entry.get("reliability", 1.0),
+        )
+        for entry in document.get("sensors", [])
+    ]
+    network_doc = document.get("network", {})
+    network = BroadcastNetwork(
+        reliability=network_doc.get("reliability", 1.0),
+        bandwidth=network_doc.get("bandwidth", 1),
+    )
+    metrics_doc = document.get("metrics", {})
+    metrics = ExecutionMetrics(
+        wcet={
+            (entry["task"], entry["host"]): entry["value"]
+            for entry in metrics_doc.get("wcet", [])
+        },
+        wctt={
+            (entry["task"], entry["host"]): entry["value"]
+            for entry in metrics_doc.get("wctt", [])
+        },
+        default_wcet=metrics_doc.get("default_wcet"),
+        default_wctt=metrics_doc.get("default_wctt"),
+    )
+    return Architecture(
+        hosts=hosts, sensors=sensors, metrics=metrics, network=network
+    )
+
+
+# ---------------------------------------------------------------------------
+# Implementation
+# ---------------------------------------------------------------------------
+
+
+def implementation_to_dict(implementation: Implementation) -> dict[str, Any]:
+    """Render a replication mapping as a JSON-compatible dict."""
+    return {
+        "assignment": {
+            task: sorted(hosts)
+            for task, hosts in sorted(implementation.assignment.items())
+        },
+        "sensor_binding": {
+            comm: sorted(sensors)
+            for comm, sensors in sorted(
+                implementation.sensor_binding.items()
+            )
+        },
+    }
+
+
+def implementation_from_dict(
+    document: Mapping[str, Any],
+) -> Implementation:
+    """Build a replication mapping from its dict form."""
+    return Implementation(
+        _require(document, "assignment", "implementation"),
+        document.get("sensor_binding", {}),
+    )
+
+
+# ---------------------------------------------------------------------------
+# File helpers
+# ---------------------------------------------------------------------------
+
+
+def load_json(path: str) -> Any:
+    """Load a JSON document from *path*."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def dump_json(document: Any, path: str) -> None:
+    """Write *document* to *path* as indented JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")

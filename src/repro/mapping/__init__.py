@@ -1,0 +1,14 @@
+"""Implementations: replication mappings from tasks to host sets.
+
+An implementation ``I : tset -> 2^hset \\ {}`` assigns each task to a
+non-empty set of hosts; each host in ``I(t)`` runs a *task replication*
+``(t, h)``.  Input communicators are bound to one or more sensors
+(sensor replication).  :class:`TimeDependentImplementation` generalises
+this to a periodic sequence of mappings, as in the paper's "general
+implementation" example.
+"""
+
+from repro.mapping.implementation import Implementation
+from repro.mapping.timedep import TimeDependentImplementation
+
+__all__ = ["Implementation", "TimeDependentImplementation"]

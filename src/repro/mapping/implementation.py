@@ -1,0 +1,152 @@
+"""Static replication mappings.
+
+The implementation function ``I`` of the paper maps every task to a
+non-empty set of hosts.  Every communicator is replicated on every
+host; when a task replication completes it broadcasts its output, and
+each host votes over the received replica values when the communicator
+update is due.
+
+Sensor bindings extend the paper's input-communicator treatment to
+*sensor replication* (Scenario 2 of the evaluation): an input
+communicator may be updated by several sensors, and its value is
+reliable when at least one of them delivered.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping
+
+from repro.arch.architecture import Architecture
+from repro.errors import MappingError
+from repro.model.specification import Specification
+
+
+@dataclass(frozen=True)
+class Implementation:
+    """A static mapping of tasks to host sets and inputs to sensor sets.
+
+    Parameters
+    ----------
+    assignment:
+        Map from task name to the set of hosts executing a replication
+        of the task.  Values may be given as any iterable of host
+        names; they are frozen on construction.
+    sensor_binding:
+        Map from input-communicator name to the set of sensors that
+        update it.
+    """
+
+    assignment: Mapping[str, frozenset[str]]
+    sensor_binding: Mapping[str, frozenset[str]] = field(default_factory=dict)
+
+    def __init__(
+        self,
+        assignment: Mapping[str, Iterable[str]],
+        sensor_binding: Mapping[str, Iterable[str]] | None = None,
+    ) -> None:
+        frozen_assignment = {
+            task: frozenset(hosts) for task, hosts in assignment.items()
+        }
+        frozen_binding = {
+            comm: frozenset(sensors)
+            for comm, sensors in (sensor_binding or {}).items()
+        }
+        for task, hosts in frozen_assignment.items():
+            if not hosts:
+                raise MappingError(
+                    f"task {task!r} is mapped to an empty host set"
+                )
+        for comm, sensors in frozen_binding.items():
+            if not sensors:
+                raise MappingError(
+                    f"input communicator {comm!r} is bound to an empty "
+                    f"sensor set"
+                )
+        object.__setattr__(self, "assignment", frozen_assignment)
+        object.__setattr__(self, "sensor_binding", frozen_binding)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def hosts_of(self, task: str) -> frozenset[str]:
+        """Return ``I(t)``, the hosts executing replications of *task*."""
+        try:
+            return self.assignment[task]
+        except KeyError:
+            raise MappingError(f"task {task!r} is not mapped") from None
+
+    def sensors_of(self, communicator: str) -> frozenset[str]:
+        """Return the sensors bound to the named input communicator."""
+        try:
+            return self.sensor_binding[communicator]
+        except KeyError:
+            raise MappingError(
+                f"input communicator {communicator!r} has no sensor binding"
+            ) from None
+
+    def replications(self) -> Iterator[tuple[str, str]]:
+        """Yield every task replication ``(t, h)`` in sorted order."""
+        for task in sorted(self.assignment):
+            for host in sorted(self.assignment[task]):
+                yield task, host
+
+    def replication_count(self) -> int:
+        """Return the total number of task replications (mapping cost)."""
+        return sum(len(hosts) for hosts in self.assignment.values())
+
+    def tasks_on(self, host: str) -> list[str]:
+        """Return the tasks with a replication on *host*, sorted."""
+        return sorted(
+            task for task, hosts in self.assignment.items() if host in hosts
+        )
+
+    # ------------------------------------------------------------------
+    # Validation and derivation
+    # ------------------------------------------------------------------
+
+    def validate(self, spec: Specification, arch: Architecture) -> None:
+        """Check that this mapping is well-formed for *spec* on *arch*.
+
+        Every task of the specification must be mapped to known hosts;
+        every sensor-updated (input) communicator must be bound to
+        known sensors.  Raises :class:`MappingError` on violation.
+        """
+        for task in spec.tasks:
+            hosts = self.hosts_of(task)
+            unknown = hosts - set(arch.hosts)
+            if unknown:
+                raise MappingError(
+                    f"task {task!r} mapped to unknown hosts {sorted(unknown)}"
+                )
+        for comm in sorted(spec.input_communicators()):
+            sensors = self.sensors_of(comm)
+            unknown = sensors - set(arch.sensors)
+            if unknown:
+                raise MappingError(
+                    f"input communicator {comm!r} bound to unknown sensors "
+                    f"{sorted(unknown)}"
+                )
+        extra = set(self.assignment) - set(spec.tasks)
+        if extra:
+            raise MappingError(
+                f"mapping mentions tasks not in the specification: "
+                f"{sorted(extra)}"
+            )
+
+    def with_assignment(
+        self, task: str, hosts: Iterable[str]
+    ) -> "Implementation":
+        """Return a copy with *task* remapped to *hosts*."""
+        assignment = dict(self.assignment)
+        assignment[task] = frozenset(hosts)
+        return Implementation(assignment, self.sensor_binding)
+
+    def with_sensor_binding(
+        self, communicator: str, sensors: Iterable[str]
+    ) -> "Implementation":
+        """Return a copy with *communicator* rebound to *sensors*."""
+        binding = dict(self.sensor_binding)
+        binding[communicator] = frozenset(sensors)
+        return Implementation(self.assignment, binding)

@@ -1,0 +1,65 @@
+"""Time-dependent (periodic) implementations.
+
+The paper's "general implementation" example: two tasks with LRC 0.9
+and two hosts of reliability 0.95 and 0.85.  No static mapping of one
+task per host is reliable, but alternating the assignment every
+iteration achieves a long-run average of ``(0.95 + 0.85) / 2 = 0.9``
+for both communicators.  The definition of reliability (a limit
+average) admits such implementations; this module models them as a
+finite periodic sequence of static mappings, one per task iteration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.arch.architecture import Architecture
+from repro.errors import MappingError
+from repro.mapping.implementation import Implementation
+from repro.model.specification import Specification
+
+
+@dataclass(frozen=True)
+class TimeDependentImplementation:
+    """A periodic sequence of static mappings.
+
+    Iteration ``k`` of the task set (the window
+    ``[k * pi_S, (k+1) * pi_S)``) executes under phase
+    ``phases[k mod len(phases)]``.
+    """
+
+    phases: tuple[Implementation, ...]
+
+    def __init__(self, phases: Sequence[Implementation]) -> None:
+        if not phases:
+            raise MappingError(
+                "a time-dependent implementation needs at least one phase"
+            )
+        object.__setattr__(self, "phases", tuple(phases))
+
+    def phase_count(self) -> int:
+        """Return the length of the mapping period (number of phases)."""
+        return len(self.phases)
+
+    def phase_for_iteration(self, iteration: int) -> Implementation:
+        """Return the static mapping governing task iteration *iteration*."""
+        if iteration < 0:
+            raise MappingError(f"iteration must be >= 0, got {iteration}")
+        return self.phases[iteration % len(self.phases)]
+
+    def validate(self, spec: Specification, arch: Architecture) -> None:
+        """Validate every phase against the specification and architecture."""
+        for phase in self.phases:
+            phase.validate(spec, arch)
+
+    def is_static(self) -> bool:
+        """Return ``True`` iff all phases are identical."""
+        return all(phase == self.phases[0] for phase in self.phases[1:])
+
+    @classmethod
+    def static(cls, implementation: Implementation) -> (
+        "TimeDependentImplementation"
+    ):
+        """Wrap a static implementation as a single-phase sequence."""
+        return cls((implementation,))

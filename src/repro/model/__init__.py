@@ -1,0 +1,36 @@
+"""Specification model: communicators, tasks, and their composition.
+
+This package implements Section 2 ("Background") of the paper: typed
+periodic communicators with logical reliability constraints (LRCs),
+atomic tasks with input failure models, the flattened specification
+``S = (tset, cset)`` with its structural restrictions, and the
+specification graph used to decide memory-freedom.
+"""
+
+from repro.model.values import BOTTOM, Bottom, is_reliable_value
+from repro.model.communicator import Communicator
+from repro.model.task import FailureModel, PortRef, Task
+from repro.model.specification import Specification
+from repro.model.graph import (
+    SpecificationGraph,
+    communicator_dependency_graph,
+    find_communicator_cycles,
+    is_memory_free,
+    unsafe_cycles,
+)
+
+__all__ = [
+    "BOTTOM",
+    "Bottom",
+    "Communicator",
+    "FailureModel",
+    "PortRef",
+    "Specification",
+    "SpecificationGraph",
+    "Task",
+    "communicator_dependency_graph",
+    "find_communicator_cycles",
+    "is_memory_free",
+    "is_reliable_value",
+    "unsafe_cycles",
+]

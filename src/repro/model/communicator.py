@@ -1,0 +1,81 @@
+"""Communicator declarations.
+
+A communicator (Section 2) is a typed program variable accessed with a
+fixed periodicity.  The declaration ``(c, type_c, init_c, pi_c, mu_c)``
+carries the name, data type, initial value, accessibility period, and
+the logical reliability constraint (LRC) ``mu_c`` in ``(0, 1]``: the
+fraction of periodic updates that must carry reliable values in the
+long run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import SpecificationError
+
+
+@dataclass(frozen=True)
+class Communicator:
+    """A periodic, typed, reliability-constrained program variable.
+
+    Parameters
+    ----------
+    name:
+        Unique communicator name.
+    period:
+        Accessibility period ``pi_c`` (a positive integer, in the
+        specification's base time unit).  Instance ``i`` of the
+        communicator is accessed at time ``i * period``; instances are
+        0-based, matching the formal definition ``(c, i)`` with
+        ``i in N_0``.
+    lrc:
+        Logical reliability constraint ``mu_c in (0, 1]``.  An LRC of
+        0.9 requires that in the long run at least 90% of the periodic
+        writes to this communicator carry reliable values.
+    ctype:
+        Data type of reliable values (informational; used by the HTL
+        frontend for port-type checking).
+    init:
+        Initial value, written at time 0 before any task output.
+    """
+
+    name: str
+    period: int
+    lrc: float = 1.0
+    ctype: type = float
+    init: Any = field(default=0.0)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SpecificationError("communicator name must be non-empty")
+        if not isinstance(self.period, int) or self.period <= 0:
+            raise SpecificationError(
+                f"communicator {self.name!r}: period must be a positive "
+                f"integer, got {self.period!r}"
+            )
+        if not 0.0 < self.lrc <= 1.0:
+            raise SpecificationError(
+                f"communicator {self.name!r}: LRC must lie in (0, 1], "
+                f"got {self.lrc!r}"
+            )
+
+    def instance_time(self, instance: int) -> int:
+        """Return the access time of 0-based instance *instance*."""
+        if instance < 0:
+            raise SpecificationError(
+                f"communicator {self.name!r}: instance must be >= 0, "
+                f"got {instance}"
+            )
+        return instance * self.period
+
+    def with_lrc(self, lrc: float) -> "Communicator":
+        """Return a copy of this communicator with a different LRC."""
+        return Communicator(
+            name=self.name,
+            period=self.period,
+            lrc=lrc,
+            ctype=self.ctype,
+            init=self.init,
+        )

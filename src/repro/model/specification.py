@@ -1,0 +1,220 @@
+"""The flattened specification ``S = (tset, cset)`` and its invariants.
+
+A specification consists of a set of communicators and a set of tasks
+subject to the paper's four structural restrictions:
+
+1. every task reads from and writes to at least one communicator;
+2. every task's read time is strictly earlier than its write time;
+3. no two tasks write to the same communicator (single-writer,
+   race-freedom);
+4. no task writes the same communicator instance multiple times.
+
+Restrictions 1 and 4 are enforced by :class:`~repro.model.task.Task`;
+this module enforces 2 and 3 plus referential integrity, and derives
+the specification period ``pi_S``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Mapping
+
+from repro.errors import SpecificationError
+from repro.model.communicator import Communicator
+from repro.model.task import Task
+
+
+def _lcm_all(values: Iterable[int]) -> int:
+    result = 1
+    for value in values:
+        result = math.lcm(result, value)
+    return result
+
+
+@dataclass(frozen=True)
+class Specification:
+    """An immutable, validated specification ``S = (tset, cset)``.
+
+    Construct with any iterables of :class:`Communicator` and
+    :class:`Task`; the constructor validates the structural
+    restrictions and freezes the result.
+    """
+
+    communicators: Mapping[str, Communicator]
+    tasks: Mapping[str, Task]
+
+    def __init__(
+        self, communicators: Iterable[Communicator], tasks: Iterable[Task]
+    ) -> None:
+        cset: dict[str, Communicator] = {}
+        for comm in communicators:
+            if comm.name in cset:
+                raise SpecificationError(
+                    f"duplicate communicator name {comm.name!r}"
+                )
+            cset[comm.name] = comm
+        tset: dict[str, Task] = {}
+        for task in tasks:
+            if task.name in tset:
+                raise SpecificationError(f"duplicate task name {task.name!r}")
+            if task.name in cset:
+                raise SpecificationError(
+                    f"name {task.name!r} used for both a task and a "
+                    f"communicator"
+                )
+            tset[task.name] = task
+        object.__setattr__(self, "communicators", cset)
+        object.__setattr__(self, "tasks", tset)
+        self._validate()
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+
+    def _validate(self) -> None:
+        if not self.communicators:
+            raise SpecificationError(
+                "a specification needs at least one communicator"
+            )
+        periods = self.periods()
+        writers: dict[str, str] = {}
+        for task in self.tasks.values():
+            for port in list(task.inputs) + list(task.outputs):
+                if port.communicator not in self.communicators:
+                    raise SpecificationError(
+                        f"task {task.name!r} references undeclared "
+                        f"communicator {port.communicator!r}"
+                    )
+            read = task.read_time(periods)
+            write = task.write_time(periods)
+            if read >= write:
+                raise SpecificationError(
+                    f"task {task.name!r}: read time {read} must be strictly "
+                    f"earlier than write time {write} (restriction 2)"
+                )
+            for name in task.output_communicators():
+                if name in writers:
+                    raise SpecificationError(
+                        f"communicator {name!r} is written by both "
+                        f"{writers[name]!r} and {task.name!r} (restriction 3)"
+                    )
+                writers[name] = task.name
+
+    # ------------------------------------------------------------------
+    # Derived timing quantities
+    # ------------------------------------------------------------------
+
+    def periods(self) -> dict[str, int]:
+        """Return the map from communicator name to period ``pi_c``."""
+        return {name: c.period for name, c in self.communicators.items()}
+
+    def base_tick(self) -> int:
+        """Return the gcd of all communicator periods.
+
+        This is the granularity of time instants: every communicator
+        access falls on a multiple of the base tick.
+        """
+        return math.gcd(*(c.period for c in self.communicators.values()))
+
+    def lcm_period(self) -> int:
+        """Return ``lcm(cset)``, the lcm of all communicator periods."""
+        return _lcm_all(c.period for c in self.communicators.values())
+
+    def period(self) -> int:
+        """Return the specification period ``pi_S``.
+
+        ``pi_S`` is the smallest multiple of ``lcm(cset)`` that is at
+        least the latest task write time, i.e.
+        ``pi_S = lcm(cset) * ceil(max_t write_t / lcm(cset))``.
+        All tasks repeat with this periodicity.
+        """
+        lcm = self.lcm_period()
+        if not self.tasks:
+            return lcm
+        periods = self.periods()
+        latest = max(t.write_time(periods) for t in self.tasks.values())
+        return lcm * max(1, math.ceil(latest / lcm))
+
+    def read_time(self, task_name: str) -> int:
+        """Return the read time of the named task."""
+        return self.tasks[task_name].read_time(self.periods())
+
+    def write_time(self, task_name: str) -> int:
+        """Return the write time of the named task."""
+        return self.tasks[task_name].write_time(self.periods())
+
+    def let(self, task_name: str) -> tuple[int, int]:
+        """Return the LET window ``[read, write]`` of the named task."""
+        return self.tasks[task_name].let(self.periods())
+
+    # ------------------------------------------------------------------
+    # Structural queries
+    # ------------------------------------------------------------------
+
+    def writer_of(self, communicator: str) -> Task | None:
+        """Return the unique task writing *communicator*, or ``None``.
+
+        A communicator without a writing task is an *input
+        communicator*: it is updated by a physical sensor.
+        """
+        if communicator not in self.communicators:
+            raise SpecificationError(
+                f"unknown communicator {communicator!r}"
+            )
+        for task in self.tasks.values():
+            if communicator in task.output_communicators():
+                return task
+        return None
+
+    def input_communicators(self) -> set[str]:
+        """Return the names of sensor-updated (input) communicators."""
+        written = set()
+        for task in self.tasks.values():
+            written |= task.output_communicators()
+        read = set()
+        for task in self.tasks.values():
+            read |= task.input_communicators()
+        return {name for name in read if name not in written}
+
+    def output_communicators(self) -> set[str]:
+        """Return the names of communicators read by no task.
+
+        These are read only by physical actuators.
+        """
+        read = set()
+        for task in self.tasks.values():
+            read |= task.input_communicators()
+        written = set()
+        for task in self.tasks.values():
+            written |= task.output_communicators()
+        return {name for name in written if name not in read}
+
+    def readers_of(self, communicator: str) -> list[Task]:
+        """Return the tasks that read *communicator*, in name order."""
+        return sorted(
+            (
+                t
+                for t in self.tasks.values()
+                if communicator in t.input_communicators()
+            ),
+            key=lambda t: t.name,
+        )
+
+    def __iter__(self) -> Iterator[Task]:
+        return iter(self.tasks.values())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.tasks or name in self.communicators
+
+    def replace_lrcs(self, lrcs: Mapping[str, float]) -> "Specification":
+        """Return a copy with the LRCs of the named communicators changed."""
+        new_comms = [
+            c.with_lrc(lrcs[c.name]) if c.name in lrcs else c
+            for c in self.communicators.values()
+        ]
+        return Specification(new_comms, self.tasks.values())
+
+    def with_tasks(self, tasks: Iterable[Task]) -> "Specification":
+        """Return a copy of this specification with a different task set."""
+        return Specification(self.communicators.values(), tasks)

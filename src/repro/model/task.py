@@ -1,0 +1,254 @@
+"""Task declarations and input failure models.
+
+A task (Section 2) reads specific *instances* of a set of communicators,
+computes a function, and writes specific instances of other
+communicators.  The latest read and earliest write implicitly specify
+the task's logical execution time (LET).
+
+The *input failure model* says what the task does when one or more of
+its inputs carry the unreliable value ``BOTTOM``:
+
+``SERIES`` (model 1)
+    If any input is unreliable, the task fails to execute (its outputs
+    are unreliable).  Reliability composes like a series system.
+
+``PARALLEL`` (model 2)
+    An unreliable input is replaced by the task's default value for
+    that communicator; the task fails only if *all* inputs are
+    unreliable.  Reliability composes like a parallel system.
+
+``INDEPENDENT`` (model 3)
+    Every unreliable input is replaced by its default; the task
+    executes even if all inputs are unreliable.  The output reliability
+    is independent of the input reliabilities.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Sequence
+
+from repro.errors import SpecificationError
+
+
+class FailureModel(enum.IntEnum):
+    """Input failure model of a task (models 1, 2, 3 of the paper)."""
+
+    SERIES = 1
+    PARALLEL = 2
+    INDEPENDENT = 3
+
+    @classmethod
+    def parse(cls, text: "str | int | FailureModel") -> "FailureModel":
+        """Parse a failure model from its name or numeric code."""
+        if isinstance(text, FailureModel):
+            return text
+        if isinstance(text, int):
+            return cls(text)
+        try:
+            return cls[text.strip().upper()]
+        except KeyError:
+            raise SpecificationError(
+                f"unknown failure model {text!r}; expected one of "
+                f"'series', 'parallel', 'independent' or 1/2/3"
+            ) from None
+
+
+@dataclass(frozen=True, order=True)
+class PortRef:
+    """A reference ``(c, i)`` to 0-based instance *i* of communicator *c*."""
+
+    communicator: str
+    instance: int
+
+    def __post_init__(self) -> None:
+        if self.instance < 0:
+            raise SpecificationError(
+                f"port ({self.communicator!r}, {self.instance}): "
+                f"instance numbers must be >= 0"
+            )
+
+
+def _as_port(ref: "PortRef | tuple[str, int]") -> PortRef:
+    if isinstance(ref, PortRef):
+        return ref
+    name, instance = ref
+    return PortRef(str(name), int(instance))
+
+
+@dataclass(frozen=True)
+class Task:
+    """An atomic periodic task interacting through communicators.
+
+    Parameters
+    ----------
+    name:
+        Unique task name.
+    inputs:
+        Ordered list of input ports ``(c, i)``; the task reads instance
+        ``i`` of communicator ``c``.  May be given as tuples.
+    outputs:
+        Ordered list of output ports the task writes.
+    function:
+        The task function ``fn_t``; called with one positional argument
+        per input (post failure-model substitution) and must return a
+        tuple with one element per output (a single non-tuple return
+        value is accepted for single-output tasks).  ``None`` means the
+        task is declared for analysis only and cannot be executed.
+    model:
+        Input failure model (series / parallel / independent).
+    defaults:
+        Default values per input *communicator name*, used by the
+        parallel and independent models when an input is unreliable.
+    """
+
+    name: str
+    inputs: tuple[PortRef, ...]
+    outputs: tuple[PortRef, ...]
+    function: Callable[..., Any] | None = None
+    model: FailureModel = FailureModel.SERIES
+    defaults: Mapping[str, Any] = field(default_factory=dict)
+
+    def __init__(
+        self,
+        name: str,
+        inputs: Sequence["PortRef | tuple[str, int]"],
+        outputs: Sequence["PortRef | tuple[str, int]"],
+        function: Callable[..., Any] | None = None,
+        model: "FailureModel | str | int" = FailureModel.SERIES,
+        defaults: Mapping[str, Any] | None = None,
+    ) -> None:
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "inputs", tuple(_as_port(p) for p in inputs))
+        object.__setattr__(self, "outputs", tuple(_as_port(p) for p in outputs))
+        object.__setattr__(self, "function", function)
+        object.__setattr__(self, "model", FailureModel.parse(model))
+        object.__setattr__(self, "defaults", dict(defaults or {}))
+        self._validate()
+
+    def _validate(self) -> None:
+        if not self.name:
+            raise SpecificationError("task name must be non-empty")
+        if not self.inputs:
+            raise SpecificationError(
+                f"task {self.name!r}: all tasks must read from at least one "
+                f"communicator (restriction 1)"
+            )
+        if not self.outputs:
+            raise SpecificationError(
+                f"task {self.name!r}: all tasks must write to at least one "
+                f"communicator (restriction 1)"
+            )
+        seen: set[PortRef] = set()
+        for port in self.outputs:
+            if port in seen:
+                raise SpecificationError(
+                    f"task {self.name!r}: writes communicator instance "
+                    f"({port.communicator}, {port.instance}) multiple times "
+                    f"(restriction 4)"
+                )
+            seen.add(port)
+        if self.model in (FailureModel.PARALLEL, FailureModel.INDEPENDENT):
+            missing = self.input_communicators() - set(self.defaults)
+            if missing:
+                raise SpecificationError(
+                    f"task {self.name!r}: failure model "
+                    f"{self.model.name.lower()} requires a default value for "
+                    f"every input communicator; missing {sorted(missing)}"
+                )
+
+    # ------------------------------------------------------------------
+    # Structural queries
+    # ------------------------------------------------------------------
+
+    def input_communicators(self) -> set[str]:
+        """Return ``icset_t``: the names of communicators read by the task."""
+        return {port.communicator for port in self.inputs}
+
+    def output_communicators(self) -> set[str]:
+        """Return the names of communicators written by the task."""
+        return {port.communicator for port in self.outputs}
+
+    def read_time(self, periods: Mapping[str, int]) -> int:
+        """Return ``read_t = max_j pi_c * i`` over input ports ``(c, i)``.
+
+        *periods* maps communicator names to their periods.
+        """
+        return max(periods[p.communicator] * p.instance for p in self.inputs)
+
+    def write_time(self, periods: Mapping[str, int]) -> int:
+        """Return ``write_t = min_k pi_c * i`` over output ports ``(c, i)``."""
+        return min(periods[p.communicator] * p.instance for p in self.outputs)
+
+    def let(self, periods: Mapping[str, int]) -> tuple[int, int]:
+        """Return the logical execution time window ``[read_t, write_t]``."""
+        return self.read_time(periods), self.write_time(periods)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def resolve_inputs(self, raw: Sequence[Any]) -> list[Any] | None:
+        """Apply the input failure model to raw input values.
+
+        *raw* holds one value per input port, possibly ``BOTTOM``.
+        Returns the substituted argument list, or ``None`` if the task
+        fails to execute under its failure model.
+        """
+        from repro.model.values import BOTTOM
+
+        if len(raw) != len(self.inputs):
+            raise SpecificationError(
+                f"task {self.name!r}: expected {len(self.inputs)} input "
+                f"values, got {len(raw)}"
+            )
+        unreliable = [value is BOTTOM for value in raw]
+        if self.model is FailureModel.SERIES:
+            if any(unreliable):
+                return None
+            return list(raw)
+        if self.model is FailureModel.PARALLEL and all(unreliable):
+            return None
+        # PARALLEL with at least one reliable input, or INDEPENDENT:
+        # substitute defaults for the unreliable positions.
+        resolved = []
+        for port, value, bad in zip(self.inputs, raw, unreliable):
+            resolved.append(self.defaults[port.communicator] if bad else value)
+        return resolved
+
+    def execute(self, raw_inputs: Sequence[Any]) -> tuple[Any, ...] | None:
+        """Run ``fn_t`` on raw input values under the failure model.
+
+        Returns a tuple with one value per output port, or ``None`` if
+        the task fails to execute (series/parallel failure).
+        """
+        if self.function is None:
+            raise SpecificationError(
+                f"task {self.name!r} has no function and cannot be executed"
+            )
+        arguments = self.resolve_inputs(raw_inputs)
+        if arguments is None:
+            return None
+        result = self.function(*arguments)
+        if not isinstance(result, tuple):
+            result = (result,)
+        if len(result) != len(self.outputs):
+            raise SpecificationError(
+                f"task {self.name!r}: function returned {len(result)} "
+                f"values for {len(self.outputs)} output ports"
+            )
+        return result
+
+    def __hash__(self) -> int:
+        return hash(self.name)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Task):
+            return NotImplemented
+        return (
+            self.name == other.name
+            and self.inputs == other.inputs
+            and self.outputs == other.outputs
+            and self.model == other.model
+        )

@@ -1,0 +1,49 @@
+"""Communicator values and the unreliable-value symbol.
+
+The paper extends every communicator's data type with a special symbol
+(written ``bottom``) that represents an *unreliable* value: the value a
+communicator carries when the task (or sensor) that should have updated
+it failed to execute.  Any non-bottom value is considered reliable.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+class Bottom:
+    """The unreliable-value symbol, a singleton.
+
+    ``BOTTOM`` compares equal only to itself, hashes consistently, and
+    is falsy so that reliability checks read naturally.
+    """
+
+    _instance: "Bottom | None" = None
+
+    def __new__(cls) -> "Bottom":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "BOTTOM"
+
+    def __bool__(self) -> bool:
+        return False
+
+    def __reduce__(self):
+        # Preserve the singleton across pickling (used when traces are
+        # recorded by worker processes).
+        return (Bottom, ())
+
+
+BOTTOM = Bottom()
+
+
+def is_reliable_value(value: Any) -> bool:
+    """Return ``True`` iff *value* is a reliable (non-bottom) value.
+
+    Note that ordinary falsy values such as ``0`` or ``0.0`` are
+    perfectly reliable; only the ``BOTTOM`` singleton is unreliable.
+    """
+    return value is not BOTTOM

@@ -1,0 +1,37 @@
+"""Plant models and controllers for closed-loop experiments.
+
+The paper evaluates on a three-tank system (3TS): tanks ``tank1`` and
+``tank2`` are fed by pumps and both connect to the middle tank
+``tank3``; each tank has an evacuation tap.  The controller maintains
+the levels of ``tank1`` and ``tank2`` in the presence and absence of
+perturbations.  This package provides the plant ODE model, PI
+controllers, and the level/perturbation estimators used by the control
+tasks of Fig. 2.
+"""
+
+from repro.plants.three_tank import ThreeTankParams, ThreeTankPlant
+from repro.plants.controllers import (
+    PIController,
+    PerturbationEstimator,
+    control_performance,
+)
+from repro.plants.brake_by_wire import (
+    BrakeByWirePlant,
+    BrakeParams,
+    ReferenceSpeedEstimator,
+    slip_controller,
+    tyre_friction,
+)
+
+__all__ = [
+    "BrakeByWirePlant",
+    "BrakeParams",
+    "PIController",
+    "PerturbationEstimator",
+    "ReferenceSpeedEstimator",
+    "ThreeTankParams",
+    "ThreeTankPlant",
+    "control_performance",
+    "slip_controller",
+    "tyre_friction",
+]

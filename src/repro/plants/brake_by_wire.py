@@ -1,0 +1,199 @@
+"""A brake-by-wire plant: longitudinal braking with wheel slip.
+
+The paper motivates its framework with "safety-driven embedded
+applications, such as automotive stability controllers"; this plant
+provides such a workload beyond the 3TS.  A two-axle longitudinal
+model:
+
+* vehicle speed ``v`` decelerated by the tyre forces;
+* per-axle wheel speed ``w_i`` driven by tyre force against brake
+  torque;
+* slip ``s_i = (v - w_i R) / v`` and a piecewise-linear tyre curve
+  ``mu(s)`` peaking at ``s* = 0.2`` — braking past the peak locks the
+  wheel (the classic ABS story).
+
+Forward Euler with internal sub-stepping keeps the stiff wheel
+dynamics stable at the controller's tick.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class BrakeParams:
+    """Physical parameters (SI units)."""
+
+    mass: float = 1200.0  # kg
+    wheel_inertia: float = 1.2  # kg m^2 per axle
+    wheel_radius: float = 0.3  # m
+    gravity: float = 9.81  # m/s^2
+    mu_peak: float = 0.9  # peak tyre friction
+    slip_peak: float = 0.2  # slip at the friction peak
+    mu_locked: float = 0.5  # friction at full slip (sliding)
+    max_torque: float = 2500.0  # Nm per axle
+    substep: float = 0.001  # s, internal integration step
+
+
+def tyre_friction(slip: float, params: BrakeParams) -> float:
+    """The piecewise-linear ``mu(slip)`` curve.
+
+    Rises linearly to ``mu_peak`` at ``slip_peak``, then falls
+    linearly to ``mu_locked`` at slip 1 — past-the-peak braking is
+    unstable, which is what ABS exploits/avoids.
+    """
+    slip = min(max(slip, 0.0), 1.0)
+    p = params
+    if slip <= p.slip_peak:
+        return p.mu_peak * slip / p.slip_peak
+    fraction = (slip - p.slip_peak) / (1.0 - p.slip_peak)
+    return p.mu_peak + (p.mu_locked - p.mu_peak) * fraction
+
+
+@dataclass
+class BrakeByWirePlant:
+    """Two-axle longitudinal braking dynamics.
+
+    Attributes
+    ----------
+    speed:
+        Vehicle speed in m/s.
+    wheel_speeds:
+        Angular speeds ``[front, rear]`` in rad/s.
+    torques:
+        Commanded brake torques ``[front, rear]`` in Nm (clamped).
+    distance:
+        Integrated travel since construction (the stopping-distance
+        metric of the experiments).
+    """
+
+    params: BrakeParams = field(default_factory=BrakeParams)
+    speed: float = 30.0
+    wheel_speeds: list[float] = field(default_factory=list)
+    torques: list[float] = field(default_factory=lambda: [0.0, 0.0])
+    distance: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.wheel_speeds:
+            free_rolling = self.speed / self.params.wheel_radius
+            self.wheel_speeds = [free_rolling, free_rolling]
+
+    def set_torque(self, axle: int, torque: float) -> None:
+        """Command the brake torque of *axle* (0 front, 1 rear)."""
+        limit = self.params.max_torque
+        self.torques[axle] = min(max(torque, 0.0), limit)
+
+    def wheel_speed(self, axle: int) -> float:
+        """Return the angular speed of *axle* in rad/s."""
+        return self.wheel_speeds[axle]
+
+    def slip(self, axle: int) -> float:
+        """Return the longitudinal slip of *axle* (0 when stopped)."""
+        if self.speed <= 0.05:
+            return 0.0
+        linear = self.wheel_speeds[axle] * self.params.wheel_radius
+        return min(max((self.speed - linear) / self.speed, 0.0), 1.0)
+
+    def stopped(self) -> bool:
+        """Return ``True`` once the vehicle has essentially stopped."""
+        return self.speed <= 0.05
+
+    def step(self, dt: float) -> None:
+        """Advance the plant by *dt* seconds (sub-stepped Euler)."""
+        p = self.params
+        remaining = dt
+        while remaining > 1e-12:
+            h = min(p.substep, remaining)
+            remaining -= h
+            if self.stopped():
+                self.speed = 0.0
+                self.wheel_speeds = [0.0, 0.0]
+                continue
+            normal = p.mass * p.gravity / 2.0
+            total_force = 0.0
+            new_wheels = []
+            for axle in range(2):
+                mu = tyre_friction(self.slip(axle), p)
+                force = mu * normal
+                total_force += force
+                torque_net = force * p.wheel_radius - self.torques[axle]
+                w = self.wheel_speeds[axle] + h * torque_net / (
+                    p.wheel_inertia
+                )
+                # A wheel cannot spin backwards nor (under braking)
+                # exceed free rolling.
+                w = max(w, 0.0)
+                w = min(w, self.speed / p.wheel_radius)
+                new_wheels.append(w)
+            self.wheel_speeds = new_wheels
+            self.distance += self.speed * h
+            self.speed = max(self.speed - h * total_force / p.mass, 0.0)
+
+
+def slip_controller(
+    wheel_speed: float,
+    reference_speed: float,
+    demanded_torque: float,
+    wheel_radius: float = 0.3,
+    slip_threshold: float = 0.25,
+    release_fraction: float = 0.15,
+) -> float:
+    """The per-axle ABS law the control tasks run.
+
+    Computes the slip from the wheel speed and the vehicle-speed
+    reference; above *slip_threshold* the brake is released to
+    *release_fraction* of the demand, otherwise the demand passes
+    through.  Stateless — exactly a task function.
+    """
+    if reference_speed <= 0.05:
+        return demanded_torque
+    linear = wheel_speed * wheel_radius
+    slip = (reference_speed - linear) / reference_speed
+    if slip > slip_threshold:
+        return release_fraction * demanded_torque
+    return demanded_torque
+
+
+def reference_speed_estimator(
+    front_wheel: float, rear_wheel: float, wheel_radius: float = 0.3
+) -> float:
+    """Estimate the vehicle speed from the wheel speeds (stateless).
+
+    Under braking every wheel underestimates the true speed, so the
+    *fastest* wheel is the estimate.  When all wheels slip together
+    this collapses — use :class:`ReferenceSpeedEstimator` in closed
+    loops.
+    """
+    return max(front_wheel, rear_wheel) * wheel_radius
+
+
+@dataclass
+class ReferenceSpeedEstimator:
+    """Ramp-limited vehicle-speed reference (the standard ABS trick).
+
+    The fastest wheel bounds the estimate from below, but the estimate
+    never decays faster than the physically possible deceleration
+    ``mu_peak * g`` — so even when every wheel locks, the reference
+    stays close to the true speed and the computed slip stays honest.
+    Stateful: one instance per controller, like the 3TS estimators.
+    """
+
+    dt: float
+    wheel_radius: float = 0.3
+    max_deceleration: float = 0.9 * 9.81
+    _reference: float | None = field(default=None, repr=False)
+
+    def update(self, front_wheel: float, rear_wheel: float) -> float:
+        """Return the reference from the latest wheel-speed samples."""
+        wheels = max(front_wheel, rear_wheel) * self.wheel_radius
+        if self._reference is None:
+            self._reference = wheels
+        else:
+            floor = self._reference - self.max_deceleration * self.dt
+            self._reference = max(wheels, floor)
+        return self._reference
+
+    def reset(self) -> None:
+        """Forget the sample history."""
+        self._reference = None

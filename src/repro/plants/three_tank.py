@@ -1,0 +1,131 @@
+"""The three-tank system (3TS) plant.
+
+Standard laboratory three-tank benchmark (e.g. the Amira DTS200 used
+by the HTL group at Politehnica Timisoara): three identical cylindrical
+tanks in a row; pumps 1 and 2 feed tanks 1 and 2; tank 3 sits between
+them, coupled through connecting valves; every tank has an evacuation
+tap to the reservoir.  Torricelli flow through every valve:
+
+    q = k * sign(dh) * sqrt(2 * g * |dh|)
+
+with ``dh`` the level difference across the valve.  Levels evolve as
+
+    A * dh1/dt = q_pump1 - q13 - q_leak1 (- q_perturbation1)
+    A * dh2/dt = q_pump2 - q23 - q_leak2 (- q_perturbation2)
+    A * dh3/dt = q13 + q23 - q_leak3
+
+integrated with forward Euler at the simulator tick.  Perturbations
+model someone opening an extra tap — the disturbance the ``estimate``
+tasks of Fig. 2 reconstruct.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class ThreeTankParams:
+    """Physical parameters of the plant (SI units)."""
+
+    tank_area: float = 0.0154  # m^2, cross-section of each tank
+    coupling_coefficient: float = 1.0e-4  # valve coefficient tank1/2 <-> 3
+    leak_coefficient: float = 0.3e-4  # evacuation tap coefficient
+    gravity: float = 9.81  # m/s^2
+    max_level: float = 0.62  # m, physical tank height
+    max_pump_flow: float = 2.0e-4  # m^3/s, pump saturation
+
+
+def _torricelli(coefficient: float, head: float, gravity: float) -> float:
+    """Signed Torricelli flow through a valve with level drop *head*."""
+    return (
+        coefficient
+        * math.copysign(1.0, head)
+        * math.sqrt(2.0 * gravity * abs(head))
+    )
+
+
+@dataclass
+class ThreeTankPlant:
+    """The plant state and its forward-Euler integrator.
+
+    Attributes
+    ----------
+    levels:
+        Current water levels ``[h1, h2, h3]`` in metres.
+    pump_flows:
+        Currently commanded pump flows ``[q1, q2]`` in m^3/s (clamped
+        to ``[0, max_pump_flow]``).
+    perturbations:
+        Extra outflows ``[p1, p2]`` from tanks 1 and 2 (disturbances).
+    """
+
+    params: ThreeTankParams = field(default_factory=ThreeTankParams)
+    levels: list[float] = field(default_factory=lambda: [0.2, 0.2, 0.2])
+    pump_flows: list[float] = field(default_factory=lambda: [0.0, 0.0])
+    perturbations: list[float] = field(default_factory=lambda: [0.0, 0.0])
+
+    def set_pump(self, index: int, flow: float) -> None:
+        """Command pump *index* (0 or 1), clamped to its physical range."""
+        limit = self.params.max_pump_flow
+        self.pump_flows[index] = min(max(flow, 0.0), limit)
+
+    def set_perturbation(self, index: int, outflow: float) -> None:
+        """Impose an extra outflow on tank *index* (0 or 1)."""
+        self.perturbations[index] = max(outflow, 0.0)
+
+    def level(self, index: int) -> float:
+        """Return the level of tank *index* (0, 1, or 2)."""
+        return self.levels[index]
+
+    def step(self, dt: float) -> None:
+        """Advance the plant by *dt* seconds (forward Euler).
+
+        *dt* should be small relative to the tank time constant; the
+        runtime's millisecond ticks are far below it.
+        """
+        p = self.params
+        h1, h2, h3 = self.levels
+        q13 = _torricelli(p.coupling_coefficient, h1 - h3, p.gravity)
+        q23 = _torricelli(p.coupling_coefficient, h2 - h3, p.gravity)
+        leak1 = _torricelli(p.leak_coefficient, max(h1, 0.0), p.gravity)
+        leak2 = _torricelli(p.leak_coefficient, max(h2, 0.0), p.gravity)
+        leak3 = _torricelli(p.leak_coefficient, max(h3, 0.0), p.gravity)
+        dh1 = (
+            self.pump_flows[0] - q13 - leak1 - self.perturbations[0]
+        ) / p.tank_area
+        dh2 = (
+            self.pump_flows[1] - q23 - leak2 - self.perturbations[1]
+        ) / p.tank_area
+        dh3 = (q13 + q23 - leak3) / p.tank_area
+        self.levels = [
+            min(max(h1 + dh1 * dt, 0.0), p.max_level),
+            min(max(h2 + dh2 * dt, 0.0), p.max_level),
+            min(max(h3 + dh3 * dt, 0.0), p.max_level),
+        ]
+
+    def steady_pump_flow(self, level: float) -> float:
+        """Return the pump flow holding a symmetric steady state at *level*.
+
+        At a symmetric steady state ``h1 = h2 = level`` and ``h3``
+        settles where coupling inflow balances its leak; the returned
+        value is a useful feed-forward term for the controllers.
+        """
+        p = self.params
+        # Solve q13(h1-h3) = leak3(h3)/2 for h3 by bisection.
+        low, high = 0.0, level
+        for _ in range(60):
+            mid = (low + high) / 2.0
+            inflow = 2.0 * _torricelli(
+                p.coupling_coefficient, level - mid, p.gravity
+            )
+            outflow = _torricelli(p.leak_coefficient, mid, p.gravity)
+            if inflow > outflow:
+                low = mid
+            else:
+                high = mid
+        h3 = (low + high) / 2.0
+        return _torricelli(
+            p.coupling_coefficient, level - h3, p.gravity
+        ) + _torricelli(p.leak_coefficient, level, p.gravity)

@@ -1,0 +1,28 @@
+"""Design by refinement (Section 3 of the paper).
+
+A refining specification replaces an abstract one while preserving the
+validity of an existing implementation, enabling incremental
+schedulability/reliability analysis: each refinement step is verified
+with purely *local* checks on every task pair instead of re-running
+the global joint analysis.
+"""
+
+from repro.refinement.relation import (
+    RefinementReport,
+    RefinementViolation,
+    check_refinement,
+    refines,
+)
+from repro.refinement.incremental import (
+    IncrementalResult,
+    incremental_check,
+)
+
+__all__ = [
+    "IncrementalResult",
+    "RefinementReport",
+    "RefinementViolation",
+    "check_refinement",
+    "incremental_check",
+    "refines",
+]

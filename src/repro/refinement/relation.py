@@ -1,0 +1,298 @@
+"""The refinement relation ``(S', A', I') <=_kappa (S, A, I)``.
+
+A system refines another under a total, one-to-one task mapping
+``kappa : tset' -> tset`` when the following *local* constraints hold
+(Section 3 of the paper):
+
+(a) the host sets agree;
+(b) for every refining task ``t'`` with abstract counterpart
+    ``k = kappa(t')``:
+
+    1. ``I'(t') = I(k)`` — same replication mapping;
+    2. ``wemap'(t', h) <= wemap(k, h)`` and
+       ``wtmap'(t', h) <= wtmap(k, h)`` on every mapped host — the
+       refining task is no more expensive;
+    3. ``read_{t'} <= read_k`` and ``write_{t'} >= write_k`` — the
+       refining LET window contains the abstract one, so any schedule
+       slot that fits ``k`` fits ``t'``;
+    4. every communicator ``c`` written by ``t'`` demands no more
+       reliability than the strongest guarantee the abstract task
+       already meets: ``mu_c <= max over outputs c'' of k of mu_c''``;
+    5. ``model_{t'} = model_k`` — same input failure model;
+    6. for the series model, ``icset(t') subseteq icset(k)`` (fewer
+       series factors can only raise the SRG); for the parallel model,
+       ``icset(t') superseteq icset(k)`` (more parallel alternatives
+       can only raise the SRG).  The independent model needs no input
+       constraint.
+
+Under these constraints, Lemma 1 (schedulability transfer), Lemma 2
+(reliability transfer), and hence Proposition 2 (validity transfer)
+hold; the property-based test suite exercises them on randomly
+generated refinement pairs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.arch.architecture import Architecture
+from repro.errors import RefinementError
+from repro.mapping.implementation import Implementation
+from repro.model.specification import Specification
+from repro.model.task import FailureModel
+
+
+@dataclass(frozen=True)
+class RefinementViolation:
+    """One violated refinement constraint."""
+
+    constraint: str
+    task: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.constraint}] {self.task}: {self.message}"
+
+
+@dataclass(frozen=True)
+class RefinementReport:
+    """Outcome of a refinement check."""
+
+    violations: tuple[RefinementViolation, ...]
+
+    @property
+    def refines(self) -> bool:
+        """``True`` iff every refinement constraint holds."""
+        return not self.violations
+
+    def by_constraint(self) -> dict[str, list[RefinementViolation]]:
+        """Group violations by constraint identifier."""
+        groups: dict[str, list[RefinementViolation]] = {}
+        for violation in self.violations:
+            groups.setdefault(violation.constraint, []).append(violation)
+        return groups
+
+    def summary(self) -> str:
+        """Return a human-readable multi-line summary."""
+        if self.refines:
+            return "refinement check: all constraints hold"
+        lines = ["refinement check: FAILED"]
+        lines.extend(f"  {violation}" for violation in self.violations)
+        return "\n".join(lines)
+
+
+def _validate_kappa(
+    fine: Specification,
+    coarse: Specification,
+    kappa: Mapping[str, str],
+) -> None:
+    missing = set(fine.tasks) - set(kappa)
+    if missing:
+        raise RefinementError(
+            f"kappa is not total: refining tasks {sorted(missing)} "
+            f"are unmapped"
+        )
+    extra = set(kappa) - set(fine.tasks)
+    if extra:
+        raise RefinementError(
+            f"kappa maps unknown refining tasks {sorted(extra)}"
+        )
+    unknown_targets = set(kappa.values()) - set(coarse.tasks)
+    if unknown_targets:
+        raise RefinementError(
+            f"kappa targets unknown abstract tasks {sorted(unknown_targets)}"
+        )
+    targets = list(kappa.values())
+    if len(targets) != len(set(targets)):
+        duplicated = sorted(
+            {name for name in targets if targets.count(name) > 1}
+        )
+        raise RefinementError(
+            f"kappa is not one-to-one: abstract tasks {duplicated} are "
+            f"refined by multiple tasks"
+        )
+
+
+def check_refinement(
+    fine: tuple[Specification, Architecture, Implementation],
+    coarse: tuple[Specification, Architecture, Implementation],
+    kappa: Mapping[str, str],
+) -> RefinementReport:
+    """Check ``fine <=_kappa coarse`` and report every violation.
+
+    *fine* and *coarse* are ``(specification, architecture,
+    implementation)`` triples.  Raises :class:`RefinementError` when
+    *kappa* itself is malformed (not total or not one-to-one); returns
+    a report of constraint violations otherwise.
+    """
+    fine_spec, fine_arch, fine_impl = fine
+    coarse_spec, coarse_arch, coarse_impl = coarse
+    _validate_kappa(fine_spec, coarse_spec, kappa)
+
+    violations: list[RefinementViolation] = []
+
+    if set(fine_arch.hosts) != set(coarse_arch.hosts):
+        violations.append(
+            RefinementViolation(
+                constraint="a",
+                task="<architecture>",
+                message=(
+                    f"host sets differ: {sorted(fine_arch.hosts)} vs "
+                    f"{sorted(coarse_arch.hosts)}"
+                ),
+            )
+        )
+
+    fine_periods = fine_spec.periods()
+    coarse_periods = coarse_spec.periods()
+
+    for fine_name, coarse_name in sorted(kappa.items()):
+        fine_task = fine_spec.tasks[fine_name]
+        coarse_task = coarse_spec.tasks[coarse_name]
+
+        # (1) identical replication mapping.
+        fine_hosts = fine_impl.hosts_of(fine_name)
+        coarse_hosts = coarse_impl.hosts_of(coarse_name)
+        if fine_hosts != coarse_hosts:
+            violations.append(
+                RefinementViolation(
+                    constraint="b1",
+                    task=fine_name,
+                    message=(
+                        f"mapped to {sorted(fine_hosts)} but "
+                        f"{coarse_name} is mapped to {sorted(coarse_hosts)}"
+                    ),
+                )
+            )
+
+        # (2) no more expensive on any mapped host.
+        for host in sorted(fine_hosts & coarse_hosts):
+            fine_wcet = fine_arch.wcet(fine_name, host)
+            coarse_wcet = coarse_arch.wcet(coarse_name, host)
+            if fine_wcet > coarse_wcet:
+                violations.append(
+                    RefinementViolation(
+                        constraint="b2",
+                        task=fine_name,
+                        message=(
+                            f"WCET {fine_wcet} on {host} exceeds "
+                            f"{coarse_name}'s {coarse_wcet}"
+                        ),
+                    )
+                )
+            fine_wctt = fine_arch.wctt(fine_name, host)
+            coarse_wctt = coarse_arch.wctt(coarse_name, host)
+            if fine_wctt > coarse_wctt:
+                violations.append(
+                    RefinementViolation(
+                        constraint="b2",
+                        task=fine_name,
+                        message=(
+                            f"WCTT {fine_wctt} on {host} exceeds "
+                            f"{coarse_name}'s {coarse_wctt}"
+                        ),
+                    )
+                )
+
+        # (3) LET window containment.
+        fine_read = fine_task.read_time(fine_periods)
+        fine_write = fine_task.write_time(fine_periods)
+        coarse_read = coarse_task.read_time(coarse_periods)
+        coarse_write = coarse_task.write_time(coarse_periods)
+        if fine_read > coarse_read:
+            violations.append(
+                RefinementViolation(
+                    constraint="b3",
+                    task=fine_name,
+                    message=(
+                        f"read time {fine_read} is later than "
+                        f"{coarse_name}'s {coarse_read}"
+                    ),
+                )
+            )
+        if fine_write < coarse_write:
+            violations.append(
+                RefinementViolation(
+                    constraint="b3",
+                    task=fine_name,
+                    message=(
+                        f"write time {fine_write} is earlier than "
+                        f"{coarse_name}'s {coarse_write}"
+                    ),
+                )
+            )
+
+        # (4) LRC budget.
+        coarse_budget = max(
+            coarse_spec.communicators[name].lrc
+            for name in coarse_task.output_communicators()
+        )
+        for name in sorted(fine_task.output_communicators()):
+            lrc = fine_spec.communicators[name].lrc
+            if lrc > coarse_budget:
+                violations.append(
+                    RefinementViolation(
+                        constraint="b4",
+                        task=fine_name,
+                        message=(
+                            f"output {name!r} demands LRC {lrc} above "
+                            f"{coarse_name}'s strongest guaranteed LRC "
+                            f"{coarse_budget}"
+                        ),
+                    )
+                )
+
+        # (5) identical failure model.
+        if fine_task.model is not coarse_task.model:
+            violations.append(
+                RefinementViolation(
+                    constraint="b5",
+                    task=fine_name,
+                    message=(
+                        f"failure model {fine_task.model.name} differs "
+                        f"from {coarse_name}'s {coarse_task.model.name}"
+                    ),
+                )
+            )
+
+        # (6) input-set inclusion, direction depending on the model.
+        fine_inputs = fine_task.input_communicators()
+        coarse_inputs = coarse_task.input_communicators()
+        if fine_task.model is FailureModel.SERIES:
+            extra = fine_inputs - coarse_inputs
+            if extra:
+                violations.append(
+                    RefinementViolation(
+                        constraint="b6",
+                        task=fine_name,
+                        message=(
+                            f"series task reads {sorted(extra)} beyond "
+                            f"{coarse_name}'s input set"
+                        ),
+                    )
+                )
+        elif fine_task.model is FailureModel.PARALLEL:
+            lost = coarse_inputs - fine_inputs
+            if lost:
+                violations.append(
+                    RefinementViolation(
+                        constraint="b6",
+                        task=fine_name,
+                        message=(
+                            f"parallel task drops inputs {sorted(lost)} of "
+                            f"{coarse_name}'s input set"
+                        ),
+                    )
+                )
+
+    return RefinementReport(violations=tuple(violations))
+
+
+def refines(
+    fine: tuple[Specification, Architecture, Implementation],
+    coarse: tuple[Specification, Architecture, Implementation],
+    kappa: Mapping[str, str],
+) -> bool:
+    """Return ``True`` iff *fine* refines *coarse* under *kappa*."""
+    return check_refinement(fine, coarse, kappa).refines

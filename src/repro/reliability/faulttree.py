@@ -1,0 +1,232 @@
+"""Fault trees — the dual view of reliability block diagrams.
+
+The paper's Section 1 lists fault trees (Kececioglu [12]) among the
+methods for computing SRGs.  A fault tree describes how a *top event*
+(system failure) arises from basic component failures through AND/OR
+(and k-of-n) gates; it is the failure-space dual of the RBD success
+view: an RBD series block fails when *any* element fails (an OR gate
+over failures) and a parallel block when *all* fail (an AND gate).
+
+Provided here:
+
+* gate classes with exact probability evaluation (independent basic
+  events);
+* :func:`minimal_cut_sets` — the minimal sets of basic events whose
+  joint occurrence triggers the top event, computed by expansion with
+  absorption (MOCUS-style, fine for the tree sizes of this domain);
+* the rare-event upper bound from cut sets, and its comparison against
+  the exact probability;
+* :func:`from_rbd` — mechanical dualisation of an RBD into the fault
+  tree of its failure event, with equality of probabilities asserted
+  by the test suite.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import AnalysisError
+from repro.reliability.rbd import Block, KOutOfN, Parallel, Series, Unit
+
+
+class Event:
+    """Base class of fault-tree nodes."""
+
+    def probability(self) -> float:
+        """Return the probability that this event occurs."""
+        raise NotImplementedError
+
+    def cut_sets(self) -> list[frozenset[str]]:
+        """Return the (not necessarily minimal) cut sets."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class BasicEvent(Event):
+    """A component failure with a fixed probability."""
+
+    name: str
+    probability_value: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.probability_value <= 1.0:
+            raise AnalysisError(
+                f"event {self.name!r}: probability must lie in [0, 1], "
+                f"got {self.probability_value}"
+            )
+
+    def probability(self) -> float:
+        return self.probability_value
+
+    def cut_sets(self) -> list[frozenset[str]]:
+        return [frozenset({self.name})]
+
+
+class OrGate(Event):
+    """Occurs when any input event occurs."""
+
+    def __init__(self, inputs: Sequence[Event]):
+        if not inputs:
+            raise AnalysisError("an OR gate needs at least one input")
+        self.inputs = tuple(inputs)
+
+    def probability(self) -> float:
+        survival = 1.0
+        for event in self.inputs:
+            survival *= 1.0 - event.probability()
+        return 1.0 - survival
+
+    def cut_sets(self) -> list[frozenset[str]]:
+        sets: list[frozenset[str]] = []
+        for event in self.inputs:
+            sets.extend(event.cut_sets())
+        return sets
+
+
+class AndGate(Event):
+    """Occurs when all input events occur."""
+
+    def __init__(self, inputs: Sequence[Event]):
+        if not inputs:
+            raise AnalysisError("an AND gate needs at least one input")
+        self.inputs = tuple(inputs)
+
+    def probability(self) -> float:
+        return math.prod(event.probability() for event in self.inputs)
+
+    def cut_sets(self) -> list[frozenset[str]]:
+        product: list[frozenset[str]] = [frozenset()]
+        for event in self.inputs:
+            product = [
+                left | right
+                for left in product
+                for right in event.cut_sets()
+            ]
+        return product
+
+
+class VotingGate(Event):
+    """Occurs when at least *k* of the input events occur."""
+
+    def __init__(self, k: int, inputs: Sequence[Event]):
+        if not inputs:
+            raise AnalysisError("a voting gate needs at least one input")
+        if not 1 <= k <= len(inputs):
+            raise AnalysisError(
+                f"k must lie in [1, {len(inputs)}], got {k}"
+            )
+        self.k = k
+        self.inputs = tuple(inputs)
+
+    def probability(self) -> float:
+        probabilities = [event.probability() for event in self.inputs]
+        total = 0.0
+        for pattern in itertools.product(
+            (True, False), repeat=len(probabilities)
+        ):
+            if sum(pattern) < self.k:
+                continue
+            weight = 1.0
+            for occurs, p in zip(pattern, probabilities):
+                weight *= p if occurs else (1.0 - p)
+            total += weight
+        return total
+
+    def cut_sets(self) -> list[frozenset[str]]:
+        sets: list[frozenset[str]] = []
+        for combo in itertools.combinations(self.inputs, self.k):
+            sets.extend(AndGate(combo).cut_sets())
+        return sets
+
+
+def minimal_cut_sets(top: Event) -> list[frozenset[str]]:
+    """Return the minimal cut sets of the top event.
+
+    Expansion with absorption: a cut set is dropped when a strict
+    subset is also a cut set.  The result is sorted by size then by
+    the sorted member names, so it is deterministic.
+    """
+    raw = {frozenset(s) for s in top.cut_sets()}
+    minimal = [
+        candidate
+        for candidate in raw
+        if not any(
+            other < candidate for other in raw if other != candidate
+        )
+    ]
+    return sorted(minimal, key=lambda s: (len(s), sorted(s)))
+
+
+def rare_event_bound(top: Event) -> float:
+    """Return the rare-event (union) upper bound from minimal cut sets.
+
+    ``P(top) <= sum over minimal cut sets of prod of member
+    probabilities``; tight when basic-event probabilities are small.
+    Needs every basic event to appear at most once per cut set (always
+    true after minimisation) and pulls the member probabilities from
+    the tree.
+    """
+    probabilities = _basic_probabilities(top)
+    total = 0.0
+    for cut in minimal_cut_sets(top):
+        total += math.prod(probabilities[name] for name in cut)
+    return min(total, 1.0)
+
+
+def _basic_probabilities(top: Event) -> dict[str, float]:
+    table: dict[str, float] = {}
+
+    def walk(event: Event) -> None:
+        if isinstance(event, BasicEvent):
+            existing = table.get(event.name)
+            if existing is not None and existing != event.probability_value:
+                raise AnalysisError(
+                    f"basic event {event.name!r} appears with two "
+                    f"different probabilities"
+                )
+            table[event.name] = event.probability_value
+            return
+        for child in event.inputs:  # type: ignore[attr-defined]
+            walk(child)
+
+    walk(top)
+    return table
+
+
+def from_rbd(block: Block, prefix: str = "") -> Event:
+    """Dualise an RBD into the fault tree of its failure event.
+
+    Series -> OR over component failures, Parallel -> AND,
+    k-of-n working -> (n-k+1)-of-n failing.  The returned tree's
+    probability equals ``1 - block.reliability()`` exactly.
+    """
+    if isinstance(block, Unit):
+        name = block.label or f"{prefix}unit"
+        return BasicEvent(name, 1.0 - block.probability)
+    if isinstance(block, Series):
+        return OrGate(
+            [
+                from_rbd(child, f"{prefix}{index}.")
+                for index, child in enumerate(block.blocks)
+            ]
+        )
+    if isinstance(block, Parallel):
+        return AndGate(
+            [
+                from_rbd(child, f"{prefix}{index}.")
+                for index, child in enumerate(block.blocks)
+            ]
+        )
+    if isinstance(block, KOutOfN):
+        n = len(block.blocks)
+        return VotingGate(
+            n - block.k + 1,
+            [
+                from_rbd(child, f"{prefix}{index}.")
+                for index, child in enumerate(block.blocks)
+            ],
+        )
+    raise AnalysisError(f"cannot dualise RBD block {block!r}")

@@ -1,0 +1,164 @@
+"""Network reliability of probabilistic graphs (the paper's [4], [14]).
+
+The paper lists network-of-nodes techniques (Dotson & Gobien; Rai &
+Kumar's recursive method) among the ways SRGs can be computed.  This
+module implements the classic *factoring theorem* on graphs whose
+edges fail independently:
+
+    R(G) = r_e * R(G contract e) + (1 - r_e) * R(G - e)
+
+for any edge ``e`` with reliability ``r_e``, with connectivity base
+cases.  Exponential in the worst case, exact, and fast for the
+topologies that occur as embedded networks (a handful of hosts).
+
+Two measures:
+
+* :func:`two_terminal_reliability` — probability that *source* and
+  *target* stay connected;
+* :func:`all_terminal_reliability` — probability that the whole graph
+  stays connected, which is the natural estimate for the atomic
+  broadcast reliability ``brel`` of a bus/mesh interconnect (the
+  atomicity itself is a protocol property; see
+  :func:`broadcast_network_from_topology`).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+import networkx as nx
+
+from repro.arch.network import BroadcastNetwork
+from repro.errors import AnalysisError
+
+
+def _as_multigraph(graph: nx.Graph) -> nx.MultiGraph:
+    multigraph = nx.MultiGraph()
+    multigraph.add_nodes_from(graph.nodes)
+    for u, v, data in graph.edges(data=True):
+        if "reliability" not in data:
+            raise AnalysisError(
+                f"edge ({u!r}, {v!r}) has no 'reliability' attribute"
+            )
+        r = data["reliability"]
+        if not 0.0 <= r <= 1.0:
+            raise AnalysisError(
+                f"edge ({u!r}, {v!r}): reliability must lie in [0, 1], "
+                f"got {r}"
+            )
+        multigraph.add_edge(u, v, reliability=r)
+    return multigraph
+
+
+def _contract(
+    graph: nx.MultiGraph, u: Hashable, v: Hashable
+) -> nx.MultiGraph:
+    """Merge *v* into *u*, keeping parallel edges, dropping self-loops."""
+    merged = nx.MultiGraph()
+    merged.add_nodes_from(n for n in graph.nodes if n != v)
+    for a, b, data in graph.edges(data=True):
+        a = u if a == v else a
+        b = u if b == v else b
+        if a == b:
+            continue
+        merged.add_edge(a, b, reliability=data["reliability"])
+    return merged
+
+
+def _pick_edge(
+    graph: nx.MultiGraph, anchor: Hashable | None
+) -> tuple[Hashable, Hashable, Hashable, float]:
+    """Pick a factoring edge, preferring one incident to *anchor*.
+
+    Returns ``(u, v, key, reliability)`` — the key matters because
+    contraction creates parallel edges and the delete branch must
+    remove exactly the factored edge.
+    """
+    if anchor is not None:
+        for u, v, key, data in graph.edges(anchor, keys=True, data=True):
+            return u, v, key, data["reliability"]
+    u, v, key, data = next(iter(graph.edges(keys=True, data=True)))
+    return u, v, key, data["reliability"]
+
+
+def two_terminal_reliability(
+    graph: nx.Graph, source: Hashable, target: Hashable
+) -> float:
+    """Probability that *source* and *target* remain connected.
+
+    Edges carry a ``reliability`` attribute; nodes are perfect (model
+    node failures by splitting them into edge pairs if needed).
+    """
+    if source not in graph or target not in graph:
+        raise AnalysisError("source and target must be graph nodes")
+    return _two_terminal(_as_multigraph(graph), source, target)
+
+
+def _two_terminal(
+    graph: nx.MultiGraph, source: Hashable, target: Hashable
+) -> float:
+    if source == target:
+        return 1.0
+    if not nx.has_path(graph, source, target):
+        return 0.0
+    u, v, key, r = _pick_edge(graph, source)
+    # Contract branch (the edge works): merge v into u and remap the
+    # terminals that pointed at v.
+    contracted_value = 0.0
+    if r > 0.0:
+        contracted = _contract(graph, u, v)
+        new_source = u if source == v else source
+        new_target = u if target == v else target
+        contracted_value = _two_terminal(
+            contracted, new_source, new_target
+        )
+    # Delete branch (the edge fails): remove exactly the factored edge.
+    deleted_value = 0.0
+    if r < 1.0:
+        deleted = graph.copy()
+        deleted.remove_edge(u, v, key=key)
+        deleted_value = _two_terminal(deleted, source, target)
+    return r * contracted_value + (1.0 - r) * deleted_value
+
+
+def all_terminal_reliability(graph: nx.Graph) -> float:
+    """Probability that the whole graph remains connected."""
+    if graph.number_of_nodes() == 0:
+        raise AnalysisError("all-terminal reliability of an empty graph")
+    return _all_terminal(_as_multigraph(graph))
+
+
+def _all_terminal(graph: nx.MultiGraph) -> float:
+    if graph.number_of_nodes() == 1:
+        return 1.0
+    if not nx.is_connected(graph):
+        return 0.0
+    u, v, key, r = _pick_edge(graph, None)
+    contracted_value = 0.0
+    if r > 0.0:
+        contracted_value = _all_terminal(_contract(graph, u, v))
+    deleted_value = 0.0
+    if r < 1.0:
+        deleted = graph.copy()
+        deleted.remove_edge(u, v, key=key)
+        deleted_value = _all_terminal(deleted)
+    return r * contracted_value + (1.0 - r) * deleted_value
+
+
+def broadcast_network_from_topology(
+    graph: nx.Graph, bandwidth: int = 1
+) -> BroadcastNetwork:
+    """Derive a :class:`BroadcastNetwork` from a physical interconnect.
+
+    The returned network's reliability is the *all-terminal*
+    reliability of the topology: a broadcast reaches every host iff
+    the surviving links keep the hosts connected.  The paper's
+    atomicity assumption (all-or-nothing delivery) is a protocol
+    property layered on top — e.g. a two-phase broadcast — so this is
+    the right per-broadcast success probability to plug into the SRG
+    analysis, not a statement about partial delivery.
+    """
+    return BroadcastNetwork(
+        reliability=all_terminal_reliability(graph),
+        bandwidth=bandwidth,
+    )

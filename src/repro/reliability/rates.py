@@ -1,0 +1,95 @@
+"""From hardware failure rates to per-invocation reliabilities.
+
+The paper's SRG inputs — ``hrel(h)`` and ``srel(s)`` — are
+per-invocation success probabilities, but hardware datasheets quote
+failure *rates*: MTTF hours, FIT (failures per 10^9 device-hours), or
+a failure probability per hour.  Under the standard
+exponential-failure model, a component with constant rate ``lambda``
+survives an exposure of length ``d`` with probability
+``exp(-lambda * d)``; the exposure of one task invocation is its LET
+window (the replica must stay alive from release to broadcast).
+
+These helpers perform the conversions so architectures can be built
+from datasheet numbers::
+
+    hrel = per_invocation_reliability(rate_from_fit(500), exposure_ms=500)
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import AnalysisError
+
+#: Milliseconds per hour, the unit bridge for datasheet rates.
+MS_PER_HOUR = 3_600_000.0
+
+
+def rate_from_mttf(mttf_hours: float) -> float:
+    """Return the failure rate (per hour) of an exponential component."""
+    if mttf_hours <= 0:
+        raise AnalysisError(f"MTTF must be positive, got {mttf_hours}")
+    return 1.0 / mttf_hours
+
+
+def rate_from_fit(fit: float) -> float:
+    """Convert FIT (failures per 10^9 device-hours) to a rate per hour."""
+    if fit < 0:
+        raise AnalysisError(f"FIT must be non-negative, got {fit}")
+    return fit / 1.0e9
+
+
+def per_invocation_reliability(
+    rate_per_hour: float, exposure_ms: float
+) -> float:
+    """Return ``exp(-rate * exposure)`` for one invocation.
+
+    *exposure_ms* is the invocation's exposure window in milliseconds
+    (typically the task's LET length, conservatively the specification
+    period).
+    """
+    if rate_per_hour < 0:
+        raise AnalysisError(
+            f"failure rate must be non-negative, got {rate_per_hour}"
+        )
+    if exposure_ms < 0:
+        raise AnalysisError(
+            f"exposure must be non-negative, got {exposure_ms}"
+        )
+    return math.exp(-rate_per_hour * exposure_ms / MS_PER_HOUR)
+
+
+def invocation_rate_from_reliability(
+    reliability: float, exposure_ms: float
+) -> float:
+    """Invert :func:`per_invocation_reliability` (rate per hour)."""
+    if not 0.0 < reliability <= 1.0:
+        raise AnalysisError(
+            f"reliability must lie in (0, 1], got {reliability}"
+        )
+    if exposure_ms <= 0:
+        raise AnalysisError(
+            f"exposure must be positive, got {exposure_ms}"
+        )
+    return -math.log(reliability) * MS_PER_HOUR / exposure_ms
+
+
+def mission_reliability(
+    per_invocation: float, invocations: int
+) -> float:
+    """Probability that *invocations* consecutive invocations all succeed.
+
+    Useful to translate an SRG into a mission-level figure ("the
+    controller survives an 8-hour shift"): independent invocations
+    compose as a power.
+    """
+    if not 0.0 <= per_invocation <= 1.0:
+        raise AnalysisError(
+            f"per-invocation reliability must lie in [0, 1], got "
+            f"{per_invocation}"
+        )
+    if invocations < 0:
+        raise AnalysisError(
+            f"invocations must be non-negative, got {invocations}"
+        )
+    return per_invocation**invocations

@@ -1,0 +1,161 @@
+"""Reliability block diagrams (RBDs).
+
+The paper's SRG computation follows the reliability-block-diagram
+approach (Kececioglu): a system is modelled as a network with AND/OR
+junctions, where an OR junction works when *any* input works (parallel
+composition) and an AND junction requires *all* inputs (series
+composition).  Replications of a task form a parallel block; the task
+block is in series with the blocks of its input communicators
+(series model) or in series with a parallel block over its inputs
+(parallel model).
+
+Blocks assume statistically independent components, matching the
+paper's composition rules.  ``KOutOfN`` generalises parallel blocks to
+voting structures that need at least ``k`` working inputs.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import AnalysisError
+
+
+class Block:
+    """Base class for RBD blocks.  Subclasses implement ``reliability``."""
+
+    def reliability(self) -> float:
+        """Return the probability that the block works."""
+        raise NotImplementedError
+
+    def failure_probability(self) -> float:
+        """Return the probability that the block fails."""
+        return 1.0 - self.reliability()
+
+    # Composition sugar ------------------------------------------------
+
+    def in_series_with(self, other: "Block") -> "Series":
+        """Return the series (AND) composition of this block and *other*."""
+        return Series([self, other])
+
+    def in_parallel_with(self, other: "Block") -> "Parallel":
+        """Return the parallel (OR) composition of this block and *other*."""
+        return Parallel([self, other])
+
+
+@dataclass(frozen=True)
+class Unit(Block):
+    """A single component with a fixed working probability.
+
+    The *label* is informational (host, sensor, or link name) and shows
+    up in diagnostic rendering.
+    """
+
+    probability: float
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.probability <= 1.0:
+            raise AnalysisError(
+                f"unit {self.label!r}: probability must lie in [0, 1], "
+                f"got {self.probability!r}"
+            )
+
+    def reliability(self) -> float:
+        return self.probability
+
+    def __repr__(self) -> str:
+        label = f"{self.label}=" if self.label else ""
+        return f"Unit({label}{self.probability})"
+
+
+class Series(Block):
+    """AND junction: works only when every sub-block works."""
+
+    def __init__(self, blocks: Sequence[Block]):
+        if not blocks:
+            raise AnalysisError("a series block needs at least one sub-block")
+        self.blocks = tuple(blocks)
+
+    def reliability(self) -> float:
+        return math.prod(block.reliability() for block in self.blocks)
+
+    def __repr__(self) -> str:
+        return f"Series({list(self.blocks)!r})"
+
+
+class Parallel(Block):
+    """OR junction: works when at least one sub-block works."""
+
+    def __init__(self, blocks: Sequence[Block]):
+        if not blocks:
+            raise AnalysisError(
+                "a parallel block needs at least one sub-block"
+            )
+        self.blocks = tuple(blocks)
+
+    def reliability(self) -> float:
+        return 1.0 - math.prod(
+            block.failure_probability() for block in self.blocks
+        )
+
+    def __repr__(self) -> str:
+        return f"Parallel({list(self.blocks)!r})"
+
+
+class KOutOfN(Block):
+    """A voting block that works when at least *k* of its inputs work.
+
+    ``KOutOfN(1, blocks)`` equals :class:`Parallel`;
+    ``KOutOfN(len(blocks), blocks)`` equals :class:`Series`.  The exact
+    probability is computed by enumerating working subsets, which is
+    fine for the replication degrees that occur in practice (a handful
+    of hosts); heterogeneous component reliabilities are supported.
+    """
+
+    def __init__(self, k: int, blocks: Sequence[Block]):
+        if not blocks:
+            raise AnalysisError(
+                "a k-out-of-n block needs at least one sub-block"
+            )
+        if not 1 <= k <= len(blocks):
+            raise AnalysisError(
+                f"k must lie in [1, {len(blocks)}], got {k}"
+            )
+        self.k = k
+        self.blocks = tuple(blocks)
+
+    def reliability(self) -> float:
+        probabilities = [block.reliability() for block in self.blocks]
+        n = len(probabilities)
+        total = 0.0
+        for working in itertools.product((True, False), repeat=n):
+            if sum(working) < self.k:
+                continue
+            weight = 1.0
+            for works, p in zip(working, probabilities):
+                weight *= p if works else (1.0 - p)
+            total += weight
+        return total
+
+    def __repr__(self) -> str:
+        return f"KOutOfN({self.k}, {list(self.blocks)!r})"
+
+
+def replicated_unit(
+    probabilities: Sequence[float], label: str = ""
+) -> Parallel:
+    """Return the parallel block of independently replicated units.
+
+    Convenience for the common pattern of a task replicated on hosts
+    with the given reliabilities.
+    """
+    return Parallel(
+        [
+            Unit(p, label=f"{label}[{i}]" if label else "")
+            for i, p in enumerate(probabilities)
+        ]
+    )

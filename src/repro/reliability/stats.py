@@ -1,0 +1,155 @@
+"""Statistical tests for LRC compliance of finite traces.
+
+Proposition 1 speaks about limit averages — infinite traces.  A
+simulation only ever yields a finite prefix, so deciding "does this
+implementation meet its LRCs?" from observed data is a hypothesis
+test, not a comparison.  This module provides the standard machinery:
+
+* an exact one-sided binomial test of ``H0: p >= lrc`` against
+  ``H1: p < lrc`` (rejecting H0 means the trace is evidence of an LRC
+  violation);
+* Clopper–Pearson confidence intervals for the per-access reliability;
+* a three-way verdict (*meets* / *violates* / *undecided*) per
+  communicator, used by the Monte-Carlo tooling when it reports
+  runtime compliance.
+
+The per-access reliability events of the Bernoulli fault model are
+i.i.d., which is exactly the regime these tests assume.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from scipy import stats as scipy_stats
+
+from repro.errors import AnalysisError
+from repro.reliability.traces import AbstractTrace
+
+
+class ComplianceVerdict(enum.Enum):
+    """Outcome of a statistical LRC check on a finite trace."""
+
+    MEETS = "meets"
+    VIOLATES = "violates"
+    UNDECIDED = "undecided"
+
+
+@dataclass(frozen=True)
+class LRCTest:
+    """Result of testing one communicator's trace against its LRC."""
+
+    communicator: str
+    lrc: float
+    samples: int
+    successes: int
+    p_value_violation: float  # P(X <= successes | p = lrc)
+    p_value_compliance: float  # P(X >= successes | p = lrc)
+    confidence_interval: tuple[float, float]
+    verdict: ComplianceVerdict
+
+    @property
+    def observed(self) -> float:
+        """The observed reliable fraction."""
+        return self.successes / self.samples
+
+
+def binomial_confidence_interval(
+    successes: int, samples: int, confidence: float = 0.99
+) -> tuple[float, float]:
+    """Return the Clopper–Pearson interval for a binomial proportion."""
+    if samples <= 0:
+        raise AnalysisError("confidence interval needs samples > 0")
+    if not 0.0 < confidence < 1.0:
+        raise AnalysisError(
+            f"confidence must lie in (0, 1), got {confidence}"
+        )
+    alpha = 1.0 - confidence
+    if successes == 0:
+        lower = 0.0
+    else:
+        lower = scipy_stats.beta.ppf(
+            alpha / 2.0, successes, samples - successes + 1
+        )
+    if successes == samples:
+        upper = 1.0
+    else:
+        upper = scipy_stats.beta.ppf(
+            1.0 - alpha / 2.0, successes + 1, samples - successes
+        )
+    return float(lower), float(upper)
+
+
+def lrc_test(
+    trace: AbstractTrace,
+    lrc: float,
+    confidence: float = 0.99,
+) -> LRCTest:
+    """Test a finite abstract trace against an LRC.
+
+    The verdict is *violates* when the one-sided binomial test rejects
+    ``p >= lrc`` at the given confidence, *meets* when it rejects
+    ``p <= lrc``, and *undecided* when the data cannot separate the
+    two (e.g. the SRG sits exactly at the LRC, as in the paper's
+    alternating-mapping example where the limit average equals 0.9
+    exactly).
+    """
+    samples = len(trace)
+    if samples == 0:
+        raise AnalysisError("cannot test an empty trace")
+    if not 0.0 < lrc <= 1.0:
+        raise AnalysisError(f"LRC must lie in (0, 1], got {lrc}")
+    successes = trace.reliable_count()
+    alpha = 1.0 - confidence
+    # P(X <= successes) under p = lrc: small means "too few successes
+    # to be compatible with p >= lrc".
+    p_violation = float(
+        scipy_stats.binom.cdf(successes, samples, lrc)
+    )
+    # P(X >= successes) under p = lrc: small means "too many successes
+    # to be compatible with p <= lrc".
+    p_compliance = float(
+        scipy_stats.binom.sf(successes - 1, samples, lrc)
+    )
+    if p_violation < alpha:
+        verdict = ComplianceVerdict.VIOLATES
+    elif p_compliance < alpha:
+        verdict = ComplianceVerdict.MEETS
+    else:
+        verdict = ComplianceVerdict.UNDECIDED
+    return LRCTest(
+        communicator=trace.communicator,
+        lrc=lrc,
+        samples=samples,
+        successes=successes,
+        p_value_violation=p_violation,
+        p_value_compliance=p_compliance,
+        confidence_interval=binomial_confidence_interval(
+            successes, samples, confidence
+        ),
+        verdict=verdict,
+    )
+
+
+def required_samples(
+    lrc: float, margin: float, confidence: float = 0.99
+) -> int:
+    """Estimate the trace length needed to resolve an SRG margin.
+
+    Uses the Hoeffding bound: to distinguish ``p = lrc + margin`` (or
+    ``lrc - margin``) from ``p = lrc`` with the given confidence, about
+    ``ln(1/alpha) / (2 margin^2)`` samples suffice.  Useful to size
+    Monte-Carlo runs before launching them.
+    """
+    import math
+
+    if margin <= 0:
+        raise AnalysisError(f"margin must be positive, got {margin}")
+    if not 0.0 < confidence < 1.0:
+        raise AnalysisError(
+            f"confidence must lie in (0, 1), got {confidence}"
+        )
+    del lrc  # the bound is distribution-free in p
+    alpha = 1.0 - confidence
+    return math.ceil(math.log(1.0 / alpha) / (2.0 * margin * margin))

@@ -1,0 +1,139 @@
+"""Textual design reports: margins, traces, graphs, full summaries.
+
+Everything renders to plain text so reports work in terminals, logs,
+and CI artifacts:
+
+* :func:`render_margins` — a bar chart of SRG-vs-LRC margins;
+* :func:`render_trace` — a sparkline of a communicator's abstract
+  trace with its running average;
+* :func:`render_dependency_graph` — the communicator data-flow as an
+  indented adjacency listing;
+* :func:`design_report` — the one-stop report for a candidate design:
+  joint analysis, timeline, per-communicator margins, and (when the
+  design is invalid) single-component upgrade advice.
+"""
+
+from __future__ import annotations
+
+from repro.arch.architecture import Architecture
+from repro.mapping.implementation import Implementation
+from repro.model.graph import communicator_dependency_graph
+from repro.model.specification import Specification
+from repro.reliability.analysis import ReliabilityReport
+from repro.reliability.sensitivity import upgrade_options
+from repro.reliability.traces import AbstractTrace
+from repro.validity import check_validity
+
+_BAR_WIDTH = 40
+_SPARKS = "▁█"
+
+
+def render_margins(report: ReliabilityReport, width: int = _BAR_WIDTH) -> str:
+    """Render the SRG-vs-LRC margins as a text bar chart.
+
+    Bars are scaled to the largest absolute margin; violated
+    communicators render their deficit to the left of the axis.
+    """
+    verdicts = sorted(report.verdicts, key=lambda v: v.communicator)
+    largest = max(
+        (abs(v.margin) for v in verdicts), default=0.0
+    ) or 1.0
+    name_width = max(len(v.communicator) for v in verdicts)
+    lines = []
+    for verdict in verdicts:
+        length = round(abs(verdict.margin) / largest * width)
+        bar = ("+" if verdict.margin >= 0 else "-") * max(length, 1)
+        mark = "ok " if verdict.satisfied else "LOW"
+        lines.append(
+            f"{verdict.communicator.ljust(name_width)} [{mark}] "
+            f"{verdict.margin:+.6f} |{bar}"
+        )
+    return "\n".join(lines)
+
+
+def render_trace(
+    trace: AbstractTrace, width: int = 60
+) -> str:
+    """Render an abstract trace as a sparkline plus statistics.
+
+    Each output character summarises a bucket of accesses: a full
+    block when every access in the bucket was reliable, a low block
+    otherwise.  The trailing line reports the prefix average.
+    """
+    bits = trace.bits
+    if bits.size == 0:
+        return f"{trace.communicator}: (empty trace)"
+    bucket = max(1, bits.size // width)
+    characters = []
+    for start in range(0, bits.size, bucket):
+        window = bits[start:start + bucket]
+        characters.append(_SPARKS[1] if window.all() else _SPARKS[0])
+    average = trace.limit_average()
+    return (
+        f"{trace.communicator}: {''.join(characters)}\n"
+        f"{' ' * len(trace.communicator)}  "
+        f"{bits.size} accesses, {trace.reliable_count()} reliable, "
+        f"limavg {average:.6f}"
+    )
+
+
+def render_dependency_graph(spec: Specification) -> str:
+    """Render the communicator data-flow graph as adjacency text."""
+    graph = communicator_dependency_graph(spec)
+    lines = ["communicator data-flow:"]
+    inputs = spec.input_communicators()
+    for name in sorted(spec.communicators):
+        successors = sorted(graph.successors(name))
+        origin = "sensor" if name in inputs else (
+            spec.writer_of(name).name if spec.writer_of(name) else "init"
+        )
+        arrow = (
+            " -> " + ", ".join(successors) if successors else ""
+        )
+        lines.append(f"  {name} (written by {origin}){arrow}")
+    return "\n".join(lines)
+
+
+def design_report(
+    spec: Specification,
+    arch: Architecture,
+    implementation: Implementation,
+    advise_upgrades: bool = True,
+) -> str:
+    """Render the full report for one candidate design.
+
+    Sections: verdict, schedulability (with the timeline), reliability
+    margins, data flow, and — when the reliability analysis fails —
+    the single-component upgrades that would repair it.
+    """
+    verdict = check_validity(spec, arch, implementation)
+    sections = [
+        "=" * 64,
+        f"design report — {len(spec.tasks)} tasks on "
+        f"{len(arch.hosts)} hosts (period {spec.period()})",
+        "=" * 64,
+        verdict.summary(),
+        "",
+        "margins:",
+        render_margins(verdict.reliability),
+        "",
+        render_dependency_graph(spec),
+        "",
+        verdict.schedulability.timeline.render(),
+    ]
+    if advise_upgrades and not verdict.reliability.reliable:
+        options = upgrade_options(spec, arch, implementation)
+        sections.append("")
+        if options:
+            sections.append("single-component upgrades that repair it:")
+            for option in options:
+                sections.append(
+                    f"  {option.component}: {option.current:.6f} -> "
+                    f"{option.required:.6f} (+{option.delta:.6f})"
+                )
+        else:
+            sections.append(
+                "no single-component upgrade repairs this design; "
+                "replicate tasks or sensors instead"
+            )
+    return "\n".join(sections)

@@ -1,0 +1,46 @@
+"""Distributed runtime simulator.
+
+A discrete-event simulation of the paper's execution semantics: a set
+of fail-silent hosts on an atomic broadcast network, each holding
+replications of every communicator, executing task replications under
+the LET model — inputs are snapshot at each port's instance time,
+outputs are broadcast on completion and *voted* into the communicator
+replications at the write time.  Fault injection covers transient
+per-invocation Bernoulli failures (matching ``hrel``/``srel``), and
+scripted outages (the paper's pull-the-plug experiment).
+"""
+
+from repro.runtime.faults import (
+    BernoulliFaults,
+    CompositeFaults,
+    FaultInjector,
+    NoFaults,
+    ScriptedFaults,
+    ValueFaults,
+)
+from repro.runtime.voting import first_non_bottom, majority_vote
+from repro.runtime.environment import (
+    CallbackEnvironment,
+    ConstantEnvironment,
+    Environment,
+)
+from repro.runtime.engine import SimulationResult, Simulator
+from repro.runtime.modes import ModeSwitchingExecutive, ModeSwitchingResult
+
+__all__ = [
+    "ModeSwitchingExecutive",
+    "ModeSwitchingResult",
+    "BernoulliFaults",
+    "CallbackEnvironment",
+    "CompositeFaults",
+    "ConstantEnvironment",
+    "Environment",
+    "FaultInjector",
+    "NoFaults",
+    "ScriptedFaults",
+    "SimulationResult",
+    "Simulator",
+    "ValueFaults",
+    "first_non_bottom",
+    "majority_vote",
+]

@@ -1,0 +1,249 @@
+"""The E-machine: interpreter of compiled E-code.
+
+Executes the periodic E-code emitted by
+:func:`repro.htl.ecode.generate_ecode` against the same environment,
+fault-injection, and voting machinery as the reference simulator.  The
+E-machine is the runtime half of the paper's prototype: the compiler
+emits drivers (UPDATE/SNAPSHOT/VOTE) and scheduling commands
+(RELEASE/DISPATCH/BROADCAST), and this interpreter runs them.
+
+Within one time instant the opcode order guarantees the semantics
+constraint "update all replications first, then read": VOTE and UPDATE
+run before the trace is recorded and before SNAPSHOT/RELEASE.
+
+The E-machine intentionally consumes randomness in exactly the same
+order as :class:`repro.runtime.engine.Simulator`, so that with equal
+seeds the two produce identical traces — the test suite uses this to
+certify that compiled E-code implements the reference semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.arch.architecture import Architecture
+from repro.errors import RuntimeSimulationError
+from repro.htl.ecode import ECode, Instruction, Opcode
+from repro.mapping.implementation import Implementation
+from repro.model.specification import Specification
+from repro.model.values import BOTTOM
+from repro.runtime.engine import SimulationResult
+from repro.runtime.environment import ConstantEnvironment, Environment
+from repro.runtime.faults import FaultInjector, NoFaults
+from repro.runtime.voting import Voter, first_non_bottom
+
+
+class EMachine:
+    """Interpreter for compiled E-code programs.
+
+    Parameters mirror :class:`~repro.runtime.engine.Simulator`; the
+    implementation must be the (static) mapping the E-code was
+    generated for.
+    """
+
+    def __init__(
+        self,
+        ecode: ECode,
+        spec: Specification,
+        arch: Architecture,
+        implementation: Implementation,
+        environment: Environment | None = None,
+        faults: FaultInjector | None = None,
+        voter: Voter = first_non_bottom,
+        actuator_communicators: "frozenset[str] | None" = None,
+        seed: int = 0,
+    ) -> None:
+        self.ecode = ecode
+        self.spec = spec
+        self.arch = arch
+        self.implementation = implementation
+        implementation.validate(spec, arch)
+        self.environment = environment or ConstantEnvironment()
+        self.faults = faults or NoFaults()
+        self.voter = voter
+        self.actuators = (
+            frozenset(spec.output_communicators())
+            if actuator_communicators is None
+            else frozenset(actuator_communicators)
+        )
+        self.rng = np.random.default_rng(seed)
+        self.period = ecode.period
+        self.tick = spec.base_tick()
+        self.write_times = {
+            t.name: t.write_time(spec.periods())
+            for t in spec.tasks.values()
+        }
+        missing = sorted(
+            t.name for t in spec.tasks.values() if t.function is None
+        )
+        if missing:
+            raise RuntimeSimulationError(
+                f"tasks {missing} have no function; bind functions before "
+                f"interpreting E-code"
+            )
+        self._by_offset: dict[int, list[Instruction]] = {}
+        for instruction in ecode.instructions:
+            self._by_offset.setdefault(instruction.time, []).append(
+                instruction
+            )
+        for offset in self._by_offset:
+            self._by_offset[offset].sort()
+
+    def run(self, iterations: int) -> SimulationResult:
+        """Interpret the E-code for *iterations* periods."""
+        if iterations <= 0:
+            raise RuntimeSimulationError(
+                f"iterations must be positive, got {iterations}"
+            )
+        spec = self.spec
+        horizon = iterations * self.period
+        store: dict[str, Any] = {
+            name: comm.init for name, comm in spec.communicators.items()
+        }
+        values: dict[str, list[Any]] = {
+            name: [] for name in spec.communicators
+        }
+        snapshots: dict[tuple[str, int], list[Any]] = {}
+        pending: dict[tuple[str, int], list[tuple[Any, ...]]] = {}
+        attempts: dict[tuple[str, str], int] = {}
+        failures: dict[tuple[str, str], int] = {}
+        dispatch_log: list[tuple[int, str, str, str]] = []
+
+        for now in range(0, horizon, self.tick):
+            offset = now % self.period
+            instructions = self._by_offset.get(offset, ())
+            recorded = False
+            for instruction in instructions:
+                if (
+                    not recorded
+                    and instruction.opcode >= Opcode.SNAPSHOT
+                ):
+                    self._record(now, store, values)
+                    recorded = True
+                self._execute(
+                    instruction,
+                    now,
+                    store,
+                    snapshots,
+                    pending,
+                    attempts,
+                    failures,
+                    dispatch_log,
+                )
+            if not recorded:
+                self._record(now, store, values)
+            self.environment.advance(now, self.tick)
+
+        return SimulationResult(
+            spec=spec,
+            iterations=iterations,
+            values=values,
+            replica_attempts=attempts,
+            replica_failures=failures,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _record(
+        self,
+        now: int,
+        store: dict[str, Any],
+        values: dict[str, list[Any]],
+    ) -> None:
+        for name, comm in self.spec.communicators.items():
+            if now % comm.period == 0:
+                values[name].append(store[name])
+
+    def _execute(
+        self,
+        instruction: Instruction,
+        now: int,
+        store: dict[str, Any],
+        snapshots: dict[tuple[str, int], list[Any]],
+        pending: dict[tuple[str, int], list[tuple[Any, ...]]],
+        attempts: dict[tuple[str, str], int],
+        failures: dict[tuple[str, str], int],
+        dispatch_log: list[tuple[int, str, str, str]],
+    ) -> None:
+        opcode = instruction.opcode
+        if opcode is Opcode.VOTE:
+            (task_name,) = instruction.args
+            write_time = instruction.when
+            if now < write_time:
+                return
+            iteration = (now - write_time) // self.period
+            task = self.spec.tasks[task_name]
+            outputs = pending.pop((task_name, iteration), [])
+            for index, port in enumerate(task.outputs):
+                replica_values = [value[index] for value in outputs]
+                voted = (
+                    self.voter(replica_values) if replica_values else BOTTOM
+                )
+                store[port.communicator] = voted
+                if port.communicator in self.actuators:
+                    self.environment.actuate(port.communicator, now, voted)
+        elif opcode is Opcode.UPDATE:
+            (name,) = instruction.args
+            iteration = now // self.period
+            sensors = self.implementation.sensors_of(name)
+            physical = self.environment.sense(name, now)
+            delivered = any(
+                not self.faults.sensor_fails(sensor, now, self.rng)
+                for sensor in sorted(sensors)
+            )
+            store[name] = physical if delivered else BOTTOM
+        elif opcode is Opcode.SNAPSHOT:
+            task_name, index, comm = instruction.args
+            iteration = now // self.period
+            task = self.spec.tasks[task_name]
+            key = (task_name, iteration)
+            if key not in snapshots:
+                snapshots[key] = [None] * len(task.inputs)
+            snapshots[key][index] = store[comm]
+        elif opcode is Opcode.RELEASE:
+            (task_name,) = instruction.args
+            iteration = now // self.period
+            task = self.spec.tasks[task_name]
+            key = (task_name, iteration)
+            snapshot = snapshots.pop(key, None)
+            if snapshot is None or any(v is None for v in snapshot):
+                raise RuntimeSimulationError(
+                    f"incomplete input snapshot for {task_name} at {now}"
+                )
+            deadline = (
+                iteration * self.period + self.write_times[task_name]
+            )
+            result_cache: "tuple[Any, ...] | None | str" = "unset"
+            for host in sorted(
+                self.implementation.hosts_of(task_name)
+            ):
+                attempts[(task_name, host)] = (
+                    attempts.get((task_name, host), 0) + 1
+                )
+                failed = self.faults.replica_fails(
+                    task_name, host, iteration, now, deadline, self.rng
+                ) or self.faults.broadcast_fails(
+                    task_name, host, iteration, self.rng
+                )
+                if failed:
+                    failures[(task_name, host)] = (
+                        failures.get((task_name, host), 0) + 1
+                    )
+                    continue
+                if result_cache == "unset":
+                    result_cache = task.execute(snapshot)
+                if result_cache is None:
+                    continue
+                pending.setdefault(key, []).append(
+                    self.faults.corrupt_outputs(
+                        task_name, host, iteration, result_cache,
+                        self.rng,
+                    )
+                )
+        elif opcode in (Opcode.DISPATCH, Opcode.BROADCAST):
+            task_name, host = instruction.args
+            dispatch_log.append(
+                (now, opcode.name.lower(), task_name, host)
+            )

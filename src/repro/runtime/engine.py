@@ -1,0 +1,410 @@
+"""The discrete-event distributed runtime simulator.
+
+Simulates the paper's execution semantics at the granularity of
+communicator access instants:
+
+* at every instant, communicator updates happen before reads
+  (semantics constraint 3): task-output commits and sensor updates
+  first, then trace recording and input snapshots;
+* each input port ``(c, i)`` of a task is snapshot at its own instance
+  time ``i * pi_c`` (LET semantics), so a later write to ``c`` before
+  the task's read time cannot leak into the invocation;
+* a task invocation executes once per specification period; every
+  replication ``(t, h)`` computes on the identical snapshot and
+  broadcasts its outputs, failure injection deciding which replicas
+  contribute;
+* at the write time, the hosts vote over the received replica outputs
+  and the winning value (or ``BOTTOM``) is written into every
+  communicator replication.
+
+Because all replications hold identical values by construction (atomic
+broadcast, deterministic tasks, race-free specification), the
+simulator keeps one logical store; host identity matters only for
+failure injection, which is where fail-silence bites.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping
+
+import numpy as np
+
+from repro.arch.architecture import Architecture
+from repro.errors import RuntimeSimulationError
+from repro.mapping.implementation import Implementation
+from repro.mapping.timedep import TimeDependentImplementation
+from repro.model.specification import Specification
+from repro.model.values import BOTTOM
+from repro.reliability.traces import AbstractTrace
+from repro.runtime.environment import ConstantEnvironment, Environment
+from repro.runtime.faults import FaultInjector, NoFaults
+from repro.runtime.voting import Voter, first_non_bottom
+
+
+@dataclass
+class SimulationResult:
+    """Recorded outcome of one simulation run.
+
+    ``values[c]`` holds the value observed at every access instant of
+    communicator ``c`` (index ``j`` is time ``j * pi_c``), recorded
+    after the updates due at that instant.
+    """
+
+    spec: Specification
+    iterations: int
+    values: dict[str, list[Any]]
+    replica_attempts: dict[tuple[str, str], int] = field(default_factory=dict)
+    replica_failures: dict[tuple[str, str], int] = field(default_factory=dict)
+    final_store: dict[str, Any] = field(default_factory=dict)
+
+    def abstract(self) -> dict[str, AbstractTrace]:
+        """Return the reliability-based abstract trace per communicator."""
+        return {
+            name: AbstractTrace.from_values(name, values)
+            for name, values in self.values.items()
+        }
+
+    def limit_averages(self) -> dict[str, float]:
+        """Return the observed reliable fraction per communicator."""
+        return {
+            name: trace.limit_average()
+            for name, trace in self.abstract().items()
+        }
+
+    def satisfies_lrcs(self, slack: float = 0.0) -> bool:
+        """Check every LRC against the observed limit averages."""
+        averages = self.limit_averages()
+        return all(
+            averages[name] >= comm.lrc - slack
+            for name, comm in self.spec.communicators.items()
+        )
+
+    def replica_failure_rate(self, task: str, host: str) -> float:
+        """Return the observed failure fraction of one replication."""
+        attempts = self.replica_attempts.get((task, host), 0)
+        if attempts == 0:
+            return 0.0
+        return self.replica_failures.get((task, host), 0) / attempts
+
+    def summary(self) -> str:
+        """Return a human-readable multi-line summary."""
+        lines = [f"simulation over {self.iterations} iterations"]
+        averages = self.limit_averages()
+        for name in sorted(averages):
+            lrc = self.spec.communicators[name].lrc
+            mark = "ok " if averages[name] >= lrc else "LOW"
+            lines.append(
+                f"  [{mark}] {name}: observed {averages[name]:.6f} "
+                f"(LRC {lrc:.6f})"
+            )
+        return "\n".join(lines)
+
+
+class Simulator:
+    """Distributed LET runtime with replication, broadcast, and voting.
+
+    Parameters
+    ----------
+    spec, arch:
+        The specification and architecture to execute.
+    implementation:
+        A static :class:`Implementation` or a
+        :class:`TimeDependentImplementation` (the phase of iteration
+        ``k`` governs which hosts execute iteration ``k``).
+    environment:
+        Sensor/actuator coupling; defaults to constant zeros.
+    faults:
+        Fault injector; defaults to :class:`NoFaults`.
+    voter:
+        Voting function combining replica outputs (default:
+        first-non-bottom with agreement checking).
+    actuator_communicators:
+        Communicators whose commits are delivered to
+        ``environment.actuate``; defaults to the communicators read by
+        no task.
+    seed:
+        Seed of the NumPy generator driving stochastic fault injection.
+    """
+
+    def __init__(
+        self,
+        spec: Specification,
+        arch: Architecture,
+        implementation: Implementation | TimeDependentImplementation,
+        environment: Environment | None = None,
+        faults: FaultInjector | None = None,
+        voter: Voter = first_non_bottom,
+        actuator_communicators: Iterable[str] | None = None,
+        seed: "int | np.random.Generator" = 0,
+    ) -> None:
+        self.spec = spec
+        self.arch = arch
+        if isinstance(implementation, Implementation):
+            implementation = TimeDependentImplementation.static(implementation)
+        self.implementation = implementation
+        self.implementation.validate(spec, arch)
+        self.environment = environment or ConstantEnvironment()
+        self.faults = faults or NoFaults()
+        self.voter = voter
+        self.actuators = frozenset(
+            spec.output_communicators()
+            if actuator_communicators is None
+            else actuator_communicators
+        )
+        if isinstance(seed, np.random.Generator):
+            self.rng = seed
+        else:
+            self.rng = np.random.default_rng(seed)
+        missing = sorted(
+            t.name for t in spec.tasks.values() if t.function is None
+        )
+        if missing:
+            raise RuntimeSimulationError(
+                f"tasks {missing} have no function; bind functions before "
+                f"simulating"
+            )
+        self._build_plans()
+
+    def _build_plans(self) -> None:
+        spec = self.spec
+        periods = spec.periods()
+        self.periods = periods
+        self.period = spec.period()
+        self.tick = spec.base_tick()
+        self.input_comms = sorted(spec.input_communicators())
+        self.write_times = {
+            task.name: task.write_time(periods)
+            for task in spec.tasks.values()
+        }
+
+        # Offset (within a period) -> input ports to snapshot.
+        self.snap_plan: dict[int, list[tuple[str, int, str]]] = {}
+        self.release_plan: dict[int, list[str]] = {}
+        # Absolute write phase -> tasks committing there.
+        self.commit_plan: dict[int, list[str]] = {}
+        for task in spec.tasks.values():
+            for index, port in enumerate(task.inputs):
+                offset = periods[port.communicator] * port.instance
+                self.snap_plan.setdefault(offset, []).append(
+                    (task.name, index, port.communicator)
+                )
+            self.release_plan.setdefault(
+                task.read_time(periods), []
+            ).append(task.name)
+            self.commit_plan.setdefault(
+                task.write_time(periods), []
+            ).append(task.name)
+        for plan in (self.snap_plan, self.release_plan, self.commit_plan):
+            for key in plan:
+                plan[key].sort()
+
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        iterations: int,
+        start_time: int = 0,
+        initial_store: Mapping[str, Any] | None = None,
+        flush_final_commits: bool = False,
+    ) -> SimulationResult:
+        """Execute *iterations* specification periods and record traces.
+
+        The keyword arguments support *chained* runs (used by the
+        mode-switching executive): *start_time* offsets the simulated
+        clock (a multiple of the specification period, so scripted
+        fault times and time-dependent phases stay absolute),
+        *initial_store* carries communicator values over from a
+        previous run instead of the declared initial values, and
+        *flush_final_commits* performs the commits falling exactly on
+        the final period boundary (which otherwise belong to the next
+        run) so no task output is lost when the task set changes.
+        """
+        if iterations <= 0:
+            raise RuntimeSimulationError(
+                f"iterations must be positive, got {iterations}"
+            )
+        spec = self.spec
+        period = self.period
+        tick = self.tick
+        if start_time % period:
+            raise RuntimeSimulationError(
+                f"start_time {start_time} must be a multiple of the "
+                f"specification period {period}"
+            )
+        horizon = start_time + iterations * period
+
+        store: dict[str, Any] = (
+            dict(initial_store)
+            if initial_store is not None
+            else {
+                name: comm.init
+                for name, comm in spec.communicators.items()
+            }
+        )
+        missing_comms = set(spec.communicators) - set(store)
+        if missing_comms:
+            raise RuntimeSimulationError(
+                f"initial store lacks communicators "
+                f"{sorted(missing_comms)}"
+            )
+        values: dict[str, list[Any]] = {
+            name: [] for name in spec.communicators
+        }
+        snapshots: dict[tuple[str, int], list[Any]] = {}
+        pending: dict[tuple[str, int], list[tuple[Any, ...]]] = {}
+        attempts: dict[tuple[str, str], int] = {}
+        failures: dict[tuple[str, str], int] = {}
+
+        for now in range(start_time, horizon, tick):
+            offset = now % period
+            iteration = now // period
+
+            # 1. Commit task outputs whose write time is due.  A write
+            # time equal to the period commits at offset 0 of the next
+            # period and belongs to the previous iteration; iterations
+            # before this run's first one belong to the previous
+            # (already flushed) run and are skipped.
+            start_iteration = start_time // period
+            for write_time, tasks in self.commit_plan.items():
+                if now < write_time or (now - write_time) % period:
+                    continue
+                commit_iteration = (now - write_time) // period
+                if commit_iteration < start_iteration:
+                    continue
+                for name in tasks:
+                    self._commit(
+                        name, commit_iteration, store, pending, now
+                    )
+
+            # 2. Sensor updates of input communicators that are due.
+            for name in self.input_comms:
+                if now % spec.communicators[name].period:
+                    continue
+                phase = self.implementation.phase_for_iteration(iteration)
+                sensors = phase.sensors_of(name)
+                physical = self.environment.sense(name, now)
+                delivered = any(
+                    not self.faults.sensor_fails(sensor, now, self.rng)
+                    for sensor in sorted(sensors)
+                )
+                store[name] = physical if delivered else BOTTOM
+
+            # 3. Record the trace at every due access instant.
+            for name, comm in spec.communicators.items():
+                if now % comm.period == 0:
+                    values[name].append(store[name])
+
+            # 4. Snapshot input ports whose instance time is due.
+            for task_name, index, comm in self.snap_plan.get(offset, ()):
+                task = spec.tasks[task_name]
+                key = (task_name, iteration)
+                if key not in snapshots:
+                    snapshots[key] = [None] * len(task.inputs)
+                snapshots[key][index] = store[comm]
+
+            # 5. Release invocations whose read time is due: every
+            # replication computes on the identical snapshot.
+            for task_name in self.release_plan.get(offset, ()):
+                self._release(
+                    task_name,
+                    iteration,
+                    now,
+                    snapshots,
+                    pending,
+                    attempts,
+                    failures,
+                )
+
+            self.environment.advance(now, tick)
+
+        if flush_final_commits:
+            # Perform the commits falling exactly on the final period
+            # boundary (write time == period); they are not recorded in
+            # this run's trace — a subsequent chained run records the
+            # committed values at its first instant.
+            for write_time, tasks in self.commit_plan.items():
+                if (horizon - write_time) % period or horizon < write_time:
+                    continue
+                commit_iteration = (horizon - write_time) // period
+                if commit_iteration < start_time // period:
+                    continue
+                for name in tasks:
+                    self._commit(
+                        name, commit_iteration, store, pending, horizon
+                    )
+
+        return SimulationResult(
+            spec=spec,
+            iterations=iterations,
+            values=values,
+            replica_attempts=attempts,
+            replica_failures=failures,
+            final_store=store,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _commit(
+        self,
+        task_name: str,
+        iteration: int,
+        store: dict[str, Any],
+        pending: dict[tuple[str, int], list[tuple[Any, ...]]],
+        now: int,
+    ) -> None:
+        task = self.spec.tasks[task_name]
+        outputs = pending.pop((task_name, iteration), [])
+        for index, port in enumerate(task.outputs):
+            replica_values = [value[index] for value in outputs]
+            voted = self.voter(replica_values) if replica_values else BOTTOM
+            store[port.communicator] = voted
+            if port.communicator in self.actuators:
+                self.environment.actuate(port.communicator, now, voted)
+
+    def _release(
+        self,
+        task_name: str,
+        iteration: int,
+        now: int,
+        snapshots: dict[tuple[str, int], list[Any]],
+        pending: dict[tuple[str, int], list[tuple[Any, ...]]],
+        attempts: dict[tuple[str, str], int],
+        failures: dict[tuple[str, str], int],
+    ) -> None:
+        task = self.spec.tasks[task_name]
+        key = (task_name, iteration)
+        snapshot = snapshots.pop(key, None)
+        if snapshot is None or any(v is None for v in snapshot):
+            raise RuntimeSimulationError(
+                f"incomplete input snapshot for {task_name} at {now}"
+            )
+        deadline = iteration * self.period + self.write_times[task_name]
+        phase = self.implementation.phase_for_iteration(iteration)
+        result_cache: tuple[Any, ...] | None | str = "unset"
+        for host in sorted(phase.hosts_of(task_name)):
+            attempts[(task_name, host)] = (
+                attempts.get((task_name, host), 0) + 1
+            )
+            failed = self.faults.replica_fails(
+                task_name, host, iteration, now, deadline, self.rng
+            ) or self.faults.broadcast_fails(
+                task_name, host, iteration, self.rng
+            )
+            if failed:
+                failures[(task_name, host)] = (
+                    failures.get((task_name, host), 0) + 1
+                )
+                continue
+            # Deterministic tasks: compute once, reuse per replica.
+            if result_cache == "unset":
+                result_cache = task.execute(snapshot)
+            if result_cache is None:
+                # The failure model suppressed execution (unreliable
+                # inputs); the replica stays silent.
+                continue
+            pending.setdefault(key, []).append(
+                self.faults.corrupt_outputs(
+                    task_name, host, iteration, result_cache, self.rng
+                )
+            )

@@ -1,0 +1,76 @@
+"""Environment models: sensors in, actuators out.
+
+The environment supplies the values of input communicators (sensor
+readings) and consumes the values of output communicators (actuator
+commands).  Closed-loop experiments (the three-tank system) implement
+:class:`Environment` over a plant model; open-loop experiments use
+:class:`ConstantEnvironment` or :class:`CallbackEnvironment`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
+
+
+class Environment:
+    """Interface between the simulator and the physical world."""
+
+    def sense(self, communicator: str, time: int) -> Any:
+        """Return the physical value an input communicator reads at *time*.
+
+        This is the value *before* sensor failure injection; a failed
+        sensor turns it into ``BOTTOM`` downstream.
+        """
+        return 0.0
+
+    def actuate(self, communicator: str, time: int, value: Any) -> None:
+        """Deliver an output-communicator update to the actuators.
+
+        *value* may be ``BOTTOM`` when every writing replica failed;
+        realistic environments then hold the previous actuation.
+        """
+
+    def advance(self, time: int, dt: int) -> None:
+        """Advance physical time from *time* by *dt* time units."""
+
+
+@dataclass
+class ConstantEnvironment(Environment):
+    """An environment returning fixed sensor values and logging actuations."""
+
+    values: Mapping[str, Any] = field(default_factory=dict)
+    default: Any = 0.0
+    actuations: list[tuple[int, str, Any]] = field(default_factory=list)
+
+    def sense(self, communicator: str, time: int) -> Any:
+        return self.values.get(communicator, self.default)
+
+    def actuate(self, communicator: str, time: int, value: Any) -> None:
+        self.actuations.append((time, communicator, value))
+
+
+@dataclass
+class CallbackEnvironment(Environment):
+    """An environment delegating to user callbacks.
+
+    Useful for scripted open-loop stimuli, e.g. a ramp on one sensor:
+    ``CallbackEnvironment(sense=lambda c, t: t / 1000)``.
+    """
+
+    sense_fn: Callable[[str, int], Any] | None = None
+    actuate_fn: Callable[[str, int, Any], None] | None = None
+    advance_fn: Callable[[int, int], None] | None = None
+
+    def sense(self, communicator: str, time: int) -> Any:
+        if self.sense_fn is None:
+            return 0.0
+        return self.sense_fn(communicator, time)
+
+    def actuate(self, communicator: str, time: int, value: Any) -> None:
+        if self.actuate_fn is not None:
+            self.actuate_fn(communicator, time, value)
+
+    def advance(self, time: int, dt: int) -> None:
+        if self.advance_fn is not None:
+            self.advance_fn(time, dt)

@@ -1,0 +1,246 @@
+"""Fault injection for the runtime simulator.
+
+All failures are fail-silent: a failed replica or sensor contributes
+nothing (the unreliable value ``BOTTOM``), never a wrong value.  The
+injector interface is queried once per replica invocation, sensor
+update, and broadcast; implementations:
+
+* :class:`NoFaults` — the fault-free baseline;
+* :class:`BernoulliFaults` — independent transient failures with the
+  architecture's ``1 - hrel`` / ``1 - srel`` / ``1 - brel``
+  probabilities, the stochastic model underlying the SRG analysis;
+* :class:`ScriptedFaults` — deterministic outages over time intervals,
+  e.g. *unplug host h2 from t = 5000 on* (the paper's 3TS
+  fault-injection experiment);
+* :class:`CompositeFaults` — union of several injectors (a replica
+  fails if any component injector fails it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.arch.architecture import Architecture
+from repro.errors import RuntimeSimulationError
+
+
+class FaultInjector:
+    """Interface queried by the simulator; default: nothing fails."""
+
+    def replica_fails(
+        self,
+        task: str,
+        host: str,
+        iteration: int,
+        release: int,
+        deadline: int,
+        rng: np.random.Generator,
+    ) -> bool:
+        """Return ``True`` iff replication ``(task, host)`` fails in
+        the invocation window ``[release, deadline]``."""
+        return False
+
+    def corrupt_outputs(
+        self,
+        task: str,
+        host: str,
+        iteration: int,
+        outputs: tuple,
+        rng: np.random.Generator,
+    ) -> tuple:
+        """Return the outputs the replica actually broadcasts.
+
+        The paper assumes fail-silent hosts, so the default returns
+        *outputs* unchanged; :class:`ValueFaults` overrides this to
+        model non-fail-silent (value-faulty) hosts, quantifying why
+        fail-silence matters for first-non-bottom voting.
+        """
+        return outputs
+
+    def sensor_fails(
+        self, sensor: str, time: int, rng: np.random.Generator
+    ) -> bool:
+        """Return ``True`` iff *sensor*'s update at *time* fails."""
+        return False
+
+    def broadcast_fails(
+        self,
+        task: str,
+        host: str,
+        iteration: int,
+        rng: np.random.Generator,
+    ) -> bool:
+        """Return ``True`` iff the output broadcast of the replica fails
+        (atomically: no host receives it)."""
+        return False
+
+
+class NoFaults(FaultInjector):
+    """The fault-free baseline injector."""
+
+
+@dataclass
+class BernoulliFaults(FaultInjector):
+    """Independent transient failures matching the reliability maps.
+
+    Each replica invocation fails with probability ``1 - hrel(h)``,
+    each sensor update with ``1 - srel(s)``, and each broadcast with
+    ``1 - brel``.  This is exactly the stochastic model under which
+    Proposition 1 is proved, so long simulations under this injector
+    converge to the analytic SRGs (experiment E6).
+    """
+
+    arch: Architecture
+
+    def replica_fails(self, task, host, iteration, release, deadline, rng):
+        return rng.random() >= self.arch.hrel(host)
+
+    def sensor_fails(self, sensor, time, rng):
+        return rng.random() >= self.arch.srel(sensor)
+
+    def broadcast_fails(self, task, host, iteration, rng):
+        brel = self.arch.network.reliability
+        if brel >= 1.0:
+            return False
+        return rng.random() >= brel
+
+
+@dataclass
+class ScriptedFaults(FaultInjector):
+    """Deterministic outages over half-open time intervals.
+
+    ``host_outages['h2'] = [(5000, None)]`` takes host ``h2`` down from
+    time 5000 onwards (``None`` = forever) — the simulated equivalent
+    of unplugging it from the Ethernet network.  A replica fails when
+    its host is down at *any* point of the invocation window, because a
+    fail-silent host that dies mid-invocation never broadcasts.
+    """
+
+    host_outages: Mapping[str, Sequence[tuple[int, int | None]]] = field(
+        default_factory=dict
+    )
+    sensor_outages: Mapping[str, Sequence[tuple[int, int | None]]] = field(
+        default_factory=dict
+    )
+
+    def __post_init__(self) -> None:
+        for label, table in (
+            ("host", self.host_outages),
+            ("sensor", self.sensor_outages),
+        ):
+            for name, intervals in table.items():
+                for start, end in intervals:
+                    if end is not None and end <= start:
+                        raise RuntimeSimulationError(
+                            f"{label} {name!r}: outage interval "
+                            f"({start}, {end}) is empty"
+                        )
+
+    @staticmethod
+    def _down_during(
+        intervals: Sequence[tuple[int, int | None]], start: int, end: int
+    ) -> bool:
+        for outage_start, outage_end in intervals:
+            if outage_end is None:
+                if end >= outage_start:
+                    return True
+            elif start < outage_end and end >= outage_start:
+                return True
+        return False
+
+    def replica_fails(self, task, host, iteration, release, deadline, rng):
+        intervals = self.host_outages.get(host, ())
+        return self._down_during(intervals, release, deadline)
+
+    def sensor_fails(self, sensor, time, rng):
+        intervals = self.sensor_outages.get(sensor, ())
+        return self._down_during(intervals, time, time)
+
+
+@dataclass
+class ValueFaults(FaultInjector):
+    """Non-fail-silent hosts: corrupted values instead of silence.
+
+    With probability *probability* per invocation, a listed host's
+    replica broadcasts numerically perturbed outputs instead of the
+    correct ones.  This deliberately violates the paper's fail-silence
+    assumption (Section 2 cites Baleani et al. on achieving
+    fail-silence at reasonable cost): under value faults,
+    first-non-bottom voting can pick a corrupted value (and trips its
+    agreement check), while majority voting over >= 3 replicas masks a
+    single faulty host.  Only numeric outputs are perturbed.
+    """
+
+    probability: float
+    hosts: frozenset[str] = field(default_factory=frozenset)
+    magnitude: float = 1.0
+
+    def __init__(
+        self,
+        probability: float,
+        hosts: Iterable[str] = (),
+        magnitude: float = 1.0,
+    ):
+        if not 0.0 <= probability <= 1.0:
+            raise RuntimeSimulationError(
+                f"corruption probability must lie in [0, 1], got "
+                f"{probability}"
+            )
+        object.__setattr__(self, "probability", probability)
+        object.__setattr__(self, "hosts", frozenset(hosts))
+        object.__setattr__(self, "magnitude", magnitude)
+
+    def corrupt_outputs(self, task, host, iteration, outputs, rng):
+        if self.hosts and host not in self.hosts:
+            return outputs
+        if rng.random() >= self.probability:
+            return outputs
+        corrupted = []
+        for value in outputs:
+            if isinstance(value, bool) or not isinstance(
+                value, (int, float)
+            ):
+                corrupted.append(value)
+            else:
+                corrupted.append(value + self.magnitude)
+        return tuple(corrupted)
+
+
+@dataclass
+class CompositeFaults(FaultInjector):
+    """Union of injectors: a component failing means failure."""
+
+    injectors: Sequence[FaultInjector]
+
+    def __init__(self, injectors: Iterable[FaultInjector]):
+        object.__setattr__(self, "injectors", tuple(injectors))
+
+    def replica_fails(self, task, host, iteration, release, deadline, rng):
+        return any(
+            injector.replica_fails(
+                task, host, iteration, release, deadline, rng
+            )
+            for injector in self.injectors
+        )
+
+    def sensor_fails(self, sensor, time, rng):
+        return any(
+            injector.sensor_fails(sensor, time, rng)
+            for injector in self.injectors
+        )
+
+    def broadcast_fails(self, task, host, iteration, rng):
+        return any(
+            injector.broadcast_fails(task, host, iteration, rng)
+            for injector in self.injectors
+        )
+
+    def corrupt_outputs(self, task, host, iteration, outputs, rng):
+        for injector in self.injectors:
+            outputs = injector.corrupt_outputs(
+                task, host, iteration, outputs, rng
+            )
+        return outputs

@@ -1,0 +1,219 @@
+"""Mode-switching execution of compiled HTL programs.
+
+HTL programs organise tasks into per-module *modes*; at the end of
+every mode period the mode's switch conditions are evaluated on the
+current communicator values and, if one fires, the module continues in
+the target mode.  The paper's 3TS controller uses exactly this
+structure ("there are mode switches between tasks, but the switch is
+always to tasks with identical reliability constraints, and the
+reliability analysis of Section 3 applies").
+
+:class:`ModeSwitchingExecutive` runs a compiled program one period at
+a time: each period executes the flattened specification of the
+current mode selection on the reference simulator (with the
+communicator store, clock, fault scripts, and RNG carried across
+periods), then evaluates the switch statements of every module in
+declaration order — the first condition that returns true wins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping
+
+import numpy as np
+
+from repro.arch.architecture import Architecture
+from repro.errors import RuntimeSimulationError
+from repro.htl.compiler import CompiledProgram
+from repro.mapping.implementation import Implementation
+from repro.model.specification import Specification
+from repro.runtime.engine import SimulationResult, Simulator
+from repro.runtime.environment import Environment
+from repro.runtime.faults import FaultInjector
+from repro.runtime.voting import Voter, first_non_bottom
+
+
+@dataclass
+class ModeSwitchingResult:
+    """Aggregated outcome of a mode-switching run.
+
+    ``values`` concatenates the per-period traces (identical layout to
+    :class:`~repro.runtime.engine.SimulationResult`); ``mode_log[k]``
+    is the mode selection that governed period ``k``; ``switch_log``
+    records every switch as ``(period, module, source, target)``.
+    """
+
+    values: dict[str, list[Any]]
+    mode_log: list[dict[str, str]]
+    switch_log: list[tuple[int, str, str, str]]
+    replica_attempts: dict[tuple[str, str], int] = field(
+        default_factory=dict
+    )
+    replica_failures: dict[tuple[str, str], int] = field(
+        default_factory=dict
+    )
+    final_store: dict[str, Any] = field(default_factory=dict)
+
+    def modes_visited(self, module: str) -> list[str]:
+        """Return the distinct modes *module* passed through, in order."""
+        visited: list[str] = []
+        for selection in self.mode_log:
+            mode = selection[module]
+            if not visited or visited[-1] != mode:
+                visited.append(mode)
+        return visited
+
+
+class ModeSwitchingExecutive:
+    """Executes a compiled HTL program with live mode switching.
+
+    Parameters
+    ----------
+    compiled:
+        The compiled program (functions and switch conditions bound).
+    arch:
+        The architecture to execute on.
+    implementation:
+        A mapping covering *every* task declared in any mode (plus the
+        sensor bindings); each period it is projected onto the tasks of
+        the current mode selection.
+    environment, faults, voter, actuator_communicators, seed:
+        As for :class:`~repro.runtime.engine.Simulator`.
+
+    Switch conditions are called with one argument: a read-only dict of
+    the current communicator values (after the period's final commits).
+    """
+
+    def __init__(
+        self,
+        compiled: CompiledProgram,
+        arch: Architecture,
+        implementation: Implementation,
+        environment: Environment | None = None,
+        faults: FaultInjector | None = None,
+        voter: Voter = first_non_bottom,
+        actuator_communicators: Iterable[str] | None = None,
+        seed: int = 0,
+    ) -> None:
+        self.compiled = compiled
+        self.arch = arch
+        self.full_implementation = implementation
+        self.environment = environment
+        self.faults = faults
+        self.voter = voter
+        self.actuators = actuator_communicators
+        self.rng = np.random.default_rng(seed)
+        self._simulators: dict[
+            frozenset[tuple[str, str]], tuple[Specification, Simulator]
+        ] = {}
+        # Validate all conditions up front so a typo fails fast.
+        for module in compiled.program.modules:
+            for mode in module.modes:
+                for switch in mode.switches:
+                    compiled.condition(switch.condition_name)
+
+    def _project(self, spec: Specification) -> Implementation:
+        assignment = {}
+        for task in spec.tasks:
+            assignment[task] = self.full_implementation.hosts_of(task)
+        binding = {
+            comm: self.full_implementation.sensors_of(comm)
+            for comm in spec.input_communicators()
+        }
+        return Implementation(assignment, binding)
+
+    def _simulator_for(
+        self, selection: Mapping[str, str]
+    ) -> tuple[Specification, Simulator]:
+        key = frozenset(selection.items())
+        if key not in self._simulators:
+            spec = self.compiled.specification(selection)
+            simulator = Simulator(
+                spec,
+                self.arch,
+                self._project(spec),
+                environment=self.environment,
+                faults=self.faults,
+                voter=self.voter,
+                actuator_communicators=self.actuators,
+                seed=self.rng,
+            )
+            self._simulators[key] = (spec, simulator)
+        return self._simulators[key]
+
+    def _evaluate_switches(
+        self,
+        selection: dict[str, str],
+        store: Mapping[str, Any],
+        period_index: int,
+        switch_log: list[tuple[int, str, str, str]],
+    ) -> dict[str, str]:
+        view = dict(store)
+        updated = dict(selection)
+        for module in self.compiled.program.modules:
+            mode = module.mode_named(selection[module.name])
+            for switch in mode.switches:
+                condition = self.compiled.condition(switch.condition_name)
+                if condition(view):
+                    updated[module.name] = switch.target
+                    switch_log.append(
+                        (period_index, module.name, mode.name,
+                         switch.target)
+                    )
+                    break
+        return updated
+
+    def run(self, iterations: int) -> ModeSwitchingResult:
+        """Execute *iterations* periods with live mode switching."""
+        if iterations <= 0:
+            raise RuntimeSimulationError(
+                f"iterations must be positive, got {iterations}"
+            )
+        selection = self.compiled.start_selection()
+        store: dict[str, Any] | None = None
+        values: dict[str, list[Any]] = {
+            name: [] for name in self.compiled.communicators
+        }
+        attempts: dict[tuple[str, str], int] = {}
+        failures: dict[tuple[str, str], int] = {}
+        mode_log: list[dict[str, str]] = []
+        switch_log: list[tuple[int, str, str, str]] = []
+        period = None
+
+        for index in range(iterations):
+            mode_log.append(dict(selection))
+            spec, simulator = self._simulator_for(selection)
+            if period is None:
+                period = simulator.period
+            elif simulator.period != period:
+                raise RuntimeSimulationError(
+                    f"mode selection {selection} has period "
+                    f"{simulator.period}, expected {period}; mode "
+                    f"switching needs one program-wide period"
+                )
+            result: SimulationResult = simulator.run(
+                1,
+                start_time=index * period,
+                initial_store=store,
+                flush_final_commits=True,
+            )
+            store = result.final_store
+            for name, trace in result.values.items():
+                values[name].extend(trace)
+            for key, count in result.replica_attempts.items():
+                attempts[key] = attempts.get(key, 0) + count
+            for key, count in result.replica_failures.items():
+                failures[key] = failures.get(key, 0) + count
+            selection = self._evaluate_switches(
+                selection, store, index, switch_log
+            )
+
+        return ModeSwitchingResult(
+            values=values,
+            mode_log=mode_log,
+            switch_log=switch_log,
+            replica_attempts=attempts,
+            replica_failures=failures,
+            final_store=store or {},
+        )

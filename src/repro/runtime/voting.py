@@ -1,0 +1,60 @@
+"""Voting over replica outputs.
+
+When a communicator update is due, every host has collected the
+broadcast outputs of the writing task's replications and votes to
+decide the value written into its local communicator replication.
+
+The paper's semantics assumes functionally correct tasks: replications
+that execute reliably produce *identical* non-bottom values, so taking
+any non-bottom value suffices (:func:`first_non_bottom`).
+:func:`majority_vote` is provided as an ablation for architectures
+where the agreement assumption is dropped.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any, Callable, Sequence
+
+from repro.errors import RuntimeSimulationError
+from repro.model.values import BOTTOM, is_reliable_value
+
+Voter = Callable[[Sequence[Any]], Any]
+
+
+def first_non_bottom(values: Sequence[Any]) -> Any:
+    """Return the first reliable value, or ``BOTTOM`` if none exists.
+
+    If two reliable values disagree the agreement assumption of the
+    semantics is violated and a :class:`RuntimeSimulationError` is
+    raised — this guards simulations against non-deterministic task
+    functions.
+    """
+    reliable = [value for value in values if is_reliable_value(value)]
+    if not reliable:
+        return BOTTOM
+    first = reliable[0]
+    for other in reliable[1:]:
+        if other != first:
+            raise RuntimeSimulationError(
+                f"replica outputs disagree: {first!r} vs {other!r} "
+                f"(task functions must be deterministic)"
+            )
+    return first
+
+
+def majority_vote(values: Sequence[Any]) -> Any:
+    """Return the most frequent reliable value, or ``BOTTOM``.
+
+    Ties are broken by first occurrence.  Unlike
+    :func:`first_non_bottom` this tolerates disagreeing replicas.
+    """
+    reliable = [value for value in values if is_reliable_value(value)]
+    if not reliable:
+        return BOTTOM
+    counts = Counter(reliable)
+    best_count = max(counts.values())
+    for value in reliable:
+        if counts[value] == best_count:
+            return value
+    raise AssertionError("unreachable")  # pragma: no cover

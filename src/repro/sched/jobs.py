@@ -1,0 +1,102 @@
+"""Job expansion: from task replications to schedulable jobs.
+
+Each task replication ``(t, h)`` gives one *job* per specification
+period with release at the task's read time, an absolute deadline at
+its write time, a computation demand of ``wemap(t, h)``, and a
+transmission demand of ``wtmap(t, h)`` on the shared broadcast medium.
+Because the computation must finish before the broadcast starts, the
+job's *computation deadline* is ``write_t - wtmap(t, h)``.
+
+All tasks repeat with the specification period ``pi_S`` and every LET
+window lies inside one period, so feasibility over a single period
+implies feasibility of the infinite periodic schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.architecture import Architecture
+from repro.errors import AnalysisError
+from repro.mapping.implementation import Implementation
+from repro.model.specification import Specification
+
+
+@dataclass(frozen=True, order=True)
+class Job:
+    """One periodic job of a task replication.
+
+    Sort order is (deadline, release, name) so that a sorted job list
+    is already in EDF order for synchronous arrivals.
+    """
+
+    deadline: int
+    release: int
+    task: str
+    host: str
+    wcet: int
+    wctt: int
+
+    def __post_init__(self) -> None:
+        if self.release < 0:
+            raise AnalysisError(
+                f"job {self.task}@{self.host}: negative release "
+                f"{self.release}"
+            )
+        if self.wcet <= 0 or self.wctt < 0:
+            raise AnalysisError(
+                f"job {self.task}@{self.host}: demands must be positive "
+                f"(wcet={self.wcet}, wctt={self.wctt})"
+            )
+
+    @property
+    def compute_deadline(self) -> int:
+        """Deadline for the computation part, leaving room to broadcast."""
+        return self.deadline - self.wctt
+
+    @property
+    def window(self) -> int:
+        """Length of the LET window."""
+        return self.deadline - self.release
+
+    def fits_window(self) -> bool:
+        """Return ``True`` iff wcet + wctt fits in the LET window at all."""
+        return self.wcet + self.wctt <= self.window
+
+    def label(self) -> str:
+        """Return a short human-readable identifier."""
+        return f"{self.task}@{self.host}"
+
+
+def expand_jobs(
+    spec: Specification,
+    arch: Architecture,
+    implementation: Implementation,
+) -> list[Job]:
+    """Return one job per task replication over one period.
+
+    Jobs are returned in EDF order (deadline, release, name).
+    """
+    implementation.validate(spec, arch)
+    periods = spec.periods()
+    jobs: list[Job] = []
+    for task in spec.tasks.values():
+        release = task.read_time(periods)
+        deadline = task.write_time(periods)
+        for host in sorted(implementation.hosts_of(task.name)):
+            jobs.append(
+                Job(
+                    deadline=deadline,
+                    release=release,
+                    task=task.name,
+                    host=host,
+                    wcet=arch.wcet(task.name, host),
+                    wctt=arch.wctt(task.name, host),
+                )
+            )
+    return sorted(jobs)
+
+
+def jobs_on_host(jobs: list[Job], host: str) -> list[Job]:
+    """Filter *jobs* to those executing on *host*, preserving order."""
+    return [job for job in jobs if job.host == host]

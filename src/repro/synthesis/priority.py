@@ -1,0 +1,123 @@
+"""Priority/failure-pattern replication baseline (the paper's [13]).
+
+A reproduction of the fault-tolerant deployment scheme of Pinello,
+Carloni & Sangiovanni-Vincentelli (DATE 2004): reliability
+requirements are expressed by assigning *priorities* to faults and
+tasks instead of LRCs.  Each *failure pattern* (a set of hosts that
+may fail together) carries a priority; the synthesis must replicate
+tasks so that whenever a pattern occurs, every task with priority
+strictly higher than the pattern's still executes — i.e. the task owns
+a replica on at least one host outside the pattern.
+
+This reduces to a hitting-set problem per task (hit the complement of
+every pattern the task must survive); the implementation uses the
+greedy set-cover heuristic, which is what makes the scheme cheap and
+is faithful to the original's synthesis flavour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+from repro.arch.architecture import Architecture
+from repro.errors import SynthesisError
+from repro.mapping.implementation import Implementation
+from repro.model.specification import Specification
+
+
+@dataclass(frozen=True)
+class FailurePattern:
+    """A set of hosts that may fail simultaneously, with a priority."""
+
+    hosts: frozenset[str]
+    priority: int
+
+    def __init__(self, hosts: Iterable[str], priority: int):
+        object.__setattr__(self, "hosts", frozenset(hosts))
+        object.__setattr__(self, "priority", priority)
+        if not self.hosts:
+            raise SynthesisError("a failure pattern needs at least one host")
+
+
+def priority_replication(
+    spec: Specification,
+    arch: Architecture,
+    task_priorities: Mapping[str, int],
+    patterns: Sequence[FailurePattern],
+    sensor_candidates: Mapping[str, Sequence[str]] | None = None,
+) -> Implementation:
+    """Synthesise a replication mapping for the priority scheme.
+
+    Every task ``t`` must survive every pattern ``F`` with
+    ``priority(t) > priority(F)``: its replica set must intersect the
+    complement of ``F``.  Host sets are chosen per task by greedy set
+    cover over the surviving-host constraints.
+
+    Raises :class:`SynthesisError` when a pattern that must be
+    survived covers all hosts, or a task has no declared priority.
+    """
+    hosts = set(arch.host_names())
+    assignment: dict[str, frozenset[str]] = {}
+    for name in sorted(spec.tasks):
+        if name not in task_priorities:
+            raise SynthesisError(f"task {name!r} has no priority")
+        priority = task_priorities[name]
+        constraints: list[frozenset[str]] = []
+        for pattern in patterns:
+            if priority > pattern.priority:
+                survivors = frozenset(hosts - pattern.hosts)
+                if not survivors:
+                    raise SynthesisError(
+                        f"task {name!r} (priority {priority}) cannot "
+                        f"survive pattern {sorted(pattern.hosts)} "
+                        f"(priority {pattern.priority}): no host remains"
+                    )
+                constraints.append(survivors)
+        if not constraints:
+            # No pattern threatens this task: one replica on the most
+            # reliable host suffices.
+            best = max(hosts, key=lambda h: (arch.hrel(h), h))
+            assignment[name] = frozenset({best})
+            continue
+        chosen: set[str] = set()
+        remaining = [c for c in constraints]
+        while remaining:
+            # Greedy: the host hitting the most unmet constraints,
+            # ties broken by reliability then name for determinism.
+            best = max(
+                hosts,
+                key=lambda h: (
+                    sum(1 for c in remaining if h in c),
+                    arch.hrel(h),
+                    h,
+                ),
+            )
+            hit = sum(1 for c in remaining if best in c)
+            if hit == 0:
+                raise SynthesisError(
+                    f"task {name!r}: greedy hitting set stalled"
+                )
+            chosen.add(best)
+            remaining = [c for c in remaining if best not in c]
+        assignment[name] = frozenset(chosen)
+
+    binding = dict(sensor_candidates or {})
+    if not binding:
+        all_sensors = arch.sensor_names()
+        binding = {
+            comm: all_sensors for comm in spec.input_communicators()
+        }
+    return Implementation(assignment, binding)
+
+
+def surviving_tasks(
+    implementation: Implementation,
+    pattern: FailurePattern,
+) -> set[str]:
+    """Return the tasks that still execute when *pattern* occurs."""
+    return {
+        task
+        for task, replica_hosts in implementation.assignment.items()
+        if replica_hosts - pattern.hosts
+    }

@@ -1,0 +1,57 @@
+"""Joint schedulability/reliability analysis.
+
+An implementation ``I`` is *valid* for a specification ``S`` on an
+architecture ``A`` iff it is both schedulable (every task replication
+completes execution and transmission inside its LET window) and
+reliable (every communicator's long-run reliable fraction meets its
+LRC).  This module combines the two analyses into one report — the
+separation-of-concerns design flow of the paper runs this check on
+every candidate mapping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.architecture import Architecture
+from repro.mapping.implementation import Implementation
+from repro.model.specification import Specification
+from repro.reliability.analysis import ReliabilityReport, check_reliability
+from repro.sched.analysis import SchedulabilityReport, check_schedulability
+
+
+@dataclass(frozen=True)
+class ValidityReport:
+    """Combined result of the joint analysis."""
+
+    reliability: ReliabilityReport
+    schedulability: SchedulabilityReport
+
+    @property
+    def valid(self) -> bool:
+        """``True`` iff the implementation is schedulable and reliable."""
+        return self.reliability.reliable and self.schedulability.schedulable
+
+    def summary(self) -> str:
+        """Return a human-readable multi-line summary of both analyses."""
+        status = "VALID" if self.valid else "INVALID"
+        return "\n".join(
+            [
+                f"joint analysis: implementation is {status}",
+                self.schedulability.summary(),
+                self.reliability.summary(),
+            ]
+        )
+
+
+def check_validity(
+    spec: Specification,
+    arch: Architecture,
+    implementation: Implementation,
+) -> ValidityReport:
+    """Run the joint schedulability/reliability analysis."""
+    implementation.validate(spec, arch)
+    return ValidityReport(
+        reliability=check_reliability(spec, arch, implementation),
+        schedulability=check_schedulability(spec, arch, implementation),
+    )

@@ -1,0 +1,90 @@
+"""Shared fixtures: the paper's systems and small synthetic ones."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch import Architecture, ExecutionMetrics, Host, Sensor
+from repro.experiments import (
+    baseline_implementation,
+    scenario1_implementation,
+    scenario2_implementation,
+    three_tank_architecture,
+    three_tank_spec,
+)
+from repro.mapping import Implementation
+from repro.model import Communicator, Specification, Task
+
+
+@pytest.fixture
+def tank_spec() -> Specification:
+    """The 3TS specification with the baseline LRCs (0.99)."""
+    return three_tank_spec()
+
+@pytest.fixture
+def tank_spec_strict() -> Specification:
+    """The 3TS specification with the strict pump-command LRC 0.9975."""
+    return three_tank_spec(lrc_u=0.9975)
+
+
+@pytest.fixture
+def tank_arch() -> Architecture:
+    """The 3TS architecture: three 0.999 hosts, four 0.999 sensors."""
+    return three_tank_architecture()
+
+
+@pytest.fixture
+def tank_baseline() -> Implementation:
+    return baseline_implementation()
+
+
+@pytest.fixture
+def tank_scenario1() -> Implementation:
+    return scenario1_implementation()
+
+
+@pytest.fixture
+def tank_scenario2() -> Implementation:
+    return scenario2_implementation()
+
+
+@pytest.fixture
+def pipe_spec() -> Specification:
+    """A three-stage pipeline: sensor -> filter -> control -> actuate."""
+    communicators = [
+        Communicator("raw", period=10, lrc=0.9, init=0.0),
+        Communicator("flt", period=10, lrc=0.9, init=0.0),
+        Communicator("cmd", period=10, lrc=0.9, init=0.0),
+    ]
+    tasks = [
+        Task(
+            "filter",
+            inputs=[("raw", 0)],
+            outputs=[("flt", 1)],
+            function=lambda x: 2.0 * x,
+        ),
+        Task(
+            "control",
+            inputs=[("flt", 1)],
+            outputs=[("cmd", 2)],
+            function=lambda x: x + 1.0,
+        ),
+    ]
+    return Specification(communicators, tasks)
+
+
+@pytest.fixture
+def pipe_arch() -> Architecture:
+    return Architecture(
+        hosts=[Host("a", 0.99), Host("b", 0.95)],
+        sensors=[Sensor("s", 0.98)],
+        metrics=ExecutionMetrics(default_wcet=2, default_wctt=1),
+    )
+
+
+@pytest.fixture
+def pipe_impl() -> Implementation:
+    return Implementation(
+        {"filter": {"a"}, "control": {"a", "b"}},
+        {"raw": {"s"}},
+    )

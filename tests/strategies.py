@@ -1,0 +1,132 @@
+"""Hypothesis strategies for generating valid design artifacts.
+
+The strategies mirror the layered construction of
+``repro.experiments.random_systems`` but let Hypothesis drive every
+shape decision, so shrinking produces minimal counterexamples.
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.arch import Architecture, ExecutionMetrics, Host, Sensor
+from repro.mapping import Implementation
+from repro.model import Communicator, FailureModel, Specification, Task
+
+STEP = 40
+INPUT_PERIODS = (10, 20, 40)
+
+lrcs = st.floats(min_value=0.01, max_value=1.0,
+                 allow_nan=False, allow_infinity=False)
+reliabilities = st.floats(min_value=0.5, max_value=1.0,
+                          allow_nan=False, allow_infinity=False)
+models = st.sampled_from(list(FailureModel))
+
+
+@st.composite
+def specifications(
+    draw,
+    max_layers: int = 3,
+    max_tasks_per_layer: int = 3,
+    max_inputs: int = 3,
+):
+    """Generate a layered, memory-free, race-free specification."""
+    layers = draw(st.integers(min_value=1, max_value=max_layers))
+    inputs = draw(st.integers(min_value=1, max_value=max_inputs))
+    communicators = []
+    available = []  # (name, period)
+    for index in range(inputs):
+        period = draw(st.sampled_from(INPUT_PERIODS))
+        name = f"in{index}"
+        communicators.append(
+            Communicator(name, period=period, lrc=draw(lrcs), init=0.0)
+        )
+        available.append((name, period))
+
+    tasks = []
+    for layer in range(1, layers + 1):
+        read_time = (layer - 1) * STEP
+        count = draw(
+            st.integers(min_value=1, max_value=max_tasks_per_layer)
+        )
+        produced = []
+        for index in range(count):
+            chosen = draw(
+                st.lists(
+                    st.sampled_from(range(len(available))),
+                    min_size=1,
+                    max_size=min(3, len(available)),
+                    unique=True,
+                )
+            )
+            ports = []
+            defaults = {}
+            for pick in chosen:
+                name, period = available[pick]
+                ports.append((name, read_time // period))
+                defaults[name] = 0.0
+            out_name = f"c{layer}_{index}"
+            communicators.append(
+                Communicator(
+                    out_name, period=STEP, lrc=draw(lrcs), init=0.0
+                )
+            )
+            arity = len(ports)
+            tasks.append(
+                Task(
+                    f"t{layer}_{index}",
+                    inputs=ports,
+                    outputs=[(out_name, layer)],
+                    model=draw(models),
+                    defaults=defaults,
+                    function=(
+                        lambda *values, _n=arity: float(sum(values[:_n]))
+                    ),
+                )
+            )
+            produced.append((out_name, STEP))
+        available.extend(produced)
+    return Specification(communicators, tasks)
+
+
+@st.composite
+def architectures(draw, max_hosts: int = 4, max_sensors: int = 3):
+    """Generate an architecture with random reliabilities."""
+    host_count = draw(st.integers(min_value=1, max_value=max_hosts))
+    sensor_count = draw(st.integers(min_value=1, max_value=max_sensors))
+    hosts = [
+        Host(f"h{i}", draw(reliabilities)) for i in range(host_count)
+    ]
+    sensors = [
+        Sensor(f"s{i}", draw(reliabilities)) for i in range(sensor_count)
+    ]
+    metrics = ExecutionMetrics(
+        default_wcet=draw(st.integers(min_value=1, max_value=5)),
+        default_wctt=draw(st.integers(min_value=1, max_value=3)),
+    )
+    return Architecture(hosts=hosts, sensors=sensors, metrics=metrics)
+
+
+@st.composite
+def systems(draw, **spec_kwargs):
+    """Generate a full (specification, architecture, mapping) triple."""
+    spec = draw(specifications(**spec_kwargs))
+    arch = draw(architectures())
+    hosts = arch.host_names()
+    sensors = arch.sensor_names()
+    assignment = {}
+    for name in sorted(spec.tasks):
+        subset = draw(
+            st.lists(
+                st.sampled_from(hosts),
+                min_size=1,
+                max_size=min(2, len(hosts)),
+                unique=True,
+            )
+        )
+        assignment[name] = set(subset)
+    binding = {
+        comm: {draw(st.sampled_from(sensors))}
+        for comm in sorted(spec.input_communicators())
+    }
+    return spec, arch, Implementation(assignment, binding)

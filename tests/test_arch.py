@@ -1,0 +1,167 @@
+"""Tests for the architecture model."""
+
+import pytest
+
+from repro.arch import (
+    Architecture,
+    BroadcastNetwork,
+    ExecutionMetrics,
+    Host,
+    Sensor,
+)
+from repro.errors import ArchitectureError
+
+
+# -- hosts and sensors ---------------------------------------------------
+
+
+def test_host_basic():
+    host = Host("h1", 0.99)
+    assert host.reliability == 0.99
+    assert host.failure_probability() == pytest.approx(0.01)
+
+
+def test_host_default_reliability_is_one():
+    assert Host("h").reliability == 1.0
+
+
+@pytest.mark.parametrize("rel", [0.0, -0.1, 1.5])
+def test_host_reliability_bounds(rel):
+    with pytest.raises(ArchitectureError):
+        Host("h", rel)
+
+
+def test_host_empty_name_rejected():
+    with pytest.raises(ArchitectureError):
+        Host("", 0.9)
+
+
+def test_sensor_basic():
+    sensor = Sensor("s1", 0.97)
+    assert sensor.failure_probability() == pytest.approx(0.03)
+
+
+@pytest.mark.parametrize("rel", [0.0, -1.0, 1.01])
+def test_sensor_reliability_bounds(rel):
+    with pytest.raises(ArchitectureError):
+        Sensor("s", rel)
+
+
+def test_hosts_sortable():
+    assert sorted([Host("b", 0.9), Host("a", 0.8)])[0].name == "a"
+
+
+# -- network -------------------------------------------------------------
+
+
+def test_network_defaults_to_perfect():
+    network = BroadcastNetwork()
+    assert network.is_perfect()
+    assert network.bandwidth == 1
+
+
+def test_network_imperfect():
+    assert not BroadcastNetwork(reliability=0.99).is_perfect()
+
+
+@pytest.mark.parametrize("rel", [0.0, 1.2])
+def test_network_reliability_bounds(rel):
+    with pytest.raises(ArchitectureError):
+        BroadcastNetwork(reliability=rel)
+
+
+def test_network_bandwidth_positive():
+    with pytest.raises(ArchitectureError):
+        BroadcastNetwork(bandwidth=0)
+
+
+# -- execution metrics ----------------------------------------------------
+
+
+def test_metrics_explicit_lookup():
+    metrics = ExecutionMetrics(wcet={("t", "h"): 5}, wctt={("t", "h"): 2})
+    assert metrics.wcet_of("t", "h") == 5
+    assert metrics.wctt_of("t", "h") == 2
+
+
+def test_metrics_defaults():
+    metrics = ExecutionMetrics(default_wcet=3, default_wctt=1)
+    assert metrics.wcet_of("any", "host") == 3
+    assert metrics.wctt_of("any", "host") == 1
+
+
+def test_metrics_explicit_overrides_default():
+    metrics = ExecutionMetrics(
+        wcet={("t", "h"): 5}, default_wcet=3, default_wctt=1
+    )
+    assert metrics.wcet_of("t", "h") == 5
+    assert metrics.wcet_of("t", "other") == 3
+
+
+def test_metrics_missing_entry_rejected():
+    metrics = ExecutionMetrics()
+    with pytest.raises(ArchitectureError, match="no WCET"):
+        metrics.wcet_of("t", "h")
+    with pytest.raises(ArchitectureError, match="no WCTT"):
+        metrics.wctt_of("t", "h")
+
+
+@pytest.mark.parametrize("value", [0, -2])
+def test_metrics_non_positive_rejected(value):
+    with pytest.raises(ArchitectureError):
+        ExecutionMetrics(wcet={("t", "h"): value})
+    with pytest.raises(ArchitectureError):
+        ExecutionMetrics(default_wcet=value)
+
+
+# -- architecture ----------------------------------------------------------
+
+
+def make_arch():
+    return Architecture(
+        hosts=[Host("h1", 0.9), Host("h2", 0.8)],
+        sensors=[Sensor("s1", 0.95)],
+        metrics=ExecutionMetrics(default_wcet=2, default_wctt=1),
+    )
+
+
+def test_architecture_queries():
+    arch = make_arch()
+    assert arch.hrel("h1") == 0.9
+    assert arch.srel("s1") == 0.95
+    assert arch.host_names() == ["h1", "h2"]
+    assert arch.sensor_names() == ["s1"]
+    assert arch.wcet("t", "h1") == 2
+    assert arch.wctt("t", "h2") == 1
+
+
+def test_architecture_unknown_host_rejected():
+    arch = make_arch()
+    with pytest.raises(ArchitectureError, match="unknown host"):
+        arch.hrel("nope")
+    with pytest.raises(ArchitectureError, match="unknown host"):
+        arch.wcet("t", "nope")
+
+
+def test_architecture_unknown_sensor_rejected():
+    with pytest.raises(ArchitectureError, match="unknown sensor"):
+        make_arch().srel("nope")
+
+
+def test_architecture_duplicate_host_rejected():
+    with pytest.raises(ArchitectureError, match="duplicate host"):
+        Architecture(hosts=[Host("h"), Host("h")])
+
+
+def test_architecture_duplicate_sensor_rejected():
+    with pytest.raises(ArchitectureError, match="duplicate sensor"):
+        Architecture(hosts=[Host("h")], sensors=[Sensor("s"), Sensor("s")])
+
+
+def test_architecture_needs_hosts():
+    with pytest.raises(ArchitectureError, match="at least one host"):
+        Architecture(hosts=[])
+
+
+def test_architecture_default_network_is_perfect():
+    assert make_arch().network.is_perfect()

@@ -1,0 +1,211 @@
+"""Tests for the brake-by-wire application (plant + distributed loop)."""
+
+import pytest
+
+from repro import check_validity, communicator_srgs
+from repro.experiments import (
+    brake_baseline_implementation,
+    brake_by_wire_architecture,
+    brake_by_wire_spec,
+    brake_closed_loop,
+    brake_replicated_implementation,
+)
+from repro.plants.brake_by_wire import (
+    BrakeByWirePlant,
+    BrakeParams,
+    ReferenceSpeedEstimator,
+    reference_speed_estimator,
+    slip_controller,
+    tyre_friction,
+)
+from repro.runtime import ScriptedFaults
+
+
+# -- tyre curve -----------------------------------------------------------------
+
+
+def test_tyre_friction_shape():
+    params = BrakeParams()
+    assert tyre_friction(0.0, params) == 0.0
+    assert tyre_friction(params.slip_peak, params) == params.mu_peak
+    assert tyre_friction(1.0, params) == params.mu_locked
+    # Rising before the peak, falling after.
+    assert tyre_friction(0.1, params) < params.mu_peak
+    assert tyre_friction(0.5, params) < params.mu_peak
+    assert tyre_friction(0.5, params) > params.mu_locked
+
+
+def test_tyre_friction_clamps_slip():
+    params = BrakeParams()
+    assert tyre_friction(-0.5, params) == 0.0
+    assert tyre_friction(2.0, params) == params.mu_locked
+
+
+# -- plant dynamics ----------------------------------------------------------------
+
+
+def test_plant_coasts_without_torque():
+    plant = BrakeByWirePlant()
+    plant.step(1.0)
+    assert plant.speed == pytest.approx(30.0, abs=0.2)
+    assert plant.slip(0) == pytest.approx(0.0, abs=0.01)
+
+
+def test_full_torque_locks_the_wheels():
+    plant = BrakeByWirePlant()
+    plant.set_torque(0, 2200.0)
+    plant.set_torque(1, 2200.0)
+    for _ in range(50):
+        plant.step(0.02)
+    assert plant.slip(0) > 0.9
+    assert plant.speed < 30.0
+
+
+def test_torque_clamped():
+    plant = BrakeByWirePlant()
+    plant.set_torque(0, 1e9)
+    assert plant.torques[0] == plant.params.max_torque
+    plant.set_torque(0, -5.0)
+    assert plant.torques[0] == 0.0
+
+
+def test_plant_stops_and_stays_stopped():
+    plant = BrakeByWirePlant(speed=1.0)
+    plant.set_torque(0, 2000.0)
+    plant.set_torque(1, 2000.0)
+    for _ in range(200):
+        plant.step(0.02)
+    assert plant.stopped()
+    assert plant.speed == 0.0
+    assert plant.wheel_speeds == [0.0, 0.0]
+
+
+def test_distance_accumulates():
+    plant = BrakeByWirePlant()
+    plant.step(2.0)
+    assert plant.distance == pytest.approx(60.0, rel=0.02)
+
+
+def test_wheels_never_exceed_free_rolling():
+    plant = BrakeByWirePlant()
+    for _ in range(100):
+        plant.step(0.02)
+        for axle in range(2):
+            linear = plant.wheel_speed(axle) * plant.params.wheel_radius
+            assert linear <= plant.speed + 1e-9
+
+
+# -- controllers --------------------------------------------------------------------
+
+
+def test_slip_controller_passes_demand_at_low_slip():
+    assert slip_controller(95.0, 30.0, 2000.0) == 2000.0
+
+
+def test_slip_controller_releases_above_threshold():
+    # wheel at 50 rad/s * 0.3 = 15 m/s against vref 30: slip 0.5.
+    value = slip_controller(50.0, 30.0, 2000.0)
+    assert value == pytest.approx(0.15 * 2000.0)
+
+
+def test_slip_controller_passes_through_when_stopped():
+    assert slip_controller(0.0, 0.0, 1234.0) == 1234.0
+
+
+def test_stateless_reference_is_fastest_wheel():
+    assert reference_speed_estimator(90.0, 100.0) == pytest.approx(30.0)
+
+
+def test_ramped_reference_survives_synchronised_lock():
+    estimator = ReferenceSpeedEstimator(dt=0.02)
+    estimator.update(100.0, 100.0)  # 30 m/s
+    # Both wheels lock instantly: the stateless estimate would be 0,
+    # the ramped one decays at most mu*g*dt.
+    value = estimator.update(0.0, 0.0)
+    assert value == pytest.approx(30.0 - 0.9 * 9.81 * 0.02)
+
+
+def test_ramped_reference_reset():
+    estimator = ReferenceSpeedEstimator(dt=0.02)
+    estimator.update(100.0, 100.0)
+    estimator.reset()
+    assert estimator.update(10.0, 10.0) == pytest.approx(3.0)
+
+
+# -- the distributed system -----------------------------------------------------------
+
+
+def test_specification_shape():
+    spec = brake_by_wire_spec()
+    assert spec.period() == 20
+    assert spec.let("estimate_v") == (0, 10)
+    assert spec.let("abs_f") == (10, 20)
+    assert spec.input_communicators() == {"ws_f", "ws_r", "pedal"}
+
+
+def test_analysis_valid():
+    spec = brake_by_wire_spec()
+    arch = brake_by_wire_architecture()
+    for impl in (
+        brake_baseline_implementation(),
+        brake_replicated_implementation(),
+    ):
+        assert check_validity(spec, arch, impl).valid
+
+
+def test_replication_raises_torque_srg():
+    spec = brake_by_wire_spec()
+    arch = brake_by_wire_architecture()
+    base = communicator_srgs(
+        spec, brake_baseline_implementation(), arch
+    )
+    replicated = communicator_srgs(
+        spec, brake_replicated_implementation(), arch
+    )
+    assert replicated["tq_f"] > base["tq_f"]
+    assert replicated["tq_r"] > base["tq_r"]
+
+
+def test_panic_stop_abs_beats_locked_wheels():
+    env = brake_closed_loop(brake_replicated_implementation())
+    assert env.plant.stopped()
+    abs_distance = env.stopping_distance()
+    # Locked-wheel reference: full demand straight to the plant.
+    plant = BrakeByWirePlant()
+    onset = None
+    t = 0.0
+    while not plant.stopped() and t < 30.0:
+        if t >= 1.0:
+            if onset is None:
+                onset = plant.distance
+            plant.set_torque(0, 2200.0)
+            plant.set_torque(1, 2200.0)
+        plant.step(0.02)
+        t += 0.02
+    locked_distance = plant.distance - onset
+    assert abs_distance < 0.85 * locked_distance
+
+
+def test_unplug_with_replication_changes_nothing():
+    healthy = brake_closed_loop(brake_replicated_implementation())
+    unplug = ScriptedFaults(host_outages={"ecu1": [(2000, None)]})
+    faulted = brake_closed_loop(
+        brake_replicated_implementation(), faults=unplug
+    )
+    assert faulted.stopping_distance() == pytest.approx(
+        healthy.stopping_distance(), abs=1e-9
+    )
+    assert faulted.speed_log == healthy.speed_log
+
+
+def test_unplug_without_replication_degrades_braking():
+    unplug = ScriptedFaults(host_outages={"ecu1": [(2000, None)]})
+    healthy = brake_closed_loop(brake_baseline_implementation())
+    faulted = brake_closed_loop(
+        brake_baseline_implementation(), faults=unplug
+    )
+    assert faulted.bottom_actuations > 0
+    assert (
+        faulted.stopping_distance()
+        > healthy.stopping_distance() + 1.0
+    )

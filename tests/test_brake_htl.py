@@ -1,0 +1,151 @@
+"""Tests for the brake-by-wire HTL program."""
+
+import pytest
+
+from repro.experiments import (
+    BRAKE_ACTUATORS,
+    BRAKE_BY_WIRE_HTL,
+    BrakeByWireEnvironment,
+    bind_brake_functions,
+    brake_by_wire_architecture,
+    brake_by_wire_spec,
+    brake_replicated_implementation,
+)
+from repro.htl import compile_program, generate_ecode
+from repro.htl.compiler import switching_preserves_reliability
+from repro.mapping import Implementation
+from repro.runtime import ModeSwitchingExecutive
+from repro.runtime.emachine import EMachine
+
+
+def brake_functions():
+    functions = bind_brake_functions()
+    functions["passthrough_f"] = lambda ws, vref, pedal: pedal
+    functions["passthrough_r"] = lambda ws, vref, pedal: pedal
+    return functions
+
+
+def test_program_flattens_to_handwritten_spec():
+    compiled = compile_program(BRAKE_BY_WIRE_HTL)
+    spec = compiled.specification()
+    reference = brake_by_wire_spec()
+    assert set(spec.tasks) == set(reference.tasks)
+    assert set(spec.communicators) == set(reference.communicators)
+    for name, task in reference.tasks.items():
+        assert spec.tasks[name].inputs == task.inputs
+        assert spec.tasks[name].outputs == task.outputs
+        assert spec.tasks[name].model is task.model
+    for name, comm in reference.communicators.items():
+        assert spec.communicators[name].period == comm.period
+        assert spec.communicators[name].lrc == pytest.approx(comm.lrc)
+
+
+def test_mode_selections():
+    compiled = compile_program(BRAKE_BY_WIRE_HTL)
+    # Front and rear each have abs/direct: 4 combinations.
+    assert len(list(compiled.mode_selections())) == 4
+    direct = compiled.specification(
+        {"FrontAxle": "direct", "RearAxle": "direct"}
+    )
+    assert "passthrough_f" in direct.tasks
+    assert "abs_f" not in direct.tasks
+
+
+def test_switching_preserves_reliability_with_matched_mapping():
+    compiled = compile_program(BRAKE_BY_WIRE_HTL)
+    arch = brake_by_wire_architecture()
+
+    def implementation_for(spec):
+        writers = {"tq_f": {"ecu1", "ecu2"}, "tq_r": {"ecu1", "ecu2"},
+                   "vref": {"ecu3"}}
+        assignment = {}
+        for name, task in spec.tasks.items():
+            output = sorted(task.output_communicators())[0]
+            assignment[name] = writers[output]
+        return Implementation(
+            assignment,
+            {
+                "ws_f": {"wsf_s"},
+                "ws_r": {"wsr_s"},
+                "pedal": {"pedal_s"},
+            },
+        )
+
+    assert switching_preserves_reliability(
+        compiled, arch, implementation_for
+    )
+
+
+def test_compiled_emachine_panic_stop():
+    compiled = compile_program(
+        BRAKE_BY_WIRE_HTL, functions=brake_functions()
+    )
+    spec = compiled.specification()
+    arch = brake_by_wire_architecture()
+    impl = brake_replicated_implementation()
+    ecode = generate_ecode(spec, arch, impl)
+    assert ecode.timeline is not None and ecode.timeline.feasible
+    environment = BrakeByWireEnvironment()
+    machine = EMachine(
+        ecode, spec, arch, impl,
+        environment=environment,
+        actuator_communicators=BRAKE_ACTUATORS,
+    )
+    machine.run(400)
+    assert environment.plant.stopped()
+    assert environment.stopping_distance() < 80.0
+
+
+def test_abs_defeat_switch_lengthens_the_stop():
+    """Switching both axles to `direct` mid-run disables the slip law;
+    the mode-switching executive must show the longer stop."""
+    conditions = {
+        "abs_defeated": lambda values: values["pedal"] > 0.0,
+        "abs_enabled": lambda values: False,
+    }
+    compiled = compile_program(
+        BRAKE_BY_WIRE_HTL,
+        functions=brake_functions(),
+        conditions=conditions,
+    )
+    arch = brake_by_wire_architecture()
+    base = brake_replicated_implementation()
+    implementation = Implementation(
+        dict(base.assignment)
+        | {
+            "passthrough_f": base.hosts_of("abs_f"),
+            "passthrough_r": base.hosts_of("abs_r"),
+        },
+        base.sensor_binding,
+    )
+    environment = BrakeByWireEnvironment()
+    executive = ModeSwitchingExecutive(
+        compiled, arch, implementation,
+        environment=environment,
+        actuator_communicators=BRAKE_ACTUATORS,
+    )
+    result = executive.run(400)
+    assert "direct" in result.modes_visited("FrontAxle")
+    assert environment.plant.stopped()
+
+    # ABS stays engaged when the defeat condition never fires.
+    engaged_env = BrakeByWireEnvironment()
+    engaged = ModeSwitchingExecutive(
+        compile_program(
+            BRAKE_BY_WIRE_HTL,
+            functions=brake_functions(),
+            conditions={
+                "abs_defeated": lambda values: False,
+                "abs_enabled": lambda values: False,
+            },
+        ),
+        arch, implementation,
+        environment=engaged_env,
+        actuator_communicators=BRAKE_ACTUATORS,
+    )
+    engaged.run(400)
+    assert engaged_env.plant.stopped()
+    assert (
+        environment.stopping_distance()
+        > engaged_env.stopping_distance() + 5.0
+    )

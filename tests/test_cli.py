@@ -1,0 +1,275 @@
+"""Tests for the command-line front-end."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.experiments import (
+    THREE_TANK_HTL,
+    baseline_implementation,
+    scenario1_implementation,
+    three_tank_architecture,
+    three_tank_htl,
+)
+from repro.io import (
+    architecture_to_dict,
+    implementation_from_dict,
+    implementation_to_dict,
+)
+
+BINDINGS = """
+def _hold(level):
+    return 0.0
+
+FUNCTIONS = {
+    "read1": lambda s: s,
+    "read2": lambda s: s,
+    "t1": lambda l: 0.0001,
+    "t2": lambda l: 0.0001,
+    "estimate1": lambda l, u: 0.0,
+    "estimate2": lambda l, u: 0.0,
+    "t1_hold": _hold,
+    "t2_hold": _hold,
+}
+CONDITIONS = {}
+"""
+
+
+@pytest.fixture
+def workspace(tmp_path):
+    htl = tmp_path / "three_tank.htl"
+    htl.write_text(THREE_TANK_HTL)
+    strict_htl = tmp_path / "three_tank_strict.htl"
+    strict_htl.write_text(three_tank_htl(lrc_u=0.9975))
+    arch = tmp_path / "arch.json"
+    arch.write_text(
+        json.dumps(architecture_to_dict(three_tank_architecture()))
+    )
+    baseline = tmp_path / "baseline.json"
+    baseline.write_text(
+        json.dumps(implementation_to_dict(baseline_implementation()))
+    )
+    scenario1 = tmp_path / "scenario1.json"
+    scenario1.write_text(
+        json.dumps(implementation_to_dict(scenario1_implementation()))
+    )
+    bindings = tmp_path / "bindings.py"
+    bindings.write_text(BINDINGS)
+    return tmp_path
+
+
+def test_check_command(workspace, capsys):
+    status = main(["check", "--htl", str(workspace / "three_tank.htl")])
+    assert status == 0
+    out = capsys.readouterr().out
+    assert "6 tasks" in out
+    assert "t1: LET [200, 400]" in out
+
+
+def test_analyze_valid(workspace, capsys):
+    status = main([
+        "analyze",
+        "--htl", str(workspace / "three_tank.htl"),
+        "--arch", str(workspace / "arch.json"),
+        "--impl", str(workspace / "baseline.json"),
+    ])
+    assert status == 0
+    assert "VALID" in capsys.readouterr().out
+
+
+def test_analyze_invalid_returns_nonzero(workspace, capsys):
+    status = main([
+        "analyze",
+        "--htl", str(workspace / "three_tank_strict.htl"),
+        "--arch", str(workspace / "arch.json"),
+        "--impl", str(workspace / "baseline.json"),
+    ])
+    assert status == 1
+    assert "INVALID" in capsys.readouterr().out
+
+
+def test_synthesize_writes_mapping(workspace, capsys):
+    output = workspace / "synth.json"
+    status = main([
+        "synthesize",
+        "--htl", str(workspace / "three_tank_strict.htl"),
+        "--arch", str(workspace / "arch.json"),
+        "-o", str(output),
+    ])
+    assert status == 0
+    implementation = implementation_from_dict(
+        json.loads(output.read_text())
+    )
+    # The synthesiser rediscovers scenario 2: duplicated sensors.
+    assert len(implementation.sensors_of("s1")) >= 2
+    out = capsys.readouterr().out
+    assert "synthesised" in out
+
+
+def test_ecode_command(workspace, capsys):
+    status = main([
+        "ecode",
+        "--htl", str(workspace / "three_tank.htl"),
+        "--arch", str(workspace / "arch.json"),
+        "--impl", str(workspace / "scenario1.json"),
+    ])
+    assert status == 0
+    out = capsys.readouterr().out
+    assert "e-code (period 500)" in out
+    assert "RELEASE t1" in out
+    assert "distributed timeline" in out
+
+
+def test_report_command(workspace, capsys):
+    status = main([
+        "report",
+        "--htl", str(workspace / "three_tank_strict.htl"),
+        "--arch", str(workspace / "arch.json"),
+        "--impl", str(workspace / "baseline.json"),
+    ])
+    assert status == 1  # strict requirement, baseline mapping: invalid
+    out = capsys.readouterr().out
+    assert "design report" in out
+    assert "single-component upgrades" in out
+
+
+def test_simulate_with_bindings(workspace, capsys):
+    status = main([
+        "simulate",
+        "--htl", str(workspace / "three_tank.htl"),
+        "--arch", str(workspace / "arch.json"),
+        "--impl", str(workspace / "scenario1.json"),
+        "--bindings", str(workspace / "bindings.py"),
+        "--iterations", "300",
+        "--bernoulli",
+        "--slack", "0.05",
+    ])
+    assert status == 0
+    out = capsys.readouterr().out
+    assert "observed vs analytic SRG" in out
+
+
+def test_simulate_unplug(workspace, capsys):
+    status = main([
+        "simulate",
+        "--htl", str(workspace / "three_tank.htl"),
+        "--arch", str(workspace / "arch.json"),
+        "--impl", str(workspace / "baseline.json"),
+        "--bindings", str(workspace / "bindings.py"),
+        "--iterations", "100",
+        "--unplug", "h2:5000",
+    ])
+    # u2 dies at t=5000 -> the LRC check fails -> exit status 1.
+    assert status == 1
+    out = capsys.readouterr().out
+    assert "u2" in out
+
+
+def test_simulate_bad_unplug_syntax(workspace, capsys):
+    status = main([
+        "simulate",
+        "--htl", str(workspace / "three_tank.htl"),
+        "--arch", str(workspace / "arch.json"),
+        "--impl", str(workspace / "baseline.json"),
+        "--bindings", str(workspace / "bindings.py"),
+        "--unplug", "h2",
+    ])
+    assert status == 2
+    assert "HOST:TIME" in capsys.readouterr().err
+
+
+def test_missing_spec_is_an_error(workspace, capsys):
+    status = main(["check"])
+    assert status == 2
+    assert "provide a specification" in capsys.readouterr().err
+
+
+def test_check_with_spec_json(workspace, tmp_path, capsys):
+    from repro.experiments import three_tank_spec
+    from repro.io import specification_to_dict
+
+    spec_file = tmp_path / "spec.json"
+    spec_file.write_text(
+        json.dumps(specification_to_dict(three_tank_spec()))
+    )
+    status = main(["check", "--spec", str(spec_file)])
+    assert status == 0
+    assert "6 tasks" in capsys.readouterr().out
+
+
+def test_analyze_with_spec_json(workspace, tmp_path, capsys):
+    from repro.experiments import three_tank_spec
+    from repro.io import specification_to_dict
+
+    spec_file = tmp_path / "spec.json"
+    spec_file.write_text(
+        json.dumps(specification_to_dict(three_tank_spec()))
+    )
+    status = main([
+        "analyze",
+        "--spec", str(spec_file),
+        "--arch", str(workspace / "arch.json"),
+        "--impl", str(workspace / "baseline.json"),
+    ])
+    assert status == 0
+    assert "VALID" in capsys.readouterr().out
+
+
+def test_dot_dataflow(workspace, capsys):
+    status = main([
+        "dot",
+        "--htl", str(workspace / "three_tank.htl"),
+        "--view", "dataflow",
+    ])
+    assert status == 0
+    out = capsys.readouterr().out
+    assert out.startswith("digraph dataflow {")
+    assert '"l1" -> "u1"' in out
+
+
+def test_dot_mapping(workspace, capsys):
+    status = main([
+        "dot",
+        "--htl", str(workspace / "three_tank.htl"),
+        "--view", "mapping",
+        "--arch", str(workspace / "arch.json"),
+        "--impl", str(workspace / "baseline.json"),
+    ])
+    assert status == 0
+    assert "cluster_" in capsys.readouterr().out
+
+
+def test_dot_mapping_requires_arch(workspace, capsys):
+    status = main([
+        "dot",
+        "--htl", str(workspace / "three_tank.htl"),
+        "--view", "mapping",
+    ])
+    assert status == 2
+    assert "needs --arch" in capsys.readouterr().err
+
+
+def test_normalize(workspace, capsys):
+    status = main([
+        "normalize", "--htl", str(workspace / "three_tank.htl"),
+    ])
+    assert status == 0
+    out = capsys.readouterr().out
+    assert out.startswith("program ThreeTankSystem {")
+    # Canonical output re-normalises to itself.
+    from repro.htl.pretty import normalise
+
+    assert normalise(out) == out
+
+
+def test_module_entry_point():
+    import subprocess
+    import sys
+
+    completed = subprocess.run(
+        [sys.executable, "-m", "repro", "--help"],
+        capture_output=True, text=True,
+    )
+    assert completed.returncode == 0
+    assert "synthesize" in completed.stdout

@@ -1,0 +1,71 @@
+"""Tests for communicator declarations."""
+
+import pytest
+
+from repro.errors import SpecificationError
+from repro.model import Communicator
+
+
+def test_basic_declaration():
+    comm = Communicator("c", period=10, lrc=0.9, ctype=float, init=1.5)
+    assert comm.name == "c"
+    assert comm.period == 10
+    assert comm.lrc == 0.9
+    assert comm.init == 1.5
+
+
+def test_default_lrc_is_one():
+    assert Communicator("c", period=5).lrc == 1.0
+
+
+def test_empty_name_rejected():
+    with pytest.raises(SpecificationError, match="non-empty"):
+        Communicator("", period=10)
+
+
+@pytest.mark.parametrize("period", [0, -1, -10])
+def test_non_positive_period_rejected(period):
+    with pytest.raises(SpecificationError, match="period"):
+        Communicator("c", period=period)
+
+
+def test_non_integer_period_rejected():
+    with pytest.raises(SpecificationError, match="period"):
+        Communicator("c", period=2.5)
+
+
+@pytest.mark.parametrize("lrc", [0.0, -0.5, 1.1, 2.0])
+def test_lrc_outside_unit_interval_rejected(lrc):
+    with pytest.raises(SpecificationError, match="LRC"):
+        Communicator("c", period=10, lrc=lrc)
+
+
+def test_lrc_of_exactly_one_allowed():
+    assert Communicator("c", period=10, lrc=1.0).lrc == 1.0
+
+
+def test_instance_time():
+    comm = Communicator("c", period=7)
+    assert comm.instance_time(0) == 0
+    assert comm.instance_time(3) == 21
+
+
+def test_negative_instance_rejected():
+    with pytest.raises(SpecificationError, match="instance"):
+        Communicator("c", period=7).instance_time(-1)
+
+
+def test_with_lrc_returns_modified_copy():
+    original = Communicator("c", period=10, lrc=0.9, init=2.0)
+    changed = original.with_lrc(0.99)
+    assert changed.lrc == 0.99
+    assert changed.period == original.period
+    assert changed.init == original.init
+    assert original.lrc == 0.9  # unchanged
+
+
+def test_communicators_are_hashable_and_frozen():
+    comm = Communicator("c", period=10)
+    assert hash(comm) == hash(Communicator("c", period=10))
+    with pytest.raises(AttributeError):
+        comm.period = 20

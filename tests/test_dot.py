@@ -1,0 +1,85 @@
+"""Tests for the DOT exporters."""
+
+import re
+
+from repro.dot import (
+    dependency_graph_dot,
+    mapping_dot,
+    specification_graph_dot,
+)
+from repro.experiments import (
+    baseline_implementation,
+    fig1_specification,
+    three_tank_architecture,
+    three_tank_spec,
+)
+
+
+def balanced_braces(text: str) -> bool:
+    depth = 0
+    for char in text:
+        if char == "{":
+            depth += 1
+        elif char == "}":
+            depth -= 1
+            if depth < 0:
+                return False
+    return depth == 0
+
+
+def test_specification_graph_dot_fig1():
+    text = specification_graph_dot(fig1_specification())
+    assert text.startswith("digraph specification {")
+    assert balanced_braces(text)
+    # Task vertex as a box.
+    assert '"t" [shape=box' in text
+    # The read edge of (c2, 1).
+    assert "\"('c2', 1)\" -> \"t\";" in text
+    # A persistence edge is dashed.
+    assert "[style=dashed]" in text
+    # Instance labels carry access times.
+    assert "c2[1]\\n@3" in text
+
+
+def test_dependency_graph_dot_three_tank():
+    spec = three_tank_spec()
+    text = dependency_graph_dot(spec)
+    assert balanced_braces(text)
+    # Inputs shaded.
+    assert re.search(r'"s1" \[label="s1.*fillcolor', text)
+    # Task-labelled edge.
+    assert '"l1" -> "u1" [label="t1"];' in text
+    # LRCs embedded in node labels.
+    assert "lrc=0.99" in text
+
+
+def test_mapping_dot_three_tank():
+    text = mapping_dot(
+        three_tank_spec(),
+        three_tank_architecture(),
+        baseline_implementation(),
+    )
+    assert balanced_braces(text)
+    # Host clusters with reliabilities.
+    assert 'label="h1 (hrel=0.999)"' in text
+    # Replication node inside a cluster.
+    assert '"t1@h1" [shape=box, label="t1"];' in text
+    # Sensor feeding its reader on its host.
+    assert '"sensor sen1" -> "read1@h3" [label="s1"];' in text
+    # Data flow between replications.
+    assert '"read1@h3" -> "t1@h1" [label="l1"];' in text
+
+
+def test_mapping_dot_replicated():
+    from repro.experiments import scenario1_implementation
+
+    text = mapping_dot(
+        three_tank_spec(),
+        three_tank_architecture(),
+        scenario1_implementation(),
+    )
+    # Replicated controller appears in both host clusters.
+    assert '"t1@h1"' in text
+    assert '"t1@h2"' in text
+    # Writer fan-out reaches both replicas.
+    assert '"read1@h3" -> "t1@h2" [label="l1"];' in text

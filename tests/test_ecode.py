@@ -1,0 +1,89 @@
+"""Tests for E-code generation."""
+
+import pytest
+
+from repro.htl import Opcode, generate_ecode
+
+
+def test_pipeline_ecode(pipe_spec, pipe_arch, pipe_impl):
+    ecode = generate_ecode(pipe_spec, pipe_arch, pipe_impl)
+    assert ecode.period == 20
+    ops = [i.opcode for i in ecode.instructions]
+    # 2 sensor updates (raw at 0 and 10), 2 votes, 2 snapshots,
+    # 2 releases, 3 dispatches, 3 broadcasts.
+    assert ops.count(Opcode.UPDATE) == 2
+    assert ops.count(Opcode.VOTE) == 2
+    assert ops.count(Opcode.SNAPSHOT) == 2
+    assert ops.count(Opcode.RELEASE) == 2
+    assert ops.count(Opcode.DISPATCH) == 3
+    assert ops.count(Opcode.BROADCAST) == 3
+
+
+def test_instructions_sorted_by_time_then_opcode(
+    pipe_spec, pipe_arch, pipe_impl
+):
+    ecode = generate_ecode(pipe_spec, pipe_arch, pipe_impl)
+    keys = [(i.time, i.opcode) for i in ecode.instructions]
+    assert keys == sorted(keys)
+
+
+def test_vote_carries_absolute_write_time(pipe_spec, pipe_arch, pipe_impl):
+    ecode = generate_ecode(pipe_spec, pipe_arch, pipe_impl)
+    votes = {i.args[0]: i for i in ecode.instructions
+             if i.opcode is Opcode.VOTE}
+    assert votes["filter"].when == 10
+    assert votes["filter"].time == 10
+    assert votes["control"].when == 20
+    assert votes["control"].time == 0  # wraps to the next period
+
+
+def test_snapshot_before_release_at_same_instant(
+    pipe_spec, pipe_arch, pipe_impl
+):
+    ecode = generate_ecode(pipe_spec, pipe_arch, pipe_impl)
+    at_zero = ecode.at(0)
+    opcodes = [i.opcode for i in at_zero]
+    assert opcodes.index(Opcode.SNAPSHOT) < opcodes.index(Opcode.RELEASE)
+
+
+def test_ecode_without_timeline(pipe_spec, pipe_arch, pipe_impl):
+    ecode = generate_ecode(
+        pipe_spec, pipe_arch, pipe_impl, include_timeline=False
+    )
+    assert ecode.timeline is None
+    assert all(
+        i.opcode not in (Opcode.DISPATCH, Opcode.BROADCAST)
+        for i in ecode.instructions
+    )
+
+
+def test_offsets_and_at(pipe_spec, pipe_arch, pipe_impl):
+    ecode = generate_ecode(pipe_spec, pipe_arch, pipe_impl)
+    assert 0 in ecode.offsets()
+    assert all(ecode.at(o) for o in ecode.offsets())
+    assert ecode.at(3) == []
+
+
+def test_render_lists_instructions(pipe_spec, pipe_arch, pipe_impl):
+    text = generate_ecode(pipe_spec, pipe_arch, pipe_impl).render()
+    assert "RELEASE filter" in text
+    assert "VOTE control" in text
+    assert "e-code (period 20)" in text
+
+
+def test_three_tank_ecode_counts(tank_spec, tank_arch, tank_scenario1):
+    ecode = generate_ecode(tank_spec, tank_arch, tank_scenario1)
+    ops = [i.opcode for i in ecode.instructions]
+    # s1, s2 update once per 500 each.
+    assert ops.count(Opcode.UPDATE) == 2
+    assert ops.count(Opcode.VOTE) == 6
+    assert ops.count(Opcode.RELEASE) == 6
+    # 8 replications -> 8 dispatches and 8 broadcasts.
+    assert ops.count(Opcode.DISPATCH) == 8
+    assert ops.count(Opcode.BROADCAST) == 8
+    assert ecode.timeline is not None and ecode.timeline.feasible
+
+
+def test_iteration_protocol(pipe_spec, pipe_arch, pipe_impl):
+    ecode = generate_ecode(pipe_spec, pipe_arch, pipe_impl)
+    assert list(ecode) == list(ecode.instructions)

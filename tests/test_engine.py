@@ -1,0 +1,345 @@
+"""Tests for the distributed runtime simulator."""
+
+import pytest
+
+from repro.arch import Architecture, ExecutionMetrics, Host, Sensor
+from repro.errors import RuntimeSimulationError
+from repro.experiments import cyclic_specification
+from repro.mapping import Implementation, TimeDependentImplementation
+from repro.model import BOTTOM, Communicator, Specification, Task
+from repro.reliability import communicator_srgs
+from repro.runtime import (
+    BernoulliFaults,
+    CallbackEnvironment,
+    ConstantEnvironment,
+    ScriptedFaults,
+    Simulator,
+    majority_vote,
+)
+
+
+def perfect_arch():
+    return Architecture(
+        hosts=[Host("h1"), Host("h2")],
+        sensors=[Sensor("s")],
+        metrics=ExecutionMetrics(default_wcet=1, default_wctt=1),
+    )
+
+
+def pipeline(function1=lambda x: 2 * x, function2=lambda x: x + 1):
+    comms = [
+        Communicator("raw", period=10, lrc=0.5, init=0.0),
+        Communicator("mid", period=10, lrc=0.5, init=0.0),
+        Communicator("out", period=10, lrc=0.5, init=0.0),
+    ]
+    tasks = [
+        Task("f", [("raw", 0)], [("mid", 1)], function=function1),
+        Task("g", [("mid", 1)], [("out", 2)], function=function2),
+    ]
+    return Specification(comms, tasks)
+
+
+def impl_all_h1():
+    return Implementation(
+        {"f": {"h1"}, "g": {"h1"}}, {"raw": {"s"}}
+    )
+
+
+# -- construction ------------------------------------------------------------
+
+
+def test_functions_required():
+    spec = pipeline(function1=None)
+    with pytest.raises(RuntimeSimulationError, match="no function"):
+        Simulator(spec, perfect_arch(), impl_all_h1())
+
+
+def test_positive_iterations_required():
+    sim = Simulator(pipeline(), perfect_arch(), impl_all_h1())
+    with pytest.raises(RuntimeSimulationError, match="positive"):
+        sim.run(0)
+
+
+# -- fault-free dataflow -------------------------------------------------------
+
+
+def test_dataflow_values_propagate():
+    # The specification period is 20 (g writes instance 2 of `out`),
+    # and every communicator has period 10, so each of the 3
+    # iterations records two accesses per communicator.
+    env = CallbackEnvironment(sense_fn=lambda c, t: 5.0)
+    sim = Simulator(pipeline(), perfect_arch(), impl_all_h1(),
+                    environment=env)
+    result = sim.run(3)
+    assert result.values["raw"] == [5.0] * 6
+    # f commits 2*5=10 into mid at t=10; the value persists.
+    assert result.values["mid"] == [0.0] + [10.0] * 5
+    # g commits 10+1=11 into out at t=20.
+    assert result.values["out"] == [0.0, 0.0] + [11.0] * 4
+
+
+def test_trace_lengths_match_periods():
+    comms = [
+        Communicator("fast", period=5, lrc=0.5, init=0.0),
+        Communicator("slow", period=10, lrc=0.5, init=0.0),
+    ]
+    tasks = [Task("t", [("fast", 0)], [("slow", 1)],
+                  function=lambda x: x)]
+    spec = Specification(comms, tasks)
+    impl = Implementation({"t": {"h1"}}, {"fast": {"s"}})
+    result = Simulator(spec, perfect_arch(), impl).run(4)
+    assert len(result.values["fast"]) == 4 * 2
+    assert len(result.values["slow"]) == 4
+
+
+def test_let_semantics_ports_snapshot_at_instance_time():
+    # Task reads (c, 0) at time 0 but releases at its read time 10
+    # (due to a second input).  A write to c at time 10 by another
+    # task must NOT leak into the snapshot.
+    comms = [
+        Communicator("c", period=10, lrc=0.5, init=1.0),
+        Communicator("d", period=10, lrc=0.5, init=0.0),
+        Communicator("out", period=20, lrc=0.5, init=0.0),
+    ]
+    tasks = [
+        Task("writer", [("d", 0)], [("c", 1)],
+             function=lambda d: 99.0),
+        Task("reader", [("c", 0), ("d", 1)], [("out", 1)],
+             function=lambda c, d: c),
+    ]
+    spec = Specification(comms, tasks)
+    impl = Implementation(
+        {"writer": {"h1"}, "reader": {"h1"}}, {"d": {"s"}}
+    )
+    result = Simulator(spec, perfect_arch(), impl).run(2)
+    # reader returns the value of (c, 0): the initial 1.0, not the
+    # 99.0 written at time 10.
+    assert result.values["out"][1] == 1.0
+
+
+def test_update_before_read_at_shared_instant():
+    # Semantics constraint 3: when a communicator is updated at an
+    # instant, replications are updated first, then read.  `reader`
+    # snapshots (mid, 1) at t=10 — the very instant `writer` commits
+    # into it — and must see the NEW value.
+    comms = [
+        Communicator("raw", period=10, lrc=0.5, init=0.0),
+        Communicator("mid", period=10, lrc=0.5, init=-1.0),
+        Communicator("out", period=10, lrc=0.5, init=0.0),
+    ]
+    tasks = [
+        Task("writer", [("raw", 0)], [("mid", 1)],
+             function=lambda x: 42.0),
+        Task("reader", [("mid", 1)], [("out", 2)],
+             function=lambda m: m),
+    ]
+    spec = Specification(comms, tasks)
+    impl = Implementation(
+        {"writer": {"h1"}, "reader": {"h1"}}, {"raw": {"s"}}
+    )
+    result = Simulator(spec, perfect_arch(), impl).run(2)
+    # reader's first commit (t=20) carries writer's fresh 42, not the
+    # init value -1.
+    assert result.values["out"][2] == 42.0
+
+
+def test_environment_actuation():
+    env = ConstantEnvironment(values={"raw": 2.0})
+    sim = Simulator(pipeline(), perfect_arch(), impl_all_h1(),
+                    environment=env)
+    sim.run(2)
+    # `out` is the only actuator communicator; written at time 20.
+    assert env.actuations == [(20, "out", 5.0)]
+
+
+def test_environment_advance_called_per_tick():
+    ticks = []
+    env = CallbackEnvironment(advance_fn=lambda t, dt: ticks.append((t, dt)))
+    Simulator(pipeline(), perfect_arch(), impl_all_h1(),
+              environment=env).run(1)
+    # Base tick gcd = 10 over one period of 20: two advance calls.
+    assert ticks == [(0, 10), (10, 10)]
+
+
+# -- failure models at runtime --------------------------------------------------
+
+
+def test_series_task_emits_bottom_on_bad_input():
+    spec = pipeline()
+    impl = impl_all_h1()
+    faults = ScriptedFaults(sensor_outages={"s": [(0, None)]})
+    result = Simulator(spec, perfect_arch(), impl, faults=faults).run(3)
+    assert all(v is BOTTOM for v in result.values["raw"])
+    # mid: the init value survives at index 0, then every record is
+    # bottom (series model propagates the unreliable sensor).
+    assert result.values["mid"][0] == 0.0
+    assert all(v is BOTTOM for v in result.values["mid"][1:])
+
+
+def test_parallel_task_uses_default_on_bad_input():
+    comms = [
+        Communicator("a", period=10, lrc=0.5, init=0.0),
+        Communicator("b", period=10, lrc=0.5, init=0.0),
+        Communicator("out", period=10, lrc=0.5, init=0.0),
+    ]
+    task = Task(
+        "t",
+        [("a", 0), ("b", 0)],
+        [("out", 1)],
+        model="parallel",
+        defaults={"a": -5.0, "b": -7.0},
+        function=lambda a, b: a + b,
+    )
+    spec = Specification(comms, [task])
+    arch = Architecture(
+        hosts=[Host("h1")],
+        sensors=[Sensor("sa"), Sensor("sb")],
+        metrics=ExecutionMetrics(default_wcet=1, default_wctt=1),
+    )
+    impl = Implementation({"t": {"h1"}}, {"a": {"sa"}, "b": {"sb"}})
+    env = CallbackEnvironment(sense_fn=lambda c, t: 1.0)
+    faults = ScriptedFaults(sensor_outages={"sa": [(0, None)]})
+    result = Simulator(spec, arch, impl, environment=env,
+                       faults=faults).run(2)
+    # a is always BOTTOM -> default -5 substituted; b delivers 1.0.
+    assert result.values["out"][1] == -4.0
+
+
+def test_independent_task_survives_all_bad_inputs():
+    spec = cyclic_specification("independent")
+    arch = perfect_arch()
+    impl = Implementation({"integrate": {"h1"}})
+    result = Simulator(spec, arch, impl).run(5)
+    # acc integrates from init 0: values 0,1,2,3,4.
+    assert result.values["acc"] == [0.0, 1.0, 2.0, 3.0, 4.0]
+
+
+def test_series_cycle_poisons_forever():
+    spec = cyclic_specification("series")
+    arch = Architecture(
+        hosts=[Host("h1", 0.999)],
+        metrics=ExecutionMetrics(default_wcet=1, default_wctt=1),
+    )
+    impl = Implementation({"integrate": {"h1"}})
+    faults = ScriptedFaults(host_outages={"h1": [(40, 60)]})
+    result = Simulator(spec, arch, impl, faults=faults).run(20)
+    bits = [v is not BOTTOM for v in result.values["acc"]]
+    # Invocation 3 (window [30, 40]) touches the outage start at 40;
+    # its bottom commit at t=40 (trace index 4) poisons the cycle.
+    assert all(bits[:4])
+    assert not any(bits[4:])
+
+
+def test_independent_cycle_recovers_after_outage():
+    spec = cyclic_specification("independent")
+    arch = Architecture(
+        hosts=[Host("h1", 0.999)],
+        metrics=ExecutionMetrics(default_wcet=1, default_wctt=1),
+    )
+    impl = Implementation({"integrate": {"h1"}})
+    faults = ScriptedFaults(host_outages={"h1": [(40, 60)]})
+    result = Simulator(spec, arch, impl, faults=faults).run(20)
+    bits = [v is not BOTTOM for v in result.values["acc"]]
+    assert not all(bits)
+    assert all(bits[8:])  # recovers once the host is back
+
+
+# -- replication and voting ------------------------------------------------------
+
+
+def test_replication_masks_scripted_outage():
+    spec = pipeline()
+    impl = Implementation(
+        {"f": {"h1", "h2"}, "g": {"h1", "h2"}}, {"raw": {"s"}}
+    )
+    faults = ScriptedFaults(host_outages={"h1": [(0, None)]})
+    result = Simulator(spec, perfect_arch(), impl, faults=faults).run(5)
+    assert result.satisfies_lrcs()
+    assert BOTTOM not in result.values["out"]
+
+
+def test_unreplicated_task_dies_with_host():
+    spec = pipeline()
+    faults = ScriptedFaults(host_outages={"h1": [(0, None)]})
+    result = Simulator(spec, perfect_arch(), impl_all_h1(),
+                       faults=faults).run(5)
+    assert all(v is BOTTOM for v in result.values["mid"][1:])
+
+
+def test_majority_voting_supported():
+    spec = pipeline()
+    impl = Implementation(
+        {"f": {"h1", "h2"}, "g": {"h1"}}, {"raw": {"s"}}
+    )
+    result = Simulator(spec, perfect_arch(), impl,
+                       voter=majority_vote).run(3)
+    assert BOTTOM not in result.values["out"]
+
+
+# -- statistics --------------------------------------------------------------------
+
+
+def test_replica_counters():
+    spec = pipeline()
+    impl = Implementation(
+        {"f": {"h1", "h2"}, "g": {"h1"}}, {"raw": {"s"}}
+    )
+    faults = ScriptedFaults(host_outages={"h2": [(0, None)]})
+    result = Simulator(spec, perfect_arch(), impl, faults=faults).run(10)
+    assert result.replica_attempts[("f", "h1")] == 10
+    assert result.replica_attempts[("f", "h2")] == 10
+    assert result.replica_failures.get(("f", "h1"), 0) == 0
+    assert result.replica_failures[("f", "h2")] == 10
+    assert result.replica_failure_rate("f", "h2") == 1.0
+    assert result.replica_failure_rate("f", "h1") == 0.0
+    assert result.replica_failure_rate("ghost", "h1") == 0.0
+
+
+def test_summary_text():
+    result = Simulator(pipeline(), perfect_arch(), impl_all_h1()).run(2)
+    text = result.summary()
+    assert "simulation over 2 iterations" in text
+    assert "out" in text
+
+
+# -- convergence to SRGs (Proposition 1, small instance) -----------------------
+
+
+def test_bernoulli_limit_averages_converge_to_srgs():
+    spec = pipeline()
+    arch = Architecture(
+        hosts=[Host("h1", 0.9), Host("h2", 0.95)],
+        sensors=[Sensor("s", 0.97)],
+        metrics=ExecutionMetrics(default_wcet=1, default_wctt=1),
+    )
+    impl = Implementation(
+        {"f": {"h1", "h2"}, "g": {"h1"}}, {"raw": {"s"}}
+    )
+    result = Simulator(spec, arch, impl, faults=BernoulliFaults(arch),
+                       seed=123).run(30000)
+    srgs = communicator_srgs(spec, impl, arch)
+    averages = result.limit_averages()
+    for name in spec.communicators:
+        assert averages[name] == pytest.approx(srgs[name], abs=0.01)
+
+
+# -- time-dependent execution ----------------------------------------------------
+
+
+def test_timedep_alternates_hosts():
+    spec = pipeline()
+    phase_a = Implementation({"f": {"h1"}, "g": {"h1"}}, {"raw": {"s"}})
+    phase_b = Implementation({"f": {"h2"}, "g": {"h2"}}, {"raw": {"s"}})
+    timedep = TimeDependentImplementation([phase_a, phase_b])
+    faults = ScriptedFaults(host_outages={"h2": [(0, None)]})
+    result = Simulator(spec, perfect_arch(), timedep,
+                       faults=faults).run(10)
+    bits = [v is not BOTTOM for v in result.values["mid"]]
+    # Period 20, mid period 10: iteration k commits at trace index
+    # 2k + 1 and the value persists at index 2k + 2.  Even iterations
+    # run on h1 (alive), odd on h2 (dead).
+    for k in range(10):
+        expected = (k % 2 == 0)
+        assert bits[2 * k + 1] is expected
+        if 2 * k + 2 < len(bits):
+            assert bits[2 * k + 2] is expected

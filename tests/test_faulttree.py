@@ -1,0 +1,201 @@
+"""Tests for the fault-tree substrate and its RBD duality."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import AnalysisError
+from repro.reliability import KOutOfN, Parallel, Series, Unit
+from repro.reliability.faulttree import (
+    AndGate,
+    BasicEvent,
+    OrGate,
+    VotingGate,
+    from_rbd,
+    minimal_cut_sets,
+    rare_event_bound,
+)
+
+
+def events(*probabilities):
+    return [
+        BasicEvent(f"e{i}", p) for i, p in enumerate(probabilities)
+    ]
+
+
+# -- gate probabilities --------------------------------------------------------
+
+
+def test_basic_event():
+    assert BasicEvent("e", 0.25).probability() == 0.25
+    with pytest.raises(AnalysisError):
+        BasicEvent("e", 1.5)
+
+
+def test_or_gate():
+    gate = OrGate(events(0.1, 0.2))
+    assert gate.probability() == pytest.approx(1 - 0.9 * 0.8)
+
+
+def test_and_gate():
+    gate = AndGate(events(0.1, 0.2))
+    assert gate.probability() == pytest.approx(0.02)
+
+
+def test_voting_gate_two_of_three():
+    gate = VotingGate(2, events(0.1, 0.1, 0.1))
+    expected = 3 * 0.1**2 * 0.9 + 0.1**3
+    assert gate.probability() == pytest.approx(expected)
+
+
+def test_empty_gates_rejected():
+    with pytest.raises(AnalysisError):
+        OrGate([])
+    with pytest.raises(AnalysisError):
+        AndGate([])
+    with pytest.raises(AnalysisError):
+        VotingGate(1, [])
+    with pytest.raises(AnalysisError):
+        VotingGate(4, events(0.1, 0.1))
+
+
+# -- minimal cut sets ------------------------------------------------------------
+
+
+def test_cut_sets_of_or():
+    top = OrGate(events(0.1, 0.2))
+    assert minimal_cut_sets(top) == [
+        frozenset({"e0"}), frozenset({"e1"}),
+    ]
+
+
+def test_cut_sets_of_and():
+    top = AndGate(events(0.1, 0.2))
+    assert minimal_cut_sets(top) == [frozenset({"e0", "e1"})]
+
+
+def test_absorption():
+    # e0 OR (e0 AND e1): the pair is absorbed by the singleton.
+    e0, e1 = events(0.1, 0.2)
+    top = OrGate([e0, AndGate([e0, e1])])
+    assert minimal_cut_sets(top) == [frozenset({"e0"})]
+
+
+def test_voting_cut_sets():
+    top = VotingGate(2, events(0.1, 0.1, 0.1))
+    cuts = minimal_cut_sets(top)
+    assert len(cuts) == 3
+    assert all(len(cut) == 2 for cut in cuts)
+
+
+def test_bridge_structure_cut_sets():
+    # Classic two-out-of-two-paths system: (a AND b) OR (c AND d).
+    a, b, c, d = events(0.1, 0.1, 0.1, 0.1)
+    top = OrGate([AndGate([a, b]), AndGate([c, d])])
+    assert minimal_cut_sets(top) == [
+        frozenset({"e0", "e1"}), frozenset({"e2", "e3"}),
+    ]
+
+
+# -- rare-event bound -------------------------------------------------------------
+
+
+def test_rare_event_bound_upper_bounds_exact():
+    a, b, c = events(0.01, 0.02, 0.03)
+    top = OrGate([AndGate([a, b]), c])
+    exact = top.probability()
+    bound = rare_event_bound(top)
+    assert bound >= exact - 1e-15
+    # With small probabilities the bound is tight.
+    assert bound == pytest.approx(exact, rel=0.01)
+
+
+def test_rare_event_bound_clamped():
+    top = OrGate(events(0.9, 0.9, 0.9))
+    assert rare_event_bound(top) == 1.0
+
+
+def test_conflicting_probabilities_rejected():
+    top = OrGate([BasicEvent("e", 0.1), BasicEvent("e", 0.2)])
+    with pytest.raises(AnalysisError, match="two different"):
+        rare_event_bound(top)
+
+
+# -- RBD duality -------------------------------------------------------------------
+
+probabilities = st.floats(min_value=0.0, max_value=1.0)
+
+
+@given(st.lists(probabilities, min_size=1, max_size=5))
+def test_series_dualises_to_or(values):
+    block = Series([Unit(p, label=f"u{i}") for i, p in enumerate(values)])
+    tree = from_rbd(block)
+    assert tree.probability() == pytest.approx(
+        block.failure_probability()
+    )
+
+
+@given(st.lists(probabilities, min_size=1, max_size=5))
+def test_parallel_dualises_to_and(values):
+    block = Parallel(
+        [Unit(p, label=f"u{i}") for i, p in enumerate(values)]
+    )
+    tree = from_rbd(block)
+    assert tree.probability() == pytest.approx(
+        block.failure_probability()
+    )
+
+
+@given(
+    st.lists(probabilities, min_size=2, max_size=5),
+    st.integers(min_value=1, max_value=5),
+)
+def test_k_of_n_dualises_to_voting(values, k):
+    k = min(k, len(values))
+    block = KOutOfN(k, [Unit(p, label=f"u{i}")
+                        for i, p in enumerate(values)])
+    tree = from_rbd(block)
+    assert tree.probability() == pytest.approx(
+        block.failure_probability(), abs=1e-12
+    )
+
+
+def test_nested_rbd_duality():
+    block = Series([
+        Parallel([Unit(0.9, "a"), Unit(0.8, "b")]),
+        Unit(0.95, "c"),
+    ])
+    tree = from_rbd(block)
+    assert tree.probability() == pytest.approx(
+        block.failure_probability()
+    )
+    # The system fails when c fails OR both a and b fail.
+    cuts = minimal_cut_sets(tree)
+    assert frozenset({"c"}) in cuts
+    assert frozenset({"a", "b"}) in cuts
+
+
+def test_srg_block_fault_tree_round_trip():
+    """The 3TS scenario-1 RBD dualises into a fault tree whose
+    minimal cut sets name exactly the component combinations that
+    break the pump command."""
+    from repro.experiments import (
+        scenario1_implementation,
+        three_tank_architecture,
+        three_tank_spec,
+    )
+    from repro.reliability import srg_block
+
+    spec = three_tank_spec(lrc_u=0.9975)
+    arch = three_tank_architecture()
+    block = srg_block(
+        spec, scenario1_implementation(), arch, "u1"
+    )
+    tree = from_rbd(block)
+    assert tree.probability() == pytest.approx(
+        block.failure_probability()
+    )
+    cuts = minimal_cut_sets(tree)
+    # Singles: the sensor or read1's host; double: both controller hosts.
+    assert frozenset({"sensor:sen1"}) in cuts
+    assert frozenset({"read1@h3"}) in cuts
+    assert frozenset({"t1@h1", "t1@h2"}) in cuts

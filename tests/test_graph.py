@@ -1,0 +1,177 @@
+"""Tests for specification graphs and memory-freedom."""
+
+import networkx as nx
+import pytest
+
+from repro.experiments import cyclic_specification
+from repro.model import Communicator, Specification, Task
+from repro.model.graph import (
+    SpecificationGraph,
+    communicator_dependency_graph,
+    find_communicator_cycles,
+    is_memory_free,
+    srg_evaluation_order,
+    task_dependency_graph,
+    unsafe_cycles,
+)
+
+
+def two_stage_spec():
+    comms = [
+        Communicator("a", period=10),
+        Communicator("b", period=10),
+        Communicator("c", period=10),
+    ]
+    tasks = [
+        Task("t1", [("a", 0)], [("b", 1)]),
+        Task("t2", [("b", 1)], [("c", 2)]),
+    ]
+    return Specification(comms, tasks)
+
+
+def feedback_spec(model="series"):
+    """Two tasks forming a two-communicator cycle b -> c -> b."""
+    comms = [
+        Communicator("b", period=10),
+        Communicator("c", period=10),
+    ]
+    tasks = [
+        Task("t1", [("b", 0)], [("c", 1)], model=model,
+             defaults={"b": 0.0}),
+        Task("t2", [("c", 1)], [("b", 2)], model="series"),
+    ]
+    return Specification(comms, tasks)
+
+
+# -- specification graph G_S -------------------------------------------
+
+
+def test_graph_has_instance_and_task_vertices():
+    graph = SpecificationGraph(two_stage_spec())
+    assert ("a", 0) in graph.graph
+    assert ("a", 2) in graph.graph  # pi_S / pi_a = 20 / 10
+    assert "t1" in graph.graph
+    assert graph.task_vertices() == ["t1", "t2"]
+
+
+def test_graph_read_and_write_edges():
+    graph = SpecificationGraph(two_stage_spec()).graph
+    assert graph.has_edge(("a", 0), "t1")
+    assert graph.has_edge("t1", ("b", 1))
+    assert graph.has_edge(("b", 1), "t2")
+    assert graph.has_edge("t2", ("c", 2))
+
+
+def test_persistence_edges_skip_written_instances():
+    graph = SpecificationGraph(two_stage_spec()).graph
+    # b is written at instance 1: no persistence edge (b,0)->(b,1).
+    assert not graph.has_edge(("b", 0), ("b", 1))
+    # But (b,1)->(b,2) persists (nothing writes instance 2).
+    assert graph.has_edge(("b", 1), ("b", 2))
+    # a is never written by a task: full persistence chain.
+    assert graph.has_edge(("a", 0), ("a", 1))
+    assert graph.has_edge(("a", 1), ("a", 2))
+
+
+def test_communicator_vertices_sorted():
+    graph = SpecificationGraph(two_stage_spec())
+    assert graph.communicator_vertices("a") == [
+        ("a", 0), ("a", 1), ("a", 2),
+    ]
+
+
+# -- memory-freedom -----------------------------------------------------
+
+
+def test_acyclic_spec_is_memory_free():
+    assert is_memory_free(two_stage_spec())
+
+
+def test_self_cycle_detected():
+    assert not is_memory_free(cyclic_specification())
+
+
+def test_two_task_cycle_detected():
+    assert not is_memory_free(feedback_spec())
+
+
+def test_cycles_reported_by_graph():
+    graph = SpecificationGraph(cyclic_specification())
+    assert graph.has_communicator_cycle()
+    assert graph.communicator_cycles() == ["acc"]
+
+
+def test_memory_free_graph_reports_no_cycles():
+    graph = SpecificationGraph(two_stage_spec())
+    assert not graph.has_communicator_cycle()
+    assert graph.communicator_cycles() == []
+
+
+def test_find_communicator_cycles():
+    cycles = find_communicator_cycles(feedback_spec())
+    assert cycles == [["b", "c"]]
+    assert find_communicator_cycles(two_stage_spec()) == []
+
+
+# -- cycle safety -------------------------------------------------------
+
+
+def test_series_cycle_is_unsafe():
+    assert unsafe_cycles(cyclic_specification("series")) == [["acc"]]
+    assert unsafe_cycles(feedback_spec("series")) == [["b", "c"]]
+
+
+def test_parallel_cycle_is_unsafe():
+    assert unsafe_cycles(cyclic_specification("parallel")) == [["acc"]]
+
+
+def test_independent_breaker_makes_cycle_safe():
+    assert unsafe_cycles(cyclic_specification("independent")) == []
+    assert unsafe_cycles(feedback_spec("independent")) == []
+
+
+# -- SRG evaluation order ----------------------------------------------
+
+
+def test_srg_order_topological():
+    order = srg_evaluation_order(two_stage_spec())
+    assert order.index("a") < order.index("b") < order.index("c")
+
+
+def test_srg_order_fails_on_unsafe_cycle():
+    with pytest.raises(nx.NetworkXUnfeasible):
+        srg_evaluation_order(cyclic_specification("series"))
+
+
+def test_srg_order_exists_for_safe_cycle():
+    order = srg_evaluation_order(cyclic_specification("independent"))
+    assert "acc" in order
+
+
+# -- dependency graphs --------------------------------------------------
+
+
+def test_communicator_dependency_graph_edges():
+    graph = communicator_dependency_graph(two_stage_spec())
+    assert graph.has_edge("a", "b")
+    assert graph["a"]["b"]["tasks"] == ["t1"]
+    assert graph.has_edge("b", "c")
+    assert not graph.has_edge("a", "c")
+
+
+def test_task_dependency_graph():
+    graph = task_dependency_graph(two_stage_spec())
+    assert graph.has_edge("t1", "t2")
+    assert not graph.has_edge("t2", "t1")
+
+
+def test_task_dependency_graph_no_self_loop():
+    graph = task_dependency_graph(cyclic_specification())
+    assert not graph.has_edge("integrate", "integrate")
+
+
+def test_three_tank_is_memory_free(tank_spec):
+    assert is_memory_free(tank_spec)
+    order = srg_evaluation_order(tank_spec)
+    assert order.index("s1") < order.index("l1") < order.index("u1")
+    assert order.index("u1") < order.index("r1")

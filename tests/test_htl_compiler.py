@@ -1,0 +1,239 @@
+"""Tests for HTL semantic analysis and flattening."""
+
+import pytest
+
+from repro.errors import HTLSemanticError
+from repro.experiments import (
+    THREE_TANK_HTL,
+    baseline_implementation,
+    three_tank_architecture,
+    three_tank_spec,
+)
+from repro.htl import compile_program, parse_program
+from repro.htl.compiler import switching_preserves_reliability
+from repro.mapping import Implementation
+from repro.model import FailureModel
+
+
+def wrap(body):
+    return f"program P {{ {body} }}"
+
+
+GOOD = """
+program P {
+  communicator a : float period 10 init 0.0 lrc 0.9 ;
+  communicator b : float period 10 init 0.0 lrc 0.9 ;
+  module M start m {
+    task t input (a[0]) output (b[1]) function "f" ;
+    mode m period 10 { invoke t ; }
+  }
+}
+"""
+
+
+def test_compile_good_program():
+    compiled = compile_program(GOOD, functions={"f": lambda a: a})
+    spec = compiled.specification()
+    assert set(spec.tasks) == {"t"}
+    assert spec.communicators["a"].lrc == 0.9
+    assert spec.period() == 10
+
+
+def test_compile_accepts_parsed_ast():
+    ast = parse_program(GOOD)
+    compiled = compile_program(ast)
+    assert compiled.program.name == "P"
+
+
+def test_missing_function_binding_allowed_for_analysis():
+    compiled = compile_program(GOOD)  # no registry
+    spec = compiled.specification()
+    assert spec.tasks["t"].function is None
+
+
+@pytest.mark.parametrize(
+    "body, message",
+    [
+        # duplicate communicator
+        ("communicator a : float period 10 init 0.0 ;"
+         "communicator a : float period 10 init 0.0 ;",
+         "duplicate communicator"),
+        # module sharing a communicator name
+        ("communicator a : float period 10 init 0.0 ;"
+         "module a { mode m period 10 { } }",
+         "duplicate name"),
+        # module without modes
+        ("communicator a : float period 10 init 0.0 ;"
+         "module M { }",
+         "no modes"),
+        # unknown communicator in ports
+        ("communicator a : float period 10 init 0.0 ;"
+         "module M { task t input (zz[0]) output (a[1]) ;"
+         "  mode m period 10 { invoke t ; } }",
+         "unknown communicator"),
+        # default for a non-input
+        ("communicator a : float period 10 init 0.0 ;"
+         "communicator b : float period 10 init 0.0 ;"
+         "module M { task t input (a[0]) output (b[1])"
+         "  model independent default (b = 0.0) ;"
+         "  mode m period 10 { invoke t ; } }",
+         "not an input"),
+        # invoking an undeclared task
+        ("communicator a : float period 10 init 0.0 ;"
+         "module M { mode m period 10 { invoke ghost ; } }",
+         "not declared"),
+        # double invocation
+        ("communicator a : float period 10 init 0.0 ;"
+         "communicator b : float period 10 init 0.0 ;"
+         "module M { task t input (a[0]) output (b[1]) ;"
+         "  mode m period 10 { invoke t ; invoke t ; } }",
+         "invoked twice"),
+        # period not a multiple of an accessed communicator period
+        ("communicator a : float period 7 init 0.0 ;"
+         "communicator b : float period 10 init 0.0 ;"
+         "module M { task t input (a[0]) output (b[1]) ;"
+         "  mode m period 10 { invoke t ; } }",
+         "not a multiple"),
+        # write beyond the mode period
+        ("communicator a : float period 10 init 0.0 ;"
+         "communicator b : float period 10 init 0.0 ;"
+         "module M { task t input (a[0]) output (b[3]) ;"
+         "  mode m period 20 { invoke t ; } }",
+         "after the mode period"),
+        # unknown switch target
+        ("communicator a : float period 10 init 0.0 ;"
+         "module M { mode m period 10 { switch to zz when \"c\" ; } }",
+         "switch target"),
+        # missing start mode
+        ("communicator a : float period 10 init 0.0 ;"
+         "module M start zz { mode m period 10 { } }",
+         "start mode"),
+        # duplicate mode
+        ("communicator a : float period 10 init 0.0 ;"
+         "module M { mode m period 10 { } mode m period 10 { } }",
+         "duplicate mode"),
+        # type mismatch in init
+        ("communicator a : int period 10 init 1.5 ;",
+         "expected an int"),
+        # type mismatch in default
+        ("communicator a : bool period 10 init true ;"
+         "communicator b : float period 10 init 0.0 ;"
+         "module M { task t input (a[0]) output (b[1])"
+         "  model independent default (a = 3) ;"
+         "  mode m period 10 { invoke t ; } }",
+         "expected a bool"),
+    ],
+)
+def test_semantic_errors(body, message):
+    with pytest.raises(HTLSemanticError, match=message):
+        compile_program(wrap(body))
+
+
+def test_mode_selection_unknown_module():
+    compiled = compile_program(GOOD)
+    with pytest.raises(HTLSemanticError, match="unknown module"):
+        compiled.specification({"Zz": "m"})
+
+
+def test_mode_selection_unknown_mode():
+    compiled = compile_program(GOOD)
+    with pytest.raises(HTLSemanticError, match="no mode"):
+        compiled.specification({"M": "zz"})
+
+
+def test_mismatched_mode_periods_rejected():
+    source = """
+    program P {
+      communicator a : float period 10 init 0.0 ;
+      communicator b : float period 10 init 0.0 ;
+      communicator c : float period 25 init 0.0 ;
+      module M1 {
+        task t1 input (a[0]) output (b[1]) ;
+        mode m period 10 { invoke t1 ; }
+      }
+      module M2 {
+        task t2 input (c[0]) output (c[2]) ;
+        mode m period 50 { invoke t2 ; }
+      }
+    }
+    """
+    compiled = compile_program(source)
+    with pytest.raises(HTLSemanticError, match="different periods"):
+        compiled.specification()
+
+
+def test_condition_registry():
+    compiled = compile_program(
+        GOOD, conditions={"cond": lambda values: True}
+    )
+    assert compiled.condition("cond")({}) is True
+    with pytest.raises(HTLSemanticError, match="condition registry"):
+        compiled.condition("missing")
+
+
+# -- the 3TS program ---------------------------------------------------------
+
+
+def test_three_tank_program_flattens_to_handwritten_spec():
+    compiled = compile_program(THREE_TANK_HTL)
+    spec = compiled.specification()
+    reference = three_tank_spec()
+    assert set(spec.tasks) == set(reference.tasks)
+    assert set(spec.communicators) == set(reference.communicators)
+    for name, comm in reference.communicators.items():
+        assert spec.communicators[name].period == comm.period
+        assert spec.communicators[name].lrc == pytest.approx(comm.lrc)
+    for name, task in reference.tasks.items():
+        assert spec.tasks[name].inputs == task.inputs
+        assert spec.tasks[name].outputs == task.outputs
+        assert spec.tasks[name].model is task.model
+
+
+def test_three_tank_start_selection():
+    compiled = compile_program(THREE_TANK_HTL)
+    selection = compiled.start_selection()
+    assert selection == {
+        "Sensing": "main",
+        "Control1": "regulate",
+        "Control2": "regulate",
+        "Estimation": "main",
+    }
+
+
+def test_three_tank_mode_selections_enumerated():
+    compiled = compile_program(THREE_TANK_HTL)
+    selections = list(compiled.mode_selections())
+    # Control1 and Control2 each have two modes -> 4 combinations.
+    assert len(selections) == 4
+
+
+def test_hold_mode_specification():
+    compiled = compile_program(THREE_TANK_HTL)
+    spec = compiled.specification({"Control1": "hold"})
+    assert "t1_hold" in spec.tasks
+    assert "t1" not in spec.tasks
+    assert spec.tasks["t1_hold"].model is FailureModel.SERIES
+
+
+def test_switching_preserves_reliability_three_tank():
+    compiled = compile_program(THREE_TANK_HTL)
+    arch = three_tank_architecture()
+
+    def implementation_for(spec):
+        # Map each communicator's writer like the baseline mapping
+        # maps the corresponding paper task.
+        reference = baseline_implementation()
+        paper_writer = {
+            "l1": "read1", "l2": "read2", "u1": "t1", "u2": "t2",
+            "r1": "estimate1", "r2": "estimate2",
+        }
+        assignment = {}
+        for name, task in spec.tasks.items():
+            output = sorted(task.output_communicators())[0]
+            assignment[name] = reference.hosts_of(paper_writer[output])
+        return Implementation(
+            assignment, {"s1": {"sen1"}, "s2": {"sen2"}}
+        )
+
+    assert switching_preserves_reliability(compiled, arch,
+                                           implementation_for)

@@ -1,0 +1,225 @@
+"""Fuzzing the HTL frontend: generated ASTs round-trip losslessly.
+
+Hypothesis generates random (structurally plausible) programs at the
+AST level; the pretty-printer renders them and the parser must
+reproduce the identical AST.  This exercises tokenizer and parser
+corners (negative literals, exponents, punctuation adjacency) far
+beyond the hand-written sources.
+"""
+
+import dataclasses
+
+from hypothesis import given, settings, strategies as st
+
+from repro.htl import parse_program
+from repro.htl.ast import (
+    CommunicatorDecl,
+    InvokeStmt,
+    ModeDecl,
+    ModuleDecl,
+    ProgramDecl,
+    SwitchStmt,
+    TaskDecl,
+)
+from repro.htl.pretty import render_program
+
+identifiers = st.from_regex(r"[a-z][a-z0-9_]{0,8}", fullmatch=True).filter(
+    # Keywords cannot be used as identifiers.
+    lambda s: s not in {
+        "program", "communicator", "module", "task", "mode", "invoke",
+        "switch", "to", "when", "input", "output", "model", "default",
+        "function", "period", "init", "lrc", "start", "refines",
+        "true", "false", "float", "int", "bool", "series", "parallel",
+        "independent",
+    }
+)
+
+type_names = st.sampled_from(["float", "int", "bool"])
+
+
+def literal_for(type_name):
+    if type_name == "float":
+        return st.floats(
+            min_value=-1e6, max_value=1e6,
+            allow_nan=False, allow_infinity=False,
+        )
+    if type_name == "int":
+        return st.integers(min_value=-10**6, max_value=10**6)
+    return st.booleans()
+
+
+@st.composite
+def communicator_decls(draw, name):
+    type_name = draw(type_names)
+    return CommunicatorDecl(
+        name=name,
+        type_name=type_name,
+        period=draw(st.integers(min_value=1, max_value=10**4)),
+        init=draw(literal_for(type_name)),
+        lrc=draw(
+            st.one_of(
+                st.just(1.0),
+                st.floats(min_value=0.01, max_value=1.0,
+                          allow_nan=False),
+            )
+        ),
+    )
+
+
+@st.composite
+def task_decls(draw, name, comm_decls):
+    comm_names = [c.name for c in comm_decls]
+    inputs = draw(
+        st.lists(
+            st.sampled_from(comm_names), min_size=1, max_size=3,
+        )
+    )
+    outputs = draw(
+        st.lists(
+            st.sampled_from(comm_names), min_size=1, max_size=2,
+            unique=True,
+        )
+    )
+    model = draw(
+        st.sampled_from(["series", "parallel", "independent"])
+    )
+    types = {c.name: c.type_name for c in comm_decls}
+    if model == "series":
+        defaults = ()
+    else:
+        defaults = tuple(
+            (comm, draw(literal_for(types[comm])))
+            for comm in sorted(set(inputs))
+        )
+    return TaskDecl(
+        name=name,
+        inputs=tuple(
+            (comm, draw(st.integers(min_value=0, max_value=9)))
+            for comm in inputs
+        ),
+        outputs=tuple(
+            (comm, draw(st.integers(min_value=0, max_value=9)))
+            for comm in outputs
+        ),
+        model=model,
+        defaults=defaults,
+        function_name=draw(
+            st.one_of(st.none(), st.just("fn_" + name))
+        ),
+    )
+
+
+@st.composite
+def programs(draw):
+    comm_names = draw(
+        st.lists(identifiers, min_size=1, max_size=4, unique=True)
+    )
+    comm_decls = tuple(
+        draw(communicator_decls(name)) for name in comm_names
+    )
+    module_names = draw(
+        st.lists(
+            identifiers.filter(lambda s: s not in comm_names),
+            min_size=0, max_size=2, unique=True,
+        )
+    )
+    modules = []
+    used_names = set(comm_names) | set(module_names)
+    for module_name in module_names:
+        task_names = draw(
+            st.lists(
+                identifiers.filter(lambda s: s not in used_names),
+                min_size=1, max_size=2, unique=True,
+            )
+        )
+        used_names |= set(task_names)
+        tasks = tuple(
+            draw(task_decls(name, comm_decls)) for name in task_names
+        )
+        mode_names = draw(
+            st.lists(
+                identifiers, min_size=1, max_size=2, unique=True,
+            )
+        )
+        modes = tuple(
+            ModeDecl(
+                name=mode_name,
+                period=draw(st.integers(min_value=1, max_value=10**4)),
+                invokes=tuple(
+                    InvokeStmt(task)
+                    for task in draw(
+                        st.lists(
+                            st.sampled_from(task_names),
+                            max_size=2, unique=True,
+                        )
+                    )
+                ),
+                switches=tuple(
+                    SwitchStmt(
+                        target=draw(st.sampled_from(mode_names)),
+                        condition_name=draw(identifiers),
+                    )
+                    for _ in range(draw(st.integers(0, 2)))
+                ),
+            )
+            for mode_name in mode_names
+        )
+        modules.append(
+            ModuleDecl(
+                name=module_name,
+                start_mode=draw(
+                    st.one_of(
+                        st.none(), st.sampled_from(mode_names)
+                    )
+                ),
+                tasks=tasks,
+                modes=modes,
+            )
+        )
+    parent = draw(st.one_of(st.none(), identifiers))
+    kappa = ()
+    if parent is not None:
+        kappa = tuple(
+            (draw(identifiers), draw(identifiers))
+            for _ in range(draw(st.integers(0, 2)))
+        )
+    return ProgramDecl(
+        name=draw(identifiers),
+        communicators=comm_decls,
+        modules=tuple(modules),
+        parent=parent,
+        kappa=kappa,
+    )
+
+
+def strip_lines(node):
+    if dataclasses.is_dataclass(node) and not isinstance(node, type):
+        replacements = {}
+        for field in dataclasses.fields(node):
+            value = getattr(node, field.name)
+            if field.name == "line":
+                replacements[field.name] = 0
+            elif isinstance(value, tuple):
+                replacements[field.name] = tuple(
+                    strip_lines(item) for item in value
+                )
+            else:
+                replacements[field.name] = strip_lines(value)
+        return dataclasses.replace(node, **replacements)
+    return node
+
+
+@settings(max_examples=120, deadline=None)
+@given(programs())
+def test_render_parse_round_trip(program):
+    rendered = render_program(program)
+    parsed = parse_program(rendered)
+    assert strip_lines(parsed) == strip_lines(program)
+
+
+@settings(max_examples=60, deadline=None)
+@given(programs())
+def test_rendering_is_idempotent(program):
+    once = render_program(program)
+    twice = render_program(parse_program(once))
+    assert once == twice

@@ -1,0 +1,110 @@
+"""Tests for the HTL tokenizer."""
+
+import pytest
+
+from repro.errors import HTLSyntaxError
+from repro.htl import Token, TokenKind, tokenize
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)[:-1]]  # drop EOF
+
+
+def texts(source):
+    return [t.text for t in tokenize(source)[:-1]]
+
+
+def test_empty_source_yields_eof_only():
+    tokens = tokenize("")
+    assert len(tokens) == 1
+    assert tokens[0].kind is TokenKind.EOF
+
+
+def test_keywords_recognised():
+    assert kinds("program module task mode") == [TokenKind.KEYWORD] * 4
+
+
+def test_identifiers_vs_keywords():
+    tokens = tokenize("program myprog")
+    assert tokens[0].kind is TokenKind.KEYWORD
+    assert tokens[1].kind is TokenKind.IDENT
+    assert tokens[1].text == "myprog"
+
+
+def test_underscored_identifier():
+    assert texts("_x y_2") == ["_x", "y_2"]
+
+
+def test_integer_and_float_numbers():
+    tokens = tokenize("500 0.99 1e-3 2.5E+4")
+    assert [t.text for t in tokens[:-1]] == ["500", "0.99", "1e-3", "2.5E+4"]
+    assert all(t.kind is TokenKind.NUMBER for t in tokens[:-1])
+
+
+def test_leading_dot_float():
+    tokens = tokenize(".5")
+    assert tokens[0].kind is TokenKind.NUMBER
+    assert tokens[0].text == ".5"
+
+
+def test_string_literal():
+    tokens = tokenize('function "my_fn"')
+    assert tokens[1].kind is TokenKind.STRING
+    assert tokens[1].text == "my_fn"
+
+
+def test_unterminated_string_rejected():
+    with pytest.raises(HTLSyntaxError, match="unterminated string"):
+        tokenize('"oops')
+
+
+def test_string_across_newline_rejected():
+    with pytest.raises(HTLSyntaxError, match="unterminated string"):
+        tokenize('"line\nbreak"')
+
+
+def test_punctuation():
+    assert texts("{ } ( ) [ ] : ; , = -") == list("{}()[]:;,=-")
+
+
+def test_line_comment_skipped():
+    assert texts("a // comment here\nb") == ["a", "b"]
+
+
+def test_block_comment_skipped():
+    assert texts("a /* multi\nline */ b") == ["a", "b"]
+
+
+def test_unterminated_block_comment_rejected():
+    with pytest.raises(HTLSyntaxError, match="unterminated block"):
+        tokenize("a /* never closed")
+
+
+def test_unexpected_character_rejected():
+    with pytest.raises(HTLSyntaxError, match="unexpected character"):
+        tokenize("task $")
+
+
+def test_positions_tracked():
+    tokens = tokenize("ab\n  cd")
+    assert (tokens[0].line, tokens[0].column) == (1, 1)
+    assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+
+def test_error_carries_position():
+    try:
+        tokenize("ok\n   $")
+    except HTLSyntaxError as error:
+        assert error.line == 2
+        assert error.column == 4
+    else:  # pragma: no cover
+        pytest.fail("expected HTLSyntaxError")
+
+
+def test_token_helpers():
+    token = Token(TokenKind.KEYWORD, "mode", 1, 1)
+    assert token.is_keyword("mode")
+    assert not token.is_keyword("task")
+    punct = Token(TokenKind.PUNCT, ";", 1, 1)
+    assert punct.is_punct(";")
+    assert not punct.is_punct(",")

@@ -1,0 +1,162 @@
+"""Tests for the HTL parser."""
+
+import pytest
+
+from repro.errors import HTLSyntaxError
+from repro.htl import parse_program
+
+MINIMAL = """
+program P {
+  communicator c : float period 10 init 0.0 ;
+}
+"""
+
+FULL = """
+program Full {
+  communicator raw : float period 10 init 0.5 lrc 0.99 ;
+  communicator cnt : int period 20 init -3 ;
+  communicator flag : bool period 10 init true ;
+  module M start fast {
+    task t input (raw[0]) output (cnt[1])
+      model parallel default (raw = 0.25) function "work" ;
+    mode fast period 20 {
+      invoke t ;
+      switch to slow when "overload" ;
+    }
+    mode slow period 20 {
+      invoke t ;
+    }
+  }
+}
+"""
+
+
+def test_minimal_program():
+    program = parse_program(MINIMAL)
+    assert program.name == "P"
+    assert len(program.communicators) == 1
+    comm = program.communicators[0]
+    assert (comm.name, comm.type_name, comm.period) == ("c", "float", 10)
+    assert comm.init == 0.0
+    assert comm.lrc == 1.0  # default
+
+
+def test_full_program_structure():
+    program = parse_program(FULL)
+    assert program.name == "Full"
+    assert [c.name for c in program.communicators] == ["raw", "cnt", "flag"]
+    module = program.module_named("M")
+    assert module.start_mode == "fast"
+    assert [t.name for t in module.tasks] == ["t"]
+    assert [m.name for m in module.modes] == ["fast", "slow"]
+
+
+def test_literals_parsed():
+    program = parse_program(FULL)
+    raw, cnt, flag = program.communicators
+    assert raw.init == 0.5 and raw.lrc == 0.99
+    assert cnt.init == -3
+    assert flag.init is True
+
+
+def test_task_declaration_details():
+    task = parse_program(FULL).module_named("M").task_named("t")
+    assert task.inputs == (("raw", 0),)
+    assert task.outputs == (("cnt", 1),)
+    assert task.model == "parallel"
+    assert task.defaults == (("raw", 0.25),)
+    assert task.function_name == "work"
+
+
+def test_task_defaults_to_series_model():
+    source = MINIMAL.replace(
+        "}",
+        """
+        module M {
+          task t input (c[0]) output (c[1]) ;
+          mode m period 10 { invoke t ; }
+        }
+        }""",
+        1,
+    )
+    task = parse_program(source).module_named("M").task_named("t")
+    assert task.model == "series"
+    assert task.function_name is None
+
+
+def test_mode_statements():
+    mode = parse_program(FULL).module_named("M").mode_named("fast")
+    assert mode.period == 20
+    assert [i.task for i in mode.invokes] == ["t"]
+    assert [(s.target, s.condition_name) for s in mode.switches] == [
+        ("slow", "overload")
+    ]
+
+
+def test_multiple_ports():
+    source = """
+    program P {
+      communicator a : float period 10 init 0.0 ;
+      communicator b : float period 10 init 0.0 ;
+      communicator c : float period 10 init 0.0 ;
+      module M {
+        task t input (a[0], b[0]) output (c[1], a[2]) ;
+        mode m period 20 { invoke t ; }
+      }
+    }
+    """
+    task = parse_program(source).module_named("M").task_named("t")
+    assert task.inputs == (("a", 0), ("b", 0))
+    assert task.outputs == (("c", 1), ("a", 2))
+
+
+@pytest.mark.parametrize(
+    "source, message",
+    [
+        ("", "expected 'program'"),
+        ("program {", "expected program name"),
+        ("program P { communicator ; }", "expected communicator name"),
+        ("program P { communicator c float period 10 init 0 ; }",
+         "expected ':'"),
+        ("program P { communicator c : double period 10 init 0 ; }",
+         "expected a type"),
+        ("program P { communicator c : float period 1.5 init 0 ; }",
+         "expected integer"),
+        ("program P { junk }", "expected 'communicator' or 'module'"),
+        ("program P { } extra", "trailing input"),
+        ("program P { module M { junk } }", "expected 'task' or 'mode'"),
+        ("program P { module M { mode m period 5 { bad } } }",
+         "expected 'invoke' or 'switch'"),
+        ("program P { module M { task t input () output (c[1]) ; } }",
+         "expected communicator name"),
+    ],
+)
+def test_syntax_errors(source, message):
+    with pytest.raises(HTLSyntaxError, match=message):
+        parse_program(source)
+
+
+def test_error_position_reported():
+    source = "program P {\n  communicator c : float period x init 0 ;\n}"
+    try:
+        parse_program(source)
+    except HTLSyntaxError as error:
+        assert error.line == 2
+    else:  # pragma: no cover
+        pytest.fail("expected HTLSyntaxError")
+
+
+def test_negative_literal_in_default():
+    source = """
+    program P {
+      communicator a : float period 10 init 0.0 ;
+      communicator b : float period 10 init 0.0 ;
+      module M {
+        task t input (a[0]) output (b[1])
+          model independent default (a = -1.5) ;
+        mode m period 10 { invoke t ; }
+      }
+    }
+    """
+    task = parse_program(source).module_named("M").task_named("t")
+    assert task.defaults == (("a", -1.5),)

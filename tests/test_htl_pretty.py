@@ -1,0 +1,101 @@
+"""Round-trip tests for the HTL pretty-printer."""
+
+import dataclasses
+
+import pytest
+
+from repro.experiments import THREE_TANK_HTL, three_tank_htl
+from repro.htl import parse_program
+from repro.htl.pretty import normalise, render_program
+
+
+def strip_lines(node):
+    """Recursively zero the source-position fields for comparison."""
+    if dataclasses.is_dataclass(node) and not isinstance(node, type):
+        replacements = {}
+        for field in dataclasses.fields(node):
+            value = getattr(node, field.name)
+            if field.name == "line":
+                replacements[field.name] = 0
+            elif isinstance(value, tuple):
+                replacements[field.name] = tuple(
+                    strip_lines(item) for item in value
+                )
+            else:
+                replacements[field.name] = strip_lines(value)
+        return dataclasses.replace(node, **replacements)
+    return node
+
+
+@pytest.mark.parametrize(
+    "source",
+    [
+        THREE_TANK_HTL,
+        three_tank_htl(lrc_u=0.9975),
+        """
+        program Tiny {
+          communicator c : float period 10 init 0.0 ;
+          module M {
+            task t input (c[0]) output (c[1]) ;
+            mode m period 10 { invoke t ; }
+          }
+        }
+        """,
+        """
+        program Typed {
+          communicator i : int period 5 init -7 ;
+          communicator b : bool period 5 init true ;
+          communicator f : float period 5 init 1.25 lrc 0.875 ;
+          module M start only {
+            task t input (i[0], b[0]) output (f[1])
+              model independent default (i = 0, b = false)
+              function "fn" ;
+            mode only period 5 {
+              invoke t ;
+              switch to only when "noop" ;
+            }
+          }
+        }
+        """,
+    ],
+)
+def test_parse_render_parse_round_trip(source):
+    first = parse_program(source)
+    rendered = render_program(first)
+    second = parse_program(rendered)
+    assert strip_lines(first) == strip_lines(second)
+
+
+def test_rendering_is_idempotent():
+    once = normalise(THREE_TANK_HTL)
+    twice = normalise(once)
+    assert once == twice
+
+
+def test_default_lrc_omitted():
+    source = """
+    program P {
+      communicator c : float period 10 init 0.0 ;
+    }
+    """
+    rendered = normalise(source)
+    assert "lrc" not in rendered
+
+
+def test_series_model_omitted():
+    source = """
+    program P {
+      communicator c : float period 10 init 0.0 ;
+      module M {
+        task t input (c[0]) output (c[1]) ;
+        mode m period 10 { invoke t ; }
+      }
+    }
+    """
+    rendered = normalise(source)
+    assert "model" not in rendered
+
+
+def test_normalise_accepts_ast():
+    ast = parse_program(THREE_TANK_HTL)
+    assert normalise(ast) == render_program(ast)

@@ -1,0 +1,198 @@
+"""Tests for HTL program-level refinement."""
+
+import pytest
+
+from repro.arch import Architecture, ExecutionMetrics, Host, Sensor
+from repro.errors import RefinementError
+from repro.htl import compile_program
+from repro.htl.refinement import (
+    check_program_refinement,
+    incremental_program_check,
+    infer_kappa,
+)
+from repro.mapping import Implementation
+
+ABSTRACT = """
+program Abstract {
+  communicator sensor_in : float period 10 init 0.0 lrc 0.9 ;
+  communicator actuate   : float period 10 init 0.0 lrc 0.8 ;
+  module M {
+    task control input (sensor_in[0]) output (actuate[2]) ;
+    mode main period 20 { invoke control ; }
+  }
+}
+"""
+
+CONCRETE = """
+program Concrete {
+  communicator sensor_in : float period 10 init 0.0 lrc 0.9 ;
+  communicator actuate   : float period 10 init 0.0 lrc 0.75 ;
+  module M {
+    task control_pid input (sensor_in[0]) output (actuate[2]) ;
+    mode main period 20 { invoke control_pid ; }
+  }
+}
+"""
+
+
+def arch(wcet):
+    return Architecture(
+        hosts=[Host("h1", 0.95), Host("h2", 0.9)],
+        sensors=[Sensor("s1", 0.95)],
+        metrics=ExecutionMetrics(default_wcet=wcet, default_wctt=1),
+    )
+
+
+def systems():
+    coarse_program = compile_program(ABSTRACT)
+    fine_program = compile_program(CONCRETE)
+    coarse_impl = Implementation(
+        {"control": {"h1", "h2"}}, {"sensor_in": {"s1"}}
+    )
+    fine_impl = Implementation(
+        {"control_pid": {"h1", "h2"}}, {"sensor_in": {"s1"}}
+    )
+    coarse = (coarse_program, arch(5), coarse_impl)
+    fine = (fine_program, arch(3), fine_impl)
+    return fine, coarse
+
+
+def test_infer_kappa_by_prefix():
+    fine, coarse = systems()
+    kappa = infer_kappa(fine[0], coarse[0])
+    assert kappa == {"control_pid": "control"}
+
+
+def test_infer_kappa_exact_name_wins():
+    program = compile_program(ABSTRACT)
+    kappa = infer_kappa(program, program)
+    assert kappa == {"control": "control"}
+
+
+def test_infer_kappa_no_match():
+    fine_src = CONCRETE.replace("control_pid", "regulator")
+    fine = compile_program(fine_src)
+    coarse = compile_program(ABSTRACT)
+    with pytest.raises(RefinementError, match="cannot infer"):
+        infer_kappa(fine, coarse)
+
+
+def test_infer_kappa_ambiguous():
+    coarse_src = ABSTRACT.replace(
+        "mode main period 20 { invoke control ; }",
+        "mode main period 20 { invoke control ; invoke control_p ; }",
+    ).replace(
+        "task control input (sensor_in[0]) output (actuate[2]) ;",
+        "task control input (sensor_in[0]) output (actuate[2]) ;\n"
+        "    task control_p input (sensor_in[0]) output (spare[2]) ;",
+    ).replace(
+        "communicator actuate",
+        "communicator spare : float period 10 init 0.0 lrc 0.8 ;\n"
+        "  communicator actuate",
+    )
+    coarse = compile_program(coarse_src)
+    fine = compile_program(CONCRETE)
+    with pytest.raises(RefinementError, match="several"):
+        infer_kappa(fine, coarse)
+
+
+def test_program_refinement_holds():
+    fine, coarse = systems()
+    report = check_program_refinement(fine, coarse)
+    assert report.refines, report.summary()
+
+
+def test_program_refinement_detects_lrc_blowout():
+    fine, coarse = systems()
+    hot_source = CONCRETE.replace("lrc 0.75", "lrc 0.95")
+    hot = (compile_program(hot_source), fine[1], fine[2])
+    report = check_program_refinement(hot, coarse)
+    assert not report.refines
+    assert "b4" in report.by_constraint()
+
+
+def test_program_refinement_detects_cost_blowout():
+    fine, coarse = systems()
+    expensive = (fine[0], arch(9), fine[2])
+    report = check_program_refinement(expensive, coarse)
+    assert not report.refines
+    assert "b2" in report.by_constraint()
+
+
+DECLARED = CONCRETE.replace(
+    "program Concrete {",
+    "program Concrete refines Abstract (control_pid = control) {",
+)
+
+DECLARED_NO_MAPPING = CONCRETE.replace(
+    "program Concrete {",
+    "program Concrete refines Abstract {",
+)
+
+
+def test_refines_clause_parses():
+    from repro.htl import parse_program
+
+    program = parse_program(DECLARED)
+    assert program.parent == "Abstract"
+    assert program.kappa == (("control_pid", "control"),)
+
+
+def test_refines_clause_without_mapping_parses():
+    from repro.htl import parse_program
+
+    program = parse_program(DECLARED_NO_MAPPING)
+    assert program.parent == "Abstract"
+    assert program.kappa == ()
+
+
+def test_refines_clause_round_trips_through_pretty_printer():
+    from repro.htl import parse_program
+    from repro.htl.pretty import render_program
+
+    program = parse_program(DECLARED)
+    again = parse_program(render_program(program))
+    assert again.parent == "Abstract"
+    assert again.kappa == (("control_pid", "control"),)
+
+
+def test_declared_kappa_used_by_program_refinement():
+    fine, coarse = systems()
+    declared_fine = (compile_program(DECLARED), fine[1], fine[2])
+    report = check_program_refinement(declared_fine, coarse)
+    assert report.refines
+
+
+def test_declared_parent_mismatch_rejected():
+    fine, coarse = systems()
+    wrong = DECLARED.replace("refines Abstract", "refines SomethingElse")
+    declared_fine = (compile_program(wrong), fine[1], fine[2])
+    with pytest.raises(RefinementError, match="declares it refines"):
+        check_program_refinement(declared_fine, coarse)
+
+
+def test_declared_parent_without_mapping_falls_back_to_inference():
+    fine, coarse = systems()
+    declared_fine = (
+        compile_program(DECLARED_NO_MAPPING), fine[1], fine[2],
+    )
+    report = check_program_refinement(declared_fine, coarse)
+    assert report.refines
+
+
+def test_incremental_program_check():
+    fine, coarse = systems()
+    result = incremental_program_check(fine, coarse)
+    assert result.valid
+    assert result.via_refinement
+
+
+def test_incremental_program_check_fallback():
+    fine, coarse = systems()
+    hot_source = CONCRETE.replace("lrc 0.75", "lrc 0.95")
+    hot = (compile_program(hot_source), fine[1], fine[2])
+    result = incremental_program_check(hot, coarse)
+    assert not result.via_refinement
+    assert result.full_report is not None
+    # lrc 0.95 on actuate: SRG = 0.95 * (1 - 0.05*0.1) = ~0.945 < 0.95
+    assert result.valid == result.full_report.valid

@@ -1,0 +1,68 @@
+"""Tests for incremental validity analysis via refinement."""
+
+import pytest
+
+from repro.experiments import random_system, refine_system
+from repro.refinement import incremental_check
+from repro.validity import check_validity
+
+
+@pytest.fixture
+def valid_pair():
+    # Find a seed whose random system is valid, then refine it.
+    for seed in range(30):
+        spec, arch, impl = random_system(seed, layers=2,
+                                         tasks_per_layer=2)
+        if check_validity(spec, arch, impl).valid:
+            fine, kappa = refine_system(spec, arch, impl)
+            return (spec, arch, impl), fine, kappa
+    pytest.fail("no valid random system found in 30 seeds")
+
+
+def test_incremental_uses_local_checks(valid_pair):
+    coarse, fine, kappa = valid_pair
+    result = incremental_check(fine, coarse, kappa)
+    assert result.valid
+    assert result.via_refinement
+    assert result.full_report is None
+    assert "Proposition 2" in result.summary()
+
+
+def test_incremental_matches_full_analysis(valid_pair):
+    coarse, fine, kappa = valid_pair
+    result = incremental_check(fine, coarse, kappa)
+    assert result.valid == check_validity(*fine).valid
+
+
+def test_incremental_falls_back_on_violation(valid_pair):
+    coarse, fine, kappa = valid_pair
+    fine_spec, fine_arch, fine_impl = fine
+    # Blow the LRC budget of one refining task's output: constraint b4
+    # fails and the full analysis must run.
+    task = next(iter(fine_spec.tasks.values()))
+    output = sorted(task.output_communicators())[0]
+    broken_spec = fine_spec.replace_lrcs({output: 1.0})
+    result = incremental_check(
+        (broken_spec, fine_arch, fine_impl), coarse, kappa
+    )
+    assert not result.via_refinement
+    assert result.full_report is not None
+    assert not result.refinement.refines
+    assert result.valid == result.full_report.valid
+
+
+def test_incremental_falls_back_when_coarse_invalid(valid_pair):
+    coarse, fine, kappa = valid_pair
+    result = incremental_check(fine, coarse, kappa, coarse_valid=False)
+    assert not result.via_refinement
+    assert result.full_report is not None
+    assert result.valid  # the fine system itself is valid
+    assert "fallback" in result.summary()
+
+
+def test_refine_system_produces_refinement():
+    from repro.refinement import check_refinement
+
+    spec, arch, impl = random_system(3)
+    fine, kappa = refine_system(spec, arch, impl)
+    assert check_refinement(fine, (spec, arch, impl), kappa).refines

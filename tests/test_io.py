@@ -1,0 +1,122 @@
+"""Tests for JSON serialisation of design artifacts."""
+
+import pytest
+
+from repro.experiments import (
+    baseline_implementation,
+    three_tank_architecture,
+    three_tank_spec,
+)
+from repro.io import (
+    SerializationError,
+    architecture_from_dict,
+    architecture_to_dict,
+    dump_json,
+    implementation_from_dict,
+    implementation_to_dict,
+    load_json,
+    specification_from_dict,
+    specification_to_dict,
+)
+from repro.model import FailureModel
+from repro.reliability import communicator_srgs
+
+
+def test_specification_round_trip(tank_spec):
+    document = specification_to_dict(tank_spec)
+    rebuilt = specification_from_dict(document)
+    assert set(rebuilt.tasks) == set(tank_spec.tasks)
+    assert set(rebuilt.communicators) == set(tank_spec.communicators)
+    for name in tank_spec.tasks:
+        assert rebuilt.tasks[name].inputs == tank_spec.tasks[name].inputs
+        assert rebuilt.tasks[name].outputs == tank_spec.tasks[name].outputs
+        assert rebuilt.tasks[name].model is tank_spec.tasks[name].model
+    for name in tank_spec.communicators:
+        assert (
+            rebuilt.communicators[name].lrc
+            == tank_spec.communicators[name].lrc
+        )
+        assert (
+            rebuilt.communicators[name].period
+            == tank_spec.communicators[name].period
+        )
+
+
+def test_specification_function_binding():
+    from repro.experiments import bind_control_functions
+
+    functions = bind_control_functions()
+    spec = three_tank_spec(functions=functions)
+    document = specification_to_dict(spec)
+    # Bound methods carry the method name; lambdas "<lambda>".
+    rebuilt = specification_from_dict(
+        document, functions={"update": lambda *a: 0.0}
+    )
+    # `t1`'s function serialises as 'update' (a bound method name).
+    assert document["tasks"][2]["name"] == "t1"
+    assert rebuilt.tasks["t1"].function is not None
+
+
+def test_specification_missing_key_rejected():
+    with pytest.raises(SerializationError, match="missing key"):
+        specification_from_dict({"tasks": []})
+
+
+def test_architecture_round_trip(tank_arch):
+    document = architecture_to_dict(tank_arch)
+    rebuilt = architecture_from_dict(document)
+    assert set(rebuilt.hosts) == set(tank_arch.hosts)
+    assert rebuilt.hrel("h1") == tank_arch.hrel("h1")
+    assert set(rebuilt.sensors) == set(tank_arch.sensors)
+    assert rebuilt.network.reliability == tank_arch.network.reliability
+    assert rebuilt.wcet("anything", "h1") == tank_arch.wcet(
+        "anything", "h1"
+    )
+
+
+def test_architecture_explicit_metrics_round_trip():
+    from repro.arch import Architecture, ExecutionMetrics, Host
+
+    arch = Architecture(
+        hosts=[Host("h", 0.9)],
+        metrics=ExecutionMetrics(
+            wcet={("t", "h"): 7}, wctt={("t", "h"): 3},
+            default_wcet=1, default_wctt=1,
+        ),
+    )
+    rebuilt = architecture_from_dict(architecture_to_dict(arch))
+    assert rebuilt.wcet("t", "h") == 7
+    assert rebuilt.wctt("t", "h") == 3
+    assert rebuilt.wcet("other", "h") == 1
+
+
+def test_implementation_round_trip(tank_baseline):
+    document = implementation_to_dict(tank_baseline)
+    rebuilt = implementation_from_dict(document)
+    assert rebuilt == tank_baseline
+
+
+def test_round_trip_preserves_analysis(tank_spec, tank_arch,
+                                       tank_baseline):
+    spec = specification_from_dict(specification_to_dict(tank_spec))
+    arch = architecture_from_dict(architecture_to_dict(tank_arch))
+    impl = implementation_from_dict(
+        implementation_to_dict(tank_baseline)
+    )
+    original = communicator_srgs(tank_spec, tank_baseline, tank_arch)
+    rebuilt = communicator_srgs(spec, impl, arch)
+    assert rebuilt == original
+
+
+def test_file_helpers_round_trip(tmp_path, tank_baseline):
+    path = tmp_path / "impl.json"
+    dump_json(implementation_to_dict(tank_baseline), str(path))
+    assert implementation_from_dict(load_json(str(path))) == tank_baseline
+
+
+def test_model_names_serialise_lowercase(tank_spec):
+    document = specification_to_dict(tank_spec)
+    models = {entry["model"] for entry in document["tasks"]}
+    assert models <= {"series", "parallel", "independent"}
+    rebuilt = specification_from_dict(document)
+    assert rebuilt.tasks["read1"].model is FailureModel.PARALLEL

@@ -1,0 +1,73 @@
+"""Tests for job expansion."""
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.sched import Job, expand_jobs
+from repro.sched.jobs import jobs_on_host
+
+
+def test_job_fields():
+    job = Job(deadline=20, release=5, task="t", host="h", wcet=4, wctt=2)
+    assert job.compute_deadline == 18
+    assert job.window == 15
+    assert job.fits_window()
+    assert job.label() == "t@h"
+
+
+def test_job_that_cannot_fit():
+    job = Job(deadline=10, release=5, task="t", host="h", wcet=4, wctt=2)
+    assert not job.fits_window()
+
+
+def test_job_negative_release_rejected():
+    with pytest.raises(AnalysisError):
+        Job(deadline=10, release=-1, task="t", host="h", wcet=1, wctt=0)
+
+
+def test_job_non_positive_wcet_rejected():
+    with pytest.raises(AnalysisError):
+        Job(deadline=10, release=0, task="t", host="h", wcet=0, wctt=0)
+
+
+def test_job_sort_order_is_edf():
+    late = Job(deadline=30, release=0, task="b", host="h", wcet=1, wctt=0)
+    early = Job(deadline=10, release=5, task="a", host="h", wcet=1, wctt=0)
+    assert sorted([late, early])[0] is early
+
+
+def test_expand_jobs_pipeline(pipe_spec, pipe_arch, pipe_impl):
+    jobs = expand_jobs(pipe_spec, pipe_arch, pipe_impl)
+    # filter on a; control on a and b -> 3 jobs.
+    assert len(jobs) == 3
+    labels = {job.label() for job in jobs}
+    assert labels == {"filter@a", "control@a", "control@b"}
+    for job in jobs:
+        if job.task == "filter":
+            assert (job.release, job.deadline) == (0, 10)
+        else:
+            assert (job.release, job.deadline) == (10, 20)
+        assert job.wcet == 2
+        assert job.wctt == 1
+
+
+def test_expand_jobs_returns_edf_order(pipe_spec, pipe_arch, pipe_impl):
+    jobs = expand_jobs(pipe_spec, pipe_arch, pipe_impl)
+    deadlines = [job.deadline for job in jobs]
+    assert deadlines == sorted(deadlines)
+
+
+def test_jobs_on_host(pipe_spec, pipe_arch, pipe_impl):
+    jobs = expand_jobs(pipe_spec, pipe_arch, pipe_impl)
+    assert [j.label() for j in jobs_on_host(jobs, "b")] == ["control@b"]
+    assert len(jobs_on_host(jobs, "a")) == 2
+
+
+def test_expand_jobs_three_tank(tank_spec, tank_arch, tank_scenario1):
+    jobs = expand_jobs(tank_spec, tank_arch, tank_scenario1)
+    # 4 singly-mapped tasks + 2 doubly-mapped controllers.
+    assert len(jobs) == 8
+    t1_jobs = [j for j in jobs if j.task == "t1"]
+    assert {j.host for j in t1_jobs} == {"h1", "h2"}
+    for job in t1_jobs:
+        assert (job.release, job.deadline) == (200, 400)

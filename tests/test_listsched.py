@@ -1,0 +1,141 @@
+"""Tests for non-preemptive list scheduling."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sched import Job, demand_bound_feasible, edf_schedule
+from repro.sched.listsched import (
+    build_timeline_nonpreemptive,
+    list_schedule,
+)
+
+
+def job(task, release, deadline, wcet, wctt=0, host="h"):
+    return Job(
+        deadline=deadline, release=release, task=task, host=host,
+        wcet=wcet, wctt=wctt,
+    )
+
+
+def test_single_job():
+    result = list_schedule([job("a", 0, 10, 4)])
+    assert result.feasible
+    assert result.completion["a@h"] == 4
+    assert len(result.slices) == 1
+
+
+def test_contiguous_slices():
+    result = list_schedule([job("a", 0, 30, 10), job("b", 0, 40, 10)])
+    assert result.feasible
+    for piece in result.slices:
+        # Non-preemptive: exactly one slice per job, full demand.
+        assert piece.duration == 10
+
+
+def test_edf_priority_order():
+    result = list_schedule([job("late", 0, 40, 5), job("soon", 0, 10, 5)])
+    assert result.completion["soon@h"] == 5
+    assert result.completion["late@h"] == 10
+
+
+def test_gap_filling():
+    # `soon` occupies [5, 8]; `early` (lower priority) still fits the
+    # gap [0, 5] before it.
+    jobs = [job("soon", 5, 8, 3), job("early", 0, 20, 4)]
+    result = list_schedule(jobs)
+    assert result.feasible
+    assert result.completion["early@h"] == 4
+
+
+def test_blocking_makes_infeasible_where_edf_fits():
+    # Non-preemptive pathology: the long job blocks the urgent one.
+    jobs = [job("long", 0, 20, 10), job("urgent", 2, 8, 3)]
+    assert demand_bound_feasible(jobs)  # preemptive EDF fits
+    assert edf_schedule(jobs).feasible
+    result = list_schedule(jobs)
+    # `urgent` has the earlier deadline so it is placed first at [2,5];
+    # `long` then starts at 5 and finishes at 15 < 20: feasible here.
+    assert result.feasible
+    # But reverse the urgency: `long` has the earlier deadline.
+    jobs = [job("long", 0, 13, 10), job("urgent", 2, 8, 3)]
+    assert edf_schedule(jobs).feasible  # preempt long at 2, resume at 5
+    blocked = list_schedule(jobs)
+    assert not blocked.feasible
+
+
+def test_misses_reported_but_schedule_complete():
+    result = list_schedule([job("a", 0, 3, 5)])
+    assert not result.feasible
+    assert result.misses == ("a@h",)
+    assert result.completion["a@h"] == 5
+
+
+def test_slices_never_overlap_property():
+    jobs = [job(f"j{i}", i % 4, 30 + i, 3) for i in range(8)]
+    result = list_schedule(jobs)
+    ordered = sorted(result.slices, key=lambda s: s.start)
+    for earlier, later in zip(ordered, ordered[1:]):
+        assert later.start >= earlier.end
+
+
+job_strategy = st.builds(
+    lambda name, release, window, wcet: job(
+        name, release, release + window, min(wcet, window)
+    ),
+    st.uuids().map(lambda u: f"j{u.hex[:6]}"),
+    st.integers(min_value=0, max_value=30),
+    st.integers(min_value=1, max_value=20),
+    st.integers(min_value=1, max_value=20),
+)
+
+
+@settings(max_examples=150, deadline=None)
+@given(st.lists(job_strategy, min_size=1, max_size=8))
+def test_list_feasible_implies_edf_feasible(jobs):
+    # Non-preemptive feasibility is a sufficient condition for
+    # preemptive feasibility, never the other way around.
+    if list_schedule(jobs).feasible:
+        assert edf_schedule(jobs).feasible
+
+
+@settings(max_examples=150, deadline=None)
+@given(st.lists(job_strategy, min_size=1, max_size=8))
+def test_list_schedule_respects_releases(jobs):
+    result = list_schedule(jobs)
+    releases = {j.label(): j.release for j in jobs}
+    for piece in result.slices:
+        assert piece.start >= releases[f"{piece.task}@{piece.host}"]
+
+
+@settings(max_examples=150, deadline=None)
+@given(st.lists(job_strategy, min_size=1, max_size=8))
+def test_list_schedule_work_conservation(jobs):
+    result = list_schedule(jobs)
+    assert sum(s.duration for s in result.slices) == sum(
+        j.wcet for j in jobs
+    )
+
+
+# -- the distributed non-preemptive timeline --------------------------------
+
+
+def test_nonpreemptive_timeline_three_tank(
+    tank_spec, tank_arch, tank_scenario1
+):
+    timeline = build_timeline_nonpreemptive(
+        tank_spec, tank_arch, tank_scenario1
+    )
+    assert timeline.feasible
+    assert timeline.verify(tank_spec) == []
+    # Every replication occupies exactly one contiguous slice.
+    for host, slices in timeline.host_slices.items():
+        labels = [(s.task, s.host) for s in slices]
+        assert len(labels) == len(set(labels))
+
+
+def test_nonpreemptive_timeline_pipeline(pipe_spec, pipe_arch, pipe_impl):
+    timeline = build_timeline_nonpreemptive(
+        pipe_spec, pipe_arch, pipe_impl
+    )
+    assert timeline.feasible
+    assert timeline.verify(pipe_spec) == []

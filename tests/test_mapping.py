@@ -1,0 +1,158 @@
+"""Tests for static and time-dependent implementations."""
+
+import pytest
+
+from repro.errors import MappingError
+from repro.mapping import Implementation, TimeDependentImplementation
+
+
+def make_impl():
+    return Implementation(
+        {"t1": {"h1", "h2"}, "t2": {"h2"}},
+        {"raw": {"s"}},
+    )
+
+
+def test_hosts_of():
+    impl = make_impl()
+    assert impl.hosts_of("t1") == frozenset({"h1", "h2"})
+    assert impl.hosts_of("t2") == frozenset({"h2"})
+
+
+def test_hosts_of_unmapped_task_rejected():
+    with pytest.raises(MappingError, match="not mapped"):
+        make_impl().hosts_of("ghost")
+
+
+def test_sensors_of():
+    assert make_impl().sensors_of("raw") == frozenset({"s"})
+
+
+def test_sensors_of_unbound_rejected():
+    with pytest.raises(MappingError, match="no sensor binding"):
+        make_impl().sensors_of("other")
+
+
+def test_empty_host_set_rejected():
+    with pytest.raises(MappingError, match="empty host set"):
+        Implementation({"t": set()})
+
+
+def test_empty_sensor_set_rejected():
+    with pytest.raises(MappingError, match="empty sensor set"):
+        Implementation({"t": {"h"}}, {"raw": set()})
+
+
+def test_replications_sorted():
+    assert list(make_impl().replications()) == [
+        ("t1", "h1"), ("t1", "h2"), ("t2", "h2"),
+    ]
+
+
+def test_replication_count():
+    assert make_impl().replication_count() == 3
+
+
+def test_tasks_on():
+    impl = make_impl()
+    assert impl.tasks_on("h2") == ["t1", "t2"]
+    assert impl.tasks_on("h1") == ["t1"]
+    assert impl.tasks_on("h9") == []
+
+
+def test_with_assignment_returns_copy():
+    impl = make_impl()
+    changed = impl.with_assignment("t2", {"h1"})
+    assert changed.hosts_of("t2") == frozenset({"h1"})
+    assert impl.hosts_of("t2") == frozenset({"h2"})
+
+
+def test_with_sensor_binding_returns_copy():
+    impl = make_impl()
+    changed = impl.with_sensor_binding("raw", {"s", "s2"})
+    assert changed.sensors_of("raw") == frozenset({"s", "s2"})
+    assert impl.sensors_of("raw") == frozenset({"s"})
+
+
+def test_validate_against_spec_and_arch(pipe_spec, pipe_arch, pipe_impl):
+    pipe_impl.validate(pipe_spec, pipe_arch)  # should not raise
+
+
+def test_validate_unknown_host(pipe_spec, pipe_arch):
+    impl = Implementation(
+        {"filter": {"zz"}, "control": {"a"}}, {"raw": {"s"}}
+    )
+    with pytest.raises(MappingError, match="unknown hosts"):
+        impl.validate(pipe_spec, pipe_arch)
+
+
+def test_validate_unknown_sensor(pipe_spec, pipe_arch):
+    impl = Implementation(
+        {"filter": {"a"}, "control": {"a"}}, {"raw": {"zz"}}
+    )
+    with pytest.raises(MappingError, match="unknown sensors"):
+        impl.validate(pipe_spec, pipe_arch)
+
+
+def test_validate_unmapped_task(pipe_spec, pipe_arch):
+    impl = Implementation({"filter": {"a"}}, {"raw": {"s"}})
+    with pytest.raises(MappingError, match="not mapped"):
+        impl.validate(pipe_spec, pipe_arch)
+
+
+def test_validate_extraneous_task(pipe_spec, pipe_arch):
+    impl = Implementation(
+        {"filter": {"a"}, "control": {"a"}, "ghost": {"a"}},
+        {"raw": {"s"}},
+    )
+    with pytest.raises(MappingError, match="not in the specification"):
+        impl.validate(pipe_spec, pipe_arch)
+
+
+# -- time-dependent -------------------------------------------------------
+
+
+def test_timedep_needs_phases():
+    with pytest.raises(MappingError, match="at least one phase"):
+        TimeDependentImplementation([])
+
+
+def test_timedep_phase_cycling():
+    a = Implementation({"t": {"h1"}})
+    b = Implementation({"t": {"h2"}})
+    timedep = TimeDependentImplementation([a, b])
+    assert timedep.phase_count() == 2
+    assert timedep.phase_for_iteration(0) is a
+    assert timedep.phase_for_iteration(1) is b
+    assert timedep.phase_for_iteration(2) is a
+    assert timedep.phase_for_iteration(17) is b
+
+
+def test_timedep_negative_iteration_rejected():
+    timedep = TimeDependentImplementation([Implementation({"t": {"h"}})])
+    with pytest.raises(MappingError, match=">= 0"):
+        timedep.phase_for_iteration(-1)
+
+
+def test_timedep_static_detection():
+    a = Implementation({"t": {"h1"}})
+    assert TimeDependentImplementation([a, a]).is_static()
+    b = Implementation({"t": {"h2"}})
+    assert not TimeDependentImplementation([a, b]).is_static()
+
+
+def test_timedep_static_wrapper():
+    a = Implementation({"t": {"h1"}})
+    wrapped = TimeDependentImplementation.static(a)
+    assert wrapped.phase_count() == 1
+    assert wrapped.is_static()
+
+
+def test_timedep_validate(pipe_spec, pipe_arch, pipe_impl):
+    TimeDependentImplementation([pipe_impl]).validate(pipe_spec, pipe_arch)
+    bad = Implementation({"filter": {"zz"}, "control": {"a"}},
+                         {"raw": {"s"}})
+    with pytest.raises(MappingError):
+        TimeDependentImplementation([pipe_impl, bad]).validate(
+            pipe_spec, pipe_arch
+        )

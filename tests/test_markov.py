@@ -1,0 +1,179 @@
+"""Tests for the Markov analysis of specifications with memory."""
+
+import pytest
+
+from repro.arch import Architecture, ExecutionMetrics, Host, Sensor
+from repro.errors import AnalysisError
+from repro.experiments import (
+    cyclic_specification,
+    cyclic_specification_with_input,
+)
+from repro.mapping import Implementation
+from repro.model import Communicator, FailureModel, Specification, Task
+from repro.reliability.markov import (
+    analyze_memory_cycles,
+    memory_aware_reliable,
+    parallel_cycle_limit_average,
+)
+from repro.runtime import BernoulliFaults, Simulator
+
+
+def arch_one(hrel=0.9, srel=0.8):
+    return Architecture(
+        hosts=[Host("h1", hrel)],
+        sensors=[Sensor("s1", srel)],
+        metrics=ExecutionMetrics(default_wcet=1, default_wctt=1),
+    )
+
+
+# -- the closed form -----------------------------------------------------------
+
+
+def test_formula_degenerates_to_memory_free_with_perfect_external():
+    assert parallel_cycle_limit_average(0.9, 1.0) == pytest.approx(0.9)
+
+
+def test_formula_degenerates_to_collapse_without_externals():
+    assert parallel_cycle_limit_average(0.9, 0.0) == 0.0
+
+
+def test_formula_perfect_task():
+    assert parallel_cycle_limit_average(1.0, 0.3) == 1.0
+
+
+def test_formula_between_the_extremes():
+    value = parallel_cycle_limit_average(0.9, 0.5)
+    # pi = 0.45 / (0.1 + 0.45) = 9/11.
+    assert value == pytest.approx(9 / 11)
+    assert 0.0 < value < 0.9
+
+
+def test_formula_monotone_in_both_arguments():
+    base = parallel_cycle_limit_average(0.9, 0.5)
+    assert parallel_cycle_limit_average(0.95, 0.5) > base
+    assert parallel_cycle_limit_average(0.9, 0.7) > base
+
+
+def test_formula_validation():
+    with pytest.raises(AnalysisError):
+        parallel_cycle_limit_average(1.5, 0.5)
+    with pytest.raises(AnalysisError):
+        parallel_cycle_limit_average(0.5, -0.1)
+
+
+# -- cycle analysis ---------------------------------------------------------------
+
+
+def test_analyze_parallel_cycle_with_input():
+    spec = cyclic_specification_with_input("parallel")
+    arch = arch_one(hrel=0.9, srel=0.8)
+    impl = Implementation({"integrate": {"h1"}}, {"ext": {"s1"}})
+    verdicts = analyze_memory_cycles(spec, impl, arch)
+    assert set(verdicts) == {"acc"}
+    verdict = verdicts["acc"]
+    assert verdict.task == "integrate"
+    assert verdict.model is FailureModel.PARALLEL
+    assert verdict.lambda_t == pytest.approx(0.9)
+    assert verdict.external_reliability == pytest.approx(0.8)
+    assert verdict.limit_average == pytest.approx(
+        parallel_cycle_limit_average(0.9, 0.8)
+    )
+
+
+def test_analyze_series_cycle_collapses():
+    spec = cyclic_specification("series")
+    impl = Implementation({"integrate": {"h1"}})
+    verdicts = analyze_memory_cycles(spec, impl, arch_one())
+    assert verdicts["acc"].limit_average == 0.0
+
+
+def test_analyze_independent_cycle_is_memory_free_value():
+    spec = cyclic_specification("independent")
+    impl = Implementation({"integrate": {"h1"}})
+    verdicts = analyze_memory_cycles(spec, impl, arch_one(hrel=0.93))
+    assert verdicts["acc"].limit_average == pytest.approx(0.93)
+
+
+def test_memory_free_spec_has_no_verdicts(pipe_spec, pipe_arch, pipe_impl):
+    assert analyze_memory_cycles(pipe_spec, pipe_impl, pipe_arch) == {}
+
+
+def test_longer_cycles_refused():
+    comms = [
+        Communicator("b", period=10),
+        Communicator("c", period=10),
+    ]
+    tasks = [
+        Task("t1", [("b", 0)], [("c", 1)], model="parallel",
+             defaults={"b": 0.0}),
+        Task("t2", [("c", 1)], [("b", 2)], model="parallel",
+             defaults={"c": 0.0}),
+    ]
+    spec = Specification(comms, tasks)
+    impl = Implementation({"t1": {"h1"}, "t2": {"h1"}})
+    with pytest.raises(AnalysisError, match="self-loops only"):
+        analyze_memory_cycles(spec, impl, arch_one())
+
+
+def test_nested_memory_refused():
+    # The external input of the cycle task is itself task-written.
+    comms = [
+        Communicator("acc", period=10),
+        Communicator("mid", period=10),
+        Communicator("src", period=10),
+    ]
+    tasks = [
+        Task("feeder", [("src", 0)], [("mid", 1)]),
+        Task(
+            "integrate",
+            [("acc", 0), ("mid", 1)],
+            [("acc", 2)],
+            model="parallel",
+            defaults={"acc": 0.0, "mid": 0.0},
+        ),
+    ]
+    spec = Specification(comms, tasks)
+    impl = Implementation(
+        {"feeder": {"h1"}, "integrate": {"h1"}}, {"src": {"s1"}}
+    )
+    with pytest.raises(AnalysisError, match="nested memory"):
+        analyze_memory_cycles(spec, impl, arch_one())
+
+
+def test_memory_aware_reliable():
+    arch = arch_one(hrel=0.95, srel=0.9)
+    impl = Implementation({"integrate": {"h1"}}, {"ext": {"s1"}})
+    # pi = (0.9*0.95)/(0.05 + 0.9*0.95) = 0.8550/0.9050 ~ 0.9448.
+    passing = cyclic_specification_with_input("parallel", lrc=0.94)
+    assert memory_aware_reliable(passing, impl, arch)
+    failing = cyclic_specification_with_input("parallel", lrc=0.95)
+    assert not memory_aware_reliable(failing, impl, arch)
+
+
+# -- simulation agreement ------------------------------------------------------------
+
+
+@pytest.mark.parametrize("hrel,srel", [(0.9, 0.8), (0.95, 0.5),
+                                       (0.8, 0.95)])
+def test_stationary_average_matches_simulation(hrel, srel):
+    spec = cyclic_specification_with_input("parallel")
+    arch = arch_one(hrel=hrel, srel=srel)
+    impl = Implementation({"integrate": {"h1"}}, {"ext": {"s1"}})
+    verdict = analyze_memory_cycles(spec, impl, arch)["acc"]
+    result = Simulator(
+        spec, arch, impl, faults=BernoulliFaults(arch), seed=13
+    ).run(30000)
+    observed = result.limit_averages()["acc"]
+    assert observed == pytest.approx(verdict.limit_average, abs=0.01)
+
+
+def test_series_collapse_matches_simulation():
+    spec = cyclic_specification_with_input("series")
+    arch = arch_one(hrel=0.98, srel=0.99)
+    impl = Implementation({"integrate": {"h1"}}, {"ext": {"s1"}})
+    verdict = analyze_memory_cycles(spec, impl, arch)["acc"]
+    assert verdict.limit_average == 0.0
+    result = Simulator(
+        spec, arch, impl, faults=BernoulliFaults(arch), seed=13
+    ).run(8000)
+    assert result.limit_averages()["acc"] < 0.05

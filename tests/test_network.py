@@ -1,0 +1,211 @@
+"""Tests for probabilistic network reliability (factoring theorem)."""
+
+import networkx as nx
+import pytest
+
+from repro.errors import AnalysisError
+from repro.reliability.network import (
+    all_terminal_reliability,
+    broadcast_network_from_topology,
+    two_terminal_reliability,
+)
+
+
+def graph_from_edges(edges):
+    graph = nx.Graph()
+    for u, v, r in edges:
+        graph.add_edge(u, v, reliability=r)
+    return graph
+
+
+# -- two-terminal ----------------------------------------------------------------
+
+
+def test_single_edge():
+    graph = graph_from_edges([("s", "t", 0.9)])
+    assert two_terminal_reliability(graph, "s", "t") == pytest.approx(0.9)
+
+
+def test_series_chain():
+    graph = graph_from_edges([("s", "m", 0.9), ("m", "t", 0.8)])
+    assert two_terminal_reliability(graph, "s", "t") == pytest.approx(
+        0.72
+    )
+
+
+def test_parallel_edges_via_two_paths():
+    graph = graph_from_edges([
+        ("s", "a", 0.9), ("a", "t", 0.9),
+        ("s", "b", 0.8), ("b", "t", 0.8),
+    ])
+    path1, path2 = 0.81, 0.64
+    expected = 1 - (1 - path1) * (1 - path2)
+    assert two_terminal_reliability(graph, "s", "t") == pytest.approx(
+        expected
+    )
+
+
+def test_bridge_network():
+    """The Wheatstone bridge with equal edge reliability p.
+
+    R = 2p^2 + 2p^3 - 5p^4 + 2p^5 (classic closed form).
+    """
+    p = 0.9
+    graph = graph_from_edges([
+        ("s", "a", p), ("s", "b", p),
+        ("a", "t", p), ("b", "t", p),
+        ("a", "b", p),  # the bridge
+    ])
+    expected = 2 * p**2 + 2 * p**3 - 5 * p**4 + 2 * p**5
+    assert two_terminal_reliability(graph, "s", "t") == pytest.approx(
+        expected
+    )
+
+
+def test_disconnected_terminals():
+    graph = graph_from_edges([("s", "a", 0.9)])
+    graph.add_node("t")
+    assert two_terminal_reliability(graph, "s", "t") == 0.0
+
+
+def test_source_equals_target():
+    graph = graph_from_edges([("s", "t", 0.5)])
+    assert two_terminal_reliability(graph, "s", "s") == 1.0
+
+
+def test_perfect_and_dead_edges():
+    graph = graph_from_edges([("s", "m", 1.0), ("m", "t", 0.0)])
+    assert two_terminal_reliability(graph, "s", "t") == 0.0
+    graph = graph_from_edges([("s", "m", 1.0), ("m", "t", 1.0)])
+    assert two_terminal_reliability(graph, "s", "t") == 1.0
+
+
+def test_missing_attribute_rejected():
+    graph = nx.Graph()
+    graph.add_edge("s", "t")
+    with pytest.raises(AnalysisError, match="reliability"):
+        two_terminal_reliability(graph, "s", "t")
+
+
+def test_bad_attribute_rejected():
+    graph = graph_from_edges([("s", "t", 1.5)])
+    with pytest.raises(AnalysisError):
+        two_terminal_reliability(graph, "s", "t")
+
+
+def test_unknown_terminal_rejected():
+    graph = graph_from_edges([("s", "t", 0.9)])
+    with pytest.raises(AnalysisError, match="graph nodes"):
+        two_terminal_reliability(graph, "s", "zz")
+
+
+def test_monte_carlo_agreement():
+    import numpy as np
+
+    edges = [
+        ("s", "a", 0.7), ("a", "t", 0.8), ("s", "b", 0.6),
+        ("b", "t", 0.9), ("a", "b", 0.5),
+    ]
+    graph = graph_from_edges(edges)
+    exact = two_terminal_reliability(graph, "s", "t")
+    rng = np.random.default_rng(0)
+    trials = 40000
+    hits = 0
+    for _ in range(trials):
+        sample = nx.Graph()
+        sample.add_nodes_from(graph.nodes)
+        for u, v, r in edges:
+            if rng.random() < r:
+                sample.add_edge(u, v)
+        hits += nx.has_path(sample, "s", "t")
+    assert hits / trials == pytest.approx(exact, abs=0.01)
+
+
+# -- all-terminal -----------------------------------------------------------------
+
+
+def test_all_terminal_single_node():
+    graph = nx.Graph()
+    graph.add_node("a")
+    assert all_terminal_reliability(graph) == 1.0
+
+
+def test_all_terminal_single_edge():
+    graph = graph_from_edges([("a", "b", 0.9)])
+    assert all_terminal_reliability(graph) == pytest.approx(0.9)
+
+
+def test_all_terminal_triangle():
+    # Connected iff >= 2 of the 3 edges survive: 3p^2(1-p) + p^3.
+    p = 0.9
+    graph = graph_from_edges([
+        ("a", "b", p), ("b", "c", p), ("a", "c", p),
+    ])
+    expected = 3 * p**2 * (1 - p) + p**3
+    assert all_terminal_reliability(graph) == pytest.approx(expected)
+
+
+def test_all_terminal_chain():
+    graph = graph_from_edges([("a", "b", 0.9), ("b", "c", 0.8)])
+    assert all_terminal_reliability(graph) == pytest.approx(0.72)
+
+
+def test_all_terminal_below_two_terminal():
+    # Keeping everyone connected is harder than connecting one pair.
+    p = 0.8
+    graph = graph_from_edges([
+        ("a", "b", p), ("b", "c", p), ("a", "c", p), ("c", "d", p),
+    ])
+    assert all_terminal_reliability(graph) <= two_terminal_reliability(
+        graph, "a", "b"
+    )
+
+
+def test_all_terminal_empty_rejected():
+    with pytest.raises(AnalysisError):
+        all_terminal_reliability(nx.Graph())
+
+
+# -- broadcast network derivation ----------------------------------------------------
+
+
+def test_broadcast_network_from_topology():
+    p = 0.999
+    graph = graph_from_edges([
+        ("h1", "h2", p), ("h2", "h3", p), ("h1", "h3", p),
+    ])
+    network = broadcast_network_from_topology(graph, bandwidth=2)
+    expected = 3 * p**2 * (1 - p) + p**3
+    assert network.reliability == pytest.approx(expected)
+    assert network.bandwidth == 2
+
+
+def test_derived_network_feeds_srg_analysis():
+    from repro.arch import Architecture, ExecutionMetrics, Host, Sensor
+    from repro.mapping import Implementation
+    from repro.model import Communicator, Specification, Task
+    from repro.reliability import communicator_srgs, task_reliability
+
+    graph = graph_from_edges([
+        ("h1", "h2", 0.99), ("h2", "h3", 0.99), ("h1", "h3", 0.99),
+    ])
+    network = broadcast_network_from_topology(graph)
+    arch = Architecture(
+        hosts=[Host("h1", 0.99), Host("h2", 0.99)],
+        sensors=[Sensor("s", 0.99)],
+        metrics=ExecutionMetrics(default_wcet=1, default_wctt=1),
+        network=network,
+    )
+    spec = Specification(
+        [
+            Communicator("a", period=10, lrc=0.5),
+            Communicator("b", period=10, lrc=0.5),
+        ],
+        [Task("t", [("a", 0)], [("b", 1)])],
+    )
+    impl = Implementation({"t": {"h1", "h2"}}, {"a": {"s"}})
+    brel = network.reliability
+    expected = 1 - (1 - 0.99 * brel) ** 2
+    assert task_reliability("t", impl, arch) == pytest.approx(expected)
+    srgs = communicator_srgs(spec, impl, arch)
+    assert srgs["b"] == pytest.approx(0.99 * expected)

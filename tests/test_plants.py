@@ -1,0 +1,201 @@
+"""Tests for the three-tank plant and controllers."""
+
+import pytest
+
+from repro.plants import (
+    PIController,
+    PerturbationEstimator,
+    ThreeTankParams,
+    ThreeTankPlant,
+    control_performance,
+)
+
+
+# -- plant physics ------------------------------------------------------------
+
+
+def test_initial_state():
+    plant = ThreeTankPlant()
+    assert plant.levels == [0.2, 0.2, 0.2]
+    assert plant.pump_flows == [0.0, 0.0]
+
+
+def test_levels_drain_without_pumping():
+    plant = ThreeTankPlant()
+    for _ in range(1000):
+        plant.step(0.1)
+    assert all(level < 0.2 for level in plant.levels)
+    assert all(level >= 0.0 for level in plant.levels)
+
+
+def test_pumping_raises_level():
+    plant = ThreeTankPlant()
+    plant.set_pump(0, plant.params.max_pump_flow)
+    start = plant.level(0)
+    for _ in range(100):
+        plant.step(0.1)
+    assert plant.level(0) > start
+
+
+def test_pump_saturation():
+    plant = ThreeTankPlant()
+    plant.set_pump(0, 1.0)  # far above max
+    assert plant.pump_flows[0] == plant.params.max_pump_flow
+    plant.set_pump(0, -1.0)
+    assert plant.pump_flows[0] == 0.0
+
+
+def test_levels_clamped_to_physical_range():
+    plant = ThreeTankPlant(levels=[0.61, 0.61, 0.61])
+    plant.set_pump(0, plant.params.max_pump_flow)
+    plant.set_pump(1, plant.params.max_pump_flow)
+    for _ in range(5000):
+        plant.step(0.1)
+    for level in plant.levels:
+        assert 0.0 <= level <= plant.params.max_level
+
+
+def test_coupling_equalises_tanks():
+    plant = ThreeTankPlant(
+        params=ThreeTankParams(leak_coefficient=1e-12),
+        levels=[0.4, 0.1, 0.25],
+    )
+    for _ in range(20000):
+        plant.step(0.1)
+    h1, h2, h3 = plant.levels
+    assert h1 == pytest.approx(h2, abs=0.02)
+    assert h1 == pytest.approx(h3, abs=0.02)
+
+
+def test_perturbation_drains_faster():
+    calm = ThreeTankPlant()
+    stressed = ThreeTankPlant()
+    stressed.set_perturbation(0, 5e-5)
+    for _ in range(200):
+        calm.step(0.1)
+        stressed.step(0.1)
+    assert stressed.level(0) < calm.level(0)
+    # Tank 2 is only affected indirectly through the middle tank, so
+    # its drop is strictly smaller than tank 1's.
+    drop1 = calm.level(0) - stressed.level(0)
+    drop2 = calm.level(1) - stressed.level(1)
+    assert 0 <= drop2 < drop1
+
+
+def test_negative_perturbation_clamped():
+    plant = ThreeTankPlant()
+    plant.set_perturbation(0, -1.0)
+    assert plant.perturbations[0] == 0.0
+
+
+def test_steady_pump_flow_holds_level():
+    plant = ThreeTankPlant(levels=[0.25, 0.25, 0.2])
+    flow = plant.steady_pump_flow(0.25)
+    assert 0.0 < flow < plant.params.max_pump_flow
+    plant.set_pump(0, flow)
+    plant.set_pump(1, flow)
+    for _ in range(50000):
+        plant.step(0.1)
+    assert plant.level(0) == pytest.approx(0.25, abs=0.01)
+    assert plant.level(1) == pytest.approx(0.25, abs=0.01)
+
+
+# -- PI controller --------------------------------------------------------------
+
+
+def test_pi_converges_in_direct_loop():
+    plant = ThreeTankPlant()
+    ff = plant.steady_pump_flow(0.3)
+    controller = PIController(
+        setpoint=0.3, kp=2e-3, ki=1e-4, dt=0.5, feedforward=ff,
+        output_max=plant.params.max_pump_flow,
+    )
+    other = PIController(
+        setpoint=0.3, kp=2e-3, ki=1e-4, dt=0.5, feedforward=ff,
+        output_max=plant.params.max_pump_flow,
+    )
+    for _ in range(1200):
+        plant.set_pump(0, controller.update(plant.level(0)))
+        plant.set_pump(1, other.update(plant.level(1)))
+        for _ in range(5):
+            plant.step(0.1)
+    assert plant.level(0) == pytest.approx(0.3, abs=0.005)
+    assert plant.level(1) == pytest.approx(0.3, abs=0.005)
+
+
+def test_pi_output_clamped():
+    controller = PIController(setpoint=1.0, kp=10.0, ki=0.0, dt=0.5,
+                              output_max=1e-4)
+    assert controller.update(0.0) == 1e-4
+    low = PIController(setpoint=0.0, kp=10.0, ki=0.0, dt=0.5)
+    assert low.update(1.0) == 0.0
+
+
+def test_pi_anti_windup_recovers_quickly():
+    controller = PIController(setpoint=0.5, kp=0.0, ki=1.0, dt=1.0,
+                              output_max=0.1)
+    for _ in range(100):
+        controller.update(0.0)  # saturated high
+    # One sample above the setpoint must pull the output down
+    # immediately (the integral was clamped, not wound up).
+    assert controller.update(0.7) < 0.1
+
+
+def test_pi_reset():
+    controller = PIController(setpoint=1.0, kp=0.0, ki=1.0, dt=1.0,
+                              output_max=10.0)
+    controller.update(0.0)
+    controller.reset()
+    assert controller.update(1.0) == 0.0
+
+
+# -- perturbation estimator --------------------------------------------------------
+
+
+def test_estimator_first_sample_is_zero():
+    estimator = PerturbationEstimator(tank_area=0.0154, dt=0.5)
+    assert estimator.update(0.2, 1e-4) == 0.0
+
+
+def test_estimator_detects_extra_outflow():
+    area, dt = 0.0154, 0.5
+    estimator = PerturbationEstimator(tank_area=area, dt=dt)
+    inflow = 1e-4
+    estimator.update(0.2, inflow)
+    # The level rose less than the inflow alone explains: an extra
+    # outflow of 4e-5 is hiding.
+    rise = (inflow - 4e-5) * dt / area
+    estimate = estimator.update(0.2 + rise, inflow)
+    assert estimate == pytest.approx(4e-5, rel=1e-6)
+
+
+def test_estimator_zero_when_balance_holds():
+    area, dt = 0.0154, 0.5
+    estimator = PerturbationEstimator(tank_area=area, dt=dt)
+    inflow = 1e-4
+    estimator.update(0.2, inflow)
+    rise = inflow * dt / area
+    assert estimator.update(0.2 + rise, inflow) == pytest.approx(0.0,
+                                                                 abs=1e-12)
+
+
+def test_estimator_reset():
+    estimator = PerturbationEstimator(tank_area=0.0154, dt=0.5)
+    estimator.update(0.2, 1e-4)
+    estimator.reset()
+    assert estimator.update(0.3, 1e-4) == 0.0
+
+
+# -- performance metric --------------------------------------------------------------
+
+
+def test_control_performance_zero_on_track():
+    assert control_performance([0.25, 0.25], 0.25) == 0.0
+
+
+def test_control_performance_rms():
+    assert control_performance([0.2, 0.3], 0.25) == pytest.approx(0.05)
+
+
+def test_control_performance_empty():
+    assert control_performance([], 0.25) == 0.0

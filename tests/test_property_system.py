@@ -1,0 +1,147 @@
+"""System-level property tests over generated designs."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.io import (
+    architecture_from_dict,
+    architecture_to_dict,
+    implementation_from_dict,
+    implementation_to_dict,
+    specification_from_dict,
+    specification_to_dict,
+)
+from repro.model import is_memory_free
+from repro.refinement import refines
+from repro.reliability import check_reliability, communicator_srgs, srg_block
+from repro.sched import expand_jobs
+from repro.validity import check_validity
+
+from strategies import specifications, systems
+
+RELAXED = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@RELAXED
+@given(specifications())
+def test_generated_specifications_are_memory_free(spec):
+    assert is_memory_free(spec)
+    periods = spec.periods()
+    for task in spec.tasks.values():
+        assert task.read_time(periods) < task.write_time(periods)
+
+
+@RELAXED
+@given(specifications())
+def test_period_is_lcm_multiple_and_covers_writes(spec):
+    period = spec.period()
+    assert period % spec.lcm_period() == 0
+    periods = spec.periods()
+    for task in spec.tasks.values():
+        assert task.write_time(periods) <= period
+
+
+@RELAXED
+@given(systems())
+def test_srgs_bounded_and_monotone_composition(system):
+    spec, arch, impl = system
+    srgs = communicator_srgs(spec, impl, arch)
+    for name, value in srgs.items():
+        assert 0.0 <= value <= 1.0
+        writer = spec.writer_of(name)
+        if writer is not None:
+            # No communicator is more reliable than its writing task's
+            # replication (the task factor multiplies in).
+            from repro.reliability import task_reliability
+
+            assert value <= task_reliability(
+                writer.name, impl, arch
+            ) + 1e-12
+
+
+@RELAXED
+@given(systems())
+def test_rbd_agrees_with_induction(system):
+    spec, arch, impl = system
+    srgs = communicator_srgs(spec, impl, arch)
+    for name in spec.communicators:
+        block = srg_block(spec, impl, arch, name)
+        assert block.reliability() == pytest.approx(
+            srgs[name], abs=1e-12
+        )
+
+
+@RELAXED
+@given(systems())
+def test_reliability_report_consistent_with_srgs(system):
+    spec, arch, impl = system
+    report = check_reliability(spec, arch, impl)
+    srgs = communicator_srgs(spec, impl, arch)
+    for verdict in report.verdicts:
+        assert verdict.srg == srgs[verdict.communicator]
+        assert verdict.satisfied == (
+            verdict.srg >= verdict.lrc - 1e-9
+        )
+    assert report.reliable == all(
+        v.satisfied for v in report.verdicts
+    )
+
+
+@RELAXED
+@given(systems())
+def test_job_expansion_respects_windows(system):
+    spec, arch, impl = system
+    jobs = expand_jobs(spec, arch, impl)
+    assert len(jobs) == impl.replication_count()
+    periods = spec.periods()
+    for job in jobs:
+        task = spec.tasks[job.task]
+        assert job.release == task.read_time(periods)
+        assert job.deadline == task.write_time(periods)
+
+
+@RELAXED
+@given(systems())
+def test_identity_refinement_reflexive(system):
+    spec, arch, impl = system
+    kappa = {name: name for name in spec.tasks}
+    assert refines(system, system, kappa)
+
+
+@RELAXED
+@given(systems())
+def test_serialisation_preserves_the_analysis(system):
+    spec, arch, impl = system
+    spec2 = specification_from_dict(specification_to_dict(spec))
+    arch2 = architecture_from_dict(architecture_to_dict(arch))
+    impl2 = implementation_from_dict(implementation_to_dict(impl))
+    assert communicator_srgs(spec2, impl2, arch2) == communicator_srgs(
+        spec, impl, arch
+    )
+    assert (
+        check_validity(spec2, arch2, impl2).valid
+        == check_validity(spec, arch, impl).valid
+    )
+
+
+@RELAXED
+@given(systems())
+def test_extra_replication_never_invalidates_reliability(system):
+    spec, arch, impl = system
+    base = check_reliability(spec, arch, impl)
+    boosted_impl = impl
+    for task in spec.tasks:
+        boosted_impl = boosted_impl.with_assignment(
+            task, set(arch.host_names())
+        )
+    boosted = check_reliability(spec, arch, boosted_impl)
+    if base.reliable:
+        assert boosted.reliable
+    for name in spec.communicators:
+        assert (
+            boosted.srgs()[name] >= base.srgs()[name] - 1e-12
+        )

@@ -1,0 +1,90 @@
+"""Monte-Carlo validation of Proposition 1 (SLLN convergence).
+
+Proposition 1 states that for memory-free, race-free specifications,
+``lambda_c >= mu_c`` for all communicators implies the long-run
+reliable fraction meets every LRC with probability 1.  Simulating a
+system under the Bernoulli fault model for many iterations, the
+observed prefix averages must converge to the analytic SRGs — and the
+implementation's LRC verdicts must match the analysis.
+"""
+
+import math
+
+import pytest
+
+from repro.experiments import (
+    random_architecture,
+    random_implementation,
+    random_specification,
+)
+from repro.reliability import check_reliability, communicator_srgs
+from repro.runtime import BernoulliFaults, Simulator
+
+
+def hoeffding_bound(samples: int, confidence: float = 1e-6) -> float:
+    """Two-sided Hoeffding deviation bound for a mean of `samples` bits."""
+    return math.sqrt(math.log(2.0 / confidence) / (2.0 * samples))
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_limit_averages_converge_to_srgs(seed):
+    spec = random_specification(seed, layers=2, tasks_per_layer=2,
+                                inputs=2)
+    arch = random_architecture(seed, hosts=3,
+                               reliability_range=(0.85, 0.99))
+    impl = random_implementation(spec, arch, seed)
+    srgs = communicator_srgs(spec, impl, arch)
+    iterations = 4000
+    result = Simulator(
+        spec, arch, impl, faults=BernoulliFaults(arch), seed=seed
+    ).run(iterations)
+    averages = result.limit_averages()
+    for name in spec.communicators:
+        samples = len(result.values[name])
+        bound = hoeffding_bound(samples)
+        assert abs(averages[name] - srgs[name]) <= bound + 1e-9, (
+            f"{name}: observed {averages[name]:.4f} vs SRG "
+            f"{srgs[name]:.4f} (bound {bound:.4f})"
+        )
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_analysis_verdict_predicts_simulation(seed):
+    spec = random_specification(seed, layers=2, tasks_per_layer=2,
+                                inputs=2, lrc_range=(0.6, 0.8))
+    arch = random_architecture(seed, hosts=3,
+                               reliability_range=(0.9, 0.999))
+    impl = random_implementation(spec, arch, seed)
+    report = check_reliability(spec, arch, impl)
+    result = Simulator(
+        spec, arch, impl, faults=BernoulliFaults(arch), seed=seed + 50
+    ).run(3000)
+    averages = result.limit_averages()
+    for verdict in report.verdicts:
+        samples = len(result.values[verdict.communicator])
+        slack = hoeffding_bound(samples)
+        observed = averages[verdict.communicator]
+        if verdict.margin > slack:
+            assert observed >= verdict.lrc - slack
+        elif verdict.margin < -slack:
+            assert observed <= verdict.lrc + slack
+        # Verdicts within the statistical noise band are not decidable
+        # from a finite run; skip them.
+
+
+def test_running_average_stabilises():
+    spec = random_specification(1, layers=1, tasks_per_layer=1, inputs=1)
+    arch = random_architecture(1, hosts=2,
+                               reliability_range=(0.8, 0.95))
+    impl = random_implementation(spec, arch, 1)
+    result = Simulator(
+        spec, arch, impl, faults=BernoulliFaults(arch), seed=9
+    ).run(8000)
+    name = sorted(spec.communicators)[-1]
+    curve = result.abstract()[name].running_average()
+    srg = communicator_srgs(spec, impl, arch)[name]
+    # The tail of the running average is much closer than the head.
+    head_error = abs(curve[99] - srg)
+    tail_error = abs(curve[-1] - srg)
+    assert tail_error <= hoeffding_bound(len(curve))
+    assert tail_error <= head_error + 0.01

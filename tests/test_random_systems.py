@@ -1,0 +1,104 @@
+"""Tests for the random system generators."""
+
+import pytest
+
+from repro.experiments import (
+    random_architecture,
+    random_implementation,
+    random_specification,
+    random_system,
+)
+from repro.model import FailureModel, is_memory_free
+from repro.validity import check_validity
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_random_specifications_are_well_formed(seed):
+    spec = random_specification(seed)
+    # Construction already validates restrictions; check the shape.
+    assert len(spec.tasks) == 9
+    assert is_memory_free(spec)
+    for task in spec.tasks.values():
+        assert task.read_time(spec.periods()) < task.write_time(
+            spec.periods()
+        )
+
+
+def test_random_specification_is_deterministic_per_seed():
+    a = random_specification(7)
+    b = random_specification(7)
+    assert set(a.tasks) == set(b.tasks)
+    for name in a.tasks:
+        assert a.tasks[name].inputs == b.tasks[name].inputs
+        assert a.tasks[name].model == b.tasks[name].model
+    assert {c.lrc for c in a.communicators.values()} == {
+        c.lrc for c in b.communicators.values()
+    }
+
+
+def test_different_seeds_differ():
+    a = random_specification(1)
+    b = random_specification(2)
+    assert any(
+        a.tasks[n].inputs != b.tasks[n].inputs
+        or a.communicators[c].lrc != b.communicators[c].lrc
+        for n in a.tasks
+        for c in a.communicators
+    )
+
+
+def test_shape_parameters_respected():
+    spec = random_specification(0, layers=4, tasks_per_layer=2, inputs=5)
+    assert len(spec.tasks) == 8
+    assert len(spec.input_communicators()) <= 5
+    assert len(spec.communicators) == 5 + 8
+
+
+def test_model_restriction():
+    spec = random_specification(
+        0, models=(FailureModel.INDEPENDENT,)
+    )
+    assert all(
+        t.model is FailureModel.INDEPENDENT for t in spec.tasks.values()
+    )
+
+
+def test_lrc_range_respected():
+    spec = random_specification(3, lrc_range=(0.7, 0.8))
+    for comm in spec.communicators.values():
+        assert 0.7 <= comm.lrc <= 0.8
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_random_architecture_shape(seed):
+    arch = random_architecture(seed, hosts=5, sensors=2)
+    assert len(arch.hosts) == 5
+    assert len(arch.sensors) == 2
+    for host in arch.hosts.values():
+        assert 0.9 <= host.reliability <= 0.999
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_random_implementation_validates(seed):
+    spec = random_specification(seed)
+    arch = random_architecture(seed)
+    impl = random_implementation(spec, arch, seed)
+    impl.validate(spec, arch)
+    for task in spec.tasks:
+        assert 1 <= len(impl.hosts_of(task)) <= 2
+
+
+def test_random_system_triple():
+    spec, arch, impl = random_system(4)
+    impl.validate(spec, arch)
+    # The joint analysis must run without errors on any generated
+    # system (valid or not).
+    report = check_validity(spec, arch, impl)
+    assert isinstance(report.valid, bool)
+
+
+def test_random_functions_executable():
+    spec = random_specification(0)
+    for task in spec.tasks.values():
+        result = task.execute([1.0] * len(task.inputs))
+        assert result == (float(len(task.inputs)),)

@@ -1,0 +1,113 @@
+"""Tests for failure-rate conversions."""
+
+import math
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.reliability.rates import (
+    MS_PER_HOUR,
+    invocation_rate_from_reliability,
+    mission_reliability,
+    per_invocation_reliability,
+    rate_from_fit,
+    rate_from_mttf,
+)
+
+
+def test_rate_from_mttf():
+    assert rate_from_mttf(1000.0) == pytest.approx(1e-3)
+    with pytest.raises(AnalysisError):
+        rate_from_mttf(0.0)
+
+
+def test_rate_from_fit():
+    # 500 FIT = 500 failures per 1e9 device-hours.
+    assert rate_from_fit(500) == pytest.approx(5e-7)
+    assert rate_from_fit(0) == 0.0
+    with pytest.raises(AnalysisError):
+        rate_from_fit(-1)
+
+
+def test_per_invocation_reliability_exponential():
+    rate = 0.01  # per hour
+    exposure = MS_PER_HOUR  # one hour in ms
+    assert per_invocation_reliability(rate, exposure) == pytest.approx(
+        math.exp(-0.01)
+    )
+
+
+def test_per_invocation_reliability_short_exposure_near_one():
+    # 500 ms at 1e-3/h: essentially perfect.
+    value = per_invocation_reliability(1e-3, 500)
+    assert 0.999999 < value <= 1.0
+
+
+def test_per_invocation_zero_exposure_is_one():
+    assert per_invocation_reliability(0.5, 0.0) == 1.0
+
+
+def test_per_invocation_validation():
+    with pytest.raises(AnalysisError):
+        per_invocation_reliability(-0.1, 10)
+    with pytest.raises(AnalysisError):
+        per_invocation_reliability(0.1, -10)
+
+
+def test_rate_round_trip():
+    rate = 0.025
+    exposure = 12_345.0
+    reliability = per_invocation_reliability(rate, exposure)
+    assert invocation_rate_from_reliability(
+        reliability, exposure
+    ) == pytest.approx(rate)
+
+
+def test_inversion_validation():
+    with pytest.raises(AnalysisError):
+        invocation_rate_from_reliability(0.0, 10)
+    with pytest.raises(AnalysisError):
+        invocation_rate_from_reliability(0.5, 0.0)
+
+
+def test_mission_reliability():
+    # 0.999 per 500 ms invocation over an 8-hour shift (57600 invocations).
+    invocations = 8 * 3600 * 1000 // 500
+    value = mission_reliability(0.999, invocations)
+    assert value == pytest.approx(0.999**invocations)
+    assert mission_reliability(1.0, 10**6) == 1.0
+    assert mission_reliability(0.5, 0) == 1.0
+
+
+def test_mission_reliability_validation():
+    with pytest.raises(AnalysisError):
+        mission_reliability(1.5, 10)
+    with pytest.raises(AnalysisError):
+        mission_reliability(0.9, -1)
+
+
+def test_datasheet_to_architecture_flow():
+    """End to end: FIT rating -> hrel -> SRG analysis."""
+    from repro.arch import Architecture, ExecutionMetrics, Host, Sensor
+    from repro.mapping import Implementation
+    from repro.model import Communicator, Specification, Task
+    from repro.reliability import communicator_srgs
+
+    # A 5e5-FIT controller host (0.5 failures per 1000 h), tasks with
+    # a 500 ms exposure.
+    hrel = per_invocation_reliability(rate_from_fit(5e5), 500)
+    spec = Specification(
+        [
+            Communicator("a", period=10, lrc=0.5),
+            Communicator("b", period=10, lrc=0.5),
+        ],
+        [Task("t", [("a", 0)], [("b", 1)])],
+    )
+    arch = Architecture(
+        hosts=[Host("h", hrel)],
+        sensors=[Sensor("s", 0.999)],
+        metrics=ExecutionMetrics(default_wcet=1, default_wctt=1),
+    )
+    impl = Implementation({"t": {"h"}}, {"a": {"s"}})
+    srgs = communicator_srgs(spec, impl, arch)
+    assert srgs["b"] == pytest.approx(hrel * 0.999)

@@ -1,0 +1,142 @@
+"""Tests and properties for the reliability-block-diagram substrate."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import AnalysisError
+from repro.reliability import Block, KOutOfN, Parallel, Series, Unit
+from repro.reliability.rbd import replicated_unit
+
+probabilities = st.floats(min_value=0.0, max_value=1.0)
+prob_lists = st.lists(probabilities, min_size=1, max_size=6)
+
+
+def test_unit_reliability():
+    assert Unit(0.9).reliability() == 0.9
+    assert Unit(0.9).failure_probability() == pytest.approx(0.1)
+
+
+def test_unit_bounds():
+    with pytest.raises(AnalysisError):
+        Unit(-0.1)
+    with pytest.raises(AnalysisError):
+        Unit(1.1)
+
+
+def test_unit_repr_carries_label():
+    assert "h1" in repr(Unit(0.5, label="h1"))
+
+
+def test_series_multiplies():
+    block = Series([Unit(0.9), Unit(0.8)])
+    assert block.reliability() == pytest.approx(0.72)
+
+
+def test_parallel_or():
+    block = Parallel([Unit(0.9), Unit(0.8)])
+    assert block.reliability() == pytest.approx(1 - 0.1 * 0.2)
+
+
+def test_empty_compositions_rejected():
+    with pytest.raises(AnalysisError):
+        Series([])
+    with pytest.raises(AnalysisError):
+        Parallel([])
+    with pytest.raises(AnalysisError):
+        KOutOfN(1, [])
+
+
+def test_k_out_of_n_bounds():
+    with pytest.raises(AnalysisError):
+        KOutOfN(0, [Unit(0.5)])
+    with pytest.raises(AnalysisError):
+        KOutOfN(3, [Unit(0.5), Unit(0.5)])
+
+
+def test_two_out_of_three_voting():
+    # Classic TMR with p = 0.9: 3p^2(1-p) + p^3.
+    block = KOutOfN(2, [Unit(0.9)] * 3)
+    expected = 3 * 0.9**2 * 0.1 + 0.9**3
+    assert block.reliability() == pytest.approx(expected)
+
+
+def test_composition_sugar():
+    series = Unit(0.9).in_series_with(Unit(0.8))
+    assert isinstance(series, Series)
+    assert series.reliability() == pytest.approx(0.72)
+    parallel = Unit(0.9).in_parallel_with(Unit(0.8))
+    assert isinstance(parallel, Parallel)
+    assert parallel.reliability() == pytest.approx(0.98)
+
+
+def test_replicated_unit():
+    block = replicated_unit([0.9, 0.8], label="t")
+    assert block.reliability() == pytest.approx(0.98)
+
+
+def test_nested_diagram():
+    # (u1 OR u2) AND u3
+    block = Series([Parallel([Unit(0.9), Unit(0.9)]), Unit(0.99)])
+    assert block.reliability() == pytest.approx((1 - 0.01) * 0.99)
+
+
+# -- properties ----------------------------------------------------------
+
+
+@given(prob_lists)
+def test_k_equals_one_matches_parallel(probs):
+    units = [Unit(p) for p in probs]
+    assert KOutOfN(1, units).reliability() == pytest.approx(
+        Parallel(units).reliability()
+    )
+
+
+@given(prob_lists)
+def test_k_equals_n_matches_series(probs):
+    units = [Unit(p) for p in probs]
+    assert KOutOfN(len(units), units).reliability() == pytest.approx(
+        Series(units).reliability()
+    )
+
+
+@given(prob_lists)
+def test_series_below_parallel(probs):
+    units = [Unit(p) for p in probs]
+    assert (
+        Series(units).reliability()
+        <= Parallel(units).reliability() + 1e-12
+    )
+
+
+@given(prob_lists, probabilities)
+def test_parallel_monotone_in_extra_unit(probs, extra):
+    units = [Unit(p) for p in probs]
+    base = Parallel(units).reliability()
+    grown = Parallel(units + [Unit(extra)]).reliability()
+    assert grown >= base - 1e-12
+
+
+@given(prob_lists, probabilities)
+def test_series_antitone_in_extra_unit(probs, extra):
+    units = [Unit(p) for p in probs]
+    base = Series(units).reliability()
+    grown = Series(units + [Unit(extra)]).reliability()
+    assert grown <= base + 1e-12
+
+
+@given(prob_lists, st.integers(min_value=1, max_value=6))
+def test_k_out_of_n_antitone_in_k(probs, k):
+    units = [Unit(p) for p in probs]
+    k = min(k, len(units))
+    if k > 1:
+        assert (
+            KOutOfN(k, units).reliability()
+            <= KOutOfN(k - 1, units).reliability() + 1e-12
+        )
+
+
+@given(prob_lists)
+def test_reliability_in_unit_interval(probs):
+    units = [Unit(p) for p in probs]
+    for block in (Series(units), Parallel(units), KOutOfN(1, units)):
+        assert -1e-12 <= block.reliability() <= 1 + 1e-12

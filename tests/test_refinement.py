@@ -1,0 +1,350 @@
+"""Tests for the refinement relation and validity transfer (Prop. 2)."""
+
+import pytest
+
+from repro.arch import Architecture, ExecutionMetrics, Host, Sensor
+from repro.errors import RefinementError
+from repro.experiments import (
+    random_architecture,
+    random_implementation,
+    random_specification,
+)
+from repro.mapping import Implementation
+from repro.model import Communicator, FailureModel, Specification, Task
+from repro.refinement import check_refinement, refines
+from repro.validity import check_validity
+
+
+def coarse_system():
+    """A small abstract system that is valid on its architecture."""
+    comms = [
+        Communicator("a", period=10, lrc=0.9),
+        Communicator("b", period=10, lrc=0.9),
+        Communicator("out", period=10, lrc=0.8),
+    ]
+    task = Task(
+        "T",
+        inputs=[("a", 0), ("b", 0)],
+        outputs=[("out", 2)],
+        model="series",
+        function=lambda a, b: a + b,
+    )
+    spec = Specification(comms, [task])
+    arch = Architecture(
+        hosts=[Host("h1", 0.95), Host("h2", 0.9)],
+        sensors=[Sensor("s1", 0.95), Sensor("s2", 0.95)],
+        metrics=ExecutionMetrics(default_wcet=5, default_wctt=2),
+    )
+    impl = Implementation(
+        {"T": {"h1", "h2"}}, {"a": {"s1"}, "b": {"s2"}}
+    )
+    return spec, arch, impl
+
+
+def fine_system(
+    wcet=3,
+    wctt=1,
+    read_instance=0,
+    write_instance=2,
+    out_lrc=0.8,
+    model="series",
+    inputs=(("a", 0),),
+    hosts=frozenset({"h1", "h2"}),
+    host_names=("h1", "h2"),
+):
+    """A refining system derived from :func:`coarse_system`.
+
+    Defaults satisfy every refinement constraint: fewer series inputs,
+    same window, cheaper metrics, equal LRC budget, same mapping.
+    """
+    comms = [
+        Communicator("a", period=10, lrc=0.9),
+        Communicator("b", period=10, lrc=0.9),
+        Communicator("out", period=10, lrc=out_lrc),
+    ]
+    defaults = {c: 0.0 for c, _ in inputs}
+    task = Task(
+        "T_impl",
+        inputs=[(c, read_instance if i == 0 else read_instance)
+                for i, (c, _) in enumerate(inputs)],
+        outputs=[("out", write_instance)],
+        model=model,
+        defaults=defaults if model != "series" else {},
+        function=lambda *args: sum(args),
+    )
+    spec = Specification(comms, [task])
+    arch = Architecture(
+        hosts=[Host(h, 0.95 if h == "h1" else 0.9) for h in host_names],
+        sensors=[Sensor("s1", 0.95), Sensor("s2", 0.95)],
+        metrics=ExecutionMetrics(default_wcet=wcet, default_wctt=wctt),
+    )
+    impl = Implementation(
+        {"T_impl": hosts}, {"a": {"s1"}, "b": {"s2"}}
+    )
+    return spec, arch, impl
+
+
+KAPPA = {"T_impl": "T"}
+
+
+def test_valid_refinement_passes():
+    report = check_refinement(fine_system(), coarse_system(), KAPPA)
+    assert report.refines
+    assert report.summary() == "refinement check: all constraints hold"
+
+
+def test_refines_helper():
+    assert refines(fine_system(), coarse_system(), KAPPA)
+
+
+def test_identity_refinement_is_reflexive():
+    coarse = coarse_system()
+    assert refines(coarse, coarse, {"T": "T"})
+
+
+# -- kappa validation -----------------------------------------------------
+
+
+def test_kappa_must_be_total():
+    with pytest.raises(RefinementError, match="not total"):
+        check_refinement(fine_system(), coarse_system(), {})
+
+
+def test_kappa_rejects_unknown_fine_tasks():
+    with pytest.raises(RefinementError, match="unknown refining"):
+        check_refinement(
+            fine_system(), coarse_system(),
+            {"T_impl": "T", "ghost": "T"},
+        )
+
+
+def test_kappa_rejects_unknown_targets():
+    with pytest.raises(RefinementError, match="unknown abstract"):
+        check_refinement(fine_system(), coarse_system(), {"T_impl": "Zz"})
+
+
+def test_kappa_must_be_one_to_one():
+    fine_spec, fine_arch, fine_impl = fine_system()
+    doubled = Specification(
+        fine_spec.communicators.values(),
+        [
+            fine_spec.tasks["T_impl"],
+            Task(
+                "T_other",
+                inputs=[("b", 0)],
+                outputs=[("a", 2)],
+                function=lambda b: b,
+            ),
+        ],
+    )
+    impl = Implementation(
+        {"T_impl": {"h1", "h2"}, "T_other": {"h1", "h2"}},
+        {"a": {"s1"}, "b": {"s2"}},
+    )
+    with pytest.raises(RefinementError, match="one-to-one"):
+        check_refinement(
+            (doubled, fine_arch, impl),
+            coarse_system(),
+            {"T_impl": "T", "T_other": "T"},
+        )
+
+
+# -- each constraint individually -------------------------------------------
+
+
+def violated_constraints(fine):
+    report = check_refinement(fine, coarse_system(), KAPPA)
+    return set(report.by_constraint())
+
+
+def test_constraint_a_host_sets():
+    fine = fine_system(host_names=("h1", "h2", "h3"))
+    assert "a" in violated_constraints(fine)
+
+
+def test_constraint_b1_mapping():
+    fine = fine_system(hosts=frozenset({"h1"}))
+    assert "b1" in violated_constraints(fine)
+
+
+def test_constraint_b2_wcet():
+    fine = fine_system(wcet=6)
+    assert "b2" in violated_constraints(fine)
+
+
+def test_constraint_b2_wctt():
+    fine = fine_system(wctt=3)
+    assert "b2" in violated_constraints(fine)
+
+
+def test_constraint_b3_read_later():
+    fine = fine_system(read_instance=1)
+    assert "b3" in violated_constraints(fine)
+
+
+def test_constraint_b3_write_earlier():
+    fine = fine_system(write_instance=1)
+    report = check_refinement(fine, coarse_system(), KAPPA)
+    assert "b3" in set(report.by_constraint())
+
+
+def test_constraint_b4_lrc_budget():
+    fine = fine_system(out_lrc=0.95)  # above coarse budget 0.8
+    assert "b4" in violated_constraints(fine)
+
+
+def test_constraint_b5_model():
+    fine = fine_system(model="independent")
+    assert "b5" in violated_constraints(fine)
+
+
+def test_constraint_b6_series_superset():
+    # Coarse reads {a, b}; a series refining task may read a subset
+    # but not a superset.  Give the fine task an extra communicator.
+    fine_spec, fine_arch, fine_impl = fine_system()
+    comms = list(fine_spec.communicators.values()) + [
+        Communicator("extra", period=10, lrc=0.9)
+    ]
+    task = Task(
+        "T_impl",
+        inputs=[("a", 0), ("b", 0), ("extra", 0)],
+        outputs=[("out", 2)],
+        model="series",
+        function=lambda *a: 0.0,
+    )
+    spec = Specification(comms, [task])
+    impl = fine_impl.with_sensor_binding("extra", {"s1"})
+    report = check_refinement(
+        (spec, fine_arch, impl), coarse_system(), KAPPA
+    )
+    assert "b6" in set(report.by_constraint())
+
+
+def test_constraint_b6_parallel_subset():
+    # A parallel refining task must keep at least the coarse inputs.
+    coarse_spec, coarse_arch, coarse_impl = coarse_system()
+    par_task = Task(
+        "T",
+        inputs=[("a", 0), ("b", 0)],
+        outputs=[("out", 2)],
+        model="parallel",
+        defaults={"a": 0.0, "b": 0.0},
+        function=lambda a, b: a + b,
+    )
+    coarse = (
+        coarse_spec.with_tasks([par_task]),
+        coarse_arch,
+        coarse_impl,
+    )
+    fine = fine_system(model="parallel", inputs=(("a", 0),))
+    report = check_refinement(fine, coarse, KAPPA)
+    constraints = set(report.by_constraint())
+    assert "b6" in constraints
+
+
+def test_violation_string_rendering():
+    fine = fine_system(wcet=6)
+    report = check_refinement(fine, coarse_system(), KAPPA)
+    assert not report.refines
+    assert "b2" in report.summary()
+    assert any("WCET" in str(v) for v in report.violations)
+
+
+# -- Proposition 2: validity transfer ---------------------------------------
+
+
+def test_validity_transfers_on_concrete_pair():
+    coarse = coarse_system()
+    fine = fine_system()
+    assert check_validity(*coarse).valid
+    assert refines(fine, coarse, KAPPA)
+    assert check_validity(*fine).valid
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_validity_transfers_on_random_pairs(seed):
+    """Lemma 1 + Lemma 2: shrink costs and LRCs, validity transfers."""
+    spec = random_specification(seed, layers=2, tasks_per_layer=2,
+                                lrc_range=(0.3, 0.6))
+    arch = random_architecture(seed, hosts=3,
+                               reliability_range=(0.95, 0.999))
+    impl = random_implementation(spec, arch, seed, max_replicas=2)
+    coarse_report = check_validity(spec, arch, impl)
+    if not coarse_report.valid:
+        pytest.skip("random coarse system not valid; nothing to transfer")
+
+    # Refine: rename every task, halve the LRCs of its outputs, shrink
+    # metrics, keep ports/models/mapping — all six constraints hold.
+    kappa = {f"{name}_r": name for name in spec.tasks}
+    renamed_tasks = []
+    lrc_changes = {}
+    for task in spec.tasks.values():
+        renamed_tasks.append(
+            Task(
+                f"{task.name}_r",
+                inputs=task.inputs,
+                outputs=task.outputs,
+                model=task.model,
+                defaults=task.defaults,
+                function=task.function,
+            )
+        )
+        for name in task.output_communicators():
+            lrc_changes[name] = spec.communicators[name].lrc / 2
+    fine_spec = spec.with_tasks(renamed_tasks).replace_lrcs(lrc_changes)
+    fine_arch = Architecture(
+        hosts=arch.hosts.values(),
+        sensors=arch.sensors.values(),
+        metrics=ExecutionMetrics(
+            default_wcet=max(1, arch.metrics.default_wcet - 1),
+            default_wctt=max(1, arch.metrics.default_wctt - 1)
+            if arch.metrics.default_wctt > 1
+            else arch.metrics.default_wctt,
+        ),
+        network=arch.network,
+    )
+    fine_impl = Implementation(
+        {
+            f"{name}_r": impl.hosts_of(name)
+            for name in spec.tasks
+        },
+        impl.sensor_binding,
+    )
+    fine = (fine_spec, fine_arch, fine_impl)
+    report = check_refinement(fine, (spec, arch, impl), kappa)
+    assert report.refines, report.summary()
+    assert check_validity(*fine).valid
+
+
+def test_transitivity_of_refinement():
+    coarse = coarse_system()
+    middle = fine_system(wcet=4, out_lrc=0.75)
+    kappa_mid = {"T_impl": "T"}
+    assert refines(middle, coarse, kappa_mid)
+
+    # A further refinement of `middle`.
+    spec_m, arch_m, impl_m = middle
+    innermost = Specification(
+        spec_m.communicators.values(),
+        [
+            Task(
+                "T_core",
+                inputs=[("a", 0)],
+                outputs=[("out", 2)],
+                model="series",
+                function=lambda a: a,
+            )
+        ],
+    )
+    arch_f = Architecture(
+        hosts=arch_m.hosts.values(),
+        sensors=arch_m.sensors.values(),
+        metrics=ExecutionMetrics(default_wcet=2, default_wctt=1),
+    )
+    impl_f = Implementation(
+        {"T_core": {"h1", "h2"}}, {"a": {"s1"}, "b": {"s2"}}
+    )
+    fine = (innermost, arch_f, impl_f)
+    assert refines(fine, middle, {"T_core": "T_impl"})
+    # Transitivity: fine also refines coarse under the composition.
+    assert refines(fine, coarse, {"T_core": "T"})

@@ -1,0 +1,108 @@
+"""Tests for the textual reporting module."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    baseline_implementation,
+    three_tank_architecture,
+    three_tank_spec,
+)
+from repro.model import BOTTOM
+from repro.reliability import check_reliability
+from repro.reliability.traces import AbstractTrace
+from repro.report import (
+    design_report,
+    render_dependency_graph,
+    render_margins,
+    render_trace,
+)
+
+
+@pytest.fixture
+def tank():
+    return (
+        three_tank_spec(),
+        three_tank_architecture(),
+        baseline_implementation(),
+    )
+
+
+def test_render_margins_marks_verdicts(tank):
+    spec, arch, impl = tank
+    report = check_reliability(spec, arch, impl)
+    text = render_margins(report)
+    assert "[ok ]" in text
+    assert "u1" in text
+    assert "LOW" not in text
+
+
+def test_render_margins_flags_violations():
+    spec = three_tank_spec(lrc_u=0.9975)
+    report = check_reliability(
+        spec, three_tank_architecture(), baseline_implementation()
+    )
+    text = render_margins(report)
+    assert "LOW" in text
+    assert "-" in text  # a deficit bar
+
+
+def test_render_trace_sparkline():
+    trace = AbstractTrace(
+        "c", np.array([1, 1, 0, 1] * 10, dtype=np.int8)
+    )
+    text = render_trace(trace, width=10)
+    assert text.startswith("c: ")
+    assert "limavg 0.75" in text
+    assert "40 accesses" in text
+    assert "▁" in text
+
+
+def test_render_trace_all_reliable():
+    trace = AbstractTrace.from_values("c", [1.0] * 20)
+    text = render_trace(trace, width=5)
+    assert "▁" not in text.splitlines()[0]
+    assert "limavg 1.0" in text
+
+
+def test_render_trace_empty():
+    trace = AbstractTrace("c", np.array([], dtype=np.int8))
+    assert "(empty trace)" in render_trace(trace)
+
+
+def test_render_dependency_graph(tank):
+    spec, _, _ = tank
+    text = render_dependency_graph(spec)
+    assert "s1 (written by sensor) -> l1" in text
+    assert "l1 (written by read1)" in text
+    assert "u1 (written by t1) -> r1" in text
+
+
+def test_design_report_valid(tank):
+    spec, arch, impl = tank
+    text = design_report(spec, arch, impl)
+    assert "design report" in text
+    assert "VALID" in text
+    assert "margins:" in text
+    assert "distributed timeline" in text
+    assert "upgrade" not in text  # nothing to repair
+
+
+def test_design_report_with_upgrade_advice():
+    spec = three_tank_spec(lrc_u=0.9975)
+    text = design_report(
+        spec, three_tank_architecture(), baseline_implementation()
+    )
+    assert "INVALID" in text
+    assert "single-component upgrades" in text
+    assert "host:h3" in text
+
+
+def test_design_report_no_single_upgrade_possible():
+    spec = three_tank_spec(lrc_u=0.9989)
+    # u = hrel(h3) * srel * hrel <= 0.999 * 1 * 1; but two factors stay
+    # at 0.999 so no single upgrade reaches 0.9989 (0.999^2 = 0.998).
+    text = design_report(
+        spec, three_tank_architecture(), baseline_implementation()
+    )
+    assert "no single-component upgrade" in text

@@ -1,0 +1,121 @@
+"""Tests for fault injectors."""
+
+import numpy as np
+import pytest
+
+from repro.arch import Architecture, BroadcastNetwork, ExecutionMetrics, Host, Sensor
+from repro.errors import RuntimeSimulationError
+from repro.runtime import (
+    BernoulliFaults,
+    CompositeFaults,
+    NoFaults,
+    ScriptedFaults,
+)
+
+
+def rng():
+    return np.random.default_rng(0)
+
+
+def test_no_faults_never_fails():
+    injector = NoFaults()
+    generator = rng()
+    assert not injector.replica_fails("t", "h", 0, 0, 10, generator)
+    assert not injector.sensor_fails("s", 0, generator)
+    assert not injector.broadcast_fails("t", "h", 0, generator)
+
+
+def test_bernoulli_rates_match_reliabilities():
+    arch = Architecture(
+        hosts=[Host("h", 0.8)],
+        sensors=[Sensor("s", 0.7)],
+        metrics=ExecutionMetrics(default_wcet=1, default_wctt=1),
+        network=BroadcastNetwork(reliability=0.9),
+    )
+    injector = BernoulliFaults(arch)
+    generator = rng()
+    samples = 20000
+    host_failures = sum(
+        injector.replica_fails("t", "h", i, 0, 10, generator)
+        for i in range(samples)
+    )
+    sensor_failures = sum(
+        injector.sensor_fails("s", i, generator) for i in range(samples)
+    )
+    broadcast_failures = sum(
+        injector.broadcast_fails("t", "h", i, generator)
+        for i in range(samples)
+    )
+    assert host_failures / samples == pytest.approx(0.2, abs=0.01)
+    assert sensor_failures / samples == pytest.approx(0.3, abs=0.01)
+    assert broadcast_failures / samples == pytest.approx(0.1, abs=0.01)
+
+
+def test_bernoulli_perfect_network_consumes_no_randomness():
+    arch = Architecture(
+        hosts=[Host("h", 0.8)],
+        metrics=ExecutionMetrics(default_wcet=1, default_wctt=1),
+    )
+    injector = BernoulliFaults(arch)
+    a, b = rng(), rng()
+    assert not injector.broadcast_fails("t", "h", 0, a)
+    # The generator state is untouched: next draws agree.
+    assert a.random() == b.random()
+
+
+def test_scripted_permanent_outage():
+    injector = ScriptedFaults(host_outages={"h": [(100, None)]})
+    generator = rng()
+    assert not injector.replica_fails("t", "h", 0, 0, 50, generator)
+    assert injector.replica_fails("t", "h", 1, 100, 150, generator)
+    assert injector.replica_fails("t", "h", 2, 500, 550, generator)
+    # A window that merely touches the outage start fails too.
+    assert injector.replica_fails("t", "h", 0, 50, 100, generator)
+
+
+def test_scripted_interval_outage():
+    injector = ScriptedFaults(host_outages={"h": [(100, 200)]})
+    generator = rng()
+    assert not injector.replica_fails("t", "h", 0, 0, 99, generator)
+    assert injector.replica_fails("t", "h", 0, 150, 180, generator)
+    assert not injector.replica_fails("t", "h", 0, 200, 250, generator)
+    # Overlap from the left.
+    assert injector.replica_fails("t", "h", 0, 50, 120, generator)
+
+
+def test_scripted_other_hosts_unaffected():
+    injector = ScriptedFaults(host_outages={"h": [(0, None)]})
+    assert not injector.replica_fails("t", "other", 0, 0, 10, rng())
+
+
+def test_scripted_sensor_outage():
+    injector = ScriptedFaults(sensor_outages={"s": [(100, 200)]})
+    generator = rng()
+    assert not injector.sensor_fails("s", 99, generator)
+    assert injector.sensor_fails("s", 100, generator)
+    assert injector.sensor_fails("s", 150, generator)
+    assert not injector.sensor_fails("s", 200, generator)
+
+
+def test_scripted_empty_interval_rejected():
+    with pytest.raises(RuntimeSimulationError, match="empty"):
+        ScriptedFaults(host_outages={"h": [(10, 10)]})
+
+
+def test_composite_or_semantics():
+    scripted = ScriptedFaults(host_outages={"h1": [(0, None)]})
+    other = ScriptedFaults(host_outages={"h2": [(0, None)]})
+    combined = CompositeFaults([scripted, other])
+    generator = rng()
+    assert combined.replica_fails("t", "h1", 0, 0, 10, generator)
+    assert combined.replica_fails("t", "h2", 0, 0, 10, generator)
+    assert not combined.replica_fails("t", "h3", 0, 0, 10, generator)
+
+
+def test_composite_sensor_and_broadcast():
+    scripted = ScriptedFaults(sensor_outages={"s": [(0, None)]})
+    combined = CompositeFaults([NoFaults(), scripted])
+    generator = rng()
+    assert combined.sensor_fails("s", 5, generator)
+    assert not combined.sensor_fails("other", 5, generator)
+    assert not combined.broadcast_fails("t", "h", 0, generator)

@@ -1,0 +1,96 @@
+"""Tests for the schedulability report."""
+
+import pytest
+
+from repro.arch import Architecture, ExecutionMetrics, Host, Sensor
+from repro.mapping import Implementation
+from repro.model import Communicator, Specification, Task
+from repro.sched import check_schedulability
+
+
+def test_pipeline_schedulable(pipe_spec, pipe_arch, pipe_impl):
+    report = check_schedulability(pipe_spec, pipe_arch, pipe_impl)
+    assert report.schedulable
+    assert report.reasons == ()
+    loads = {load.host: load for load in report.host_loads}
+    assert loads["a"].job_count == 2
+    assert loads["a"].demand == 4
+    assert loads["a"].utilisation == pytest.approx(4 / 20)
+    assert loads["b"].job_count == 1
+    assert report.network_load.demand == 3
+
+
+def test_three_tank_schedulable(tank_spec, tank_arch, tank_scenario1):
+    report = check_schedulability(tank_spec, tank_arch, tank_scenario1)
+    assert report.schedulable
+    assert report.timeline.verify(tank_spec) == []
+
+
+def test_summary_text(pipe_spec, pipe_arch, pipe_impl):
+    text = check_schedulability(pipe_spec, pipe_arch, pipe_impl).summary()
+    assert "SCHEDULABLE" in text
+    assert "host a" in text
+    assert "network" in text
+
+
+def overload_case(wcet):
+    comms = [
+        Communicator("a", period=10),
+        Communicator("b", period=10),
+    ]
+    tasks = [Task("t", [("a", 0)], [("b", 1)])]
+    spec = Specification(comms, tasks)
+    arch = Architecture(
+        hosts=[Host("h", 0.9)],
+        sensors=[Sensor("s", 0.9)],
+        metrics=ExecutionMetrics(default_wcet=wcet, default_wctt=1),
+    )
+    impl = Implementation({"t": {"h"}}, {"a": {"s"}})
+    return spec, arch, impl
+
+
+def test_window_overflow_reported():
+    spec, arch, impl = overload_case(wcet=10)
+    report = check_schedulability(spec, arch, impl)
+    assert not report.schedulable
+    assert any("exceeds the LET window" in r for r in report.reasons)
+
+
+def test_feasible_boundary_case():
+    # wcet 9 + wctt 1 exactly fills the window [0, 10].
+    spec, arch, impl = overload_case(wcet=9)
+    report = check_schedulability(spec, arch, impl)
+    assert report.schedulable
+
+
+def test_utilisation_overflow_reported():
+    comms = [
+        Communicator("a", period=10),
+        Communicator("b", period=10),
+        Communicator("c", period=10),
+    ]
+    tasks = [
+        Task("t1", [("a", 0)], [("b", 1)]),
+        Task("t2", [("a", 0)], [("c", 1)]),
+    ]
+    spec = Specification(comms, tasks)
+    arch = Architecture(
+        hosts=[Host("h", 0.9)],
+        sensors=[Sensor("s", 0.9)],
+        metrics=ExecutionMetrics(default_wcet=7, default_wctt=1),
+    )
+    impl = Implementation({"t1": {"h"}, "t2": {"h"}}, {"a": {"s"}})
+    report = check_schedulability(spec, arch, impl)
+    assert not report.schedulable
+    assert any("utilisation" in r for r in report.reasons)
+
+
+def test_replication_increases_load(tank_spec, tank_arch,
+                                    tank_baseline, tank_scenario1):
+    base = check_schedulability(tank_spec, tank_arch, tank_baseline)
+    repl = check_schedulability(tank_spec, tank_arch, tank_scenario1)
+    base_loads = {l.host: l.demand for l in base.host_loads}
+    repl_loads = {l.host: l.demand for l in repl.host_loads}
+    assert repl_loads["h1"] > base_loads["h1"]
+    assert repl_loads["h2"] > base_loads["h2"]
+    assert repl.network_load.demand > base.network_load.demand

@@ -1,0 +1,146 @@
+"""Tests for SRG sensitivity analysis and upgrade advice."""
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.experiments import (
+    baseline_implementation,
+    three_tank_architecture,
+    three_tank_spec,
+)
+from repro.reliability import communicator_srgs
+from repro.reliability.sensitivity import (
+    all_components,
+    minimal_upgrade,
+    srg_sensitivities,
+    upgrade_options,
+)
+
+
+@pytest.fixture
+def tank():
+    return (
+        three_tank_spec(lrc_u=0.9975),
+        three_tank_architecture(),
+        baseline_implementation(),
+    )
+
+
+def test_all_components(tank):
+    _, arch, _ = tank
+    components = all_components(arch)
+    assert "host:h1" in components
+    assert "sensor:sen1" in components
+    assert len(components) == 3 + 4
+
+
+def test_sensitivities_shape(tank):
+    spec, arch, impl = tank
+    sensitivities = srg_sensitivities(spec, arch, impl)
+    assert len(sensitivities) == len(all_components(arch))
+    for entry in sensitivities:
+        assert set(entry.derivatives) == set(spec.communicators)
+
+
+def test_derivatives_match_analytic_formula(tank):
+    spec, arch, impl = tank
+    sensitivities = {
+        s.component: s for s in srg_sensitivities(spec, arch, impl)
+    }
+    # lambda_u1 = hrel(h3) * srel(sen1) * hrel(h1) (read1 @ h3,
+    # t1 @ h1): each partial derivative is the product of the other
+    # two factors.
+    r = 0.999
+    expected = r * r  # two remaining factors
+    assert sensitivities["host:h1"].derivatives["u1"] == pytest.approx(
+        expected, rel=1e-6
+    )
+    assert sensitivities["sensor:sen1"].derivatives["u1"] == (
+        pytest.approx(expected, rel=1e-6)
+    )
+    # h2 runs only t2: u1 does not depend on it.
+    assert sensitivities["host:h2"].derivatives["u1"] == pytest.approx(
+        0.0, abs=1e-6
+    )
+    # An unused backup sensor affects nothing.
+    assert all(
+        value == pytest.approx(0.0, abs=1e-6)
+        for value in sensitivities["sensor:sen1b"].derivatives.values()
+    )
+
+
+def test_sensitivities_nonnegative(tank):
+    spec, arch, impl = tank
+    for entry in srg_sensitivities(spec, arch, impl):
+        for value in entry.derivatives.values():
+            assert value >= -1e-6
+
+
+def test_most_affected(tank):
+    spec, arch, impl = tank
+    sensitivities = {
+        s.component: s for s in srg_sensitivities(spec, arch, impl)
+    }
+    # h3 runs the readers and estimators; everything downstream of l1
+    # and l2 depends on it.
+    assert sensitivities["host:h3"].most_affected() in {
+        "l1", "l2", "r1", "r2", "u1", "u2",
+    }
+
+
+def test_bad_component_identifier(tank):
+    spec, arch, impl = tank
+    with pytest.raises(AnalysisError, match="host:NAME"):
+        minimal_upgrade(spec, arch, impl, "h1")
+
+
+def test_minimal_upgrade_of_already_reliable_system():
+    spec = three_tank_spec(lrc_u=0.99)
+    arch = three_tank_architecture()
+    impl = baseline_implementation()
+    required = minimal_upgrade(spec, arch, impl, "host:h1")
+    assert required == pytest.approx(0.999)
+
+
+def test_minimal_upgrade_infeasible_component(tank):
+    spec, arch, impl = tank
+    # u1 = hrel(h3) * srel(sen1) * hrel(h1); with the other factors at
+    # 0.999 each, even a perfect h2 leaves u2's chain untouched AND
+    # a perfect h1 still caps u1 at 0.998001 >= 0.9975... so h1 IS
+    # feasible for u1 — but u2 stays violated, making h1 infeasible
+    # as a single upgrade.
+    assert minimal_upgrade(spec, arch, impl, "host:h1") is None
+    assert minimal_upgrade(spec, arch, impl, "host:h2") is None
+    assert minimal_upgrade(spec, arch, impl, "sensor:sen1") is None
+
+
+def test_h3_upgrade_fixes_both_chains(tank):
+    spec, arch, impl = tank
+    required = minimal_upgrade(spec, arch, impl, "host:h3")
+    # u = hrel(h3) * 0.999 * 0.999 >= 0.9975 -> hrel(h3) >= 0.99949...
+    assert required is not None
+    assert required == pytest.approx(
+        0.9975 / (0.999 * 0.999), abs=1e-6
+    )
+    upgraded = __import__(
+        "repro.reliability.sensitivity", fromlist=["_perturbed"]
+    )._perturbed(arch, "host:h3", required)
+    srgs = communicator_srgs(spec, impl, upgraded)
+    assert srgs["u1"] >= 0.9975 - 1e-9
+    assert srgs["u2"] >= 0.9975 - 1e-9
+
+
+def test_upgrade_options_sorted(tank):
+    spec, arch, impl = tank
+    options = upgrade_options(spec, arch, impl)
+    # Only h3 (shared by both chains) can fix the system alone.
+    assert [option.component for option in options] == ["host:h3"]
+    assert options[0].delta > 0
+    assert options[0].required <= 1.0
+
+
+def test_upgrade_options_empty_when_reliable():
+    spec = three_tank_spec(lrc_u=0.99)
+    arch = three_tank_architecture()
+    options = upgrade_options(spec, arch, baseline_implementation())
+    assert options == []

@@ -1,0 +1,155 @@
+"""Tests for specification validation and derived timing."""
+
+import pytest
+
+from repro.errors import SpecificationError
+from repro.model import Communicator, Specification, Task
+
+
+def comm(name, period, lrc=0.9):
+    return Communicator(name, period=period, lrc=lrc)
+
+
+def test_duplicate_communicator_rejected():
+    with pytest.raises(SpecificationError, match="duplicate communicator"):
+        Specification([comm("c", 10), comm("c", 20)], [])
+
+
+def test_duplicate_task_rejected():
+    tasks = [
+        Task("t", [("a", 0)], [("b", 1)]),
+        Task("t", [("a", 0)], [("c", 1)]),
+    ]
+    with pytest.raises(SpecificationError, match="duplicate task"):
+        Specification([comm("a", 10), comm("b", 10), comm("c", 10)], tasks)
+
+
+def test_name_shared_between_task_and_communicator_rejected():
+    tasks = [Task("a", [("a", 0)], [("b", 1)])]
+    with pytest.raises(SpecificationError, match="both a task"):
+        Specification([comm("a", 10), comm("b", 10)], tasks)
+
+
+def test_undeclared_communicator_rejected():
+    tasks = [Task("t", [("missing", 0)], [("b", 1)])]
+    with pytest.raises(SpecificationError, match="undeclared"):
+        Specification([comm("b", 10)], tasks)
+
+
+def test_read_must_precede_write():
+    # read at 10 (instance 1 of a), write at 10 (instance 1 of b).
+    tasks = [Task("t", [("a", 1)], [("b", 1)])]
+    with pytest.raises(SpecificationError, match="restriction 2"):
+        Specification([comm("a", 10), comm("b", 10)], tasks)
+
+
+def test_single_writer_enforced():
+    tasks = [
+        Task("t1", [("a", 0)], [("b", 1)]),
+        Task("t2", [("a", 0)], [("b", 2)]),
+    ]
+    with pytest.raises(SpecificationError, match="restriction 3"):
+        Specification([comm("a", 10), comm("b", 10)], tasks)
+
+
+def test_empty_specification_needs_communicators():
+    with pytest.raises(SpecificationError, match="at least one"):
+        Specification([], [])
+
+
+def test_periods_map():
+    spec = Specification([comm("a", 10), comm("b", 15)], [])
+    assert spec.periods() == {"a": 10, "b": 15}
+
+
+def test_base_tick_is_gcd():
+    spec = Specification([comm("a", 10), comm("b", 15)], [])
+    assert spec.base_tick() == 5
+
+
+def test_lcm_period():
+    spec = Specification([comm("a", 10), comm("b", 15)], [])
+    assert spec.lcm_period() == 30
+
+
+def test_period_without_tasks_is_lcm():
+    spec = Specification([comm("a", 10), comm("b", 15)], [])
+    assert spec.period() == 30
+
+
+def test_period_covers_latest_write():
+    # lcm = 10, but the task writes instance 3 of b at time 30.
+    tasks = [Task("t", [("a", 0)], [("b", 3)])]
+    spec = Specification([comm("a", 10), comm("b", 10)], tasks)
+    assert spec.period() == 30
+
+
+def test_period_rounds_up_to_lcm_multiple():
+    # lcm = 20; write at 30 -> period 40.
+    tasks = [Task("t", [("a", 0)], [("b", 3)])]
+    spec = Specification([comm("a", 20), comm("b", 10)], tasks)
+    assert spec.period() == 40
+
+
+def test_read_write_let_accessors(pipe_spec):
+    assert pipe_spec.read_time("filter") == 0
+    assert pipe_spec.write_time("filter") == 10
+    assert pipe_spec.let("control") == (10, 20)
+
+
+def test_writer_of(pipe_spec):
+    assert pipe_spec.writer_of("flt").name == "filter"
+    assert pipe_spec.writer_of("raw") is None
+
+
+def test_writer_of_unknown_communicator(pipe_spec):
+    with pytest.raises(SpecificationError, match="unknown communicator"):
+        pipe_spec.writer_of("nope")
+
+
+def test_input_communicators(pipe_spec):
+    assert pipe_spec.input_communicators() == {"raw"}
+
+
+def test_output_communicators(pipe_spec):
+    assert pipe_spec.output_communicators() == {"cmd"}
+
+
+def test_readers_of(pipe_spec):
+    readers = pipe_spec.readers_of("flt")
+    assert [t.name for t in readers] == ["control"]
+    assert pipe_spec.readers_of("cmd") == []
+
+
+def test_iteration_and_containment(pipe_spec):
+    assert {t.name for t in pipe_spec} == {"filter", "control"}
+    assert "filter" in pipe_spec
+    assert "raw" in pipe_spec
+    assert "nothing" not in pipe_spec
+
+
+def test_replace_lrcs(pipe_spec):
+    changed = pipe_spec.replace_lrcs({"cmd": 0.42})
+    assert changed.communicators["cmd"].lrc == 0.42
+    assert changed.communicators["raw"].lrc == 0.9
+    # original untouched
+    assert pipe_spec.communicators["cmd"].lrc == 0.9
+
+
+def test_with_tasks(pipe_spec):
+    only_filter = pipe_spec.with_tasks(
+        [pipe_spec.tasks["filter"]]
+    )
+    assert set(only_filter.tasks) == {"filter"}
+    assert set(only_filter.communicators) == {"raw", "flt", "cmd"}
+
+
+def test_three_tank_spec_shape(tank_spec):
+    assert set(tank_spec.tasks) == {
+        "read1", "read2", "t1", "t2", "estimate1", "estimate2",
+    }
+    assert tank_spec.period() == 500
+    assert tank_spec.let("read1") == (0, 200)
+    assert tank_spec.let("t1") == (200, 400)
+    assert tank_spec.let("estimate1") == (400, 500)
+    assert tank_spec.input_communicators() == {"s1", "s2"}

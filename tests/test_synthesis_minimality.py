@@ -1,0 +1,118 @@
+"""Exhaustive minimality checks for the replication synthesiser.
+
+On systems small enough to enumerate every mapping, the synthesiser's
+result must be *replica-minimal*: no valid mapping with fewer task
+replications exists.  This pins down the iterative-deepening search.
+"""
+
+import itertools
+
+import pytest
+
+from repro.arch import Architecture, ExecutionMetrics, Host, Sensor
+from repro.errors import SynthesisError
+from repro.experiments import random_specification
+from repro.mapping import Implementation
+from repro.model import Communicator, Specification, Task
+from repro.synthesis import synthesize_replication
+from repro.validity import check_validity
+
+
+def enumerate_mappings(spec, arch, sensor_pools):
+    """Yield every implementation over non-empty host subsets."""
+    hosts = arch.host_names()
+    host_subsets = [
+        frozenset(combo)
+        for size in range(1, len(hosts) + 1)
+        for combo in itertools.combinations(hosts, size)
+    ]
+    tasks = sorted(spec.tasks)
+    inputs = sorted(spec.input_communicators())
+    sensor_subsets = {
+        comm: [
+            frozenset(combo)
+            for size in range(1, len(sensor_pools[comm]) + 1)
+            for combo in itertools.combinations(
+                sensor_pools[comm], size
+            )
+        ]
+        for comm in inputs
+    }
+    for assignment in itertools.product(host_subsets, repeat=len(tasks)):
+        for binding in itertools.product(
+            *(sensor_subsets[c] for c in inputs)
+        ):
+            yield Implementation(
+                dict(zip(tasks, assignment)),
+                dict(zip(inputs, binding)),
+            )
+
+
+def brute_force_minimum(spec, arch, sensor_pools):
+    best = None
+    for implementation in enumerate_mappings(spec, arch, sensor_pools):
+        if check_validity(spec, arch, implementation).valid:
+            cost = implementation.replication_count()
+            if best is None or cost < best:
+                best = cost
+    return best
+
+
+def tiny_system(lrc_out, host_reliabilities=(0.9, 0.95)):
+    comms = [
+        Communicator("a", period=10, lrc=0.5),
+        Communicator("m", period=10, lrc=lrc_out * 0.9),
+        Communicator("out", period=10, lrc=lrc_out),
+    ]
+    tasks = [
+        Task("t1", [("a", 0)], [("m", 1)]),
+        Task("t2", [("m", 1)], [("out", 2)]),
+    ]
+    spec = Specification(comms, tasks)
+    arch = Architecture(
+        hosts=[
+            Host(f"h{i}", r)
+            for i, r in enumerate(host_reliabilities)
+        ],
+        sensors=[Sensor("s1", 0.99), Sensor("s2", 0.99)],
+        metrics=ExecutionMetrics(default_wcet=1, default_wctt=1),
+    )
+    return spec, arch
+
+
+@pytest.mark.parametrize("lrc_out", [0.5, 0.8, 0.9, 0.93])
+def test_synthesis_is_minimal_on_two_task_chain(lrc_out):
+    spec, arch = tiny_system(lrc_out)
+    pools = {"a": arch.sensor_names()}
+    brute = brute_force_minimum(spec, arch, pools)
+    if brute is None:
+        with pytest.raises(SynthesisError):
+            synthesize_replication(spec, arch)
+        return
+    result = synthesize_replication(spec, arch)
+    assert result.valid
+    assert result.replication_count == brute
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_synthesis_is_minimal_on_random_small_systems(seed):
+    spec = random_specification(
+        seed, layers=1, tasks_per_layer=2, inputs=2,
+        lrc_range=(0.6, 0.93),
+    )
+    from repro.experiments import random_architecture
+
+    arch = random_architecture(seed, hosts=3, sensors=2,
+                               reliability_range=(0.85, 0.99))
+    pools = {
+        comm: arch.sensor_names()
+        for comm in spec.input_communicators()
+    }
+    brute = brute_force_minimum(spec, arch, pools)
+    if brute is None:
+        with pytest.raises(SynthesisError):
+            synthesize_replication(spec, arch)
+        return
+    result = synthesize_replication(spec, arch)
+    assert result.valid
+    assert result.replication_count == brute

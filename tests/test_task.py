@@ -1,0 +1,206 @@
+"""Tests for task declarations and input failure models."""
+
+import pytest
+
+from repro.errors import SpecificationError
+from repro.model import BOTTOM, FailureModel, PortRef, Task
+
+
+def make_task(**overrides):
+    settings = dict(
+        name="t",
+        inputs=[("a", 1), ("b", 2)],
+        outputs=[("c", 3)],
+        function=lambda a, b: a + b,
+        model="series",
+    )
+    settings.update(overrides)
+    return Task(**settings)
+
+
+# -- failure-model parsing ---------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "text, expected",
+    [
+        ("series", FailureModel.SERIES),
+        ("PARALLEL", FailureModel.PARALLEL),
+        (" independent ", FailureModel.INDEPENDENT),
+        (1, FailureModel.SERIES),
+        (2, FailureModel.PARALLEL),
+        (3, FailureModel.INDEPENDENT),
+        (FailureModel.SERIES, FailureModel.SERIES),
+    ],
+)
+def test_failure_model_parse(text, expected):
+    assert FailureModel.parse(text) is expected
+
+
+def test_failure_model_parse_rejects_unknown():
+    with pytest.raises(SpecificationError, match="unknown failure model"):
+        FailureModel.parse("sometimes")
+
+
+def test_failure_model_numeric_codes_match_paper():
+    assert FailureModel.SERIES == 1
+    assert FailureModel.PARALLEL == 2
+    assert FailureModel.INDEPENDENT == 3
+
+
+# -- structural validation ---------------------------------------------
+
+
+def test_ports_normalised_to_portrefs():
+    task = make_task()
+    assert task.inputs == (PortRef("a", 1), PortRef("b", 2))
+    assert task.outputs == (PortRef("c", 3),)
+
+
+def test_empty_inputs_rejected():
+    with pytest.raises(SpecificationError, match="restriction 1"):
+        make_task(inputs=[])
+
+
+def test_empty_outputs_rejected():
+    with pytest.raises(SpecificationError, match="restriction 1"):
+        make_task(outputs=[])
+
+
+def test_duplicate_output_instance_rejected():
+    with pytest.raises(SpecificationError, match="restriction 4"):
+        make_task(outputs=[("c", 3), ("c", 3)])
+
+
+def test_distinct_instances_of_same_output_allowed():
+    task = make_task(outputs=[("c", 3), ("c", 4)])
+    assert len(task.outputs) == 2
+
+
+def test_negative_instance_rejected():
+    with pytest.raises(SpecificationError, match=">= 0"):
+        make_task(inputs=[("a", -1)])
+
+
+def test_parallel_model_requires_defaults():
+    with pytest.raises(SpecificationError, match="default"):
+        make_task(model="parallel")
+
+
+def test_independent_model_requires_defaults():
+    with pytest.raises(SpecificationError, match="default"):
+        make_task(model="independent")
+
+
+def test_parallel_model_with_defaults_accepted():
+    task = make_task(model="parallel", defaults={"a": 0.0, "b": 0.0})
+    assert task.model is FailureModel.PARALLEL
+
+
+# -- timing ------------------------------------------------------------
+
+
+def test_read_time_is_latest_input_instance():
+    task = make_task()
+    periods = {"a": 2, "b": 3, "c": 4}
+    assert task.read_time(periods) == max(2 * 1, 3 * 2)
+
+
+def test_write_time_is_earliest_output_instance():
+    task = make_task(outputs=[("c", 3), ("d", 1)])
+    periods = {"a": 2, "b": 3, "c": 4, "d": 20}
+    assert task.write_time(periods) == min(4 * 3, 20 * 1)
+
+
+def test_let_window():
+    task = make_task()
+    periods = {"a": 2, "b": 3, "c": 4}
+    assert task.let(periods) == (6, 12)
+
+
+# -- failure-model input resolution ------------------------------------
+
+
+def test_series_fails_on_any_bottom():
+    task = make_task()
+    assert task.resolve_inputs([1.0, BOTTOM]) is None
+    assert task.resolve_inputs([BOTTOM, 2.0]) is None
+
+
+def test_series_passes_reliable_inputs_through():
+    task = make_task()
+    assert task.resolve_inputs([1.0, 2.0]) == [1.0, 2.0]
+
+
+def test_parallel_substitutes_defaults():
+    task = make_task(model="parallel", defaults={"a": -1.0, "b": -2.0})
+    assert task.resolve_inputs([BOTTOM, 5.0]) == [-1.0, 5.0]
+    assert task.resolve_inputs([4.0, BOTTOM]) == [4.0, -2.0]
+
+
+def test_parallel_fails_when_all_inputs_bottom():
+    task = make_task(model="parallel", defaults={"a": -1.0, "b": -2.0})
+    assert task.resolve_inputs([BOTTOM, BOTTOM]) is None
+
+
+def test_independent_executes_even_on_all_bottom():
+    task = make_task(model="independent", defaults={"a": -1.0, "b": -2.0})
+    assert task.resolve_inputs([BOTTOM, BOTTOM]) == [-1.0, -2.0]
+
+
+def test_resolve_inputs_wrong_arity_rejected():
+    with pytest.raises(SpecificationError, match="input values"):
+        make_task().resolve_inputs([1.0])
+
+
+# -- execution ---------------------------------------------------------
+
+
+def test_execute_returns_tuple_per_output():
+    task = make_task()
+    assert task.execute([1.0, 2.0]) == (3.0,)
+
+
+def test_execute_multi_output():
+    task = Task(
+        "t",
+        inputs=[("a", 1)],
+        outputs=[("c", 1), ("d", 1)],
+        function=lambda a: (a, -a),
+    )
+    assert task.execute([2.0]) == (2.0, -2.0)
+
+
+def test_execute_returns_none_on_model_failure():
+    task = make_task()
+    assert task.execute([BOTTOM, 1.0]) is None
+
+
+def test_execute_without_function_rejected():
+    with pytest.raises(SpecificationError, match="no function"):
+        make_task(function=None).execute([1.0, 2.0])
+
+
+def test_execute_arity_mismatch_rejected():
+    task = make_task(function=lambda a, b: (a, b))
+    with pytest.raises(SpecificationError, match="output ports"):
+        task.execute([1.0, 2.0])
+
+
+# -- misc ---------------------------------------------------------------
+
+
+def test_input_output_communicator_sets():
+    task = make_task(outputs=[("c", 3), ("d", 1)])
+    assert task.input_communicators() == {"a", "b"}
+    assert task.output_communicators() == {"c", "d"}
+
+
+def test_task_hash_by_name():
+    assert hash(make_task()) == hash(make_task(function=lambda a, b: 0))
+
+
+def test_task_equality_ignores_function():
+    assert make_task() == make_task(function=lambda a, b: 0)
+    assert make_task() != make_task(model="independent",
+                                    defaults={"a": 0, "b": 0})

@@ -1,0 +1,124 @@
+"""Closed-loop 3TS experiments: the paper's fault-injection study (E5)."""
+
+import pytest
+
+from repro.experiments import (
+    SETPOINT,
+    baseline_implementation,
+    closed_loop_simulator,
+    scenario1_implementation,
+)
+from repro.plants import control_performance
+from repro.runtime import ScriptedFaults
+
+ITERATIONS = 240  # 120 s of plant time at the 500 ms control period
+UNPLUG_AT = 40_000  # ms
+
+
+def run(implementation, faults=None):
+    simulator, environment = closed_loop_simulator(
+        implementation, faults=faults
+    )
+    simulator.run(ITERATIONS)
+    # The level log records one sample per base tick; measure over the
+    # second half of the run (past the start-up transient and past the
+    # unplug instant).
+    log1 = environment.level_log["l1"]
+    log2 = environment.level_log["l2"]
+    tail1 = log1[len(log1) // 2:]
+    tail2 = log2[len(log2) // 2:]
+    return environment, tail1, tail2
+
+
+def test_fault_free_loop_tracks_setpoint():
+    env, tail1, tail2 = run(scenario1_implementation())
+    assert control_performance(tail1, SETPOINT) < 0.002
+    assert control_performance(tail2, SETPOINT) < 0.002
+    assert env.plant.level(0) == pytest.approx(SETPOINT, abs=0.005)
+    assert env.plant.level(1) == pytest.approx(SETPOINT, abs=0.005)
+
+
+def test_unplugging_one_host_has_no_effect_with_replication():
+    """The paper's experiment: "unplugging one of the two hosts from
+    the Ethernet network has indeed no effect on the control
+    performance"."""
+    _, base1, base2 = run(scenario1_implementation())
+    for victim in ("h1", "h2"):
+        faults = ScriptedFaults(host_outages={victim: [(UNPLUG_AT, None)]})
+        _, tail1, tail2 = run(scenario1_implementation(), faults)
+        assert control_performance(tail1, SETPOINT) == pytest.approx(
+            control_performance(base1, SETPOINT), abs=1e-9
+        )
+        assert control_performance(tail2, SETPOINT) == pytest.approx(
+            control_performance(base2, SETPOINT), abs=1e-9
+        )
+
+
+def test_unplugging_without_replication_degrades_control():
+    faults = ScriptedFaults(host_outages={"h2": [(UNPLUG_AT, None)]})
+    env, tail1, tail2 = run(baseline_implementation(), faults)
+    _, base1, base2 = run(baseline_implementation())
+    # Tank 1's controller lives on h1 and is only coupled through the
+    # middle tank, so its performance barely moves...
+    assert control_performance(tail1, SETPOINT) == pytest.approx(
+        control_performance(base1, SETPOINT), rel=0.25
+    )
+    # ... but tank 2's controller died with h2: the pump freezes at
+    # its last command, so regulation stops and tracking measurably
+    # worsens (the dramatic runaway shows up once a perturbation hits;
+    # see test_perturbation_rejection_with_live_controller).
+    degraded = control_performance(tail2, SETPOINT)
+    healthy = control_performance(base2, SETPOINT)
+    assert degraded > 1.5 * healthy
+    assert env.bottom_actuations > 0
+
+
+def test_unplugging_the_spare_host_is_harmless_for_baseline():
+    # h3 runs readers and estimators; killing h1 only hits tank 1.
+    faults = ScriptedFaults(host_outages={"h1": [(UNPLUG_AT, None)]})
+    _, tail1, tail2 = run(baseline_implementation(), faults)
+    _, base1, base2 = run(baseline_implementation())
+    # Tank 2 is only affected through the tank coupling; its tracking
+    # stays within a fraction of the healthy run.
+    assert control_performance(tail2, SETPOINT) == pytest.approx(
+        control_performance(base2, SETPOINT), rel=0.25
+    )
+    assert control_performance(tail1, SETPOINT) > control_performance(
+        base1, SETPOINT
+    )
+
+
+def test_perturbation_rejection_with_live_controller():
+    """A disturbance mid-run is rejected when the controller survives."""
+
+    class Perturbed:
+        def __init__(self, faults=None, implementation=None):
+            self.simulator, self.environment = closed_loop_simulator(
+                implementation or scenario1_implementation(), faults=faults
+            )
+
+        def run(self):
+            plant = self.environment.plant
+            original_advance = self.environment.advance
+
+            def advance(time, dt):
+                if time == 60_000:
+                    plant.set_perturbation(1, 4e-5)
+                original_advance(time, dt)
+
+            self.environment.advance = advance
+            self.simulator.run(ITERATIONS)
+            return self.environment.level_log["l2"]
+
+    # Replicated controller, host unplugged: still rejects the
+    # perturbation and returns to the setpoint.
+    faults = ScriptedFaults(host_outages={"h2": [(UNPLUG_AT, None)]})
+    levels = Perturbed(faults)
+    log = levels.run()
+    assert log[-1] == pytest.approx(SETPOINT, abs=0.01)
+
+    # Unreplicated controller dead at the time of the perturbation:
+    # the level runs away.
+    dead = Perturbed(faults, implementation=baseline_implementation())
+    log_dead = dead.run()
+    assert abs(log_dead[-1] - SETPOINT) > 0.02

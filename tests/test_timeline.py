@@ -1,0 +1,145 @@
+"""Tests for distributed timeline construction and verification."""
+
+import pytest
+
+from repro.arch import Architecture, BroadcastNetwork, ExecutionMetrics, Host, Sensor
+from repro.mapping import Implementation
+from repro.model import Communicator, Specification, Task
+from repro.sched import build_timeline
+
+
+def test_pipeline_timeline(pipe_spec, pipe_arch, pipe_impl):
+    timeline = build_timeline(pipe_spec, pipe_arch, pipe_impl)
+    assert timeline.feasible
+    assert timeline.period == 20
+    assert timeline.verify(pipe_spec) == []
+    # filter runs on a in [0, 2], then its broadcast fits before 10.
+    assert timeline.completion_of("filter", "a") == 2
+    slot = timeline.broadcast_of("filter", "a")
+    assert slot is not None
+    assert slot.start >= 2 and slot.end <= 10
+    assert slot.duration == 1
+
+
+def test_timeline_respects_release(pipe_spec, pipe_arch, pipe_impl):
+    timeline = build_timeline(pipe_spec, pipe_arch, pipe_impl)
+    for host, slices in timeline.host_slices.items():
+        for piece in slices:
+            read = pipe_spec.read_time(piece.task)
+            assert piece.start >= read
+
+
+def test_three_tank_timeline(tank_spec, tank_arch, tank_scenario1):
+    timeline = build_timeline(tank_spec, tank_arch, tank_scenario1)
+    assert timeline.feasible
+    assert timeline.verify(tank_spec) == []
+    # Both controller replicas run within [200, 400].
+    for host in ("h1", "h2"):
+        completion = timeline.completion_of("t1", host)
+        assert completion is not None
+        assert 200 < completion <= 400
+
+
+def test_completion_of_absent_task(tank_spec, tank_arch, tank_baseline):
+    timeline = build_timeline(tank_spec, tank_arch, tank_baseline)
+    assert timeline.completion_of("t1", "h3") is None
+    assert timeline.broadcast_of("t1", "h3") is None
+
+
+def test_overloaded_host_infeasible():
+    comms = [
+        Communicator("a", period=10),
+        Communicator("b", period=10),
+        Communicator("c", period=10),
+    ]
+    tasks = [
+        Task("t1", [("a", 0)], [("b", 1)]),
+        Task("t2", [("a", 0)], [("c", 1)]),
+    ]
+    spec = Specification(comms, tasks)
+    arch = Architecture(
+        hosts=[Host("h", 0.99)],
+        sensors=[Sensor("s", 0.99)],
+        metrics=ExecutionMetrics(default_wcet=6, default_wctt=1),
+    )
+    impl = Implementation({"t1": {"h"}, "t2": {"h"}}, {"a": {"s"}})
+    timeline = build_timeline(spec, arch, impl)
+    assert not timeline.feasible
+    assert any(m.startswith("cpu:") for m in timeline.misses)
+
+
+def test_network_contention_infeasible():
+    comms = [
+        Communicator("a", period=10),
+        Communicator("b", period=10),
+        Communicator("c", period=10),
+    ]
+    tasks = [
+        Task("t1", [("a", 0)], [("b", 1)]),
+        Task("t2", [("a", 0)], [("c", 1)]),
+    ]
+    spec = Specification(comms, tasks)
+    arch = Architecture(
+        hosts=[Host("h1", 0.99), Host("h2", 0.99)],
+        sensors=[Sensor("s", 0.99)],
+        metrics=ExecutionMetrics(default_wcet=2, default_wctt=6),
+    )
+    impl = Implementation({"t1": {"h1"}, "t2": {"h2"}}, {"a": {"s"}})
+    timeline = build_timeline(spec, arch, impl)
+    # CPU fits (2 per host) but two 6-unit broadcasts cannot share a
+    # bandwidth-1 medium inside [2, 10].
+    assert not timeline.feasible
+    assert any(m.startswith("net:") for m in timeline.misses)
+
+
+def test_wider_network_restores_feasibility():
+    comms = [
+        Communicator("a", period=10),
+        Communicator("b", period=10),
+        Communicator("c", period=10),
+    ]
+    tasks = [
+        Task("t1", [("a", 0)], [("b", 1)]),
+        Task("t2", [("a", 0)], [("c", 1)]),
+    ]
+    spec = Specification(comms, tasks)
+    arch = Architecture(
+        hosts=[Host("h1", 0.99), Host("h2", 0.99)],
+        sensors=[Sensor("s", 0.99)],
+        metrics=ExecutionMetrics(default_wcet=2, default_wctt=6),
+        network=BroadcastNetwork(bandwidth=2),
+    )
+    impl = Implementation({"t1": {"h1"}, "t2": {"h2"}}, {"a": {"s"}})
+    timeline = build_timeline(spec, arch, impl)
+    assert timeline.feasible
+    assert timeline.verify(spec, bandwidth=2) == []
+    # With bandwidth 1 the same timeline is flagged.
+    assert timeline.verify(spec, bandwidth=1) != []
+
+
+def test_render_mentions_hosts_and_network(
+    pipe_spec, pipe_arch, pipe_impl
+):
+    text = build_timeline(pipe_spec, pipe_arch, pipe_impl).render()
+    assert "host a" in text
+    assert "network" in text
+    assert "filter" in text
+
+
+def test_verify_catches_tampered_timeline(pipe_spec, pipe_arch, pipe_impl):
+    from dataclasses import replace
+    from repro.sched.edf import ScheduledSlice
+
+    timeline = build_timeline(pipe_spec, pipe_arch, pipe_impl)
+    # Move a control slice before its read time.
+    bad_slices = dict(timeline.host_slices)
+    bad_slices["a"] = tuple(
+        ScheduledSlice(start=0, end=piece.end - piece.start,
+                       task=piece.task, host=piece.host)
+        if piece.task == "control"
+        else piece
+        for piece in bad_slices["a"]
+    )
+    tampered = replace(timeline, host_slices=bad_slices)
+    problems = tampered.verify(pipe_spec)
+    assert any("before read time" in p for p in problems)

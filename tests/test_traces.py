@@ -1,0 +1,93 @@
+"""Tests for the reliability-based trace abstraction."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import AnalysisError
+from repro.model import BOTTOM
+from repro.reliability import AbstractTrace, limit_average, running_average
+
+bit_lists = st.lists(st.integers(min_value=0, max_value=1), min_size=1,
+                     max_size=200)
+
+
+def test_limit_average_basic():
+    assert limit_average([1, 1, 0, 0]) == 0.5
+    assert limit_average([1]) == 1.0
+    assert limit_average([0, 0, 0]) == 0.0
+
+
+def test_limit_average_empty_rejected():
+    with pytest.raises(AnalysisError):
+        limit_average([])
+
+
+def test_running_average_prefixes():
+    result = running_average([1, 0, 1, 1])
+    assert result == pytest.approx([1.0, 0.5, 2 / 3, 0.75])
+
+
+def test_running_average_empty_rejected():
+    with pytest.raises(AnalysisError):
+        running_average([])
+
+
+def test_abstract_trace_from_plain_values():
+    trace = AbstractTrace.from_values("c", [1.0, BOTTOM, 0.0, BOTTOM])
+    assert list(trace.bits) == [1, 0, 1, 0]
+    assert len(trace) == 4
+    assert trace.limit_average() == 0.5
+    assert trace.reliable_count() == 2
+
+
+def test_abstract_trace_from_replica_sets():
+    # A set is reliable when any member is non-bottom.
+    trace = AbstractTrace.from_values(
+        "c",
+        [{BOTTOM, 1.0}, {BOTTOM}, [2.0], (BOTTOM, BOTTOM)],
+    )
+    assert list(trace.bits) == [1, 0, 1, 0]
+
+
+def test_abstract_trace_satisfies():
+    trace = AbstractTrace.from_values("c", [1.0, 1.0, BOTTOM, 1.0])
+    assert trace.satisfies(0.75)
+    assert not trace.satisfies(0.80)
+    assert trace.satisfies(0.80, slack=0.10)
+
+
+def test_abstract_trace_running_average():
+    trace = AbstractTrace.from_values("c", [1.0, BOTTOM])
+    assert trace.running_average() == pytest.approx([1.0, 0.5])
+
+
+@given(bit_lists)
+def test_limit_average_bounds(bits):
+    value = limit_average(bits)
+    assert 0.0 <= value <= 1.0
+    assert value == pytest.approx(sum(bits) / len(bits))
+
+
+@given(bit_lists)
+def test_running_average_last_equals_limit_average(bits):
+    assert running_average(bits)[-1] == pytest.approx(limit_average(bits))
+
+
+@given(bit_lists, bit_lists)
+def test_limit_average_of_concatenation_is_weighted_mean(first, second):
+    combined = limit_average(first + second)
+    expected = (
+        limit_average(first) * len(first)
+        + limit_average(second) * len(second)
+    ) / (len(first) + len(second))
+    assert combined == pytest.approx(expected)
+
+
+@given(bit_lists)
+def test_abstract_trace_agrees_with_numpy(bits):
+    values = [1.0 if bit else BOTTOM for bit in bits]
+    trace = AbstractTrace.from_values("c", values)
+    assert trace.limit_average() == pytest.approx(
+        float(np.mean(bits))
+    )

@@ -1,0 +1,47 @@
+"""Tests for the joint schedulability/reliability check."""
+
+from repro import check_validity
+from repro.arch import Architecture, ExecutionMetrics, Host, Sensor
+from repro.mapping import Implementation
+
+
+def test_valid_implementation(tank_spec, tank_arch, tank_baseline):
+    report = check_validity(tank_spec, tank_arch, tank_baseline)
+    assert report.valid
+    assert report.reliability.reliable
+    assert report.schedulability.schedulable
+    assert "VALID" in report.summary()
+
+
+def test_reliability_failure_invalidates(
+    tank_spec_strict, tank_arch, tank_baseline
+):
+    report = check_validity(tank_spec_strict, tank_arch, tank_baseline)
+    assert not report.valid
+    assert not report.reliability.reliable
+    assert report.schedulability.schedulable
+    assert "INVALID" in report.summary()
+
+
+def test_schedulability_failure_invalidates(tank_spec, tank_baseline):
+    # Same hosts, but WCETs so large nothing fits the LET windows.
+    slow_arch = Architecture(
+        hosts=[Host("h1", 0.999), Host("h2", 0.999), Host("h3", 0.999)],
+        sensors=[Sensor("sen1", 0.999), Sensor("sen2", 0.999)],
+        metrics=ExecutionMetrics(default_wcet=400, default_wctt=200),
+    )
+    report = check_validity(tank_spec, slow_arch, tank_baseline)
+    assert not report.valid
+    assert report.reliability.reliable
+    assert not report.schedulability.schedulable
+
+
+def test_scenarios_restore_validity(
+    tank_spec_strict, tank_arch, tank_scenario1, tank_scenario2
+):
+    assert check_validity(
+        tank_spec_strict, tank_arch, tank_scenario1
+    ).valid
+    assert check_validity(
+        tank_spec_strict, tank_arch, tank_scenario2
+    ).valid

@@ -1,0 +1,124 @@
+"""Tests for value faults (dropping the fail-silence assumption)."""
+
+import numpy as np
+import pytest
+
+from repro.arch import Architecture, ExecutionMetrics, Host, Sensor
+from repro.errors import RuntimeSimulationError
+from repro.mapping import Implementation
+from repro.model import Communicator, Specification, Task
+from repro.runtime import (
+    CompositeFaults,
+    NoFaults,
+    ScriptedFaults,
+    Simulator,
+    ValueFaults,
+    majority_vote,
+)
+
+
+def triple_modular_system():
+    """One task replicated on three hosts (classic TMR)."""
+    comms = [
+        Communicator("x", period=10, lrc=0.9, init=0.0),
+        Communicator("y", period=10, lrc=0.9, init=0.0),
+    ]
+    tasks = [
+        Task("t", [("x", 0)], [("y", 1)], function=lambda x: x + 1.0),
+    ]
+    spec = Specification(comms, tasks)
+    arch = Architecture(
+        hosts=[Host("h1"), Host("h2"), Host("h3")],
+        sensors=[Sensor("s")],
+        metrics=ExecutionMetrics(default_wcet=1, default_wctt=1),
+    )
+    impl = Implementation(
+        {"t": {"h1", "h2", "h3"}}, {"x": {"s"}}
+    )
+    return spec, arch, impl
+
+
+def test_probability_validation():
+    with pytest.raises(RuntimeSimulationError):
+        ValueFaults(probability=1.5)
+
+
+def test_corruption_only_hits_listed_hosts():
+    faults = ValueFaults(1.0, hosts={"h1"}, magnitude=100.0)
+    rng = np.random.default_rng(0)
+    assert faults.corrupt_outputs("t", "h1", 0, (1.0,), rng) == (101.0,)
+    assert faults.corrupt_outputs("t", "h2", 0, (1.0,), rng) == (1.0,)
+
+
+def test_corruption_skips_non_numeric_values():
+    faults = ValueFaults(1.0, magnitude=5.0)
+    rng = np.random.default_rng(0)
+    assert faults.corrupt_outputs(
+        "t", "h", 0, ("text", True, 2.0), rng
+    ) == ("text", True, 7.0)
+
+
+def test_default_injector_never_corrupts():
+    rng = np.random.default_rng(0)
+    assert NoFaults().corrupt_outputs("t", "h", 0, (1.0,), rng) == (1.0,)
+
+
+def test_majority_voting_masks_one_value_faulty_host():
+    spec, arch, impl = triple_modular_system()
+    faults = ValueFaults(1.0, hosts={"h2"}, magnitude=100.0)
+    result = Simulator(
+        spec, arch, impl, faults=faults, voter=majority_vote, seed=0
+    ).run(10)
+    # 2-of-3 majority suppresses h2's corrupted value: y = x + 1 = 1.
+    assert result.values["y"][1:] == [1.0] * 9
+
+
+def test_first_non_bottom_trips_its_agreement_check():
+    spec, arch, impl = triple_modular_system()
+    faults = ValueFaults(1.0, hosts={"h2"}, magnitude=100.0)
+    simulator = Simulator(spec, arch, impl, faults=faults, seed=0)
+    with pytest.raises(RuntimeSimulationError, match="disagree"):
+        simulator.run(5)
+
+
+def test_two_faulty_hosts_defeat_tmr():
+    spec, arch, impl = triple_modular_system()
+    faults = ValueFaults(1.0, hosts={"h2", "h3"}, magnitude=100.0)
+    result = Simulator(
+        spec, arch, impl, faults=faults, voter=majority_vote, seed=0
+    ).run(5)
+    # Two corrupted replicas outvote the correct one.
+    assert result.values["y"][1] == 101.0
+
+
+def test_composite_applies_all_corruptions():
+    first = ValueFaults(1.0, hosts={"h1"}, magnitude=1.0)
+    second = ValueFaults(1.0, hosts={"h1"}, magnitude=10.0)
+    combined = CompositeFaults([first, second])
+    rng = np.random.default_rng(0)
+    assert combined.corrupt_outputs("t", "h1", 0, (0.0,), rng) == (11.0,)
+
+
+def test_composite_silence_and_corruption():
+    # h2 silenced, h3 corrupted: majority of {correct, corrupted}
+    # degenerates to a tie broken by order — the correct value comes
+    # first because hosts vote in sorted order.
+    spec, arch, impl = triple_modular_system()
+    faults = CompositeFaults([
+        ScriptedFaults(host_outages={"h2": [(0, None)]}),
+        ValueFaults(1.0, hosts={"h3"}, magnitude=100.0),
+    ])
+    result = Simulator(
+        spec, arch, impl, faults=faults, voter=majority_vote, seed=0
+    ).run(5)
+    assert result.values["y"][1] == 1.0
+
+
+def test_zero_probability_is_noop_at_runtime():
+    spec, arch, impl = triple_modular_system()
+    clean = Simulator(spec, arch, impl, seed=3).run(10)
+    noisy = Simulator(
+        spec, arch, impl,
+        faults=ValueFaults(0.0, magnitude=100.0), seed=3,
+    ).run(10)
+    assert clean.values == noisy.values

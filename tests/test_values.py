@@ -1,0 +1,46 @@
+"""Tests for the unreliable-value symbol."""
+
+import pickle
+
+from repro.model import BOTTOM, Bottom, is_reliable_value
+
+
+def test_bottom_is_singleton():
+    assert Bottom() is BOTTOM
+    assert Bottom() is Bottom()
+
+
+def test_bottom_is_falsy():
+    assert not BOTTOM
+    assert bool(BOTTOM) is False
+
+
+def test_bottom_repr():
+    assert repr(BOTTOM) == "BOTTOM"
+
+
+def test_bottom_survives_pickling():
+    assert pickle.loads(pickle.dumps(BOTTOM)) is BOTTOM
+
+
+def test_bottom_is_unreliable():
+    assert not is_reliable_value(BOTTOM)
+
+
+def test_falsy_values_are_reliable():
+    assert is_reliable_value(0)
+    assert is_reliable_value(0.0)
+    assert is_reliable_value(False)
+    assert is_reliable_value("")
+    assert is_reliable_value(None)
+
+
+def test_ordinary_values_are_reliable():
+    assert is_reliable_value(3.14)
+    assert is_reliable_value("value")
+
+
+def test_bottom_equality_only_with_itself():
+    assert BOTTOM == BOTTOM
+    assert BOTTOM != 0
+    assert BOTTOM != ""

@@ -1,0 +1,47 @@
+"""Tests for replica-output voting."""
+
+import pytest
+
+from repro.errors import RuntimeSimulationError
+from repro.model import BOTTOM
+from repro.runtime import first_non_bottom, majority_vote
+
+
+def test_first_non_bottom_picks_reliable_value():
+    assert first_non_bottom([BOTTOM, 3.0, 3.0]) == 3.0
+    assert first_non_bottom([5.0]) == 5.0
+
+
+def test_first_non_bottom_all_bottom():
+    assert first_non_bottom([BOTTOM, BOTTOM]) is BOTTOM
+    assert first_non_bottom([]) is BOTTOM
+
+
+def test_first_non_bottom_rejects_disagreement():
+    with pytest.raises(RuntimeSimulationError, match="disagree"):
+        first_non_bottom([1.0, 2.0])
+
+
+def test_first_non_bottom_accepts_agreement():
+    assert first_non_bottom([2.0, 2.0, BOTTOM, 2.0]) == 2.0
+
+
+def test_majority_vote_basic():
+    assert majority_vote([1.0, 2.0, 1.0]) == 1.0
+
+
+def test_majority_vote_tolerates_disagreement():
+    assert majority_vote([1.0, 2.0]) == 1.0  # tie -> first occurrence
+
+
+def test_majority_vote_ignores_bottom():
+    assert majority_vote([BOTTOM, 7.0, BOTTOM]) == 7.0
+
+
+def test_majority_vote_all_bottom():
+    assert majority_vote([BOTTOM, BOTTOM]) is BOTTOM
+    assert majority_vote([]) is BOTTOM
+
+
+def test_majority_vote_counts_not_positions():
+    assert majority_vote([3.0, 5.0, 5.0, 3.0, 5.0]) == 5.0
