@@ -8,6 +8,7 @@ Mirrors the paper's prototype tool-chain as a CLI::
     python -m repro simulate   --htl prog.htl --arch arch.json --impl impl.json \
                                --iterations 10000 --bernoulli
     python -m repro check      --htl prog.htl
+    python -m repro lint       --htl prog.htl --format sarif
 
 Specifications may come from HTL source (``--htl``) or from the JSON
 form of :mod:`repro.io` (``--spec``).  Task functions and switch
@@ -21,6 +22,7 @@ from __future__ import annotations
 
 import argparse
 import importlib.util
+import json
 import sys
 from typing import Any, Callable, Mapping
 
@@ -91,6 +93,22 @@ def _add_common_inputs(parser: argparse.ArgumentParser) -> None:
 def _cmd_check(args: argparse.Namespace) -> int:
     functions, conditions = _load_bindings(args.bindings)
     spec = _load_specification(args, functions, conditions)
+    if getattr(args, "format", "text") == "json":
+        print(
+            json.dumps(
+                {
+                    "ok": True,
+                    "period": spec.period(),
+                    "communicators": sorted(spec.communicators),
+                    "tasks": {
+                        name: {"let": list(spec.let(name))}
+                        for name in sorted(spec.tasks)
+                    },
+                },
+                indent=2,
+            )
+        )
+        return 0
     print(
         f"specification OK: {len(spec.tasks)} tasks, "
         f"{len(spec.communicators)} communicators, "
@@ -108,8 +126,56 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     arch = architecture_from_dict(load_json(args.arch))
     implementation = implementation_from_dict(load_json(args.impl))
     report = check_validity(spec, arch, implementation)
-    print(report.summary())
+    if getattr(args, "format", "text") == "json":
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.summary())
     return 0 if report.valid else 1
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.lint import lint_program, lint_specification
+
+    arch = (
+        architecture_from_dict(load_json(args.arch))
+        if args.arch
+        else None
+    )
+    implementation = (
+        implementation_from_dict(load_json(args.impl))
+        if args.impl
+        else None
+    )
+    if args.htl:
+        with open(args.htl, "r", encoding="utf-8") as handle:
+            source = handle.read()
+        report = lint_program(
+            source,
+            architecture=arch,
+            implementation=implementation,
+            artifact=args.htl,
+            max_selections=args.max_selections,
+        )
+    elif args.spec:
+        functions, _ = _load_bindings(args.bindings)
+        spec = specification_from_dict(
+            load_json(args.spec), functions=functions
+        )
+        report = lint_specification(
+            spec,
+            architecture=arch,
+            implementation=implementation,
+            artifact=args.spec,
+        )
+    else:
+        raise ReproError("provide a program via --htl or --spec")
+    if args.format == "json":
+        print(report.to_json())
+    elif args.format == "sarif":
+        print(json.dumps(report.to_sarif(), indent=2))
+    else:
+        print(report.to_text())
+    return report.exit_code
 
 
 def _cmd_synthesize(args: argparse.Namespace) -> int:
@@ -260,6 +326,10 @@ def build_parser() -> argparse.ArgumentParser:
         "check", help="parse and validate a specification"
     )
     _add_common_inputs(check)
+    check.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format",
+    )
     check.set_defaults(handler=_cmd_check)
 
     analyze = subparsers.add_parser(
@@ -270,7 +340,34 @@ def build_parser() -> argparse.ArgumentParser:
                          help="architecture JSON file")
     analyze.add_argument("--impl", required=True,
                          help="implementation JSON file")
+    analyze.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format",
+    )
     analyze.set_defaults(handler=_cmd_analyze)
+
+    lint = subparsers.add_parser(
+        "lint",
+        help="static analysis: races, cycles, LRC feasibility, ...",
+    )
+    _add_common_inputs(lint)
+    lint.add_argument(
+        "--arch", help="architecture JSON (enables LRC feasibility)"
+    )
+    lint.add_argument(
+        "--impl",
+        help="implementation JSON (enables sensor-binding and "
+        "switch-preservation checks)",
+    )
+    lint.add_argument(
+        "--format", choices=("text", "json", "sarif"), default="text",
+        help="output format",
+    )
+    lint.add_argument(
+        "--max-selections", type=int, default=256,
+        help="cap on reachable mode selections analysed",
+    )
+    lint.set_defaults(handler=_cmd_lint)
 
     synthesize = subparsers.add_parser(
         "synthesize", help="synthesise a valid replication mapping"

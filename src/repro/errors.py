@@ -64,6 +64,19 @@ class HTLSemanticError(ReproError):
     mode that does not exist, or inconsistent port types."""
 
 
+class HTLLintError(HTLSemanticError):
+    """An error-severity lint diagnostic fired during compilation,
+    e.g. a write-write race in some reachable mode selection.
+
+    Carries the offending :class:`repro.lint.Diagnostic` objects in
+    :attr:`diagnostics` so callers can render them with source spans.
+    """
+
+    def __init__(self, message: str, diagnostics: tuple = ()):
+        super().__init__(message)
+        self.diagnostics = tuple(diagnostics)
+
+
 class RuntimeSimulationError(ReproError):
     """The distributed runtime simulator was configured inconsistently,
     e.g. a failure script references an unknown host, or the simulation

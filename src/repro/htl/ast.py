@@ -4,6 +4,12 @@ The AST mirrors the surface syntax one-to-one; all semantic
 interpretation (type checks, period consistency, flattening into a
 :class:`~repro.model.specification.Specification`) happens in
 :mod:`repro.htl.compiler`.
+
+Every node carries a 1-based ``line``/``column`` source span pointing
+at the token that starts the declaration (0 when the node was built
+programmatically rather than parsed), so downstream tooling — the
+compiler's semantic errors and the :mod:`repro.lint` diagnostics — can
+report exact source locations.
 """
 
 from __future__ import annotations
@@ -14,14 +20,26 @@ from typing import Any
 
 @dataclass(frozen=True)
 class CommunicatorDecl:
-    """``communicator NAME : TYPE period INT init LITERAL [lrc NUM];``"""
+    """``communicator NAME : TYPE period INT init LITERAL [lrc NUM];``
+
+    ``lrc`` is ``None`` when the declaration carries no ``lrc`` clause;
+    the compiler then applies the default constraint of 1.0.  Keeping
+    the distinction in the AST lets the linter tell "no constraint
+    declared" apart from an explicit ``lrc 1.0``.
+    """
 
     name: str
     type_name: str  # "float", "int", or "bool"
     period: int
     init: Any
-    lrc: float
+    lrc: float | None = None
     line: int = 0
+    column: int = 0
+
+    @property
+    def effective_lrc(self) -> float:
+        """Return the LRC the compiler applies (1.0 when undeclared)."""
+        return 1.0 if self.lrc is None else self.lrc
 
 
 @dataclass(frozen=True)
@@ -40,6 +58,7 @@ class TaskDecl:
     defaults: tuple[tuple[str, Any], ...]
     function_name: str | None
     line: int = 0
+    column: int = 0
 
 
 @dataclass(frozen=True)
@@ -48,6 +67,7 @@ class InvokeStmt:
 
     task: str
     line: int = 0
+    column: int = 0
 
 
 @dataclass(frozen=True)
@@ -57,6 +77,7 @@ class SwitchStmt:
     target: str
     condition_name: str
     line: int = 0
+    column: int = 0
 
 
 @dataclass(frozen=True)
@@ -68,6 +89,7 @@ class ModeDecl:
     invokes: tuple[InvokeStmt, ...]
     switches: tuple[SwitchStmt, ...]
     line: int = 0
+    column: int = 0
 
 
 @dataclass(frozen=True)
@@ -79,6 +101,7 @@ class ModuleDecl:
     tasks: tuple[TaskDecl, ...]
     modes: tuple[ModeDecl, ...]
     line: int = 0
+    column: int = 0
 
     def mode_named(self, name: str) -> ModeDecl:
         for mode in self.modes:
@@ -106,6 +129,7 @@ class ProgramDecl:
     communicators: tuple[CommunicatorDecl, ...] = field(default_factory=tuple)
     modules: tuple[ModuleDecl, ...] = field(default_factory=tuple)
     line: int = 0
+    column: int = 0
     parent: str | None = None
     kappa: tuple[tuple[str, str], ...] = field(default_factory=tuple)
 
@@ -114,3 +138,17 @@ class ProgramDecl:
             if module.name == name:
                 return module
         raise KeyError(name)
+
+    def communicator_named(self, name: str) -> CommunicatorDecl:
+        for communicator in self.communicators:
+            if communicator.name == name:
+                return communicator
+        raise KeyError(name)
+
+    def task_declarations(self) -> dict[str, TaskDecl]:
+        """Return every task declaration in the program, keyed by name."""
+        declarations: dict[str, TaskDecl] = {}
+        for module in self.modules:
+            for task in module.tasks:
+                declarations[task.name] = task
+        return declarations

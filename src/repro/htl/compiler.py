@@ -31,7 +31,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Iterator, Mapping
 
 from repro.arch.architecture import Architecture
-from repro.errors import HTLSemanticError
+from repro.errors import HTLLintError, HTLSemanticError
 from repro.htl.ast import ModeDecl, ModuleDecl, ProgramDecl, TaskDecl
 from repro.htl.parser import parse_program
 from repro.mapping.implementation import Implementation
@@ -169,6 +169,7 @@ def compile_program(
     source: "str | ProgramDecl",
     functions: Mapping[str, Callable[..., Any]] | None = None,
     conditions: Mapping[str, Callable[..., bool]] | None = None,
+    lint: bool = True,
 ) -> CompiledProgram:
     """Parse (if needed), check, and bind an HTL program.
 
@@ -176,6 +177,14 @@ def compile_program(
     :class:`~repro.errors.HTLSemanticError` on semantic violations.
     Missing function bindings are allowed (analysis-only tasks);
     missing condition bindings surface when the condition is resolved.
+
+    With *lint* enabled (the default) the error-severity race passes
+    of :mod:`repro.lint` additionally run over every reachable mode
+    selection, raising :class:`~repro.errors.HTLLintError` on a
+    write-write race — such selections could never be flattened, so
+    rejecting them at compile time points at the source instead of
+    failing later inside :class:`Specification`.  The linter itself
+    compiles with ``lint=False`` to report rather than raise.
     """
     program = (
         parse_program(source) if isinstance(source, str) else source
@@ -195,7 +204,7 @@ def compile_program(
         communicators[decl.name] = Communicator(
             decl.name,
             period=decl.period,
-            lrc=decl.lrc,
+            lrc=decl.effective_lrc,
             ctype=TYPE_MAP[decl.type_name],
             init=init,
         )
@@ -214,12 +223,28 @@ def compile_program(
             )
         _check_module(module, communicators, seen_names)
 
+    if lint:
+        _enforce_race_freedom(program)
+
     return CompiledProgram(
         program=program,
         functions=functions,
         conditions=conditions,
         communicators=communicators,
     )
+
+
+def _enforce_race_freedom(program: ProgramDecl) -> None:
+    # Imported lazily: repro.lint depends on this module.
+    from repro.lint.context import LintContext
+    from repro.lint.passes import race_diagnostics
+
+    diagnostics = tuple(race_diagnostics(LintContext(program=program)))
+    if diagnostics:
+        raise HTLLintError(
+            "; ".join(d.message for d in diagnostics),
+            diagnostics=diagnostics,
+        )
 
 
 def _check_module(

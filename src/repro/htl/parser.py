@@ -170,6 +170,7 @@ class _Parser:
             communicators=tuple(communicators),
             modules=tuple(modules),
             line=start.line,
+            column=start.column,
             parent=parent,
             kappa=tuple(kappa),
         )
@@ -193,7 +194,7 @@ class _Parser:
         period = self.expect_int("period")
         self.expect_keyword("init")
         init = self.parse_literal()
-        lrc = 1.0
+        lrc: float | None = None
         if self.peek().is_keyword("lrc"):
             self.advance()
             lrc = self.expect_number("LRC")
@@ -205,6 +206,7 @@ class _Parser:
             init=init,
             lrc=lrc,
             line=start.line,
+            column=start.column,
         )
 
     def parse_module(self) -> ModuleDecl:
@@ -234,6 +236,7 @@ class _Parser:
             tasks=tuple(tasks),
             modes=tuple(modes),
             line=start.line,
+            column=start.column,
         )
 
     def parse_task(self) -> TaskDecl:
@@ -283,6 +286,7 @@ class _Parser:
             defaults=tuple(defaults),
             function_name=function_name,
             line=start.line,
+            column=start.column,
         )
 
     def parse_portlist(self) -> tuple[tuple[str, int], ...]:
@@ -315,7 +319,11 @@ class _Parser:
                 self.advance()
                 task = self.expect_ident("task name")
                 self.expect_punct(";")
-                invokes.append(InvokeStmt(task.text, line=task.line))
+                invokes.append(
+                    InvokeStmt(
+                        task.text, line=task.line, column=task.column
+                    )
+                )
             elif token.is_keyword("switch"):
                 self.advance()
                 self.expect_keyword("to")
@@ -325,7 +333,10 @@ class _Parser:
                 self.expect_punct(";")
                 switches.append(
                     SwitchStmt(
-                        target.text, condition.text, line=target.line
+                        target.text,
+                        condition.text,
+                        line=target.line,
+                        column=target.column,
                     )
                 )
             else:
@@ -339,6 +350,7 @@ class _Parser:
             invokes=tuple(invokes),
             switches=tuple(switches),
             line=start.line,
+            column=start.column,
         )
 
 

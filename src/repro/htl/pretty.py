@@ -42,7 +42,7 @@ def render_communicator(decl: CommunicatorDecl) -> str:
         f"period {decl.period}",
         f"init {_literal(decl.init)}",
     ]
-    if decl.lrc != 1.0:
+    if decl.lrc is not None:
         parts.append(f"lrc {decl.lrc!r}")
     return " ".join(parts) + " ;"
 

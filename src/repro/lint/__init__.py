@@ -1,0 +1,148 @@
+"""Static analysis of HTL designs (``repro lint``).
+
+The linter verifies the hypotheses Proposition 1 rests on —
+race-freedom and memory-freedom — plus a set of adjacent design
+checks, and reports findings as stable-coded diagnostics (``LRT0xx``)
+with source spans, suitable for text, JSON, or SARIF output::
+
+    from repro.lint import lint_program
+
+    report = lint_program(source, artifact="design.htl")
+    print(report.to_text())
+    raise SystemExit(report.exit_code)
+
+See :mod:`repro.lint.passes` for the catalogue of checks and
+``docs/static_analysis.md`` for the full code reference.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.arch.architecture import Architecture
+from repro.errors import HTLSyntaxError
+from repro.htl.ast import ProgramDecl
+from repro.htl.parser import parse_program
+from repro.lint.context import MAX_SELECTIONS, LintContext
+from repro.lint.diagnostic import (
+    Diagnostic,
+    LintReport,
+    Severity,
+    sort_diagnostics,
+)
+from repro.lint.registry import (
+    CODES,
+    PASSES,
+    REFINEMENT_CODES,
+    LintPass,
+    RuleInfo,
+    lint_pass,
+    make,
+    rule_summaries,
+    run_lint,
+)
+from repro.mapping.implementation import Implementation
+from repro.model.specification import Specification
+from repro.refinement.relation import RefinementReport
+
+__all__ = [
+    "CODES",
+    "Diagnostic",
+    "LintContext",
+    "LintPass",
+    "LintReport",
+    "MAX_SELECTIONS",
+    "PASSES",
+    "REFINEMENT_CODES",
+    "RuleInfo",
+    "Severity",
+    "lint_pass",
+    "lint_program",
+    "lint_specification",
+    "make",
+    "refinement_diagnostics",
+    "rule_summaries",
+    "run_lint",
+    "sort_diagnostics",
+]
+
+
+def lint_program(
+    source: "str | ProgramDecl",
+    architecture: Architecture | None = None,
+    implementation: Implementation | None = None,
+    artifact: str | None = None,
+    select: Iterable[str] | None = None,
+    max_selections: int = MAX_SELECTIONS,
+) -> LintReport:
+    """Lint an HTL program (source text or parsed AST).
+
+    Passing an *architecture* additionally enables the LRC-feasibility
+    check (LRT030); an *implementation* on top enables the
+    sensor-binding (LRT020) and switch-preservation (LRT045) checks.
+
+    Never raises on a bad program: a syntax error is reported as an
+    LRT000 diagnostic at the offending position.
+    """
+    if isinstance(source, str):
+        try:
+            program = parse_program(source)
+        except HTLSyntaxError as error:
+            diagnostic = make(
+                "LRT000",
+                str(error),
+                line=error.line,
+                column=error.column,
+            )
+            return LintReport(
+                diagnostics=(diagnostic,),
+                artifact=artifact,
+                rule_summaries=rule_summaries(),
+            )
+    else:
+        program = source
+    ctx = LintContext(
+        program=program,
+        architecture=architecture,
+        implementation=implementation,
+        max_selections=max_selections,
+    )
+    return run_lint(ctx, artifact=artifact, select=select)
+
+
+def lint_specification(
+    spec: Specification,
+    architecture: Architecture | None = None,
+    implementation: Implementation | None = None,
+    artifact: str | None = None,
+    select: Iterable[str] | None = None,
+) -> LintReport:
+    """Lint a flattened specification (no HTL source available).
+
+    Source spans are 0 (there is no source text); the AST-only passes
+    (races, timing, dead communicators) do not apply — a constructed
+    :class:`Specification` already enforces those restrictions.
+    """
+    ctx = LintContext(
+        spec=spec,
+        architecture=architecture,
+        implementation=implementation,
+    )
+    return run_lint(ctx, artifact=artifact, select=select)
+
+
+def refinement_diagnostics(
+    report: RefinementReport,
+    program: ProgramDecl | None = None,
+    artifact: str | None = None,
+) -> LintReport:
+    """Render a refinement report as per-constraint diagnostics.
+
+    Each violated constraint maps to its own code (LRT049 for (a),
+    LRT050-LRT055 for (b1)-(b6)); passing the refining *program*
+    anchors each diagnostic at the offending task declaration.
+    """
+    ctx = LintContext(program=program, refinement=report)
+    return run_lint(
+        ctx, artifact=artifact, select=REFINEMENT_CODES.values()
+    )

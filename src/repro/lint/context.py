@@ -1,0 +1,253 @@
+"""The shared analysis state lint passes run against.
+
+A :class:`LintContext` bundles whatever design artifacts are available
+— the HTL AST, the compiled program, a flattened specification, an
+architecture, an implementation, a refinement report — and provides
+the derived views every pass needs: the *reachable* mode selections
+(one mode per module, restricted to modes reachable from the start
+mode through ``switch`` statements), best-effort flattened
+specifications per selection, and source-span lookups for diagnostics.
+
+Passes declare which artifacts they require; :func:`repro.lint.run_lint`
+skips a pass when its requirements are missing, so the same rule set
+degrades gracefully from "full design" (AST + architecture +
+implementation) down to "bare specification".
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping
+
+from repro.arch.architecture import Architecture
+from repro.errors import ReproError
+from repro.htl.ast import ModeDecl, ModuleDecl, ProgramDecl, TaskDecl
+from repro.mapping.implementation import Implementation
+from repro.model.specification import Specification
+from repro.refinement.relation import RefinementReport
+
+#: Ceiling on the number of mode selections a lint run enumerates.
+#: The selection space is the product of per-module reachable mode
+#: counts and can explode combinatorially; linting caps it and reports
+#: the truncation as an info diagnostic (LRT099) instead of hanging.
+MAX_SELECTIONS = 256
+
+
+@dataclass
+class LintContext:
+    """Everything a lint pass may inspect.  All artifacts optional."""
+
+    program: ProgramDecl | None = None
+    architecture: Architecture | None = None
+    implementation: Implementation | None = None
+    spec: Specification | None = None
+    refinement: RefinementReport | None = None
+    max_selections: int = MAX_SELECTIONS
+
+    #: Set when enumerating selections hit :attr:`max_selections`.
+    selections_truncated: bool = field(default=False, init=False)
+    _compiled: object = field(default=None, init=False, repr=False)
+    _compile_error: ReproError | None = field(
+        default=None, init=False, repr=False
+    )
+    _selections: list[dict[str, str]] | None = field(
+        default=None, init=False, repr=False
+    )
+    _flattened: dict[tuple[tuple[str, str], ...], Specification | None] = (
+        field(default_factory=dict, init=False, repr=False)
+    )
+
+    # -- artifact availability ----------------------------------------
+
+    def available(self) -> frozenset[str]:
+        """Return the artifact names present in this context."""
+        names = set()
+        if self.program is not None:
+            names.add("program")
+        if self.program is not None or self.spec is not None:
+            names.add("spec")
+        if self.architecture is not None:
+            names.add("architecture")
+        if self.implementation is not None:
+            names.add("implementation")
+        if self.refinement is not None:
+            names.add("refinement")
+        return frozenset(names)
+
+    # -- compiled program / flattening --------------------------------
+
+    def compiled(self):
+        """Return the compiled program, or ``None`` if compilation fails.
+
+        Compilation runs with the compiler's own lint enforcement
+        disabled — the lint run reports those findings itself.
+        """
+        if self.program is None:
+            return None
+        if self._compiled is None and self._compile_error is None:
+            from repro.htl.compiler import compile_program
+
+            try:
+                self._compiled = compile_program(self.program, lint=False)
+            except ReproError as error:
+                self._compile_error = error
+        return self._compiled
+
+    @property
+    def compile_error(self) -> ReproError | None:
+        """Return the error that stopped compilation, if any."""
+        self.compiled()
+        return self._compile_error
+
+    def flattened(
+        self, selection: Mapping[str, str]
+    ) -> Specification | None:
+        """Flatten *selection*, or return ``None`` when it cannot be.
+
+        Flattening fails e.g. for racy selections (restriction 3) or
+        mismatched mode periods; passes that need a specification
+        simply skip such selections — other passes report the cause.
+        """
+        key = tuple(sorted(selection.items()))
+        if key not in self._flattened:
+            compiled = self.compiled()
+            if compiled is None:
+                self._flattened[key] = None
+            else:
+                try:
+                    self._flattened[key] = compiled.specification(selection)
+                except ReproError:
+                    self._flattened[key] = None
+        return self._flattened[key]
+
+    # -- mode reachability --------------------------------------------
+
+    def reachable_modes(self, module: ModuleDecl) -> list[ModeDecl]:
+        """Return the modes of *module* reachable from its start mode."""
+        if not module.modes:
+            return []
+        start = module.start_mode or module.modes[0].name
+        by_name = {mode.name: mode for mode in module.modes}
+        if start not in by_name:
+            # Dangling start mode: the compiler reports it; treat every
+            # mode as reachable so linting still covers the module.
+            return list(module.modes)
+        seen = [start]
+        frontier = [start]
+        while frontier:
+            mode = by_name[frontier.pop()]
+            for switch in mode.switches:
+                if switch.target in by_name and switch.target not in seen:
+                    seen.append(switch.target)
+                    frontier.append(switch.target)
+        return [by_name[name] for name in seen]
+
+    def reachable_selections(self) -> list[dict[str, str]]:
+        """Return every reachable mode selection, capped for safety.
+
+        A selection assigns one reachable mode to each module; the
+        start selection comes first.  When the product space exceeds
+        :attr:`max_selections` the enumeration is truncated and
+        :attr:`selections_truncated` is set.
+        """
+        if self._selections is not None:
+            return self._selections
+        if self.program is None or not self.program.modules:
+            self._selections = []
+            return self._selections
+        modules = self.program.modules
+        mode_lists = [
+            [mode.name for mode in self.reachable_modes(module)]
+            for module in modules
+        ]
+        if any(not modes for modes in mode_lists):
+            self._selections = []
+            return self._selections
+        selections: list[dict[str, str]] = []
+        for combo in itertools.product(*mode_lists):
+            if len(selections) >= self.max_selections:
+                self.selections_truncated = True
+                break
+            selections.append(
+                {
+                    module.name: mode_name
+                    for module, mode_name in zip(modules, combo)
+                }
+            )
+        self._selections = selections
+        return selections
+
+    def selection_decls(
+        self, selection: Mapping[str, str]
+    ) -> list[tuple[ModuleDecl, ModeDecl]]:
+        """Return the ``(module, mode)`` declarations of *selection*."""
+        assert self.program is not None
+        pairs: list[tuple[ModuleDecl, ModeDecl]] = []
+        for module in self.program.modules:
+            name = selection.get(module.name)
+            if name is None:
+                continue
+            try:
+                pairs.append((module, module.mode_named(name)))
+            except KeyError:
+                continue
+        return pairs
+
+    def invoked_tasks(
+        self, selection: Mapping[str, str]
+    ) -> list[TaskDecl]:
+        """Return the task declarations invoked under *selection*."""
+        tasks: list[TaskDecl] = []
+        for module, mode in self.selection_decls(selection):
+            for invoke in mode.invokes:
+                try:
+                    tasks.append(module.task_named(invoke.task))
+                except KeyError:
+                    continue  # undeclared task: the compiler reports it
+        return tasks
+
+    def selection_specs(
+        self,
+    ) -> Iterator[tuple[dict[str, str] | None, Specification]]:
+        """Yield ``(selection, specification)`` pairs to analyse.
+
+        For a bare specification the single pair ``(None, spec)`` is
+        yielded.  For a program, each reachable selection that
+        flattens successfully is yielded once (selections flattening
+        to the same task set are deduplicated).
+        """
+        if self.program is None:
+            if self.spec is not None:
+                yield None, self.spec
+            return
+        seen: set[frozenset[str]] = set()
+        for selection in self.reachable_selections():
+            spec = self.flattened(selection)
+            if spec is None:
+                continue
+            key = frozenset(spec.tasks)
+            if key in seen:
+                continue
+            seen.add(key)
+            yield selection, spec
+
+    # -- source-span lookups ------------------------------------------
+
+    def communicator_span(self, name: str) -> tuple[int, int]:
+        """Return the declaration span of communicator *name*."""
+        if self.program is not None:
+            try:
+                decl = self.program.communicator_named(name)
+            except KeyError:
+                return 0, 0
+            return decl.line, decl.column
+        return 0, 0
+
+    def task_span(self, name: str) -> tuple[int, int]:
+        """Return the declaration span of task *name*."""
+        if self.program is not None:
+            decl = self.program.task_declarations().get(name)
+            if decl is not None:
+                return decl.line, decl.column
+        return 0, 0

@@ -1,0 +1,217 @@
+"""Structured diagnostics for the static-analysis layer.
+
+A :class:`Diagnostic` is one finding of a lint pass: a stable code
+(``LRT0xx``), a severity, a human-readable message, the 1-based
+``line``/``column`` source span it points at (0/0 when the artifact
+under analysis has no source text, e.g. a programmatically built
+specification), and an optional fix hint.
+
+A :class:`LintReport` bundles the findings of one lint run together
+with the artifact they refer to and renders them as plain text, JSON,
+or SARIF 2.1.0 (the interchange format consumed by code-scanning UIs).
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+
+class Severity(enum.Enum):
+    """Severity of a diagnostic, ordered from worst to mildest."""
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+    @property
+    def rank(self) -> int:
+        """Return the sort rank (errors first)."""
+        return {"error": 0, "warning": 1, "info": 2}[self.value]
+
+    @property
+    def sarif_level(self) -> str:
+        """Return the SARIF ``level`` for this severity."""
+        return {"error": "error", "warning": "warning", "info": "note"}[
+            self.value
+        ]
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding of a static-analysis pass."""
+
+    code: str
+    severity: Severity
+    message: str
+    line: int = 0
+    column: int = 0
+    hint: str | None = None
+
+    def format(self, artifact: str | None = None) -> str:
+        """Render the diagnostic as one ``file:line:col: ...`` line."""
+        prefix = artifact or "<input>"
+        location = f"{prefix}:{self.line}:{self.column}"
+        text = (
+            f"{location}: {self.severity.value} {self.code}: "
+            f"{self.message}"
+        )
+        if self.hint:
+            text += f" [hint: {self.hint}]"
+        return text
+
+    def to_dict(self) -> dict[str, Any]:
+        """Return the JSON-serialisable form of the diagnostic."""
+        data: dict[str, Any] = {
+            "code": self.code,
+            "severity": self.severity.value,
+            "message": self.message,
+            "line": self.line,
+            "column": self.column,
+        }
+        if self.hint:
+            data["hint"] = self.hint
+        return data
+
+
+@dataclass(frozen=True)
+class LintReport:
+    """All diagnostics produced by one lint run."""
+
+    diagnostics: tuple[Diagnostic, ...]
+    artifact: str | None = None
+    #: Rule metadata (code -> one-line summary) for SARIF output.
+    rule_summaries: dict[str, str] = field(default_factory=dict)
+
+    def __iter__(self):
+        return iter(self.diagnostics)
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    def by_severity(self, severity: Severity) -> list[Diagnostic]:
+        """Return the diagnostics of the given severity."""
+        return [d for d in self.diagnostics if d.severity is severity]
+
+    @property
+    def errors(self) -> list[Diagnostic]:
+        """Return the error-severity diagnostics."""
+        return self.by_severity(Severity.ERROR)
+
+    @property
+    def has_errors(self) -> bool:
+        """Return ``True`` iff any error-severity diagnostic fired."""
+        return any(d.severity is Severity.ERROR for d in self.diagnostics)
+
+    @property
+    def exit_code(self) -> int:
+        """Return the CLI exit status: 1 iff an error fired, else 0."""
+        return 1 if self.has_errors else 0
+
+    def codes(self) -> list[str]:
+        """Return the distinct diagnostic codes fired, sorted."""
+        return sorted({d.code for d in self.diagnostics})
+
+    # -- renderers -----------------------------------------------------
+
+    def to_text(self) -> str:
+        """Render all diagnostics as one line each, plus a summary."""
+        lines = [d.format(self.artifact) for d in self.diagnostics]
+        errors = len(self.errors)
+        warnings = len(self.by_severity(Severity.WARNING))
+        lines.append(
+            f"lint: {errors} error(s), {warnings} warning(s), "
+            f"{len(self.diagnostics) - errors - warnings} info"
+        )
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict[str, Any]:
+        """Return the JSON-serialisable form of the report."""
+        return {
+            "artifact": self.artifact,
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+            "summary": {
+                "errors": len(self.errors),
+                "warnings": len(self.by_severity(Severity.WARNING)),
+                "info": len(self.by_severity(Severity.INFO)),
+                "codes": self.codes(),
+            },
+            "exit_code": self.exit_code,
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        """Render the report as a JSON document."""
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def to_sarif(self) -> dict[str, Any]:
+        """Render the report as a SARIF 2.1.0 log."""
+        rules = [
+            {
+                "id": code,
+                "name": code,
+                "shortDescription": {
+                    "text": self.rule_summaries.get(code, code)
+                },
+            }
+            for code in self.codes()
+        ]
+        results = []
+        for diagnostic in self.diagnostics:
+            result: dict[str, Any] = {
+                "ruleId": diagnostic.code,
+                "level": diagnostic.severity.sarif_level,
+                "message": {"text": diagnostic.message},
+            }
+            location: dict[str, Any] = {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": self.artifact or "<input>"
+                    },
+                }
+            }
+            if diagnostic.line > 0:
+                location["physicalLocation"]["region"] = {
+                    "startLine": diagnostic.line,
+                    "startColumn": max(1, diagnostic.column),
+                }
+            result["locations"] = [location]
+            results.append(result)
+        return {
+            "$schema": (
+                "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                "master/Schemata/sarif-schema-2.1.0.json"
+            ),
+            "version": "2.1.0",
+            "runs": [
+                {
+                    "tool": {
+                        "driver": {
+                            "name": "repro-lint",
+                            "informationUri": (
+                                "https://example.invalid/repro"
+                            ),
+                            "rules": rules,
+                        }
+                    },
+                    "results": results,
+                }
+            ],
+        }
+
+
+def sort_diagnostics(
+    diagnostics: Iterable[Diagnostic],
+) -> tuple[Diagnostic, ...]:
+    """Return *diagnostics* in deterministic reporting order.
+
+    Sorted by source position first (so the output reads top-to-bottom
+    through the file), then code, then message.
+    """
+    return tuple(
+        sorted(
+            diagnostics,
+            key=lambda d: (d.line, d.column, d.code, d.message),
+        )
+    )

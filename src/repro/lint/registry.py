@@ -1,0 +1,218 @@
+"""The lint rule registry and pass runner.
+
+Every diagnostic code is declared once in :data:`CODES` (severity and
+one-line summary); every analysis pass registers itself in
+:data:`PASSES` via the :func:`lint_pass` decorator, stating which
+artifacts it needs.  :func:`run_lint` executes the applicable passes
+over a :class:`~repro.lint.context.LintContext` and returns a sorted
+:class:`~repro.lint.diagnostic.LintReport`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from repro.lint.context import LintContext
+from repro.lint.diagnostic import (
+    Diagnostic,
+    LintReport,
+    Severity,
+    sort_diagnostics,
+)
+
+
+@dataclass(frozen=True)
+class RuleInfo:
+    """Static metadata of one diagnostic code."""
+
+    code: str
+    name: str
+    severity: Severity
+    summary: str
+
+
+def _rule(code: str, name: str, severity: Severity, summary: str) -> RuleInfo:
+    return RuleInfo(code=code, name=name, severity=severity, summary=summary)
+
+
+#: Every diagnostic code the linter can emit, keyed by code.
+CODES: dict[str, RuleInfo] = {
+    rule.code: rule
+    for rule in [
+        _rule("LRT000", "compile-error", Severity.ERROR,
+              "the HTL program does not compile"),
+        _rule("LRT001", "write-write-race", Severity.ERROR,
+              "two tasks write the same communicator instance in one "
+              "reachable mode selection (restriction 3)"),
+        _rule("LRT002", "multi-writer-communicator", Severity.ERROR,
+              "two tasks write the same communicator in one reachable "
+              "mode selection (restriction 3, single-writer)"),
+        _rule("LRT010", "unsafe-communicator-cycle", Severity.ERROR,
+              "a communicator cycle has no independent-model task to "
+              "break it; the long-run reliability collapses to 0"),
+        _rule("LRT011", "communicator-cycle", Severity.WARNING,
+              "the specification has memory: a communicator cycle, "
+              "broken by an independent-model task"),
+        _rule("LRT020", "read-never-written", Severity.ERROR,
+              "a communicator is read but never written and has no "
+              "sensor binding; every read returns the initial value "
+              "or bottom"),
+        _rule("LRT021", "dead-communicator", Severity.WARNING,
+              "a communicator is written but never read and declares "
+              "no lrc; the implicit constraint 1.0 demands perfect "
+              "reliability for an unused value"),
+        _rule("LRT030", "infeasible-lrc", Severity.ERROR,
+              "a logical reliability constraint exceeds the best SRG "
+              "any implementation can achieve on this architecture"),
+        _rule("LRT040", "period-divisibility", Severity.ERROR,
+              "a mode period is not a multiple of an accessed "
+              "communicator's period"),
+        _rule("LRT041", "write-past-mode-period", Severity.ERROR,
+              "an invoked task writes after the end of the mode period"),
+        _rule("LRT042", "empty-let-window", Severity.ERROR,
+              "a task's read time is not strictly earlier than its "
+              "write time (restriction 2)"),
+        _rule("LRT045", "switch-changes-verdicts", Severity.WARNING,
+              "mode switching changes the per-communicator LRC "
+              "verdicts; Section 3's analysis assumes switches "
+              "preserve reliability"),
+        _rule("LRT049", "refinement-architecture", Severity.ERROR,
+              "refinement constraint (a): host sets differ"),
+        _rule("LRT050", "refinement-mapping", Severity.ERROR,
+              "refinement constraint (b1): replication mapping differs"),
+        _rule("LRT051", "refinement-cost", Severity.ERROR,
+              "refinement constraint (b2): refining task is more "
+              "expensive (WCET/WCTT)"),
+        _rule("LRT052", "refinement-let", Severity.ERROR,
+              "refinement constraint (b3): refining LET window does "
+              "not contain the abstract one"),
+        _rule("LRT053", "refinement-lrc-budget", Severity.ERROR,
+              "refinement constraint (b4): refining output demands "
+              "more reliability than the abstract task guarantees"),
+        _rule("LRT054", "refinement-failure-model", Severity.ERROR,
+              "refinement constraint (b5): input failure model differs"),
+        _rule("LRT055", "refinement-input-set", Severity.ERROR,
+              "refinement constraint (b6): input-set inclusion "
+              "violated for the declared failure model"),
+        _rule("LRT099", "selections-truncated", Severity.INFO,
+              "the reachable mode-selection space was truncated; some "
+              "selections were not analysed"),
+    ]
+}
+
+#: Map from a refinement-constraint identifier to its diagnostic code.
+REFINEMENT_CODES: dict[str, str] = {
+    "a": "LRT049",
+    "b1": "LRT050",
+    "b2": "LRT051",
+    "b3": "LRT052",
+    "b4": "LRT053",
+    "b5": "LRT054",
+    "b6": "LRT055",
+}
+
+
+def make(
+    code: str,
+    message: str,
+    line: int = 0,
+    column: int = 0,
+    hint: str | None = None,
+) -> Diagnostic:
+    """Build a :class:`Diagnostic`, pulling the severity from the registry."""
+    return Diagnostic(
+        code=code,
+        severity=CODES[code].severity,
+        message=message,
+        line=line,
+        column=column,
+        hint=hint,
+    )
+
+
+@dataclass(frozen=True)
+class LintPass:
+    """One registered analysis pass."""
+
+    name: str
+    codes: tuple[str, ...]
+    requires: frozenset[str]
+    run: Callable[[LintContext], Iterable[Diagnostic]]
+
+    def applicable(self, ctx: LintContext) -> bool:
+        """Return ``True`` when *ctx* provides everything the pass needs."""
+        return self.requires <= ctx.available()
+
+
+#: All registered passes, in registration order.
+PASSES: list[LintPass] = []
+
+
+def lint_pass(
+    name: str, codes: Iterable[str], requires: Iterable[str] = ()
+) -> Callable[
+    [Callable[[LintContext], Iterable[Diagnostic]]],
+    Callable[[LintContext], Iterable[Diagnostic]],
+]:
+    """Register a function as a lint pass.
+
+    *codes* are the diagnostic codes the pass may emit (they must be
+    declared in :data:`CODES`); *requires* names the context artifacts
+    the pass needs (``program``, ``spec``, ``architecture``,
+    ``implementation``, ``refinement``).
+    """
+    code_tuple = tuple(codes)
+    for code in code_tuple:
+        if code not in CODES:
+            raise KeyError(f"lint pass {name!r} emits unknown code {code!r}")
+
+    def register(
+        function: Callable[[LintContext], Iterable[Diagnostic]],
+    ) -> Callable[[LintContext], Iterable[Diagnostic]]:
+        PASSES.append(
+            LintPass(
+                name=name,
+                codes=code_tuple,
+                requires=frozenset(requires),
+                run=function,
+            )
+        )
+        return function
+
+    return register
+
+
+def rule_summaries() -> dict[str, str]:
+    """Return the code -> summary map for report/SARIF rendering."""
+    return {code: rule.summary for code, rule in CODES.items()}
+
+
+def run_lint(
+    ctx: LintContext,
+    artifact: str | None = None,
+    select: Iterable[str] | None = None,
+) -> LintReport:
+    """Run every applicable pass over *ctx* and collect a report.
+
+    *select* optionally restricts the run to passes emitting (at least
+    one of) the given codes, and filters the resulting diagnostics to
+    those codes.
+    """
+    import repro.lint.passes  # noqa: F401  (registers PASSES on import)
+
+    selected = set(select) if select is not None else None
+    diagnostics: list[Diagnostic] = []
+    for lint in PASSES:
+        if not lint.applicable(ctx):
+            continue
+        if selected is not None and not selected.intersection(lint.codes):
+            continue
+        diagnostics.extend(lint.run(ctx))
+    if selected is not None:
+        diagnostics = [d for d in diagnostics if d.code in selected]
+    return LintReport(
+        diagnostics=sort_diagnostics(diagnostics),
+        artifact=artifact,
+        rule_summaries=rule_summaries(),
+    )

@@ -168,14 +168,92 @@ def is_memory_free(spec: Specification) -> bool:
     return not SpecificationGraph(spec).has_communicator_cycle()
 
 
+def _dependency_order(cycle: list[str]) -> list[str]:
+    """Rotate *cycle* so its smallest element comes first.
+
+    ``nx.simple_cycles`` yields each elementary cycle in traversal
+    (dependency) order but with an arbitrary starting vertex; the
+    stable rotation keeps the data-flow order intact — successive
+    entries are real dependency-graph edges — while making the
+    reported cycle deterministic.
+    """
+    pivot = cycle.index(min(cycle))
+    return cycle[pivot:] + cycle[:pivot]
+
+
+@dataclass(frozen=True)
+class CycleWitness:
+    """One communicator cycle with the tasks that realise each edge.
+
+    ``communicators[i]`` flows into ``communicators[i + 1]`` (indices
+    wrapping around) through the tasks in ``edge_tasks[i]``; the tasks
+    on the final, wrapping edge are the ones that *close* the cycle.
+    ``safe`` is ``True`` when some edge carries a task with the
+    independent input failure model, which stops unreliable values
+    from propagating around the cycle forever.
+    """
+
+    communicators: tuple[str, ...]
+    edge_tasks: tuple[tuple[str, ...], ...]
+    safe: bool
+
+    def closing_tasks(self) -> tuple[str, ...]:
+        """Return the tasks on the edge that closes the cycle."""
+        return self.edge_tasks[-1]
+
+    def describe(self) -> str:
+        """Render the witness path, e.g. ``b -[t1]-> c -[t2]-> b``."""
+        parts: list[str] = []
+        for name, tasks in zip(self.communicators, self.edge_tasks):
+            parts.append(f"{name} -[{','.join(tasks)}]->")
+        parts.append(self.communicators[0])
+        return " ".join(parts)
+
+
+def dependency_cycle_witnesses(graph: nx.DiGraph) -> list[CycleWitness]:
+    """Return a :class:`CycleWitness` per elementary cycle of *graph*.
+
+    *graph* must carry ``tasks``/``models`` edge attributes as built by
+    :func:`communicator_dependency_graph`.  Cycles are reported in
+    dependency order (stable min-first rotation) and sorted for
+    determinism.
+    """
+    witnesses: list[CycleWitness] = []
+    for cycle in nx.simple_cycles(graph):
+        ordered = _dependency_order(list(cycle))
+        edges = list(zip(ordered, ordered[1:] + ordered[:1]))
+        edge_tasks = tuple(
+            tuple(sorted(graph[u][v]["tasks"])) for u, v in edges
+        )
+        safe = any(
+            FailureModel.INDEPENDENT in graph[u][v]["models"]
+            for u, v in edges
+        )
+        witnesses.append(
+            CycleWitness(
+                communicators=tuple(ordered),
+                edge_tasks=edge_tasks,
+                safe=safe,
+            )
+        )
+    witnesses.sort(key=lambda w: w.communicators)
+    return witnesses
+
+
+def cycle_witnesses(spec: Specification) -> list[CycleWitness]:
+    """Return the communicator-cycle witnesses of *spec*."""
+    return dependency_cycle_witnesses(communicator_dependency_graph(spec))
+
+
 def find_communicator_cycles(spec: Specification) -> list[list[str]]:
     """Return the elementary communicator cycles of *spec*.
 
-    Each cycle is reported as the list of communicator names around the
-    cycle in the dependency graph.
+    Each cycle is reported as the list of communicator names around
+    the cycle in dependency order (successive entries are actual
+    dependency-graph edges), rotated so the smallest name comes first
+    for determinism.
     """
-    graph = communicator_dependency_graph(spec)
-    return [sorted(cycle) for cycle in nx.simple_cycles(graph)]
+    return [list(w.communicators) for w in cycle_witnesses(spec)]
 
 
 def unsafe_cycles(spec: Specification) -> list[list[str]]:
@@ -185,20 +263,14 @@ def unsafe_cycles(spec: Specification) -> list[list[str]]:
     cycle with the independent input failure model; otherwise a single
     unreliable write poisons the cycle forever and the long-run
     reliable fraction collapses to 0 (Section 3, "Specification with
-    memory").  The returned cycles are the violating ones; an empty
-    list means every cycle is safe.
+    memory").  The returned cycles are the violating ones, each in
+    dependency order; an empty list means every cycle is safe.
     """
-    graph = communicator_dependency_graph(spec)
-    bad: list[list[str]] = []
-    for cycle in nx.simple_cycles(graph):
-        edges = list(zip(cycle, cycle[1:] + cycle[:1]))
-        broken = any(
-            FailureModel.INDEPENDENT in graph[u][v]["models"]
-            for u, v in edges
-        )
-        if not broken:
-            bad.append(sorted(cycle))
-    return bad
+    return [
+        list(w.communicators)
+        for w in cycle_witnesses(spec)
+        if not w.safe
+    ]
 
 
 def srg_evaluation_order(spec: Specification) -> list[str]:

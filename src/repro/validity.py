@@ -11,7 +11,7 @@ every candidate mapping.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.arch.architecture import Architecture
 from repro.mapping.implementation import Implementation
@@ -22,10 +22,18 @@ from repro.sched.analysis import SchedulabilityReport, check_schedulability
 
 @dataclass(frozen=True)
 class ValidityReport:
-    """Combined result of the joint analysis."""
+    """Combined result of the joint analysis.
+
+    ``diagnostics`` carries the :mod:`repro.lint` findings of the
+    specification-level static passes (cycle safety, sensor bindings,
+    LRC feasibility); they do not affect :attr:`valid` — the analyses
+    themselves already fail on fatal conditions — but surface the
+    *reason* with a stable code.
+    """
 
     reliability: ReliabilityReport
     schedulability: SchedulabilityReport
+    diagnostics: tuple = field(default_factory=tuple)
 
     @property
     def valid(self) -> bool:
@@ -35,13 +43,41 @@ class ValidityReport:
     def summary(self) -> str:
         """Return a human-readable multi-line summary of both analyses."""
         status = "VALID" if self.valid else "INVALID"
-        return "\n".join(
-            [
-                f"joint analysis: implementation is {status}",
-                self.schedulability.summary(),
-                self.reliability.summary(),
-            ]
-        )
+        lines = [
+            f"joint analysis: implementation is {status}",
+            self.schedulability.summary(),
+            self.reliability.summary(),
+        ]
+        if self.diagnostics:
+            lines.append("lint findings:")
+            lines.extend(f"  {d.format()}" for d in self.diagnostics)
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        """Return the JSON-serialisable form of the report."""
+        return {
+            "valid": self.valid,
+            "schedulable": self.schedulability.schedulable,
+            "reliable": self.reliability.reliable,
+            "memory_free": self.reliability.memory_free,
+            "unsafe_cycles": [
+                list(cycle) for cycle in self.reliability.unsafe_cycles
+            ],
+            "communicators": [
+                {
+                    "communicator": v.communicator,
+                    "srg": v.srg,
+                    "lrc": v.lrc,
+                    "margin": v.margin,
+                    "satisfied": v.satisfied,
+                }
+                for v in sorted(
+                    self.reliability.verdicts,
+                    key=lambda v: v.communicator,
+                )
+            ],
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+        }
 
 
 def check_validity(
@@ -49,9 +85,19 @@ def check_validity(
     arch: Architecture,
     implementation: Implementation,
 ) -> ValidityReport:
-    """Run the joint schedulability/reliability analysis."""
+    """Run the joint schedulability/reliability analysis.
+
+    The specification-level lint passes run alongside and their
+    findings are attached to the report.
+    """
+    from repro.lint import lint_specification
+
     implementation.validate(spec, arch)
+    lint_report = lint_specification(
+        spec, architecture=arch, implementation=implementation
+    )
     return ValidityReport(
         reliability=check_reliability(spec, arch, implementation),
         schedulability=check_schedulability(spec, arch, implementation),
+        diagnostics=lint_report.diagnostics,
     )

@@ -273,3 +273,50 @@ def test_module_entry_point():
     )
     assert completed.returncode == 0
     assert "synthesize" in completed.stdout
+
+
+def test_check_format_json(workspace, capsys):
+    status = main([
+        "check",
+        "--htl", str(workspace / "three_tank.htl"),
+        "--format", "json",
+    ])
+    assert status == 0
+    data = json.loads(capsys.readouterr().out)
+    assert data["ok"] is True
+    assert data["period"] == 500
+    assert data["tasks"]["t1"]["let"] == [200, 400]
+
+
+def test_analyze_format_json(workspace, capsys):
+    status = main([
+        "analyze",
+        "--htl", str(workspace / "three_tank.htl"),
+        "--arch", str(workspace / "arch.json"),
+        "--impl", str(workspace / "baseline.json"),
+        "--format", "json",
+    ])
+    assert status == 0
+    data = json.loads(capsys.readouterr().out)
+    assert data["valid"] is True
+    assert data["schedulable"] is True
+    names = [entry["communicator"] for entry in data["communicators"]]
+    assert names == sorted(names)
+
+
+def test_analyze_format_json_invalid(workspace, capsys):
+    status = main([
+        "analyze",
+        "--htl", str(workspace / "three_tank_strict.htl"),
+        "--arch", str(workspace / "arch.json"),
+        "--impl", str(workspace / "baseline.json"),
+        "--format", "json",
+    ])
+    assert status == 1
+    data = json.loads(capsys.readouterr().out)
+    assert data["valid"] is False
+    violated = [
+        entry for entry in data["communicators"]
+        if not entry["satisfied"]
+    ]
+    assert violated

@@ -175,3 +175,50 @@ def test_three_tank_is_memory_free(tank_spec):
     order = srg_evaluation_order(tank_spec)
     assert order.index("s1") < order.index("l1") < order.index("u1")
     assert order.index("u1") < order.index("r1")
+
+
+# -- cycle witnesses ----------------------------------------------------
+
+
+def test_cycle_witness_dependency_order():
+    from repro.model.graph import cycle_witnesses
+
+    witnesses = cycle_witnesses(feedback_spec())
+    assert len(witnesses) == 1
+    witness = witnesses[0]
+    # Dependency order with the smallest name first: b flows into c
+    # through t1, and t2 closes the cycle back into b.
+    assert witness.communicators == ("b", "c")
+    assert witness.edge_tasks == (("t1",), ("t2",))
+    assert witness.closing_tasks() == ("t2",)
+    assert witness.describe() == "b -[t1]-> c -[t2]-> b"
+    assert not witness.safe
+
+
+def test_cycle_witness_safe_flag():
+    from repro.model.graph import cycle_witnesses
+
+    witnesses = cycle_witnesses(feedback_spec(model="independent"))
+    assert witnesses[0].safe
+
+
+def test_cycles_reported_in_dependency_order():
+    # A three-communicator ring c -> a -> b -> c: sorted() would yield
+    # [a, b, c], which is NOT a dependency path here.
+    comms = [
+        Communicator("a", period=10),
+        Communicator("b", period=10),
+        Communicator("c", period=10),
+    ]
+    tasks = [
+        Task("t_ca", [("c", 0)], [("a", 1)]),
+        Task("t_ab", [("a", 1)], [("b", 2)]),
+        Task("t_bc", [("b", 2)], [("c", 3)]),
+    ]
+    spec = Specification(comms, tasks)
+    cycles = find_communicator_cycles(spec)
+    assert cycles == [["a", "b", "c"]]
+    graph = communicator_dependency_graph(spec)
+    ring = cycles[0]
+    for src, dst in zip(ring, ring[1:] + ring[:1]):
+        assert graph.has_edge(src, dst)

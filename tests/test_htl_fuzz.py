@@ -58,6 +58,7 @@ def communicator_decls(draw, name):
         init=draw(literal_for(type_name)),
         lrc=draw(
             st.one_of(
+                st.none(),
                 st.just(1.0),
                 st.floats(min_value=0.01, max_value=1.0,
                           allow_nan=False),
@@ -197,7 +198,7 @@ def strip_lines(node):
         replacements = {}
         for field in dataclasses.fields(node):
             value = getattr(node, field.name)
-            if field.name == "line":
+            if field.name in ("line", "column"):
                 replacements[field.name] = 0
             elif isinstance(value, tuple):
                 replacements[field.name] = tuple(

@@ -38,7 +38,8 @@ def test_minimal_program():
     comm = program.communicators[0]
     assert (comm.name, comm.type_name, comm.period) == ("c", "float", 10)
     assert comm.init == 0.0
-    assert comm.lrc == 1.0  # default
+    assert comm.lrc is None  # no lrc clause declared
+    assert comm.effective_lrc == 1.0  # compiler default
 
 
 def test_full_program_structure():

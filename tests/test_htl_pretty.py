@@ -15,7 +15,7 @@ def strip_lines(node):
         replacements = {}
         for field in dataclasses.fields(node):
             value = getattr(node, field.name)
-            if field.name == "line":
+            if field.name in ("line", "column"):
                 replacements[field.name] = 0
             elif isinstance(value, tuple):
                 replacements[field.name] = tuple(

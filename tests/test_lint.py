@@ -1,0 +1,662 @@
+"""Tests for the static-analysis subsystem (``repro.lint``).
+
+One seeded-violation HTL program per pass, asserting the diagnostic
+code *and* the source line it anchors to; plus CLI coverage for the
+``repro lint`` subcommand and Hypothesis property tests tying the race
+detector to the race-freedom invariant of generated specifications.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+
+from repro.cli import main
+from repro.errors import HTLLintError
+from repro.experiments import (
+    BRAKE_BY_WIRE_HTL,
+    THREE_TANK_HTL,
+    baseline_implementation,
+    three_tank_architecture,
+)
+from repro.htl.ast import (
+    CommunicatorDecl,
+    InvokeStmt,
+    ModeDecl,
+    ModuleDecl,
+    ProgramDecl,
+    TaskDecl,
+)
+from repro.htl.compiler import compile_program
+from repro.lint import (
+    CODES,
+    Severity,
+    lint_program,
+    lint_specification,
+    refinement_diagnostics,
+)
+from repro.arch import Architecture, ExecutionMetrics, Host, Sensor
+from repro.mapping import Implementation
+from repro.model import Specification
+from repro.refinement.relation import (
+    RefinementReport,
+    RefinementViolation,
+)
+from repro.validity import check_validity
+
+from strategies import specifications
+
+RACY_AND_CYCLIC = """\
+program racy {
+  communicator a : float period 10 init 0.0 lrc 0.5 ;
+  communicator b : float period 10 init 0.0 lrc 0.9 ;
+  communicator c : float period 10 init 0.0 lrc 0.9 ;
+  module M {
+    task t1 input (a[0]) output (b[1]) ;
+    task t2 input (b[0]) output (c[1]) ;
+    task t3 input (c[0]) output (b[1]) ;
+    mode m period 10 { invoke t1 ; invoke t2 ; invoke t3 ; }
+  }
+}
+"""
+
+
+def codes_of(report):
+    return report.codes()
+
+
+def diagnostic(report, code):
+    matches = [d for d in report.diagnostics if d.code == code]
+    assert matches, f"expected {code} in {report.codes()}"
+    return matches[0]
+
+
+# ----------------------------------------------------------------------
+# LRT000: compile errors become diagnostics.
+# ----------------------------------------------------------------------
+
+
+def test_syntax_error_reported_as_lrt000():
+    report = lint_program("program {", artifact="bad.htl")
+    d = diagnostic(report, "LRT000")
+    assert d.severity is Severity.ERROR
+    assert d.line == 1
+    assert report.exit_code == 1
+
+
+def test_semantic_error_reported_as_lrt000():
+    source = """\
+program p {
+  communicator c : float period 10 init 0.0 ;
+  module M {
+    task t input (ghost[0]) output (c[1]) ;
+    mode m period 10 { invoke t ; }
+  }
+}
+"""
+    report = lint_program(source)
+    assert "LRT000" in codes_of(report)
+    assert "ghost" in diagnostic(report, "LRT000").message
+
+
+# ----------------------------------------------------------------------
+# LRT001/LRT002: write-write races.
+# ----------------------------------------------------------------------
+
+
+def test_race_and_cycle_detected_with_lines():
+    report = lint_program(RACY_AND_CYCLIC, artifact="racy.htl")
+    race = diagnostic(report, "LRT001")
+    # Anchored at the later-declared conflicting writer (t3, line 8).
+    assert race.line == 8
+    assert "t1" in race.message and "t3" in race.message
+    cycle = diagnostic(report, "LRT010")
+    # Anchored at the declaration of the cycle's first communicator.
+    assert cycle.line == 3
+    assert "t3" in cycle.message  # the closing task is named
+    assert report.exit_code == 1
+
+
+def test_multi_writer_different_instances_is_lrt002():
+    source = """\
+program p {
+  communicator a : float period 10 init 0.0 lrc 0.5 ;
+  communicator b : float period 10 init 0.0 lrc 0.5 ;
+  module M {
+    task t1 input (a[0]) output (b[1]) ;
+    task t2 input (a[0]) output (b[2]) ;
+    mode m period 20 { invoke t1 ; invoke t2 ; }
+  }
+}
+"""
+    report = lint_program(source)
+    d = diagnostic(report, "LRT002")
+    assert d.line == 6  # the later writer, t2
+    assert "LRT001" not in codes_of(report)
+
+
+def test_race_only_in_reachable_selections():
+    # t1 and t2 both write b, but never in the same selection.
+    source = """\
+program p {
+  communicator a : float period 10 init 0.0 lrc 0.5 ;
+  communicator b : float period 10 init 0.0 lrc 0.5 ;
+  module M start one {
+    task t1 input (a[0]) output (b[1]) ;
+    task t2 input (a[0]) output (b[1]) ;
+    mode one period 10 { invoke t1 ; switch to two when "x" ; }
+    mode two period 10 { invoke t2 ; switch to one when "y" ; }
+  }
+}
+"""
+    report = lint_program(source)
+    assert "LRT001" not in codes_of(report)
+    assert report.exit_code == 0
+
+
+def test_compile_program_rejects_races():
+    with pytest.raises(HTLLintError) as excinfo:
+        compile_program(RACY_AND_CYCLIC)
+    assert excinfo.value.diagnostics
+    assert excinfo.value.diagnostics[0].code == "LRT001"
+    # The linter itself must still be able to compile it.
+    compiled = compile_program(RACY_AND_CYCLIC, lint=False)
+    assert compiled.program.name == "racy"
+
+
+# ----------------------------------------------------------------------
+# LRT010/LRT011: communicator cycles.
+# ----------------------------------------------------------------------
+
+
+def test_safe_cycle_is_a_warning():
+    source = """\
+program p {
+  communicator a : float period 10 init 0.0 lrc 0.5 ;
+  communicator b : float period 10 init 0.0 lrc 0.5 ;
+  module M {
+    task t1 input (a[0]) output (b[1]) ;
+    task t2 input (b[0]) output (a[1])
+      model independent default (b = 0.0) ;
+    mode m period 10 { invoke t1 ; invoke t2 ; }
+  }
+}
+"""
+    report = lint_program(source)
+    d = diagnostic(report, "LRT011")
+    assert d.severity is Severity.WARNING
+    assert d.line == 2  # communicator a, the cycle's smallest name
+    assert "LRT010" not in codes_of(report)
+    assert report.exit_code == 0
+
+
+def test_lint_specification_reports_cycles():
+    from repro.experiments.cycle_example import cyclic_specification
+
+    report = lint_specification(cyclic_specification(model="series"))
+    assert "LRT010" in codes_of(report)
+    safe = lint_specification(
+        cyclic_specification(model="independent")
+    )
+    assert "LRT010" not in codes_of(safe)
+    assert "LRT011" in codes_of(safe)
+
+
+# ----------------------------------------------------------------------
+# LRT020: read-of-never-written communicator.
+# ----------------------------------------------------------------------
+
+
+def test_unbound_input_communicator_is_lrt020():
+    source = """\
+program p {
+  communicator x : float period 100 init 0.0 lrc 0.5 ;
+  communicator y : float period 100 init 0.0 lrc 0.5 ;
+  module M {
+    task t input (x[0]) output (y[1]) ;
+    mode m period 100 { invoke t ; }
+  }
+}
+"""
+    unbound = Implementation({"t": {"h1"}})
+    report = lint_program(source, implementation=unbound)
+    d = diagnostic(report, "LRT020")
+    assert d.line == 2
+    bound = Implementation({"t": {"h1"}}, {"x": {"s1"}})
+    assert "LRT020" not in codes_of(
+        lint_program(source, implementation=bound)
+    )
+
+
+# ----------------------------------------------------------------------
+# LRT021: dead communicators.
+# ----------------------------------------------------------------------
+
+
+def test_dead_communicator_without_lrc_is_lrt021():
+    source = """\
+program p {
+  communicator s : float period 100 init 0.0 lrc 0.5 ;
+  communicator out : float period 100 init 0.0 ;
+  module M {
+    task t input (s[0]) output (out[1]) ;
+    mode m period 100 { invoke t ; }
+  }
+}
+"""
+    report = lint_program(source)
+    d = diagnostic(report, "LRT021")
+    assert d.severity is Severity.WARNING
+    assert d.line == 3
+    assert report.exit_code == 0
+    # An explicit lrc documents the constraint: no warning.
+    with_lrc = source.replace("init 0.0 ;\n  module", "init 0.0 lrc 0.9 ;\n  module")
+    assert "LRT021" not in codes_of(lint_program(with_lrc))
+
+
+# ----------------------------------------------------------------------
+# LRT030: infeasible LRCs.
+# ----------------------------------------------------------------------
+
+
+def _weak_architecture():
+    return Architecture(
+        hosts=[Host("h1", 0.9)],
+        sensors=[Sensor("s1", 0.99)],
+        metrics=ExecutionMetrics(default_wcet=1, default_wctt=1),
+    )
+
+
+def test_infeasible_lrc_is_lrt030():
+    source = """\
+program p {
+  communicator s : float period 100 init 0.0 lrc 0.5 ;
+  communicator c : float period 100 init 0.0 lrc 0.999 ;
+  module M {
+    task t input (s[0]) output (c[1]) ;
+    mode m period 100 { invoke t ; }
+  }
+}
+"""
+    report = lint_program(source, architecture=_weak_architecture())
+    d = diagnostic(report, "LRT030")
+    assert d.line == 3
+    assert "0.999" in d.message
+    # A stronger host makes the same constraint feasible.
+    strong = Architecture(
+        hosts=[Host("h1", 0.99999), Host("h2", 0.99999)],
+        sensors=[Sensor("s1", 0.99999)],
+        metrics=ExecutionMetrics(default_wcet=1, default_wctt=1),
+    )
+    assert "LRT030" not in codes_of(
+        lint_program(source, architecture=strong)
+    )
+
+
+# ----------------------------------------------------------------------
+# LRT040/LRT041/LRT042: access-instant bounds.
+# ----------------------------------------------------------------------
+
+
+def test_period_divisibility_is_lrt040():
+    source = """\
+program p {
+  communicator c : float period 30 init 0.0 ;
+  communicator d : float period 20 init 0.0 lrc 0.5 ;
+  module M {
+    task t input (c[0]) output (d[1]) ;
+    mode m period 40 { invoke t ; }
+  }
+}
+"""
+    report = lint_program(source)
+    d = diagnostic(report, "LRT040")
+    assert d.line == 6  # the invoke statement
+    assert "'c'" in d.message
+
+
+def test_write_past_mode_period_is_lrt041():
+    source = """\
+program p {
+  communicator c : float period 10 init 0.0 ;
+  communicator d : float period 10 init 0.0 lrc 0.5 ;
+  module M {
+    task t input (c[0]) output (d[3]) ;
+    mode m period 20 { invoke t ; }
+  }
+}
+"""
+    report = lint_program(source)
+    d = diagnostic(report, "LRT041")
+    assert d.line == 6
+    assert "30" in d.message
+
+
+def test_empty_let_window_is_lrt042():
+    source = """\
+program p {
+  communicator c : float period 10 init 0.0 ;
+  communicator d : float period 10 init 0.0 lrc 0.5 ;
+  module M {
+    task t input (c[1]) output (d[1]) ;
+    mode m period 10 { invoke t ; }
+  }
+}
+"""
+    report = lint_program(source)
+    d = diagnostic(report, "LRT042")
+    assert d.line == 5  # the task declaration
+    assert report.exit_code == 1
+
+
+# ----------------------------------------------------------------------
+# LRT045: switch preservation.
+# ----------------------------------------------------------------------
+
+
+def test_switch_changing_verdicts_is_lrt045():
+    source = """\
+program p {
+  communicator s : float period 100 init 0.0 lrc 0.9 ;
+  communicator c : float period 100 init 0.0 lrc 0.99 ;
+  module M start fast {
+    task strong input (s[0]) output (c[1]) ;
+    task weak input (s[0]) output (c[1]) ;
+    mode fast period 100 { invoke strong ; switch to slow when "x" ; }
+    mode slow period 100 { invoke weak ; switch to fast when "y" ; }
+  }
+}
+"""
+    arch = Architecture(
+        hosts=[Host("h1", 0.999), Host("h2", 0.5)],
+        sensors=[Sensor("s1", 0.9999)],
+        metrics=ExecutionMetrics(default_wcet=1, default_wctt=1),
+    )
+    impl = Implementation(
+        {"strong": {"h1"}, "weak": {"h2"}}, {"s": {"s1"}}
+    )
+    report = lint_program(
+        source, architecture=arch, implementation=impl
+    )
+    d = diagnostic(report, "LRT045")
+    assert d.severity is Severity.WARNING
+    assert d.line == 7  # the first switch statement
+    assert "'c'" in d.message or "c" in d.message
+    # Equal mappings on both modes: verdicts agree, no warning.
+    same = Implementation(
+        {"strong": {"h1"}, "weak": {"h1"}}, {"s": {"s1"}}
+    )
+    assert "LRT045" not in codes_of(
+        lint_program(source, architecture=arch, implementation=same)
+    )
+
+
+# ----------------------------------------------------------------------
+# LRT049-LRT055: refinement constraints.
+# ----------------------------------------------------------------------
+
+
+def test_refinement_violations_map_to_codes():
+    constraints = ["a", "b1", "b2", "b3", "b4", "b5", "b6"]
+    report = RefinementReport(
+        violations=tuple(
+            RefinementViolation(c, "t", f"violates {c}")
+            for c in constraints
+        )
+    )
+    lint = refinement_diagnostics(report)
+    assert codes_of(lint) == [
+        "LRT049", "LRT050", "LRT051", "LRT052",
+        "LRT053", "LRT054", "LRT055",
+    ]
+    assert lint.exit_code == 1
+    assert all(d.severity is Severity.ERROR for d in lint.diagnostics)
+
+
+def test_clean_refinement_has_no_diagnostics():
+    lint = refinement_diagnostics(RefinementReport(violations=()))
+    assert len(lint) == 0
+    assert lint.exit_code == 0
+
+
+# ----------------------------------------------------------------------
+# LRT099: selection-space truncation.
+# ----------------------------------------------------------------------
+
+
+def test_truncated_selection_space_is_lrt099():
+    source = """\
+program p {
+  communicator a : float period 10 init 0.0 lrc 0.5 ;
+  communicator b : float period 10 init 0.0 lrc 0.5 ;
+  module M start m1 {
+    task t input (a[0]) output (b[1]) ;
+    mode m1 period 10 { invoke t ; switch to m2 when "x" ; }
+    mode m2 period 10 { invoke t ; switch to m3 when "x" ; }
+    mode m3 period 10 { invoke t ; switch to m4 when "x" ; }
+    mode m4 period 10 { invoke t ; switch to m1 when "x" ; }
+  }
+}
+"""
+    report = lint_program(source, max_selections=2)
+    d = diagnostic(report, "LRT099")
+    assert d.severity is Severity.INFO
+    assert report.exit_code == 0
+    assert "LRT099" not in codes_of(lint_program(source))
+
+
+# ----------------------------------------------------------------------
+# Shipped designs stay clean; report plumbing.
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "source", [THREE_TANK_HTL, BRAKE_BY_WIRE_HTL],
+    ids=["three_tank", "brake_by_wire"],
+)
+def test_shipped_programs_lint_clean(source):
+    report = lint_program(source)
+    assert report.exit_code == 0
+    assert not report.errors
+
+
+def test_check_validity_attaches_diagnostics():
+    from repro.experiments import three_tank_spec
+
+    report = check_validity(
+        three_tank_spec(),
+        three_tank_architecture(),
+        baseline_implementation(),
+    )
+    assert isinstance(report.diagnostics, tuple)
+    assert report.valid  # unchanged semantics
+
+
+def test_sarif_shape():
+    report = lint_program(RACY_AND_CYCLIC, artifact="racy.htl")
+    sarif = report.to_sarif()
+    assert sarif["version"] == "2.1.0"
+    run = sarif["runs"][0]
+    assert run["tool"]["driver"]["name"] == "repro-lint"
+    rule_ids = {rule["id"] for rule in run["tool"]["driver"]["rules"]}
+    assert {"LRT001", "LRT010"} <= rule_ids
+    for result in run["results"]:
+        assert result["ruleId"] in CODES
+        location = result["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"] == "racy.htl"
+        assert location["region"]["startLine"] >= 1
+    # SARIF must survive a JSON round-trip.
+    assert json.loads(json.dumps(sarif)) == sarif
+
+
+def test_report_json_round_trip():
+    report = lint_program(RACY_AND_CYCLIC)
+    data = json.loads(report.to_json())
+    assert data["exit_code"] == 1
+    assert data["summary"]["errors"] == len(report.errors)
+    assert {d["code"] for d in data["diagnostics"]} == set(
+        report.codes()
+    )
+
+
+# ----------------------------------------------------------------------
+# CLI: repro lint.
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture
+def lint_workspace(tmp_path):
+    (tmp_path / "racy.htl").write_text(RACY_AND_CYCLIC)
+    (tmp_path / "three_tank.htl").write_text(THREE_TANK_HTL)
+    return tmp_path
+
+
+def test_cli_lint_racy_program(lint_workspace, capsys):
+    status = main(
+        ["lint", "--htl", str(lint_workspace / "racy.htl")]
+    )
+    assert status == 1
+    out = capsys.readouterr().out
+    assert "LRT001" in out and "LRT010" in out
+    assert "racy.htl:8:" in out  # the race anchor line
+
+
+def test_cli_lint_clean_program(lint_workspace, capsys):
+    status = main(
+        ["lint", "--htl", str(lint_workspace / "three_tank.htl")]
+    )
+    assert status == 0
+    assert "0 error(s)" in capsys.readouterr().out
+
+
+def test_cli_lint_sarif(lint_workspace, capsys):
+    status = main([
+        "lint", "--htl", str(lint_workspace / "racy.htl"),
+        "--format", "sarif",
+    ])
+    assert status == 1
+    sarif = json.loads(capsys.readouterr().out)
+    results = sarif["runs"][0]["results"]
+    assert {r["ruleId"] for r in results} >= {"LRT001", "LRT010"}
+
+
+def test_cli_lint_json(lint_workspace, capsys):
+    status = main([
+        "lint", "--htl", str(lint_workspace / "racy.htl"),
+        "--format", "json",
+    ])
+    assert status == 1
+    data = json.loads(capsys.readouterr().out)
+    assert data["exit_code"] == 1
+
+
+def test_cli_lint_spec_json(lint_workspace, tmp_path, capsys):
+    from repro.experiments import three_tank_spec
+    from repro.io import specification_to_dict
+
+    spec_file = tmp_path / "spec.json"
+    spec_file.write_text(
+        json.dumps(specification_to_dict(three_tank_spec()))
+    )
+    status = main(["lint", "--spec", str(spec_file)])
+    assert status == 0
+
+
+def test_cli_lint_requires_input(capsys):
+    status = main(["lint"])
+    assert status == 2
+    assert "provide a program" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# Property tests: the race detector agrees with restriction 3.
+# ----------------------------------------------------------------------
+
+
+def _program_from_spec(spec: Specification) -> ProgramDecl:
+    """Rebuild an AST whose single mode invokes every task of *spec*."""
+    communicators = tuple(
+        CommunicatorDecl(
+            name=comm.name,
+            type_name="float",
+            period=comm.period,
+            init=0.0,
+            lrc=comm.lrc,
+        )
+        for comm in spec.communicators.values()
+    )
+    tasks = tuple(
+        TaskDecl(
+            name=task.name,
+            inputs=tuple(
+                (p.communicator, p.instance) for p in task.inputs
+            ),
+            outputs=tuple(
+                (p.communicator, p.instance) for p in task.outputs
+            ),
+            model=task.model.name.lower(),
+            defaults=tuple(sorted(task.defaults.items())),
+            function_name=None,
+        )
+        for task in spec.tasks.values()
+    )
+    mode = ModeDecl(
+        name="all",
+        period=spec.period(),
+        invokes=tuple(InvokeStmt(task.name) for task in tasks),
+        switches=(),
+    )
+    module = ModuleDecl(
+        name="main", start_mode="all", tasks=tasks, modes=(mode,)
+    )
+    return ProgramDecl(
+        name="generated", communicators=communicators, modules=(module,)
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(specifications())
+def test_race_free_specs_never_trigger_lrt001(spec):
+    report = lint_program(_program_from_spec(spec))
+    assert "LRT001" not in report.codes()
+    assert "LRT002" not in report.codes()
+
+
+@settings(max_examples=25, deadline=None)
+@given(specifications())
+def test_duplicated_writer_always_triggers_lrt001(spec):
+    program = _program_from_spec(spec)
+    module = program.modules[0]
+    victim = module.tasks[0]
+    clone = TaskDecl(
+        name=f"dup_{victim.name}",
+        inputs=victim.inputs,
+        outputs=victim.outputs,
+        model=victim.model,
+        defaults=victim.defaults,
+        function_name=None,
+    )
+    mode = module.modes[0]
+    patched = ProgramDecl(
+        name=program.name,
+        communicators=program.communicators,
+        modules=(
+            ModuleDecl(
+                name=module.name,
+                start_mode=module.start_mode,
+                tasks=module.tasks + (clone,),
+                modes=(
+                    ModeDecl(
+                        name=mode.name,
+                        period=mode.period,
+                        invokes=mode.invokes
+                        + (InvokeStmt(clone.name),),
+                        switches=(),
+                    ),
+                ),
+            ),
+        ),
+    )
+    report = lint_program(patched)
+    assert "LRT001" in report.codes()
+    assert report.exit_code == 1
