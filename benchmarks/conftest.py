@@ -4,9 +4,16 @@ Every benchmark module regenerates one experiment row of the paper
 (see DESIGN.md, "Per-experiment index") and prints a paper-vs-measured
 table via the ``report`` fixture.  Run with ``pytest benchmarks/
 --benchmark-only -s`` to see the tables alongside the timing output.
+
+The ``REPRO_BENCH_SCALE`` environment variable scales iteration counts
+(default 1.0); CI sets a small value to smoke-test the benchmarks
+without paying full Monte-Carlo budgets.  Statistical assertions that
+only hold at full sample sizes are gated on ``bench_scale.full``.
 """
 
 from __future__ import annotations
+
+import os
 
 import pytest
 
@@ -30,3 +37,27 @@ def _report(experiment: str, rows: list[tuple[str, str, str]]) -> None:
 def report():
     """Print a paper-vs-measured table for one experiment."""
     return _report
+
+
+class _BenchScale:
+    """Callable scaling iteration counts by ``REPRO_BENCH_SCALE``."""
+
+    def __init__(self, factor: float) -> None:
+        self.factor = factor
+        #: True when running at (or above) the full benchmark budget,
+        #: i.e. statistical convergence assertions are meaningful.
+        self.full = factor >= 1.0
+
+    def __call__(self, count: int, minimum: int = 1) -> int:
+        return max(minimum, int(round(count * self.factor)))
+
+
+@pytest.fixture
+def bench_scale() -> _BenchScale:
+    """Scale an iteration count by the ``REPRO_BENCH_SCALE`` env var.
+
+    ``bench_scale(20000)`` returns 20000 by default and e.g. 200 when
+    ``REPRO_BENCH_SCALE=0.01``; ``bench_scale.full`` tells whether the
+    full statistical budget is in effect.
+    """
+    return _BenchScale(float(os.environ.get("REPRO_BENCH_SCALE", "1")))

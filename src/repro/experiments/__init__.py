@@ -22,10 +22,12 @@ from repro.experiments.three_tank_system import (
     baseline_implementation,
     bind_control_functions,
     closed_loop_simulator,
+    monte_carlo_simulator,
     scenario1_implementation,
     scenario2_implementation,
     three_tank_architecture,
     three_tank_spec,
+    unplug_monte_carlo,
 )
 from repro.experiments.general_example import (
     alternating_implementation,
@@ -81,6 +83,8 @@ __all__ = [
     "cyclic_specification_with_input",
     "fig1_specification",
     "general_example",
+    "monte_carlo_simulator",
+    "unplug_monte_carlo",
     "random_architecture",
     "random_implementation",
     "random_specification",

@@ -28,9 +28,19 @@ from repro.reliability.traces import (
 )
 from repro.reliability.analysis import (
     CommunicatorVerdict,
+    EmpiricalReliabilityReport,
     ReliabilityReport,
     check_reliability,
+    check_reliability_empirical,
     check_reliability_timedep,
+)
+from repro.reliability.stats import (
+    ComplianceVerdict,
+    LRCTest,
+    binomial_confidence_interval,
+    lrc_test,
+    lrc_test_from_counts,
+    required_samples,
 )
 from repro.reliability.sensitivity import (
     ComponentSensitivity,
@@ -72,6 +82,14 @@ __all__ = [
     "BasicEvent",
     "Block",
     "CommunicatorVerdict",
+    "ComplianceVerdict",
+    "EmpiricalReliabilityReport",
+    "LRCTest",
+    "binomial_confidence_interval",
+    "check_reliability_empirical",
+    "lrc_test",
+    "lrc_test_from_counts",
+    "required_samples",
     "ComponentSensitivity",
     "CycleVerdict",
     "OrGate",

@@ -81,26 +81,28 @@ def binomial_confidence_interval(
     return float(lower), float(upper)
 
 
-def lrc_test(
-    trace: AbstractTrace,
+def lrc_test_from_counts(
+    communicator: str,
+    successes: int,
+    samples: int,
     lrc: float,
     confidence: float = 0.99,
 ) -> LRCTest:
-    """Test a finite abstract trace against an LRC.
+    """Test aggregated reliable-access counts against an LRC.
 
-    The verdict is *violates* when the one-sided binomial test rejects
-    ``p >= lrc`` at the given confidence, *meets* when it rejects
-    ``p <= lrc``, and *undecided* when the data cannot separate the
-    two (e.g. the SRG sits exactly at the LRC, as in the paper's
-    alternating-mapping example where the limit average equals 0.9
-    exactly).
+    The count-based entry point of the compliance test: feeds directly
+    off :class:`~repro.runtime.batch.BatchResult` success counts (or
+    any pooled binomial sample) without materializing a bit trace.
+    Verdict semantics are those of :func:`lrc_test`.
     """
-    samples = len(trace)
-    if samples == 0:
-        raise AnalysisError("cannot test an empty trace")
+    if samples <= 0:
+        raise AnalysisError("cannot test an empty sample")
+    if not 0 <= successes <= samples:
+        raise AnalysisError(
+            f"successes must lie in [0, {samples}], got {successes}"
+        )
     if not 0.0 < lrc <= 1.0:
         raise AnalysisError(f"LRC must lie in (0, 1], got {lrc}")
-    successes = trace.reliable_count()
     alpha = 1.0 - confidence
     # P(X <= successes) under p = lrc: small means "too few successes
     # to be compatible with p >= lrc".
@@ -119,7 +121,7 @@ def lrc_test(
     else:
         verdict = ComplianceVerdict.UNDECIDED
     return LRCTest(
-        communicator=trace.communicator,
+        communicator=communicator,
         lrc=lrc,
         samples=samples,
         successes=successes,
@@ -129,6 +131,31 @@ def lrc_test(
             successes, samples, confidence
         ),
         verdict=verdict,
+    )
+
+
+def lrc_test(
+    trace: AbstractTrace,
+    lrc: float,
+    confidence: float = 0.99,
+) -> LRCTest:
+    """Test a finite abstract trace against an LRC.
+
+    The verdict is *violates* when the one-sided binomial test rejects
+    ``p >= lrc`` at the given confidence, *meets* when it rejects
+    ``p <= lrc``, and *undecided* when the data cannot separate the
+    two (e.g. the SRG sits exactly at the LRC, as in the paper's
+    alternating-mapping example where the limit average equals 0.9
+    exactly).
+    """
+    if len(trace) == 0:
+        raise AnalysisError("cannot test an empty trace")
+    return lrc_test_from_counts(
+        trace.communicator,
+        successes=trace.reliable_count(),
+        samples=len(trace),
+        lrc=lrc,
+        confidence=confidence,
     )
 
 

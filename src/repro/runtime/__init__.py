@@ -15,6 +15,7 @@ from repro.runtime.faults import (
     CompositeFaults,
     FaultInjector,
     NoFaults,
+    PrecomputedFaults,
     ScriptedFaults,
     ValueFaults,
 )
@@ -24,12 +25,16 @@ from repro.runtime.environment import (
     ConstantEnvironment,
     Environment,
 )
+from repro.runtime.plan import SimulationPlan, compile_plan
 from repro.runtime.engine import SimulationResult, Simulator
+from repro.runtime.batch import BatchResult, BatchSimulator
 from repro.runtime.modes import ModeSwitchingExecutive, ModeSwitchingResult
 
 __all__ = [
     "ModeSwitchingExecutive",
     "ModeSwitchingResult",
+    "BatchResult",
+    "BatchSimulator",
     "BernoulliFaults",
     "CallbackEnvironment",
     "CompositeFaults",
@@ -37,10 +42,13 @@ __all__ = [
     "Environment",
     "FaultInjector",
     "NoFaults",
+    "PrecomputedFaults",
     "ScriptedFaults",
+    "SimulationPlan",
     "SimulationResult",
     "Simulator",
     "ValueFaults",
+    "compile_plan",
     "first_non_bottom",
     "majority_vote",
 ]

@@ -1,0 +1,389 @@
+"""The vectorized batched Monte-Carlo executor.
+
+:class:`BatchSimulator` consumes the same compiled
+:class:`~repro.runtime.plan.SimulationPlan` as the scalar reference
+:class:`~repro.runtime.engine.Simulator`, but evaluates only the
+reliability abstraction: instead of executing task functions on
+values, it samples the fault model for all runs at once as
+``(runs, slots, iterations)`` boolean tensors, propagates
+reliable/``BOTTOM`` status through the plan's dependency order with
+array operations, and aggregates per-communicator reliable-access
+counts without materializing per-run value traces.
+
+Seed contract
+-------------
+``run_batch(runs, iterations, seed)`` derives one generator per run
+via ``np.random.SeedSequence(seed).spawn(runs)``.  Run ``k`` of the
+batch is bit-identical to a scalar simulation seeded with
+``np.random.default_rng(np.random.SeedSequence(seed).spawn(runs)[k])``
+— the differential test suite holds the two executors to exactly
+this.
+
+Fallback rules
+--------------
+The vectorized path requires (a) a fault injector that implements
+:meth:`~repro.runtime.faults.FaultInjector.precompute` (Bernoulli,
+scripted, and their composites do; value faults and custom injectors
+don't), and (b) a specification whose communicator cycles, if any,
+are broken by independent-model tasks (otherwise reliability
+propagation is a genuine per-iteration recurrence).  When either
+fails, :meth:`run_batch` transparently loops the scalar simulator
+over the same spawned seeds — same counts, scalar speed — which
+additionally requires task functions to be bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+from repro.arch.architecture import Architecture
+from repro.errors import RuntimeSimulationError
+from repro.mapping.implementation import Implementation
+from repro.mapping.timedep import TimeDependentImplementation
+from repro.model.specification import Specification
+from repro.model.task import FailureModel
+from repro.runtime.environment import Environment
+from repro.runtime.faults import FaultInjector, NoFaults, PrecomputedFaults
+from repro.runtime.plan import PortSlot, SimulationPlan, compile_plan
+
+
+@dataclass
+class BatchResult:
+    """Per-communicator reliable-access counts of a batch of runs.
+
+    ``reliable_counts[c][k]`` is the number of reliable accesses of
+    communicator ``c`` observed in run ``k`` — exactly
+    ``SimulationResult.abstract()[c].reliable_count()`` of the
+    equivalent scalar run.  ``samples_per_run[c]`` is the common
+    number of accesses per run (iterations times accesses per
+    period).
+    """
+
+    spec: Specification
+    runs: int
+    iterations: int
+    reliable_counts: dict[str, np.ndarray]
+    samples_per_run: dict[str, int]
+    executor: str  # "vectorized" | "scalar-fallback"
+
+    def limit_averages(self) -> dict[str, np.ndarray]:
+        """Return the per-run reliable fraction per communicator."""
+        return {
+            name: counts / self.samples_per_run[name]
+            for name, counts in self.reliable_counts.items()
+        }
+
+    def pooled_counts(self) -> dict[str, tuple[int, int]]:
+        """Return pooled ``(successes, samples)`` per communicator.
+
+        The per-access reliability events of all runs are i.i.d.
+        (independent seeds), so pooling them is statistically sound.
+        """
+        return {
+            name: (
+                int(counts.sum()),
+                self.samples_per_run[name] * self.runs,
+            )
+            for name, counts in self.reliable_counts.items()
+        }
+
+    def srg_estimates(self) -> dict[str, float]:
+        """Return the pooled reliable fraction per communicator."""
+        return {
+            name: successes / samples
+            for name, (successes, samples) in self.pooled_counts().items()
+        }
+
+    def lrc_tests(self, confidence: float = 0.99) -> dict:
+        """Run the binomial LRC compliance test on the pooled counts."""
+        from repro.reliability.stats import lrc_test_from_counts
+
+        pooled = self.pooled_counts()
+        return {
+            name: lrc_test_from_counts(
+                name,
+                successes=pooled[name][0],
+                samples=pooled[name][1],
+                lrc=comm.lrc,
+                confidence=confidence,
+            )
+            for name, comm in sorted(self.spec.communicators.items())
+        }
+
+    def satisfies_lrcs(self, slack: float = 0.0) -> bool:
+        """Check every LRC against the pooled reliable fractions."""
+        estimates = self.srg_estimates()
+        return all(
+            estimates[name] >= comm.lrc - slack
+            for name, comm in self.spec.communicators.items()
+        )
+
+    def summary(self) -> str:
+        """Return a human-readable multi-line summary."""
+        lines = [
+            f"batch of {self.runs} runs x {self.iterations} iterations "
+            f"({self.executor})"
+        ]
+        estimates = self.srg_estimates()
+        for name in sorted(estimates):
+            lrc = self.spec.communicators[name].lrc
+            mark = "ok " if estimates[name] >= lrc else "LOW"
+            lines.append(
+                f"  [{mark}] {name}: observed {estimates[name]:.6f} "
+                f"(LRC {lrc:.6f}, {self.samples_per_run[name] * self.runs} "
+                f"samples)"
+            )
+        return "\n".join(lines)
+
+
+class BatchSimulator:
+    """Vectorized Monte-Carlo executor over a compiled simulation plan.
+
+    Parameters
+    ----------
+    spec, arch, implementation:
+        The design to execute; compiled once into a
+        :class:`SimulationPlan` shared by every batch.
+    faults:
+        Fault injector; defaults to :class:`NoFaults`.  Injectors
+        without a ``precompute`` implementation force the scalar
+        fallback.
+    seed:
+        Default batch seed (overridable per :meth:`run_batch` call);
+        see the module docstring for the spawning contract.
+    environment_factory:
+        Builds a fresh environment per run for the scalar fallback
+        path; the vectorized path never evaluates values and ignores
+        it.
+    """
+
+    def __init__(
+        self,
+        spec: Specification,
+        arch: Architecture,
+        implementation: "Implementation | TimeDependentImplementation",
+        faults: FaultInjector | None = None,
+        seed: int = 0,
+        environment_factory: "Callable[[], Environment] | None" = None,
+    ) -> None:
+        self.spec = spec
+        self.arch = arch
+        self.plan: SimulationPlan = compile_plan(spec, arch, implementation)
+        self.faults = faults or NoFaults()
+        self.seed = seed
+        self.environment_factory = environment_factory
+
+    # ------------------------------------------------------------------
+
+    def run_batch(
+        self,
+        runs: int,
+        iterations: int,
+        seed: "int | None" = None,
+    ) -> BatchResult:
+        """Execute *runs* independent simulations of *iterations* periods.
+
+        Returns the per-communicator reliable-access counts of every
+        run.  Vectorized whenever the plan and the injector allow it;
+        otherwise loops the scalar simulator over the same spawned
+        seeds (bit-identical counts either way).
+        """
+        if runs <= 0:
+            raise RuntimeSimulationError(
+                f"runs must be positive, got {runs}"
+            )
+        if iterations <= 0:
+            raise RuntimeSimulationError(
+                f"iterations must be positive, got {iterations}"
+            )
+        children = np.random.SeedSequence(
+            self.seed if seed is None else seed
+        ).spawn(runs)
+        masks: PrecomputedFaults | None = None
+        if self.plan.batch_order is not None:
+            rngs = [np.random.default_rng(child) for child in children]
+            masks = self.faults.precompute(
+                self.plan, runs, iterations, rngs
+            )
+        if masks is None:
+            # A declining precompute may have consumed draws; the
+            # fallback rebuilds every generator from its spawn key.
+            return self._run_scalar(children, iterations)
+        return self._run_vectorized(masks, runs, iterations)
+
+    # ------------------------------------------------------------------
+
+    def _run_vectorized(
+        self,
+        masks: PrecomputedFaults,
+        runs: int,
+        iterations: int,
+    ) -> BatchResult:
+        plan = self.plan
+        delivered = [
+            np.zeros((runs, iterations), dtype=bool)
+            for _ in plan.sensor_events
+        ]
+        survive = [
+            np.zeros((runs, iterations), dtype=bool)
+            for _ in plan.releases
+        ]
+        for p, schedule in enumerate(plan.schedules):
+            iters = np.arange(p, iterations, plan.n_phases)
+            if not len(iters):
+                continue
+            sensor_fail = masks.sensor_fail[p]
+            replica_fail = masks.replica_fail[p]
+            for event in plan.sensor_events:
+                slots = schedule.sensor_slot_event == event.index
+                if slots.any():
+                    delivered[event.index][:, iters] = ~np.all(
+                        sensor_fail[:, slots, :], axis=1
+                    )
+            for event in plan.releases:
+                slots = schedule.replica_slot_event == event.index
+                if slots.any():
+                    survive[event.index][:, iters] = ~np.all(
+                        replica_fail[:, slots, :], axis=1
+                    )
+
+        # Propagate reliable/BOTTOM status through the dependency
+        # order; every array is (runs, iterations).
+        assert plan.batch_order is not None
+        task_ok: list[np.ndarray | None] = [None] * len(plan.releases)
+        for index in plan.batch_order:
+            event = plan.releases[index]
+            ok = survive[index]
+            if event.model is not FailureModel.INDEPENDENT:
+                port_bits = [
+                    self._port_bits(port, task_ok, delivered, runs, iterations)
+                    for port in event.ports
+                ]
+                if event.model is FailureModel.SERIES:
+                    inputs_ok = np.logical_and.reduce(port_bits)
+                else:  # PARALLEL: fails only when all inputs are BOTTOM
+                    inputs_ok = np.logical_or.reduce(port_bits)
+                ok = ok & inputs_ok
+            task_ok[index] = ok
+
+        counts: dict[str, np.ndarray] = {}
+        samples: dict[str, int] = {}
+        for ci, name in enumerate(plan.comm_names):
+            pi = int(plan.comm_periods[ci])
+            n_acc = int(plan.accesses_per_period[ci])
+            samples[name] = n_acc * iterations
+            writer = int(plan.writer_event[ci])
+            if writer >= 0:
+                write_time = plan.releases[writer].write_time
+                offsets = np.arange(0, plan.period, pi)
+                same = int((offsets >= write_time).sum())
+                prev = n_acc - same
+                ok = task_ok[writer]
+                assert ok is not None
+                per_run = same * ok.sum(axis=1, dtype=np.int64)
+                if prev:
+                    carried = int(plan.init_reliable[ci]) + ok[
+                        :, :-1
+                    ].sum(axis=1, dtype=np.int64)
+                    per_run = per_run + prev * carried
+                counts[name] = per_run
+                continue
+            events = [
+                e for e in plan.sensor_events if e.comm_index == ci
+            ]
+            if events:
+                total = np.zeros(runs, dtype=np.int64)
+                for event in events:
+                    total += delivered[event.index].sum(
+                        axis=1, dtype=np.int64
+                    )
+                counts[name] = total
+            else:
+                # Neither written nor sensor-updated: the initial
+                # value is observed at every access.
+                counts[name] = np.full(
+                    runs,
+                    int(plan.init_reliable[ci]) * samples[name],
+                    dtype=np.int64,
+                )
+        return BatchResult(
+            spec=self.spec,
+            runs=runs,
+            iterations=iterations,
+            reliable_counts=counts,
+            samples_per_run=samples,
+            executor="vectorized",
+        )
+
+    def _port_bits(
+        self,
+        port: PortSlot,
+        task_ok: "Sequence[np.ndarray | None]",
+        delivered: Sequence[np.ndarray],
+        runs: int,
+        iterations: int,
+    ) -> np.ndarray:
+        """Reliability bits seen by one input port, per run/iteration."""
+        plan = self.plan
+        if port.sensor_event >= 0:
+            return delivered[port.sensor_event]
+        if port.writer_event >= 0:
+            source = task_ok[port.writer_event]
+            assert source is not None, "batch order violated"
+            if port.same_iteration:
+                return source
+            shifted = np.empty_like(source)
+            shifted[:, 0] = plan.init_reliable[port.comm_index]
+            shifted[:, 1:] = source[:, :-1]
+            return shifted
+        return np.full(
+            (runs, iterations),
+            bool(plan.init_reliable[port.comm_index]),
+            dtype=bool,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _run_scalar(
+        self,
+        children: Sequence[np.random.SeedSequence],
+        iterations: int,
+    ) -> BatchResult:
+        """Loop the scalar reference executor over the spawned seeds."""
+        from repro.runtime.engine import Simulator
+
+        runs = len(children)
+        counts = {
+            name: np.zeros(runs, dtype=np.int64)
+            for name in self.spec.communicators
+        }
+        samples: dict[str, int] = {}
+        for k, child in enumerate(children):
+            environment = (
+                self.environment_factory()
+                if self.environment_factory is not None
+                else None
+            )
+            simulator = Simulator(
+                self.spec,
+                self.arch,
+                self.plan.implementation,
+                environment=environment,
+                faults=self.faults,
+                seed=np.random.default_rng(child),
+            )
+            result = simulator.run(iterations)
+            for name, trace in result.abstract().items():
+                counts[name][k] = trace.reliable_count()
+                samples[name] = len(trace)
+        return BatchResult(
+            spec=self.spec,
+            runs=runs,
+            iterations=iterations,
+            reliable_counts=counts,
+            samples_per_run=samples,
+            executor="scalar-fallback",
+        )

@@ -189,11 +189,13 @@ class EMachine:
             iteration = now // self.period
             sensors = self.implementation.sensors_of(name)
             physical = self.environment.sense(name, now)
-            delivered = any(
-                not self.faults.sensor_fails(sensor, now, self.rng)
+            # One draw per sensor, unconditionally — the canonical
+            # order shared with the reference simulator.
+            failed = [
+                self.faults.sensor_fails(sensor, now, self.rng)
                 for sensor in sorted(sensors)
-            )
-            store[name] = physical if delivered else BOTTOM
+            ]
+            store[name] = physical if not all(failed) else BOTTOM
         elif opcode is Opcode.SNAPSHOT:
             task_name, index, comm = instruction.args
             iteration = now // self.period
@@ -222,12 +224,13 @@ class EMachine:
                 attempts[(task_name, host)] = (
                     attempts.get((task_name, host), 0) + 1
                 )
-                failed = self.faults.replica_fails(
+                invocation_failed = self.faults.replica_fails(
                     task_name, host, iteration, now, deadline, self.rng
-                ) or self.faults.broadcast_fails(
+                )
+                broadcast_failed = self.faults.broadcast_fails(
                     task_name, host, iteration, self.rng
                 )
-                if failed:
+                if invocation_failed or broadcast_failed:
                     failures[(task_name, host)] = (
                         failures.get((task_name, host), 0) + 1
                     )

@@ -39,6 +39,7 @@ from repro.model.values import BOTTOM
 from repro.reliability.traces import AbstractTrace
 from repro.runtime.environment import ConstantEnvironment, Environment
 from repro.runtime.faults import FaultInjector, NoFaults
+from repro.runtime.plan import SimulationPlan, compile_plan
 from repro.runtime.voting import Voter, first_non_bottom
 
 
@@ -104,6 +105,14 @@ class SimulationResult:
 class Simulator:
     """Distributed LET runtime with replication, broadcast, and voting.
 
+    The simulator is the *scalar reference executor* of a compiled
+    :class:`~repro.runtime.plan.SimulationPlan`: construction compiles
+    the design into the plan, and :meth:`run` interprets it tick by
+    tick, executing real task functions against the environment.  The
+    vectorized :class:`~repro.runtime.batch.BatchSimulator` consumes
+    the same plan; this class is the semantics oracle the batch path
+    is differentially tested against.
+
     Parameters
     ----------
     spec, arch:
@@ -124,7 +133,14 @@ class Simulator:
         ``environment.actuate``; defaults to the communicators read by
         no task.
     seed:
-        Seed of the NumPy generator driving stochastic fault injection.
+        Seed (or ready generator) of the NumPy generator driving
+        stochastic fault injection.  Uniform draws are consumed in the
+        plan's canonical order — timetable order, with every due draw
+        taken unconditionally — so two runs with equal seeds are
+        bit-identical, and a run seeded with
+        ``np.random.default_rng(child_k)`` for spawn key ``k`` of
+        ``np.random.SeedSequence(s).spawn(n)`` reproduces run ``k`` of
+        ``BatchSimulator.run_batch(n, iterations, seed=s)`` exactly.
     """
 
     def __init__(
@@ -164,40 +180,17 @@ class Simulator:
                 f"tasks {missing} have no function; bind functions before "
                 f"simulating"
             )
-        self._build_plans()
-
-    def _build_plans(self) -> None:
-        spec = self.spec
-        periods = spec.periods()
-        self.periods = periods
-        self.period = spec.period()
-        self.tick = spec.base_tick()
-        self.input_comms = sorted(spec.input_communicators())
-        self.write_times = {
-            task.name: task.write_time(periods)
-            for task in spec.tasks.values()
-        }
-
-        # Offset (within a period) -> input ports to snapshot.
-        self.snap_plan: dict[int, list[tuple[str, int, str]]] = {}
-        self.release_plan: dict[int, list[str]] = {}
-        # Absolute write phase -> tasks committing there.
-        self.commit_plan: dict[int, list[str]] = {}
-        for task in spec.tasks.values():
-            for index, port in enumerate(task.inputs):
-                offset = periods[port.communicator] * port.instance
-                self.snap_plan.setdefault(offset, []).append(
-                    (task.name, index, port.communicator)
-                )
-            self.release_plan.setdefault(
-                task.read_time(periods), []
-            ).append(task.name)
-            self.commit_plan.setdefault(
-                task.write_time(periods), []
-            ).append(task.name)
-        for plan in (self.snap_plan, self.release_plan, self.commit_plan):
-            for key in plan:
-                plan[key].sort()
+        self.plan: SimulationPlan = compile_plan(spec, arch, implementation)
+        # Aliases into the compiled plan, kept for callers that poke at
+        # the simulator's timetable directly.
+        self.periods = spec.periods()
+        self.period = self.plan.period
+        self.tick = self.plan.tick
+        self.input_comms = list(self.plan.input_comms)
+        self.write_times = self.plan.write_times
+        self.snap_plan = self.plan.snap_plan
+        self.release_plan = self.plan.release_plan
+        self.commit_plan = self.plan.commit_plan
 
     # ------------------------------------------------------------------
 
@@ -278,17 +271,19 @@ class Simulator:
                     )
 
             # 2. Sensor updates of input communicators that are due.
-            for name in self.input_comms:
-                if now % spec.communicators[name].period:
-                    continue
-                phase = self.implementation.phase_for_iteration(iteration)
-                sensors = phase.sensors_of(name)
+            # Every bound sensor is queried (no short-circuit on the
+            # first delivery): the canonical draw order consumes one
+            # uniform per sensor unconditionally, which is what lets
+            # the batch executor reproduce this stream from one flat
+            # sample per run.
+            for name in self.plan.sensor_plan.get(offset, ()):
+                sensors = self.plan.sensors_of(name, iteration)
                 physical = self.environment.sense(name, now)
-                delivered = any(
-                    not self.faults.sensor_fails(sensor, now, self.rng)
-                    for sensor in sorted(sensors)
-                )
-                store[name] = physical if delivered else BOTTOM
+                failed = [
+                    self.faults.sensor_fails(sensor, now, self.rng)
+                    for sensor in sensors
+                ]
+                store[name] = physical if not all(failed) else BOTTOM
 
             # 3. Record the trace at every due access instant.
             for name, comm in spec.communicators.items():
@@ -380,18 +375,21 @@ class Simulator:
                 f"incomplete input snapshot for {task_name} at {now}"
             )
         deadline = iteration * self.period + self.write_times[task_name]
-        phase = self.implementation.phase_for_iteration(iteration)
         result_cache: tuple[Any, ...] | None | str = "unset"
-        for host in sorted(phase.hosts_of(task_name)):
+        # Both fault draws are taken unconditionally (the invocation
+        # draw, then the broadcast draw): the canonical order must not
+        # depend on the invocation outcome.
+        for host in self.plan.hosts_of(task_name, iteration):
             attempts[(task_name, host)] = (
                 attempts.get((task_name, host), 0) + 1
             )
-            failed = self.faults.replica_fails(
+            invocation_failed = self.faults.replica_fails(
                 task_name, host, iteration, now, deadline, self.rng
-            ) or self.faults.broadcast_fails(
+            )
+            broadcast_failed = self.faults.broadcast_fails(
                 task_name, host, iteration, self.rng
             )
-            if failed:
+            if invocation_failed or broadcast_failed:
                 failures[(task_name, host)] = (
                     failures.get((task_name, host), 0) + 1
                 )

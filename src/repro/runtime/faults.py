@@ -19,12 +19,89 @@ update, and broadcast; implementations:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Mapping, Sequence
+from typing import TYPE_CHECKING, Iterable, Mapping, Sequence
 
 import numpy as np
 
 from repro.arch.architecture import Architecture
 from repro.errors import RuntimeSimulationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.plan import SimulationPlan
+
+
+@dataclass
+class PrecomputedFaults:
+    """Vectorized fault masks for one batch of Monte-Carlo runs.
+
+    Per phase ``p``, ``sensor_fail[p]`` has shape
+    ``(runs, sensor_slots_p, iterations_of_phase_p)`` with ``True``
+    where the slot's sensor update fails, and ``replica_fail[p]`` the
+    analogous mask where the slot's replica contributes nothing
+    (invocation failure or broadcast loss, already combined).  Slots
+    follow the plan's per-phase :class:`~repro.runtime.plan.DrawSchedule`
+    order; the iterations of phase ``p`` are
+    ``p, p + n_phases, p + 2 * n_phases, ...``.
+
+    ``stochastic`` records whether producing the masks consumed the
+    per-run RNG streams — :class:`CompositeFaults` refuses to combine
+    more than one stochastic member, because their interleaved draws
+    could not reproduce the scalar executor's stream.
+    """
+
+    stochastic: bool
+    sensor_fail: tuple[np.ndarray, ...]
+    replica_fail: tuple[np.ndarray, ...]
+
+    def merge(self, other: "PrecomputedFaults") -> "PrecomputedFaults | None":
+        """Union this mask set with *other* (a slot fails if either says so).
+
+        Returns ``None`` when both operands are stochastic — the
+        combination would not match any scalar draw order.
+        """
+        if self.stochastic and other.stochastic:
+            return None
+        return PrecomputedFaults(
+            stochastic=self.stochastic or other.stochastic,
+            sensor_fail=tuple(
+                a | b for a, b in zip(self.sensor_fail, other.sensor_fail)
+            ),
+            replica_fail=tuple(
+                a | b for a, b in zip(self.replica_fail, other.replica_fail)
+            ),
+        )
+
+
+def _phase_iterations(
+    plan: "SimulationPlan", iterations: int
+) -> list[np.ndarray]:
+    """Return the iteration indices governed by each phase."""
+    return [
+        np.arange(p, iterations, plan.n_phases, dtype=np.int64)
+        for p in range(plan.n_phases)
+    ]
+
+
+def _empty_masks(
+    plan: "SimulationPlan", runs: int, iterations: int
+) -> PrecomputedFaults:
+    """Return all-``False`` masks shaped for *plan* (nothing fails)."""
+    per_phase = _phase_iterations(plan, iterations)
+    return PrecomputedFaults(
+        stochastic=False,
+        sensor_fail=tuple(
+            np.zeros(
+                (runs, len(s.sensor_slot_event), len(iters)), dtype=bool
+            )
+            for s, iters in zip(plan.schedules, per_phase)
+        ),
+        replica_fail=tuple(
+            np.zeros(
+                (runs, len(s.replica_slot_event), len(iters)), dtype=bool
+            )
+            for s, iters in zip(plan.schedules, per_phase)
+        ),
+    )
 
 
 class FaultInjector:
@@ -77,9 +154,32 @@ class FaultInjector:
         (atomically: no host receives it)."""
         return False
 
+    def precompute(
+        self,
+        plan: "SimulationPlan",
+        runs: int,
+        iterations: int,
+        rngs: Sequence[np.random.Generator],
+    ) -> "PrecomputedFaults | None":
+        """Vectorize this injector for a batch of Monte-Carlo runs.
+
+        Returns the failure masks of *runs* independent runs of
+        *iterations* periods each, or ``None`` when the injector
+        cannot be vectorized — the batch executor then falls back to
+        looping the scalar simulator.  *rngs* holds one generator per
+        run (spawned from the batch seed); a stochastic implementation
+        must consume each run's stream in the plan's canonical draw
+        order so run ``k`` stays bit-identical to a scalar run seeded
+        with ``rngs[k]``.  The default declines.
+        """
+        return None
+
 
 class NoFaults(FaultInjector):
     """The fault-free baseline injector."""
+
+    def precompute(self, plan, runs, iterations, rngs):
+        return _empty_masks(plan, runs, iterations)
 
 
 @dataclass
@@ -106,6 +206,66 @@ class BernoulliFaults(FaultInjector):
         if brel >= 1.0:
             return False
         return rng.random() >= brel
+
+    def precompute(self, plan, runs, iterations, rngs):
+        """Sample every run's full uniform stream in one shot.
+
+        One ``Generator.random(total)`` call per run yields the exact
+        stream the scalar executor would consume draw by draw; the
+        per-slot draws are then gathered out of it with the plan's
+        flat offsets and compared against the reliability vectors.
+        """
+        brel = self.arch.network.reliability
+        if (brel < 1.0) != plan.broadcast_drawn:
+            # The injector's network model disagrees with the plan's
+            # draw layout; the stream could not match the scalar run.
+            return None
+        result = _empty_masks(plan, runs, iterations)
+        base, total = plan.draw_layout(iterations)
+        per_phase = _phase_iterations(plan, iterations)
+        srel = [
+            np.array(
+                [self.arch.srel(s) for s in sched.sensor_slot_name],
+                dtype=np.float64,
+            )
+            for sched in plan.schedules
+        ]
+        hrel = [
+            np.array(
+                [self.arch.hrel(h) for h in sched.replica_slot_host],
+                dtype=np.float64,
+            )
+            for sched in plan.schedules
+        ]
+        for run in range(runs):
+            stream = rngs[run].random(total)
+            for p, schedule in enumerate(plan.schedules):
+                iters = per_phase[p]
+                if not len(iters):
+                    continue
+                anchors = base[iters]
+                if len(schedule.sensor_slot_offset):
+                    at = (
+                        schedule.sensor_slot_offset[:, None]
+                        + anchors[None, :]
+                    )
+                    result.sensor_fail[p][run] = (
+                        stream[at] >= srel[p][:, None]
+                    )
+                if len(schedule.replica_slot_offset):
+                    at = (
+                        schedule.replica_slot_offset[:, None]
+                        + anchors[None, :]
+                    )
+                    fail = stream[at] >= hrel[p][:, None]
+                    if plan.broadcast_drawn:
+                        fail |= stream[at + 1] >= brel
+                    result.replica_fail[p][run] = fail
+        return PrecomputedFaults(
+            stochastic=True,
+            sensor_fail=result.sensor_fail,
+            replica_fail=result.replica_fail,
+        )
 
 
 @dataclass
@@ -158,6 +318,57 @@ class ScriptedFaults(FaultInjector):
     def sensor_fails(self, sensor, time, rng):
         intervals = self.sensor_outages.get(sensor, ())
         return self._down_during(intervals, time, time)
+
+    @staticmethod
+    def _down_mask(
+        intervals: Sequence[tuple[int, int | None]],
+        starts: np.ndarray,
+        ends: np.ndarray,
+    ) -> np.ndarray:
+        """Vectorize :meth:`_down_during` over parallel window arrays."""
+        down = np.zeros(starts.shape, dtype=bool)
+        for outage_start, outage_end in intervals:
+            if outage_end is None:
+                down |= ends >= outage_start
+            else:
+                down |= (starts < outage_end) & (ends >= outage_start)
+        return down
+
+    def precompute(self, plan, runs, iterations, rngs):
+        """Evaluate the outage timetable for every slot and iteration.
+
+        Scripted outages are deterministic, so one mask set serves all
+        runs (broadcast over the run axis) and no RNG is consumed.
+        """
+        result = _empty_masks(plan, runs, iterations)
+        per_phase = _phase_iterations(plan, iterations)
+        for p, schedule in enumerate(plan.schedules):
+            iters = per_phase[p]
+            if not len(iters):
+                continue
+            starts = iters * plan.period
+            for j, name in enumerate(schedule.sensor_slot_name):
+                intervals = self.sensor_outages.get(name, ())
+                if not intervals:
+                    continue
+                event = plan.sensor_events[
+                    int(schedule.sensor_slot_event[j])
+                ]
+                times = starts + event.offset
+                result.sensor_fail[p][:, j, :] = self._down_mask(
+                    intervals, times, times
+                )
+            for j, host in enumerate(schedule.replica_slot_host):
+                intervals = self.host_outages.get(host, ())
+                if not intervals:
+                    continue
+                event = plan.releases[int(schedule.replica_slot_event[j])]
+                release = starts + event.offset
+                deadline = starts + event.write_time
+                result.replica_fail[p][:, j, :] = self._down_mask(
+                    intervals, release, deadline
+                )
+        return result
 
 
 @dataclass
@@ -219,24 +430,54 @@ class CompositeFaults(FaultInjector):
         object.__setattr__(self, "injectors", tuple(injectors))
 
     def replica_fails(self, task, host, iteration, release, deadline, rng):
+        # Evaluated eagerly (list, not generator): every component must
+        # consume its draws even when an earlier one already failed the
+        # replica, keeping the RNG stream in the canonical order.
         return any(
-            injector.replica_fails(
-                task, host, iteration, release, deadline, rng
-            )
-            for injector in self.injectors
+            [
+                injector.replica_fails(
+                    task, host, iteration, release, deadline, rng
+                )
+                for injector in self.injectors
+            ]
         )
 
     def sensor_fails(self, sensor, time, rng):
         return any(
-            injector.sensor_fails(sensor, time, rng)
-            for injector in self.injectors
+            [
+                injector.sensor_fails(sensor, time, rng)
+                for injector in self.injectors
+            ]
         )
 
     def broadcast_fails(self, task, host, iteration, rng):
         return any(
-            injector.broadcast_fails(task, host, iteration, rng)
-            for injector in self.injectors
+            [
+                injector.broadcast_fails(task, host, iteration, rng)
+                for injector in self.injectors
+            ]
         )
+
+    def precompute(self, plan, runs, iterations, rngs):
+        """Union the component masks; at most one component may draw.
+
+        Each component precomputes with the shared per-run generators;
+        only a stochastic component consumes them, so with at most one
+        such component the combined masks still correspond to the
+        scalar draw order.  Declines (``None``) when any component
+        declines or two components are stochastic — callers must then
+        rebuild the generators before falling back to the scalar path,
+        since a component may already have consumed draws.
+        """
+        combined: PrecomputedFaults | None = None
+        for injector in self.injectors:
+            masks = injector.precompute(plan, runs, iterations, rngs)
+            if masks is None:
+                return None
+            combined = masks if combined is None else combined.merge(masks)
+            if combined is None:
+                return None
+        return combined or _empty_masks(plan, runs, iterations)
 
     def corrupt_outputs(self, task, host, iteration, outputs, rng):
         for injector in self.injectors:

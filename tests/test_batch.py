@@ -1,0 +1,272 @@
+"""The batched Monte-Carlo executor vs the scalar reference.
+
+The batch executor's whole claim is *bit-identical counts, orders of
+magnitude faster*: run ``k`` of ``run_batch(n, iterations, seed=s)``
+must produce exactly the per-communicator reliable-access counts of
+the scalar :class:`~repro.runtime.engine.Simulator` seeded with
+``SeedSequence(s).spawn(n)[k]``.  The differential property test
+drives that over Hypothesis-generated systems; the convergence test
+checks the estimates against the analytic SRGs of Proposition 1; the
+fallback tests pin down when the vectorized path must decline.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.arch import Architecture, ExecutionMetrics, Host, Sensor
+from repro.errors import RuntimeSimulationError
+from repro.experiments import (
+    bind_control_functions,
+    cyclic_specification,
+    scenario1_implementation,
+    three_tank_architecture,
+    three_tank_spec,
+    unplug_monte_carlo,
+)
+from repro.mapping import Implementation
+from repro.reliability import (
+    binomial_confidence_interval,
+    communicator_srgs,
+)
+from repro.runtime import (
+    BatchSimulator,
+    BernoulliFaults,
+    CompositeFaults,
+    FaultInjector,
+    ScriptedFaults,
+    Simulator,
+)
+
+from strategies import systems
+
+RELAXED = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def scalar_counts(spec, arch, impl, faults, child, iterations):
+    """Reliable-access counts of one scalar run seeded with *child*."""
+    simulator = Simulator(
+        spec, arch, impl,
+        faults=faults,
+        seed=np.random.default_rng(child),
+    )
+    result = simulator.run(iterations)
+    return {
+        name: trace.reliable_count()
+        for name, trace in result.abstract().items()
+    }
+
+
+# ----------------------------------------------------------------------
+# The seed contract, differentially.
+# ----------------------------------------------------------------------
+
+
+@RELAXED
+@given(systems(), st.integers(min_value=0, max_value=2**32 - 1))
+def test_batch_matches_scalar_on_generated_systems(system, seed):
+    spec, arch, impl = system
+    batch = BatchSimulator(
+        spec, arch, impl, faults=BernoulliFaults(arch), seed=seed
+    )
+    runs, iterations = 3, 7
+    result = batch.run_batch(runs, iterations)
+    assert result.executor == "vectorized"
+
+    children = np.random.SeedSequence(seed).spawn(runs)
+    for k, child in enumerate(children):
+        expected = scalar_counts(
+            spec, arch, impl, BernoulliFaults(arch), child, iterations
+        )
+        for name, count in expected.items():
+            assert result.reliable_counts[name][k] == count
+
+
+@RELAXED
+@given(systems())
+def test_batch_is_deterministic_in_the_seed(system):
+    spec, arch, impl = system
+    batch = BatchSimulator(
+        spec, arch, impl, faults=BernoulliFaults(arch)
+    )
+    first = batch.run_batch(2, 5, seed=123)
+    second = batch.run_batch(2, 5, seed=123)
+    for name in spec.communicators:
+        assert np.array_equal(
+            first.reliable_counts[name], second.reliable_counts[name]
+        )
+
+
+# ----------------------------------------------------------------------
+# Convergence to the analytic SRGs (Proposition 1).
+# ----------------------------------------------------------------------
+
+
+def test_batch_estimates_converge_to_analytic_srgs():
+    """Pooled batch estimates honour the SRGs of Proposition 1.
+
+    The SRG is a *guarantee*: the analytic product assumes input
+    reliabilities independent, and shared upstream ancestry (both 3TS
+    estimates fuse the same level readings) only pushes the true
+    reliability up.  So every communicator's SRG must lie at or below
+    the Clopper–Pearson interval of the pooled estimate — and for
+    input communicators, whose reliability is exactly the sensor
+    ``srel``, the interval must straddle the SRG itself.
+    """
+    spec = three_tank_spec()
+    arch = three_tank_architecture()
+    impl = scenario1_implementation()
+    srgs = communicator_srgs(spec, impl, arch)
+
+    batch = BatchSimulator(
+        spec, arch, impl, faults=BernoulliFaults(arch), seed=7
+    )
+    result = batch.run_batch(64, 500)  # 32000 hyperperiods
+    assert result.executor == "vectorized"
+
+    inputs = spec.input_communicators()
+    for name in spec.communicators:
+        successes, samples = result.pooled_counts()[name]
+        lower, upper = binomial_confidence_interval(
+            successes, samples, confidence=0.999
+        )
+        assert srgs[name] <= upper, (
+            f"{name}: observed significantly below the SRG "
+            f"{srgs[name]} (CP interval [{lower}, {upper}])"
+        )
+        if name in inputs:
+            assert lower <= srgs[name], (
+                f"{name}: exact input SRG {srgs[name]} outside CP "
+                f"interval [{lower}, {upper}]"
+            )
+
+
+def test_batch_scripted_unplug_matches_scalar_and_degrades():
+    """Pull-the-plug composite (scripted + Bernoulli) on the batch path."""
+    result = unplug_monte_carlo(
+        scenario1_implementation(), "h2", 30_000, runs=4, iterations=120
+    )
+    assert result.executor == "vectorized"
+    # Replication keeps every LRC despite losing h2 for half the run.
+    assert result.satisfies_lrcs(slack=0.01)
+
+    spec = three_tank_spec(functions=bind_control_functions())
+    arch = three_tank_architecture()
+    impl = scenario1_implementation()
+    faults = CompositeFaults(
+        [
+            ScriptedFaults(host_outages={"h2": [(30_000, None)]}),
+            BernoulliFaults(arch),
+        ]
+    )
+    children = np.random.SeedSequence(99).spawn(4)
+    for k, child in enumerate(children):
+        expected = scalar_counts(spec, arch, impl, faults, child, 120)
+        for name, count in expected.items():
+            assert result.reliable_counts[name][k] == count
+
+
+# ----------------------------------------------------------------------
+# Fallback rules.
+# ----------------------------------------------------------------------
+
+
+class _FlakySensor(FaultInjector):
+    """A custom injector with no ``precompute`` implementation."""
+
+    def sensor_fails(self, sensor, time, rng):
+        return rng.random() >= 0.5
+
+
+def test_custom_injector_without_precompute_falls_back():
+    spec = three_tank_spec(functions=bind_control_functions())
+    arch = three_tank_architecture()
+    impl = scenario1_implementation()
+    batch = BatchSimulator(
+        spec, arch, impl, faults=_FlakySensor(), seed=5
+    )
+    result = batch.run_batch(2, 30)
+    assert result.executor == "scalar-fallback"
+
+    children = np.random.SeedSequence(5).spawn(2)
+    for k, child in enumerate(children):
+        expected = scalar_counts(
+            spec, arch, impl, _FlakySensor(), child, 30
+        )
+        for name, count in expected.items():
+            assert result.reliable_counts[name][k] == count
+
+
+def test_cyclic_specification_falls_back_to_scalar():
+    """A self-loop defeats topological propagation -> scalar path."""
+    spec = cyclic_specification("series", period=10)
+    arch = Architecture(
+        hosts=[Host("h0", 0.9)],
+        sensors=[Sensor("s0", 0.9)],
+        metrics=ExecutionMetrics(default_wcet=1, default_wctt=1),
+    )
+    impl = Implementation({"integrate": {"h0"}}, {})
+    batch = BatchSimulator(
+        spec, arch, impl, faults=BernoulliFaults(arch), seed=3
+    )
+    assert batch.plan.batch_order is None
+    result = batch.run_batch(3, 40)
+    assert result.executor == "scalar-fallback"
+
+    children = np.random.SeedSequence(3).spawn(3)
+    for k, child in enumerate(children):
+        expected = scalar_counts(
+            spec, arch, impl, BernoulliFaults(arch), child, 40
+        )
+        for name, count in expected.items():
+            assert result.reliable_counts[name][k] == count
+
+
+def test_run_batch_validates_arguments():
+    spec = three_tank_spec()
+    arch = three_tank_architecture()
+    batch = BatchSimulator(spec, arch, scenario1_implementation())
+    with pytest.raises(RuntimeSimulationError):
+        batch.run_batch(0, 10)
+    with pytest.raises(RuntimeSimulationError):
+        batch.run_batch(4, 0)
+
+
+# ----------------------------------------------------------------------
+# BatchResult surface.
+# ----------------------------------------------------------------------
+
+
+def test_batch_result_statistics_surface():
+    spec = three_tank_spec()
+    arch = three_tank_architecture()
+    batch = BatchSimulator(
+        spec, arch, scenario1_implementation(),
+        faults=BernoulliFaults(arch), seed=11,
+    )
+    result = batch.run_batch(8, 100)
+
+    averages = result.limit_averages()
+    estimates = result.srg_estimates()
+    pooled = result.pooled_counts()
+    for name in spec.communicators:
+        samples = result.samples_per_run[name]
+        successes, total = pooled[name]
+        assert len(result.reliable_counts[name]) == 8
+        assert successes == int(result.reliable_counts[name].sum())
+        assert total == 8 * samples
+        assert averages[name] == pytest.approx(
+            result.reliable_counts[name] / samples
+        )
+        assert estimates[name] == pytest.approx(successes / total)
+        assert 0.0 <= estimates[name] <= 1.0
+
+    tests = result.lrc_tests()
+    assert set(tests) == set(spec.communicators)
+    assert result.satisfies_lrcs(slack=0.02)
+    assert "8 runs x 100 iterations" in result.summary()
