@@ -9,6 +9,7 @@ fail during the execution of one task invocation.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from numbers import Real
 
 from repro.errors import ArchitectureError
 
@@ -22,8 +23,9 @@ class Host:
     name:
         Unique host name.
     reliability:
-        ``hrel(h) in (0, 1]``: probability that one task invocation on
-        this host completes (the host does not fail during it).
+        ``hrel(h) in [0, 1]``: probability that one task invocation on
+        this host completes (the host does not fail during it).  A
+        reliability of ``0`` models a host that is permanently down.
     """
 
     name: str
@@ -32,10 +34,11 @@ class Host:
     def __post_init__(self) -> None:
         if not self.name:
             raise ArchitectureError("host name must be non-empty")
-        if not 0.0 < self.reliability <= 1.0:
+        rel = self.reliability
+        if not isinstance(rel, Real) or not 0.0 <= rel <= 1.0:
             raise ArchitectureError(
-                f"host {self.name!r}: reliability must lie in (0, 1], "
-                f"got {self.reliability!r}"
+                f"host {self.name!r}: reliability must be a number in "
+                f"[0, 1], got {self.reliability!r}"
             )
 
     def failure_probability(self) -> float:

@@ -11,6 +11,7 @@ replication's contribution becomes unreliable).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from numbers import Real
 
 from repro.errors import ArchitectureError
 
@@ -22,7 +23,7 @@ class BroadcastNetwork:
     Parameters
     ----------
     reliability:
-        Probability in ``(0, 1]`` that one broadcast is delivered to
+        Probability in ``[0, 1]`` that one broadcast is delivered to
         all hosts.  The default ``1.0`` is the paper's assumption.
     bandwidth:
         Number of simultaneous broadcasts the medium carries; ``1``
@@ -34,9 +35,10 @@ class BroadcastNetwork:
     bandwidth: int = 1
 
     def __post_init__(self) -> None:
-        if not 0.0 < self.reliability <= 1.0:
+        rel = self.reliability
+        if not isinstance(rel, Real) or not 0.0 <= rel <= 1.0:
             raise ArchitectureError(
-                f"network reliability must lie in (0, 1], "
+                f"network reliability must be a number in [0, 1], "
                 f"got {self.reliability!r}"
             )
         if self.bandwidth < 1:

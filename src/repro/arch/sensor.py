@@ -9,6 +9,7 @@ periodic update succeeds.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from numbers import Real
 
 from repro.errors import ArchitectureError
 
@@ -22,8 +23,9 @@ class Sensor:
     name:
         Unique sensor name.
     reliability:
-        ``srel(s) in (0, 1]``: probability that one periodic update of
-        the bound input communicator delivers a reliable value.
+        ``srel(s) in [0, 1]``: probability that one periodic update of
+        the bound input communicator delivers a reliable value.  A
+        reliability of ``0`` models a sensor that never delivers.
     """
 
     name: str
@@ -32,10 +34,11 @@ class Sensor:
     def __post_init__(self) -> None:
         if not self.name:
             raise ArchitectureError("sensor name must be non-empty")
-        if not 0.0 < self.reliability <= 1.0:
+        rel = self.reliability
+        if not isinstance(rel, Real) or not 0.0 <= rel <= 1.0:
             raise ArchitectureError(
-                f"sensor {self.name!r}: reliability must lie in (0, 1], "
-                f"got {self.reliability!r}"
+                f"sensor {self.name!r}: reliability must be a number in "
+                f"[0, 1], got {self.reliability!r}"
             )
 
     def failure_probability(self) -> float:

@@ -268,6 +268,41 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0 if check_validity(spec, arch, implementation).valid else 1
 
 
+def _build_recovery_policies(args: argparse.Namespace) -> list:
+    """Resolve ``--recover`` into recovery policy instances."""
+    from repro.resilience import DegradePolicy, ReReplicatePolicy
+
+    policies: list = []
+    for name in args.recover or []:
+        if name == "re-replicate":
+            policies.append(ReReplicatePolicy())
+        else:  # degrade (choices enforced by argparse)
+            if not args.degrade_impl:
+                raise ReproError(
+                    "--recover degrade needs --degrade-impl (the "
+                    "declared safe-mode implementation JSON)"
+                )
+            policies.append(
+                DegradePolicy(
+                    implementation_from_dict(
+                        load_json(args.degrade_impl)
+                    )
+                )
+            )
+    return policies
+
+
+def _write_events(events, path: "str | None") -> None:
+    """Write resilience events as JSONL to *path* (when given)."""
+    from repro.resilience import write_jsonl
+
+    if not path:
+        return
+    with open(path, "w", encoding="utf-8") as handle:
+        count = write_jsonl(events, handle)
+    print(f"wrote {count} events to {path}")
+
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
     functions, conditions = _load_bindings(args.bindings)
     spec = _load_specification(args, functions, conditions)
@@ -296,6 +331,73 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         faults = CompositeFaults(injectors)
 
     srgs = communicator_srgs(spec, implementation, arch)
+    monitor_config = None
+    if args.monitor or args.recover:
+        from repro.resilience import MonitorConfig
+
+        monitor_config = MonitorConfig(window=args.monitor_window)
+
+    if args.recover:
+        # The detect->decide->recover loop runs on the scalar
+        # resilient executive (one run, or looped over spawned seeds).
+        from repro.resilience import (
+            ResilientSimulator,
+            WatchdogConfig,
+            resilient_batch,
+        )
+
+        policies = _build_recovery_policies(args)
+        watchdog = WatchdogConfig()
+        if args.runs > 1:
+            batch_result = resilient_batch(
+                spec,
+                arch,
+                implementation,
+                args.runs,
+                args.iterations,
+                seed=args.seed,
+                faults=faults,
+                monitor=monitor_config,
+                watchdog=watchdog,
+                policies=policies,
+            )
+            recovering = int((batch_result.recovery_counts > 0).sum())
+            print(
+                f"resilient batch of {args.runs} runs x "
+                f"{args.iterations} iterations "
+                f"({len(batch_result.events)} events, recovery in "
+                f"{recovering} runs)"
+            )
+            averages = batch_result.limit_averages()
+            ok = True
+            for name in sorted(spec.communicators):
+                mean = float(averages[name].mean())
+                lrc = spec.communicators[name].lrc
+                mark = "ok " if mean >= lrc - args.slack else "LOW"
+                ok = ok and mean >= lrc - args.slack
+                print(
+                    f"  [{mark}] {name}: mean observed {mean:.6f} "
+                    f"(LRC {lrc:.6f})"
+                )
+            _write_events(batch_result.events, args.events)
+            return 0 if ok else 1
+        resilient = ResilientSimulator(
+            spec,
+            arch,
+            implementation,
+            faults=faults,
+            seed=args.seed,
+            monitor=monitor_config,
+            watchdog=watchdog,
+            policies=policies,
+        )
+        result = resilient.run(args.iterations)
+        print(result.summary())
+        for event in result.events:
+            print(f"  event: {json.dumps(event.to_dict())}")
+        _write_events(result.events, args.events)
+        return 0 if result.satisfies_lrcs(slack=args.slack) else 1
+
     if args.runs > 1:
         # Batched Monte-Carlo: runs x iterations periods through the
         # vectorized executor (per-run seeds spawned from --seed).
@@ -304,7 +406,9 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         batch = BatchSimulator(
             spec, arch, implementation, faults=faults, seed=args.seed
         )
-        batch_result = batch.run_batch(args.runs, args.iterations)
+        batch_result = batch.run_batch(
+            args.runs, args.iterations, monitor=monitor_config
+        )
         print(batch_result.summary())
         estimates = batch_result.srg_estimates()
         print("\nobserved vs analytic SRG:")
@@ -313,10 +417,22 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
                 f"  {name}: observed {estimates[name]:.6f}  "
                 f"SRG {srgs[name]:.6f}"
             )
+        if monitor_config is not None:
+            print(
+                f"\nonline monitor: {len(batch_result.monitor_events)} "
+                f"alarm/clear events across {args.runs} runs"
+            )
+            _write_events(batch_result.monitor_events, args.events)
         return 0 if batch_result.satisfies_lrcs(slack=args.slack) else 1
 
+    monitor = None
+    if monitor_config is not None:
+        from repro.resilience import LrcMonitor
+
+        monitor = LrcMonitor(spec, monitor_config)
     simulator = Simulator(
-        spec, arch, implementation, faults=faults, seed=args.seed
+        spec, arch, implementation, faults=faults, seed=args.seed,
+        monitor=monitor,
     )
     result = simulator.run(args.iterations)
     print(result.summary())
@@ -327,6 +443,10 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             f"  {name}: observed {averages[name]:.6f}  "
             f"SRG {srgs[name]:.6f}"
         )
+    if monitor is not None:
+        for event in monitor.events:
+            print(f"  event: {json.dumps(event.to_dict())}")
+        _write_events(monitor.events, args.events)
     return 0 if result.satisfies_lrcs(slack=args.slack) else 1
 
 
@@ -456,6 +576,29 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument(
         "--unplug", action="append", metavar="HOST:TIME",
         help="take HOST down permanently at TIME (repeatable)",
+    )
+    simulate.add_argument(
+        "--monitor", action="store_true",
+        help="attach the online LRC monitor (alarm/clear events)",
+    )
+    simulate.add_argument(
+        "--monitor-window", type=int, default=50,
+        help="sliding-window length of the online monitor (accesses)",
+    )
+    simulate.add_argument(
+        "--recover", action="append",
+        choices=("re-replicate", "degrade"), metavar="POLICY",
+        help="run the resilient executive with this recovery policy "
+        "(repeatable; consulted in order; implies --monitor)",
+    )
+    simulate.add_argument(
+        "--degrade-impl",
+        help="declared safe-mode implementation JSON for "
+        "--recover degrade",
+    )
+    simulate.add_argument(
+        "--events", metavar="FILE",
+        help="write the resilience event stream to FILE as JSONL",
     )
     simulate.set_defaults(handler=_cmd_simulate)
 

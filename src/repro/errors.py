@@ -22,10 +22,13 @@ class SpecificationError(ReproError):
     communicators."""
 
 
-class ArchitectureError(ReproError):
+class ArchitectureError(ReproError, ValueError):
     """An architecture description is inconsistent: reliabilities
-    outside ``(0, 1]``, missing WCET/WCTT entries, duplicate host or
-    sensor names."""
+    outside ``[0, 1]`` (or not numbers at all), missing WCET/WCTT
+    entries, duplicate host or sensor names.
+
+    Also a :class:`ValueError`, since it reports an invalid
+    construction-time value."""
 
 
 class MappingError(ReproError):

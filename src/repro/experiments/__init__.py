@@ -18,10 +18,12 @@ from repro.experiments.fig1 import fig1_specification
 from repro.experiments.three_tank_system import (
     ACTUATORS,
     SETPOINT,
+    DetectAndRecoverOutcome,
     ThreeTankEnvironment,
     baseline_implementation,
     bind_control_functions,
     closed_loop_simulator,
+    detect_and_recover,
     monte_carlo_simulator,
     scenario1_implementation,
     scenario2_implementation,
@@ -74,8 +76,10 @@ __all__ = [
     "brake_by_wire_spec",
     "brake_closed_loop",
     "brake_replicated_implementation",
+    "DetectAndRecoverOutcome",
     "ThreeTankEnvironment",
     "closed_loop_simulator",
+    "detect_and_recover",
     "alternating_implementation",
     "baseline_implementation",
     "bind_control_functions",

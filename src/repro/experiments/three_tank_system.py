@@ -342,6 +342,180 @@ def unplug_monte_carlo(
     return simulator.run_batch(runs, iterations)
 
 
+@dataclass
+class DetectAndRecoverOutcome:
+    """Everything the detect-and-recover experiment reports.
+
+    ``recovered`` ran with the recovery policies enabled, ``baseline``
+    with detection only (same seed, same faults) — the no-recovery
+    control arm.  Latencies are in control periods.
+    """
+
+    victim: str
+    unplug_at: int
+    recovered: Any
+    baseline: Any
+    detection_time: "int | None"
+    detection_latency_periods: "float | None"
+    violation_windows: dict[str, list[tuple[int, "int | None"]]]
+    baseline_windows: dict[str, list[tuple[int, "int | None"]]]
+
+    def violation_length(self, communicator: str) -> "int | None":
+        """Total closed violation time of *communicator*, recovered arm.
+
+        ``None`` when a violation window never closed (recovery did
+        not restore compliance within the run).
+        """
+        total = 0
+        for start, end in self.violation_windows.get(communicator, []):
+            if end is None:
+                return None
+            total += end - start
+        return total
+
+    def summary(self) -> str:
+        """Return a human-readable report of both arms."""
+        lines = [
+            f"detect-and-recover: unplug {self.victim} at "
+            f"t={self.unplug_at} ms"
+        ]
+        if self.detection_time is None:
+            lines.append("  detection: MISSED")
+        else:
+            lines.append(
+                f"  detected dead at t={self.detection_time} ms "
+                f"({self.detection_latency_periods:.1f} control periods)"
+            )
+        for name in sorted(self.violation_windows):
+            length = self.violation_length(name)
+            windows = self.violation_windows[name]
+            state = (
+                "never violated"
+                if not windows
+                else "violation never cleared"
+                if length is None
+                else f"violated for {length} ms"
+            )
+            rate = self.recovered.windowed_rate(name)
+            tail = f", final windowed rate {rate:.4f}" if rate is not None else ""
+            lines.append(f"  [recover] {name}: {state}{tail}")
+        for name in sorted(self.baseline_windows):
+            rate = self.baseline.windowed_rate(name)
+            open_violation = any(
+                end is None for _, end in self.baseline_windows[name]
+            )
+            state = (
+                "violation never cleared" if open_violation else "recovered"
+            )
+            tail = f", final windowed rate {rate:.4f}" if rate is not None else ""
+            lines.append(f"  [baseline] {name}: {state}{tail}")
+        return "\n".join(lines)
+
+
+def detect_and_recover(
+    implementation: Implementation | None = None,
+    victim: str = "h2",
+    unplug_at: int = 5000,
+    iterations: int = 40,
+    seed: int = 99,
+    lrc_u: float = 0.99,
+    bernoulli: bool = False,
+    monitor: Any = None,
+    watchdog: Any = None,
+    policies: Any = None,
+    max_replicas: "int | None" = None,
+) -> DetectAndRecoverOutcome:
+    """The closed detect→decide→recover loop on the 3TS unplug scenario.
+
+    Extends the pull-the-plug experiment (E5): *victim* goes down
+    permanently at *unplug_at* while the online LRC monitor watches
+    ``u1``/``u2`` and the watchdog listens for missing broadcasts.
+    Once the victim is declared dead (with the default watchdog,
+    within 3 control periods), the re-replication policy maps its
+    replicas onto the surviving hosts — committed only after the
+    recomputed SRGs satisfy every LRC — and the run continues under
+    the repaired mapping.  A second run with recovery disabled (same
+    seed, same faults) is the no-recovery baseline.
+
+    With *bernoulli* the per-invocation 0.999 Bernoulli faults are
+    layered on top of the outage, as in the paper's E5; the default
+    runs the pure scripted outage, which makes every reported number
+    deterministic.
+    """
+    from repro.resilience import (
+        MonitorConfig,
+        ReReplicatePolicy,
+        ResilientSimulator,
+        WatchdogConfig,
+    )
+    from repro.runtime.faults import (
+        BernoulliFaults,
+        CompositeFaults,
+        ScriptedFaults,
+    )
+
+    implementation = implementation or baseline_implementation()
+    monitor = monitor or MonitorConfig(
+        window=50, communicators=("u1", "u2")
+    )
+    watchdog = watchdog or WatchdogConfig()
+    if policies is None:
+        policies = (ReReplicatePolicy(max_replicas=max_replicas),)
+    arch = three_tank_architecture()
+
+    def build_faults() -> Any:
+        scripted = ScriptedFaults(
+            host_outages={victim: [(unplug_at, None)]}
+        )
+        if not bernoulli:
+            return scripted
+        return CompositeFaults([scripted, BernoulliFaults(arch)])
+
+    def run(with_policies: Any) -> Any:
+        spec = three_tank_spec(
+            lrc_u=lrc_u, functions=bind_control_functions()
+        )
+        simulator = ResilientSimulator(
+            spec,
+            arch,
+            implementation,
+            environment=ThreeTankEnvironment(),
+            faults=build_faults(),
+            actuator_communicators=ACTUATORS,
+            seed=seed,
+            monitor=monitor,
+            watchdog=watchdog,
+            policies=with_policies,
+        )
+        return simulator.run(iterations)
+
+    recovered = run(policies)
+    baseline = run(())
+    detection_time = recovered.detection_time(victim)
+    latency = (
+        None
+        if detection_time is None
+        else (detection_time - unplug_at) / CONTROL_PERIOD_MS
+    )
+    watched = monitor.communicators or tuple(
+        sorted(recovered.spec.communicators)
+    )
+    return DetectAndRecoverOutcome(
+        victim=victim,
+        unplug_at=unplug_at,
+        recovered=recovered,
+        baseline=baseline,
+        detection_time=detection_time,
+        detection_latency_periods=latency,
+        violation_windows={
+            name: recovered.violation_windows(name) for name in watched
+        },
+        baseline_windows={
+            name: baseline.violation_windows(name) for name in watched
+        },
+    )
+
+
 def closed_loop_simulator(
     implementation: Implementation,
     faults: Any = None,

@@ -1,0 +1,78 @@
+"""Fault-tolerant runtime: monitoring, failure detection, recovery.
+
+The offline story of the paper — compute SRGs, check Proposition 1,
+synthesize replication — assumes the fault model holds forever.  This
+package closes the loop *online*: an LRC monitor watches windowed
+reliable-write rates while the system runs, a watchdog turns broadcast
+silence into host-failure verdicts, and recovery policies re-replicate
+onto the survivors or degrade to a declared safe configuration — each
+recovery verified against recomputed SRGs before it is committed.
+"""
+
+from repro.resilience.detector import (
+    HostFailureDetector,
+    HostStatus,
+    WatchdogConfig,
+)
+from repro.resilience.events import (
+    HostDead,
+    HostRecovered,
+    HostSuspected,
+    LrcAlarm,
+    LrcClear,
+    RecoveryCommitted,
+    RecoveryFailed,
+    ResilienceEvent,
+    events_to_jsonl,
+    write_jsonl,
+)
+from repro.resilience.executive import (
+    ResilientBatchResult,
+    ResilientResult,
+    ResilientSimulator,
+    resilient_batch,
+)
+from repro.resilience.monitor import (
+    LrcMonitor,
+    MonitorConfig,
+    batch_monitor_events,
+    sliding_window_counts,
+)
+from repro.resilience.policies import (
+    DegradePolicy,
+    RecoveryContext,
+    RecoveryOutcome,
+    RecoveryPolicy,
+    ReReplicatePolicy,
+    first_applicable,
+)
+
+__all__ = [
+    "DegradePolicy",
+    "HostDead",
+    "HostFailureDetector",
+    "HostRecovered",
+    "HostStatus",
+    "HostSuspected",
+    "LrcAlarm",
+    "LrcClear",
+    "LrcMonitor",
+    "MonitorConfig",
+    "RecoveryCommitted",
+    "RecoveryContext",
+    "RecoveryFailed",
+    "RecoveryOutcome",
+    "RecoveryPolicy",
+    "ReReplicatePolicy",
+    "ResilienceEvent",
+    "ResilientBatchResult",
+    "ResilientResult",
+    "ResilientSimulator",
+    "WatchdogConfig",
+    "batch_monitor_events",
+    "events_to_jsonl",
+    "first_applicable",
+    "resilient_batch",
+    "sliding_window_counts",
+    "write_jsonl",
+]

@@ -1,0 +1,193 @@
+"""The host-failure watchdog.
+
+Fail-silent hosts never announce their death — they just stop
+broadcasting.  The only failure signal available on an atomic
+broadcast network is therefore *absence*: a host whose task
+replications contribute nothing, control period after control period,
+is either dead or extraordinarily unlucky.  The watchdog turns that
+absence into typed events with a three-state hysteresis:
+
+``alive`` --(``suspect_after`` consecutive misses)--> ``suspected``
+--(``confirm_after`` further misses)--> ``dead``; any streak of
+``readmit_after`` consecutive heard broadcasts re-admits the host
+(``HostRecovered``), so a transient burst of bad luck under Bernoulli
+faults does not trigger recovery.  With the defaults (2 + 1 misses)
+a host is declared dead within 3 control periods of an outage while a
+0.999-reliable host is falsely declared dead with probability
+~1e-9 per period.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.errors import RuntimeSimulationError
+from repro.resilience.events import (
+    HostDead,
+    HostRecovered,
+    HostSuspected,
+    ResilienceEvent,
+)
+
+
+class HostStatus(enum.Enum):
+    """Watchdog verdict about one host."""
+
+    ALIVE = "alive"
+    SUSPECTED = "suspected"
+    DEAD = "dead"
+
+
+@dataclass(frozen=True)
+class WatchdogConfig:
+    """Configuration of the host-failure watchdog.
+
+    Parameters
+    ----------
+    suspect_after:
+        Consecutive missed broadcasts before a host is *suspected*.
+    confirm_after:
+        Further consecutive misses (the confirmation window) before a
+        suspected host is declared *dead*; detection therefore takes
+        ``suspect_after + confirm_after`` control periods.
+    readmit_after:
+        Consecutive heard broadcasts before a suspected or dead host
+        is re-admitted as alive.
+    """
+
+    suspect_after: int = 2
+    confirm_after: int = 1
+    readmit_after: int = 2
+
+    def __post_init__(self) -> None:
+        for label, value in (
+            ("suspect_after", self.suspect_after),
+            ("confirm_after", self.confirm_after),
+            ("readmit_after", self.readmit_after),
+        ):
+            if value < 1:
+                raise RuntimeSimulationError(
+                    f"watchdog {label} must be >= 1, got {value}"
+                )
+
+    @property
+    def detection_periods(self) -> int:
+        """Control periods from outage start to the ``HostDead`` event."""
+        return self.suspect_after + self.confirm_after
+
+
+@dataclass
+class _HostState:
+    status: HostStatus = HostStatus.ALIVE
+    missed: int = 0
+    heard: int = 0
+
+
+class HostFailureDetector:
+    """Stateful watchdog over a set of hosts.
+
+    One :meth:`observe` call per host per control period, reporting
+    whether any broadcast of the host was heard in that period.
+    Events are appended to :attr:`events` (or the shared *sink*).
+    """
+
+    def __init__(
+        self,
+        hosts: Iterable[str],
+        config: WatchdogConfig | None = None,
+        sink: "list[ResilienceEvent] | None" = None,
+    ) -> None:
+        self.config = config or WatchdogConfig()
+        self.events: list[ResilienceEvent] = (
+            sink if sink is not None else []
+        )
+        self._states: dict[str, _HostState] = {
+            host: _HostState() for host in sorted(hosts)
+        }
+        if not self._states:
+            raise RuntimeSimulationError(
+                "the watchdog needs at least one host to watch"
+            )
+
+    # ------------------------------------------------------------------
+
+    def observe(
+        self,
+        host: str,
+        time: int,
+        heard: bool,
+        run: "int | None" = None,
+    ) -> None:
+        """Feed one period's broadcast observation for *host*."""
+        state = self._states.get(host)
+        if state is None:
+            raise RuntimeSimulationError(
+                f"watchdog does not watch host {host!r}"
+            )
+        config = self.config
+        if heard:
+            state.heard += 1
+            state.missed = 0
+            if (
+                state.status is not HostStatus.ALIVE
+                and state.heard >= config.readmit_after
+            ):
+                state.status = HostStatus.ALIVE
+                self.events.append(
+                    HostRecovered(
+                        time=time, run=run, host=host, heard=state.heard
+                    )
+                )
+            return
+        state.missed += 1
+        state.heard = 0
+        if (
+            state.status is HostStatus.ALIVE
+            and state.missed >= config.suspect_after
+        ):
+            state.status = HostStatus.SUSPECTED
+            self.events.append(
+                HostSuspected(
+                    time=time, run=run, host=host, missed=state.missed
+                )
+            )
+        elif (
+            state.status is HostStatus.SUSPECTED
+            and state.missed
+            >= config.suspect_after + config.confirm_after
+        ):
+            state.status = HostStatus.DEAD
+            self.events.append(
+                HostDead(
+                    time=time, run=run, host=host, missed=state.missed
+                )
+            )
+
+    # ------------------------------------------------------------------
+
+    def status(self, host: str) -> HostStatus:
+        """Return the watchdog's current verdict about *host*."""
+        try:
+            return self._states[host].status
+        except KeyError:
+            raise RuntimeSimulationError(
+                f"watchdog does not watch host {host!r}"
+            ) from None
+
+    def dead_hosts(self) -> frozenset[str]:
+        """Return the hosts currently declared dead."""
+        return frozenset(
+            host
+            for host, state in self._states.items()
+            if state.status is HostStatus.DEAD
+        )
+
+    def suspected_hosts(self) -> frozenset[str]:
+        """Return the hosts currently suspected (not yet confirmed)."""
+        return frozenset(
+            host
+            for host, state in self._states.items()
+            if state.status is HostStatus.SUSPECTED
+        )

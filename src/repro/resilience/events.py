@@ -1,0 +1,139 @@
+"""Typed resilience events and their JSONL trace form.
+
+Every component of the resilience layer — the online LRC monitor, the
+host-failure watchdog, and the recovery executive — reports through
+one flat event stream.  Events are frozen dataclasses with a stable
+``kind`` discriminator and a ``to_dict`` form, so a trace can be
+written as JSON Lines and consumed by external tooling (one event per
+line, sorted by emission order).
+
+All times are simulation times in the specification's time unit
+(milliseconds for the paper's systems).  ``run`` is ``None`` for
+scalar simulations and the batch run index for monitored batches.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import IO, Iterable, Mapping
+
+
+@dataclass(frozen=True)
+class ResilienceEvent:
+    """Base class of every event on the resilience stream."""
+
+    time: int
+    run: "int | None" = field(default=None, kw_only=True)
+
+    #: Stable discriminator, overridden per subclass.
+    kind = "event"
+
+    def to_dict(self) -> dict:
+        """Return a JSON-serialisable dict with the ``kind`` tag."""
+        doc = {"kind": self.kind}
+        doc.update(asdict(self))
+        return doc
+
+
+@dataclass(frozen=True)
+class LrcAlarm(ResilienceEvent):
+    """The windowed reliable-write rate of a communicator fell below
+    its alarm threshold: the LRC is being violated *right now*."""
+
+    communicator: str = ""
+    rate: float = 0.0
+    threshold: float = 0.0
+    window: int = 0
+
+    kind = "lrc-alarm"
+
+
+@dataclass(frozen=True)
+class LrcClear(ResilienceEvent):
+    """A previously alarmed communicator recovered above its clear
+    threshold (alarm hysteresis keeps the stream from chattering)."""
+
+    communicator: str = ""
+    rate: float = 0.0
+    threshold: float = 0.0
+    window: int = 0
+
+    kind = "lrc-clear"
+
+
+@dataclass(frozen=True)
+class HostSuspected(ResilienceEvent):
+    """The watchdog missed ``missed`` consecutive broadcasts of a host
+    and now suspects it (not yet confirmed dead)."""
+
+    host: str = ""
+    missed: int = 0
+
+    kind = "host-suspected"
+
+
+@dataclass(frozen=True)
+class HostDead(ResilienceEvent):
+    """A suspected host stayed silent through the confirmation window
+    and is declared dead — recovery policies may now act on it."""
+
+    host: str = ""
+    missed: int = 0
+
+    kind = "host-dead"
+
+
+@dataclass(frozen=True)
+class HostRecovered(ResilienceEvent):
+    """A suspected or dead host resumed broadcasting for the
+    re-admission window and is considered alive again."""
+
+    host: str = ""
+    heard: int = 0
+
+    kind = "host-recovered"
+
+
+@dataclass(frozen=True)
+class RecoveryCommitted(ResilienceEvent):
+    """A recovery policy produced a verified new configuration and the
+    executive committed it at an iteration boundary.
+
+    ``srgs`` holds the recomputed per-communicator SRGs of the new
+    mapping — the certificate that ``lambda_c >= mu_c`` still holds
+    (or, for a degrade, holds against the declared reduced LRCs).
+    """
+
+    policy: str = ""
+    dead_hosts: tuple[str, ...] = ()
+    assignment: Mapping[str, tuple[str, ...]] = field(default_factory=dict)
+    srgs: Mapping[str, float] = field(default_factory=dict)
+
+    kind = "recovery-committed"
+
+
+@dataclass(frozen=True)
+class RecoveryFailed(ResilienceEvent):
+    """No recovery policy could produce a verified configuration; the
+    system keeps running in its (violating) current mapping."""
+
+    dead_hosts: tuple[str, ...] = ()
+    reason: str = ""
+
+    kind = "recovery-failed"
+
+
+def events_to_jsonl(events: Iterable[ResilienceEvent]) -> str:
+    """Render *events* as a JSON Lines trace (one event per line)."""
+    return "\n".join(json.dumps(event.to_dict()) for event in events)
+
+
+def write_jsonl(events: Iterable[ResilienceEvent], stream: IO[str]) -> int:
+    """Write *events* to *stream* as JSONL; returns the event count."""
+    count = 0
+    for event in events:
+        stream.write(json.dumps(event.to_dict()))
+        stream.write("\n")
+        count += 1
+    return count

@@ -1,0 +1,226 @@
+"""Recovery policies: what to do once a host is declared dead.
+
+A policy is consulted by the resilience executive at an iteration
+boundary with the full :class:`RecoveryContext` and either returns a
+*verified* new configuration — an implementation avoiding the dead
+hosts together with the reliability report certifying that the
+recomputed SRGs still meet every constraint — or ``None``, meaning
+the policy cannot help and the executive should try the next one.
+
+Two built-in policies cover the mixed-criticality reflex:
+
+* :class:`ReReplicatePolicy` first tries the minimal repair (drop the
+  dead hosts from every task's replica set and keep everything else),
+  and falls back to a full :func:`~repro.synthesis.replication.
+  synthesize_replication` run restricted to the surviving hosts.  In
+  both cases the new mapping is committed only if Proposition 1 holds
+  for it (``lambda_c >= mu_c`` for every communicator).
+* :class:`DegradePolicy` switches to a *declared* safe configuration
+  with explicitly reduced constraints — the rely/guarantee degrade of
+  mixed-criticality scheduling — for the case where no surviving
+  mapping can meet the original LRCs.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.arch.architecture import Architecture
+from repro.errors import SynthesisError
+from repro.mapping.implementation import Implementation
+from repro.model.specification import Specification
+from repro.reliability.analysis import (
+    CommunicatorVerdict,
+    ReliabilityReport,
+    check_reliability,
+)
+from repro.synthesis.replication import synthesize_replication
+
+
+@dataclass(frozen=True)
+class RecoveryContext:
+    """Everything a policy may base its decision on."""
+
+    spec: Specification
+    arch: Architecture
+    implementation: Implementation
+    dead_hosts: frozenset[str]
+    time: int
+
+    def surviving_architecture(self) -> "Architecture | None":
+        """Return *arch* restricted to the surviving hosts.
+
+        ``None`` when no host survives (nothing can be recovered).
+        """
+        survivors = [
+            host
+            for name, host in sorted(self.arch.hosts.items())
+            if name not in self.dead_hosts
+        ]
+        if not survivors:
+            return None
+        return Architecture(
+            hosts=survivors,
+            sensors=self.arch.sensors.values(),
+            metrics=self.arch.metrics,
+            network=self.arch.network,
+        )
+
+    def pruned_implementation(self) -> "Implementation | None":
+        """Return the current mapping with dead hosts dropped.
+
+        ``None`` when some task loses its entire replica set — the
+        minimal repair is then impossible and a policy must remap.
+        """
+        assignment: dict[str, frozenset[str]] = {}
+        for task, hosts in self.implementation.assignment.items():
+            alive = hosts - self.dead_hosts
+            if not alive:
+                return None
+            assignment[task] = alive
+        return Implementation(
+            assignment, self.implementation.sensor_binding
+        )
+
+
+@dataclass(frozen=True)
+class RecoveryOutcome:
+    """A verified configuration a policy proposes to commit.
+
+    ``report`` certifies the proposal: for a re-replication it is the
+    Proposition 1 check against the original LRCs; for a degrade it is
+    the check against the policy's declared reduced LRCs.
+    """
+
+    policy: str
+    implementation: Implementation
+    report: ReliabilityReport
+    degraded: bool = False
+
+
+class RecoveryPolicy(abc.ABC):
+    """Interface consulted by the resilience executive."""
+
+    #: Short name used in events and CLI flags.
+    name = "abstract"
+
+    @abc.abstractmethod
+    def recover(self, context: RecoveryContext) -> "RecoveryOutcome | None":
+        """Return a verified new configuration, or ``None`` to pass."""
+
+
+@dataclass(frozen=True)
+class ReReplicatePolicy(RecoveryPolicy):
+    """Re-map the dead hosts' replicas onto the surviving hosts.
+
+    Tries the minimal repair first (prune dead hosts, keep the rest of
+    the mapping untouched) and only falls back to a full replication
+    synthesis over the surviving architecture when pruning is
+    impossible or no longer reliable.  Either way the outcome is
+    committed only if the recomputed SRGs satisfy every LRC.
+    """
+
+    max_replicas: "int | None" = None
+    require_schedulable: bool = False
+    node_limit: int = 200_000
+
+    name = "re-replicate"
+
+    def recover(self, context: RecoveryContext) -> "RecoveryOutcome | None":
+        surviving = context.surviving_architecture()
+        if surviving is None:
+            return None
+        pruned = context.pruned_implementation()
+        if pruned is not None:
+            report = check_reliability(context.spec, surviving, pruned)
+            if report.reliable:
+                return RecoveryOutcome(
+                    policy=self.name,
+                    implementation=pruned,
+                    report=report,
+                )
+        try:
+            result = synthesize_replication(
+                context.spec,
+                surviving,
+                max_replicas=self.max_replicas,
+                require_schedulable=self.require_schedulable,
+                node_limit=self.node_limit,
+            )
+        except SynthesisError:
+            return None
+        if not result.reliability.reliable:
+            return None
+        return RecoveryOutcome(
+            policy=self.name,
+            implementation=result.implementation,
+            report=result.reliability,
+        )
+
+
+@dataclass(frozen=True)
+class DegradePolicy(RecoveryPolicy):
+    """Fall back to a declared safe/reduced configuration.
+
+    *implementation* is the declared degraded mapping (dead hosts are
+    pruned from it before use) and *lrcs* the reduced per-communicator
+    constraints whose guarantees the safe mode promises; communicators
+    not listed are unconstrained in degraded operation.  The policy
+    verifies the recomputed SRGs against those reduced constraints
+    before offering the switch — a degrade whose own guarantees do not
+    hold is refused.
+    """
+
+    implementation: Implementation
+    lrcs: Mapping[str, float] = field(default_factory=dict)
+
+    name = "degrade"
+
+    def recover(self, context: RecoveryContext) -> "RecoveryOutcome | None":
+        surviving = context.surviving_architecture()
+        if surviving is None:
+            return None
+        assignment: dict[str, frozenset[str]] = {}
+        for task, hosts in self.implementation.assignment.items():
+            alive = hosts - context.dead_hosts
+            if not alive:
+                return None
+            assignment[task] = alive
+        degraded = Implementation(
+            assignment, self.implementation.sensor_binding
+        )
+        base = check_reliability(context.spec, surviving, degraded)
+        verdicts = tuple(
+            CommunicatorVerdict(
+                communicator=v.communicator,
+                srg=v.srg,
+                lrc=self.lrcs.get(v.communicator, 0.0),
+            )
+            for v in base.verdicts
+        )
+        report = ReliabilityReport(
+            verdicts=verdicts,
+            memory_free=base.memory_free,
+            unsafe_cycles=base.unsafe_cycles,
+        )
+        if not report.reliable:
+            return None
+        return RecoveryOutcome(
+            policy=self.name,
+            implementation=degraded,
+            report=report,
+            degraded=True,
+        )
+
+
+def first_applicable(
+    policies: Sequence[RecoveryPolicy], context: RecoveryContext
+) -> "RecoveryOutcome | None":
+    """Consult *policies* in order; return the first verified outcome."""
+    for policy in policies:
+        outcome = policy.recover(context)
+        if outcome is not None:
+            return outcome
+    return None

@@ -6,14 +6,19 @@ replications of every communicator, executing task replications under
 the LET model — inputs are snapshot at each port's instance time,
 outputs are broadcast on completion and *voted* into the communicator
 replications at the write time.  Fault injection covers transient
-per-invocation Bernoulli failures (matching ``hrel``/``srel``), and
-scripted outages (the paper's pull-the-plug experiment).
+per-invocation Bernoulli failures (matching ``hrel``/``srel``), scripted outages
+(the paper's pull-the-plug experiment), bursty correlated faults
+(Gilbert–Elliott channels), and crash-with-repair host lifecycles
+(exponential MTTF/MTTR).
 """
 
 from repro.runtime.faults import (
     BernoulliFaults,
     CompositeFaults,
+    CrashRepairFaults,
     FaultInjector,
+    GilbertElliottChannel,
+    GilbertElliottFaults,
     NoFaults,
     PrecomputedFaults,
     ScriptedFaults,
@@ -39,8 +44,11 @@ __all__ = [
     "CallbackEnvironment",
     "CompositeFaults",
     "ConstantEnvironment",
+    "CrashRepairFaults",
     "Environment",
     "FaultInjector",
+    "GilbertElliottChannel",
+    "GilbertElliottFaults",
     "NoFaults",
     "PrecomputedFaults",
     "ScriptedFaults",

@@ -34,8 +34,8 @@ additionally requires task functions to be bound.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Mapping, Sequence
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Mapping, Sequence
 
 import numpy as np
 
@@ -49,6 +49,10 @@ from repro.runtime.environment import Environment
 from repro.runtime.faults import FaultInjector, NoFaults, PrecomputedFaults
 from repro.runtime.plan import PortSlot, SimulationPlan, compile_plan
 
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.resilience.events import ResilienceEvent
+    from repro.resilience.monitor import MonitorConfig
+
 
 @dataclass
 class BatchResult:
@@ -59,7 +63,10 @@ class BatchResult:
     ``SimulationResult.abstract()[c].reliable_count()`` of the
     equivalent scalar run.  ``samples_per_run[c]`` is the common
     number of accesses per run (iterations times accesses per
-    period).
+    period).  ``monitor_events`` holds the online monitor's alarm and
+    clear events (empty unless a monitor config was passed), each
+    tagged with its batch run index — per run and per communicator
+    exactly the events the scalar monitor would emit.
     """
 
     spec: Specification
@@ -68,6 +75,11 @@ class BatchResult:
     reliable_counts: dict[str, np.ndarray]
     samples_per_run: dict[str, int]
     executor: str  # "vectorized" | "scalar-fallback"
+    monitor_events: "tuple[ResilienceEvent, ...]" = field(default=())
+
+    def monitor_events_for_run(self, run: int) -> "list[ResilienceEvent]":
+        """Return run *run*'s monitor events, in emission order."""
+        return [e for e in self.monitor_events if e.run == run]
 
     def limit_averages(self) -> dict[str, np.ndarray]:
         """Return the per-run reliable fraction per communicator."""
@@ -183,6 +195,7 @@ class BatchSimulator:
         runs: int,
         iterations: int,
         seed: "int | None" = None,
+        monitor: "MonitorConfig | None" = None,
     ) -> BatchResult:
         """Execute *runs* independent simulations of *iterations* periods.
 
@@ -190,6 +203,12 @@ class BatchSimulator:
         run.  Vectorized whenever the plan and the injector allow it;
         otherwise loops the scalar simulator over the same spawned
         seeds (bit-identical counts either way).
+
+        With a *monitor* config, the online LRC monitor runs over
+        every batch run: vectorized as windowed counts over the
+        per-access status tensors (no per-run Python loop), or as one
+        scalar monitor per run on the fallback path.  The resulting
+        alarm/clear events land in ``BatchResult.monitor_events``.
         """
         if runs <= 0:
             raise RuntimeSimulationError(
@@ -211,8 +230,8 @@ class BatchSimulator:
         if masks is None:
             # A declining precompute may have consumed draws; the
             # fallback rebuilds every generator from its spawn key.
-            return self._run_scalar(children, iterations)
-        return self._run_vectorized(masks, runs, iterations)
+            return self._run_scalar(children, iterations, monitor)
+        return self._run_vectorized(masks, runs, iterations, monitor)
 
     # ------------------------------------------------------------------
 
@@ -221,6 +240,7 @@ class BatchSimulator:
         masks: PrecomputedFaults,
         runs: int,
         iterations: int,
+        monitor: "MonitorConfig | None" = None,
     ) -> BatchResult:
         plan = self.plan
         delivered = [
@@ -309,6 +329,11 @@ class BatchSimulator:
                     int(plan.init_reliable[ci]) * samples[name],
                     dtype=np.int64,
                 )
+        monitor_events: "tuple[ResilienceEvent, ...]" = ()
+        if monitor is not None:
+            monitor_events = self._monitor_events(
+                monitor, task_ok, delivered, runs, iterations
+            )
         return BatchResult(
             spec=self.spec,
             runs=runs,
@@ -316,7 +341,187 @@ class BatchSimulator:
             reliable_counts=counts,
             samples_per_run=samples,
             executor="vectorized",
+            monitor_events=monitor_events,
         )
+
+    def _access_status(
+        self,
+        ci: int,
+        task_ok: "Sequence[np.ndarray | None]",
+        delivered: Sequence[np.ndarray],
+        runs: int,
+        iterations: int,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Per-access reliability of one communicator, in access order.
+
+        Returns ``(status, times)``: ``status[k, s]`` is the
+        reliability of access ``s`` of communicator ``ci`` in run
+        ``k`` — exactly the abstraction of the value the scalar
+        executor records (and feeds its monitor) at ``times[s]``.
+        Access ``s = i * n_acc + j`` happens at
+        ``i * period + j * pi_c``; a written communicator observes the
+        current iteration's write from offsets at or past the write
+        time and the previous iteration's write (or the initial value)
+        before it, while an input communicator observes its own
+        sensor event at every access offset.
+        """
+        plan = self.plan
+        pi = int(plan.comm_periods[ci])
+        n_acc = int(plan.accesses_per_period[ci])
+        status = np.empty((runs, n_acc * iterations), dtype=bool)
+        offsets = np.arange(0, plan.period, pi)
+        times = (
+            np.arange(iterations, dtype=np.int64)[:, None] * plan.period
+            + offsets[None, :]
+        ).ravel()
+        writer = int(plan.writer_event[ci])
+        if writer >= 0:
+            write_time = plan.releases[writer].write_time
+            ok = task_ok[writer]
+            assert ok is not None
+            shifted = np.empty_like(ok)
+            shifted[:, 0] = bool(plan.init_reliable[ci])
+            shifted[:, 1:] = ok[:, :-1]
+            for j, offset in enumerate(offsets):
+                status[:, j::n_acc] = (
+                    ok if offset >= write_time else shifted
+                )
+            return status, times
+        events = sorted(
+            (e for e in plan.sensor_events if e.comm_index == ci),
+            key=lambda e: e.offset,
+        )
+        if events:
+            for j, event in enumerate(events):
+                status[:, j::n_acc] = delivered[event.index]
+            return status, times
+        status[:, :] = bool(plan.init_reliable[ci])
+        return status, times
+
+    def _access_failures(
+        self,
+        ci: int,
+        task_ok: "Sequence[np.ndarray | None]",
+        delivered: Sequence[np.ndarray],
+        runs: int,
+        iterations: int,
+    ) -> tuple[np.ndarray, np.ndarray, int, np.ndarray]:
+        """Positions of the *unreliable* accesses of one communicator.
+
+        The sparse complement of :meth:`_access_status`: instead of the
+        full ``(runs, samples)`` status tensor it returns
+        ``(fail_runs, fail_steps, samples, times)`` where the paired
+        arrays list every access that observes BOTTOM, sorted by
+        ``(run, step)``.  Failures are rare, so this is what the
+        monitor pass works from.
+        """
+        plan = self.plan
+        pi = int(plan.comm_periods[ci])
+        n_acc = int(plan.accesses_per_period[ci])
+        samples = n_acc * iterations
+        offsets = np.arange(0, plan.period, pi)
+        times = (
+            np.arange(iterations, dtype=np.int64)[:, None] * plan.period
+            + offsets[None, :]
+        ).ravel()
+        parts_r: list[np.ndarray] = []
+        parts_s: list[np.ndarray] = []
+        writer = int(plan.writer_event[ci])
+        if writer >= 0:
+            write_time = plan.releases[writer].write_time
+            ok = task_ok[writer]
+            assert ok is not None
+            rows, iters = np.nonzero(~ok)
+            same_j = np.flatnonzero(offsets >= write_time)
+            prev_j = np.flatnonzero(offsets < write_time)
+            if same_j.size and rows.size:
+                parts_r.append(np.repeat(rows, same_j.size))
+                parts_s.append(
+                    (iters[:, None] * n_acc + same_j[None, :]).ravel()
+                )
+            if prev_j.size:
+                # Offsets before the write observe the previous
+                # iteration's task (or the initial value in iteration 0).
+                carry = iters + 1 < iterations
+                if rows.size and carry.any():
+                    parts_r.append(np.repeat(rows[carry], prev_j.size))
+                    parts_s.append(
+                        (
+                            (iters[carry] + 1)[:, None] * n_acc
+                            + prev_j[None, :]
+                        ).ravel()
+                    )
+                if not plan.init_reliable[ci]:
+                    parts_r.append(
+                        np.repeat(np.arange(runs), prev_j.size)
+                    )
+                    parts_s.append(np.tile(prev_j, runs))
+        else:
+            events = sorted(
+                (e for e in plan.sensor_events if e.comm_index == ci),
+                key=lambda e: e.offset,
+            )
+            if events:
+                for j, event in enumerate(events):
+                    rows, iters = np.nonzero(~delivered[event.index])
+                    if rows.size:
+                        parts_r.append(rows)
+                        parts_s.append(iters * n_acc + j)
+            elif not plan.init_reliable[ci]:
+                # Never written, never sensed, unreliable initial value:
+                # every access fails.
+                parts_r.append(
+                    np.repeat(np.arange(runs), samples)
+                )
+                parts_s.append(np.tile(np.arange(samples), runs))
+        if not parts_r:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty, samples, times
+        key = np.sort(
+            np.concatenate(parts_r).astype(np.int64) * samples
+            + np.concatenate(parts_s).astype(np.int64)
+        )
+        return key // samples, key % samples, samples, times
+
+    def _monitor_events(
+        self,
+        monitor: "MonitorConfig",
+        task_ok: "Sequence[np.ndarray | None]",
+        delivered: Sequence[np.ndarray],
+        runs: int,
+        iterations: int,
+    ) -> "tuple[ResilienceEvent, ...]":
+        """Vectorized online-monitor pass over the whole batch.
+
+        Works from sparse failure positions
+        (:meth:`_access_failures` + the failure-neighbourhood latch of
+        :func:`~repro.resilience.monitor.monitor_events_from_failures`)
+        so its cost tracks the number of failures, not
+        ``runs x samples``.
+        """
+        from repro.resilience.monitor import monitor_events_from_failures
+
+        plan = self.plan
+        thresholds = monitor.thresholds(self.spec)
+        events = []
+        for ci, name in enumerate(plan.comm_names):
+            if name not in thresholds:
+                continue
+            fail_runs, fail_steps, samples, times = self._access_failures(
+                ci, task_ok, delivered, runs, iterations
+            )
+            alarm, clear = thresholds[name]
+            events.extend(
+                monitor_events_from_failures(
+                    name, fail_runs, fail_steps, runs, samples, times,
+                    alarm, clear, monitor.window,
+                )
+            )
+        # Tie-break same-instant events the way the scalar engine emits
+        # them: communicators in specification declaration order.
+        order = {name: i for i, name in enumerate(self.spec.communicators)}
+        events.sort(key=lambda e: (e.run, e.time, order[e.communicator]))
+        return tuple(events)
 
     def _port_bits(
         self,
@@ -351,8 +556,11 @@ class BatchSimulator:
         self,
         children: Sequence[np.random.SeedSequence],
         iterations: int,
+        monitor: "MonitorConfig | None" = None,
     ) -> BatchResult:
         """Loop the scalar reference executor over the spawned seeds."""
+        import dataclasses
+
         from repro.runtime.engine import Simulator
 
         runs = len(children)
@@ -361,12 +569,18 @@ class BatchSimulator:
             for name in self.spec.communicators
         }
         samples: dict[str, int] = {}
+        monitor_events: "list[ResilienceEvent]" = []
         for k, child in enumerate(children):
             environment = (
                 self.environment_factory()
                 if self.environment_factory is not None
                 else None
             )
+            run_monitor = None
+            if monitor is not None:
+                from repro.resilience.monitor import LrcMonitor
+
+                run_monitor = LrcMonitor(self.spec, monitor)
             simulator = Simulator(
                 self.spec,
                 self.arch,
@@ -374,11 +588,17 @@ class BatchSimulator:
                 environment=environment,
                 faults=self.faults,
                 seed=np.random.default_rng(child),
+                monitor=run_monitor,
             )
             result = simulator.run(iterations)
             for name, trace in result.abstract().items():
                 counts[name][k] = trace.reliable_count()
                 samples[name] = len(trace)
+            if run_monitor is not None:
+                monitor_events.extend(
+                    dataclasses.replace(event, run=k)
+                    for event in run_monitor.events
+                )
         return BatchResult(
             spec=self.spec,
             runs=runs,
@@ -386,4 +606,5 @@ class BatchSimulator:
             reliable_counts=counts,
             samples_per_run=samples,
             executor="scalar-fallback",
+            monitor_events=tuple(monitor_events),
         )

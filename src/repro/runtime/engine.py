@@ -26,7 +26,7 @@ failure injection, which is where fail-silence bites.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Iterable, Mapping
+from typing import TYPE_CHECKING, Any, Iterable, Mapping
 
 import numpy as np
 
@@ -41,6 +41,9 @@ from repro.runtime.environment import ConstantEnvironment, Environment
 from repro.runtime.faults import FaultInjector, NoFaults
 from repro.runtime.plan import SimulationPlan, compile_plan
 from repro.runtime.voting import Voter, first_non_bottom
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.resilience.monitor import LrcMonitor
 
 
 @dataclass
@@ -141,6 +144,11 @@ class Simulator:
         ``np.random.default_rng(child_k)`` for spawn key ``k`` of
         ``np.random.SeedSequence(s).spawn(n)`` reproduces run ``k`` of
         ``BatchSimulator.run_batch(n, iterations, seed=s)`` exactly.
+    monitor:
+        Optional online :class:`~repro.resilience.monitor.LrcMonitor`
+        fed from the per-write hook: one ``observe`` call per
+        communicator access instant, right after the trace sample is
+        recorded, with ``reliable = value is not BOTTOM``.
     """
 
     def __init__(
@@ -153,6 +161,7 @@ class Simulator:
         voter: Voter = first_non_bottom,
         actuator_communicators: Iterable[str] | None = None,
         seed: "int | np.random.Generator" = 0,
+        monitor: "LrcMonitor | None" = None,
     ) -> None:
         self.spec = spec
         self.arch = arch
@@ -172,6 +181,7 @@ class Simulator:
             self.rng = seed
         else:
             self.rng = np.random.default_rng(seed)
+        self.monitor = monitor
         missing = sorted(
             t.name for t in spec.tasks.values() if t.function is None
         )
@@ -200,6 +210,7 @@ class Simulator:
         start_time: int = 0,
         initial_store: Mapping[str, Any] | None = None,
         flush_final_commits: bool = False,
+        reset_faults: bool = True,
     ) -> SimulationResult:
         """Execute *iterations* specification periods and record traces.
 
@@ -212,6 +223,11 @@ class Simulator:
         *flush_final_commits* performs the commits falling exactly on
         the final period boundary (which otherwise belong to the next
         run) so no task output is lost when the task set changes.
+        *reset_faults* controls the injector's
+        :meth:`~repro.runtime.faults.FaultInjector.begin_run` reset: a
+        chained executive passes ``False`` and calls ``begin_run``
+        itself once, with the full horizon, so stateful injectors span
+        the whole chained run.
         """
         if iterations <= 0:
             raise RuntimeSimulationError(
@@ -226,6 +242,9 @@ class Simulator:
                 f"specification period {period}"
             )
         horizon = start_time + iterations * period
+        if reset_faults:
+            self.faults.begin_run(self.rng, horizon)
+        monitor = self.monitor
 
         store: dict[str, Any] = (
             dict(initial_store)
@@ -285,10 +304,15 @@ class Simulator:
                 ]
                 store[name] = physical if not all(failed) else BOTTOM
 
-            # 3. Record the trace at every due access instant.
+            # 3. Record the trace at every due access instant; the
+            # online monitor sees exactly the recorded samples.
             for name, comm in spec.communicators.items():
                 if now % comm.period == 0:
                     values[name].append(store[name])
+                    if monitor is not None:
+                        monitor.observe(
+                            name, now, store[name] is not BOTTOM
+                        )
 
             # 4. Snapshot input ports whose instance time is due.
             for task_name, index, comm in self.snap_plan.get(offset, ()):

@@ -12,8 +12,21 @@ update, and broadcast; implementations:
 * :class:`ScriptedFaults` — deterministic outages over time intervals,
   e.g. *unplug host h2 from t = 5000 on* (the paper's 3TS
   fault-injection experiment);
+* :class:`GilbertElliottFaults` — bursty (correlated) failures from a
+  two-state good/bad Markov channel per host, sensor, or network;
+* :class:`CrashRepairFaults` — whole-host crash-with-repair cycles
+  with exponential MTTF/MTTR;
 * :class:`CompositeFaults` — union of several injectors (a replica
   fails if any component injector fails it).
+
+The correlated injectors break the i.i.d. assumption under which the
+analytic SRGs are proved — they exist to motivate the *online* LRC
+monitor in :mod:`repro.resilience`, which is the only thing that can
+tell whether a constraint is being met during a burst.  Stateful
+injectors reset their per-run state in :meth:`FaultInjector.begin_run`
+(called by :meth:`Simulator.run <repro.runtime.engine.Simulator.run>`
+before the first tick), keeping two runs with the same seed
+bit-identical.
 """
 
 from __future__ import annotations
@@ -106,6 +119,19 @@ def _empty_masks(
 
 class FaultInjector:
     """Interface queried by the simulator; default: nothing fails."""
+
+    def begin_run(
+        self, rng: np.random.Generator, horizon: int
+    ) -> None:
+        """Reset per-run state before the first tick of a run.
+
+        Called by the scalar simulator with its generator and the
+        run's end time.  Stateful injectors reset their chains here;
+        injectors that pre-draw a whole-run timeline (crash/repair)
+        consume *rng* here, **before** any per-query draw — the batch
+        ``precompute`` replays the same calls per run, which is what
+        keeps the seed contract intact.  The default does nothing.
+        """
 
     def replica_fails(
         self,
@@ -371,6 +397,387 @@ class ScriptedFaults(FaultInjector):
         return result
 
 
+@dataclass(frozen=True)
+class GilbertElliottChannel:
+    """Parameters of one two-state good/bad Markov failure channel.
+
+    In the *good* state a query fails with probability ``fail_good``
+    (usually ~0), in the *bad* state with ``fail_bad`` (usually ~1);
+    the state flips good→bad with probability ``good_to_bad`` and
+    bad→good with ``bad_to_good`` per query.  Small transition
+    probabilities give long bursts: the mean bad-burst length is
+    ``1 / bad_to_good`` queries.
+    """
+
+    good_to_bad: float
+    bad_to_good: float
+    fail_good: float = 0.0
+    fail_bad: float = 1.0
+    start_bad: bool = False
+
+    def __post_init__(self) -> None:
+        for label, value in (
+            ("good_to_bad", self.good_to_bad),
+            ("bad_to_good", self.bad_to_good),
+            ("fail_good", self.fail_good),
+            ("fail_bad", self.fail_bad),
+        ):
+            if not 0.0 <= value <= 1.0:
+                raise RuntimeSimulationError(
+                    f"Gilbert-Elliott {label} must lie in [0, 1], "
+                    f"got {value}"
+                )
+
+    def stationary_failure_rate(self) -> float:
+        """Long-run failure probability of the channel (for reference).
+
+        The stationary bad-state probability is
+        ``good_to_bad / (good_to_bad + bad_to_good)``; an i.i.d.
+        Bernoulli injector with this *average* rate satisfies the same
+        analytic SRG check, which is precisely why only the online
+        monitor distinguishes the two.
+        """
+        flips = self.good_to_bad + self.bad_to_good
+        bad = self.good_to_bad / flips if flips > 0.0 else float(
+            self.start_bad
+        )
+        return bad * self.fail_bad + (1.0 - bad) * self.fail_good
+
+
+class GilbertElliottFaults(FaultInjector):
+    """Bursty correlated failures: a Gilbert–Elliott channel per entity.
+
+    Each listed host, sensor, or the broadcast network carries its own
+    two-state Markov chain.  Every query of a modeled entity consumes
+    exactly two uniforms — the state-transition draw, then the failure
+    draw judged against the post-transition state — regardless of the
+    outcome, so the draw order stays canonical and :meth:`precompute`
+    can replay it vectorized over the run axis.  Queries of unmodeled
+    entities consume nothing and never fail.
+
+    Chains are per-run state: :meth:`begin_run` resets every chain to
+    its ``start_bad`` state, so equal seeds give equal runs.
+    """
+
+    def __init__(
+        self,
+        hosts: Mapping[str, GilbertElliottChannel] | None = None,
+        sensors: Mapping[str, GilbertElliottChannel] | None = None,
+        network: GilbertElliottChannel | None = None,
+    ) -> None:
+        self.hosts = dict(hosts or {})
+        self.sensors = dict(sensors or {})
+        self.network = network
+        self._bad: dict[tuple[str, str], bool] = {}
+        self._reset_chains()
+
+    def _reset_chains(self) -> None:
+        self._bad = {
+            ("host", name): channel.start_bad
+            for name, channel in self.hosts.items()
+        }
+        self._bad.update(
+            (("sensor", name), channel.start_bad)
+            for name, channel in self.sensors.items()
+        )
+        if self.network is not None:
+            self._bad[("network", "")] = self.network.start_bad
+
+    def begin_run(self, rng, horizon):
+        self._reset_chains()
+
+    def _step(
+        self,
+        key: tuple[str, str],
+        channel: GilbertElliottChannel,
+        rng: np.random.Generator,
+    ) -> bool:
+        bad = self._bad[key]
+        transition = rng.random()
+        if bad:
+            bad = transition >= channel.bad_to_good
+        else:
+            bad = transition < channel.good_to_bad
+        self._bad[key] = bad
+        failure = rng.random()
+        return failure < (
+            channel.fail_bad if bad else channel.fail_good
+        )
+
+    def replica_fails(self, task, host, iteration, release, deadline, rng):
+        channel = self.hosts.get(host)
+        if channel is None:
+            return False
+        return self._step(("host", host), channel, rng)
+
+    def sensor_fails(self, sensor, time, rng):
+        channel = self.sensors.get(sensor)
+        if channel is None:
+            return False
+        return self._step(("sensor", sensor), channel, rng)
+
+    def broadcast_fails(self, task, host, iteration, rng):
+        if self.network is None:
+            return False
+        return self._step(("network", ""), self.network, rng)
+
+    # -- batch support --------------------------------------------------
+
+    @staticmethod
+    def _phase_query_order(schedule) -> list[tuple[int, str, int, str]]:
+        """The canonical per-iteration query order of one phase.
+
+        The Bernoulli draw offsets in the :class:`DrawSchedule` encode
+        the order in which the scalar engine queries the injector
+        (offsets ascending); sorting the slots by offset recovers that
+        order independently of how many draws *this* injector takes
+        per query.
+        """
+        queries = [
+            (int(schedule.sensor_slot_offset[j]), "sensor", j, name)
+            for j, name in enumerate(schedule.sensor_slot_name)
+        ]
+        queries.extend(
+            (int(schedule.replica_slot_offset[j]), "replica", j, host)
+            for j, host in enumerate(schedule.replica_slot_host)
+        )
+        queries.sort()
+        return queries
+
+    @staticmethod
+    def _vector_step(
+        bad: np.ndarray,
+        channel: GilbertElliottChannel,
+        transition: np.ndarray,
+        failure: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """One chain step for every run at once (mirrors :meth:`_step`)."""
+        new_bad = np.where(
+            bad,
+            transition >= channel.bad_to_good,
+            transition < channel.good_to_bad,
+        )
+        fail = np.where(
+            new_bad,
+            failure < channel.fail_bad,
+            failure < channel.fail_good,
+        )
+        return new_bad, fail
+
+    def precompute(self, plan, runs, iterations, rngs):
+        """Replay every run's chain, vectorized over the run axis.
+
+        The chains are sequential in time but independent across runs,
+        so the scan loops over ``iterations x queries`` once with all
+        runs advanced per step — no per-run Python loop.  Each run's
+        stream is sampled in one shot and consumed at the same
+        positions the scalar engine would consume it draw by draw.
+        """
+        result = _empty_masks(plan, runs, iterations)
+        phase_queries = [
+            self._phase_query_order(schedule)
+            for schedule in plan.schedules
+        ]
+
+        def draws_per_iteration(queries) -> int:
+            draws = 0
+            for _, kind, _, name in queries:
+                if kind == "sensor":
+                    draws += 2 if name in self.sensors else 0
+                else:
+                    draws += 2 if name in self.hosts else 0
+                    draws += 2 if self.network is not None else 0
+            return draws
+
+        per_phase_draws = [draws_per_iteration(q) for q in phase_queries]
+        total = sum(
+            per_phase_draws[k % plan.n_phases] for k in range(iterations)
+        )
+        if total == 0:
+            return result
+        streams = np.stack([rngs[k].random(total) for k in range(runs)])
+        bad: dict[tuple[str, str], np.ndarray] = {}
+        for name, channel in self.hosts.items():
+            bad[("host", name)] = np.full(runs, channel.start_bad)
+        for name, channel in self.sensors.items():
+            bad[("sensor", name)] = np.full(runs, channel.start_bad)
+        if self.network is not None:
+            bad[("network", "")] = np.full(runs, self.network.start_bad)
+
+        position = 0
+        column = [0] * plan.n_phases
+        for iteration in range(iterations):
+            p = iteration % plan.n_phases
+            col = column[p]
+            column[p] += 1
+            for _, kind, j, name in phase_queries[p]:
+                if kind == "sensor":
+                    channel = self.sensors.get(name)
+                    if channel is None:
+                        continue
+                    key = ("sensor", name)
+                    bad[key], fail = self._vector_step(
+                        bad[key],
+                        channel,
+                        streams[:, position],
+                        streams[:, position + 1],
+                    )
+                    position += 2
+                    result.sensor_fail[p][:, j, col] = fail
+                    continue
+                channel = self.hosts.get(name)
+                fail = np.zeros(runs, dtype=bool)
+                if channel is not None:
+                    key = ("host", name)
+                    bad[key], fail = self._vector_step(
+                        bad[key],
+                        channel,
+                        streams[:, position],
+                        streams[:, position + 1],
+                    )
+                    position += 2
+                if self.network is not None:
+                    key = ("network", "")
+                    bad[key], broadcast = self._vector_step(
+                        bad[key],
+                        self.network,
+                        streams[:, position],
+                        streams[:, position + 1],
+                    )
+                    position += 2
+                    fail = fail | broadcast
+                result.replica_fail[p][:, j, col] = fail
+        return PrecomputedFaults(
+            stochastic=True,
+            sensor_fail=result.sensor_fail,
+            replica_fail=result.replica_fail,
+        )
+
+
+class CrashRepairFaults(FaultInjector):
+    """Whole-entity crash-with-repair cycles (exponential MTTF/MTTR).
+
+    Each listed host or sensor alternates exponentially distributed
+    up-times (mean ``mttf``) and down-times (mean ``mttr``).  The full
+    outage timeline of a run is drawn up front in :meth:`begin_run` —
+    entities in a fixed order (hosts name-sorted, then sensors
+    name-sorted), intervals chronologically — after which queries are
+    pure interval lookups with :class:`ScriptedFaults` edge semantics
+    (a replica fails when its host is down at any point of the
+    invocation window).  :meth:`precompute` replays exactly the same
+    exponential draws per run, so the batch path stays bit-identical
+    to the scalar executor on spawned seeds.
+    """
+
+    def __init__(
+        self,
+        hosts: Mapping[str, tuple[float, float]] | None = None,
+        sensors: Mapping[str, tuple[float, float]] | None = None,
+    ) -> None:
+        self.hosts = dict(hosts or {})
+        self.sensors = dict(sensors or {})
+        for label, table in (("host", self.hosts), ("sensor", self.sensors)):
+            for name, (mttf, mttr) in table.items():
+                if mttf <= 0.0 or mttr <= 0.0:
+                    raise RuntimeSimulationError(
+                        f"{label} {name!r}: MTTF/MTTR must be positive, "
+                        f"got ({mttf}, {mttr})"
+                    )
+        self._host_down: dict[str, list[tuple[float, float]]] = {}
+        self._sensor_down: dict[str, list[tuple[float, float]]] = {}
+
+    @staticmethod
+    def _draw_timeline(
+        rng: np.random.Generator, mttf: float, mttr: float, horizon: int
+    ) -> list[tuple[float, float]]:
+        intervals: list[tuple[float, float]] = []
+        now = 0.0
+        while now < horizon:
+            now += rng.exponential(mttf)
+            if now >= horizon:
+                break
+            start = now
+            now += rng.exponential(mttr)
+            intervals.append((start, now))
+        return intervals
+
+    def begin_run(self, rng, horizon):
+        self._host_down = {
+            name: self._draw_timeline(rng, *self.hosts[name], horizon)
+            for name in sorted(self.hosts)
+        }
+        self._sensor_down = {
+            name: self._draw_timeline(rng, *self.sensors[name], horizon)
+            for name in sorted(self.sensors)
+        }
+
+    def replica_fails(self, task, host, iteration, release, deadline, rng):
+        intervals = self._host_down.get(host, ())
+        return ScriptedFaults._down_during(intervals, release, deadline)
+
+    def sensor_fails(self, sensor, time, rng):
+        intervals = self._sensor_down.get(sensor, ())
+        return ScriptedFaults._down_during(intervals, time, time)
+
+    def precompute(self, plan, runs, iterations, rngs):
+        """Replay each run's :meth:`begin_run` draws, then mask slots.
+
+        The exponential draws consumed here per run are exactly the
+        draws the scalar executor consumes in ``begin_run``; the
+        interval masks are then evaluated like scripted outages.
+        """
+        result = _empty_masks(plan, runs, iterations)
+        per_phase = _phase_iterations(plan, iterations)
+        horizon = iterations * plan.period
+        for run in range(runs):
+            rng = rngs[run]
+            host_down = {
+                name: self._draw_timeline(rng, *self.hosts[name], horizon)
+                for name in sorted(self.hosts)
+            }
+            sensor_down = {
+                name: self._draw_timeline(
+                    rng, *self.sensors[name], horizon
+                )
+                for name in sorted(self.sensors)
+            }
+            for p, schedule in enumerate(plan.schedules):
+                iters = per_phase[p]
+                if not len(iters):
+                    continue
+                starts = iters * plan.period
+                for j, name in enumerate(schedule.sensor_slot_name):
+                    intervals = sensor_down.get(name, ())
+                    if not intervals:
+                        continue
+                    event = plan.sensor_events[
+                        int(schedule.sensor_slot_event[j])
+                    ]
+                    times = starts + event.offset
+                    result.sensor_fail[p][run, j, :] = (
+                        ScriptedFaults._down_mask(intervals, times, times)
+                    )
+                for j, host in enumerate(schedule.replica_slot_host):
+                    intervals = host_down.get(host, ())
+                    if not intervals:
+                        continue
+                    event = plan.releases[
+                        int(schedule.replica_slot_event[j])
+                    ]
+                    release = starts + event.offset
+                    deadline = starts + event.write_time
+                    result.replica_fail[p][run, j, :] = (
+                        ScriptedFaults._down_mask(
+                            intervals, release, deadline
+                        )
+                    )
+        return PrecomputedFaults(
+            stochastic=bool(self.hosts or self.sensors),
+            sensor_fail=result.sensor_fail,
+            replica_fail=result.replica_fail,
+        )
+
+
 @dataclass
 class ValueFaults(FaultInjector):
     """Non-fail-silent hosts: corrupted values instead of silence.
@@ -428,6 +835,10 @@ class CompositeFaults(FaultInjector):
 
     def __init__(self, injectors: Iterable[FaultInjector]):
         object.__setattr__(self, "injectors", tuple(injectors))
+
+    def begin_run(self, rng, horizon):
+        for injector in self.injectors:
+            injector.begin_run(rng, horizon)
 
     def replica_fails(self, task, host, iteration, release, deadline, rng):
         # Evaluated eagerly (list, not generator): every component must

@@ -107,6 +107,7 @@ class ModeSwitchingExecutive:
         self._simulators: dict[
             frozenset[tuple[str, str]], tuple[Specification, Simulator]
         ] = {}
+        self._pending: dict[str, str] = {}
         # Validate all conditions up front so a typo fails fast.
         for module in compiled.program.modules:
             for mode in module.modes:
@@ -142,6 +143,28 @@ class ModeSwitchingExecutive:
             self._simulators[key] = (spec, simulator)
         return self._simulators[key]
 
+    def request_switch(self, module: str, target: str) -> None:
+        """Request an external mode switch, applied at the next boundary.
+
+        The override wins over *module*'s own switch conditions for
+        that one period boundary and is recorded in the switch log.
+        This is the hook a resilience executive (or any supervisory
+        layer) uses to drive a module into its declared safe/reduced
+        mode when recovery demands a degrade.
+        """
+        modules = {m.name: m for m in self.compiled.program.modules}
+        if module not in modules:
+            raise RuntimeSimulationError(
+                f"program has no module {module!r}"
+            )
+        modes = {m.name for m in modules[module].modes}
+        if target not in modes:
+            raise RuntimeSimulationError(
+                f"module {module!r} has no mode {target!r} "
+                f"(declared: {sorted(modes)})"
+            )
+        self._pending[module] = target
+
     def _evaluate_switches(
         self,
         selection: dict[str, str],
@@ -152,6 +175,10 @@ class ModeSwitchingExecutive:
         view = dict(store)
         updated = dict(selection)
         for module in self.compiled.program.modules:
+            if module.name in self._pending:
+                # An external request_switch override wins over the
+                # module's own conditions at this boundary.
+                continue
             mode = module.mode_named(selection[module.name])
             for switch in mode.switches:
                 condition = self.compiled.condition(switch.condition_name)
@@ -162,6 +189,12 @@ class ModeSwitchingExecutive:
                          switch.target)
                     )
                     break
+        for name, target in sorted(self._pending.items()):
+            source = selection[name]
+            if target != source:
+                switch_log.append((period_index, name, source, target))
+            updated[name] = target
+        self._pending.clear()
         return updated
 
     def run(self, iterations: int) -> ModeSwitchingResult:
@@ -180,6 +213,14 @@ class ModeSwitchingExecutive:
         mode_log: list[dict[str, str]] = []
         switch_log: list[tuple[int, str, str, str]] = []
         period = None
+        # Stateful injectors are reset once for the whole chained run
+        # (full horizon), not once per period — each per-period run
+        # below passes reset_faults=False.
+        _, first = self._simulator_for(selection)
+        if self.faults is not None:
+            self.faults.begin_run(
+                self.rng, iterations * first.period
+            )
 
         for index in range(iterations):
             mode_log.append(dict(selection))
@@ -197,6 +238,7 @@ class ModeSwitchingExecutive:
                 start_time=index * period,
                 initial_store=store,
                 flush_final_commits=True,
+                reset_faults=False,
             )
             store = result.final_store
             for name, trace in result.values.items():

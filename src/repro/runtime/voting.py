@@ -53,8 +53,11 @@ def majority_vote(values: Sequence[Any]) -> Any:
     if not reliable:
         return BOTTOM
     counts = Counter(reliable)
-    best_count = max(counts.values())
-    for value in reliable:
-        if counts[value] == best_count:
-            return value
-    raise AssertionError("unreachable")  # pragma: no cover
+    # Counter preserves first-occurrence order, so a strict > keeps the
+    # earliest of the maximally frequent values.
+    best_value = reliable[0]
+    best_count = 0
+    for value, count in counts.items():
+        if count > best_count:
+            best_value, best_count = value, count
+    return best_value

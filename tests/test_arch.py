@@ -25,10 +25,22 @@ def test_host_default_reliability_is_one():
     assert Host("h").reliability == 1.0
 
 
-@pytest.mark.parametrize("rel", [0.0, -0.1, 1.5])
+@pytest.mark.parametrize(
+    "rel", [-0.1, 1.5, float("nan"), "0.9", None]
+)
 def test_host_reliability_bounds(rel):
     with pytest.raises(ArchitectureError):
         Host("h", rel)
+
+
+def test_host_zero_reliability_accepted():
+    # hrel = 0 models a permanently dead host.
+    assert Host("h", 0.0).failure_probability() == 1.0
+
+
+def test_reliability_errors_are_value_errors():
+    with pytest.raises(ValueError):
+        Host("h", -0.1)
 
 
 def test_host_empty_name_rejected():
@@ -41,10 +53,16 @@ def test_sensor_basic():
     assert sensor.failure_probability() == pytest.approx(0.03)
 
 
-@pytest.mark.parametrize("rel", [0.0, -1.0, 1.01])
+@pytest.mark.parametrize(
+    "rel", [-1.0, 1.01, float("nan"), "bad", object()]
+)
 def test_sensor_reliability_bounds(rel):
     with pytest.raises(ArchitectureError):
         Sensor("s", rel)
+
+
+def test_sensor_zero_reliability_accepted():
+    assert Sensor("s", 0.0).failure_probability() == 1.0
 
 
 def test_hosts_sortable():
@@ -64,10 +82,14 @@ def test_network_imperfect():
     assert not BroadcastNetwork(reliability=0.99).is_perfect()
 
 
-@pytest.mark.parametrize("rel", [0.0, 1.2])
+@pytest.mark.parametrize("rel", [-0.5, 1.2, float("nan"), "1"])
 def test_network_reliability_bounds(rel):
     with pytest.raises(ArchitectureError):
         BroadcastNetwork(reliability=rel)
+
+
+def test_network_zero_reliability_accepted():
+    assert not BroadcastNetwork(reliability=0.0).is_perfect()
 
 
 def test_network_bandwidth_positive():

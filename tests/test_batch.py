@@ -34,7 +34,10 @@ from repro.runtime import (
     BatchSimulator,
     BernoulliFaults,
     CompositeFaults,
+    CrashRepairFaults,
     FaultInjector,
+    GilbertElliottChannel,
+    GilbertElliottFaults,
     ScriptedFaults,
     Simulator,
 )
@@ -169,6 +172,146 @@ def test_batch_scripted_unplug_matches_scalar_and_degrades():
         expected = scalar_counts(spec, arch, impl, faults, child, 120)
         for name, count in expected.items():
             assert result.reliable_counts[name][k] == count
+
+
+# ----------------------------------------------------------------------
+# The seed contract under the correlated injectors.
+# ----------------------------------------------------------------------
+
+
+channels = st.builds(
+    GilbertElliottChannel,
+    st.floats(min_value=0.01, max_value=0.9),   # good_to_bad
+    st.floats(min_value=0.05, max_value=0.95),  # bad_to_good
+    st.floats(min_value=0.0, max_value=0.2),    # fail_good
+    st.floats(min_value=0.5, max_value=1.0),    # fail_bad
+    st.booleans(),                              # start_bad
+)
+
+
+@RELAXED
+@given(
+    systems(),
+    channels,
+    st.integers(min_value=0, max_value=2**32 - 1),
+    st.booleans(),
+)
+def test_batch_matches_scalar_with_gilbert_elliott(
+    system, channel, seed, with_network
+):
+    spec, arch, impl = system
+
+    def faults():
+        return GilbertElliottFaults(
+            hosts={h: channel for h in arch.host_names()},
+            sensors={s: channel for s in arch.sensor_names()},
+            network=channel if with_network else None,
+        )
+
+    batch = BatchSimulator(spec, arch, impl, faults=faults(), seed=seed)
+    runs, iterations = 2, 6
+    result = batch.run_batch(runs, iterations)
+    assert result.executor == "vectorized"
+
+    children = np.random.SeedSequence(seed).spawn(runs)
+    for k, child in enumerate(children):
+        expected = scalar_counts(
+            spec, arch, impl, faults(), child, iterations
+        )
+        for name, count in expected.items():
+            assert result.reliable_counts[name][k] == count
+
+
+@RELAXED
+@given(
+    systems(),
+    st.floats(min_value=10.0, max_value=5000.0),
+    st.floats(min_value=5.0, max_value=500.0),
+    st.integers(min_value=0, max_value=2**32 - 1),
+)
+def test_batch_matches_scalar_with_crash_repair(system, mttf, mttr, seed):
+    spec, arch, impl = system
+
+    def faults():
+        return CrashRepairFaults(
+            hosts={h: (mttf, mttr) for h in arch.host_names()},
+            sensors={s: (mttf, mttr) for s in arch.sensor_names()},
+        )
+
+    batch = BatchSimulator(spec, arch, impl, faults=faults(), seed=seed)
+    runs, iterations = 2, 6
+    result = batch.run_batch(runs, iterations)
+    assert result.executor == "vectorized"
+
+    children = np.random.SeedSequence(seed).spawn(runs)
+    for k, child in enumerate(children):
+        expected = scalar_counts(
+            spec, arch, impl, faults(), child, iterations
+        )
+        for name, count in expected.items():
+            assert result.reliable_counts[name][k] == count
+
+
+# ----------------------------------------------------------------------
+# Scripted-outage interval boundaries, differentially.
+#
+# In the 3TS plan the interesting instants of iteration 3 are: release
+# of t1/t2 at 1700, their deadline (write time) at 1900, and the phase
+# boundaries at 1500/2000.  Outage edges landing exactly on those
+# instants exercise the half-open interval convention of
+# ScriptedFaults._down_during — a precompute that is off by one at any
+# edge diverges from the scalar reference here.
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "intervals",
+    [
+        [(1000, 1700)],   # ends exactly on a release -> spares it
+        [(1700, 1701)],   # starts exactly on a release -> kills it
+        [(1900, 1950)],   # starts exactly on a deadline -> still kills
+        [(1300, 1900)],   # ends exactly on a deadline
+        [(1500, 2000)],   # aligned on phase boundaries
+        [(0, 200)],       # from t=0 to the first write time
+        [(2000, None)],   # open-ended from a phase boundary
+        [(1700, 1900)],   # exactly one invocation window
+    ],
+    ids=[
+        "end-on-release",
+        "start-on-release",
+        "start-on-deadline",
+        "end-on-deadline",
+        "phase-aligned",
+        "from-zero",
+        "open-ended",
+        "exact-window",
+    ],
+)
+def test_scripted_precompute_interval_boundaries(intervals):
+    spec = three_tank_spec(functions=bind_control_functions())
+    arch = three_tank_architecture()
+    impl = scenario1_implementation()
+
+    def faults():
+        return ScriptedFaults(
+            host_outages={"h1": intervals, "h2": intervals},
+            sensor_outages={"sen1": intervals, "sen2b": intervals},
+        )
+
+    batch = BatchSimulator(spec, arch, impl, faults=faults(), seed=17)
+    runs, iterations = 2, 12
+    result = batch.run_batch(runs, iterations)
+    assert result.executor == "vectorized"
+
+    children = np.random.SeedSequence(17).spawn(runs)
+    for k, child in enumerate(children):
+        expected = scalar_counts(
+            spec, arch, impl, faults(), child, iterations
+        )
+        for name, count in expected.items():
+            assert result.reliable_counts[name][k] == count, (
+                f"{name}: batch diverges from scalar on {intervals}"
+            )
 
 
 # ----------------------------------------------------------------------

@@ -320,3 +320,112 @@ def test_analyze_format_json_invalid(workspace, capsys):
         if not entry["satisfied"]
     ]
     assert violated
+
+
+# -- lint exit status ------------------------------------------------------
+
+
+RACY_HTL = """\
+program racy {
+  communicator a : float period 10 init 0.0 lrc 0.5 ;
+  communicator b : float period 10 init 0.0 lrc 0.9 ;
+  communicator c : float period 10 init 0.0 lrc 0.9 ;
+  module M {
+    task t1 input (a[0]) output (b[1]) ;
+    task t2 input (b[0]) output (c[1]) ;
+    task t3 input (c[0]) output (b[1]) ;
+    mode m period 10 { invoke t1 ; invoke t2 ; invoke t3 ; }
+  }
+}
+"""
+
+
+def test_lint_exits_nonzero_on_lrt_errors(tmp_path, capsys):
+    racy = tmp_path / "racy.htl"
+    racy.write_text(RACY_HTL)
+    status = main(["lint", "--htl", str(racy)])
+    assert status == 1
+    out = capsys.readouterr().out
+    assert "LRT001" in out
+
+
+def test_lint_exits_zero_on_clean_program(workspace, capsys):
+    status = main(["lint", "--htl", str(workspace / "three_tank.htl")])
+    assert status == 0
+
+
+def test_lint_smoke_via_subprocess(tmp_path):
+    # The CI smoke contract: `repro lint` exits non-zero on a spec
+    # with an LRT error, through the real console entry point.
+    import os
+    import subprocess
+    import sys
+
+    racy = tmp_path / "racy.htl"
+    racy.write_text(RACY_HTL)
+    env = dict(os.environ)
+    completed = subprocess.run(
+        [sys.executable, "-m", "repro", "lint", "--htl", str(racy)],
+        capture_output=True, text=True, env=env,
+    )
+    assert completed.returncode == 1
+    assert "error" in completed.stdout
+
+
+# -- online monitoring and recovery ---------------------------------------
+
+
+def test_simulate_monitor_writes_events(workspace, tmp_path, capsys):
+    events = tmp_path / "events.jsonl"
+    status = main([
+        "simulate",
+        "--htl", str(workspace / "three_tank.htl"),
+        "--arch", str(workspace / "arch.json"),
+        "--impl", str(workspace / "baseline.json"),
+        "--bindings", str(workspace / "bindings.py"),
+        "--iterations", "100",
+        "--unplug", "h2:5000",
+        "--monitor",
+        "--events", str(events),
+    ])
+    # The unplug drives u2 below its LRC: alarm events + exit 1.
+    assert status == 1
+    out = capsys.readouterr().out
+    assert "lrc-alarm" in out
+    lines = [
+        json.loads(line)
+        for line in events.read_text().splitlines() if line
+    ]
+    assert any(
+        e["kind"] == "lrc-alarm" and e["communicator"] == "u2"
+        for e in lines
+    )
+
+
+def test_simulate_recover_re_replicate(workspace, capsys):
+    status = main([
+        "simulate",
+        "--htl", str(workspace / "three_tank.htl"),
+        "--arch", str(workspace / "arch.json"),
+        "--impl", str(workspace / "scenario1.json"),
+        "--bindings", str(workspace / "bindings.py"),
+        "--iterations", "60",
+        "--unplug", "h2:5000",
+        "--recover", "re-replicate",
+    ])
+    assert status == 0
+    out = capsys.readouterr().out
+    assert "recovery-committed" in out
+
+
+def test_simulate_recover_degrade_needs_impl(workspace, capsys):
+    status = main([
+        "simulate",
+        "--htl", str(workspace / "three_tank.htl"),
+        "--arch", str(workspace / "arch.json"),
+        "--impl", str(workspace / "baseline.json"),
+        "--bindings", str(workspace / "bindings.py"),
+        "--recover", "degrade",
+    ])
+    assert status == 2
+    assert "--degrade-impl" in capsys.readouterr().err

@@ -215,3 +215,49 @@ def test_three_tank_hold_mode_engages_on_high_level():
         "regulate", "hold", "regulate",
     ]
     assert environment.plant.level(0) == pytest.approx(0.25, abs=0.02)
+
+def test_request_switch_overrides_conditions():
+    # x is 0 forever, so the module's own conditions never fire; an
+    # external request_switch drives M into `down` at the next
+    # boundary anyway (the hook a degrade recovery uses).
+    executive = toggle_executive(
+        environment=CallbackEnvironment(sense_fn=lambda c, t: 0.0)
+    )
+    executive.request_switch("M", "down")
+    result = executive.run(5)
+    modes = [sel["M"] for sel in result.mode_log]
+    assert modes[0] == "up"
+    assert modes[1] == "down"
+    assert result.switch_log[0] == (0, "M", "up", "down")
+    # The override lasts one boundary; conditions then rule again, and
+    # with y = x - 1 = -1 committed in `down` the "low" condition
+    # flips M straight back up.
+    assert modes[2] == "up"
+    assert result.switch_log[1] == (1, "M", "down", "up")
+
+
+def test_request_switch_wins_over_firing_condition():
+    # A sensor stuck at 9 makes y = 10 >= 3, so the "high" condition
+    # fires at the very first boundary — but the override targets `up`
+    # (a self-switch) and wins: the module stays in `up` at that
+    # boundary, with no transition logged for it.
+    env = CallbackEnvironment(sense_fn=lambda c, t: 9.0)
+    baseline = toggle_executive(environment=env).run(2)
+    assert baseline.switch_log[0][0] == 0  # the condition does fire
+
+    executive = toggle_executive(
+        environment=CallbackEnvironment(sense_fn=lambda c, t: 9.0)
+    )
+    executive.request_switch("M", "up")
+    stayed = executive.run(1)
+    assert all(sel["M"] == "up" for sel in stayed.mode_log)
+    # A self-switch is not logged as a transition.
+    assert stayed.switch_log == []
+
+
+def test_request_switch_validates_names():
+    executive = toggle_executive()
+    with pytest.raises(RuntimeSimulationError, match="no module"):
+        executive.request_switch("nope", "down")
+    with pytest.raises(RuntimeSimulationError, match="no mode"):
+        executive.request_switch("M", "sideways")

@@ -1,9 +1,12 @@
 """Tests for replica-output voting."""
 
 import pytest
+from hypothesis import given
+from hypothesis import strategies as st
 
 from repro.errors import RuntimeSimulationError
 from repro.model import BOTTOM
+from repro.model.values import is_reliable_value
 from repro.runtime import first_non_bottom, majority_vote
 
 
@@ -45,3 +48,34 @@ def test_majority_vote_all_bottom():
 
 def test_majority_vote_counts_not_positions():
     assert majority_vote([3.0, 5.0, 5.0, 3.0, 5.0]) == 5.0
+
+
+def test_majority_vote_tie_breaks_by_first_occurrence():
+    # b reaches its final count before a does, but a occurs first.
+    assert majority_vote([1.0, 2.0, 2.0, 1.0]) == 1.0
+
+
+ballots = st.lists(
+    st.one_of(st.just(BOTTOM), st.integers(min_value=0, max_value=5)),
+    max_size=12,
+)
+
+
+@given(ballots)
+def test_majority_vote_never_raises_and_is_sound(values):
+    winner = majority_vote(values)
+    reliable = [v for v in values if is_reliable_value(v)]
+    if not reliable:
+        assert winner is BOTTOM
+        return
+    counts = {}
+    for v in reliable:
+        counts[v] = counts.get(v, 0) + 1
+    best = max(counts.values())
+    assert counts[winner] == best
+    # Ties break by first occurrence: no maximally frequent value may
+    # appear (for the first time) before the winner does.
+    for v in reliable:
+        if v == winner:
+            break
+        assert counts[v] < best
