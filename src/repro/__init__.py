@@ -24,6 +24,10 @@ Public API layers
 * :mod:`repro.synthesis` — replication synthesis and baselines.
 * :mod:`repro.htl` — the HTL-subset frontend and compiler.
 * :mod:`repro.runtime` — the distributed runtime simulator.
+* :mod:`repro.resilience` — online monitoring, failure detection,
+  and SRG-verified recovery.
+* :mod:`repro.telemetry` — execution tracing, metrics, and
+  profiling over one instrumentation-sink protocol.
 * :mod:`repro.plants` — the three-tank system plant and controllers.
 * :mod:`repro.experiments` — prebuilt systems from the paper.
 """

@@ -303,11 +303,55 @@ def _write_events(events, path: "str | None") -> None:
     print(f"wrote {count} events to {path}")
 
 
+def _build_telemetry(args: argparse.Namespace, spec) -> tuple:
+    """Resolve --trace/--metrics into (tracer, metrics_sink, sinks)."""
+    from repro.telemetry import MetricsSink, Tracer, derive_run_id
+
+    tracer = (
+        Tracer(run_id=derive_run_id(args.seed)) if args.trace else None
+    )
+    metrics_sink = MetricsSink() if args.metrics else None
+    sinks = tuple(s for s in (tracer, metrics_sink) if s is not None)
+    return tracer, metrics_sink, sinks
+
+
+def _write_trace(tracer, path: str) -> None:
+    """Export a tracer: Chrome JSON, or JSONL for ``.jsonl`` paths."""
+    with open(path, "w", encoding="utf-8") as handle:
+        if path.endswith(".jsonl"):
+            count = tracer.write_jsonl(handle)
+        else:
+            count = tracer.write_chrome(handle)
+    print(f"wrote {count} trace events to {path}")
+
+
+def _finish_metrics(registry, srgs, spec, path: str) -> None:
+    """Record margins, write Prometheus text, print the dashboard."""
+    from repro.report import render_metrics_dashboard
+    from repro.telemetry import record_margins
+
+    record_margins(
+        registry,
+        {
+            name: (srgs[name], comm.lrc)
+            for name, comm in spec.communicators.items()
+        },
+    )
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(registry.to_prometheus())
+    print(f"wrote metrics to {path}")
+    print()
+    print(render_metrics_dashboard(registry.snapshot()))
+
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.telemetry import NULL_PROFILER, StageProfiler
+
     functions, conditions = _load_bindings(args.bindings)
     spec = _load_specification(args, functions, conditions)
     arch = architecture_from_dict(load_json(args.arch))
     implementation = implementation_from_dict(load_json(args.impl))
+    profiler = StageProfiler() if args.profile else NULL_PROFILER
 
     injectors = []
     if args.bernoulli:
@@ -349,18 +393,23 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         policies = _build_recovery_policies(args)
         watchdog = WatchdogConfig()
         if args.runs > 1:
-            batch_result = resilient_batch(
-                spec,
-                arch,
-                implementation,
-                args.runs,
-                args.iterations,
-                seed=args.seed,
-                faults=faults,
-                monitor=monitor_config,
-                watchdog=watchdog,
-                policies=policies,
-            )
+            if args.trace:
+                raise ReproError(
+                    "--trace needs a single run; use --runs 1"
+                )
+            with profiler.stage("resilient-batch"):
+                batch_result = resilient_batch(
+                    spec,
+                    arch,
+                    implementation,
+                    args.runs,
+                    args.iterations,
+                    seed=args.seed,
+                    faults=faults,
+                    monitor=monitor_config,
+                    watchdog=watchdog,
+                    policies=policies,
+                )
             recovering = int((batch_result.recovery_counts > 0).sum())
             print(
                 f"resilient batch of {args.runs} runs x "
@@ -380,7 +429,27 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
                     f"(LRC {lrc:.6f})"
                 )
             _write_events(batch_result.events, args.events)
+            if args.metrics:
+                from repro.telemetry import MetricsSink
+
+                sink = MetricsSink()
+                for event in batch_result.events:
+                    sink.on_event(event)
+                _finish_metrics(
+                    sink.registry, srgs, spec, args.metrics
+                )
+            if args.profile:
+                print()
+                print(profiler.render())
             return 0 if ok else 1
+        tracer, metrics_sink, sinks = _build_telemetry(args, spec)
+        telemetry = None
+        if sinks:
+            from repro.telemetry import TelemetryBus, derive_run_id
+
+            telemetry = TelemetryBus(
+                run_id=derive_run_id(args.seed), sinks=sinks
+            )
         resilient = ResilientSimulator(
             spec,
             arch,
@@ -390,25 +459,46 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             monitor=monitor_config,
             watchdog=watchdog,
             policies=policies,
+            telemetry=telemetry,
         )
-        result = resilient.run(args.iterations)
+        with profiler.stage("resilient-run"):
+            result = resilient.run(args.iterations)
         print(result.summary())
         for event in result.events:
             print(f"  event: {json.dumps(event.to_dict())}")
         _write_events(result.events, args.events)
+        if tracer is not None:
+            tracer.close()
+            _write_trace(tracer, args.trace)
+        if metrics_sink is not None:
+            _finish_metrics(
+                metrics_sink.registry, srgs, spec, args.metrics
+            )
+        if args.profile:
+            print()
+            print(profiler.render())
         return 0 if result.satisfies_lrcs(slack=args.slack) else 1
 
     if args.runs > 1:
         # Batched Monte-Carlo: runs x iterations periods through the
         # vectorized executor (per-run seeds spawned from --seed).
+        import time
+
         from repro.runtime.batch import BatchSimulator
 
+        if args.trace:
+            raise ReproError(
+                "--trace needs a single run; use --runs 1"
+            )
         batch = BatchSimulator(
-            spec, arch, implementation, faults=faults, seed=args.seed
+            spec, arch, implementation, faults=faults, seed=args.seed,
+            profiler=profiler,
         )
+        started = time.perf_counter()
         batch_result = batch.run_batch(
             args.runs, args.iterations, monitor=monitor_config
         )
+        elapsed = time.perf_counter() - started
         print(batch_result.summary())
         estimates = batch_result.srg_estimates()
         print("\nobserved vs analytic SRG:")
@@ -423,6 +513,17 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
                 f"alarm/clear events across {args.runs} runs"
             )
             _write_events(batch_result.monitor_events, args.events)
+        if args.metrics:
+            from repro.telemetry import MetricsSink, record_batch_result
+
+            sink = MetricsSink()
+            record_batch_result(sink.registry, batch_result, elapsed)
+            for event in batch_result.monitor_events:
+                sink.on_event(event)
+            _finish_metrics(sink.registry, srgs, spec, args.metrics)
+        if args.profile:
+            print()
+            print(profiler.render())
         return 0 if batch_result.satisfies_lrcs(slack=args.slack) else 1
 
     monitor = None
@@ -430,11 +531,13 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         from repro.resilience import LrcMonitor
 
         monitor = LrcMonitor(spec, monitor_config)
+    tracer, metrics_sink, sinks = _build_telemetry(args, spec)
     simulator = Simulator(
         spec, arch, implementation, faults=faults, seed=args.seed,
-        monitor=monitor,
+        monitor=monitor, sinks=sinks,
     )
-    result = simulator.run(args.iterations)
+    with profiler.stage("scalar-run"):
+        result = simulator.run(args.iterations)
     print(result.summary())
     averages = result.limit_averages()
     print("\nobserved vs analytic SRG:")
@@ -447,7 +550,36 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         for event in monitor.events:
             print(f"  event: {json.dumps(event.to_dict())}")
         _write_events(monitor.events, args.events)
+    if tracer is not None:
+        if monitor is not None:
+            for event in monitor.events:
+                tracer.on_event(event)
+        tracer.close()
+        _write_trace(tracer, args.trace)
+    if metrics_sink is not None:
+        if monitor is not None:
+            for event in monitor.events:
+                metrics_sink.on_event(event)
+        _finish_metrics(
+            metrics_sink.registry, srgs, spec, args.metrics
+        )
+    if args.profile:
+        print()
+        print(profiler.render())
     return 0 if result.satisfies_lrcs(slack=args.slack) else 1
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.telemetry import (
+        load_trace_file,
+        render_summary,
+        summarize_trace,
+    )
+
+    events = load_trace_file(args.file)
+    summary = summarize_trace(events)
+    print(render_summary(summary, top=args.top))
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -600,7 +732,34 @@ def build_parser() -> argparse.ArgumentParser:
         "--events", metavar="FILE",
         help="write the resilience event stream to FILE as JSONL",
     )
+    simulate.add_argument(
+        "--trace", metavar="FILE",
+        help="write an execution trace to FILE (Chrome trace-event "
+        "JSON; JSON Lines when FILE ends with .jsonl)",
+    )
+    simulate.add_argument(
+        "--metrics", metavar="FILE",
+        help="write Prometheus text-format metrics to FILE and print "
+        "the metrics dashboard",
+    )
+    simulate.add_argument(
+        "--profile", action="store_true",
+        help="time executor stages and print the profile table",
+    )
     simulate.set_defaults(handler=_cmd_simulate)
+
+    trace = subparsers.add_parser(
+        "trace",
+        help="summarise a trace file written by simulate --trace",
+    )
+    trace.add_argument(
+        "file", help="Chrome trace JSON or JSONL trace file"
+    )
+    trace.add_argument(
+        "--top", type=int, default=5,
+        help="number of span groups to show in the hot-spot table",
+    )
+    trace.set_defaults(handler=_cmd_trace)
 
     return parser
 

@@ -10,7 +10,10 @@ and CI artifacts:
   indented adjacency listing;
 * :func:`design_report` — the one-stop report for a candidate design:
   joint analysis, timeline, per-communicator margins, and (when the
-  design is invalid) single-component upgrade advice.
+  design is invalid) single-component upgrade advice;
+* :func:`render_metrics_dashboard` — the terminal view of a
+  telemetry :meth:`~repro.telemetry.metrics.MetricsRegistry.snapshot`
+  (counters, gauges with bars, histogram summaries).
 """
 
 from __future__ import annotations
@@ -137,3 +140,60 @@ def design_report(
                 "replicate tasks or sensors instead"
             )
     return "\n".join(sections)
+
+
+def _format_series_labels(labels: dict) -> str:
+    if not labels:
+        return "(total)"
+    return ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+
+
+def render_metrics_dashboard(
+    snapshot: dict, width: int = _BAR_WIDTH
+) -> str:
+    """Render a telemetry metrics snapshot as a terminal dashboard.
+
+    *snapshot* is the dict produced by
+    :meth:`repro.telemetry.metrics.MetricsRegistry.snapshot`.
+    Counters print their totals, gauges in ``[0, 1]`` add a
+    proportional bar (reliability rates and margins at a glance),
+    histograms print count/mean/sum.
+    """
+    if not snapshot:
+        return "metrics: (empty registry)"
+    lines = ["metrics dashboard"]
+    for name, metric in snapshot.items():
+        unit = f" [{metric['unit']}]" if metric.get("unit") else ""
+        lines.append(f"{name} ({metric['kind']}{unit})")
+        series = metric["series"]
+        label_width = max(
+            (len(_format_series_labels(s["labels"])) for s in series),
+            default=0,
+        )
+        for entry in series:
+            label = _format_series_labels(entry["labels"]).ljust(
+                label_width
+            )
+            value = entry["value"]
+            if metric["kind"] == "histogram":
+                count = value["count"]
+                mean = value["sum"] / count if count else 0.0
+                lines.append(
+                    f"  {label}  n={count} mean={mean:.3f} "
+                    f"sum={value['sum']:.3f}"
+                )
+            elif (
+                metric["kind"] == "gauge" and 0.0 <= value <= 1.0
+            ):
+                bar = "#" * round(value * width)
+                lines.append(
+                    f"  {label}  {value:.6f} |{bar.ljust(width)}|"
+                )
+            else:
+                text = (
+                    f"{int(value)}"
+                    if float(value).is_integer()
+                    else f"{value:.6f}"
+                )
+                lines.append(f"  {label}  {text}")
+    return "\n".join(lines)

@@ -15,6 +15,7 @@ from repro.resilience.detector import (
     WatchdogConfig,
 )
 from repro.resilience.events import (
+    EVENT_KINDS,
     HostDead,
     HostRecovered,
     HostSuspected,
@@ -23,7 +24,10 @@ from repro.resilience.events import (
     RecoveryCommitted,
     RecoveryFailed,
     ResilienceEvent,
+    event_from_dict,
+    events_from_jsonl,
     events_to_jsonl,
+    read_jsonl,
     write_jsonl,
 )
 from repro.resilience.executive import (
@@ -49,6 +53,7 @@ from repro.resilience.policies import (
 
 __all__ = [
     "DegradePolicy",
+    "EVENT_KINDS",
     "HostDead",
     "HostFailureDetector",
     "HostRecovered",
@@ -70,8 +75,11 @@ __all__ = [
     "ResilientSimulator",
     "WatchdogConfig",
     "batch_monitor_events",
+    "event_from_dict",
+    "events_from_jsonl",
     "events_to_jsonl",
     "first_applicable",
+    "read_jsonl",
     "resilient_batch",
     "sliding_window_counts",
     "write_jsonl",

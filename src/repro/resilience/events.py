@@ -10,6 +10,19 @@ line, sorted by emission order).
 All times are simulation times in the specification's time unit
 (milliseconds for the paper's systems).  ``run`` is ``None`` for
 scalar simulations and the batch run index for monitored batches.
+
+Correlation keys (PR 4): the resilient executive stamps every event
+with a ``run_id`` — stable across ``resilient_batch`` and direct
+construction because it is derived from the run's seed (see
+:func:`~repro.telemetry.runid.derive_run_id`) — and a monotonic
+``seq`` counting emission order within the run, so merged streams
+sort deterministically by ``(run_id, seq)``.  Both keys serialise
+only when set, so un-stamped streams keep the PR 3 JSONL form.
+
+The stream round-trips: :func:`event_from_dict` /
+:func:`events_from_jsonl` / :func:`read_jsonl` rebuild the typed
+events (tuple-valued fields coerced back from JSON lists) such that
+``event_from_dict(e.to_dict()) == e`` for every event type.
 """
 
 from __future__ import annotations
@@ -18,6 +31,8 @@ import json
 from dataclasses import asdict, dataclass, field
 from typing import IO, Iterable, Mapping
 
+from repro.errors import RuntimeSimulationError
+
 
 @dataclass(frozen=True)
 class ResilienceEvent:
@@ -25,14 +40,25 @@ class ResilienceEvent:
 
     time: int
     run: "int | None" = field(default=None, kw_only=True)
+    run_id: "str | None" = field(default=None, kw_only=True)
+    seq: "int | None" = field(default=None, kw_only=True)
 
     #: Stable discriminator, overridden per subclass.
     kind = "event"
 
     def to_dict(self) -> dict:
-        """Return a JSON-serialisable dict with the ``kind`` tag."""
+        """Return a JSON-serialisable dict with the ``kind`` tag.
+
+        The correlation keys ``run_id``/``seq`` appear only when set,
+        keeping un-stamped streams bit-compatible with their PR 3
+        form.
+        """
         doc = {"kind": self.kind}
         doc.update(asdict(self))
+        if doc["run_id"] is None:
+            del doc["run_id"]
+        if doc["seq"] is None:
+            del doc["seq"]
         return doc
 
 
@@ -124,9 +150,76 @@ class RecoveryFailed(ResilienceEvent):
     kind = "recovery-failed"
 
 
+#: ``kind`` discriminator -> event class, for parsing.
+EVENT_KINDS: dict[str, type[ResilienceEvent]] = {
+    cls.kind: cls
+    for cls in (
+        LrcAlarm,
+        LrcClear,
+        HostSuspected,
+        HostDead,
+        HostRecovered,
+        RecoveryCommitted,
+        RecoveryFailed,
+    )
+}
+
+
+def event_from_dict(doc: Mapping) -> ResilienceEvent:
+    """Rebuild a typed event from its :meth:`~ResilienceEvent.to_dict`
+    form.
+
+    JSON has no tuples, so tuple-valued fields (``dead_hosts``, the
+    host lists of ``assignment``) are coerced back; round-trip through
+    :func:`events_to_jsonl` is exact for every event type.
+    """
+    fields = dict(doc)
+    kind = fields.pop("kind", None)
+    cls = EVENT_KINDS.get(kind)
+    if cls is None:
+        raise RuntimeSimulationError(
+            f"unknown resilience event kind {kind!r}"
+        )
+    if "dead_hosts" in fields:
+        fields["dead_hosts"] = tuple(fields["dead_hosts"])
+    if "assignment" in fields:
+        fields["assignment"] = {
+            task: tuple(hosts)
+            for task, hosts in fields["assignment"].items()
+        }
+    try:
+        return cls(**fields)
+    except TypeError as error:
+        raise RuntimeSimulationError(
+            f"malformed {kind!r} event: {error}"
+        )
+
+
 def events_to_jsonl(events: Iterable[ResilienceEvent]) -> str:
     """Render *events* as a JSON Lines trace (one event per line)."""
     return "\n".join(json.dumps(event.to_dict()) for event in events)
+
+
+def events_from_jsonl(text: str) -> list[ResilienceEvent]:
+    """Parse a JSONL trace back into typed events (inverse of
+    :func:`events_to_jsonl`)."""
+    events: list[ResilienceEvent] = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            doc = json.loads(line)
+        except json.JSONDecodeError as error:
+            raise RuntimeSimulationError(
+                f"event stream line {lineno} is not valid JSON: "
+                f"{error.msg}"
+            )
+        if not isinstance(doc, dict):
+            raise RuntimeSimulationError(
+                f"event stream line {lineno} is not an event object"
+            )
+        events.append(event_from_dict(doc))
+    return events
 
 
 def write_jsonl(events: Iterable[ResilienceEvent], stream: IO[str]) -> int:
@@ -137,3 +230,8 @@ def write_jsonl(events: Iterable[ResilienceEvent], stream: IO[str]) -> int:
         stream.write("\n")
         count += 1
     return count
+
+
+def read_jsonl(stream: IO[str]) -> list[ResilienceEvent]:
+    """Read a JSONL trace from *stream* into typed events."""
+    return events_from_jsonl(stream.read())

@@ -52,6 +52,41 @@ from repro.runtime.engine import SimulationResult, Simulator
 from repro.runtime.environment import Environment
 from repro.runtime.faults import FaultInjector, NoFaults
 from repro.runtime.voting import Voter, first_non_bottom
+from repro.telemetry.bus import TelemetryBus
+from repro.telemetry.runid import derive_run_id
+from repro.telemetry.sink import InstrumentationSink
+
+
+class _EventRelay:
+    """Shared event sink stamping correlation keys on emission.
+
+    Replaces the bare list PR 3 shared between monitor, watchdog, and
+    executive: every appended event is stamped with the run's stable
+    ``run_id`` and its monotonic emission index ``seq`` (so merged
+    batch streams sort deterministically), then fanned out to the
+    telemetry sinks — one correlated stream per run.
+    """
+
+    __slots__ = ("events", "run_id", "sinks")
+
+    def __init__(
+        self,
+        run_id: str,
+        sinks: "tuple[InstrumentationSink, ...]" = (),
+    ) -> None:
+        self.events: list[ResilienceEvent] = []
+        self.run_id = run_id
+        self.sinks = sinks
+
+    def append(self, event: ResilienceEvent) -> None:
+        import dataclasses
+
+        event = dataclasses.replace(
+            event, run_id=self.run_id, seq=len(self.events)
+        )
+        self.events.append(event)
+        for sink in self.sinks:
+            sink.on_event(event)
 
 
 def _implementation_key(
@@ -221,6 +256,16 @@ class ResilientSimulator:
         As for :class:`~repro.runtime.engine.Simulator`.  The seed
         governs every stochastic fault draw; two runs with the same
         seed produce identical traces *and* identical event streams.
+    telemetry:
+        Optional :class:`~repro.telemetry.bus.TelemetryBus`: its
+        sinks (tracer, metrics) receive the engine hook stream of
+        every chained period *and* each resilience event as it is
+        emitted, and the bus collects the stamped events.
+    run_id:
+        Correlation key stamped on every event; defaults to
+        :func:`~repro.telemetry.runid.derive_run_id` of the seed, so
+        a ``resilient_batch`` run and its directly constructed
+        equivalent agree without coordination.
     """
 
     def __init__(
@@ -238,6 +283,8 @@ class ResilientSimulator:
         watchdog: "WatchdogConfig | None" = None,
         policies: Sequence[RecoveryPolicy] = (),
         max_recoveries: int = 4,
+        telemetry: "TelemetryBus | None" = None,
+        run_id: "str | None" = None,
     ) -> None:
         if not isinstance(implementation, Implementation):
             raise RuntimeSimulationError(
@@ -258,6 +305,8 @@ class ResilientSimulator:
         self.watchdog_config = watchdog
         self.policies = tuple(policies)
         self.max_recoveries = max_recoveries
+        self.telemetry = telemetry
+        self.run_id = run_id
 
     # ------------------------------------------------------------------
 
@@ -295,15 +344,24 @@ class ResilientSimulator:
             if isinstance(self.seed, np.random.Generator)
             else np.random.default_rng(self.seed)
         )
-        events: list[ResilienceEvent] = []
+        run_id = (
+            self.run_id if self.run_id is not None else derive_run_id(rng)
+        )
+        telemetry_sinks: "tuple[InstrumentationSink, ...]" = (
+            self.telemetry.engine_sinks()
+            if self.telemetry is not None
+            else ()
+        )
+        relay = _EventRelay(run_id, telemetry_sinks)
+        events = relay.events
         monitor = (
-            LrcMonitor(self.spec, self.monitor_config, sink=events)
+            LrcMonitor(self.spec, self.monitor_config, sink=relay)
             if self.monitor_config is not None
             else None
         )
         detector = (
             HostFailureDetector(
-                self.arch.hosts, self.watchdog_config, sink=events
+                self.arch.hosts, self.watchdog_config, sink=relay
             )
             if self.watchdog_config is not None
             else None
@@ -324,6 +382,7 @@ class ResilientSimulator:
                     actuator_communicators=self.actuators,
                     seed=rng,
                     monitor=monitor,
+                    sinks=telemetry_sinks,
                 )
             return simulators[key]
 
@@ -385,7 +444,7 @@ class ResilientSimulator:
             )
             outcome = first_applicable(self.policies, context)
             if outcome is None:
-                events.append(
+                relay.append(
                     RecoveryFailed(
                         time=boundary,
                         dead_hosts=tuple(sorted(dead)),
@@ -396,7 +455,7 @@ class ResilientSimulator:
                     )
                 )
                 continue
-            events.append(
+            relay.append(
                 RecoveryCommitted(
                     time=boundary,
                     policy=outcome.policy,
@@ -413,6 +472,11 @@ class ResilientSimulator:
             recoveries.append(outcome)
             current = outcome.implementation
             implementation_log.append((index + 1, current))
+
+        if self.telemetry is not None:
+            # The sinks saw each event live (via the relay); the bus
+            # list just collects the stamped stream for export.
+            self.telemetry.events.extend(events)
 
         return ResilientResult(
             spec=self.spec,

@@ -34,6 +34,7 @@ import numpy as np
 
 from repro.errors import RuntimeSimulationError
 from repro.resilience.events import LrcAlarm, LrcClear, ResilienceEvent
+from repro.telemetry.sink import InstrumentationSink
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.model.specification import Specification
@@ -109,13 +110,20 @@ class MonitorConfig:
         return resolved
 
 
-class LrcMonitor:
+class LrcMonitor(InstrumentationSink):
     """Stateful sliding-window LRC monitor (the scalar path).
 
     One :meth:`observe` call per communicator access, in simulation
     order.  Events are appended to :attr:`events` (or the shared
     *sink* a resilience executive passes in, so monitor, watchdog,
     and recovery events interleave in emission order).
+
+    The monitor is an
+    :class:`~repro.telemetry.sink.InstrumentationSink`: the scalar
+    engine feeds it through the shared :meth:`on_access` hook —
+    the same subscription path the telemetry tracer and metrics sink
+    use — so attaching a monitor needs no engine knowledge beyond the
+    sink protocol.
     """
 
     def __init__(
@@ -144,6 +152,16 @@ class LrcMonitor:
     def watches(self, communicator: str) -> bool:
         """Return ``True`` iff *communicator* is monitored."""
         return communicator in self._thresholds
+
+    def on_access(
+        self,
+        communicator: str,
+        time: int,
+        reliable: bool,
+        run: "int | None" = None,
+    ) -> None:
+        """Sink-protocol alias of :meth:`observe`."""
+        self.observe(communicator, time, reliable, run)
 
     def observe(
         self,

@@ -48,6 +48,7 @@ from repro.model.task import FailureModel
 from repro.runtime.environment import Environment
 from repro.runtime.faults import FaultInjector, NoFaults, PrecomputedFaults
 from repro.runtime.plan import PortSlot, SimulationPlan, compile_plan
+from repro.telemetry.profiler import NULL_PROFILER, StageProfiler
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.resilience.events import ResilienceEvent
@@ -170,6 +171,12 @@ class BatchSimulator:
         Builds a fresh environment per run for the scalar fallback
         path; the vectorized path never evaluates values and ignores
         it.
+    profiler:
+        :class:`~repro.telemetry.profiler.StageProfiler` timing the
+        executor's phases (``plan-compile``, ``fault-precompute``,
+        ``status-collapse``, ``propagate``, ``reduce``, ``monitor``,
+        ``scalar-fallback``).  Defaults to the null profiler, whose
+        per-stage cost is one no-op context manager.
     """
 
     def __init__(
@@ -180,10 +187,15 @@ class BatchSimulator:
         faults: FaultInjector | None = None,
         seed: int = 0,
         environment_factory: "Callable[[], Environment] | None" = None,
+        profiler: "StageProfiler | None" = None,
     ) -> None:
         self.spec = spec
         self.arch = arch
-        self.plan: SimulationPlan = compile_plan(spec, arch, implementation)
+        self.profiler = profiler if profiler is not None else NULL_PROFILER
+        with self.profiler.stage("plan-compile"):
+            self.plan: SimulationPlan = compile_plan(
+                spec, arch, implementation
+            )
         self.faults = faults or NoFaults()
         self.seed = seed
         self.environment_factory = environment_factory
@@ -224,13 +236,15 @@ class BatchSimulator:
         masks: PrecomputedFaults | None = None
         if self.plan.batch_order is not None:
             rngs = [np.random.default_rng(child) for child in children]
-            masks = self.faults.precompute(
-                self.plan, runs, iterations, rngs
-            )
+            with self.profiler.stage("fault-precompute"):
+                masks = self.faults.precompute(
+                    self.plan, runs, iterations, rngs
+                )
         if masks is None:
             # A declining precompute may have consumed draws; the
             # fallback rebuilds every generator from its spawn key.
-            return self._run_scalar(children, iterations, monitor)
+            with self.profiler.stage("scalar-fallback"):
+                return self._run_scalar(children, iterations, monitor)
         return self._run_vectorized(masks, runs, iterations, monitor)
 
     # ------------------------------------------------------------------
@@ -243,97 +257,104 @@ class BatchSimulator:
         monitor: "MonitorConfig | None" = None,
     ) -> BatchResult:
         plan = self.plan
-        delivered = [
-            np.zeros((runs, iterations), dtype=bool)
-            for _ in plan.sensor_events
-        ]
-        survive = [
-            np.zeros((runs, iterations), dtype=bool)
-            for _ in plan.releases
-        ]
-        for p, schedule in enumerate(plan.schedules):
-            iters = np.arange(p, iterations, plan.n_phases)
-            if not len(iters):
-                continue
-            sensor_fail = masks.sensor_fail[p]
-            replica_fail = masks.replica_fail[p]
-            for event in plan.sensor_events:
-                slots = schedule.sensor_slot_event == event.index
-                if slots.any():
-                    delivered[event.index][:, iters] = ~np.all(
-                        sensor_fail[:, slots, :], axis=1
-                    )
-            for event in plan.releases:
-                slots = schedule.replica_slot_event == event.index
-                if slots.any():
-                    survive[event.index][:, iters] = ~np.all(
-                        replica_fail[:, slots, :], axis=1
-                    )
+        profiler = self.profiler
+        with profiler.stage("status-collapse"):
+            delivered = [
+                np.zeros((runs, iterations), dtype=bool)
+                for _ in plan.sensor_events
+            ]
+            survive = [
+                np.zeros((runs, iterations), dtype=bool)
+                for _ in plan.releases
+            ]
+            for p, schedule in enumerate(plan.schedules):
+                iters = np.arange(p, iterations, plan.n_phases)
+                if not len(iters):
+                    continue
+                sensor_fail = masks.sensor_fail[p]
+                replica_fail = masks.replica_fail[p]
+                for event in plan.sensor_events:
+                    slots = schedule.sensor_slot_event == event.index
+                    if slots.any():
+                        delivered[event.index][:, iters] = ~np.all(
+                            sensor_fail[:, slots, :], axis=1
+                        )
+                for event in plan.releases:
+                    slots = schedule.replica_slot_event == event.index
+                    if slots.any():
+                        survive[event.index][:, iters] = ~np.all(
+                            replica_fail[:, slots, :], axis=1
+                        )
 
         # Propagate reliable/BOTTOM status through the dependency
         # order; every array is (runs, iterations).
         assert plan.batch_order is not None
-        task_ok: list[np.ndarray | None] = [None] * len(plan.releases)
-        for index in plan.batch_order:
-            event = plan.releases[index]
-            ok = survive[index]
-            if event.model is not FailureModel.INDEPENDENT:
-                port_bits = [
-                    self._port_bits(port, task_ok, delivered, runs, iterations)
-                    for port in event.ports
-                ]
-                if event.model is FailureModel.SERIES:
-                    inputs_ok = np.logical_and.reduce(port_bits)
-                else:  # PARALLEL: fails only when all inputs are BOTTOM
-                    inputs_ok = np.logical_or.reduce(port_bits)
-                ok = ok & inputs_ok
-            task_ok[index] = ok
+        with profiler.stage("propagate"):
+            task_ok: list[np.ndarray | None] = [None] * len(plan.releases)
+            for index in plan.batch_order:
+                event = plan.releases[index]
+                ok = survive[index]
+                if event.model is not FailureModel.INDEPENDENT:
+                    port_bits = [
+                        self._port_bits(
+                            port, task_ok, delivered, runs, iterations
+                        )
+                        for port in event.ports
+                    ]
+                    if event.model is FailureModel.SERIES:
+                        inputs_ok = np.logical_and.reduce(port_bits)
+                    else:  # PARALLEL: fails only when all inputs are BOTTOM
+                        inputs_ok = np.logical_or.reduce(port_bits)
+                    ok = ok & inputs_ok
+                task_ok[index] = ok
 
-        counts: dict[str, np.ndarray] = {}
-        samples: dict[str, int] = {}
-        for ci, name in enumerate(plan.comm_names):
-            pi = int(plan.comm_periods[ci])
-            n_acc = int(plan.accesses_per_period[ci])
-            samples[name] = n_acc * iterations
-            writer = int(plan.writer_event[ci])
-            if writer >= 0:
-                write_time = plan.releases[writer].write_time
-                offsets = np.arange(0, plan.period, pi)
-                same = int((offsets >= write_time).sum())
-                prev = n_acc - same
-                ok = task_ok[writer]
-                assert ok is not None
-                per_run = same * ok.sum(axis=1, dtype=np.int64)
-                if prev:
-                    carried = int(plan.init_reliable[ci]) + ok[
-                        :, :-1
-                    ].sum(axis=1, dtype=np.int64)
-                    per_run = per_run + prev * carried
-                counts[name] = per_run
-                continue
-            events = [
-                e for e in plan.sensor_events if e.comm_index == ci
-            ]
-            if events:
-                total = np.zeros(runs, dtype=np.int64)
-                for event in events:
-                    total += delivered[event.index].sum(
-                        axis=1, dtype=np.int64
+        with profiler.stage("reduce"):
+            counts: dict[str, np.ndarray] = {}
+            samples: dict[str, int] = {}
+            for ci, name in enumerate(plan.comm_names):
+                pi = int(plan.comm_periods[ci])
+                n_acc = int(plan.accesses_per_period[ci])
+                samples[name] = n_acc * iterations
+                writer = int(plan.writer_event[ci])
+                if writer >= 0:
+                    write_time = plan.releases[writer].write_time
+                    offsets = np.arange(0, plan.period, pi)
+                    same = int((offsets >= write_time).sum())
+                    prev = n_acc - same
+                    ok = task_ok[writer]
+                    assert ok is not None
+                    per_run = same * ok.sum(axis=1, dtype=np.int64)
+                    if prev:
+                        carried = int(plan.init_reliable[ci]) + ok[
+                            :, :-1
+                        ].sum(axis=1, dtype=np.int64)
+                        per_run = per_run + prev * carried
+                    counts[name] = per_run
+                    continue
+                events = [
+                    e for e in plan.sensor_events if e.comm_index == ci
+                ]
+                if events:
+                    total = np.zeros(runs, dtype=np.int64)
+                    for event in events:
+                        total += delivered[event.index].sum(
+                            axis=1, dtype=np.int64
+                        )
+                    counts[name] = total
+                else:
+                    # Neither written nor sensor-updated: the initial
+                    # value is observed at every access.
+                    counts[name] = np.full(
+                        runs,
+                        int(plan.init_reliable[ci]) * samples[name],
+                        dtype=np.int64,
                     )
-                counts[name] = total
-            else:
-                # Neither written nor sensor-updated: the initial
-                # value is observed at every access.
-                counts[name] = np.full(
-                    runs,
-                    int(plan.init_reliable[ci]) * samples[name],
-                    dtype=np.int64,
-                )
         monitor_events: "tuple[ResilienceEvent, ...]" = ()
         if monitor is not None:
-            monitor_events = self._monitor_events(
-                monitor, task_ok, delivered, runs, iterations
-            )
+            with profiler.stage("monitor"):
+                monitor_events = self._monitor_events(
+                    monitor, task_ok, delivered, runs, iterations
+                )
         return BatchResult(
             spec=self.spec,
             runs=runs,

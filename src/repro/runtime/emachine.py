@@ -19,7 +19,7 @@ certify that compiled E-code implements the reference semantics.
 
 from __future__ import annotations
 
-from typing import Any
+from typing import Any, Iterable
 
 import numpy as np
 
@@ -33,6 +33,7 @@ from repro.runtime.engine import SimulationResult
 from repro.runtime.environment import ConstantEnvironment, Environment
 from repro.runtime.faults import FaultInjector, NoFaults
 from repro.runtime.voting import Voter, first_non_bottom
+from repro.telemetry.sink import HookSinks, InstrumentationSink
 
 
 class EMachine:
@@ -40,7 +41,11 @@ class EMachine:
 
     Parameters mirror :class:`~repro.runtime.engine.Simulator`; the
     implementation must be the (static) mapping the E-code was
-    generated for.
+    generated for.  *sinks* subscribe to the same
+    :class:`~repro.telemetry.sink.InstrumentationSink` hook stream
+    the reference engine emits (run framing, access records, sensor
+    updates, releases, replica broadcasts, vote commits), so the same
+    tracer/metrics attach to interpreted E-code.
     """
 
     def __init__(
@@ -54,6 +59,7 @@ class EMachine:
         voter: Voter = first_non_bottom,
         actuator_communicators: "frozenset[str] | None" = None,
         seed: int = 0,
+        sinks: Iterable[InstrumentationSink] = (),
     ) -> None:
         self.ecode = ecode
         self.spec = spec
@@ -69,6 +75,8 @@ class EMachine:
             else frozenset(actuator_communicators)
         )
         self.rng = np.random.default_rng(seed)
+        self.sinks: tuple[InstrumentationSink, ...] = tuple(sinks)
+        self.hooks = HookSinks(self.sinks)
         self.period = ecode.period
         self.tick = spec.base_tick()
         self.write_times = {
@@ -110,9 +118,17 @@ class EMachine:
         attempts: dict[tuple[str, str], int] = {}
         failures: dict[tuple[str, str], int] = {}
         dispatch_log: list[tuple[int, str, str, str]] = []
+        hooks = self.hooks
+        iteration_sinks = hooks.on_iteration_start
+
+        for sink in hooks.on_run_start:
+            sink.on_run_start(0, iterations, self.period)
 
         for now in range(0, horizon, self.tick):
             offset = now % self.period
+            if offset == 0 and iteration_sinks:
+                for sink in iteration_sinks:
+                    sink.on_iteration_start(now // self.period, now)
             instructions = self._by_offset.get(offset, ())
             recorded = False
             for instruction in instructions:
@@ -136,6 +152,9 @@ class EMachine:
                 self._record(now, store, values)
             self.environment.advance(now, self.tick)
 
+        for sink in hooks.on_run_end:
+            sink.on_run_end(horizon)
+
         return SimulationResult(
             spec=spec,
             iterations=iterations,
@@ -152,9 +171,15 @@ class EMachine:
         store: dict[str, Any],
         values: dict[str, list[Any]],
     ) -> None:
+        access_sinks = self.hooks.on_access
         for name, comm in self.spec.communicators.items():
             if now % comm.period == 0:
-                values[name].append(store[name])
+                value = store[name]
+                values[name].append(value)
+                if access_sinks:
+                    reliable = value is not BOTTOM
+                    for sink in access_sinks:
+                        sink.on_access(name, now, reliable)
 
     def _execute(
         self,
@@ -182,6 +207,16 @@ class EMachine:
                     self.voter(replica_values) if replica_values else BOTTOM
                 )
                 store[port.communicator] = voted
+                if self.hooks.on_commit:
+                    for sink in self.hooks.on_commit:
+                        sink.on_commit(
+                            task_name,
+                            port.communicator,
+                            iteration,
+                            now,
+                            len(replica_values),
+                            voted is not BOTTOM,
+                        )
                 if port.communicator in self.actuators:
                     self.environment.actuate(port.communicator, now, voted)
         elif opcode is Opcode.UPDATE:
@@ -195,7 +230,11 @@ class EMachine:
                 self.faults.sensor_fails(sensor, now, self.rng)
                 for sensor in sorted(sensors)
             ]
-            store[name] = physical if not all(failed) else BOTTOM
+            delivered = not all(failed)
+            store[name] = physical if delivered else BOTTOM
+            if self.hooks.on_sensor_update:
+                for sink in self.hooks.on_sensor_update:
+                    sink.on_sensor_update(name, now, delivered)
         elif opcode is Opcode.SNAPSHOT:
             task_name, index, comm = instruction.args
             iteration = now // self.period
@@ -217,6 +256,8 @@ class EMachine:
             deadline = (
                 iteration * self.period + self.write_times[task_name]
             )
+            for sink in self.hooks.on_release_start:
+                sink.on_release_start(task_name, iteration, now)
             result_cache: "tuple[Any, ...] | None | str" = "unset"
             for host in sorted(
                 self.implementation.hosts_of(task_name)
@@ -230,6 +271,10 @@ class EMachine:
                 broadcast_failed = self.faults.broadcast_fails(
                     task_name, host, iteration, self.rng
                 )
+                if self.hooks.on_replica:
+                    ok = not (invocation_failed or broadcast_failed)
+                    for sink in self.hooks.on_replica:
+                        sink.on_replica(task_name, host, iteration, now, ok)
                 if invocation_failed or broadcast_failed:
                     failures[(task_name, host)] = (
                         failures.get((task_name, host), 0) + 1
@@ -245,6 +290,8 @@ class EMachine:
                         self.rng,
                     )
                 )
+            for sink in self.hooks.on_release_end:
+                sink.on_release_end(task_name, iteration, now)
         elif opcode in (Opcode.DISPATCH, Opcode.BROADCAST):
             task_name, host = instruction.args
             dispatch_log.append(

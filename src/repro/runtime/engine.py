@@ -26,7 +26,7 @@ failure injection, which is where fail-silence bites.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Iterable, Mapping
+from typing import Any, Iterable, Mapping
 
 import numpy as np
 
@@ -41,9 +41,10 @@ from repro.runtime.environment import ConstantEnvironment, Environment
 from repro.runtime.faults import FaultInjector, NoFaults
 from repro.runtime.plan import SimulationPlan, compile_plan
 from repro.runtime.voting import Voter, first_non_bottom
+from repro.telemetry.sink import HookSinks, InstrumentationSink
 
-if TYPE_CHECKING:  # pragma: no cover
-    from repro.resilience.monitor import LrcMonitor
+#: Shared empty dispatch table for un-instrumented helper calls.
+_NO_HOOKS = HookSinks()
 
 
 @dataclass
@@ -148,7 +149,17 @@ class Simulator:
         Optional online :class:`~repro.resilience.monitor.LrcMonitor`
         fed from the per-write hook: one ``observe`` call per
         communicator access instant, right after the trace sample is
-        recorded, with ``reliable = value is not BOTTOM``.
+        recorded, with ``reliable = value is not BOTTOM``.  The
+        monitor is an :class:`InstrumentationSink`; this keyword is a
+        convenience that prepends it to *sinks*.
+    sinks:
+        :class:`InstrumentationSink` subscribers (tracer, metrics,
+        monitor, ...) receiving the run's hook stream: run and
+        iteration framing, sensor updates, per-access records, task
+        releases, replica broadcasts, and vote commits.  Sinks are
+        observers — they see every semantic instant but never consume
+        randomness or touch the store, so an instrumented run is
+        bit-identical to a bare one.
     """
 
     def __init__(
@@ -161,7 +172,8 @@ class Simulator:
         voter: Voter = first_non_bottom,
         actuator_communicators: Iterable[str] | None = None,
         seed: "int | np.random.Generator" = 0,
-        monitor: "LrcMonitor | None" = None,
+        monitor: "InstrumentationSink | None" = None,
+        sinks: Iterable[InstrumentationSink] = (),
     ) -> None:
         self.spec = spec
         self.arch = arch
@@ -182,6 +194,7 @@ class Simulator:
         else:
             self.rng = np.random.default_rng(seed)
         self.monitor = monitor
+        self.sinks: tuple[InstrumentationSink, ...] = tuple(sinks)
         missing = sorted(
             t.name for t in spec.tasks.values() if t.function is None
         )
@@ -244,7 +257,16 @@ class Simulator:
         horizon = start_time + iterations * period
         if reset_faults:
             self.faults.begin_run(self.rng, horizon)
-        monitor = self.monitor
+        # The monitor is just the first sink; the per-hook filtered
+        # dispatch tables mean each hook site only touches sinks that
+        # override that hook (an unsubscribed site costs one branch).
+        hooks = HookSinks(
+            ((self.monitor,) if self.monitor is not None else ())
+            + self.sinks
+        )
+        iteration_sinks = hooks.on_iteration_start
+        sensor_sinks = hooks.on_sensor_update
+        access_sinks = hooks.on_access
 
         store: dict[str, Any] = (
             dict(initial_store)
@@ -268,9 +290,15 @@ class Simulator:
         attempts: dict[tuple[str, str], int] = {}
         failures: dict[tuple[str, str], int] = {}
 
+        for sink in hooks.on_run_start:
+            sink.on_run_start(start_time, iterations, period)
+
         for now in range(start_time, horizon, tick):
             offset = now % period
             iteration = now // period
+            if offset == 0 and iteration_sinks:
+                for sink in iteration_sinks:
+                    sink.on_iteration_start(iteration, now)
 
             # 1. Commit task outputs whose write time is due.  A write
             # time equal to the period commits at offset 0 of the next
@@ -286,7 +314,7 @@ class Simulator:
                     continue
                 for name in tasks:
                     self._commit(
-                        name, commit_iteration, store, pending, now
+                        name, commit_iteration, store, pending, now, hooks
                     )
 
             # 2. Sensor updates of input communicators that are due.
@@ -302,17 +330,23 @@ class Simulator:
                     self.faults.sensor_fails(sensor, now, self.rng)
                     for sensor in sensors
                 ]
-                store[name] = physical if not all(failed) else BOTTOM
+                delivered = not all(failed)
+                store[name] = physical if delivered else BOTTOM
+                if sensor_sinks:
+                    for sink in sensor_sinks:
+                        sink.on_sensor_update(name, now, delivered)
 
             # 3. Record the trace at every due access instant; the
-            # online monitor sees exactly the recorded samples.
+            # sinks (online monitor, tracer, metrics) see exactly the
+            # recorded samples.
             for name, comm in spec.communicators.items():
                 if now % comm.period == 0:
-                    values[name].append(store[name])
-                    if monitor is not None:
-                        monitor.observe(
-                            name, now, store[name] is not BOTTOM
-                        )
+                    value = store[name]
+                    values[name].append(value)
+                    if access_sinks:
+                        reliable = value is not BOTTOM
+                        for sink in access_sinks:
+                            sink.on_access(name, now, reliable)
 
             # 4. Snapshot input ports whose instance time is due.
             for task_name, index, comm in self.snap_plan.get(offset, ()):
@@ -333,6 +367,7 @@ class Simulator:
                     pending,
                     attempts,
                     failures,
+                    hooks,
                 )
 
             self.environment.advance(now, tick)
@@ -350,8 +385,12 @@ class Simulator:
                     continue
                 for name in tasks:
                     self._commit(
-                        name, commit_iteration, store, pending, horizon
+                        name, commit_iteration, store, pending, horizon,
+                        hooks,
                     )
+
+        for sink in hooks.on_run_end:
+            sink.on_run_end(horizon)
 
         return SimulationResult(
             spec=spec,
@@ -371,13 +410,25 @@ class Simulator:
         store: dict[str, Any],
         pending: dict[tuple[str, int], list[tuple[Any, ...]]],
         now: int,
+        hooks: HookSinks = _NO_HOOKS,
     ) -> None:
         task = self.spec.tasks[task_name]
         outputs = pending.pop((task_name, iteration), [])
+        commit_sinks = hooks.on_commit
         for index, port in enumerate(task.outputs):
             replica_values = [value[index] for value in outputs]
             voted = self.voter(replica_values) if replica_values else BOTTOM
             store[port.communicator] = voted
+            if commit_sinks:
+                for sink in commit_sinks:
+                    sink.on_commit(
+                        task_name,
+                        port.communicator,
+                        iteration,
+                        now,
+                        len(replica_values),
+                        voted is not BOTTOM,
+                    )
             if port.communicator in self.actuators:
                 self.environment.actuate(port.communicator, now, voted)
 
@@ -390,6 +441,7 @@ class Simulator:
         pending: dict[tuple[str, int], list[tuple[Any, ...]]],
         attempts: dict[tuple[str, str], int],
         failures: dict[tuple[str, str], int],
+        hooks: HookSinks = _NO_HOOKS,
     ) -> None:
         task = self.spec.tasks[task_name]
         key = (task_name, iteration)
@@ -398,6 +450,9 @@ class Simulator:
             raise RuntimeSimulationError(
                 f"incomplete input snapshot for {task_name} at {now}"
             )
+        replica_sinks = hooks.on_replica
+        for sink in hooks.on_release_start:
+            sink.on_release_start(task_name, iteration, now)
         deadline = iteration * self.period + self.write_times[task_name]
         result_cache: tuple[Any, ...] | None | str = "unset"
         # Both fault draws are taken unconditionally (the invocation
@@ -413,6 +468,10 @@ class Simulator:
             broadcast_failed = self.faults.broadcast_fails(
                 task_name, host, iteration, self.rng
             )
+            if replica_sinks:
+                ok = not (invocation_failed or broadcast_failed)
+                for sink in replica_sinks:
+                    sink.on_replica(task_name, host, iteration, now, ok)
             if invocation_failed or broadcast_failed:
                 failures[(task_name, host)] = (
                     failures.get((task_name, host), 0) + 1
@@ -430,3 +489,5 @@ class Simulator:
                     task_name, host, iteration, result_cache, self.rng
                 )
             )
+        for sink in hooks.on_release_end:
+            sink.on_release_end(task_name, iteration, now)

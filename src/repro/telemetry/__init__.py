@@ -1,0 +1,87 @@
+"""Unified telemetry: tracing, metrics, and profiling.
+
+Three pillars over one subscriber protocol
+(:class:`~repro.telemetry.sink.InstrumentationSink`):
+
+* **Tracing** — :class:`~repro.telemetry.trace.Tracer` records
+  hierarchical spans (run → iteration → task release) and instants
+  (sensor updates, accesses, votes, broadcasts, resilience events)
+  with both wall and logical clocks, exported as Chrome trace-event
+  JSON (Perfetto) or JSONL; summarised offline by
+  :mod:`repro.telemetry.summary`.
+* **Metrics** — :class:`~repro.telemetry.metrics.MetricsRegistry`
+  (counters/gauges/histograms) with snapshot and Prometheus text
+  exposition, fed online by
+  :class:`~repro.telemetry.metrics.MetricsSink` and offline by
+  :func:`~repro.telemetry.metrics.record_batch_result` /
+  :func:`~repro.telemetry.metrics.record_margins`.
+* **Profiling** — :class:`~repro.telemetry.profiler.StageProfiler`
+  stage timers around the batch executor's phases, with
+  :data:`~repro.telemetry.profiler.NULL_PROFILER` as the free default.
+
+Event streams are correlated across layers by the
+:func:`~repro.telemetry.runid.derive_run_id` key and merged on the
+:class:`~repro.telemetry.bus.TelemetryBus`.  The whole package is
+zero-dependency and observer-only: attaching telemetry never changes
+simulation draws (the PR 2 seed contract is regression-tested in
+``tests/test_telemetry.py``).
+"""
+
+from repro.telemetry.bus import TelemetryBus
+from repro.telemetry.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    MetricsSink,
+    record_batch_result,
+    record_margins,
+)
+from repro.telemetry.profiler import (
+    NULL_PROFILER,
+    NullProfiler,
+    StageProfiler,
+    StageStats,
+)
+from repro.telemetry.runid import derive_run_id
+from repro.telemetry.sink import (
+    HOOK_NAMES,
+    HookSinks,
+    InstrumentationSink,
+    NullSink,
+    sinks_for_hook,
+)
+from repro.telemetry.summary import (
+    TraceSummary,
+    load_trace_file,
+    render_summary,
+    summarize_trace,
+)
+from repro.telemetry.trace import TraceEvent, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "HOOK_NAMES",
+    "Histogram",
+    "HookSinks",
+    "InstrumentationSink",
+    "MetricsRegistry",
+    "MetricsSink",
+    "NULL_PROFILER",
+    "NullProfiler",
+    "NullSink",
+    "StageProfiler",
+    "StageStats",
+    "TelemetryBus",
+    "TraceEvent",
+    "TraceSummary",
+    "Tracer",
+    "derive_run_id",
+    "load_trace_file",
+    "record_batch_result",
+    "record_margins",
+    "render_summary",
+    "sinks_for_hook",
+    "summarize_trace",
+]

@@ -1,0 +1,466 @@
+"""Metrics registry: counters, gauges, histograms, exposition.
+
+The :class:`MetricsRegistry` is a zero-dependency accumulator keyed
+by metric name plus a sorted label tuple.  Three instrument kinds:
+
+* :class:`Counter` — monotonically increasing float (event counts);
+* :class:`Gauge` — last-write-wins float (margins, rates);
+* :class:`Histogram` — fixed-bucket cumulative histogram with sum
+  and count (latencies, durations).
+
+Snapshots are plain dicts (stable key order), and
+:meth:`MetricsRegistry.to_prometheus` renders the Prometheus text
+exposition format (``# HELP`` / ``# TYPE`` plus one sample per
+labelled series, ``_bucket``/``_sum``/``_count`` for histograms).
+
+:class:`MetricsSink` adapts the registry to the
+:class:`~repro.telemetry.sink.InstrumentationSink` hook stream, and
+:func:`record_batch_result` / :func:`record_margins` load it from the
+offline analyses so one dashboard covers both online and batch
+evidence.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping
+
+from repro.telemetry.sink import InstrumentationSink
+
+Labels = tuple[tuple[str, str], ...]
+
+#: Default histogram buckets (seconds-ish scale, also fine for counts).
+DEFAULT_BUCKETS = (
+    0.001,
+    0.005,
+    0.01,
+    0.05,
+    0.1,
+    0.5,
+    1.0,
+    5.0,
+    10.0,
+    50.0,
+    100.0,
+)
+
+
+def _labels_of(labels: "Mapping[str, Any] | None") -> Labels:
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _render_labels(labels: Labels) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        '{}="{}"'.format(k, v.replace("\\", "\\\\").replace('"', '\\"'))
+        for k, v in labels
+    )
+    return "{" + inner + "}"
+
+
+@dataclass
+class Counter:
+    """Monotonically increasing value."""
+
+    value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only increase")
+        self.value += amount
+
+
+@dataclass
+class Gauge:
+    """Last-write-wins value."""
+
+    value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+
+@dataclass
+class Histogram:
+    """Cumulative fixed-bucket histogram."""
+
+    buckets: tuple[float, ...] = DEFAULT_BUCKETS
+    counts: list[int] = field(default_factory=list)
+    sum: float = 0.0
+    count: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.counts:
+            self.counts = [0] * (len(self.buckets) + 1)
+
+    def observe(self, value: float) -> None:
+        self.sum += value
+        self.count += 1
+        self.counts[bisect.bisect_left(self.buckets, value)] += 1
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "buckets": list(self.buckets),
+            "counts": list(self.counts),
+            "sum": self.sum,
+            "count": self.count,
+        }
+
+
+@dataclass(frozen=True)
+class _MetricMeta:
+    kind: str
+    help: str
+    unit: str
+
+
+class MetricsRegistry:
+    """Named, labelled instruments with snapshot and exposition."""
+
+    def __init__(self) -> None:
+        self._meta: dict[str, _MetricMeta] = {}
+        self._series: dict[str, dict[Labels, Any]] = {}
+
+    # -- registration and lookup ---------------------------------------
+
+    def _instrument(
+        self,
+        kind: str,
+        name: str,
+        labels: "Mapping[str, Any] | None",
+        help: str,
+        unit: str,
+        factory: Any,
+    ) -> Any:
+        meta = self._meta.get(name)
+        if meta is None:
+            self._meta[name] = _MetricMeta(kind, help, unit)
+            self._series[name] = {}
+        elif meta.kind != kind:
+            raise ValueError(
+                f"metric {name!r} already registered as {meta.kind}"
+            )
+        series = self._series[name]
+        key = _labels_of(labels)
+        instrument = series.get(key)
+        if instrument is None:
+            instrument = factory()
+            series[key] = instrument
+        return instrument
+
+    def counter(
+        self,
+        name: str,
+        labels: "Mapping[str, Any] | None" = None,
+        help: str = "",
+        unit: str = "",
+    ) -> Counter:
+        return self._instrument(
+            "counter", name, labels, help, unit, Counter
+        )
+
+    def gauge(
+        self,
+        name: str,
+        labels: "Mapping[str, Any] | None" = None,
+        help: str = "",
+        unit: str = "",
+    ) -> Gauge:
+        return self._instrument("gauge", name, labels, help, unit, Gauge)
+
+    def histogram(
+        self,
+        name: str,
+        labels: "Mapping[str, Any] | None" = None,
+        help: str = "",
+        unit: str = "",
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        return self._instrument(
+            "histogram",
+            name,
+            labels,
+            help,
+            unit,
+            lambda: Histogram(buckets=buckets),
+        )
+
+    # -- snapshot -------------------------------------------------------
+
+    def snapshot(self) -> dict[str, Any]:
+        """Plain-dict view of every series, stable ordering."""
+        doc: dict[str, Any] = {}
+        for name in sorted(self._series):
+            meta = self._meta[name]
+            series_doc = []
+            for key in sorted(self._series[name]):
+                instrument = self._series[name][key]
+                value: Any
+                if isinstance(instrument, Histogram):
+                    value = instrument.to_dict()
+                else:
+                    value = instrument.value
+                series_doc.append(
+                    {"labels": dict(key), "value": value}
+                )
+            doc[name] = {
+                "kind": meta.kind,
+                "help": meta.help,
+                "unit": meta.unit,
+                "series": series_doc,
+            }
+        return doc
+
+    # -- Prometheus text exposition ------------------------------------
+
+    def to_prometheus(self) -> str:
+        """Render the Prometheus text exposition format."""
+        lines: list[str] = []
+        for name in sorted(self._series):
+            meta = self._meta[name]
+            if meta.help:
+                lines.append(f"# HELP {name} {meta.help}")
+            lines.append(f"# TYPE {name} {meta.kind}")
+            for key in sorted(self._series[name]):
+                instrument = self._series[name][key]
+                rendered = _render_labels(key)
+                if isinstance(instrument, Histogram):
+                    cumulative = 0
+                    for bound, bucket in zip(
+                        instrument.buckets, instrument.counts
+                    ):
+                        cumulative += bucket
+                        labels = key + (("le", repr(float(bound))),)
+                        lines.append(
+                            f"{name}_bucket{_render_labels(labels)}"
+                            f" {cumulative}"
+                        )
+                    cumulative += instrument.counts[-1]
+                    labels = key + (("le", "+Inf"),)
+                    lines.append(
+                        f"{name}_bucket{_render_labels(labels)}"
+                        f" {cumulative}"
+                    )
+                    lines.append(
+                        f"{name}_sum{rendered} {instrument.sum}"
+                    )
+                    lines.append(
+                        f"{name}_count{rendered} {instrument.count}"
+                    )
+                else:
+                    value = instrument.value
+                    if math.isinf(value):
+                        text = "+Inf" if value > 0 else "-Inf"
+                    else:
+                        text = repr(float(value))
+                    lines.append(f"{name}{rendered} {text}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+class MetricsSink(InstrumentationSink):
+    """Feeds a :class:`MetricsRegistry` from the instrumentation hooks.
+
+    Metric catalog (all per-run unless noted):
+
+    * ``repro_accesses_total{communicator,reliable}`` — communicator
+      access instants, split reliable/unreliable;
+    * ``repro_reliable_write_rate{communicator}`` — gauge, running
+      fraction of reliable accesses;
+    * ``repro_sensor_updates_total{communicator,delivered}``;
+    * ``repro_votes_total{communicator,reliable}`` — vote commits;
+    * ``repro_replica_broadcasts_total{task,host,ok}``;
+    * ``repro_iterations_total`` — specification periods executed;
+    * ``repro_resilience_events_total{kind}`` plus
+      ``repro_hosts_suspected_total`` / ``repro_hosts_dead_total`` /
+      ``repro_recoveries_total{outcome}``;
+    * ``repro_detection_latency`` — histogram of alarm time minus
+      run start (logical time units).
+    """
+
+    def __init__(
+        self, registry: "MetricsRegistry | None" = None
+    ) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._access_totals: dict[str, list[int]] = {}
+        self._run_start: int = 0
+
+    # -- hooks ----------------------------------------------------------
+
+    def on_run_start(
+        self, start_time: int, iterations: int, period: int
+    ) -> None:
+        self._run_start = start_time
+
+    def on_iteration_start(self, iteration: int, time: int) -> None:
+        self.registry.counter(
+            "repro_iterations_total",
+            help="Specification periods executed.",
+        ).inc()
+
+    def on_sensor_update(
+        self, communicator: str, time: int, delivered: bool
+    ) -> None:
+        self.registry.counter(
+            "repro_sensor_updates_total",
+            {"communicator": communicator, "delivered": delivered},
+            help="Sensor update instants by delivery outcome.",
+        ).inc()
+
+    def on_access(
+        self,
+        communicator: str,
+        time: int,
+        reliable: bool,
+        run: "int | None" = None,
+    ) -> None:
+        self.registry.counter(
+            "repro_accesses_total",
+            {"communicator": communicator, "reliable": reliable},
+            help="Communicator access instants by reliability.",
+        ).inc()
+        totals = self._access_totals.setdefault(communicator, [0, 0])
+        totals[0] += 1
+        totals[1] += 1 if reliable else 0
+        self.registry.gauge(
+            "repro_reliable_write_rate",
+            {"communicator": communicator},
+            help="Running fraction of reliable accesses.",
+            unit="ratio",
+        ).set(totals[1] / totals[0])
+
+    def on_replica(
+        self, task: str, host: str, iteration: int, time: int, ok: bool
+    ) -> None:
+        self.registry.counter(
+            "repro_replica_broadcasts_total",
+            {"task": task, "host": host, "ok": ok},
+            help="Replica invocation/broadcast attempts by outcome.",
+        ).inc()
+
+    def on_commit(
+        self,
+        task: str,
+        communicator: str,
+        iteration: int,
+        time: int,
+        replicas: int,
+        reliable: bool,
+    ) -> None:
+        self.registry.counter(
+            "repro_votes_total",
+            {"communicator": communicator, "reliable": reliable},
+            help="Vote commits by outcome.",
+        ).inc()
+
+    def on_event(self, event: Any) -> None:
+        kind = str(getattr(event, "kind", "event"))
+        self.registry.counter(
+            "repro_resilience_events_total",
+            {"kind": kind},
+            help="Typed resilience events by kind.",
+        ).inc()
+        if kind == "host-suspected":
+            self.registry.counter(
+                "repro_hosts_suspected_total",
+                help="Host watchdog suspicion events.",
+            ).inc()
+        elif kind == "host-dead":
+            self.registry.counter(
+                "repro_hosts_dead_total",
+                help="Host watchdog death declarations.",
+            ).inc()
+        elif kind in ("recovery-committed", "recovery-failed"):
+            outcome = (
+                "committed" if kind == "recovery-committed" else "failed"
+            )
+            self.registry.counter(
+                "repro_recoveries_total",
+                {"outcome": outcome},
+                help="Recovery actions by outcome.",
+            ).inc()
+        if kind == "lrc-alarm":
+            self.registry.histogram(
+                "repro_detection_latency",
+                help="LRC alarm time since run start (logical units).",
+                unit="time",
+                buckets=(
+                    100.0,
+                    500.0,
+                    1000.0,
+                    5000.0,
+                    10000.0,
+                    50000.0,
+                    100000.0,
+                ),
+            ).observe(float(event.time - self._run_start))
+
+
+def record_batch_result(
+    registry: MetricsRegistry, result: Any, elapsed_seconds: "float | None" = None
+) -> None:
+    """Load batch Monte-Carlo evidence into *registry*.
+
+    *result* is duck-typed over ``BatchResult`` (``runs`` plus the
+    pooled per-communicator ``srg_estimates()`` mapping).
+    """
+    registry.gauge(
+        "repro_batch_runs",
+        help="Monte-Carlo runs pooled in the batch result.",
+    ).set(float(result.runs))
+    for communicator, rate in sorted(result.srg_estimates().items()):
+        registry.gauge(
+            "repro_reliable_write_rate",
+            {"communicator": communicator},
+            help="Running fraction of reliable accesses.",
+            unit="ratio",
+        ).set(rate)
+    if elapsed_seconds and elapsed_seconds > 0:
+        registry.gauge(
+            "repro_batch_throughput",
+            help="Batch Monte-Carlo throughput.",
+            unit="runs_per_second",
+        ).set(result.runs / elapsed_seconds)
+
+
+def record_margins(
+    registry: MetricsRegistry, margins: "Mapping[str, tuple[float, float]] | Iterable[tuple[str, float, float]]"
+) -> None:
+    """Record SRG-vs-LRC margins (``lambda_c - mu_c`` per communicator).
+
+    Accepts either a mapping ``{communicator: (srg, lrc)}`` or an
+    iterable of ``(communicator, srg, lrc)`` triples.
+    """
+    if isinstance(margins, Mapping):
+        rows: Iterable[tuple[str, float, float]] = (
+            (name, srg, lrc) for name, (srg, lrc) in margins.items()
+        )
+    else:
+        rows = margins
+    for name, srg, lrc in rows:
+        self_labels = {"communicator": name}
+        registry.gauge(
+            "repro_srg",
+            self_labels,
+            help="Singular reliability guarantee lambda_c.",
+            unit="probability",
+        ).set(srg)
+        registry.gauge(
+            "repro_lrc",
+            self_labels,
+            help="Logical reliability constraint mu_c.",
+            unit="probability",
+        ).set(lrc)
+        registry.gauge(
+            "repro_srg_lrc_margin",
+            self_labels,
+            help="Reliability margin lambda_c - mu_c (>=0 is reliable).",
+            unit="probability",
+        ).set(srg - lrc)

@@ -1,0 +1,180 @@
+"""The instrumentation sink protocol shared by every execution path.
+
+PR 3 wired the online LRC monitor into the scalar engine through a
+dedicated ``monitor`` hook and into the batch executor through a
+parallel code path — each new subscriber would have needed its own
+engine surgery.  :class:`InstrumentationSink` replaces that with one
+subscriber protocol: the executors call a fixed set of ``on_*`` hooks
+at the semantic instants of a run (run/iteration boundaries, sensor
+updates, communicator accesses, task releases, replica broadcasts,
+vote commits, resilience events), and anything implementing the
+protocol — the resilience :class:`~repro.resilience.monitor.LrcMonitor`,
+the telemetry :class:`~repro.telemetry.trace.Tracer`, the
+:class:`~repro.telemetry.metrics.MetricsSink` — subscribes without
+further engine changes.
+
+Every hook is a no-op on the base class, so sinks override only what
+they consume.  Executors dispatch through :class:`HookSinks` — a
+per-hook filtered view computed once per run — so a sink pays only
+for the hooks it actually overrides and a hook site with no
+subscribers costs one attribute load plus a branch (the null-recorder
+default, held to <=5% scalar overhead by
+``benchmarks/test_bench_telemetry_overhead.py``).
+
+Hooks must be **observers**: they may not consume randomness, mutate
+simulation state, or raise — the seed contract (PR 2) guarantees that
+a run with sinks attached is bit-identical to the same run without.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+class InstrumentationSink:
+    """Base class of every per-run instrumentation subscriber.
+
+    All hooks default to no-ops; subclasses override the ones they
+    care about.  *time* arguments are logical simulation instants in
+    the specification's time unit; *iteration* counts specification
+    periods from the start of the whole (possibly chained) run.
+    """
+
+    # -- run framing ---------------------------------------------------
+
+    def on_run_start(
+        self, start_time: int, iterations: int, period: int
+    ) -> None:
+        """The executor begins a run of *iterations* periods."""
+
+    def on_run_end(self, time: int) -> None:
+        """The run reached its horizon *time*."""
+
+    def on_iteration_start(self, iteration: int, time: int) -> None:
+        """A new specification period begins at instant *time*."""
+
+    # -- data-flow instants --------------------------------------------
+
+    def on_sensor_update(
+        self, communicator: str, time: int, delivered: bool
+    ) -> None:
+        """A sensor update of an input communicator was due.
+
+        *delivered* is ``False`` when every bound sensor failed and
+        the communicator was written ``BOTTOM``.
+        """
+
+    def on_access(
+        self,
+        communicator: str,
+        time: int,
+        reliable: bool,
+        run: "int | None" = None,
+    ) -> None:
+        """One communicator access instant was recorded.
+
+        This is the per-write hook of the paper's trace semantics: one
+        call per access instant of every communicator, in timetable
+        order, right after the trace sample is recorded — exactly the
+        stream the online LRC monitor consumes.
+        """
+
+    # -- task execution ------------------------------------------------
+
+    def on_release_start(
+        self, task: str, iteration: int, time: int
+    ) -> None:
+        """A task invocation is released (all replicas, one snapshot)."""
+
+    def on_replica(
+        self, task: str, host: str, iteration: int, time: int, ok: bool
+    ) -> None:
+        """One replication attempted its invocation and broadcast.
+
+        *ok* is ``False`` when the invocation or the broadcast failed
+        (the replica stays silent — fail-silence).
+        """
+
+    def on_release_end(
+        self, task: str, iteration: int, time: int
+    ) -> None:
+        """All replications of the invocation have been dispatched."""
+
+    def on_commit(
+        self,
+        task: str,
+        communicator: str,
+        iteration: int,
+        time: int,
+        replicas: int,
+        reliable: bool,
+    ) -> None:
+        """The hosts voted over *replicas* replica outputs and wrote
+        the winner (or ``BOTTOM`` when *reliable* is false) into
+        *communicator*."""
+
+    # -- resilience / control events -----------------------------------
+
+    def on_event(self, event: Any) -> None:
+        """A typed resilience or control event was emitted.
+
+        *event* is duck-typed: anything with ``kind`` and ``to_dict``
+        (the :class:`~repro.resilience.events.ResilienceEvent` shape).
+        """
+
+
+class NullSink(InstrumentationSink):
+    """The explicit do-nothing sink.
+
+    Functionally identical to attaching no sink at all; exists so the
+    overhead benchmark can measure the cost of hook dispatch itself
+    and so call sites can pass a sentinel instead of ``None``.
+    """
+
+
+#: Every hook name of the protocol, in declaration order.
+HOOK_NAMES = (
+    "on_run_start",
+    "on_run_end",
+    "on_iteration_start",
+    "on_sensor_update",
+    "on_access",
+    "on_release_start",
+    "on_replica",
+    "on_release_end",
+    "on_commit",
+    "on_event",
+)
+
+
+def sinks_for_hook(
+    sinks: "tuple[InstrumentationSink, ...]", hook: str
+) -> "tuple[InstrumentationSink, ...]":
+    """Filter *sinks* down to those overriding the *hook* method."""
+    base = getattr(InstrumentationSink, hook)
+    return tuple(
+        sink
+        for sink in sinks
+        if getattr(type(sink), hook, base) is not base
+    )
+
+
+class HookSinks:
+    """Per-hook filtered dispatch tables over a sink tuple.
+
+    The executors' hook sites fire millions of times per run, so they
+    must not pay for hooks nobody consumes.  ``HookSinks`` filters the
+    subscriber tuple once per run: each attribute holds only the sinks
+    that override that hook, so a :class:`NullSink` (or a metrics sink
+    that ignores releases) contributes zero per-event work — the hot
+    loops reduce to an attribute load and an empty-tuple branch.
+    """
+
+    __slots__ = HOOK_NAMES
+
+    def __init__(
+        self, sinks: "tuple[InstrumentationSink, ...]" = ()
+    ) -> None:
+        sinks = tuple(sinks)
+        for name in HOOK_NAMES:
+            setattr(self, name, sinks_for_hook(sinks, name))

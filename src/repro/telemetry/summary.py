@@ -1,0 +1,213 @@
+"""Offline trace summarisation for the ``repro trace`` command.
+
+Loads a trace written by :class:`~repro.telemetry.trace.Tracer` —
+either the Chrome trace-event JSON object form or JSONL — and
+aggregates span statistics, the critical-path iteration (the
+iteration span with the largest wall duration), and the communicators
+ranked by unreliable writes.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.errors import ReproError
+
+
+def load_trace_file(path: "str | Path") -> list[dict[str, Any]]:
+    """Parse *path* into a list of trace-event dicts.
+
+    Accepts the Chrome object format (``{"traceEvents": [...]}``), a
+    bare JSON array, or JSONL (one event per line).  Raises
+    :class:`~repro.errors.ReproError` on missing, empty, or malformed
+    input.
+    """
+    path = Path(path)
+    try:
+        text = path.read_text()
+    except OSError as error:
+        raise ReproError(f"cannot read trace file {str(path)!r}: {error}")
+    if not text.strip():
+        raise ReproError(f"trace file {str(path)!r} is empty")
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError:
+        events = []
+        for lineno, line in enumerate(text.splitlines(), start=1):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise ReproError(
+                    f"trace file {str(path)!r} line {lineno} is not"
+                    f" valid JSON: {error.msg}"
+                )
+            if not isinstance(record, dict):
+                raise ReproError(
+                    f"trace file {str(path)!r} line {lineno} is not"
+                    " a trace-event object"
+                )
+            events.append(record)
+        if not events:
+            raise ReproError(f"trace file {str(path)!r} is empty")
+        return events
+    if isinstance(doc, dict):
+        events = doc.get("traceEvents")
+        if not isinstance(events, list):
+            raise ReproError(
+                f"trace file {str(path)!r} has no 'traceEvents' array"
+            )
+    elif isinstance(doc, list):
+        events = doc
+    else:
+        raise ReproError(
+            f"trace file {str(path)!r} is not a trace-event document"
+        )
+    if not all(isinstance(e, dict) for e in events):
+        raise ReproError(
+            f"trace file {str(path)!r} contains non-object events"
+        )
+    if not events:
+        raise ReproError(f"trace file {str(path)!r} is empty")
+    return events
+
+
+@dataclass
+class SpanStat:
+    """Aggregated durations of one span name."""
+
+    name: str
+    cat: str
+    count: int = 0
+    total_us: float = 0.0
+    max_us: float = 0.0
+
+    @property
+    def mean_us(self) -> float:
+        return self.total_us / self.count if self.count else 0.0
+
+
+@dataclass
+class TraceSummary:
+    """Everything ``repro trace`` prints."""
+
+    events: int
+    spans: int
+    instants: int
+    run_id: "str | None"
+    wall_us: float
+    span_stats: list[SpanStat] = field(default_factory=list)
+    critical_iteration: "tuple[int, float] | None" = None
+    unreliable_writes: list[tuple[str, int]] = field(default_factory=list)
+    resilience_kinds: dict[str, int] = field(default_factory=dict)
+
+
+def summarize_trace(events: list[dict[str, Any]]) -> TraceSummary:
+    """Aggregate a parsed trace-event list."""
+    stats: dict[tuple[str, str], SpanStat] = {}
+    spans = 0
+    instants = 0
+    run_id: "str | None" = None
+    wall_us = 0.0
+    critical: "tuple[int, float] | None" = None
+    unreliable: dict[str, int] = {}
+    kinds: dict[str, int] = {}
+    for event in events:
+        phase = event.get("ph")
+        args = event.get("args") or {}
+        if run_id is None:
+            candidate = args.get("run_id")
+            if candidate is not None:
+                run_id = str(candidate)
+        if phase == "X":
+            spans += 1
+            cat = str(event.get("cat", ""))
+            # Collapse per-instance span names ("iteration 3",
+            # "release controller") onto their category for stats.
+            name = str(event.get("name", ""))
+            group = f"{cat}:{name.split(' ')[0]}" if cat else name
+            stat = stats.get((group, cat))
+            if stat is None:
+                stat = SpanStat(name=group, cat=cat)
+                stats[(group, cat)] = stat
+            duration = float(event.get("dur", 0.0) or 0.0)
+            stat.count += 1
+            stat.total_us += duration
+            stat.max_us = max(stat.max_us, duration)
+            end = float(event.get("ts", 0.0) or 0.0) + duration
+            wall_us = max(wall_us, end)
+            if cat == "iteration":
+                iteration = args.get("iteration")
+                if iteration is not None and (
+                    critical is None or duration > critical[1]
+                ):
+                    critical = (int(iteration), duration)
+        elif phase == "i":
+            instants += 1
+            wall_us = max(wall_us, float(event.get("ts", 0.0) or 0.0))
+            cat = event.get("cat")
+            if cat in ("access", "vote") and args.get("reliable") is False:
+                name = str(args.get("communicator", "?"))
+                unreliable[name] = unreliable.get(name, 0) + 1
+            elif cat == "resilience":
+                kind = str(event.get("name", "event"))
+                kinds[kind] = kinds.get(kind, 0) + 1
+    ordered = sorted(
+        stats.values(), key=lambda s: s.total_us, reverse=True
+    )
+    ranked = sorted(
+        unreliable.items(), key=lambda item: (-item[1], item[0])
+    )
+    return TraceSummary(
+        events=len(events),
+        spans=spans,
+        instants=instants,
+        run_id=run_id,
+        wall_us=wall_us,
+        span_stats=ordered,
+        critical_iteration=critical,
+        unreliable_writes=ranked,
+        resilience_kinds=kinds,
+    )
+
+
+def render_summary(summary: TraceSummary, top: int = 5) -> str:
+    """Fixed-width text report of a :class:`TraceSummary`."""
+    lines = [
+        "trace summary",
+        f"  events            {summary.events}"
+        f" ({summary.spans} spans, {summary.instants} instants)",
+        f"  run id            {summary.run_id or '-'}",
+        f"  wall time         {summary.wall_us / 1000.0:.3f} ms",
+    ]
+    if summary.critical_iteration is not None:
+        iteration, duration = summary.critical_iteration
+        lines.append(
+            f"  critical path     iteration {iteration}"
+            f" ({duration / 1000.0:.3f} ms)"
+        )
+    if summary.span_stats:
+        lines.append("span stats (by total wall time)")
+        width = max(len(s.name) for s in summary.span_stats[:top])
+        for stat in summary.span_stats[:top]:
+            lines.append(
+                f"  {stat.name:<{width}}  x{stat.count:<6d}"
+                f" total {stat.total_us / 1000.0:>9.3f} ms"
+                f"  mean {stat.mean_us:>8.1f} us"
+                f"  max {stat.max_us:>8.1f} us"
+            )
+    if summary.unreliable_writes:
+        lines.append("top communicators by unreliable writes")
+        for name, count in summary.unreliable_writes[:top]:
+            lines.append(f"  {name:<20} {count}")
+    if summary.resilience_kinds:
+        lines.append("resilience events")
+        for kind in sorted(summary.resilience_kinds):
+            lines.append(
+                f"  {kind:<20} {summary.resilience_kinds[kind]}"
+            )
+    return "\n".join(lines)

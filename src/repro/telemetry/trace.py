@@ -1,0 +1,352 @@
+"""Execution tracing: hierarchical spans with dual clocks.
+
+The :class:`Tracer` is an :class:`~repro.telemetry.sink.
+InstrumentationSink` that turns the executors' hook stream into a
+trace of *spans* (run → iteration → task release) and *instants*
+(sensor updates, communicator accesses, vote commits, replica
+broadcasts, resilience events).  Every record carries two clocks:
+
+* **wall time** — microseconds of ``time.perf_counter`` since the
+  tracer was created, which is what the Chrome trace-event timeline
+  renders;
+* **logical time** — the simulation instant and iteration, recorded
+  in the event ``args``, which is deterministic under the PR 2 seed
+  contract (two runs with equal seeds produce traces that differ only
+  in wall-clock durations).
+
+Exporters:
+
+* :meth:`Tracer.to_chrome` — the Chrome trace-event JSON object
+  format (``{"traceEvents": [...]}``), loadable in Perfetto and
+  ``chrome://tracing``;
+* :meth:`Tracer.to_jsonl` — one event dict per line, for streaming
+  consumers and the ``repro trace`` summarizer.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from typing import IO, Any, Callable, Iterator
+
+from repro.telemetry.sink import InstrumentationSink
+
+#: Chrome trace-event phase codes used by the tracer.
+PHASE_COMPLETE = "X"
+PHASE_INSTANT = "i"
+PHASE_METADATA = "M"
+
+
+@dataclass
+class TraceEvent:
+    """One Chrome trace-event record.
+
+    ``ts``/``dur`` are wall-clock microseconds relative to tracer
+    creation; logical time lives in ``args`` (``iteration`` and
+    ``instant`` keys where applicable).
+    """
+
+    name: str
+    cat: str
+    ph: str
+    ts: float
+    dur: "float | None" = None
+    pid: int = 1
+    tid: int = 1
+    args: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        """Return the JSON form (Chrome trace-event dict)."""
+        doc: dict[str, Any] = {
+            "name": self.name,
+            "cat": self.cat,
+            "ph": self.ph,
+            "ts": self.ts,
+            "pid": self.pid,
+            "tid": self.tid,
+        }
+        if self.ph == PHASE_COMPLETE:
+            doc["dur"] = 0.0 if self.dur is None else self.dur
+        elif self.ph == PHASE_INSTANT:
+            doc["s"] = "t"  # thread-scoped instant
+        if self.args:
+            doc["args"] = self.args
+        return doc
+
+
+class _SpanHandle:
+    """Context manager closing one manually opened span."""
+
+    __slots__ = ("_tracer", "_name", "_cat", "_args", "_start")
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        cat: str,
+        args: dict[str, Any],
+    ) -> None:
+        self._tracer = tracer
+        self._name = name
+        self._cat = cat
+        self._args = args
+        self._start = tracer._now_us()
+
+    def __enter__(self) -> "_SpanHandle":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self._tracer._complete(
+            self._name, self._cat, self._start, self._args
+        )
+
+
+class Tracer(InstrumentationSink):
+    """Hierarchical span recorder over the instrumentation hooks.
+
+    Parameters
+    ----------
+    run_id:
+        Correlation key stamped into the trace metadata and every
+        span's ``args``; use the same id as the resilience event
+        stream to join the two (see
+        :func:`~repro.telemetry.runid.derive_run_id`).
+    clock:
+        Monotonic second-resolution clock; injectable for
+        deterministic tests.
+    """
+
+    def __init__(
+        self,
+        run_id: str = "run",
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        self.run_id = run_id
+        self._clock = clock
+        self._origin = clock()
+        self.events: list[TraceEvent] = []
+        # Open-span stacks, innermost last: (kind, name, cat, start, args).
+        self._stack: list[tuple[str, str, str, float, dict[str, Any]]] = []
+        self.events.append(
+            TraceEvent(
+                name="process_name",
+                cat="__metadata",
+                ph=PHASE_METADATA,
+                ts=0.0,
+                args={"name": f"repro {run_id}"},
+            )
+        )
+
+    # -- clocks and low-level emission ---------------------------------
+
+    def _now_us(self) -> float:
+        return (self._clock() - self._origin) * 1e6
+
+    def _complete(
+        self, name: str, cat: str, start: float, args: dict[str, Any]
+    ) -> None:
+        self.events.append(
+            TraceEvent(
+                name=name,
+                cat=cat,
+                ph=PHASE_COMPLETE,
+                ts=start,
+                dur=max(0.0, self._now_us() - start),
+                args=args,
+            )
+        )
+
+    def instant(
+        self, name: str, cat: str = "mark", **args: Any
+    ) -> None:
+        """Record an instant event at the current wall time."""
+        self.events.append(
+            TraceEvent(
+                name=name,
+                cat=cat,
+                ph=PHASE_INSTANT,
+                ts=self._now_us(),
+                args=args,
+            )
+        )
+
+    def span(
+        self, name: str, cat: str = "span", **args: Any
+    ) -> _SpanHandle:
+        """Open a span as a context manager (closed on exit)."""
+        return _SpanHandle(self, name, cat, args)
+
+    # -- stack discipline for the hook-driven spans --------------------
+
+    def _push(
+        self, kind: str, name: str, cat: str, args: dict[str, Any]
+    ) -> None:
+        self._stack.append((kind, name, cat, self._now_us(), args))
+
+    def _pop_through(self, kind: str) -> None:
+        """Close open spans up to and including the innermost *kind*."""
+        while self._stack:
+            top_kind, name, cat, start, args = self._stack.pop()
+            self._complete(name, cat, start, args)
+            if top_kind == kind:
+                return
+
+    # -- InstrumentationSink hooks -------------------------------------
+
+    def on_run_start(
+        self, start_time: int, iterations: int, period: int
+    ) -> None:
+        self._push(
+            "run",
+            "run",
+            "run",
+            {
+                "run_id": self.run_id,
+                "start_time": start_time,
+                "iterations": iterations,
+                "period": period,
+            },
+        )
+
+    def on_run_end(self, time: int) -> None:
+        # Close any still-open iteration/release spans, then the run.
+        self._pop_through("run")
+
+    def on_iteration_start(self, iteration: int, time: int) -> None:
+        if self._stack and self._stack[-1][0] == "iteration":
+            _, name, cat, start, args = self._stack.pop()
+            self._complete(name, cat, start, args)
+        self._push(
+            "iteration",
+            f"iteration {iteration}",
+            "iteration",
+            {"iteration": iteration, "instant": time},
+        )
+
+    def on_sensor_update(
+        self, communicator: str, time: int, delivered: bool
+    ) -> None:
+        self.instant(
+            f"sensor {communicator}",
+            cat="sensor",
+            communicator=communicator,
+            instant=time,
+            delivered=delivered,
+        )
+
+    def on_access(
+        self,
+        communicator: str,
+        time: int,
+        reliable: bool,
+        run: "int | None" = None,
+    ) -> None:
+        self.instant(
+            f"access {communicator}",
+            cat="access",
+            communicator=communicator,
+            instant=time,
+            reliable=reliable,
+        )
+
+    def on_release_start(
+        self, task: str, iteration: int, time: int
+    ) -> None:
+        self._push(
+            "release",
+            f"release {task}",
+            "task",
+            {"task": task, "iteration": iteration, "instant": time},
+        )
+
+    def on_replica(
+        self, task: str, host: str, iteration: int, time: int, ok: bool
+    ) -> None:
+        self.instant(
+            f"broadcast {task}@{host}",
+            cat="broadcast",
+            task=task,
+            host=host,
+            iteration=iteration,
+            instant=time,
+            ok=ok,
+        )
+
+    def on_release_end(
+        self, task: str, iteration: int, time: int
+    ) -> None:
+        if self._stack and self._stack[-1][0] == "release":
+            _, name, cat, start, args = self._stack.pop()
+            self._complete(name, cat, start, args)
+
+    def on_commit(
+        self,
+        task: str,
+        communicator: str,
+        iteration: int,
+        time: int,
+        replicas: int,
+        reliable: bool,
+    ) -> None:
+        self.instant(
+            f"vote {communicator}",
+            cat="vote",
+            task=task,
+            communicator=communicator,
+            iteration=iteration,
+            instant=time,
+            replicas=replicas,
+            reliable=reliable,
+        )
+
+    def on_event(self, event: Any) -> None:
+        self.instant(
+            str(getattr(event, "kind", "event")),
+            cat="resilience",
+            **event.to_dict(),
+        )
+
+    # -- exporters ------------------------------------------------------
+
+    def close(self) -> None:
+        """Close any spans left open (defensive; run_end does this)."""
+        while self._stack:
+            _, name, cat, start, args = self._stack.pop()
+            self._complete(name, cat, start, args)
+
+    def event_dicts(self) -> Iterator[dict[str, Any]]:
+        """Yield every recorded event as a Chrome trace-event dict."""
+        for event in self.events:
+            yield event.to_dict()
+
+    def to_chrome(self) -> dict[str, Any]:
+        """Return the Chrome trace-event JSON *object* form."""
+        self.close()
+        return {
+            "traceEvents": list(self.event_dicts()),
+            "displayTimeUnit": "ms",
+            "otherData": {"run_id": self.run_id},
+        }
+
+    def write_chrome(self, stream: IO[str]) -> int:
+        """Write the Chrome JSON form to *stream*; returns event count."""
+        json.dump(self.to_chrome(), stream)
+        return len(self.events)
+
+    def to_jsonl(self) -> str:
+        """Render the trace as JSON Lines (one event per line)."""
+        self.close()
+        return "\n".join(
+            json.dumps(doc) for doc in self.event_dicts()
+        )
+
+    def write_jsonl(self, stream: IO[str]) -> int:
+        """Write the JSONL form to *stream*; returns the event count."""
+        self.close()
+        count = 0
+        for doc in self.event_dicts():
+            stream.write(json.dumps(doc))
+            stream.write("\n")
+            count += 1
+        return count

@@ -429,3 +429,137 @@ def test_simulate_recover_degrade_needs_impl(workspace, capsys):
     ])
     assert status == 2
     assert "--degrade-impl" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# Telemetry: --trace / --metrics / --profile and the trace command.
+# ----------------------------------------------------------------------
+
+
+def _simulate(workspace, *extra):
+    return main([
+        "simulate",
+        "--htl", str(workspace / "three_tank.htl"),
+        "--arch", str(workspace / "arch.json"),
+        "--impl", str(workspace / "baseline.json"),
+        "--bindings", str(workspace / "bindings.py"),
+        *extra,
+    ])
+
+
+def test_simulate_trace_writes_chrome_json(workspace, tmp_path, capsys):
+    trace = tmp_path / "trace.json"
+    status = _simulate(
+        workspace, "--iterations", "20", "--bernoulli",
+        "--trace", str(trace),
+    )
+    assert status == 0
+    assert "trace events" in capsys.readouterr().out
+    doc = json.loads(trace.read_text())
+    events = doc["traceEvents"]
+    assert isinstance(events, list) and events
+    assert doc["otherData"]["run_id"] == "s0"
+    for event in events:
+        assert {"name", "cat", "ph", "ts", "pid", "tid"} <= set(event)
+        if event["ph"] == "X":
+            assert "dur" in event
+        elif event["ph"] == "i":
+            assert event["s"] == "t"
+    assert any(e["cat"] == "iteration" for e in events)
+
+
+def test_simulate_trace_jsonl_extension(workspace, tmp_path):
+    trace = tmp_path / "trace.jsonl"
+    assert _simulate(
+        workspace, "--iterations", "5", "--trace", str(trace),
+    ) == 0
+    docs = [
+        json.loads(line)
+        for line in trace.read_text().splitlines() if line
+    ]
+    assert docs and all("ph" in d for d in docs)
+
+
+def test_simulate_metrics_and_profile(workspace, tmp_path, capsys):
+    metrics = tmp_path / "metrics.prom"
+    status = _simulate(
+        workspace, "--iterations", "20", "--bernoulli",
+        "--metrics", str(metrics), "--profile",
+    )
+    assert status == 0
+    out = capsys.readouterr().out
+    assert "metrics dashboard" in out
+    assert "stage profile" in out
+    text = metrics.read_text()
+    assert "# TYPE repro_iterations_total counter" in text
+    assert "repro_srg_lrc_margin" in text
+
+
+def test_simulate_batch_metrics_and_profile(workspace, tmp_path, capsys):
+    metrics = tmp_path / "metrics.prom"
+    status = _simulate(
+        workspace, "--iterations", "20", "--runs", "4",
+        "--bernoulli", "--metrics", str(metrics), "--profile",
+    )
+    assert status == 0
+    out = capsys.readouterr().out
+    assert "repro_batch_runs" in metrics.read_text()
+    assert "fault-precompute" in out
+
+
+def test_simulate_batch_trace_is_an_error(workspace, tmp_path, capsys):
+    status = _simulate(
+        workspace, "--runs", "4",
+        "--trace", str(tmp_path / "x.json"),
+    )
+    assert status == 2
+    assert "--runs 1" in capsys.readouterr().err
+
+
+def test_simulate_recover_trace_stamps_run_id(
+    workspace, tmp_path, capsys
+):
+    trace = tmp_path / "trace.json"
+    status = _simulate(
+        workspace, "--iterations", "60", "--unplug", "h2:5000",
+        "--recover", "re-replicate", "--seed", "7",
+        "--trace", str(trace),
+    )
+    assert status in (0, 1)  # LRC verdict depends on the seed
+    doc = json.loads(trace.read_text())
+    assert doc["otherData"]["run_id"] == "s7"
+    resilience = [
+        e for e in doc["traceEvents"] if e["cat"] == "resilience"
+    ]
+    assert any(e["name"] == "recovery-committed" for e in resilience)
+    assert all(e["args"]["run_id"] == "s7" for e in resilience)
+
+
+def test_trace_command_summarises(workspace, tmp_path, capsys):
+    trace = tmp_path / "trace.json"
+    _simulate(workspace, "--iterations", "10", "--trace", str(trace))
+    capsys.readouterr()
+    status = main(["trace", str(trace), "--top", "3"])
+    assert status == 0
+    out = capsys.readouterr().out
+    assert "trace summary" in out
+    assert "span stats" in out
+
+
+def test_trace_command_empty_file_exits_2(tmp_path, capsys):
+    empty = tmp_path / "empty.json"
+    empty.write_text("")
+    assert main(["trace", str(empty)]) == 2
+    assert "empty" in capsys.readouterr().err
+
+
+def test_trace_command_malformed_file_exits_2(tmp_path, capsys):
+    bad = tmp_path / "bad.jsonl"
+    bad.write_text('{"ph": "i"}\n{oops\n')
+    assert main(["trace", str(bad)]) == 2
+    assert "line 2" in capsys.readouterr().err
+
+
+def test_trace_command_missing_file_exits_2(tmp_path, capsys):
+    assert main(["trace", str(tmp_path / "nope.json")]) == 2
+    assert "cannot read" in capsys.readouterr().err
