@@ -13,7 +13,13 @@ ceilings keep that promise honest:
 * **batch**: running the vectorized executor with a live
   :class:`StageProfiler` must stay within 1.3x of the default
   null-profiler run — the profiler wraps whole stages, never inner
-  loops, so its cost is a handful of ``perf_counter`` calls.
+  loops, so its cost is a handful of ``perf_counter`` calls;
+* **forensics**: running the scalar engine with a live
+  :class:`ProvenanceRecorder` under fault injection must stay within
+  1.3x of the bare run — the recorder skips the hottest hook
+  (``on_access``) and does bounded per-iteration bookkeeping, so its
+  cost tracks the monitor/profiler class of observers, not the
+  engine's inner loops.
 
 Both assertions always run; under the CI smoke scale
 (``REPRO_BENCH_SCALE`` < 1) the ceilings are relaxed because
@@ -32,13 +38,15 @@ from repro.experiments import (
 )
 from repro.experiments.three_tank_system import ThreeTankEnvironment
 from repro.runtime import BatchSimulator, BernoulliFaults, Simulator
-from repro.telemetry import NullSink, StageProfiler
+from repro.telemetry import NullSink, ProvenanceRecorder, StageProfiler
 
 SCALAR_ITERATIONS = 2000
 SCALAR_CEILING = 1.05
 BATCH_RUNS = 256
 BATCH_ITERATIONS = 1250
 BATCH_CEILING = 1.3
+FORENSICS_ITERATIONS = 2000
+FORENSICS_CEILING = 1.3
 #: Noise allowance when the smoke scale shrinks runs to milliseconds.
 SMOKE_SLACK = 2.5
 
@@ -144,6 +152,67 @@ def test_bench_batch_profiler_overhead(benchmark, report, bench_scale):
             ("profiled runtime (s)", f"<= {BATCH_CEILING:.1f}x",
              f"{profiled_elapsed:.3f}"),
             ("overhead", f"<= {BATCH_CEILING:.1f}x",
+             f"{overhead:.2f}x"),
+        ],
+    )
+
+
+def test_bench_forensics_recorder_overhead(
+    benchmark, report, bench_scale
+):
+    iterations = bench_scale(FORENSICS_ITERATIONS)
+    arch = three_tank_architecture()
+    impl = baseline_implementation()
+
+    def run(recorder=None):
+        # Fresh spec per run: the bound 3TS control functions carry
+        # state, so reuse would break run-to-run determinism.
+        spec = three_tank_spec(
+            lrc_u=0.99, functions=bind_control_functions()
+        )
+        sinks = () if recorder is None else (recorder,)
+        return Simulator(
+            spec, arch, impl,
+            environment=ThreeTankEnvironment(),
+            faults=BernoulliFaults(arch),
+            actuator_communicators=ACTUATORS,
+            seed=17,
+            sinks=sinks,
+        ).run(iterations)
+
+    def recorder():
+        return ProvenanceRecorder(
+            three_tank_spec(
+                lrc_u=0.99, functions=bind_control_functions()
+            )
+        )
+
+    recorded = benchmark.pedantic(
+        lambda: run(recorder()), rounds=1, iterations=1
+    )
+
+    plain_elapsed = _best_of(lambda: run())
+    recorded_elapsed = _best_of(lambda: run(recorder()))
+    overhead = recorded_elapsed / plain_elapsed
+
+    # The recorder observes; it must not perturb the simulation
+    # (the PR 2 seed contract, bit-for-bit).
+    assert run().values == recorded.values
+
+    ceiling = (
+        FORENSICS_CEILING if bench_scale.full
+        else FORENSICS_CEILING * SMOKE_SLACK
+    )
+    assert overhead <= ceiling
+
+    report(
+        "forensics — provenance-recorder overhead on the scalar engine",
+        [
+            ("scalar runtime (s)", "(baseline)",
+             f"{plain_elapsed:.3f}"),
+            ("recorded runtime (s)", f"<= {FORENSICS_CEILING:.1f}x",
+             f"{recorded_elapsed:.3f}"),
+            ("overhead", f"<= {FORENSICS_CEILING:.1f}x",
              f"{overhead:.2f}x"),
         ],
     )

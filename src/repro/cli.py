@@ -315,6 +315,56 @@ def _build_telemetry(args: argparse.Namespace, spec) -> tuple:
     return tracer, metrics_sink, sinks
 
 
+def _build_forensics(args: argparse.Namespace, spec):
+    """Resolve --postmortem into a ProvenanceRecorder (or None)."""
+    if not getattr(args, "postmortem", None):
+        return None
+    from repro.telemetry import ProvenanceRecorder, derive_run_id
+
+    return ProvenanceRecorder(spec, run_id=derive_run_id(args.seed))
+
+
+def _write_forensics(recorder, path: str) -> None:
+    """Export a recorder's forensics document as JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(recorder.to_dict(), handle)
+    print(
+        f"wrote forensics ({len(recorder.chains)} causal chains, "
+        f"{len(recorder.frames())} flight-recorder frames) to {path}"
+    )
+
+
+def _record_ledger(
+    args: argparse.Namespace, spec, arch, implementation, result,
+    command: str,
+) -> None:
+    """Append this run's reliability outcome to the run ledger."""
+    if not getattr(args, "ledger", None):
+        return
+    from repro.telemetry import (
+        RunLedger,
+        derive_run_id,
+        record_from_result,
+    )
+
+    record = record_from_result(
+        spec,
+        arch,
+        implementation,
+        result,
+        run_id=derive_run_id(args.seed),
+        command=command,
+        seed=args.seed,
+        runs=args.runs,
+    )
+    ledger = RunLedger(args.ledger)
+    index = ledger.append(record)
+    print(
+        f"ledger: recorded entry #{index} ({record.run_id}) "
+        f"in {args.ledger}"
+    )
+
+
 def _write_trace(tracer, path: str) -> None:
     """Export a tracer: Chrome JSON, or JSONL for ``.jsonl`` paths."""
     with open(path, "w", encoding="utf-8") as handle:
@@ -352,6 +402,11 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     arch = architecture_from_dict(load_json(args.arch))
     implementation = implementation_from_dict(load_json(args.impl))
     profiler = StageProfiler() if args.profile else NULL_PROFILER
+    if args.postmortem and args.runs > 1:
+        raise ReproError(
+            "--postmortem needs a single run (the forensics recorder "
+            "subscribes to the scalar hook stream); use --runs 1"
+        )
 
     injectors = []
     if args.bernoulli:
@@ -429,6 +484,10 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
                     f"(LRC {lrc:.6f})"
                 )
             _write_events(batch_result.events, args.events)
+            _record_ledger(
+                args, spec, arch, implementation, batch_result,
+                "resilient-batch",
+            )
             if args.metrics:
                 from repro.telemetry import MetricsSink
 
@@ -450,6 +509,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             telemetry = TelemetryBus(
                 run_id=derive_run_id(args.seed), sinks=sinks
             )
+        recorder = _build_forensics(args, spec)
         resilient = ResilientSimulator(
             spec,
             arch,
@@ -460,6 +520,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             watchdog=watchdog,
             policies=policies,
             telemetry=telemetry,
+            sinks=(recorder,) if recorder is not None else (),
         )
         with profiler.stage("resilient-run"):
             result = resilient.run(args.iterations)
@@ -467,6 +528,11 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         for event in result.events:
             print(f"  event: {json.dumps(event.to_dict())}")
         _write_events(result.events, args.events)
+        if recorder is not None:
+            _write_forensics(recorder, args.postmortem)
+        _record_ledger(
+            args, spec, arch, implementation, result, "resilient"
+        )
         if tracer is not None:
             tracer.close()
             _write_trace(tracer, args.trace)
@@ -513,6 +579,9 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
                 f"alarm/clear events across {args.runs} runs"
             )
             _write_events(batch_result.monitor_events, args.events)
+        _record_ledger(
+            args, spec, arch, implementation, batch_result, "batch"
+        )
         if args.metrics:
             from repro.telemetry import MetricsSink, record_batch_result
 
@@ -532,6 +601,9 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
         monitor = LrcMonitor(spec, monitor_config)
     tracer, metrics_sink, sinks = _build_telemetry(args, spec)
+    recorder = _build_forensics(args, spec)
+    if recorder is not None:
+        sinks = sinks + (recorder,)
     simulator = Simulator(
         spec, arch, implementation, faults=faults, seed=args.seed,
         monitor=monitor, sinks=sinks,
@@ -550,6 +622,14 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         for event in monitor.events:
             print(f"  event: {json.dumps(event.to_dict())}")
         _write_events(monitor.events, args.events)
+    if recorder is not None:
+        if monitor is not None:
+            # The scalar monitor collects events in its own list;
+            # feed them post-hoc so alarms freeze aggregate chains.
+            for event in monitor.events:
+                recorder.on_event(event)
+        _write_forensics(recorder, args.postmortem)
+    _record_ledger(args, spec, arch, implementation, result, "scalar")
     if tracer is not None:
         if monitor is not None:
             for event in monitor.events:
@@ -580,6 +660,95 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     summary = summarize_trace(events)
     print(render_summary(summary, top=args.top))
     return 0
+
+
+def _cmd_postmortem(args: argparse.Namespace) -> int:
+    from repro.telemetry import (
+        PostmortemReport,
+        counterfactual,
+        load_forensics_file,
+        postmortem_to_dict,
+        render_postmortem,
+    )
+
+    doc = load_forensics_file(args.file)
+    report = PostmortemReport.from_document(doc)
+    counterfactuals = []
+    for mask in args.mask or []:
+        sources = [s.strip() for s in mask.split(",") if s.strip()]
+        for source in sources:
+            if ":" not in source:
+                raise ReproError(
+                    f"--mask expects KIND:NAME (e.g. host:h2 or "
+                    f"sensor:sen1), got {source!r}"
+                )
+        counterfactuals.append(
+            counterfactual(report.chains, sources)
+        )
+    if args.format == "json":
+        print(
+            json.dumps(
+                postmortem_to_dict(report, counterfactuals), indent=2
+            )
+        )
+    else:
+        print(
+            render_postmortem(report, counterfactuals, top=args.top)
+        )
+    return 0
+
+
+def _cmd_runs(args: argparse.Namespace) -> int:
+    from repro.telemetry import RunLedger, check_regression
+    from repro.telemetry.ledger import (
+        render_diff,
+        render_listing,
+        render_record,
+    )
+
+    ledger = RunLedger(args.ledger)
+    if args.runs_command == "list":
+        print(render_listing(ledger.records()))
+        return 0
+    if args.runs_command == "show":
+        print(render_record(ledger.resolve(args.entry)))
+        return 0
+    if args.runs_command == "diff":
+        baseline = ledger.resolve(args.baseline)
+        candidate = ledger.resolve(args.candidate)
+        print(render_diff(baseline, candidate))
+        return 0
+    # regress
+    baseline = ledger.resolve(args.baseline)
+    candidate = ledger.resolve(args.candidate)
+    if baseline.spec_hash != candidate.spec_hash:
+        print(
+            f"note: specification changed between #{baseline.entry} "
+            f"and #{candidate.entry} "
+            f"({baseline.spec_hash} -> {candidate.spec_hash})"
+        )
+    regressions = check_regression(
+        baseline, candidate, threshold=args.threshold
+    )
+    if not regressions:
+        print(
+            f"regress OK: #{candidate.entry} ({candidate.run_id}) "
+            f"holds every margin within {args.threshold} of "
+            f"#{baseline.entry} ({baseline.run_id})"
+        )
+        return 0
+    print(
+        f"regress FAIL: #{candidate.entry} ({candidate.run_id}) vs "
+        f"#{baseline.entry} ({baseline.run_id}):"
+    )
+    for regression in regressions:
+        print(
+            f"  {regression.communicator}: margin "
+            f"{regression.baseline_margin:+.6f} -> "
+            f"{regression.candidate_margin:+.6f} "
+            f"(drop {regression.drop:.6f} > {args.threshold})"
+        )
+    return 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -746,6 +915,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--profile", action="store_true",
         help="time executor stages and print the profile table",
     )
+    simulate.add_argument(
+        "--postmortem", metavar="FILE",
+        help="attach the forensics recorder and write its causal "
+        "chains + flight recorder to FILE as JSON (single run only; "
+        "analyse with 'repro postmortem FILE')",
+    )
+    simulate.add_argument(
+        "--ledger", nargs="?", const=".repro/runs", metavar="DIR",
+        help="append this run's empirical rates and LRC margins to "
+        "the run ledger under DIR (default .repro/runs)",
+    )
     simulate.set_defaults(handler=_cmd_simulate)
 
     trace = subparsers.add_parser(
@@ -760,6 +940,79 @@ def build_parser() -> argparse.ArgumentParser:
         help="number of span groups to show in the hot-spot table",
     )
     trace.set_defaults(handler=_cmd_trace)
+
+    postmortem = subparsers.add_parser(
+        "postmortem",
+        help="analyse a forensics file written by simulate "
+        "--postmortem: blame table + counterfactual queries",
+    )
+    postmortem.add_argument(
+        "file", help="forensics JSON file (simulate --postmortem)"
+    )
+    postmortem.add_argument(
+        "--mask", action="append", metavar="SOURCE",
+        help="counterfactual query: re-evaluate every chain with "
+        "SOURCE healthy (e.g. host:h2 or sensor:sen1; "
+        "comma-separate to mask several at once; repeatable)",
+    )
+    postmortem.add_argument(
+        "--top", type=int, default=10,
+        help="rows shown in the blame and flip tables",
+    )
+    postmortem.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format",
+    )
+    postmortem.set_defaults(handler=_cmd_postmortem)
+
+    runs = subparsers.add_parser(
+        "runs", help="inspect the persistent run ledger"
+    )
+    runs_sub = runs.add_subparsers(dest="runs_command", required=True)
+
+    def _runs_common(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--ledger", default=".repro/runs", metavar="DIR",
+            help="ledger directory (default .repro/runs)",
+        )
+        sub.set_defaults(handler=_cmd_runs)
+
+    runs_list = runs_sub.add_parser(
+        "list", help="one line per recorded run"
+    )
+    _runs_common(runs_list)
+    runs_show = runs_sub.add_parser(
+        "show", help="full record of one ledger entry"
+    )
+    runs_show.add_argument(
+        "entry", nargs="?", default="latest",
+        help="'#N', 'latest', or a run id (default: latest)",
+    )
+    _runs_common(runs_show)
+    runs_diff = runs_sub.add_parser(
+        "diff", help="compare LRC margins between two entries"
+    )
+    runs_diff.add_argument("baseline", help="'#N', 'latest', or run id")
+    runs_diff.add_argument("candidate", help="'#N', 'latest', or run id")
+    _runs_common(runs_diff)
+    runs_regress = runs_sub.add_parser(
+        "regress",
+        help="exit non-zero when any communicator's margin dropped "
+        "more than the threshold vs the baseline entry",
+    )
+    runs_regress.add_argument(
+        "candidate", nargs="?", default="latest",
+        help="entry under test (default: latest)",
+    )
+    runs_regress.add_argument(
+        "--baseline", default="#0",
+        help="baseline entry (default: #0)",
+    )
+    runs_regress.add_argument(
+        "--threshold", type=float, default=0.001,
+        help="maximum tolerated margin drop (default 0.001)",
+    )
+    _runs_common(runs_regress)
 
     return parser
 

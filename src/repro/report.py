@@ -178,9 +178,15 @@ def render_metrics_dashboard(
             if metric["kind"] == "histogram":
                 count = value["count"]
                 mean = value["sum"] / count if count else 0.0
+                quantiles = value.get("percentiles") or {}
+                tail = "".join(
+                    f" {name}={quantiles[name]:.3f}"
+                    for name in ("p50", "p90", "p99")
+                    if name in quantiles
+                )
                 lines.append(
                     f"  {label}  n={count} mean={mean:.3f} "
-                    f"sum={value['sum']:.3f}"
+                    f"sum={value['sum']:.3f}{tail}"
                 )
             elif (
                 metric["kind"] == "gauge" and 0.0 <= value <= 1.0

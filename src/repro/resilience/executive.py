@@ -261,6 +261,12 @@ class ResilientSimulator:
         sinks (tracer, metrics) receive the engine hook stream of
         every chained period *and* each resilience event as it is
         emitted, and the bus collects the stamped events.
+    sinks:
+        Extra :class:`~repro.telemetry.sink.InstrumentationSink`
+        subscribers (e.g. a
+        :class:`~repro.telemetry.provenance.ProvenanceRecorder`)
+        attached directly, without a bus; they see the same hook
+        stream and stamped events as the bus sinks.
     run_id:
         Correlation key stamped on every event; defaults to
         :func:`~repro.telemetry.runid.derive_run_id` of the seed, so
@@ -284,6 +290,7 @@ class ResilientSimulator:
         policies: Sequence[RecoveryPolicy] = (),
         max_recoveries: int = 4,
         telemetry: "TelemetryBus | None" = None,
+        sinks: Iterable[InstrumentationSink] = (),
         run_id: "str | None" = None,
     ) -> None:
         if not isinstance(implementation, Implementation):
@@ -306,6 +313,7 @@ class ResilientSimulator:
         self.policies = tuple(policies)
         self.max_recoveries = max_recoveries
         self.telemetry = telemetry
+        self.sinks: "tuple[InstrumentationSink, ...]" = tuple(sinks)
         self.run_id = run_id
 
     # ------------------------------------------------------------------
@@ -351,7 +359,7 @@ class ResilientSimulator:
             self.telemetry.engine_sinks()
             if self.telemetry is not None
             else ()
-        )
+        ) + self.sinks
         relay = _EventRelay(run_id, telemetry_sinks)
         events = relay.events
         monitor = (

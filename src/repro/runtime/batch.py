@@ -110,6 +110,19 @@ class BatchResult:
             for name, (successes, samples) in self.pooled_counts().items()
         }
 
+    def empirical_margins(self) -> dict[str, float]:
+        """Pooled empirical LRC margin per communicator.
+
+        ``rate - mu_c`` over the pooled runs (``>= 0`` is compliant) —
+        the quantity the run ledger records and ``repro runs
+        diff|regress`` compare across runs.
+        """
+        estimates = self.srg_estimates()
+        return {
+            name: estimates[name] - comm.lrc
+            for name, comm in self.spec.communicators.items()
+        }
+
     def lrc_tests(self, confidence: float = 0.99) -> dict:
         """Run the binomial LRC compliance test on the pooled counts."""
         from repro.reliability.stats import lrc_test_from_counts

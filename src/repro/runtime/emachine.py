@@ -232,6 +232,14 @@ class EMachine:
             ]
             delivered = not all(failed)
             store[name] = physical if delivered else BOTTOM
+            if self.hooks.on_sensor_outcome:
+                for sensor, sensor_failed in zip(
+                    sorted(sensors), failed
+                ):
+                    for sink in self.hooks.on_sensor_outcome:
+                        sink.on_sensor_outcome(
+                            name, now, sensor, not sensor_failed
+                        )
             if self.hooks.on_sensor_update:
                 for sink in self.hooks.on_sensor_update:
                     sink.on_sensor_update(name, now, delivered)

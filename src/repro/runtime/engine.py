@@ -85,6 +85,14 @@ class SimulationResult:
             for name, comm in self.spec.communicators.items()
         )
 
+    def empirical_margins(self) -> dict[str, float]:
+        """Observed LRC margin ``rate - mu_c`` per communicator."""
+        averages = self.limit_averages()
+        return {
+            name: averages[name] - comm.lrc
+            for name, comm in self.spec.communicators.items()
+        }
+
     def replica_failure_rate(self, task: str, host: str) -> float:
         """Return the observed failure fraction of one replication."""
         attempts = self.replica_attempts.get((task, host), 0)
@@ -265,6 +273,7 @@ class Simulator:
             + self.sinks
         )
         iteration_sinks = hooks.on_iteration_start
+        sensor_outcome_sinks = hooks.on_sensor_outcome
         sensor_sinks = hooks.on_sensor_update
         access_sinks = hooks.on_access
 
@@ -332,6 +341,12 @@ class Simulator:
                 ]
                 delivered = not all(failed)
                 store[name] = physical if delivered else BOTTOM
+                if sensor_outcome_sinks:
+                    for sensor, sensor_failed in zip(sensors, failed):
+                        for sink in sensor_outcome_sinks:
+                            sink.on_sensor_outcome(
+                                name, now, sensor, not sensor_failed
+                            )
                 if sensor_sinks:
                     for sink in sensor_sinks:
                         sink.on_sensor_update(name, now, delivered)

@@ -18,6 +18,15 @@ Three pillars over one subscriber protocol
 * **Profiling** — :class:`~repro.telemetry.profiler.StageProfiler`
   stage timers around the batch executor's phases, with
   :data:`~repro.telemetry.profiler.NULL_PROFILER` as the free default.
+* **Forensics** — :class:`~repro.telemetry.provenance.
+  ProvenanceRecorder` keeps a bounded flight recorder and freezes a
+  causal chain (fault source → replicas → vote → write → downstream)
+  per unreliable write; :mod:`repro.telemetry.postmortem` aggregates
+  chains into blame scores and answers counterfactual queries.
+* **The run ledger** — :class:`~repro.telemetry.ledger.RunLedger`
+  persists per-run empirical rates and LRC margins as append-only
+  JSONL keyed by content hashes, powering
+  ``repro runs list|show|diff|regress``.
 
 Event streams are correlated across layers by the
 :func:`~repro.telemetry.runid.derive_run_id` key and merged on the
@@ -28,6 +37,16 @@ simulation draws (the PR 2 seed contract is regression-tested in
 """
 
 from repro.telemetry.bus import TelemetryBus
+from repro.telemetry.ledger import (
+    MarginDiff,
+    Regression,
+    RunLedger,
+    RunRecord,
+    check_regression,
+    content_hash,
+    diff_records,
+    record_from_result,
+)
 from repro.telemetry.metrics import (
     Counter,
     Gauge,
@@ -42,6 +61,23 @@ from repro.telemetry.profiler import (
     NullProfiler,
     StageProfiler,
     StageStats,
+)
+from repro.telemetry.postmortem import (
+    BlameEntry,
+    CounterfactualReport,
+    PostmortemReport,
+    blame_scores,
+    counterfactual,
+    load_forensics_file,
+    postmortem_to_dict,
+    render_postmortem,
+)
+from repro.telemetry.provenance import (
+    CausalChain,
+    FaultLink,
+    InputStatus,
+    IterationFrame,
+    ProvenanceRecorder,
 )
 from repro.telemetry.runid import derive_run_id
 from repro.telemetry.sink import (
@@ -60,27 +96,48 @@ from repro.telemetry.summary import (
 from repro.telemetry.trace import TraceEvent, Tracer
 
 __all__ = [
+    "BlameEntry",
+    "CausalChain",
     "Counter",
+    "CounterfactualReport",
+    "FaultLink",
     "Gauge",
     "HOOK_NAMES",
     "Histogram",
     "HookSinks",
+    "InputStatus",
     "InstrumentationSink",
+    "IterationFrame",
+    "MarginDiff",
     "MetricsRegistry",
     "MetricsSink",
     "NULL_PROFILER",
     "NullProfiler",
     "NullSink",
+    "PostmortemReport",
+    "ProvenanceRecorder",
+    "Regression",
+    "RunLedger",
+    "RunRecord",
     "StageProfiler",
     "StageStats",
     "TelemetryBus",
     "TraceEvent",
     "TraceSummary",
     "Tracer",
+    "blame_scores",
+    "check_regression",
+    "content_hash",
+    "counterfactual",
     "derive_run_id",
+    "diff_records",
+    "load_forensics_file",
     "load_trace_file",
+    "postmortem_to_dict",
     "record_batch_result",
+    "record_from_result",
     "record_margins",
+    "render_postmortem",
     "render_summary",
     "sinks_for_hook",
     "summarize_trace",

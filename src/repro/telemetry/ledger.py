@@ -1,0 +1,466 @@
+"""The persistent run ledger: append-only reliability history.
+
+Every recorded simulation becomes one JSONL line under
+``.repro/runs/ledger.jsonl``: the content hashes of the design
+(specification, architecture, implementation — so a changed design
+never silently compares against an old baseline), the seed and its
+:func:`~repro.telemetry.runid.derive_run_id` key, the run shape, and
+the per-communicator empirical reliable rates with their LRC margins
+(``rate - mu_c``; ``>= 0`` is compliant).  An optional metrics
+snapshot rides along.
+
+The store is append-only on purpose: regression checking needs the
+old margins, and a JSONL file is trivially diffable and artifacts
+well in CI.  Entries are addressed by position (``#0``, ``#3``), by
+``latest``, or by ``run_id`` (latest match wins).
+
+``repro runs list|show|diff|regress`` is the CLI over this module;
+``repro simulate --ledger DIR`` records into it from every execution
+path (scalar, batch, resilient, resilient batch).
+:func:`check_regression` powers ``runs regress``: it exits non-zero
+when any communicator's margin dropped more than a threshold versus
+the baseline entry.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time as _time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.errors import ReproError
+
+#: Default ledger directory, relative to the working directory.
+DEFAULT_LEDGER_DIR = ".repro/runs"
+
+#: Default maximum tolerated margin drop for ``runs regress``.
+DEFAULT_REGRESSION_THRESHOLD = 0.001
+
+
+def content_hash(document: Any) -> str:
+    """Short content hash of a JSON-serialisable document.
+
+    Canonical JSON (sorted keys, minimal separators) through SHA-256,
+    truncated to 12 hex digits — collision-safe at ledger scale and
+    short enough for terminal tables.
+    """
+    canonical = json.dumps(
+        document, sort_keys=True, separators=(",", ":"), default=str
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:12]
+
+
+@dataclass
+class RunRecord:
+    """One ledger entry: the reliability outcome of one recorded run."""
+
+    run_id: str
+    command: str  # "scalar" | "batch" | "resilient" | "resilient-batch"
+    seed: "int | None"
+    runs: int
+    iterations: int
+    spec_hash: str
+    arch_hash: str
+    impl_hash: str
+    rates: dict[str, float]
+    lrcs: dict[str, float]
+    recorded_at: "float | None" = None
+    executor: str = ""
+    events: int = 0
+    metrics: "dict[str, Any] | None" = None
+    entry: "int | None" = field(default=None, compare=False)
+
+    def margins(self) -> dict[str, float]:
+        """Empirical margin ``rate - mu_c`` per communicator."""
+        return {
+            name: self.rates[name] - self.lrcs.get(name, 0.0)
+            for name in self.rates
+        }
+
+    def min_margin(self) -> "tuple[str, float] | None":
+        """The communicator with the smallest margin, or ``None``."""
+        margins = self.margins()
+        if not margins:
+            return None
+        name = min(margins, key=lambda n: (margins[n], n))
+        return name, margins[name]
+
+    def to_dict(self) -> dict[str, Any]:
+        doc: dict[str, Any] = {
+            "run_id": self.run_id,
+            "command": self.command,
+            "seed": self.seed,
+            "runs": self.runs,
+            "iterations": self.iterations,
+            "spec_hash": self.spec_hash,
+            "arch_hash": self.arch_hash,
+            "impl_hash": self.impl_hash,
+            "rates": {k: self.rates[k] for k in sorted(self.rates)},
+            "lrcs": {k: self.lrcs[k] for k in sorted(self.lrcs)},
+            "recorded_at": self.recorded_at,
+            "executor": self.executor,
+            "events": self.events,
+        }
+        if self.metrics is not None:
+            doc["metrics"] = self.metrics
+        return doc
+
+    @classmethod
+    def from_dict(cls, doc: Mapping[str, Any]) -> "RunRecord":
+        try:
+            return cls(
+                run_id=str(doc["run_id"]),
+                command=str(doc.get("command", "")),
+                seed=doc.get("seed"),
+                runs=int(doc.get("runs", 1)),
+                iterations=int(doc.get("iterations", 0)),
+                spec_hash=str(doc.get("spec_hash", "")),
+                arch_hash=str(doc.get("arch_hash", "")),
+                impl_hash=str(doc.get("impl_hash", "")),
+                rates={
+                    str(k): float(v)
+                    for k, v in dict(doc.get("rates", {})).items()
+                },
+                lrcs={
+                    str(k): float(v)
+                    for k, v in dict(doc.get("lrcs", {})).items()
+                },
+                recorded_at=doc.get("recorded_at"),
+                executor=str(doc.get("executor", "")),
+                events=int(doc.get("events", 0)),
+                metrics=doc.get("metrics"),
+            )
+        except (KeyError, TypeError, ValueError) as error:
+            raise ReproError(
+                f"malformed ledger record: {error}"
+            ) from None
+
+
+def record_from_result(
+    spec: Any,
+    arch: Any,
+    implementation: Any,
+    result: Any,
+    *,
+    run_id: str,
+    command: str,
+    seed: "int | None",
+    runs: int = 1,
+    metrics: "dict[str, Any] | None" = None,
+    recorded_at: "float | None" = None,
+) -> RunRecord:
+    """Build a :class:`RunRecord` from any simulation result.
+
+    *result* is duck-typed: anything with ``iterations`` and
+    ``limit_averages()`` (``SimulationResult``, ``ResilientResult``,
+    ``BatchResult``, ``ResilientBatchResult``).  Batch results return
+    per-run arrays from ``limit_averages``; these are pooled by the
+    mean, matching ``srg_estimates`` (all runs share the sample
+    count).
+    """
+    from repro.io import (
+        architecture_to_dict,
+        implementation_to_dict,
+        specification_to_dict,
+    )
+
+    averages = result.limit_averages()
+    rates: dict[str, float] = {}
+    for name, value in averages.items():
+        mean = getattr(value, "mean", None)
+        rates[name] = float(mean()) if callable(mean) else float(value)
+    executor = str(getattr(result, "executor", "scalar"))
+    events = len(getattr(result, "events", ()))
+    if not events:
+        events = len(getattr(result, "monitor_events", ()))
+    implementation_doc: Any
+    try:
+        implementation_doc = implementation_to_dict(implementation)
+    except (AttributeError, TypeError):
+        # Time-dependent implementations carry callables; hash their
+        # repr so unequal mappings still get unequal hashes.
+        implementation_doc = repr(implementation)
+    return RunRecord(
+        run_id=run_id,
+        command=command,
+        seed=seed,
+        runs=runs,
+        iterations=int(result.iterations),
+        spec_hash=content_hash(specification_to_dict(spec)),
+        arch_hash=content_hash(architecture_to_dict(arch)),
+        impl_hash=content_hash(implementation_doc),
+        rates=rates,
+        lrcs={
+            name: comm.lrc
+            for name, comm in spec.communicators.items()
+        },
+        recorded_at=(
+            recorded_at if recorded_at is not None else _time.time()
+        ),
+        executor=executor,
+        events=events,
+        metrics=metrics,
+    )
+
+
+class RunLedger:
+    """Append-only JSONL store of :class:`RunRecord` entries."""
+
+    def __init__(
+        self, root: "str | Path" = DEFAULT_LEDGER_DIR
+    ) -> None:
+        self.root = Path(root)
+        self.path = self.root / "ledger.jsonl"
+
+    def append(self, record: RunRecord) -> int:
+        """Append *record*; returns its entry index."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        index = 0
+        if self.path.exists():
+            with self.path.open("r", encoding="utf-8") as handle:
+                index = sum(1 for line in handle if line.strip())
+        with self.path.open("a", encoding="utf-8") as handle:
+            handle.write(
+                json.dumps(record.to_dict(), sort_keys=True) + "\n"
+            )
+        record.entry = index
+        return index
+
+    def records(self) -> list[RunRecord]:
+        """Every ledger entry, oldest first, ``entry`` stamped."""
+        if not self.path.exists():
+            return []
+        records: list[RunRecord] = []
+        with self.path.open("r", encoding="utf-8") as handle:
+            for lineno, line in enumerate(handle, start=1):
+                if not line.strip():
+                    continue
+                try:
+                    doc = json.loads(line)
+                except json.JSONDecodeError as error:
+                    raise ReproError(
+                        f"ledger {str(self.path)!r} line {lineno} is "
+                        f"not valid JSON: {error.msg}"
+                    )
+                record = RunRecord.from_dict(doc)
+                record.entry = len(records)
+                records.append(record)
+        return records
+
+    def resolve(self, key: str) -> RunRecord:
+        """Resolve ``#N`` / ``N`` / ``latest`` / a run id to an entry.
+
+        A bare run id resolves to its *latest* matching entry, so
+        ``runs regress --baseline s42`` keeps working as history
+        accumulates.
+        """
+        records = self.records()
+        if not records:
+            raise ReproError(
+                f"ledger {str(self.path)!r} is empty; record runs "
+                f"with 'repro simulate --ledger {self.root}'"
+            )
+        key = key.strip()
+        if key == "latest":
+            return records[-1]
+        index_text = key[1:] if key.startswith("#") else key
+        try:
+            index = int(index_text)
+        except ValueError:
+            matches = [r for r in records if r.run_id == key]
+            if not matches:
+                raise ReproError(
+                    f"no ledger entry matches {key!r} (expected "
+                    f"'#N', 'latest', or a run id)"
+                )
+            return matches[-1]
+        if index < 0:
+            index += len(records)
+        if not 0 <= index < len(records):
+            raise ReproError(
+                f"ledger entry {key!r} out of range "
+                f"(0..{len(records) - 1})"
+            )
+        return records[index]
+
+
+# -- diff and regression -----------------------------------------------
+
+
+@dataclass(frozen=True)
+class MarginDiff:
+    """Per-communicator margin movement between two ledger entries."""
+
+    communicator: str
+    baseline_rate: "float | None"
+    candidate_rate: "float | None"
+    baseline_margin: "float | None"
+    candidate_margin: "float | None"
+
+    @property
+    def delta(self) -> "float | None":
+        if self.baseline_margin is None or self.candidate_margin is None:
+            return None
+        return self.candidate_margin - self.baseline_margin
+
+
+def diff_records(
+    baseline: RunRecord, candidate: RunRecord
+) -> list[MarginDiff]:
+    """Margin movement per communicator, sorted worst-first."""
+    base_margins = baseline.margins()
+    cand_margins = candidate.margins()
+    rows = [
+        MarginDiff(
+            communicator=name,
+            baseline_rate=baseline.rates.get(name),
+            candidate_rate=candidate.rates.get(name),
+            baseline_margin=base_margins.get(name),
+            candidate_margin=cand_margins.get(name),
+        )
+        for name in sorted(set(base_margins) | set(cand_margins))
+    ]
+    rows.sort(
+        key=lambda row: (
+            row.delta if row.delta is not None else 0.0,
+            row.communicator,
+        )
+    )
+    return rows
+
+
+def render_diff(
+    baseline: RunRecord, candidate: RunRecord
+) -> str:
+    """Terminal table of a ledger diff."""
+    lines = [
+        f"ledger diff: #{baseline.entry} ({baseline.run_id}) -> "
+        f"#{candidate.entry} ({candidate.run_id})"
+    ]
+    if baseline.spec_hash != candidate.spec_hash:
+        lines.append(
+            f"  note: specification changed "
+            f"({baseline.spec_hash} -> {candidate.spec_hash})"
+        )
+    if baseline.impl_hash != candidate.impl_hash:
+        lines.append(
+            f"  note: implementation changed "
+            f"({baseline.impl_hash} -> {candidate.impl_hash})"
+        )
+    rows = diff_records(baseline, candidate)
+    if not rows:
+        lines.append("  (no communicators recorded)")
+        return "\n".join(lines)
+    width = max(len(row.communicator) for row in rows)
+    for row in rows:
+        if row.delta is None:
+            lines.append(
+                f"  {row.communicator:<{width}}  (only in "
+                f"{'candidate' if row.baseline_margin is None else 'baseline'})"
+            )
+            continue
+        arrow = (
+            "=" if abs(row.delta) < 1e-12
+            else ("+" if row.delta > 0 else "-")
+        )
+        lines.append(
+            f"  {row.communicator:<{width}}  margin "
+            f"{row.baseline_margin:+.6f} -> "
+            f"{row.candidate_margin:+.6f}  "
+            f"[{arrow}{abs(row.delta):.6f}]"
+        )
+    return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class Regression:
+    """One communicator whose margin dropped beyond the threshold."""
+
+    communicator: str
+    baseline_margin: float
+    candidate_margin: float
+    drop: float
+
+
+def check_regression(
+    baseline: RunRecord,
+    candidate: RunRecord,
+    threshold: float = DEFAULT_REGRESSION_THRESHOLD,
+) -> list[Regression]:
+    """Margins that dropped more than *threshold* vs the baseline.
+
+    Communicators missing from either entry are skipped (a changed
+    specification is reported by :func:`render_diff`, not here).
+    An empty list means the candidate passes.
+    """
+    regressions: list[Regression] = []
+    for row in diff_records(baseline, candidate):
+        if row.delta is None:
+            continue
+        drop = -row.delta
+        if drop > threshold:
+            regressions.append(
+                Regression(
+                    communicator=row.communicator,
+                    baseline_margin=row.baseline_margin,
+                    candidate_margin=row.candidate_margin,
+                    drop=drop,
+                )
+            )
+    return regressions
+
+
+def render_record(record: RunRecord) -> str:
+    """Full terminal rendering of one ledger entry (``runs show``)."""
+    lines = [
+        f"ledger entry #{record.entry}",
+        f"  run id            {record.run_id}",
+        f"  command           {record.command or '-'}"
+        + (f" ({record.executor})" if record.executor else ""),
+        f"  seed              {record.seed}",
+        f"  shape             {record.runs} runs x "
+        f"{record.iterations} iterations",
+        f"  spec/arch/impl    {record.spec_hash} / "
+        f"{record.arch_hash} / {record.impl_hash}",
+        f"  events            {record.events}",
+    ]
+    margins = record.margins()
+    if margins:
+        lines.append("  per-communicator rates and LRC margins")
+        width = max(len(name) for name in margins)
+        for name in sorted(margins):
+            mark = "ok " if margins[name] >= 0 else "LOW"
+            lines.append(
+                f"    [{mark}] {name:<{width}}  rate "
+                f"{record.rates[name]:.6f}  lrc "
+                f"{record.lrcs.get(name, 0.0):.6f}  margin "
+                f"{margins[name]:+.6f}"
+            )
+    if record.metrics is not None:
+        lines.append(
+            f"  metrics snapshot  {len(record.metrics)} instruments"
+        )
+    return "\n".join(lines)
+
+
+def render_listing(records: "list[RunRecord]") -> str:
+    """One line per entry (``runs list``)."""
+    if not records:
+        return "ledger is empty"
+    lines = ["ledger entries"]
+    for record in records:
+        worst = record.min_margin()
+        tail = (
+            f"min margin {worst[1]:+.6f} ({worst[0]})"
+            if worst is not None
+            else "no rates"
+        )
+        lines.append(
+            f"  #{record.entry}  {record.run_id:<8}  "
+            f"{record.command or '-':<16}  "
+            f"{record.runs}x{record.iterations:<8} {tail}"
+        )
+    return "\n".join(lines)

@@ -53,11 +53,25 @@ def _labels_of(labels: "Mapping[str, Any] | None") -> Labels:
     return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
 
 
+def _escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus text-exposition spec.
+
+    Backslash, double-quote, and line-feed are the three characters
+    the format escapes inside quoted label values; backslash must go
+    first so the escapes themselves survive.
+    """
+    return (
+        value.replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
 def _render_labels(labels: Labels) -> str:
     if not labels:
         return ""
     inner = ",".join(
-        '{}="{}"'.format(k, v.replace("\\", "\\\\").replace('"', '\\"'))
+        '{}="{}"'.format(k, _escape_label_value(v))
         for k, v in labels
     )
     return "{" + inner + "}"
@@ -106,12 +120,47 @@ class Histogram:
         self.count += 1
         self.counts[bisect.bisect_left(self.buckets, value)] += 1
 
+    def percentile(self, q: float) -> float:
+        """Estimate the *q*-quantile (``0 <= q <= 1``) from buckets.
+
+        Linear interpolation inside the bucket containing the target
+        rank, Prometheus ``histogram_quantile`` style: the first
+        bucket's lower edge is 0 (or the bound itself when negative),
+        and ranks falling in the overflow bucket report the largest
+        finite bound — the histogram cannot resolve beyond it.  An
+        empty histogram reports 0.0.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        cumulative = 0
+        lower = 0.0
+        for bound, bucket in zip(self.buckets, self.counts):
+            if bucket > 0 and cumulative + bucket >= target:
+                low = min(lower, bound)
+                fraction = (target - cumulative) / bucket
+                return low + (bound - low) * fraction
+            cumulative += bucket
+            lower = bound
+        return float(self.buckets[-1]) if self.buckets else 0.0
+
+    def percentiles(self) -> dict[str, float]:
+        """The dashboard's p50/p90/p99 estimates."""
+        return {
+            "p50": self.percentile(0.50),
+            "p90": self.percentile(0.90),
+            "p99": self.percentile(0.99),
+        }
+
     def to_dict(self) -> dict[str, Any]:
         return {
             "buckets": list(self.buckets),
             "counts": list(self.counts),
             "sum": self.sum,
             "count": self.count,
+            "percentiles": self.percentiles(),
         }
 
 

@@ -1,0 +1,411 @@
+"""Postmortem analysis over frozen causal chains.
+
+Consumes the forensics document produced by
+:class:`~repro.telemetry.provenance.ProvenanceRecorder` and answers
+the two questions the paper's pull-the-plug experiment poses:
+
+* **who is to blame** — :func:`blame_scores` resolves every chain's
+  fault links transitively (an unreliable *input* is followed to the
+  chain that broke it) down to terminal sources (hosts, sensors) and
+  splits one unit of blame per chain equally across them, ranking
+  sources by accumulated share;
+* **what if** — :func:`counterfactual` re-evaluates each chain with a
+  set of sources masked (treated as healthy): a replica whose host is
+  masked contributes again, a sensor whose fault is masked delivers,
+  and input reliability is recomputed recursively through the
+  upstream links under the writing task's failure model (series: all
+  inputs, parallel: any input, independent: none).
+
+Chains record *per-communicator* input status (the latest write seen
+at commit time), so a task reading several instances of one
+communicator is judged by that communicator's most recent write — an
+exact match for race-free single-instance reads and a documented
+approximation otherwise.
+
+``repro postmortem FILE`` renders both as text or JSON
+(:func:`render_postmortem` / :func:`postmortem_to_dict`).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.errors import ReproError
+from repro.telemetry.provenance import CausalChain, FaultLink
+
+
+@dataclass(frozen=True)
+class BlameEntry:
+    """Accumulated blame of one fault source."""
+
+    source: str  # e.g. "host:h2"
+    kind: str
+    name: str
+    chains: int  # chains this source (transitively) contributed to
+    share: float  # sum of per-chain fractional blame
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "source": self.source,
+            "kind": self.kind,
+            "name": self.name,
+            "chains": self.chains,
+            "share": self.share,
+        }
+
+
+def resolve_sources(
+    chain: CausalChain,
+    chains: Sequence[CausalChain],
+    _seen: "set[int] | None" = None,
+) -> tuple[FaultLink, ...]:
+    """Resolve *chain*'s fault links down to terminal sources.
+
+    ``communicator`` links carrying an upstream chain reference are
+    replaced by that chain's own resolved sources (recursively, with
+    a cycle guard); links without a retained upstream chain stay as
+    they are — the communicator itself is then the best-known source.
+    """
+    seen = _seen if _seen is not None else set()
+    if chain.index in seen:
+        return ()
+    seen.add(chain.index)
+    resolved: list[FaultLink] = []
+    keys: set[str] = set()
+    for link in chain.sources:
+        if (
+            link.kind == "communicator"
+            and link.chain is not None
+            and 0 <= link.chain < len(chains)
+        ):
+            terminals = resolve_sources(
+                chains[link.chain], chains, seen
+            )
+            if not terminals:
+                terminals = (link,)
+        else:
+            terminals = (link,)
+        for terminal in terminals:
+            if terminal.key not in keys:
+                keys.add(terminal.key)
+                resolved.append(terminal)
+    return tuple(resolved)
+
+
+def blame_scores(
+    chains: Sequence[CausalChain],
+) -> list[BlameEntry]:
+    """Rank fault sources by their share of the unreliable writes.
+
+    Each ``unreliable-write`` chain contributes one unit of blame,
+    split equally across its resolved terminal sources (alarm chains
+    are aggregates of write chains and would double-count).
+    """
+    shares: dict[str, float] = {}
+    counts: dict[str, int] = {}
+    kinds: dict[str, tuple[str, str]] = {}
+    for chain in chains:
+        if chain.trigger != "unreliable-write":
+            continue
+        terminals = resolve_sources(chain, chains)
+        if not terminals:
+            continue
+        weight = 1.0 / len(terminals)
+        for link in terminals:
+            shares[link.key] = shares.get(link.key, 0.0) + weight
+            counts[link.key] = counts.get(link.key, 0) + 1
+            kinds[link.key] = (link.kind, link.name)
+    entries = [
+        BlameEntry(
+            source=key,
+            kind=kinds[key][0],
+            name=kinds[key][1],
+            chains=counts[key],
+            share=share,
+        )
+        for key, share in shares.items()
+    ]
+    entries.sort(key=lambda e: (-e.share, -e.chains, e.source))
+    return entries
+
+
+# -- counterfactual evaluation -----------------------------------------
+
+
+#: Memo marker for a chain currently on the evaluation stack.
+_IN_PROGRESS = object()
+
+
+def chain_reliable_given(
+    chain: CausalChain,
+    masked: "set[str] | frozenset[str]",
+    chains: Sequence[CausalChain],
+    _memo: "dict[int, Any] | None" = None,
+) -> bool:
+    """Would this write have been reliable with *masked* sources up?
+
+    *masked* holds source keys (``host:h2``, ``sensor:sen1``) whose
+    faults are assumed away.  Re-evaluates the vote: replicas on
+    masked hosts contribute, masked sensors deliver, and the input
+    check is re-run recursively under the task's failure model.
+
+    Upstream references form a DAG (a chain only links chains frozen
+    before it), and diamonds are common — one broken sensor feeds two
+    inputs of the same task — so shared ancestors are memoised rather
+    than cycle-blocked; a reference genuinely on the evaluation stack
+    cannot be proven reliable.
+    """
+    memo = _memo if _memo is not None else {}
+    cached = memo.get(chain.index)
+    if cached is _IN_PROGRESS:
+        return False
+    if cached is not None:
+        return cached
+    memo[chain.index] = _IN_PROGRESS
+    result = _reliable_given(chain, masked, chains, memo)
+    memo[chain.index] = result
+    return result
+
+
+def _reliable_given(
+    chain: CausalChain,
+    masked: "set[str] | frozenset[str]",
+    chains: Sequence[CausalChain],
+    memo: "dict[int, Any]",
+) -> bool:
+    if chain.trigger != "unreliable-write":
+        return False
+    if chain.task is None:
+        # Sensor update: one masked failed source suffices (any
+        # single delivery makes the update reliable).
+        return any(link.key in masked for link in chain.sources)
+    replicas_available = chain.replicas_ok > 0 or any(
+        link.kind == "host" and link.key in masked
+        for link in chain.sources
+    )
+    if not replicas_available:
+        return False
+
+    def input_ok(status: Any) -> bool:
+        if status.reliable:
+            return True
+        if (
+            status.chain is not None
+            and 0 <= status.chain < len(chains)
+        ):
+            return chain_reliable_given(
+                chains[status.chain], masked, chains, memo
+            )
+        return False
+
+    model = chain.model or "series"
+    if model == "independent" or not chain.inputs:
+        return True
+    if model == "parallel":
+        return any(input_ok(status) for status in chain.inputs)
+    return all(input_ok(status) for status in chain.inputs)
+
+
+@dataclass
+class CounterfactualReport:
+    """Outcome of masking a set of fault sources."""
+
+    masked: tuple[str, ...]
+    flipped: list[CausalChain] = field(default_factory=list)
+    unchanged: int = 0
+
+    @property
+    def flips(self) -> int:
+        return len(self.flipped)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "masked": list(self.masked),
+            "flips": self.flips,
+            "unchanged": self.unchanged,
+            "flipped": [
+                {
+                    "index": chain.index,
+                    "communicator": chain.communicator,
+                    "task": chain.task,
+                    "iteration": chain.iteration,
+                    "time": chain.time,
+                }
+                for chain in self.flipped
+            ],
+        }
+
+
+def counterfactual(
+    chains: Sequence[CausalChain],
+    masked: Iterable[str],
+) -> CounterfactualReport:
+    """Re-evaluate every write chain with *masked* sources healthy."""
+    masked_keys = frozenset(masked)
+    report = CounterfactualReport(masked=tuple(sorted(masked_keys)))
+    for chain in chains:
+        if chain.trigger != "unreliable-write":
+            continue
+        if chain_reliable_given(chain, masked_keys, chains):
+            report.flipped.append(chain)
+        else:
+            report.unchanged += 1
+    return report
+
+
+# -- report assembly ---------------------------------------------------
+
+
+@dataclass
+class PostmortemReport:
+    """Everything ``repro postmortem`` prints."""
+
+    run_id: "str | None"
+    counters: dict[str, int]
+    lrcs: dict[str, float]
+    chains: list[CausalChain]
+    blame: list[BlameEntry]
+    per_communicator: list[tuple[str, int]]
+
+    @classmethod
+    def from_document(
+        cls, doc: Mapping[str, Any]
+    ) -> "PostmortemReport":
+        chains = [
+            CausalChain.from_dict(d) for d in doc.get("chains", ())
+        ]
+        per_comm: dict[str, int] = {}
+        for chain in chains:
+            if chain.trigger == "unreliable-write":
+                per_comm[chain.communicator] = (
+                    per_comm.get(chain.communicator, 0) + 1
+                )
+        return cls(
+            run_id=doc.get("run_id"),
+            counters=dict(doc.get("counters", {})),
+            lrcs=dict(doc.get("lrcs", {})),
+            chains=chains,
+            blame=blame_scores(chains),
+            per_communicator=sorted(
+                per_comm.items(), key=lambda kv: (-kv[1], kv[0])
+            ),
+        )
+
+    def top_source(self) -> "BlameEntry | None":
+        return self.blame[0] if self.blame else None
+
+
+def load_forensics_file(path: "str | Path") -> dict[str, Any]:
+    """Read a forensics JSON document written by ``--postmortem``."""
+    path = Path(path)
+    try:
+        text = path.read_text()
+    except OSError as error:
+        raise ReproError(
+            f"cannot read forensics file {str(path)!r}: {error}"
+        )
+    except UnicodeDecodeError:
+        raise ReproError(
+            f"forensics file {str(path)!r} is not text"
+        )
+    if not text.strip():
+        raise ReproError(f"forensics file {str(path)!r} is empty")
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise ReproError(
+            f"forensics file {str(path)!r} is not valid JSON: "
+            f"{error.msg}"
+        )
+    if not isinstance(doc, dict) or "chains" not in doc:
+        raise ReproError(
+            f"forensics file {str(path)!r} is not a forensics "
+            f"document (no 'chains' key)"
+        )
+    return doc
+
+
+def postmortem_to_dict(
+    report: PostmortemReport,
+    counterfactuals: "Sequence[CounterfactualReport]" = (),
+) -> dict[str, Any]:
+    """JSON form of a postmortem (``repro postmortem --format json``)."""
+    return {
+        "run_id": report.run_id,
+        "counters": report.counters,
+        "blame": [entry.to_dict() for entry in report.blame],
+        "unreliable_writes_by_communicator": [
+            {"communicator": name, "writes": count}
+            for name, count in report.per_communicator
+        ],
+        "counterfactuals": [cf.to_dict() for cf in counterfactuals],
+    }
+
+
+def render_postmortem(
+    report: PostmortemReport,
+    counterfactuals: "Sequence[CounterfactualReport]" = (),
+    top: int = 10,
+) -> str:
+    """Fixed-width text report: blame table + counterfactuals."""
+    counters = report.counters
+    lines = [
+        "postmortem"
+        + (f" (run {report.run_id})" if report.run_id else ""),
+        f"  iterations        {counters.get('iterations', 0)}",
+        f"  commits           {counters.get('commits', 0)}"
+        f" ({counters.get('unreliable_commits', 0)} unreliable)",
+        f"  sensor updates    {counters.get('sensor_updates', 0)}"
+        f" ({counters.get('failed_sensor_updates', 0)} failed)",
+        f"  causal chains     {len(report.chains)}"
+        + (
+            f" (+{counters['dropped_chains']} dropped)"
+            if counters.get("dropped_chains")
+            else ""
+        ),
+    ]
+    if report.blame:
+        lines.append("blame (share of unreliable writes, resolved "
+                     "to terminal sources)")
+        width = max(
+            len(entry.source) for entry in report.blame[:top]
+        )
+        total = sum(entry.share for entry in report.blame) or 1.0
+        for entry in report.blame[:top]:
+            lines.append(
+                f"  {entry.source:<{width}}  share"
+                f" {entry.share:>8.2f}"
+                f"  ({100.0 * entry.share / total:5.1f}%"
+                f" of blame, {entry.chains} chains)"
+            )
+    else:
+        lines.append("no unreliable writes recorded")
+    if report.per_communicator:
+        lines.append("unreliable writes by communicator")
+        for name, count in report.per_communicator[:top]:
+            lrc = report.lrcs.get(name)
+            tail = f" (LRC {lrc:.6f})" if lrc is not None else ""
+            lines.append(f"  {name:<20} {count}{tail}")
+    for cf in counterfactuals:
+        masked = ", ".join(cf.masked) or "-"
+        lines.append(
+            f"counterfactual: with {masked} up, "
+            f"{cf.flips} of {cf.flips + cf.unchanged} unreliable "
+            f"writes become reliable"
+        )
+        for chain in cf.flipped[:top]:
+            what = (
+                f"{chain.task} -> {chain.communicator}"
+                if chain.task
+                else f"sensor update of {chain.communicator}"
+            )
+            lines.append(
+                f"  t={chain.time:<8d} {what} (iteration "
+                f"{chain.iteration})"
+            )
+        if len(cf.flipped) > top:
+            lines.append(f"  ... and {len(cf.flipped) - top} more")
+    return "\n".join(lines)

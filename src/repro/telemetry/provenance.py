@@ -1,0 +1,585 @@
+"""Failure forensics: the flight recorder and causal-chain freezing.
+
+The telemetry layer (PR 4) answers *what is happening* — spans,
+counters, profiles.  :class:`ProvenanceRecorder` answers *why a write
+was unreliable*: it subscribes to the instrumentation hook stream,
+keeps a bounded **flight recorder** (ring buffer of the last N
+iterations of sensor reads, replica outcomes, and vote commits), and
+freezes a **causal chain** on every unreliable communicator write and
+every monitor alarm:
+
+    fault source (host / sensor) -> failed replica(s) -> vote outcome
+        -> communicator write -> downstream readers
+
+The downstream edge comes from the static dependency graph of
+:func:`repro.model.graph.communicator_dependency_graph`; the fault
+sources come from the per-replica and per-sensor hook outcomes, so
+the chain names the exact injected fault that broke the write.  A
+chain whose write failed because its *inputs* were unreliable links
+to the upstream chains instead, which is what lets the postmortem
+layer resolve blame transitively and answer counterfactuals
+("would this write have been reliable had host h been up?") by
+re-evaluating the chain with a source masked
+(:mod:`repro.telemetry.postmortem`).
+
+Like every sink, the recorder is a pure observer: it never consumes
+randomness or touches the store, so an instrumented run is
+bit-identical to a bare one (the PR 2 seed contract), and it stays
+off the hottest hook (``on_access``) so attachment cost tracks the
+null-sink budget.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.telemetry.sink import InstrumentationSink
+
+#: Default number of iterations retained in the flight recorder.
+DEFAULT_CAPACITY = 64
+
+#: Default cap on frozen causal chains per recorder.
+DEFAULT_MAX_CHAINS = 10_000
+
+
+@dataclass(frozen=True)
+class FaultLink:
+    """One fault source (or upstream edge) of a causal chain.
+
+    *kind* is ``"host"`` (a failed replica's host), ``"sensor"`` (a
+    failed sensor delivery), ``"communicator"`` (an unreliable input
+    — *chain* then indexes the upstream chain, when retained), or
+    ``"vote"`` (a vote that produced BOTTOM despite contributions —
+    defensive, not reachable with the shipped voters).
+    """
+
+    kind: str
+    name: str
+    detail: str = ""
+    chain: "int | None" = None
+
+    @property
+    def key(self) -> str:
+        """The blame-score key, e.g. ``host:h2``."""
+        return f"{self.kind}:{self.name}"
+
+    def to_dict(self) -> dict[str, Any]:
+        doc: dict[str, Any] = {"kind": self.kind, "name": self.name}
+        if self.detail:
+            doc["detail"] = self.detail
+        if self.chain is not None:
+            doc["chain"] = self.chain
+        return doc
+
+    @classmethod
+    def from_dict(cls, doc: Mapping[str, Any]) -> "FaultLink":
+        return cls(
+            kind=str(doc["kind"]),
+            name=str(doc["name"]),
+            detail=str(doc.get("detail", "")),
+            chain=doc.get("chain"),
+        )
+
+
+@dataclass(frozen=True)
+class InputStatus:
+    """Reliability of one input communicator at the chain's commit."""
+
+    communicator: str
+    reliable: bool
+    chain: "int | None" = None
+
+    def to_dict(self) -> dict[str, Any]:
+        doc: dict[str, Any] = {
+            "communicator": self.communicator,
+            "reliable": self.reliable,
+        }
+        if self.chain is not None:
+            doc["chain"] = self.chain
+        return doc
+
+    @classmethod
+    def from_dict(cls, doc: Mapping[str, Any]) -> "InputStatus":
+        return cls(
+            communicator=str(doc["communicator"]),
+            reliable=bool(doc["reliable"]),
+            chain=doc.get("chain"),
+        )
+
+
+@dataclass(frozen=True)
+class CausalChain:
+    """One frozen failure-propagation chain.
+
+    *trigger* is ``"unreliable-write"`` (an unreliable vote commit or
+    failed sensor update) or ``"lrc-alarm"`` (the online monitor
+    raised; *sources* then aggregate the recent chains of the alarmed
+    communicator).  *task* is ``None`` for sensor updates.  *model*
+    is the writing task's input failure model (``"series"`` /
+    ``"parallel"`` / ``"independent"``), which the counterfactual
+    evaluation needs to re-run the input check.  *downstream* lists
+    the communicators transitively reachable from the broken write in
+    the static dependency graph — the blast radius of the fault.
+    """
+
+    index: int
+    trigger: str
+    communicator: str
+    task: "str | None"
+    model: "str | None"
+    iteration: int
+    time: int
+    sources: tuple[FaultLink, ...]
+    inputs: tuple[InputStatus, ...] = ()
+    replicas_attempted: int = 0
+    replicas_ok: int = 0
+    contributions: int = 0
+    downstream: tuple[str, ...] = ()
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "index": self.index,
+            "trigger": self.trigger,
+            "communicator": self.communicator,
+            "task": self.task,
+            "model": self.model,
+            "iteration": self.iteration,
+            "time": self.time,
+            "sources": [link.to_dict() for link in self.sources],
+            "inputs": [status.to_dict() for status in self.inputs],
+            "replicas_attempted": self.replicas_attempted,
+            "replicas_ok": self.replicas_ok,
+            "contributions": self.contributions,
+            "downstream": list(self.downstream),
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Mapping[str, Any]) -> "CausalChain":
+        return cls(
+            index=int(doc["index"]),
+            trigger=str(doc["trigger"]),
+            communicator=str(doc["communicator"]),
+            task=doc.get("task"),
+            model=doc.get("model"),
+            iteration=int(doc["iteration"]),
+            time=int(doc["time"]),
+            sources=tuple(
+                FaultLink.from_dict(d) for d in doc.get("sources", ())
+            ),
+            inputs=tuple(
+                InputStatus.from_dict(d) for d in doc.get("inputs", ())
+            ),
+            replicas_attempted=int(doc.get("replicas_attempted", 0)),
+            replicas_ok=int(doc.get("replicas_ok", 0)),
+            contributions=int(doc.get("contributions", 0)),
+            downstream=tuple(doc.get("downstream", ())),
+        )
+
+
+@dataclass
+class IterationFrame:
+    """One flight-recorder frame: everything observed in a period.
+
+    ``sensor_reads`` holds ``(communicator, time, delivered,
+    failed_sensors)``; ``replicas[task]`` holds ``(host, ok)`` per
+    replication attempt; ``commits`` holds ``(task, communicator,
+    time, contributions, reliable)``.
+    """
+
+    iteration: int
+    start_time: int
+    sensor_reads: list = field(default_factory=list)
+    replicas: dict = field(default_factory=dict)
+    commits: list = field(default_factory=list)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "iteration": self.iteration,
+            "start_time": self.start_time,
+            "sensor_reads": [
+                {
+                    "communicator": comm,
+                    "time": time,
+                    "delivered": delivered,
+                    "failed_sensors": list(failed),
+                }
+                for comm, time, delivered, failed in self.sensor_reads
+            ],
+            "replicas": {
+                task: [
+                    {"host": host, "ok": ok} for host, ok in attempts
+                ]
+                for task, attempts in self.replicas.items()
+            },
+            "commits": [
+                {
+                    "task": task,
+                    "communicator": comm,
+                    "time": time,
+                    "contributions": contributions,
+                    "reliable": reliable,
+                }
+                for task, comm, time, contributions, reliable
+                in self.commits
+            ],
+        }
+
+
+class ProvenanceRecorder(InstrumentationSink):
+    """Flight recorder + causal-chain freezer over the hook stream.
+
+    Parameters
+    ----------
+    spec:
+        The specification being executed; provides the task input
+        ports, failure models, and the communicator dependency graph
+        for the downstream blast radius.
+    capacity:
+        Flight-recorder depth: the last *capacity* iteration frames
+        are retained (older frames are evicted, their chains kept).
+    max_chains:
+        Hard cap on frozen chains; once reached further triggers are
+        counted in ``dropped_chains`` instead of stored, so a
+        pathological run cannot grow memory without bound.
+    run_id:
+        Optional correlation key copied into the forensics document.
+    """
+
+    def __init__(
+        self,
+        spec: Any,
+        *,
+        capacity: int = DEFAULT_CAPACITY,
+        max_chains: int = DEFAULT_MAX_CHAINS,
+        run_id: "str | None" = None,
+    ) -> None:
+        if capacity < 2:
+            raise ValueError(
+                f"flight recorder capacity must be >= 2, got {capacity}"
+            )
+        self.spec = spec
+        self.capacity = capacity
+        self.max_chains = max_chains
+        self.run_id = run_id
+        # Static context, computed once: per-task ordered input
+        # communicators + failure model name, and per-communicator
+        # transitive downstream closure.
+        self._task_inputs: dict[str, tuple[str, ...]] = {}
+        self._task_model: dict[str, str] = {}
+        for name, task in spec.tasks.items():
+            seen: list[str] = []
+            for port in task.inputs:
+                if port.communicator not in seen:
+                    seen.append(port.communicator)
+            self._task_inputs[name] = tuple(seen)
+            self._task_model[name] = task.model.name.lower()
+        self._downstream = _downstream_closure(spec)
+        # Dynamic state.
+        self.chains: list[CausalChain] = []
+        self.dropped_chains = 0
+        self.total_commits = 0
+        self.unreliable_commits = 0
+        self.total_sensor_updates = 0
+        self.failed_sensor_updates = 0
+        self.iterations = 0
+        self._frames: "OrderedDict[int, IterationFrame]" = OrderedDict()
+        self._iteration = 0
+        self._time = 0
+        # Reliability of the last write per communicator, with the
+        # index of the chain that broke it (None when reliable or
+        # when the chain was dropped by the cap).
+        self._last_status: dict[str, tuple[bool, "int | None"]] = {}
+        # Per-sensor outcomes accumulated between on_sensor_outcome
+        # and the aggregate on_sensor_update of the same instant.
+        self._pending_sensors: dict[str, list[tuple[str, bool]]] = {}
+        # Recent chain indices per communicator (alarm aggregation).
+        self._recent: dict[str, deque] = {}
+
+    # -- hook overrides -------------------------------------------------
+
+    def on_run_start(
+        self, start_time: int, iterations: int, period: int
+    ) -> None:
+        # Chained executives (the resilient executive runs one period
+        # per call) re-enter here; only initialise the store status
+        # once so upstream links survive period boundaries.
+        if not self._last_status:
+            self._last_status = {
+                name: (True, None) for name in self.spec.communicators
+            }
+
+    def on_iteration_start(self, iteration: int, time: int) -> None:
+        self.iterations += 1
+        self._iteration = iteration
+        self._time = time
+        self._frames[iteration] = IterationFrame(
+            iteration=iteration, start_time=time
+        )
+        while len(self._frames) > self.capacity:
+            self._frames.popitem(last=False)
+
+    def on_sensor_outcome(
+        self, communicator: str, time: int, sensor: str, ok: bool
+    ) -> None:
+        self._pending_sensors.setdefault(communicator, []).append(
+            (sensor, ok)
+        )
+
+    def on_sensor_update(
+        self, communicator: str, time: int, delivered: bool
+    ) -> None:
+        self.total_sensor_updates += 1
+        outcomes = self._pending_sensors.pop(communicator, [])
+        failed = tuple(s for s, ok in outcomes if not ok)
+        frame = self._frames.get(self._iteration)
+        if frame is not None:
+            frame.sensor_reads.append(
+                (communicator, time, delivered, failed)
+            )
+        if delivered:
+            self._last_status[communicator] = (True, None)
+            return
+        self.failed_sensor_updates += 1
+        sources = tuple(
+            FaultLink(
+                "sensor",
+                sensor,
+                detail=f"delivery to {communicator} failed at {time}",
+            )
+            for sensor in failed
+        ) or (
+            # No per-sensor hook fired (e.g. a custom executor):
+            # attribute the update itself.
+            FaultLink(
+                "communicator",
+                communicator,
+                detail=f"sensor update failed at {time}",
+            ),
+        )
+        self._freeze(
+            trigger="unreliable-write",
+            communicator=communicator,
+            task=None,
+            model=None,
+            time=time,
+            sources=sources,
+            inputs=(),
+            replicas_attempted=0,
+            replicas_ok=0,
+            contributions=0,
+        )
+
+    def on_replica(
+        self, task: str, host: str, iteration: int, time: int, ok: bool
+    ) -> None:
+        frame = self._frames.get(iteration)
+        if frame is not None:
+            frame.replicas.setdefault(task, []).append((host, ok))
+
+    def on_commit(
+        self,
+        task: str,
+        communicator: str,
+        iteration: int,
+        time: int,
+        replicas: int,
+        reliable: bool,
+    ) -> None:
+        self.total_commits += 1
+        frame = self._frames.get(iteration)
+        attempts = (
+            frame.replicas.get(task, []) if frame is not None else []
+        )
+        if frame is not None:
+            frame.commits.append(
+                (task, communicator, time, replicas, reliable)
+            )
+        if reliable:
+            self._last_status[communicator] = (True, None)
+            return
+        self.unreliable_commits += 1
+        ok_hosts = [host for host, ok in attempts if ok]
+        failed_hosts = [host for host, ok in attempts if not ok]
+        inputs = tuple(
+            InputStatus(
+                communicator=name,
+                reliable=self._last_status.get(name, (True, None))[0],
+                chain=self._last_status.get(name, (True, None))[1],
+            )
+            for name in self._task_inputs.get(task, ())
+        )
+        if not ok_hosts:
+            # Every replica stayed silent: the hosts are the fault.
+            sources: tuple[FaultLink, ...] = tuple(
+                FaultLink(
+                    "host",
+                    host,
+                    detail=(
+                        f"replica {task}@{host} failed "
+                        f"(invocation or broadcast)"
+                    ),
+                )
+                for host in failed_hosts
+            )
+        elif replicas == 0:
+            # Replicas survived but execution was suppressed by the
+            # input failure model: blame the unreliable inputs.
+            sources = tuple(
+                FaultLink(
+                    "communicator",
+                    status.communicator,
+                    detail=f"unreliable input of {task}",
+                    chain=status.chain,
+                )
+                for status in inputs
+                if not status.reliable
+            )
+        else:
+            sources = (
+                FaultLink(
+                    "vote",
+                    communicator,
+                    detail=(
+                        f"vote over {replicas} contributions "
+                        f"produced BOTTOM"
+                    ),
+                ),
+            )
+        self._freeze(
+            trigger="unreliable-write",
+            communicator=communicator,
+            task=task,
+            model=self._task_model.get(task),
+            time=time,
+            sources=sources,
+            inputs=inputs,
+            replicas_attempted=len(attempts),
+            replicas_ok=len(ok_hosts),
+            contributions=replicas,
+        )
+
+    def on_event(self, event: Any) -> None:
+        if getattr(event, "kind", None) != "lrc-alarm":
+            return
+        communicator = getattr(event, "communicator", "?")
+        time = int(getattr(event, "time", self._time))
+        recent = self._recent.get(communicator, ())
+        sources: list[FaultLink] = []
+        seen: set[str] = set()
+        for chain_index in recent:
+            for link in self.chains[chain_index].sources:
+                if link.key not in seen:
+                    seen.add(link.key)
+                    sources.append(link)
+        if not sources:
+            sources.append(
+                FaultLink(
+                    "communicator",
+                    communicator,
+                    detail="windowed rate fell below the LRC",
+                )
+            )
+        self._freeze(
+            trigger="lrc-alarm",
+            communicator=communicator,
+            task=None,
+            model=None,
+            time=time,
+            sources=tuple(sources),
+            inputs=(),
+            replicas_attempted=0,
+            replicas_ok=0,
+            contributions=0,
+        )
+
+    # -- chain bookkeeping ----------------------------------------------
+
+    def _freeze(
+        self,
+        *,
+        trigger: str,
+        communicator: str,
+        task: "str | None",
+        model: "str | None",
+        time: int,
+        sources: tuple[FaultLink, ...],
+        inputs: tuple[InputStatus, ...],
+        replicas_attempted: int,
+        replicas_ok: int,
+        contributions: int,
+    ) -> None:
+        stored_index: "int | None" = None
+        if len(self.chains) < self.max_chains:
+            stored_index = len(self.chains)
+            chain = CausalChain(
+                index=stored_index,
+                trigger=trigger,
+                communicator=communicator,
+                task=task,
+                model=model,
+                iteration=self._iteration,
+                time=time,
+                sources=sources,
+                inputs=inputs,
+                replicas_attempted=replicas_attempted,
+                replicas_ok=replicas_ok,
+                contributions=contributions,
+                downstream=self._downstream.get(communicator, ()),
+            )
+            self.chains.append(chain)
+            if trigger == "unreliable-write":
+                self._recent.setdefault(
+                    communicator, deque(maxlen=self.capacity)
+                ).append(stored_index)
+        else:
+            self.dropped_chains += 1
+        if trigger == "unreliable-write":
+            self._last_status[communicator] = (False, stored_index)
+
+    # -- export ---------------------------------------------------------
+
+    def frames(self) -> list[IterationFrame]:
+        """The retained flight-recorder frames, oldest first."""
+        return list(self._frames.values())
+
+    def to_dict(self) -> dict[str, Any]:
+        """The forensics document ``simulate --postmortem`` writes."""
+        return {
+            "version": 1,
+            "run_id": self.run_id,
+            "capacity": self.capacity,
+            "counters": {
+                "iterations": self.iterations,
+                "commits": self.total_commits,
+                "unreliable_commits": self.unreliable_commits,
+                "sensor_updates": self.total_sensor_updates,
+                "failed_sensor_updates": self.failed_sensor_updates,
+                "chains": len(self.chains),
+                "dropped_chains": self.dropped_chains,
+            },
+            "lrcs": {
+                name: comm.lrc
+                for name, comm in sorted(
+                    self.spec.communicators.items()
+                )
+            },
+            "chains": [chain.to_dict() for chain in self.chains],
+            "flight_recorder": [
+                frame.to_dict() for frame in self.frames()
+            ],
+        }
+
+
+def _downstream_closure(spec: Any) -> dict[str, tuple[str, ...]]:
+    """Transitive downstream communicators per communicator."""
+    import networkx as nx
+
+    from repro.model.graph import communicator_dependency_graph
+
+    graph = communicator_dependency_graph(spec)
+    return {
+        name: tuple(sorted(nx.descendants(graph, name)))
+        for name in graph.nodes
+    }

@@ -55,6 +55,18 @@ class InstrumentationSink:
 
     # -- data-flow instants --------------------------------------------
 
+    def on_sensor_outcome(
+        self, communicator: str, time: int, sensor: str, ok: bool
+    ) -> None:
+        """One bound sensor attempted its delivery for an update.
+
+        Fired once per bound sensor of a due sensor update, in the
+        canonical draw order, *before* the aggregate
+        :meth:`on_sensor_update` for the same instant.  *ok* is
+        ``False`` when that sensor's delivery failed — the per-source
+        fault attribution the forensics recorder consumes.
+        """
+
     def on_sensor_update(
         self, communicator: str, time: int, delivered: bool
     ) -> None:
@@ -137,6 +149,7 @@ HOOK_NAMES = (
     "on_run_start",
     "on_run_end",
     "on_iteration_start",
+    "on_sensor_outcome",
     "on_sensor_update",
     "on_access",
     "on_release_start",

@@ -30,6 +30,11 @@ def load_trace_file(path: "str | Path") -> list[dict[str, Any]]:
         text = path.read_text()
     except OSError as error:
         raise ReproError(f"cannot read trace file {str(path)!r}: {error}")
+    except UnicodeDecodeError:
+        raise ReproError(
+            f"trace file {str(path)!r} is not text (expected Chrome "
+            f"trace JSON or JSONL)"
+        )
     if not text.strip():
         raise ReproError(f"trace file {str(path)!r} is empty")
     try:
@@ -106,8 +111,22 @@ class TraceSummary:
     resilience_kinds: dict[str, int] = field(default_factory=dict)
 
 
+def _as_float(value: Any) -> float:
+    """Coerce a trace field to float; malformed records count as 0."""
+    try:
+        return float(value or 0.0)
+    except (TypeError, ValueError):
+        return 0.0
+
+
 def summarize_trace(events: list[dict[str, Any]]) -> TraceSummary:
-    """Aggregate a parsed trace-event list."""
+    """Aggregate a parsed trace-event list.
+
+    Tolerant of truncated or hand-edited records: non-numeric
+    ``ts``/``dur``/``iteration`` fields degrade to zero / skipped
+    instead of raising, so ``repro trace`` never tracebacks on a
+    damaged file.
+    """
     stats: dict[tuple[str, str], SpanStat] = {}
     spans = 0
     instants = 0
@@ -118,7 +137,9 @@ def summarize_trace(events: list[dict[str, Any]]) -> TraceSummary:
     kinds: dict[str, int] = {}
     for event in events:
         phase = event.get("ph")
-        args = event.get("args") or {}
+        args = event.get("args")
+        if not isinstance(args, dict):
+            args = {}
         if run_id is None:
             candidate = args.get("run_id")
             if candidate is not None:
@@ -134,21 +155,24 @@ def summarize_trace(events: list[dict[str, Any]]) -> TraceSummary:
             if stat is None:
                 stat = SpanStat(name=group, cat=cat)
                 stats[(group, cat)] = stat
-            duration = float(event.get("dur", 0.0) or 0.0)
+            duration = _as_float(event.get("dur"))
             stat.count += 1
             stat.total_us += duration
             stat.max_us = max(stat.max_us, duration)
-            end = float(event.get("ts", 0.0) or 0.0) + duration
+            end = _as_float(event.get("ts")) + duration
             wall_us = max(wall_us, end)
             if cat == "iteration":
-                iteration = args.get("iteration")
+                try:
+                    iteration = int(args.get("iteration"))
+                except (TypeError, ValueError):
+                    iteration = None
                 if iteration is not None and (
                     critical is None or duration > critical[1]
                 ):
-                    critical = (int(iteration), duration)
+                    critical = (iteration, duration)
         elif phase == "i":
             instants += 1
-            wall_us = max(wall_us, float(event.get("ts", 0.0) or 0.0))
+            wall_us = max(wall_us, _as_float(event.get("ts")))
             cat = event.get("cat")
             if cat in ("access", "vote") and args.get("reliable") is False:
                 name = str(args.get("communicator", "?"))

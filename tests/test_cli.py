@@ -1,6 +1,7 @@
 """Tests for the command-line front-end."""
 
 import json
+import re
 
 import pytest
 
@@ -563,3 +564,239 @@ def test_trace_command_malformed_file_exits_2(tmp_path, capsys):
 def test_trace_command_missing_file_exits_2(tmp_path, capsys):
     assert main(["trace", str(tmp_path / "nope.json")]) == 2
     assert "cannot read" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# Trace-file robustness (ISSUE 5 satellite).
+# ----------------------------------------------------------------------
+
+
+def test_trace_command_skips_blank_jsonl_lines(workspace, tmp_path, capsys):
+    trace = tmp_path / "trace.jsonl"
+    _simulate(workspace, "--iterations", "5", "--trace", str(trace))
+    padded = tmp_path / "padded.jsonl"
+    lines = trace.read_text().splitlines()
+    padded.write_text(
+        "\n" + "\n\n".join(lines) + "\n\n"
+    )
+    capsys.readouterr()
+    assert main(["trace", str(padded)]) == 0
+    assert "trace summary" in capsys.readouterr().out
+
+
+def test_trace_command_whitespace_only_file_exits_2(tmp_path, capsys):
+    blank = tmp_path / "blank.jsonl"
+    blank.write_text("\n\n   \n")
+    assert main(["trace", str(blank)]) == 2
+    err = capsys.readouterr().err
+    assert "empty" in err
+    assert len(err.strip().splitlines()) == 1  # one clean line, no trace
+
+
+def test_trace_command_truncated_jsonl_exits_2(workspace, tmp_path, capsys):
+    trace = tmp_path / "trace.jsonl"
+    _simulate(workspace, "--iterations", "5", "--trace", str(trace))
+    truncated = tmp_path / "truncated.jsonl"
+    text = trace.read_text()
+    truncated.write_text(text[: len(text) // 2])  # cut mid-line
+    capsys.readouterr()
+    assert main(["trace", str(truncated)]) == 2
+    err = capsys.readouterr().err
+    assert "is not valid JSON" in err
+    assert len(err.strip().splitlines()) == 1
+
+
+def test_trace_command_binary_file_exits_2(tmp_path, capsys):
+    binary = tmp_path / "trace.bin"
+    binary.write_bytes(b"\x89PNG\r\n\x1a\n\x00\xff\xfe garbage")
+    assert main(["trace", str(binary)]) == 2
+    assert "is not text" in capsys.readouterr().err
+
+
+def test_trace_command_non_object_line_exits_2(tmp_path, capsys):
+    bad = tmp_path / "bad.jsonl"
+    bad.write_text('{"ph": "i", "name": "x"}\n[1, 2]\n')
+    assert main(["trace", str(bad)]) == 2
+    assert "line 2" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# Postmortem forensics (ISSUE 5 tentpole).
+# ----------------------------------------------------------------------
+
+
+def _unplug_with_forensics(workspace, tmp_path, capsys):
+    forensics = tmp_path / "forensics.json"
+    status = _simulate(
+        workspace,
+        "--iterations", "60",
+        "--seed", "7",
+        "--bernoulli",
+        "--unplug", "h2:5000",
+        "--postmortem", str(forensics),
+    )
+    assert status == 1  # the unplug makes the LRC check fail
+    out = capsys.readouterr().out
+    assert "wrote forensics" in out
+    return forensics
+
+
+def test_postmortem_names_unplugged_host(workspace, tmp_path, capsys):
+    forensics = _unplug_with_forensics(workspace, tmp_path, capsys)
+    assert main(["postmortem", str(forensics)]) == 0
+    out = capsys.readouterr().out
+    # The pull-the-plug acceptance check: the top blame source is the
+    # host the run unplugged.
+    blame_lines = [l for l in out.splitlines() if "% of blame" in l]
+    assert blame_lines and "host:h2" in blame_lines[0]
+    assert "unreliable writes by communicator" in out
+    assert "u2" in out
+
+
+def test_postmortem_counterfactual_mask(workspace, tmp_path, capsys):
+    forensics = _unplug_with_forensics(workspace, tmp_path, capsys)
+    assert main([
+        "postmortem", str(forensics), "--mask", "host:h2",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "counterfactual: with host:h2 up" in out
+    # Masking the root cause flips at least one unreliable write.
+    match = re.search(r"(\d+) of (\d+) unreliable\s+writes", out)
+    assert match and int(match.group(1)) > 0
+
+
+def test_postmortem_json_format(workspace, tmp_path, capsys):
+    forensics = _unplug_with_forensics(workspace, tmp_path, capsys)
+    assert main([
+        "postmortem", str(forensics),
+        "--mask", "host:h2,sensor:sen1",
+        "--format", "json",
+    ]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["blame"][0]["source"] == "host:h2"
+    (cf,) = doc["counterfactuals"]
+    assert cf["masked"] == ["host:h2", "sensor:sen1"]
+    assert cf["flips"] > 0
+
+
+def test_postmortem_bad_mask_exits_2(workspace, tmp_path, capsys):
+    forensics = _unplug_with_forensics(workspace, tmp_path, capsys)
+    assert main(["postmortem", str(forensics), "--mask", "h2"]) == 2
+    assert "KIND:NAME" in capsys.readouterr().err
+
+
+def test_postmortem_rejects_non_forensics_file(tmp_path, capsys):
+    assert main(["postmortem", str(tmp_path / "nope.json")]) == 2
+    assert "cannot read" in capsys.readouterr().err
+    other = tmp_path / "other.json"
+    other.write_text('{"traceEvents": []}')
+    assert main(["postmortem", str(other)]) == 2
+    assert "chains" in capsys.readouterr().err
+
+
+def test_postmortem_needs_single_run(workspace, tmp_path, capsys):
+    status = _simulate(
+        workspace,
+        "--runs", "4",
+        "--postmortem", str(tmp_path / "f.json"),
+    )
+    assert status == 2
+    assert "single run" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# The run ledger (ISSUE 5 tentpole).
+# ----------------------------------------------------------------------
+
+
+def test_simulate_records_ledger_and_runs_cli(
+    workspace, tmp_path, capsys
+):
+    ledger = tmp_path / "runs"
+    for seed in ("3", "4"):
+        _simulate(
+            workspace,
+            "--iterations", "40",
+            "--seed", seed,
+            "--bernoulli",
+            "--ledger", str(ledger),
+        )
+    out = capsys.readouterr().out
+    assert "ledger: recorded entry #0" in out
+    assert "ledger: recorded entry #1" in out
+
+    assert main(["runs", "list", "--ledger", str(ledger)]) == 0
+    listing = capsys.readouterr().out
+    assert "#0" in listing and "#1" in listing and "min margin" in listing
+
+    assert main(["runs", "show", "--ledger", str(ledger)]) == 0
+    shown = capsys.readouterr().out
+    assert "ledger entry #1" in shown  # default entry is 'latest'
+    assert "per-communicator rates and LRC margins" in shown
+
+    assert main([
+        "runs", "diff", "#0", "#1", "--ledger", str(ledger),
+    ]) == 0
+    assert "ledger diff: #0" in capsys.readouterr().out
+
+    # Two healthy seeds stay within a generous threshold.
+    assert main([
+        "runs", "regress", "--ledger", str(ledger),
+        "--baseline", "#0", "--threshold", "0.05",
+    ]) == 0
+    assert "regress OK" in capsys.readouterr().out
+
+
+def test_runs_regress_fails_on_margin_drop(workspace, tmp_path, capsys):
+    ledger = tmp_path / "runs"
+    _simulate(
+        workspace,
+        "--iterations", "60", "--seed", "7",
+        "--ledger", str(ledger),
+    )
+    _simulate(
+        workspace,
+        "--iterations", "60", "--seed", "7",
+        "--unplug", "h2:5000",
+        "--ledger", str(ledger),
+    )
+    capsys.readouterr()
+    status = main([
+        "runs", "regress", "--ledger", str(ledger), "--baseline", "#0",
+    ])
+    assert status == 1
+    out = capsys.readouterr().out
+    assert "regress FAIL" in out
+    assert "u2" in out
+
+
+def test_runs_on_missing_ledger(tmp_path, capsys):
+    ledger = tmp_path / "void"
+    assert main(["runs", "list", "--ledger", str(ledger)]) == 0
+    assert "ledger is empty" in capsys.readouterr().out
+    assert main(["runs", "show", "--ledger", str(ledger)]) == 2
+    assert "is empty" in capsys.readouterr().err
+
+
+def test_resilient_simulate_records_ledger_and_forensics(
+    workspace, tmp_path, capsys
+):
+    ledger = tmp_path / "runs"
+    forensics = tmp_path / "forensics.json"
+    status = _simulate(
+        workspace,
+        "--iterations", "60",
+        "--seed", "7",
+        "--unplug", "h2:5000",
+        "--monitor",
+        "--postmortem", str(forensics),
+        "--ledger", str(ledger),
+    )
+    out = capsys.readouterr().out
+    assert "wrote forensics" in out
+    assert "ledger: recorded entry #0" in out
+    doc = json.loads(forensics.read_text())
+    # The monitor alarm froze an aggregate chain via the event relay.
+    assert any(c["trigger"] == "lrc-alarm" for c in doc["chains"])
+    assert main(["postmortem", str(forensics)]) == 0
+    assert "host:h2" in capsys.readouterr().out

@@ -1,0 +1,324 @@
+"""Tests for failure forensics: the flight recorder, causal chains,
+blame scores, and counterfactual queries (ISSUE 5 tentpole)."""
+
+import json
+
+import pytest
+
+from repro.experiments import (
+    ACTUATORS,
+    baseline_implementation,
+    bind_control_functions,
+    three_tank_architecture,
+    three_tank_spec,
+)
+from repro.experiments.three_tank_system import ThreeTankEnvironment
+from repro.resilience import MonitorConfig, ResilientSimulator
+from repro.runtime import (
+    BernoulliFaults,
+    CompositeFaults,
+    ScriptedFaults,
+    Simulator,
+)
+from repro.telemetry import (
+    CausalChain,
+    PostmortemReport,
+    ProvenanceRecorder,
+    blame_scores,
+    counterfactual,
+)
+from repro.telemetry.postmortem import (
+    chain_reliable_given,
+    render_postmortem,
+    resolve_sources,
+)
+
+ITERATIONS = 60
+SEED = 7
+
+
+def fresh_spec():
+    # Controller/estimator closures carry state: every simulation
+    # needs a fresh binding (see bind_control_functions docstring).
+    return three_tank_spec(lrc_u=0.99, functions=bind_control_functions())
+
+
+def unplug_faults():
+    """Bernoulli background noise plus h2 unplugged at t=5000."""
+    return CompositeFaults(
+        [
+            BernoulliFaults(three_tank_architecture()),
+            ScriptedFaults(host_outages={"h2": [(5000, None)]}),
+        ]
+    )
+
+
+def forensic_run(
+    faults=None, recorder=None, seed=SEED, iterations=ITERATIONS
+):
+    spec = fresh_spec()
+    if recorder is None:
+        recorder = ProvenanceRecorder(spec)
+    result = Simulator(
+        spec,
+        three_tank_architecture(),
+        baseline_implementation(),
+        environment=ThreeTankEnvironment(),
+        faults=faults if faults is not None else unplug_faults(),
+        actuator_communicators=ACTUATORS,
+        seed=seed,
+        sinks=(recorder,),
+    ).run(iterations)
+    return recorder, result
+
+
+# ----------------------------------------------------------------------
+# Chain freezing.
+# ----------------------------------------------------------------------
+
+
+def test_unplugged_host_freezes_chains_blaming_it():
+    recorder, result = forensic_run()
+    u2_chains = [c for c in recorder.chains if c.communicator == "u2"]
+    assert u2_chains, "unplugging t2's only host must break u2 writes"
+    for chain in u2_chains:
+        assert chain.trigger == "unreliable-write"
+        assert chain.task == "t2"
+        assert chain.replicas_ok == 0
+        assert {link.key for link in chain.sources} == {"host:h2"}
+        # The blast radius includes the downstream estimate.
+        assert "r2" in chain.downstream
+    # Every unreliable commit froze exactly one task chain.
+    assert recorder.unreliable_commits == len(
+        [c for c in recorder.chains if c.task is not None]
+    )
+    assert recorder.iterations == ITERATIONS
+
+
+def test_downstream_writes_link_to_upstream_chain():
+    recorder, _ = forensic_run()
+    r2_chains = [c for c in recorder.chains if c.communicator == "r2"]
+    assert r2_chains, "estimate2 starves when u2 is unreliable"
+    for chain in r2_chains:
+        # estimate2's replicas survive; the input model suppressed it.
+        assert chain.replicas_ok > 0
+        assert chain.contributions == 0
+        upstream = [
+            link for link in chain.sources if link.kind == "communicator"
+        ]
+        assert upstream and upstream[0].name == "u2"
+        assert upstream[0].chain is not None
+        # Transitive resolution lands on the unplugged host.
+        terminals = resolve_sources(chain, recorder.chains)
+        assert {link.key for link in terminals} == {"host:h2"}
+
+
+def test_sensor_outage_freezes_sensor_chains():
+    recorder, _ = forensic_run(
+        faults=ScriptedFaults(sensor_outages={"sen1": [(0, None)]})
+    )
+    s1_chains = [c for c in recorder.chains if c.communicator == "s1"]
+    assert len(s1_chains) == ITERATIONS
+    for chain in s1_chains:
+        assert chain.task is None
+        assert {link.key for link in chain.sources} == {"sensor:sen1"}
+    assert recorder.failed_sensor_updates == ITERATIONS
+    # The healthy sensor stream froze nothing.
+    assert not [c for c in recorder.chains if c.communicator == "s2"]
+
+
+def test_reliable_run_freezes_nothing():
+    recorder, _ = forensic_run(faults=ScriptedFaults())
+    assert recorder.chains == []
+    assert recorder.unreliable_commits == 0
+    assert recorder.failed_sensor_updates == 0
+    assert recorder.total_commits > 0
+
+
+# ----------------------------------------------------------------------
+# The flight recorder ring buffer.
+# ----------------------------------------------------------------------
+
+
+def test_flight_recorder_keeps_last_capacity_frames():
+    spec = fresh_spec()
+    recorder = ProvenanceRecorder(spec, capacity=4)
+    forensic_run(recorder=recorder)
+    frames = recorder.frames()
+    assert len(frames) == 4
+    assert [f.iteration for f in frames] == list(
+        range(ITERATIONS - 4, ITERATIONS)
+    )
+    # Frames carry the full per-iteration record.
+    for frame in frames:
+        assert frame.sensor_reads
+        assert frame.replicas
+        assert frame.commits
+    # Evicting frames never evicts chains.
+    assert any(c.iteration < ITERATIONS - 4 for c in recorder.chains)
+
+
+def test_recorder_rejects_degenerate_capacity():
+    with pytest.raises(ValueError, match="capacity"):
+        ProvenanceRecorder(fresh_spec(), capacity=1)
+
+
+def test_max_chains_cap_counts_dropped():
+    spec = fresh_spec()
+    recorder = ProvenanceRecorder(spec, max_chains=5)
+    forensic_run(recorder=recorder)
+    assert len(recorder.chains) == 5
+    assert recorder.dropped_chains > 0
+    doc = recorder.to_dict()
+    assert doc["counters"]["chains"] == 5
+    assert doc["counters"]["dropped_chains"] == recorder.dropped_chains
+
+
+# ----------------------------------------------------------------------
+# Blame scores and counterfactuals.
+# ----------------------------------------------------------------------
+
+
+def test_blame_ranks_unplugged_host_first():
+    recorder, _ = forensic_run()
+    blame = blame_scores(recorder.chains)
+    assert blame
+    top = blame[0]
+    assert top.source == "host:h2"
+    assert top.chains == len(
+        [c for c in recorder.chains if c.trigger == "unreliable-write"]
+    )
+    assert top.share == pytest.approx(float(top.chains))
+
+
+def test_counterfactual_masking_unplugged_host_flips_all_writes():
+    recorder, _ = forensic_run()
+    writes = [
+        c for c in recorder.chains if c.trigger == "unreliable-write"
+    ]
+    report = counterfactual(recorder.chains, {"host:h2"})
+    assert report.flips == len(writes)
+    assert report.unchanged == 0
+    # Masking an unrelated source flips nothing.
+    unrelated = counterfactual(recorder.chains, {"sensor:sen1"})
+    assert unrelated.flips == 0
+    assert unrelated.unchanged == len(writes)
+
+
+def test_counterfactual_resolves_through_upstream_chains():
+    recorder, _ = forensic_run()
+    r2_chains = [c for c in recorder.chains if c.communicator == "r2"]
+    assert r2_chains
+    # r2 itself never names host:h2; only the upstream u2 chain does.
+    for chain in r2_chains:
+        assert all(link.kind == "communicator" for link in chain.sources)
+        assert chain_reliable_given(
+            chain, frozenset({"host:h2"}), recorder.chains
+        )
+        assert not chain_reliable_given(
+            chain, frozenset({"host:h1"}), recorder.chains
+        )
+
+
+def test_sensor_chain_counterfactual():
+    recorder, _ = forensic_run(
+        faults=ScriptedFaults(sensor_outages={"sen1": [(0, None)]})
+    )
+    writes = [
+        c for c in recorder.chains if c.trigger == "unreliable-write"
+    ]
+    # The dead sensor is the sole root cause: masking it flips every
+    # write chain, including downstream diamonds (l1 and u1 both feed
+    # estimate1) resolved through memoised upstream references.
+    report = counterfactual(recorder.chains, {"sensor:sen1"})
+    assert report.flips == len(writes) > ITERATIONS
+    assert report.unchanged == 0
+    s1_flips = [c for c in report.flipped if c.communicator == "s1"]
+    assert len(s1_flips) == ITERATIONS
+
+
+# ----------------------------------------------------------------------
+# Serialisation and report assembly.
+# ----------------------------------------------------------------------
+
+
+def test_forensics_document_round_trips():
+    recorder, _ = forensic_run()
+    doc = json.loads(json.dumps(recorder.to_dict()))
+    assert doc["version"] == 1
+    restored = [CausalChain.from_dict(d) for d in doc["chains"]]
+    assert restored == recorder.chains
+    assert len(doc["flight_recorder"]) == len(recorder.frames())
+    report = PostmortemReport.from_document(doc)
+    top = report.top_source()
+    assert top is not None and top.source == "host:h2"
+    assert dict(report.per_communicator)["u2"] > 0
+
+
+def test_render_postmortem_names_culprit_and_counterfactual():
+    recorder, _ = forensic_run()
+    report = PostmortemReport.from_document(recorder.to_dict())
+    cf = counterfactual(report.chains, {"host:h2"})
+    text = render_postmortem(report, [cf])
+    assert "host:h2" in text
+    assert "counterfactual: with host:h2 up" in text
+    assert f"{cf.flips} of {cf.flips + cf.unchanged}" in text
+
+
+def test_render_postmortem_without_failures():
+    recorder, _ = forensic_run(faults=ScriptedFaults())
+    report = PostmortemReport.from_document(recorder.to_dict())
+    text = render_postmortem(report)
+    assert "no unreliable writes recorded" in text
+
+
+# ----------------------------------------------------------------------
+# Observer purity (the PR 2 seed contract) and executive wiring.
+# ----------------------------------------------------------------------
+
+
+def test_recorder_is_a_pure_observer():
+    _, bare = forensic_run()
+    spec = fresh_spec()
+    recorder = ProvenanceRecorder(spec, capacity=8)
+    _, observed = forensic_run(recorder=recorder)
+    assert observed.values == bare.values
+    assert observed.replica_failures == bare.replica_failures
+
+
+def resilient_run(sinks=()):
+    return ResilientSimulator(
+        fresh_spec(),
+        three_tank_architecture(),
+        baseline_implementation(),
+        environment=ThreeTankEnvironment(),
+        faults=unplug_faults(),
+        actuator_communicators=ACTUATORS,
+        seed=SEED,
+        monitor=MonitorConfig(window=20, communicators=("u1", "u2")),
+        sinks=sinks,
+    ).run(ITERATIONS)
+
+
+def test_recorder_attaches_to_resilient_executive():
+    recorder = ProvenanceRecorder(fresh_spec())
+    result = resilient_run(sinks=(recorder,))
+    bare = resilient_run()
+    # Still a pure observer through the executive's sink plumbing.
+    assert result.values == bare.values
+    # Write chains froze, and the monitor alarm became a chain whose
+    # sources aggregate the recent write chains of the alarmed stream.
+    alarms = [c for c in recorder.chains if c.trigger == "lrc-alarm"]
+    assert any(e.kind == "lrc-alarm" for e in result.events)
+    assert alarms
+    for chain in alarms:
+        assert chain.communicator in {"u1", "u2"}
+        assert {link.key for link in chain.sources} == {"host:h2"}
+    # Alarm chains never contribute blame (they aggregate writes).
+    blame = blame_scores(recorder.chains)
+    write_count = len(
+        [c for c in recorder.chains if c.trigger == "unreliable-write"]
+    )
+    assert sum(entry.share for entry in blame) == pytest.approx(
+        float(write_count)
+    )

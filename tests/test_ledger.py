@@ -1,0 +1,310 @@
+"""Tests for the persistent run ledger (ISSUE 5 tentpole):
+content hashes, the append-only JSONL store, diff, and regression
+checking."""
+
+import json
+
+import pytest
+
+from repro.errors import ReproError
+from repro.experiments import (
+    ACTUATORS,
+    baseline_implementation,
+    bind_control_functions,
+    scenario1_implementation,
+    three_tank_architecture,
+    three_tank_spec,
+)
+from repro.experiments.three_tank_system import ThreeTankEnvironment
+from repro.runtime import BatchSimulator, BernoulliFaults, Simulator
+from repro.telemetry import (
+    RunLedger,
+    RunRecord,
+    check_regression,
+    content_hash,
+    derive_run_id,
+    diff_records,
+    record_from_result,
+)
+from repro.telemetry.ledger import (
+    render_diff,
+    render_listing,
+    render_record,
+)
+
+
+def make_record(run_id="s1", rates=None, lrcs=None, **overrides):
+    kwargs = dict(
+        run_id=run_id,
+        command="scalar",
+        seed=1,
+        runs=1,
+        iterations=10,
+        spec_hash="aaa",
+        arch_hash="bbb",
+        impl_hash="ccc",
+        rates=rates if rates is not None else {"u1": 0.999, "u2": 0.995},
+        lrcs=lrcs if lrcs is not None else {"u1": 0.99, "u2": 0.99},
+        recorded_at=1000.0,
+    )
+    kwargs.update(overrides)
+    return RunRecord(**kwargs)
+
+
+# ----------------------------------------------------------------------
+# Content hashing and record round-trips.
+# ----------------------------------------------------------------------
+
+
+def test_content_hash_is_canonical_and_sensitive():
+    assert content_hash({"a": 1, "b": 2}) == content_hash(
+        {"b": 2, "a": 1}
+    )
+    assert content_hash({"a": 1}) != content_hash({"a": 2})
+    assert len(content_hash({"a": 1})) == 12
+
+
+def test_run_record_round_trips():
+    record = make_record(metrics={"counter:x": 3})
+    restored = RunRecord.from_dict(
+        json.loads(json.dumps(record.to_dict()))
+    )
+    assert restored == record
+
+
+def test_malformed_record_raises():
+    with pytest.raises(ReproError, match="malformed ledger record"):
+        RunRecord.from_dict({"command": "scalar"})  # no run_id
+    with pytest.raises(ReproError, match="malformed ledger record"):
+        RunRecord.from_dict({"run_id": "s1", "rates": {"u1": "nan?x"}})
+
+
+def test_margins_and_min_margin():
+    record = make_record(
+        rates={"u1": 0.999, "u2": 0.985}, lrcs={"u1": 0.99, "u2": 0.99}
+    )
+    margins = record.margins()
+    assert margins["u1"] == pytest.approx(0.009)
+    assert margins["u2"] == pytest.approx(-0.005)
+    name, value = record.min_margin()
+    assert name == "u2" and value == pytest.approx(-0.005)
+    assert make_record(rates={}, lrcs={}).min_margin() is None
+
+
+# ----------------------------------------------------------------------
+# The append-only store.
+# ----------------------------------------------------------------------
+
+
+def test_ledger_append_and_records(tmp_path):
+    ledger = RunLedger(tmp_path / "runs")
+    assert ledger.records() == []
+    assert ledger.append(make_record("s1")) == 0
+    assert ledger.append(make_record("s2")) == 1
+    records = ledger.records()
+    assert [r.run_id for r in records] == ["s1", "s2"]
+    assert [r.entry for r in records] == [0, 1]
+    # One JSON document per line, append-only.
+    lines = (tmp_path / "runs" / "ledger.jsonl").read_text().splitlines()
+    assert len(lines) == 2
+    assert json.loads(lines[0])["run_id"] == "s1"
+
+
+def test_ledger_resolve_addressing(tmp_path):
+    ledger = RunLedger(tmp_path)
+    for run_id in ("s1", "s2", "s1"):
+        ledger.append(make_record(run_id))
+    assert ledger.resolve("latest").entry == 2
+    assert ledger.resolve("#0").run_id == "s1"
+    assert ledger.resolve("1").run_id == "s2"
+    assert ledger.resolve("-1").entry == 2
+    # A bare run id resolves to its latest matching entry.
+    assert ledger.resolve("s1").entry == 2
+    with pytest.raises(ReproError, match="out of range"):
+        ledger.resolve("#9")
+    with pytest.raises(ReproError, match="no ledger entry matches"):
+        ledger.resolve("nope")
+
+
+def test_ledger_resolve_on_empty_ledger(tmp_path):
+    with pytest.raises(ReproError, match="is empty"):
+        RunLedger(tmp_path / "void").resolve("latest")
+
+
+def test_ledger_rejects_corrupt_lines(tmp_path):
+    ledger = RunLedger(tmp_path)
+    ledger.append(make_record("s1"))
+    with ledger.path.open("a") as handle:
+        handle.write("{not json\n")
+    with pytest.raises(ReproError, match="line 2 is not valid JSON"):
+        ledger.records()
+
+
+# ----------------------------------------------------------------------
+# Diff and regression.
+# ----------------------------------------------------------------------
+
+
+def test_diff_records_sorted_worst_first():
+    baseline = make_record(
+        rates={"u1": 0.999, "u2": 0.999}, lrcs={"u1": 0.99, "u2": 0.99}
+    )
+    candidate = make_record(
+        rates={"u1": 0.9995, "u2": 0.95}, lrcs={"u1": 0.99, "u2": 0.99}
+    )
+    rows = diff_records(baseline, candidate)
+    assert [row.communicator for row in rows] == ["u2", "u1"]
+    assert rows[0].delta == pytest.approx(-0.049)
+    assert rows[1].delta == pytest.approx(0.0005)
+
+
+def test_diff_handles_disjoint_communicators():
+    baseline = make_record(rates={"u1": 0.999}, lrcs={"u1": 0.99})
+    candidate = make_record(rates={"w9": 0.9}, lrcs={"w9": 0.8})
+    rows = {r.communicator: r for r in diff_records(baseline, candidate)}
+    assert rows["u1"].delta is None
+    assert rows["w9"].delta is None
+
+
+def test_check_regression_thresholds():
+    baseline = make_record(
+        rates={"u1": 0.999, "u2": 0.999}, lrcs={"u1": 0.99, "u2": 0.99}
+    )
+    ok = make_record(
+        rates={"u1": 0.9985, "u2": 0.9995},
+        lrcs={"u1": 0.99, "u2": 0.99},
+    )
+    assert check_regression(baseline, ok, threshold=0.001) == []
+    bad = make_record(
+        rates={"u1": 0.98, "u2": 0.999}, lrcs={"u1": 0.99, "u2": 0.99}
+    )
+    regressions = check_regression(baseline, bad, threshold=0.001)
+    assert [r.communicator for r in regressions] == ["u1"]
+    assert regressions[0].drop == pytest.approx(0.019)
+    # A looser threshold tolerates the same drop.
+    assert check_regression(baseline, bad, threshold=0.05) == []
+
+
+# ----------------------------------------------------------------------
+# Building records from simulation results.
+# ----------------------------------------------------------------------
+
+
+def scalar_result(implementation=None, seed=11, iterations=20):
+    spec = three_tank_spec(
+        lrc_u=0.99, functions=bind_control_functions()
+    )
+    return spec, Simulator(
+        spec,
+        three_tank_architecture(),
+        implementation or baseline_implementation(),
+        environment=ThreeTankEnvironment(),
+        faults=BernoulliFaults(three_tank_architecture()),
+        actuator_communicators=ACTUATORS,
+        seed=seed,
+    ).run(iterations)
+
+
+def test_record_from_scalar_result():
+    spec, result = scalar_result()
+    record = record_from_result(
+        spec,
+        three_tank_architecture(),
+        baseline_implementation(),
+        result,
+        run_id=derive_run_id(11),
+        command="scalar",
+        seed=11,
+    )
+    assert record.iterations == 20 and record.runs == 1
+    assert record.rates == {
+        name: pytest.approx(value)
+        for name, value in result.limit_averages().items()
+    }
+    # Ledger margins agree with the result's own empirical margins.
+    margins = result.empirical_margins()
+    for name, value in record.margins().items():
+        assert value == pytest.approx(margins[name])
+    for digest in (record.spec_hash, record.arch_hash, record.impl_hash):
+        assert len(digest) == 12
+
+
+def test_record_from_batch_result_pools_rates():
+    spec = three_tank_spec(lrc_u=0.99)
+    batch = BatchSimulator(
+        spec,
+        three_tank_architecture(),
+        baseline_implementation(),
+        faults=BernoulliFaults(three_tank_architecture()),
+        seed=5,
+    )
+    result = batch.run_batch(4, 10)
+    record = record_from_result(
+        spec,
+        three_tank_architecture(),
+        baseline_implementation(),
+        result,
+        run_id=derive_run_id(5),
+        command="batch",
+        seed=5,
+        runs=4,
+    )
+    assert record.executor == result.executor
+    margins = result.empirical_margins()
+    for name, value in record.margins().items():
+        assert value == pytest.approx(margins[name])
+
+
+def test_implementation_change_changes_hash():
+    spec, result = scalar_result()
+    common = dict(run_id="s11", command="scalar", seed=11)
+    arch = three_tank_architecture()
+    a = record_from_result(
+        spec, arch, baseline_implementation(), result, **common
+    )
+    b = record_from_result(
+        spec, arch, scenario1_implementation(), result, **common
+    )
+    assert a.impl_hash != b.impl_hash
+    assert a.spec_hash == b.spec_hash
+    assert a.arch_hash == b.arch_hash
+
+
+# ----------------------------------------------------------------------
+# Rendering.
+# ----------------------------------------------------------------------
+
+
+def test_render_record_marks_low_margins():
+    record = make_record(
+        rates={"u1": 0.999, "u2": 0.985}, lrcs={"u1": 0.99, "u2": 0.99}
+    )
+    record.entry = 0
+    text = render_record(record)
+    assert "[ok ] u1" in text
+    assert "[LOW] u2" in text
+    assert "margin -0.005000" in text
+
+
+def test_render_listing_and_diff(tmp_path):
+    ledger = RunLedger(tmp_path)
+    ledger.append(
+        make_record("s1", rates={"u1": 0.999}, lrcs={"u1": 0.99})
+    )
+    ledger.append(
+        make_record(
+            "s2",
+            rates={"u1": 0.95},
+            lrcs={"u1": 0.99},
+            impl_hash="ddd",
+        )
+    )
+    records = ledger.records()
+    listing = render_listing(records)
+    assert "#0" in listing and "#1" in listing
+    assert "min margin" in listing
+    assert render_listing([]) == "ledger is empty"
+    diff = render_diff(records[0], records[1])
+    assert "#0 (s1) -> #1 (s2)" in diff
+    assert "note: implementation changed" in diff
+    assert "[-0.049000]" in diff

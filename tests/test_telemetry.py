@@ -19,6 +19,7 @@ from repro.experiments import (
     ACTUATORS,
     baseline_implementation,
     bind_control_functions,
+    scenario2_implementation,
     three_tank_architecture,
     three_tank_spec,
 )
@@ -50,6 +51,7 @@ from repro.runtime import (
     Simulator,
 )
 from repro.telemetry import (
+    Histogram,
     InstrumentationSink,
     MetricsRegistry,
     MetricsSink,
@@ -749,3 +751,238 @@ def test_summarize_trace_ranks_unreliable_writes():
     text = render_summary(summary)
     assert "unreliable writes" in text
     assert "lrc-alarm" in text
+
+
+# ----------------------------------------------------------------------
+# Histogram percentiles and the dashboard (ISSUE 5 satellites).
+# ----------------------------------------------------------------------
+
+
+def test_empty_histogram_percentiles_are_zero():
+    hist = Histogram(buckets=(1.0, 10.0))
+    assert hist.percentile(0.5) == 0.0
+    assert hist.percentiles() == {"p50": 0.0, "p90": 0.0, "p99": 0.0}
+
+
+def test_single_bucket_percentiles_interpolate():
+    hist = Histogram(buckets=(10.0,))
+    for _ in range(5):
+        hist.observe(4.0)
+    # All mass in [0, 10): ranks interpolate linearly inside it.
+    assert hist.percentile(0.5) == pytest.approx(5.0)
+    assert hist.percentile(1.0) == pytest.approx(10.0)
+    assert hist.percentiles()["p99"] == pytest.approx(9.9)
+
+
+def test_overflow_percentiles_report_last_finite_bound():
+    hist = Histogram(buckets=(1.0, 10.0))
+    hist.observe(0.5)
+    for _ in range(9):
+        hist.observe(500.0)  # overflow bucket
+    # The histogram cannot resolve beyond its largest bound.
+    assert hist.percentile(0.99) == 10.0
+    with pytest.raises(ValueError, match="quantile"):
+        hist.percentile(1.5)
+
+
+def test_snapshot_and_dashboard_show_percentiles():
+    registry = MetricsRegistry()
+    hist = registry.histogram("repro_latency", buckets=(1.0, 10.0))
+    for value in (0.5, 2.0, 4.0, 8.0):
+        hist.observe(value)
+    snap = registry.snapshot()
+    series = snap["repro_latency"]["series"][0]["value"]
+    expected = hist.percentiles()
+    assert series["percentiles"] == expected
+    text = render_metrics_dashboard(snap)
+    assert f"p50={expected['p50']:.3f}" in text
+    assert f"p90={expected['p90']:.3f}" in text
+    assert f"p99={expected['p99']:.3f}" in text
+
+
+# ----------------------------------------------------------------------
+# Prometheus label-value escaping (ISSUE 5 satellite).
+# ----------------------------------------------------------------------
+
+
+def _parse_prometheus_label(text, metric, label):
+    """Minimal spec-compliant parse of one label value."""
+    import re
+
+    for line in text.splitlines():
+        if not line.startswith(metric + "{"):
+            continue
+        match = re.search(label + r'="((?:[^"\\]|\\.)*)"', line)
+        assert match, line
+        return re.sub(
+            r"\\(.)",
+            lambda m: {"n": "\n"}.get(m.group(1), m.group(1)),
+            match.group(1),
+        )
+    raise AssertionError(f"no sample of {metric} in:\n{text}")
+
+
+@pytest.mark.parametrize(
+    "value",
+    [
+        'plain"quote',
+        "back\\slash",
+        "multi\nline",
+        'all\\three\n"together"\\n',
+    ],
+)
+def test_prometheus_label_values_round_trip(value):
+    registry = MetricsRegistry()
+    registry.counter("repro_x_total", {"communicator": value}).inc()
+    text = registry.to_prometheus()
+    # Escaped samples stay one-per-line (newlines never leak through).
+    sample_lines = [
+        line
+        for line in text.splitlines()
+        if line.startswith("repro_x_total{")
+    ]
+    assert len(sample_lines) == 1
+    parsed = _parse_prometheus_label(
+        text, "repro_x_total", "communicator"
+    )
+    assert parsed == value
+
+
+# ----------------------------------------------------------------------
+# The per-sensor outcome hook (ISSUE 5 tentpole wiring).
+# ----------------------------------------------------------------------
+
+
+class _SensorProbe(InstrumentationSink):
+    def __init__(self):
+        self.stream = []
+
+    def on_sensor_outcome(self, communicator, time, sensor, ok):
+        self.stream.append(("outcome", communicator, time, sensor, ok))
+
+    def on_sensor_update(self, communicator, time, delivered):
+        self.stream.append(("update", communicator, time, delivered))
+
+
+def test_sensor_outcomes_precede_each_aggregate_update():
+    probe = _SensorProbe()
+    Simulator(
+        bound_spec(),
+        three_tank_architecture(),
+        scenario2_implementation(),  # two sensors per communicator
+        sinks=(probe,),
+        environment=ThreeTankEnvironment(),
+        faults=ScriptedFaults(sensor_outages={"sen1": [(0, None)]}),
+        actuator_communicators=ACTUATORS,
+        seed=3,
+    ).run(4)
+    updates = [e for e in probe.stream if e[0] == "update"]
+    assert updates
+    index = 0
+    for kind, comm, time, delivered in updates:
+        outcomes = []
+        while probe.stream[index][0] == "outcome":
+            outcomes.append(probe.stream[index])
+            index += 1
+        assert probe.stream[index] == (kind, comm, time, delivered)
+        index += 1
+        # Per-sensor outcomes for the same instant, in sorted order.
+        assert [o[1:3] for o in outcomes] == [(comm, time)] * len(outcomes)
+        sensors = [o[3] for o in outcomes]
+        assert sensors == sorted(sensors) and len(sensors) == 2
+        # The aggregate is the OR of the per-sensor deliveries.
+        assert delivered == any(o[4] for o in outcomes)
+        if comm == "s1":
+            oks = dict((o[3], o[4]) for o in outcomes)
+            assert oks["sen1"] is False  # scripted outage
+    assert index == len(probe.stream)
+
+
+def test_null_sink_accepts_sensor_outcome():
+    from repro.telemetry import HOOK_NAMES
+
+    assert "on_sensor_outcome" in HOOK_NAMES
+    NullSink().on_sensor_outcome("s1", 0, "sen1", True)  # no-op
+
+
+# ----------------------------------------------------------------------
+# Merged event streams on the bus (ISSUE 5 satellite).
+# ----------------------------------------------------------------------
+
+
+def resilient_unplug_run(telemetry=None, seed=7, iterations=30):
+    return ResilientSimulator(
+        bound_spec(),
+        three_tank_architecture(),
+        baseline_implementation(),
+        monitor=MonitorConfig(window=20, communicators=("u1", "u2")),
+        watchdog=WatchdogConfig(),
+        environment=ThreeTankEnvironment(),
+        faults=ScriptedFaults(host_outages={"h2": [(5000, None)]}),
+        actuator_communicators=ACTUATORS,
+        seed=seed,
+        telemetry=telemetry,
+    ).run(iterations)
+
+
+def test_bus_merges_streams_with_monotonic_seq():
+    tracer = Tracer(run_id="s7", clock=fixed_clock())
+    bus = TelemetryBus(run_id="s7", sinks=(tracer, MetricsSink()))
+    resilient_unplug_run(telemetry=bus)
+    events = list(bus)
+    assert events
+    # Monitor and watchdog streams merged: more than one kind.
+    assert len({e.kind for e in events}) > 1
+    # One run: a single correlation key, strictly monotonic seq.
+    assert {e.run_id for e in events} == {derive_run_id(7)}
+    seqs = [e.seq for e in events]
+    assert seqs == sorted(seqs)
+    assert len(set(seqs)) == len(seqs)
+    # The tracer saw the same merged stream as correlated instants.
+    instants = [
+        e for e in tracer.to_chrome()["traceEvents"]
+        if e.get("cat") == "resilience"
+    ]
+    assert [i["args"]["seq"] for i in instants] == seqs
+
+
+def test_merged_stream_ordering_survives_jsonl_round_trip():
+    bus = TelemetryBus(run_id="s7", sinks=())
+    resilient_unplug_run(telemetry=bus)
+    events = list(bus)
+    parsed = events_from_jsonl(events_to_jsonl(events))
+    assert parsed == events
+    # Emission order IS (run_id, seq) order: a stable re-sort of the
+    # serialised stream reproduces the original ordering exactly.
+    resorted = sorted(parsed, key=lambda e: (e.run_id, e.seq))
+    assert resorted == events
+
+
+def test_batch_streams_keep_per_run_seq_monotonic():
+    batch = resilient_batch(
+        bound_spec(),
+        three_tank_architecture(),
+        baseline_implementation(),
+        3,
+        20,
+        seed=42,
+        environment_factory=ThreeTankEnvironment,
+        faults=ScriptedFaults(host_outages={"h2": [(5000, None)]}),
+        actuator_communicators=ACTUATORS,
+        monitor=MonitorConfig(window=20, communicators=("u1", "u2")),
+        watchdog=WatchdogConfig(),
+    )
+    events = list(batch.events)
+    assert events
+    by_run = {}
+    for event in events:
+        by_run.setdefault(event.run, []).append(event)
+    assert len(by_run) == 3  # every run alarms after the unplug
+    for stream in by_run.values():
+        seqs = [e.seq for e in stream]
+        assert seqs == sorted(seqs)
+        assert len(set(seqs)) == len(seqs)
+        assert len({e.run_id for e in stream}) == 1
+    # Stable ordering across the JSONL round-trip, per run and merged.
+    parsed = events_from_jsonl(events_to_jsonl(events))
+    assert parsed == events
