@@ -1,0 +1,58 @@
+"""Whole-design reliability verification by abstract interpretation.
+
+The package certifies per-communicator reliability bounds for a design
+whose implementation may be *partial* — unmapped tasks and unbound
+sensors range over every admissible choice — by propagating an
+interval domain to a fixpoint along the communicator dependency graph:
+
+``domain``
+    The interval lattice and the monotone SRG transfer functions.
+``engine``
+    The fixpoint engine (:func:`analyze_specification`): topological
+    evaluation, Kleene iteration with widening on unsafe cycles,
+    Merkle-keyed incremental caching.
+``cache``
+    The content-hash cache (:class:`AnalysisCache`).
+``witness``
+    Minimal infeasibility witnesses (which resources cap an LRC).
+``report``
+    :class:`VerificationReport`: bounds, margins, verdicts, and the
+    LRT060–LRT062 diagnostic conversion.
+``verifier``
+    :class:`Verifier`: report-level memoization and interprocedural
+    (mode-selection) verification.
+``oracle``
+    :class:`FeasibilityOracle` and :func:`is_feasible` — the fast
+    infeasibility oracle for synthesis (ROADMAP item 4).
+"""
+
+from repro.analysis.cache import AnalysisCache, CacheStats
+from repro.analysis.domain import TOP, Interval
+from repro.analysis.engine import analyze_specification
+from repro.analysis.oracle import FeasibilityOracle, is_feasible
+from repro.analysis.report import (
+    BoundVerdict,
+    CommunicatorBound,
+    VerificationReport,
+    WideningEvent,
+)
+from repro.analysis.verifier import ProgramVerification, Verifier
+from repro.analysis.witness import Factor, InfeasibilityWitness
+
+__all__ = [
+    "AnalysisCache",
+    "BoundVerdict",
+    "CacheStats",
+    "CommunicatorBound",
+    "Factor",
+    "FeasibilityOracle",
+    "InfeasibilityWitness",
+    "Interval",
+    "ProgramVerification",
+    "TOP",
+    "Verifier",
+    "VerificationReport",
+    "WideningEvent",
+    "analyze_specification",
+    "is_feasible",
+]

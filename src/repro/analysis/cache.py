@@ -1,0 +1,156 @@
+"""Dependency-aware memoization for the verifier.
+
+Two levels of reuse, both keyed by content hashes from
+:func:`repro.telemetry.ledger.content_hash` so equality is structural,
+not identity-based:
+
+* **Design-level**: a whole analysed design is fingerprinted by the
+  multiset of its per-communicator *cone keys* (below).  Re-verifying
+  an unchanged design — or one whose only change is to LRC thresholds,
+  which never influence the bounds themselves — returns the memoized
+  bound map without even rebuilding the dependency graph.
+
+* **Communicator-level**: each communicator's bound is stored under a
+  Merkle-style *cone key* that hashes its local signature (writer
+  formula, pinned hosts/sensors, architecture reliabilities it can
+  draw on) together with the cone keys of its dependency-graph
+  predecessors.  Editing one communicator therefore invalidates only
+  its downstream cone; everything upstream and sideways is a hit.
+
+LRCs are deliberately excluded from every signature: bounds depend
+only on the replication structure, so margin checks against edited
+LRCs are recomputed from cached bounds for free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from repro.analysis.domain import Interval
+from repro.analysis.witness import Factor
+from repro.telemetry.ledger import content_hash
+
+#: A memoized communicator result: its bounds plus the factor
+#: certificates the witness extractor consumes.
+CachedBound = Tuple[Interval, Tuple[Factor, ...]]
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters exposed in reports and benchmarks."""
+
+    design_hits: int = 0
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total communicator-level lookups."""
+        return self.hits + self.misses
+
+    def to_dict(self) -> "dict[str, int]":
+        """Return the counters as a plain dictionary."""
+        return {
+            "design_hits": self.design_hits,
+            "hits": self.hits,
+            "misses": self.misses,
+        }
+
+
+def cone_key(local_signature: object, predecessors: "tuple[str, ...]") -> str:
+    """Hash a local signature together with predecessor cone keys."""
+    return content_hash([local_signature, list(predecessors)])
+
+
+class AnalysisCache:
+    """Content-addressed store of communicator and design results.
+
+    Instances are cheap and unbounded; one cache is typically shared
+    per :class:`~repro.analysis.verifier.Verifier` (and hence per lint
+    run or synthesis session).  Keys are content hashes, so a cache
+    can be shared across arbitrarily many (spec, arch, impl) triples.
+    """
+
+    def __init__(self) -> None:
+        self._bounds: Dict[str, CachedBound] = {}
+        self._designs: Dict[str, object] = {}
+        self._design_keys: Dict[object, str] = {}
+        self._reports: Dict[object, object] = {}
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._bounds)
+
+    # -- communicator level -------------------------------------------
+
+    def lookup(self, key: str) -> "CachedBound | None":
+        """Return the cached bound for *key*, counting hit or miss."""
+        found = self._bounds.get(key)
+        if found is None:
+            self.stats.misses += 1
+        else:
+            self.stats.hits += 1
+        return found
+
+    def store(self, key: str, value: CachedBound) -> None:
+        """Memoize one communicator result."""
+        self._bounds[key] = value
+
+    # -- design level --------------------------------------------------
+
+    def design_key(self, signatures: "dict[str, object]") -> str:
+        """Fingerprint a whole design from per-communicator signatures.
+
+        Local signatures embed each writer's input/output lists, so
+        collectively they determine the full dependency structure —
+        the key can be computed *before* building any graph.  When the
+        signatures are hashable (the engine emits nested tuples) the
+        canonical JSON hash is memoized under their structural Python
+        hash, so repeat fingerprints of an unchanged design skip the
+        serialization entirely.
+        """
+        try:
+            memo_key: "object | None" = tuple(sorted(signatures.items()))
+            cached = self._design_keys.get(memo_key)
+        except TypeError:  # unhashable signature values: hash every time
+            memo_key = None
+            cached = None
+        if cached is not None:
+            return cached
+        key = content_hash(
+            [[name, signatures[name]] for name in sorted(signatures)]
+        )
+        if memo_key is not None:
+            self._design_keys[memo_key] = key
+        return key
+
+    def lookup_design(self, key: str) -> "object | None":
+        """Return the memoized payload of a whole design, if any."""
+        found = self._designs.get(key)
+        if found is not None:
+            self.stats.design_hits += 1
+        return found
+
+    def store_design(self, key: str, payload: object) -> None:
+        """Memoize the full analysis payload of a design."""
+        self._designs[key] = payload
+
+    # -- report level --------------------------------------------------
+
+    def lookup_report(self, key: object) -> "object | None":
+        """Return a memoized design-cache-hit report, if any.
+
+        Keys pair a design key with the LRC vector (LRCs are excluded
+        from the signatures but do enter the rendered verdicts).  Only
+        reports already served from the design-level cache are stored
+        here, so a hit counts as a design hit.
+        """
+        found = self._reports.get(key)
+        if found is not None:
+            self.stats.design_hits += 1
+        return found
+
+    def store_report(self, key: object, report: object) -> None:
+        """Memoize one design-cache-hit report."""
+        self._reports[key] = report

@@ -1,0 +1,165 @@
+"""The interval abstract domain of communicator reliability bounds.
+
+The verifier reasons about *sets* of implementations at once: a task
+may be pinned to a concrete host set, or left free (any non-empty
+subset of the architecture's hosts).  The abstraction of "the SRG this
+communicator can have under any admissible implementation" is an
+:class:`Interval` ``[lo, hi]`` of probabilities:
+
+* ``lo`` is the reliability of the *worst* admissible choice (a single
+  least-reliable host per free task, a single least-reliable sensor
+  per free input binding);
+* ``hi`` is the reliability of the *best* choice (every replica on
+  every host, every sensor bound) — exactly the quantity the LRT030
+  feasibility check compares LRCs against.
+
+Every SRG formula of the paper (series, parallel, independent — see
+:mod:`repro.reliability.srg`) is monotone in each argument, so the
+transfer functions evaluate the *same* concrete formula once on the
+lower ends and once on the upper ends.  For a fully concrete
+implementation the interval degenerates to a point that is
+bit-identical to :func:`repro.reliability.srg.communicator_srgs`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from repro.arch.architecture import Architecture
+from repro.errors import AnalysisError
+from repro.model.task import Task
+from repro.reliability.srg import _written_communicator_srg
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A closed sub-interval of ``[0, 1]``: certified reliability bounds."""
+
+    lo: float
+    hi: float
+
+    def __post_init__(self) -> None:
+        if math.isnan(self.lo) or math.isnan(self.hi):
+            raise AnalysisError("reliability bounds must not be NaN")
+        if self.lo > self.hi:
+            raise AnalysisError(
+                f"malformed interval [{self.lo}, {self.hi}] (lo > hi)"
+            )
+        if self.lo < 0.0 or self.hi > 1.0:
+            raise AnalysisError(
+                f"reliability interval [{self.lo}, {self.hi}] escapes "
+                f"[0, 1]"
+            )
+
+    @classmethod
+    def point(cls, value: float) -> "Interval":
+        """Return the degenerate interval ``[value, value]``."""
+        return cls(value, value)
+
+    @property
+    def is_point(self) -> bool:
+        """``True`` when the bounds coincide (a concrete value)."""
+        return self.lo == self.hi
+
+    @property
+    def width(self) -> float:
+        """Return ``hi - lo``, the residual uncertainty."""
+        return self.hi - self.lo
+
+    def contains(self, value: float, tolerance: float = 0.0) -> bool:
+        """Return ``True`` when *value* lies within the bounds."""
+        return self.lo - tolerance <= value <= self.hi + tolerance
+
+    def hull(self, other: "Interval") -> "Interval":
+        """Return the smallest interval containing both operands."""
+        return Interval(min(self.lo, other.lo), max(self.hi, other.hi))
+
+    def widen_to_bottom(self) -> "Interval":
+        """Drop the lower bound to 0 (the widening operator).
+
+        Sound for decreasing Kleene iteration: the true value lies
+        below the current upper bound, and 0 bounds it from below.
+        """
+        return Interval(0.0, self.hi)
+
+    def distance(self, other: "Interval") -> float:
+        """Return the largest per-endpoint movement between intervals."""
+        return max(abs(self.lo - other.lo), abs(self.hi - other.hi))
+
+    def describe(self) -> str:
+        """Render the interval compactly for reports."""
+        if self.is_point:
+            return f"{self.lo:.9f}"
+        return f"[{self.lo:.9f}, {self.hi:.9f}]"
+
+
+#: The top element of the domain: no information.
+TOP = Interval(0.0, 1.0)
+
+
+def or_reliability(probabilities: Iterable[float]) -> float:
+    """Return ``1 - prod(1 - p)``: at-least-one-succeeds reliability."""
+    failure = 1.0
+    for probability in probabilities:
+        failure *= 1.0 - probability
+    return 1.0 - failure
+
+
+def replication_interval(
+    hosts: "frozenset[str] | None", arch: Architecture
+) -> Interval:
+    """Return the ``lambda_t`` bounds of a task mapped to *hosts*.
+
+    ``None`` means the task is *free*: any non-empty subset of the
+    architecture's hosts may be chosen, so the bounds run from a
+    single least-reliable host to full replication on every host.
+    With no hosts at all the interval collapses to ``[0, 0]`` — no
+    admissible implementation exists.
+    """
+    brel = arch.network.reliability
+    if hosts is None:
+        pool = [arch.hrel(h) * brel for h in arch.host_names()]
+        if not pool:
+            return Interval.point(0.0)
+        return Interval(min(pool), or_reliability(pool))
+    value = or_reliability(arch.hrel(h) * brel for h in sorted(hosts))
+    return Interval.point(value)
+
+
+def sensor_interval(
+    sensors: "frozenset[str] | None", arch: Architecture
+) -> Interval:
+    """Return the SRG bounds of a sensor-updated input communicator.
+
+    ``None`` means the binding is free; with no sensors declared the
+    interval is ``[0, 0]`` (the communicator can never be updated).
+    """
+    if sensors is None:
+        pool = [arch.srel(s) for s in arch.sensor_names()]
+        if not pool:
+            return Interval.point(0.0)
+        return Interval(min(pool), or_reliability(pool))
+    value = or_reliability(arch.srel(s) for s in sorted(sensors))
+    return Interval.point(value)
+
+
+def written_interval(
+    task: Task,
+    replication: Interval,
+    inputs: Mapping[str, Interval],
+) -> Interval:
+    """Combine ``lambda_t`` bounds with input bounds per failure model.
+
+    Evaluates the exact concrete formula of
+    :func:`repro.reliability.srg._written_communicator_srg` once on
+    every lower endpoint and once on every upper endpoint; soundness
+    follows from the monotonicity of all three model formulas.
+    """
+    lows = {name: interval.lo for name, interval in inputs.items()}
+    highs = {name: interval.hi for name, interval in inputs.items()}
+    return Interval(
+        _written_communicator_srg(task, replication.lo, lows),
+        _written_communicator_srg(task, replication.hi, highs),
+    )

@@ -9,6 +9,8 @@ Mirrors the paper's prototype tool-chain as a CLI::
                                --iterations 10000 --bernoulli
     python -m repro check      --htl prog.htl
     python -m repro lint       --htl prog.htl --format sarif
+    python -m repro verify     --htl prog.htl --arch arch.json \
+                               --explain sen1
 
 Specifications may come from HTL source (``--htl``) or from the JSON
 form of :mod:`repro.io` (``--spec``).  Task functions and switch
@@ -176,6 +178,131 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     else:
         print(report.to_text())
     return report.exit_code
+
+
+def _format_selection(selection: "Mapping[str, str] | None") -> str:
+    if not selection:
+        return "the flattened specification"
+    return "selection {" + ", ".join(
+        f"{module}.{mode}" for module, mode in sorted(selection.items())
+    ) + "}"
+
+
+def _explain_communicator(name: str, verification) -> int:
+    """Dump the factor structure / witness of one communicator."""
+    found = False
+    for selection, report in verification.selections:
+        bound = report.bounds.get(name)
+        if bound is None:
+            continue
+        found = True
+        print(f"{name} in {_format_selection(selection)}:")
+        print(
+            f"  certified bounds {bound.interval.describe()}, "
+            f"LRC {bound.lrc:g}, verdict {bound.verdict.value}"
+        )
+        witness = bound.witness()
+        if witness is not None:
+            for line in witness.describe().splitlines():
+                print(f"  {line}")
+        else:
+            for factor in bound.factors:
+                print(f"    - {factor.describe()}")
+    if not found:
+        raise ReproError(
+            f"unknown communicator {name!r} (not in any reachable "
+            f"selection)"
+        )
+    return 0 if verification.feasible else 1
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from repro.errors import HTLSyntaxError
+    from repro.htl.parser import parse_program
+    from repro.lint.context import LintContext
+    from repro.lint.diagnostic import LintReport
+    from repro.lint.registry import rule_summaries
+
+    arch = architecture_from_dict(load_json(args.arch))
+    implementation = (
+        implementation_from_dict(load_json(args.impl))
+        if args.impl
+        else None
+    )
+    artifact = args.htl or args.spec
+    span = None
+    if args.htl:
+        with open(args.htl, "r", encoding="utf-8") as handle:
+            source = handle.read()
+        try:
+            program = parse_program(source)
+        except HTLSyntaxError as error:
+            raise ReproError(
+                f"{args.htl}:{error.line}:{error.column}: {error}"
+            )
+        ctx = LintContext(
+            program=program,
+            architecture=arch,
+            implementation=implementation,
+            max_selections=args.max_selections,
+        )
+        if ctx.compile_error is not None:
+            raise ReproError(str(ctx.compile_error))
+        span = ctx.communicator_span
+    elif args.spec:
+        functions, _ = _load_bindings(args.bindings)
+        spec = specification_from_dict(
+            load_json(args.spec), functions=functions
+        )
+        ctx = LintContext(
+            spec=spec,
+            architecture=arch,
+            implementation=implementation,
+        )
+    else:
+        raise ReproError("provide a design via --htl or --spec")
+
+    verifier = ctx.verifier()
+    verification = verifier.verify_context(ctx)
+    if not verification.selections:
+        raise ReproError(
+            "no reachable mode selection flattens to a specification; "
+            "run 'repro lint' for the cause"
+        )
+
+    if args.explain:
+        return _explain_communicator(args.explain, verification)
+
+    if args.format == "json":
+        data = verification.to_dict()
+        data["cache"] = verifier.cache.stats.to_dict()
+        print(json.dumps(data, indent=2))
+    elif args.format == "sarif":
+        report = LintReport(
+            diagnostics=tuple(verification.diagnostics(span)),
+            artifact=artifact,
+            rule_summaries=rule_summaries(),
+        )
+        print(json.dumps(report.to_sarif(), indent=2))
+    else:
+        for index, (selection, report) in enumerate(
+            verification.selections
+        ):
+            if index:
+                print()
+            print(f"== {_format_selection(selection)} ==")
+            print(report.summary())
+        if verification.truncated:
+            print(
+                "\nnote: the reachable-selection space was truncated; "
+                "unanalysed selections may still be infeasible"
+            )
+        overall = (
+            "PROVED" if verification.proved
+            else ("FEASIBLE" if verification.feasible else "INFEASIBLE")
+        )
+        print(f"\noverall: {overall}")
+    return 0 if verification.feasible else 1
 
 
 def _cmd_synthesize(args: argparse.Namespace) -> int:
@@ -808,6 +935,35 @@ def build_parser() -> argparse.ArgumentParser:
         help="cap on reachable mode selections analysed",
     )
     lint.set_defaults(handler=_cmd_lint)
+
+    verify = subparsers.add_parser(
+        "verify",
+        help="whole-design reliability verification: certified LRC "
+        "bounds via abstract interpretation",
+    )
+    _add_common_inputs(verify)
+    verify.add_argument(
+        "--arch", required=True, help="architecture JSON file"
+    )
+    verify.add_argument(
+        "--impl",
+        help="implementation JSON (may be partial; omit to verify "
+        "over all admissible implementations)",
+    )
+    verify.add_argument(
+        "--format", choices=("text", "json", "sarif"), default="text",
+        help="output format",
+    )
+    verify.add_argument(
+        "--explain", metavar="COMM",
+        help="dump the factor structure (or infeasibility witness) of "
+        "one communicator instead of the full report",
+    )
+    verify.add_argument(
+        "--max-selections", type=int, default=256,
+        help="cap on reachable mode selections analysed",
+    )
+    verify.set_defaults(handler=_cmd_verify)
 
     synthesize = subparsers.add_parser(
         "synthesize", help="synthesise a valid replication mapping"

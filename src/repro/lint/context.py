@@ -18,9 +18,13 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Iterator, Mapping
+from typing import TYPE_CHECKING, Iterator, Mapping
 
 from repro.arch.architecture import Architecture
+
+if TYPE_CHECKING:  # import cycle: analysis imports the lint registry
+    from repro.analysis.verifier import Verifier
+    from repro.htl.compiler import CompiledProgram
 from repro.errors import ReproError
 from repro.htl.ast import ModeDecl, ModuleDecl, ProgramDecl, TaskDecl
 from repro.mapping.implementation import Implementation
@@ -47,11 +51,16 @@ class LintContext:
 
     #: Set when enumerating selections hit :attr:`max_selections`.
     selections_truncated: bool = field(default=False, init=False)
-    _compiled: object = field(default=None, init=False, repr=False)
+    _compiled: "CompiledProgram | None" = field(
+        default=None, init=False, repr=False
+    )
     _compile_error: ReproError | None = field(
         default=None, init=False, repr=False
     )
     _selections: list[dict[str, str]] | None = field(
+        default=None, init=False, repr=False
+    )
+    _verifier: "Verifier | None" = field(
         default=None, init=False, repr=False
     )
     _flattened: dict[tuple[tuple[str, str], ...], Specification | None] = (
@@ -77,7 +86,7 @@ class LintContext:
 
     # -- compiled program / flattening --------------------------------
 
-    def compiled(self):
+    def compiled(self) -> "CompiledProgram | None":
         """Return the compiled program, or ``None`` if compilation fails.
 
         Compilation runs with the compiler's own lint enforcement
@@ -120,6 +129,25 @@ class LintContext:
                 except ReproError:
                     self._flattened[key] = None
         return self._flattened[key]
+
+    # -- shared verification ------------------------------------------
+
+    def verifier(self) -> "Verifier":
+        """Return the lint run's shared abstract-interpretation verifier.
+
+        One :class:`repro.analysis.verifier.Verifier` (and hence one
+        content-hash cache) serves every pass of the run: LRT030's
+        architecture-feasibility query and the LRT060–LRT062 bound
+        checks share per-communicator results, and selections that
+        agree on a subgraph pay for it once.  Imported lazily — the
+        analysis package imports the lint registry for diagnostics,
+        so the import must not run at lint-module load.
+        """
+        if self._verifier is None:
+            from repro.analysis.verifier import Verifier
+
+            self._verifier = Verifier()
+        return self._verifier
 
     # -- mode reachability --------------------------------------------
 

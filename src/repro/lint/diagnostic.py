@@ -16,7 +16,7 @@ from __future__ import annotations
 import enum
 import json
 from dataclasses import dataclass, field
-from typing import Any, Iterable
+from typing import Any, Iterable, Iterator
 
 
 class Severity(enum.Enum):
@@ -85,7 +85,7 @@ class LintReport:
     #: Rule metadata (code -> one-line summary) for SARIF output.
     rule_summaries: dict[str, str] = field(default_factory=dict)
 
-    def __iter__(self):
+    def __iter__(self) -> "Iterator[Diagnostic]":
         return iter(self.diagnostics)
 
     def __len__(self) -> int:

@@ -15,6 +15,9 @@ LRT030      LRC above the best achievable SRG on the architecture
 LRT040-042  access-instant / period bounds per mode
 LRT045      mode switching changes the LRC verdicts
 LRT049-055  the six local refinement constraints of Section 3
+LRT060      certified upper bound below an LRC (bound violation)
+LRT061      LRC met by every admissible mapping (vacuous constraint)
+LRT062      cycle fixpoint widened before convergence
 LRT099      reachable-selection enumeration truncated
 ==========  =========================================================
 
@@ -49,7 +52,6 @@ from repro.model.graph import (
 )
 from repro.model.task import FailureModel
 from repro.reliability.analysis import LRC_TOLERANCE, check_reliability
-from repro.reliability.srg import communicator_srgs
 
 
 def _format_selection(selection: Mapping[str, str] | None) -> str:
@@ -322,39 +324,27 @@ def dead_communicator_pass(ctx: LintContext) -> Iterator[Diagnostic]:
 # ----------------------------------------------------------------------
 
 
-def _best_implementation(ctx: LintContext, spec) -> "object | None":
-    """Return the SRG-maximal implementation, or ``None`` if impossible.
-
-    Every SRG formula is monotone in host and sensor sets, so mapping
-    every task to *all* hosts and binding every input communicator to
-    *all* sensors yields the highest SRG any implementation can reach.
-    """
-    from repro.mapping.implementation import Implementation
-
-    assert ctx.architecture is not None
-    hosts = frozenset(ctx.architecture.hosts)
-    sensors = frozenset(ctx.architecture.sensors)
-    inputs = spec.input_communicators()
-    if inputs and not sensors:
-        return None
-    return Implementation(
-        {task: hosts for task in spec.tasks},
-        {name: sensors for name in sorted(inputs)},
-    )
-
-
 @lint_pass(
     "lrc-feasibility", ["LRT030"], requires=["spec", "architecture"]
 )
 def lrc_feasibility_pass(ctx: LintContext) -> Iterator[Diagnostic]:
-    """Compare every LRC against the architecture's best achievable SRG."""
+    """Compare every LRC against the architecture's best achievable SRG.
+
+    Delegates to the :mod:`repro.analysis` feasibility oracle: the
+    free analysis (no implementation pinned) certifies per-communicator
+    upper bounds equal to the best-implementation SRGs — every formula
+    is monotone in host and sensor sets — while the run-wide verifier
+    memoizes bounds, so repeated selections and the LRT060–LRT062
+    passes share the work instead of recomputing SRGs per communicator.
+    """
+    assert ctx.architecture is not None
     reported: set[str] = set()
     for selection, spec in ctx.selection_specs():
-        best = _best_implementation(ctx, spec)
-        if best is None:
+        inputs = spec.input_communicators()
+        if inputs and not ctx.architecture.sensors:
             # No sensors exist, so input communicators can never be
             # updated: any positive LRC on them is unmeetable.
-            for name in sorted(spec.input_communicators()):
+            for name in sorted(inputs):
                 comm = spec.communicators[name]
                 if comm.lrc > LRC_TOLERANCE and name not in reported:
                     reported.add(name)
@@ -370,20 +360,23 @@ def lrc_feasibility_pass(ctx: LintContext) -> Iterator[Diagnostic]:
                     )
             continue
         try:
-            srgs = communicator_srgs(spec, best, ctx.architecture)
+            report = ctx.verifier().verify(spec, ctx.architecture, None)
         except (AnalysisError, MappingError, ArchitectureError):
-            continue  # unsafe cycles etc.: reported by other passes
+            continue
+        if report.unsafe_cycles:
+            continue  # SRGs undefined: LRT010 reports the cause
         for name, comm in sorted(spec.communicators.items()):
             if name in reported:
                 continue
-            if srgs[name] < comm.lrc - LRC_TOLERANCE:
+            best = report.bounds[name].interval.hi
+            if best < comm.lrc - LRC_TOLERANCE:
                 reported.add(name)
                 line, column = ctx.communicator_span(name)
                 yield make(
                     "LRT030",
                     f"communicator {name!r} demands LRC {comm.lrc} "
                     f"but the best achievable SRG on this "
-                    f"architecture is {srgs[name]:.9f} (all tasks on "
+                    f"architecture is {best:.9f} (all tasks on "
                     f"every host, all sensors bound) in "
                     f"{_format_selection(selection)}",
                     line=line,
@@ -393,6 +386,73 @@ def lrc_feasibility_pass(ctx: LintContext) -> Iterator[Diagnostic]:
                         "hosts/sensors to the architecture"
                     ),
                 )
+
+
+# ----------------------------------------------------------------------
+# LRT060/LRT061/LRT062: certified interval verification.
+# ----------------------------------------------------------------------
+
+
+@lint_pass(
+    "verify-bounds",
+    ["LRT060"],
+    requires=["spec", "architecture", "implementation"],
+)
+def verify_bounds_pass(ctx: LintContext) -> Iterator[Diagnostic]:
+    """Certify the given (possibly partial) implementation's bounds.
+
+    The abstract-interpretation engine treats unmapped tasks and
+    unbound inputs as free, so the certified upper bound covers every
+    completion of the mapping: a bound below the LRC proves that *no*
+    completion can satisfy the constraint — strictly stronger than
+    LRT030's architecture-level feasibility check.
+    """
+    assert ctx.architecture is not None
+    assert ctx.implementation is not None
+    seen: set[tuple[str, str]] = set()
+    for _selection, spec in ctx.selection_specs():
+        try:
+            report = ctx.verifier().verify(
+                spec, ctx.architecture, ctx.implementation
+            )
+        except (AnalysisError, MappingError, ArchitectureError):
+            continue  # unknown hosts/sensors: LRT049 etc. report those
+        for key, diag in report.keyed_diagnostics(
+            ctx.communicator_span
+        ):
+            if diag.code != "LRT060" or key in seen:
+                continue
+            seen.add(key)
+            yield diag
+
+
+@lint_pass(
+    "verify-vacuity",
+    ["LRT061", "LRT062"],
+    requires=["spec", "architecture"],
+)
+def verify_vacuity_pass(ctx: LintContext) -> Iterator[Diagnostic]:
+    """Report vacuous LRCs and widening-truncation events.
+
+    Runs on the *free* analysis (the same memoized reports LRT030
+    consumes): an LRC below the certified lower bound over every
+    admissible mapping constrains nothing, and widened cycles mean
+    the certified bounds are sound but conservative.
+    """
+    assert ctx.architecture is not None
+    seen: set[tuple[str, str]] = set()
+    for _selection, spec in ctx.selection_specs():
+        try:
+            report = ctx.verifier().verify(spec, ctx.architecture, None)
+        except (AnalysisError, MappingError, ArchitectureError):
+            continue
+        for key, diag in report.keyed_diagnostics(
+            ctx.communicator_span
+        ):
+            if diag.code not in ("LRT061", "LRT062") or key in seen:
+                continue
+            seen.add(key)
+            yield diag
 
 
 # ----------------------------------------------------------------------

@@ -95,6 +95,18 @@ CODES: dict[str, RuleInfo] = {
         _rule("LRT055", "refinement-input-set", Severity.ERROR,
               "refinement constraint (b6): input-set inclusion "
               "violated for the declared failure model"),
+        _rule("LRT060", "bound-violation", Severity.ERROR,
+              "the verifier's certified upper reliability bound falls "
+              "below a communicator's LRC: no admissible completion "
+              "of the design can satisfy the constraint"),
+        _rule("LRT061", "vacuous-lrc", Severity.INFO,
+              "an LRC is satisfied by every admissible implementation "
+              "(certified lower bound above the constraint); it "
+              "documents no real requirement"),
+        _rule("LRT062", "widening-truncation", Severity.INFO,
+              "the fixpoint iteration over a communicator cycle was "
+              "widened before convergence; the certified bounds are "
+              "sound but conservative"),
         _rule("LRT099", "selections-truncated", Severity.INFO,
               "the reachable mode-selection space was truncated; some "
               "selections were not analysed"),

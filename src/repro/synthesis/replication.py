@@ -137,6 +137,7 @@ def synthesize_replication(
     max_replicas: int | None = None,
     require_schedulable: bool = True,
     node_limit: int = 200_000,
+    oracle_prune: bool = True,
 ) -> SynthesisResult:
     """Synthesise a replica-minimal valid replication mapping.
 
@@ -154,6 +155,14 @@ def synthesize_replication(
         enforced.
     node_limit:
         Bound on explored search nodes before giving up.
+    oracle_prune:
+        When ``True`` (default) the abstract-interpretation verifier
+        (:mod:`repro.analysis`) gates the search: a design whose
+        certified upper bounds already violate an LRC fails fast with
+        the verifier's witness, and partial assignments whose best
+        possible completion misses a downstream LRC are pruned without
+        expansion.  Both checks use sound upper bounds (every host and
+        sensor available), so pruning never hides a valid mapping.
 
     Raises
     ------
@@ -181,6 +190,26 @@ def synthesize_replication(
             "specification has a communicator cycle with no "
             "independent-model breaker; no implementation is reliable"
         ) from None
+
+    oracle = None
+    if oracle_prune:
+        # Imported lazily: the analysis package is a consumer of the
+        # model/reliability layers and only the synthesiser's pruning
+        # needs it.
+        from repro.analysis.oracle import FeasibilityOracle
+
+        oracle = FeasibilityOracle(spec, arch)
+        report = oracle.report()
+        if not report.feasible:
+            witnesses = "; ".join(
+                witness.describe().splitlines()[0]
+                for witness in report.witnesses()
+            )
+            raise SynthesisError(
+                "no replication mapping within the bounds satisfies "
+                "every LRC: the verifier certifies the design "
+                f"infeasible ({witnesses})"
+            )
 
     brel = arch.network.reliability
     explored = 0
@@ -228,6 +257,15 @@ def synthesize_replication(
             raise SynthesisError(
                 f"synthesis exceeded the node limit ({node_limit})"
             )
+        if (
+            oracle is not None
+            and index < len(decisions)
+            and not oracle.completion_feasible(srgs)
+        ):
+            # Even granting every remaining decision all hosts and
+            # sensors, some downstream LRC is unreachable from this
+            # partial assignment: the whole subtree is dead.
+            return None
         if index == len(decisions):
             implementation = Implementation(
                 {t: frozenset(h) for t, h in assignment.items()},

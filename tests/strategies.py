@@ -108,6 +108,36 @@ def architectures(draw, max_hosts: int = 4, max_sensors: int = 3):
 
 
 @st.composite
+def partial_systems(draw, **spec_kwargs):
+    """Generate a triple whose implementation is partial (or absent).
+
+    Drives the abstract-interpretation engine's partial-design mode: a
+    random subset of tasks keeps its host assignment and a random
+    subset of input communicators keeps its sensor binding; dropping
+    everything yields ``None`` (the fully free design).
+    """
+    spec, arch, impl = draw(systems(**spec_kwargs))
+    kept_tasks = draw(
+        st.sets(st.sampled_from(sorted(spec.tasks)))
+        if spec.tasks
+        else st.just(set())
+    )
+    inputs = sorted(spec.input_communicators())
+    kept_inputs = draw(
+        st.sets(st.sampled_from(inputs)) if inputs else st.just(set())
+    )
+    assignment = {
+        task: impl.hosts_of(task) for task in sorted(kept_tasks)
+    }
+    binding = {
+        comm: impl.sensors_of(comm) for comm in sorted(kept_inputs)
+    }
+    if not assignment and not binding:
+        return spec, arch, None
+    return spec, arch, Implementation(assignment, binding)
+
+
+@st.composite
 def systems(draw, **spec_kwargs):
     """Generate a full (specification, architecture, mapping) triple."""
     spec = draw(specifications(**spec_kwargs))
