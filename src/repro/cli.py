@@ -524,6 +524,22 @@ def _finish_metrics(registry, srgs, spec, path: str) -> None:
 def _cmd_simulate(args: argparse.Namespace) -> int:
     from repro.telemetry import NULL_PROFILER, StageProfiler
 
+    if args.runs < 1:
+        raise ReproError(
+            f"--runs must be >= 1, got {args.runs}"
+        )
+    if args.iterations < 1:
+        raise ReproError(
+            f"--iterations must be >= 1, got {args.iterations}"
+        )
+    if args.jobs < 1:
+        raise ReproError(
+            f"--jobs must be >= 1, got {args.jobs}"
+        )
+    if args.jobs > 1 and args.runs == 1:
+        raise ReproError(
+            "--jobs shards the Monte-Carlo batch; use --runs > 1"
+        )
     functions, conditions = _load_bindings(args.bindings)
     spec = _load_specification(args, functions, conditions)
     arch = architecture_from_dict(load_json(args.arch))
@@ -683,9 +699,14 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             raise ReproError(
                 "--trace needs a single run; use --runs 1"
             )
+        executor = None
+        if args.jobs > 1:
+            from repro.runtime.executor import ShardedExecutor
+
+            executor = ShardedExecutor(args.jobs)
         batch = BatchSimulator(
             spec, arch, implementation, faults=faults, seed=args.seed,
-            profiler=profiler,
+            profiler=profiler, executor=executor,
         )
         started = time.perf_counter()
         batch_result = batch.run_batch(
@@ -878,6 +899,111 @@ def _cmd_runs(args: argparse.Namespace) -> int:
     return 1
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import serve
+
+    if args.workers < 1:
+        raise ReproError(
+            f"--workers must be >= 1, got {args.workers}"
+        )
+    functions, conditions = _load_bindings(args.bindings)
+    serve(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        ledger=args.ledger,
+        functions=functions,
+        conditions=conditions,
+    )
+    return 0
+
+
+def _build_job_document(args: argparse.Namespace) -> dict:
+    """Assemble the job JSON from the submit command's file inputs."""
+    document: dict[str, Any] = {
+        "kind": "verify" if args.verify else "simulate",
+        "arch": load_json(args.arch),
+        "seed": args.seed,
+    }
+    if args.htl:
+        with open(args.htl, "r", encoding="utf-8") as handle:
+            document["htl"] = handle.read()
+    elif args.spec:
+        document["spec"] = load_json(args.spec)
+    else:
+        raise ReproError("provide a specification via --htl or --spec")
+    if args.impl:
+        document["impl"] = load_json(args.impl)
+    if not args.verify:
+        document.update(
+            runs=args.runs,
+            iterations=args.iterations,
+            jobs=args.jobs,
+            bernoulli=not args.no_bernoulli,
+            slack=args.slack,
+        )
+        if args.monitor:
+            document["monitor_window"] = args.monitor_window
+    return document
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro.service.client import ServiceClient
+
+    client = ServiceClient(args.host, args.port)
+    document = _build_job_document(args)
+    reply = client.submit(document)
+    job_id = reply["id"]
+    print(f"submitted {job_id}")
+    if args.no_wait:
+        return 0
+    for event in client.iter_events(job_id):
+        detail = {
+            key: value
+            for key, value in event.items()
+            if key not in ("seq", "job", "at", "state")
+        }
+        suffix = f" {json.dumps(detail)}" if detail else ""
+        print(f"  [{event['seq']}] {event['state']}{suffix}")
+    job = client.job(job_id)
+    if job["state"] == "failed":
+        print(f"error: {job.get('error', 'job failed')}",
+              file=sys.stderr)
+        return 1
+    result = job.get("result", {})
+    print(json.dumps(result, indent=2, sort_keys=True))
+    if result.get("kind") == "simulate":
+        return 0 if result.get("satisfied") else 1
+    if result.get("kind") == "verify":
+        return 0 if result.get("feasible") else 1
+    return 0
+
+
+def _cmd_jobs(args: argparse.Namespace) -> int:
+    from repro.service.client import ServiceClient
+
+    client = ServiceClient(args.host, args.port)
+    if args.metrics:
+        print(json.dumps(client.metrics(), indent=2, sort_keys=True))
+        return 0
+    jobs = client.jobs()
+    if not jobs:
+        print("no jobs submitted")
+        return 0
+    for job in jobs:
+        result = job.get("result") or {}
+        cache = result.get("cache", "")
+        note = f" cache={cache}" if cache else ""
+        error = job.get("error")
+        if error:
+            note = f" {error}"
+        print(
+            f"{job['id']:>8}  {job['kind']:<8} {job['state']:<7}"
+            f"{note}"
+        )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the top-level argument parser."""
     parser = argparse.ArgumentParser(
@@ -1024,6 +1150,11 @@ def build_parser() -> argparse.ArgumentParser:
         "use the vectorized batch executor",
     )
     simulate.add_argument("--seed", type=int, default=0)
+    simulate.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="shard a batch (--runs > 1) over N worker processes; "
+        "results are bit-identical to --jobs 1",
+    )
     simulate.add_argument("--slack", type=float, default=0.01,
                           help="LRC slack for finite-sample noise")
     simulate.add_argument(
@@ -1083,6 +1214,89 @@ def build_parser() -> argparse.ArgumentParser:
         "the run ledger under DIR (default .repro/runs)",
     )
     simulate.set_defaults(handler=_cmd_simulate)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the reliability query daemon (cached Monte-Carlo "
+        "and verification jobs over HTTP)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8765,
+        help="TCP port (0 picks a free port)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=1,
+        help="job worker threads",
+    )
+    serve.add_argument(
+        "--ledger", nargs="?", const=".repro/runs", metavar="DIR",
+        help="persist every completed simulate job to the run "
+        "ledger under DIR (default .repro/runs)",
+    )
+    serve.add_argument(
+        "--bindings",
+        help="Python file exporting FUNCTIONS / CONDITIONS bound "
+        "into submitted specifications",
+    )
+    serve.set_defaults(handler=_cmd_serve)
+
+    submit = subparsers.add_parser(
+        "submit",
+        help="submit a job to a running repro serve daemon and "
+        "follow its progress",
+    )
+    submit.add_argument("--host", default="127.0.0.1")
+    submit.add_argument("--port", type=int, default=8765)
+    submit.add_argument("--htl", help="HTL source file")
+    submit.add_argument("--spec", help="specification JSON file")
+    submit.add_argument("--arch", required=True,
+                        help="architecture JSON file")
+    submit.add_argument("--impl", help="implementation JSON file")
+    submit.add_argument(
+        "--verify", action="store_true",
+        help="submit an analytic verification job instead of a "
+        "Monte-Carlo batch",
+    )
+    submit.add_argument("--runs", type=int, default=1000)
+    submit.add_argument("--iterations", type=int, default=200)
+    submit.add_argument("--seed", type=int, default=0)
+    submit.add_argument(
+        "--slack", type=float, default=0.01,
+        help="LRC slack for finite-sample noise in the satisfied "
+        "verdict",
+    )
+    submit.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="shard count the daemon should simulate with",
+    )
+    submit.add_argument(
+        "--no-bernoulli", action="store_true",
+        help="disable transient fault injection",
+    )
+    submit.add_argument(
+        "--monitor", action="store_true",
+        help="attach the online LRC monitor",
+    )
+    submit.add_argument("--monitor-window", type=int, default=50)
+    submit.add_argument(
+        "--no-wait", action="store_true",
+        help="print the job id and return without following",
+    )
+    submit.set_defaults(handler=_cmd_submit)
+
+    jobs = subparsers.add_parser(
+        "jobs",
+        help="list the jobs (or --metrics counters) of a running "
+        "repro serve daemon",
+    )
+    jobs.add_argument("--host", default="127.0.0.1")
+    jobs.add_argument("--port", type=int, default=8765)
+    jobs.add_argument(
+        "--metrics", action="store_true",
+        help="print the service metrics counters instead",
+    )
+    jobs.set_defaults(handler=_cmd_jobs)
 
     trace = subparsers.add_parser(
         "trace",

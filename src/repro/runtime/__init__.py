@@ -33,11 +33,20 @@ from repro.runtime.environment import (
 from repro.runtime.plan import SimulationPlan, compile_plan
 from repro.runtime.engine import SimulationResult, Simulator
 from repro.runtime.batch import BatchResult, BatchSimulator
+from repro.runtime.executor import (
+    BatchExecutor,
+    SerialExecutor,
+    ShardedExecutor,
+    merge_batch_results,
+    shard_slices,
+    slice_batch_result,
+)
 from repro.runtime.modes import ModeSwitchingExecutive, ModeSwitchingResult
 
 __all__ = [
     "ModeSwitchingExecutive",
     "ModeSwitchingResult",
+    "BatchExecutor",
     "BatchResult",
     "BatchSimulator",
     "BernoulliFaults",
@@ -52,6 +61,8 @@ __all__ = [
     "NoFaults",
     "PrecomputedFaults",
     "ScriptedFaults",
+    "SerialExecutor",
+    "ShardedExecutor",
     "SimulationPlan",
     "SimulationResult",
     "Simulator",
@@ -59,4 +70,7 @@ __all__ = [
     "compile_plan",
     "first_non_bottom",
     "majority_vote",
+    "merge_batch_results",
+    "shard_slices",
+    "slice_batch_result",
 ]

@@ -19,6 +19,16 @@ batch is bit-identical to a scalar simulation seeded with
 — the differential test suite holds the two executors to exactly
 this.
 
+Because spawn keys partition deterministically (child ``k`` of
+``SeedSequence(s)`` is ``SeedSequence(s, spawn_key=(k,))``, whatever
+else was spawned), any *contiguous slice* of a batch can be computed
+in isolation: :meth:`BatchSimulator.run_slice` executes an explicit
+child list, and the pluggable executors of
+:mod:`repro.runtime.executor` exploit that to shard one batch across
+worker processes with bit-identical results
+(``SerialExecutor`` / ``ShardedExecutor`` /
+``merge_batch_results``).
+
 Fallback rules
 --------------
 The vectorized path requires (a) a fault injector that implements
@@ -34,6 +44,7 @@ additionally requires task functions to be bound.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Mapping, Sequence
 
@@ -53,6 +64,7 @@ from repro.telemetry.profiler import NULL_PROFILER, StageProfiler
 if TYPE_CHECKING:  # pragma: no cover
     from repro.resilience.events import ResilienceEvent
     from repro.resilience.monitor import MonitorConfig
+    from repro.runtime.executor import BatchExecutor
 
 
 @dataclass
@@ -190,6 +202,13 @@ class BatchSimulator:
         ``status-collapse``, ``propagate``, ``reduce``, ``monitor``,
         ``scalar-fallback``).  Defaults to the null profiler, whose
         per-stage cost is one no-op context manager.
+    executor:
+        :class:`~repro.runtime.executor.BatchExecutor` strategy
+        :meth:`run_batch` delegates to.  Defaults to the in-process
+        :class:`~repro.runtime.executor.SerialExecutor`; pass a
+        :class:`~repro.runtime.executor.ShardedExecutor` to fan the
+        batch out across worker processes (bit-identical results
+        under the spawn-key contract).
     """
 
     def __init__(
@@ -201,6 +220,7 @@ class BatchSimulator:
         seed: int = 0,
         environment_factory: "Callable[[], Environment] | None" = None,
         profiler: "StageProfiler | None" = None,
+        executor: "BatchExecutor | None" = None,
     ) -> None:
         self.spec = spec
         self.arch = arch
@@ -212,6 +232,11 @@ class BatchSimulator:
         self.faults = faults or NoFaults()
         self.seed = seed
         self.environment_factory = environment_factory
+        if executor is None:
+            from repro.runtime.executor import SerialExecutor
+
+            executor = SerialExecutor()
+        self.executor = executor
 
     # ------------------------------------------------------------------
 
@@ -246,6 +271,27 @@ class BatchSimulator:
         children = np.random.SeedSequence(
             self.seed if seed is None else seed
         ).spawn(runs)
+        return self.executor.execute(self, children, iterations, monitor)
+
+    def run_slice(
+        self,
+        children: "Sequence[np.random.SeedSequence]",
+        iterations: int,
+        monitor: "MonitorConfig | None" = None,
+        run_offset: int = 0,
+    ) -> BatchResult:
+        """Execute an explicit list of spawned per-run seeds.
+
+        The slice primitive beneath every executor: *children* are the
+        spawn-key children owning batch run indices ``run_offset``,
+        ``run_offset + 1``, ...; monitor events are tagged with those
+        *global* indices, so disjoint slices of one batch merge (via
+        :func:`~repro.runtime.executor.merge_batch_results`) into
+        exactly the unsharded result.
+        """
+        runs = len(children)
+        if runs == 0:
+            return self._empty_result(iterations)
         masks: PrecomputedFaults | None = None
         if self.plan.batch_order is not None:
             rngs = [np.random.default_rng(child) for child in children]
@@ -257,8 +303,29 @@ class BatchSimulator:
             # A declining precompute may have consumed draws; the
             # fallback rebuilds every generator from its spawn key.
             with self.profiler.stage("scalar-fallback"):
-                return self._run_scalar(children, iterations, monitor)
-        return self._run_vectorized(masks, runs, iterations, monitor)
+                return self._run_scalar(
+                    children, iterations, monitor, run_offset
+                )
+        return self._run_vectorized(
+            masks, runs, iterations, monitor, run_offset
+        )
+
+    def _empty_result(self, iterations: int) -> BatchResult:
+        """The zero-run result (identity element of a merge)."""
+        plan = self.plan
+        counts = {}
+        samples = {}
+        for ci, name in enumerate(plan.comm_names):
+            counts[name] = np.zeros(0, dtype=np.int64)
+            samples[name] = int(plan.accesses_per_period[ci]) * iterations
+        return BatchResult(
+            spec=self.spec,
+            runs=0,
+            iterations=iterations,
+            reliable_counts=counts,
+            samples_per_run=samples,
+            executor="vectorized",
+        )
 
     # ------------------------------------------------------------------
 
@@ -268,6 +335,7 @@ class BatchSimulator:
         runs: int,
         iterations: int,
         monitor: "MonitorConfig | None" = None,
+        run_offset: int = 0,
     ) -> BatchResult:
         plan = self.plan
         profiler = self.profiler
@@ -366,7 +434,8 @@ class BatchSimulator:
         if monitor is not None:
             with profiler.stage("monitor"):
                 monitor_events = self._monitor_events(
-                    monitor, task_ok, delivered, runs, iterations
+                    monitor, task_ok, delivered, runs, iterations,
+                    run_offset,
                 )
         return BatchResult(
             spec=self.spec,
@@ -524,6 +593,7 @@ class BatchSimulator:
         delivered: Sequence[np.ndarray],
         runs: int,
         iterations: int,
+        run_offset: int = 0,
     ) -> "tuple[ResilienceEvent, ...]":
         """Vectorized online-monitor pass over the whole batch.
 
@@ -555,6 +625,11 @@ class BatchSimulator:
         # them: communicators in specification declaration order.
         order = {name: i for i, name in enumerate(self.spec.communicators)}
         events.sort(key=lambda e: (e.run, e.time, order[e.communicator]))
+        if run_offset:
+            events = [
+                dataclasses.replace(event, run=event.run + run_offset)
+                for event in events
+            ]
         return tuple(events)
 
     def _port_bits(
@@ -591,10 +666,9 @@ class BatchSimulator:
         children: Sequence[np.random.SeedSequence],
         iterations: int,
         monitor: "MonitorConfig | None" = None,
+        run_offset: int = 0,
     ) -> BatchResult:
         """Loop the scalar reference executor over the spawned seeds."""
-        import dataclasses
-
         from repro.runtime.engine import Simulator
 
         runs = len(children)
@@ -630,7 +704,7 @@ class BatchSimulator:
                 samples[name] = len(trace)
             if run_monitor is not None:
                 monitor_events.extend(
-                    dataclasses.replace(event, run=k)
+                    dataclasses.replace(event, run=k + run_offset)
                     for event in run_monitor.events
                 )
         return BatchResult(

@@ -1,0 +1,393 @@
+"""Pluggable batch executors: serial reference and sharded fan-out.
+
+PR 7 extracts the execution *strategy* out of
+:class:`~repro.runtime.batch.BatchSimulator`:
+``run_batch(runs, iterations, seed)`` now only spawns the per-run
+seed-sequence children and delegates to a :class:`BatchExecutor`.
+
+* :class:`SerialExecutor` is the in-process reference: one
+  :meth:`~repro.runtime.batch.BatchSimulator.run_slice` call over the
+  whole child list — byte-for-byte the pre-refactor behaviour.
+* :class:`ShardedExecutor` partitions the children into contiguous
+  per-worker shards (:func:`shard_slices`) and executes them in
+  forked worker processes.  The ``SeedSequence.spawn`` contract makes
+  this safe: spawn keys partition deterministically, every injector's
+  ``precompute`` consumes randomness strictly per run, and every
+  count/monitor derivation in the vectorized kernel is per-run along
+  axis 0 — so a shard computes exactly its slice of the unsharded
+  tensors, and :func:`merge_batch_results` reassembles the
+  bit-identical whole (pooled counts, per-run arrays in run order,
+  monitor-event streams re-sequenced by run index).  The differential
+  suite in ``tests/test_executor.py`` holds sharded output to exact
+  equality with serial output over Hypothesis-generated systems.
+
+Workers ship a reduced picklable payload (count arrays + monitor
+events) back over a pipe; the specification — which may hold
+unpicklable task lambdas — never crosses the process boundary
+(workers inherit it via ``fork``).  Platforms without ``fork`` (or
+``jobs=1`` slices) fall back to executing the shards inline in the
+parent, through the identical slice/merge path.
+
+Monitor events cross back through per-shard
+:class:`~repro.telemetry.shardbuffer.ShardEventBuffer` instances and,
+when a :class:`~repro.telemetry.bus.TelemetryBus` is attached, are
+replayed onto it in deterministic run order — traces, metrics, and
+provenance subscribers observe the same stream an unsharded run
+would have produced.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Protocol,
+    Sequence,
+    runtime_checkable,
+)
+
+import numpy as np
+
+from repro.errors import RuntimeSimulationError
+from repro.runtime.batch import BatchResult
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.resilience.monitor import MonitorConfig
+    from repro.runtime.batch import BatchSimulator
+    from repro.telemetry.bus import TelemetryBus
+
+
+@runtime_checkable
+class BatchExecutor(Protocol):
+    """Strategy that executes one batch over spawned per-run seeds.
+
+    *children* is the full ``SeedSequence(seed).spawn(runs)`` list;
+    the executor owns how (and where) the per-run work happens but
+    must return exactly the result of
+    ``simulator.run_slice(children, iterations, monitor)`` — the
+    bit-identity contract every implementation is tested against.
+    """
+
+    def execute(
+        self,
+        simulator: "BatchSimulator",
+        children: "Sequence[np.random.SeedSequence]",
+        iterations: int,
+        monitor: "MonitorConfig | None" = None,
+    ) -> BatchResult:
+        ...
+
+
+def shard_slices(runs: int, jobs: int) -> list[tuple[int, int]]:
+    """Partition ``range(runs)`` into at most *jobs* contiguous slices.
+
+    Balanced partition: the first ``runs % jobs`` shards get one extra
+    run.  Never emits an empty slice — with ``jobs > runs`` the excess
+    workers simply get nothing.
+    """
+    if runs < 0:
+        raise RuntimeSimulationError(f"runs must be >= 0, got {runs}")
+    if jobs < 1:
+        raise RuntimeSimulationError(f"jobs must be >= 1, got {jobs}")
+    jobs = min(jobs, runs)
+    slices: list[tuple[int, int]] = []
+    start = 0
+    for shard in range(jobs):
+        size = runs // jobs + (1 if shard < runs % jobs else 0)
+        slices.append((start, start + size))
+        start += size
+    return slices
+
+
+def merge_batch_results(
+    shards: "Sequence[BatchResult]",
+) -> BatchResult:
+    """Merge disjoint batch slices back into one result.
+
+    *shards* must be the slices of one batch in run order, each
+    produced by :meth:`~repro.runtime.batch.BatchSimulator.run_slice`
+    with its global ``run_offset`` (so monitor events already carry
+    global run indices).  Per-run count arrays are concatenated in
+    run order, pooled statistics follow from them, and the merged
+    monitor-event stream is re-sequenced by run index (within a run,
+    shard emission order — the scalar emission order — is preserved).
+    Zero-run shards are legal and contribute nothing.
+    """
+    if not shards:
+        raise RuntimeSimulationError("cannot merge zero batch results")
+    alive = [shard for shard in shards if shard.runs]
+    if not alive:
+        first = shards[0]
+        return dataclasses_replace_runs(first, 0)
+    first = alive[0]
+    for shard in alive[1:]:
+        if shard.iterations != first.iterations:
+            raise RuntimeSimulationError(
+                f"cannot merge shards of {shard.iterations} and "
+                f"{first.iterations} iterations"
+            )
+        if set(shard.reliable_counts) != set(first.reliable_counts):
+            raise RuntimeSimulationError(
+                "cannot merge shards over different communicators"
+            )
+        if shard.samples_per_run != first.samples_per_run:
+            raise RuntimeSimulationError(
+                "cannot merge shards with different per-run sample "
+                "counts"
+            )
+        if shard.executor != first.executor:
+            raise RuntimeSimulationError(
+                f"cannot merge {shard.executor!r} and "
+                f"{first.executor!r} shards"
+            )
+    counts = {
+        name: np.concatenate(
+            [shard.reliable_counts[name] for shard in alive]
+        )
+        for name in first.reliable_counts
+    }
+    events = [
+        event for shard in alive for event in shard.monitor_events
+    ]
+    # Stable sort by run index: shards arrive in run order so this is
+    # usually a no-op, but it makes the re-sequencing contract (run
+    # index monotone, per-run emission order preserved) unconditional.
+    events.sort(key=lambda event: -1 if event.run is None else event.run)
+    return BatchResult(
+        spec=first.spec,
+        runs=sum(shard.runs for shard in alive),
+        iterations=first.iterations,
+        reliable_counts=counts,
+        samples_per_run=dict(first.samples_per_run),
+        executor=first.executor,
+        monitor_events=tuple(events),
+    )
+
+
+def dataclasses_replace_runs(
+    result: BatchResult, runs: int
+) -> BatchResult:
+    """Prefix-slice a batch result down to its first *runs* runs.
+
+    Under the spawn contract the first *runs* children of a larger
+    batch are exactly the children of a ``runs``-sized batch, so the
+    slice is bit-identical to re-simulating at the smaller size —
+    which is what lets the service answer shrunk ``runs`` queries
+    from cache without simulating.
+    """
+    if runs < 0 or runs > result.runs:
+        raise RuntimeSimulationError(
+            f"cannot slice {result.runs} runs down to {runs}"
+        )
+    if runs == result.runs:
+        return result
+    return BatchResult(
+        spec=result.spec,
+        runs=runs,
+        iterations=result.iterations,
+        reliable_counts={
+            name: counts[:runs]
+            for name, counts in result.reliable_counts.items()
+        },
+        samples_per_run=dict(result.samples_per_run),
+        executor=result.executor,
+        monitor_events=tuple(
+            event
+            for event in result.monitor_events
+            if event.run is not None and event.run < runs
+        ),
+    )
+
+
+#: Public alias — the service and tests read better with this name.
+slice_batch_result = dataclasses_replace_runs
+
+
+class SerialExecutor:
+    """The in-process reference executor (the pre-refactor loop)."""
+
+    name = "serial"
+
+    def execute(
+        self,
+        simulator: "BatchSimulator",
+        children: "Sequence[np.random.SeedSequence]",
+        iterations: int,
+        monitor: "MonitorConfig | None" = None,
+    ) -> BatchResult:
+        return simulator.run_slice(children, iterations, monitor)
+
+
+@dataclass
+class _ShardPayload:
+    """The picklable slice result a worker ships back to the parent.
+
+    Deliberately *not* a :class:`BatchResult`: the specification may
+    hold task lambdas that cannot cross a pipe.  Everything here is
+    plain arrays, ints, and frozen event dataclasses.
+    """
+
+    runs: int
+    reliable_counts: dict[str, np.ndarray]
+    samples_per_run: dict[str, int]
+    executor: str
+    monitor_events: tuple
+
+
+def _payload_of(result: BatchResult) -> _ShardPayload:
+    return _ShardPayload(
+        runs=result.runs,
+        reliable_counts=result.reliable_counts,
+        samples_per_run=result.samples_per_run,
+        executor=result.executor,
+        monitor_events=result.monitor_events,
+    )
+
+
+def _result_of(payload: _ShardPayload, simulator: "BatchSimulator",
+               iterations: int) -> BatchResult:
+    return BatchResult(
+        spec=simulator.spec,
+        runs=payload.runs,
+        iterations=iterations,
+        reliable_counts=payload.reliable_counts,
+        samples_per_run=payload.samples_per_run,
+        executor=payload.executor,
+        monitor_events=tuple(payload.monitor_events),
+    )
+
+
+def _shard_worker(simulator, children, iterations, monitor, offset, conn):
+    """Entry point of one forked shard worker."""
+    try:
+        result = simulator.run_slice(
+            children, iterations, monitor, run_offset=offset
+        )
+        conn.send(("ok", _payload_of(result)))
+    except BaseException as error:  # ship the failure to the parent
+        conn.send(("error", f"{type(error).__name__}: {error}"))
+    finally:
+        conn.close()
+
+
+def _fork_context() -> "Any | None":
+    """The fork multiprocessing context, or ``None`` when unsupported."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return None
+
+
+class ShardedExecutor:
+    """Fan one batch out over *jobs* forked worker processes.
+
+    Parameters
+    ----------
+    jobs:
+        Number of worker shards (>= 1).  ``jobs=1`` degenerates to the
+        serial path without forking.
+    processes:
+        ``False`` executes the shards inline in the parent — the same
+        slice/merge arithmetic without process overhead (also the
+        automatic fallback where ``fork`` is unavailable).
+    telemetry:
+        Optional :class:`~repro.telemetry.bus.TelemetryBus`; the
+        merged monitor-event stream is replayed onto it in
+        deterministic run order after the shards complete.
+    """
+
+    name = "sharded"
+
+    def __init__(
+        self,
+        jobs: int,
+        processes: bool = True,
+        telemetry: "TelemetryBus | None" = None,
+    ) -> None:
+        if jobs < 1:
+            raise RuntimeSimulationError(
+                f"jobs must be >= 1, got {jobs}"
+            )
+        self.jobs = jobs
+        self.processes = processes
+        self.telemetry = telemetry
+
+    def execute(
+        self,
+        simulator: "BatchSimulator",
+        children: "Sequence[np.random.SeedSequence]",
+        iterations: int,
+        monitor: "MonitorConfig | None" = None,
+    ) -> BatchResult:
+        slices = shard_slices(len(children), self.jobs)
+        context = _fork_context() if self.processes else None
+        if len(slices) <= 1 or context is None:
+            shards = [
+                simulator.run_slice(
+                    children[start:stop], iterations, monitor,
+                    run_offset=start,
+                )
+                for start, stop in slices
+            ]
+        else:
+            shards = self._execute_processes(
+                context, simulator, children, iterations, monitor,
+                slices,
+            )
+        merged = merge_batch_results(shards) if shards else (
+            simulator.run_slice(children, iterations, monitor)
+        )
+        if self.telemetry is not None:
+            from repro.telemetry.shardbuffer import (
+                ShardEventBuffer,
+                replay_sharded,
+            )
+
+            buffers = []
+            for index, shard in enumerate(shards):
+                buffer = ShardEventBuffer(shard=index)
+                for event in shard.monitor_events:
+                    buffer.on_event(event)
+                buffers.append(buffer)
+            replay_sharded(buffers, self.telemetry)
+        return merged
+
+    def _execute_processes(
+        self, context, simulator, children, iterations, monitor, slices
+    ) -> list[BatchResult]:
+        workers = []
+        for start, stop in slices:
+            parent_conn, child_conn = context.Pipe(duplex=False)
+            process = context.Process(
+                target=_shard_worker,
+                args=(
+                    simulator, children[start:stop], iterations,
+                    monitor, start, child_conn,
+                ),
+            )
+            process.start()
+            child_conn.close()
+            workers.append((process, parent_conn))
+        shards: list[BatchResult] = []
+        failures: list[str] = []
+        for process, conn in workers:
+            try:
+                status, payload = conn.recv()
+            except EOFError:
+                status, payload = "error", "worker died before replying"
+            finally:
+                conn.close()
+            process.join()
+            if status == "ok":
+                shards.append(
+                    _result_of(payload, simulator, iterations)
+                )
+            else:
+                failures.append(str(payload))
+        if failures:
+            raise RuntimeSimulationError(
+                f"sharded batch worker failed: {failures[0]}"
+            )
+        return shards

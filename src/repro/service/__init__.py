@@ -1,0 +1,35 @@
+"""Reliability-as-a-service: the cached Monte-Carlo query daemon.
+
+PR 7's service layer puts a long-running process in front of the
+simulation stack so repeated reliability queries over the same design
+are answered from cache instead of recomputed:
+
+* :class:`~repro.service.cache.ResultCache` memoizes Monte-Carlo
+  batch results and analytic verification reports, keyed by the
+  ledger's content hashes of the (spec, arch, impl) triple plus the
+  seed/iterations/fault configuration.  A ``runs`` upgrade
+  re-simulates only the missing tail of spawned seeds and merges —
+  bit-identical to a fresh full batch under the spawn contract.
+* :class:`~repro.service.jobs.ReliabilityService` owns the job queue,
+  worker threads, progress-event streams, cache, and
+  :class:`~repro.telemetry.ledger.RunLedger` persistence.
+* :mod:`repro.service.server` exposes it over HTTP (stdlib
+  ``ThreadingHTTPServer`` + JSON, zero dependencies) as the
+  ``repro serve`` daemon; :mod:`repro.service.client` is the matching
+  ``repro submit`` / ``repro jobs`` client.
+
+See ``docs/service.md`` for the wire API and cache semantics.
+"""
+
+from repro.service.cache import McKey, ResultCache, ServiceMetrics
+from repro.service.jobs import Job, ReliabilityService
+from repro.service.server import serve
+
+__all__ = [
+    "Job",
+    "McKey",
+    "ReliabilityService",
+    "ResultCache",
+    "ServiceMetrics",
+    "serve",
+]

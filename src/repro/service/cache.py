@@ -1,0 +1,131 @@
+"""Result memoization for the reliability service.
+
+The cache is keyed by *content*, not by request text: the service
+rebuilds the design objects from the submitted JSON and hashes their
+canonical ``to_dict`` forms through the ledger's
+:func:`~repro.telemetry.ledger.content_hash` — so two clients
+submitting the same design with different key order or ``40.0`` vs
+``40`` spellings share one cache line (guarded by the canonicalisation
+tests in ``tests/test_ledger.py``).
+
+Monte-Carlo entries store the *full* :class:`BatchResult` at the
+largest ``runs`` ever computed for the key.  Because batch run ``k``
+is seeded by ``SeedSequence(seed).spawn(runs)[k]`` and spawn keys are
+prefix-stable, a smaller ``runs`` query is exactly a prefix slice of
+the stored result, and a larger one only needs the missing tail of
+children simulated and merged.  :meth:`ResultCache.plan` classifies a
+query into ``hit`` / ``partial`` / ``miss`` accordingly.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.batch import BatchResult
+
+
+@dataclass(frozen=True)
+class McKey:
+    """Everything that determines a Monte-Carlo batch bit-for-bit.
+
+    Two queries with equal keys denote the same simulation, so any
+    prefix of one is a prefix of the other — the invariant the
+    hit/partial/miss logic rests on.
+    """
+
+    spec_hash: str
+    arch_hash: str
+    impl_hash: "str | None"
+    seed: int
+    iterations: int
+    bernoulli: bool
+    monitor_window: "int | None"
+
+
+class ServiceMetrics:
+    """Thread-safe monotonic counters, exported at ``/metrics``.
+
+    The acceptance tests read these to prove cache behaviour: a
+    repeated identical job must bump ``mc_cache_hits`` while leaving
+    ``runs_simulated_total`` unchanged; a runs upgrade must add only
+    the delta.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counts: dict[str, int] = {
+            "jobs_submitted": 0,
+            "jobs_completed": 0,
+            "jobs_failed": 0,
+            "mc_cache_hits": 0,
+            "mc_cache_partial": 0,
+            "mc_cache_misses": 0,
+            "verify_cache_hits": 0,
+            "verify_cache_misses": 0,
+            "runs_simulated_total": 0,
+        }
+
+    def add(self, name: str, amount: int = 1) -> None:
+        with self._lock:
+            self._counts[name] = self._counts.get(name, 0) + amount
+
+    def snapshot(self) -> dict[str, int]:
+        with self._lock:
+            return dict(self._counts)
+
+    def get(self, name: str) -> int:
+        with self._lock:
+            return self._counts.get(name, 0)
+
+
+class ResultCache:
+    """Memo of Monte-Carlo batches and verification reports."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._mc: "dict[McKey, BatchResult]" = {}
+        self._verify: dict[Any, dict] = {}
+
+    # -- Monte-Carlo entries -------------------------------------------
+
+    def plan(
+        self, key: McKey, runs: int
+    ) -> "tuple[str, BatchResult | None]":
+        """Classify a query: ``(kind, cached)``.
+
+        ``("hit", cached)`` — ``cached.runs >= runs``; slice, don't
+        simulate.  ``("partial", cached)`` — simulate only runs
+        ``cached.runs..runs-1`` and merge.  ``("miss", None)`` —
+        simulate everything.
+        """
+        with self._lock:
+            cached = self._mc.get(key)
+        if cached is None:
+            return "miss", None
+        if cached.runs >= runs:
+            return "hit", cached
+        return "partial", cached
+
+    def store(self, key: McKey, result: "BatchResult") -> None:
+        """Store *result* if it extends the cached entry."""
+        with self._lock:
+            cached = self._mc.get(key)
+            if cached is None or result.runs > cached.runs:
+                self._mc[key] = result
+
+    # -- verification reports ------------------------------------------
+
+    def get_verify(self, key: Any) -> "dict | None":
+        with self._lock:
+            return self._verify.get(key)
+
+    def store_verify(self, key: Any, report: dict) -> None:
+        with self._lock:
+            self._verify[key] = report
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._mc) + len(self._verify)

@@ -1,0 +1,130 @@
+"""Stdlib HTTP client for the reliability service.
+
+Backs the ``repro submit`` / ``repro jobs`` CLI commands and is small
+enough to script against directly:
+
+>>> client = ServiceClient("127.0.0.1", 8765)   # doctest: +SKIP
+>>> job = client.submit({"kind": "verify", ...})  # doctest: +SKIP
+
+Uses :mod:`http.client` so the service stack stays dependency-free
+end to end.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Any, Callable, Iterator, Mapping
+
+from repro.errors import ReproError
+
+
+class ServiceClientError(ReproError):
+    """The daemon was unreachable or replied with an error."""
+
+
+class ServiceClient:
+    """Talks to one ``repro serve`` daemon."""
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 8765,
+        timeout: float = 60.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # -- low-level ------------------------------------------------------
+
+    def _request(
+        self, method: str, path: str, document: "Any | None" = None
+    ) -> Any:
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            body = (
+                None if document is None
+                else json.dumps(document).encode("utf-8")
+            )
+            headers = (
+                {"Content-Type": "application/json"} if body else {}
+            )
+            connection.request(method, path, body=body, headers=headers)
+            response = connection.getresponse()
+            raw = response.read()
+        except (OSError, http.client.HTTPException) as error:
+            raise ServiceClientError(
+                f"cannot reach repro service at "
+                f"{self.host}:{self.port}: {error}"
+            )
+        finally:
+            connection.close()
+        try:
+            document = json.loads(raw.decode("utf-8")) if raw else {}
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            raise ServiceClientError(
+                f"service replied non-JSON ({response.status})"
+            )
+        if response.status >= 400:
+            raise ServiceClientError(
+                str(document.get("error", f"HTTP {response.status}"))
+            )
+        return document
+
+    # -- API ------------------------------------------------------------
+
+    def health(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def metrics(self) -> dict:
+        return self._request("GET", "/metrics")
+
+    def submit(
+        self, document: Mapping[str, Any], wait: bool = False
+    ) -> dict:
+        """Submit a job; with *wait* the reply is the finished job."""
+        suffix = "?wait=1" if wait else ""
+        return self._request("POST", f"/jobs{suffix}", dict(document))
+
+    def job(self, job_id: str) -> dict:
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def jobs(self) -> list[dict]:
+        return list(self._request("GET", "/jobs").get("jobs", []))
+
+    def events(self, job_id: str, since: int = 0) -> dict:
+        return self._request(
+            "GET", f"/jobs/{job_id}/events?since={since}"
+        )
+
+    def follow(
+        self,
+        job_id: str,
+        on_event: "Callable[[dict], None] | None" = None,
+    ) -> dict:
+        """Long-poll progress events until the job finishes.
+
+        Calls *on_event* for every event in order and returns the
+        final job document.
+        """
+        since = 0
+        while True:
+            reply = self.events(job_id, since=since)
+            for event in reply.get("events", []):
+                if on_event is not None:
+                    on_event(event)
+            since += len(reply.get("events", []))
+            if reply.get("done"):
+                return self.job(job_id)
+
+    def iter_events(self, job_id: str) -> Iterator[dict]:
+        """Yield progress events until the job reaches a terminal state."""
+        since = 0
+        done = False
+        while not done:
+            reply = self.events(job_id, since=since)
+            events = reply.get("events", [])
+            yield from events
+            since += len(events)
+            done = bool(reply.get("done")) and not events

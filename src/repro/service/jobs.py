@@ -1,0 +1,480 @@
+"""The reliability service: job queue, workers, cache, persistence.
+
+:class:`ReliabilityService` accepts JSON job documents describing a
+(spec, arch, impl, runs, seed) query, executes them on a pool of
+worker threads, memoizes results in a
+:class:`~repro.service.cache.ResultCache`, persists every completed
+job to the :class:`~repro.telemetry.ledger.RunLedger`, and streams
+per-job progress events that clients can follow (long-poll or
+line-stream, see :mod:`repro.service.server`).
+
+Job document fields (``kind`` selects the pipeline):
+
+``kind: "simulate"``
+    ``spec`` (specification dict) or ``htl`` (source text), ``arch``
+    (dict), ``impl`` (dict), ``runs``, ``iterations``, ``seed``
+    (default 0), ``jobs`` (shard count, default 1), ``bernoulli``
+    (default true), ``monitor_window`` (optional int).
+``kind: "verify"``
+    ``spec``/``htl``, ``arch``, optional ``impl`` — the analytic
+    abstract-interpretation verdict, memoized by design fingerprint.
+
+Cache semantics (the tentpole contract): an identical repeated
+simulate job answers from cache without simulating; a ``runs``
+upgrade simulates only the tail ``cached.runs..runs-1`` — seeded by
+``SeedSequence(seed, spawn_key=(k,))``, which equals
+``SeedSequence(seed).spawn(runs)[k]`` — and merges, so the reply is
+bit-identical to a fresh full batch.  Both facts are asserted through
+the :class:`~repro.service.cache.ServiceMetrics` counters.
+
+This module reads the wall clock (job timestamps) and is therefore on
+the determinism-lint allowlist; timestamps never reach simulation
+state.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+import traceback
+from typing import Any, Callable, Mapping
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.service.cache import McKey, ResultCache, ServiceMetrics
+
+
+class ServiceError(ReproError):
+    """A job document is malformed or names an unknown job."""
+
+
+class Job:
+    """One submitted query: state, progress events, result."""
+
+    def __init__(self, job_id: str, document: dict) -> None:
+        self.id = job_id
+        self.document = document
+        self.state = "queued"  # queued | running | done | failed
+        self.error: "str | None" = None
+        self.result: "dict | None" = None
+        self.submitted_at = time.time()
+        self.finished_at: "float | None" = None
+        self.events: list[dict] = []
+        self.condition = threading.Condition()
+        self.emit("queued")
+
+    def emit(self, state: str, **detail: Any) -> None:
+        """Append one progress event and wake any waiters."""
+        with self.condition:
+            self.events.append(
+                {
+                    "seq": len(self.events),
+                    "job": self.id,
+                    "state": state,
+                    "at": time.time(),
+                    **detail,
+                }
+            )
+            self.condition.notify_all()
+
+    @property
+    def done(self) -> bool:
+        return self.state in ("done", "failed")
+
+    def wait(self, timeout: "float | None" = None) -> bool:
+        """Block until the job reaches a terminal state."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self.condition:
+            while not self.done:
+                remaining = (
+                    None if deadline is None
+                    else deadline - time.monotonic()
+                )
+                if remaining is not None and remaining <= 0:
+                    return False
+                self.condition.wait(remaining)
+        return True
+
+    def events_since(
+        self, since: int, timeout: "float | None" = None
+    ) -> list[dict]:
+        """Events with ``seq >= since``; block up to *timeout* for one."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self.condition:
+            while len(self.events) <= since and not self.done:
+                remaining = (
+                    None if deadline is None
+                    else deadline - time.monotonic()
+                )
+                if remaining is not None and remaining <= 0:
+                    break
+                self.condition.wait(remaining)
+            return list(self.events[since:])
+
+    def to_dict(self) -> dict:
+        doc = {
+            "id": self.id,
+            "kind": self.document.get("kind", "simulate"),
+            "state": self.state,
+            "submitted_at": self.submitted_at,
+            "finished_at": self.finished_at,
+            "events": len(self.events),
+        }
+        if self.error is not None:
+            doc["error"] = self.error
+        if self.result is not None:
+            doc["result"] = self.result
+        return doc
+
+
+class ReliabilityService:
+    """Executes reliability queries behind a queue, cache, and ledger.
+
+    Parameters
+    ----------
+    workers:
+        Worker-thread count (each drains the shared job queue).
+    ledger:
+        Optional ledger directory; completed jobs append a
+        :class:`~repro.telemetry.ledger.RunRecord` (the advisory
+        append lock makes concurrent workers safe).
+    functions / conditions:
+        Callable registries bound into submitted specifications,
+        exactly like the CLI's ``--bindings`` module.
+    """
+
+    def __init__(
+        self,
+        workers: int = 1,
+        ledger: "str | None" = None,
+        functions: "Mapping[str, Callable[..., Any]] | None" = None,
+        conditions: "Mapping[str, Callable[..., Any]] | None" = None,
+    ) -> None:
+        if workers < 1:
+            raise ServiceError(f"workers must be >= 1, got {workers}")
+        self.cache = ResultCache()
+        self.metrics = ServiceMetrics()
+        self.ledger_dir = ledger
+        self.functions = dict(functions or {})
+        self.conditions = dict(conditions or {})
+        self._queue: "queue.Queue[Job | None]" = queue.Queue()
+        self._jobs: dict[str, Job] = {}
+        self._lock = threading.Lock()
+        self._counter = 0
+        self._threads = [
+            threading.Thread(
+                target=self._worker, name=f"repro-worker-{i}",
+                daemon=True,
+            )
+            for i in range(workers)
+        ]
+        self._started = False
+
+    # -- lifecycle ------------------------------------------------------
+
+    def start(self) -> "ReliabilityService":
+        if not self._started:
+            self._started = True
+            for thread in self._threads:
+                thread.start()
+        return self
+
+    def stop(self) -> None:
+        if not self._started:
+            return
+        for _ in self._threads:
+            self._queue.put(None)
+        for thread in self._threads:
+            thread.join()
+        self._started = False
+
+    def __enter__(self) -> "ReliabilityService":
+        return self.start()
+
+    def __exit__(self, *exc: Any) -> None:
+        self.stop()
+
+    # -- submission / lookup -------------------------------------------
+
+    def submit(self, document: Mapping[str, Any]) -> Job:
+        """Validate and enqueue one job document."""
+        doc = dict(document)
+        kind = doc.setdefault("kind", "simulate")
+        if kind not in ("simulate", "verify"):
+            raise ServiceError(f"unknown job kind {kind!r}")
+        if "spec" not in doc and "htl" not in doc:
+            raise ServiceError("job needs a 'spec' dict or 'htl' source")
+        if "arch" not in doc:
+            raise ServiceError("job needs an 'arch' dict")
+        if kind == "simulate":
+            if "impl" not in doc:
+                raise ServiceError("simulate job needs an 'impl' dict")
+            runs = doc.setdefault("runs", 1)
+            iterations = doc.setdefault("iterations", 1)
+            if not isinstance(runs, int) or runs < 1:
+                raise ServiceError(f"runs must be >= 1, got {runs!r}")
+            if not isinstance(iterations, int) or iterations < 1:
+                raise ServiceError(
+                    f"iterations must be >= 1, got {iterations!r}"
+                )
+            jobs = doc.setdefault("jobs", 1)
+            if not isinstance(jobs, int) or jobs < 1:
+                raise ServiceError(f"jobs must be >= 1, got {jobs!r}")
+        seed = doc.setdefault("seed", 0)
+        if not isinstance(seed, int):
+            raise ServiceError(f"seed must be an int, got {seed!r}")
+        with self._lock:
+            self._counter += 1
+            job = Job(f"job-{self._counter}", doc)
+            self._jobs[job.id] = job
+        self.metrics.add("jobs_submitted")
+        self._queue.put(job)
+        return job
+
+    def get(self, job_id: str) -> Job:
+        with self._lock:
+            job = self._jobs.get(job_id)
+        if job is None:
+            raise ServiceError(f"unknown job {job_id!r}")
+        return job
+
+    def jobs(self) -> list[Job]:
+        with self._lock:
+            return [
+                self._jobs[key]
+                for key in sorted(
+                    self._jobs,
+                    key=lambda k: int(k.rsplit("-", 1)[1]),
+                )
+            ]
+
+    def run_pending(self) -> None:
+        """Drain the queue synchronously (test/CLI convenience)."""
+        while True:
+            try:
+                job = self._queue.get_nowait()
+            except queue.Empty:
+                return
+            if job is not None:
+                self._execute(job)
+
+    # -- execution ------------------------------------------------------
+
+    def _worker(self) -> None:
+        while True:
+            job = self._queue.get()
+            if job is None:
+                return
+            self._execute(job)
+
+    def _execute(self, job: Job) -> None:
+        job.state = "running"
+        job.emit("running")
+        try:
+            if job.document["kind"] == "verify":
+                job.result = self._verify(job)
+            else:
+                job.result = self._simulate(job)
+        except Exception as error:
+            job.state = "failed"
+            job.error = f"{type(error).__name__}: {error}"
+            job.finished_at = time.time()
+            self.metrics.add("jobs_failed")
+            job.emit("failed", error=job.error)
+            if not isinstance(error, ReproError):
+                traceback.print_exc()
+            return
+        job.state = "done"
+        job.finished_at = time.time()
+        self.metrics.add("jobs_completed")
+        job.emit("done")
+
+    # -- design construction -------------------------------------------
+
+    def _design(self, doc: Mapping[str, Any], need_impl: bool):
+        from repro.htl.compiler import compile_program
+        from repro.io import (
+            architecture_from_dict,
+            implementation_from_dict,
+            specification_from_dict,
+        )
+
+        if "htl" in doc:
+            spec = compile_program(
+                str(doc["htl"]),
+                functions=self.functions,
+                conditions=self.conditions,
+            ).specification()
+        else:
+            spec = specification_from_dict(
+                doc["spec"], functions=self.functions
+            )
+        arch = architecture_from_dict(doc["arch"])
+        impl = None
+        if doc.get("impl") is not None:
+            impl = implementation_from_dict(doc["impl"])
+        if need_impl and impl is None:
+            raise ServiceError("simulate job needs an 'impl' dict")
+        return spec, arch, impl
+
+    # -- pipelines ------------------------------------------------------
+
+    def _verify(self, job: Job) -> dict:
+        from repro.analysis import Verifier
+
+        spec, arch, impl = self._design(job.document, need_impl=False)
+        fingerprint = Verifier.design_fingerprint(spec, arch, impl)
+        cached = self.cache.get_verify(fingerprint)
+        if cached is not None:
+            self.metrics.add("verify_cache_hits")
+            job.emit("cache", cache="hit")
+            return {**cached, "cache": "hit"}
+        self.metrics.add("verify_cache_misses")
+        job.emit("cache", cache="miss")
+        report = Verifier().verify(spec, arch, impl)
+        doc = {
+            "kind": "verify",
+            "spec_hash": fingerprint[0],
+            "arch_hash": fingerprint[1],
+            "impl_hash": fingerprint[2],
+            "feasible": report.feasible,
+            "proved": report.proved,
+            "summary": report.summary(),
+            "report": report.to_dict(),
+            "cache": "miss",
+        }
+        self.cache.store_verify(fingerprint, doc)
+        return doc
+
+    def _simulate(self, job: Job) -> dict:
+        from repro.analysis import Verifier
+        from repro.runtime.batch import BatchSimulator
+        from repro.runtime.executor import (
+            ShardedExecutor,
+            merge_batch_results,
+            slice_batch_result,
+        )
+        from repro.runtime.faults import BernoulliFaults
+
+        doc = job.document
+        spec, arch, impl = self._design(doc, need_impl=True)
+        runs = int(doc["runs"])
+        iterations = int(doc["iterations"])
+        seed = int(doc["seed"])
+        shards = int(doc.get("jobs", 1))
+        bernoulli = bool(doc.get("bernoulli", True))
+        slack = float(doc.get("slack", 0.01))
+        window = doc.get("monitor_window")
+        monitor = None
+        if window is not None:
+            from repro.resilience import MonitorConfig
+
+            monitor = MonitorConfig(window=int(window))
+        fingerprint = Verifier.design_fingerprint(spec, arch, impl)
+        key = McKey(
+            spec_hash=fingerprint[0],
+            arch_hash=fingerprint[1],
+            impl_hash=fingerprint[2],
+            seed=seed,
+            iterations=iterations,
+            bernoulli=bernoulli,
+            monitor_window=None if window is None else int(window),
+        )
+
+        def simulator() -> BatchSimulator:
+            return BatchSimulator(
+                spec, arch, impl,
+                faults=BernoulliFaults(arch) if bernoulli else None,
+                seed=seed,
+                executor=(
+                    ShardedExecutor(shards) if shards > 1 else None
+                ),
+            )
+
+        kind, cached = self.cache.plan(key, runs)
+        simulated = 0
+        if kind == "hit":
+            self.metrics.add("mc_cache_hits")
+            job.emit("cache", cache="hit", cached_runs=cached.runs)
+            result = slice_batch_result(cached, runs)
+        elif kind == "partial":
+            simulated = runs - cached.runs
+            self.metrics.add("mc_cache_partial")
+            self.metrics.add("runs_simulated_total", simulated)
+            job.emit(
+                "cache", cache="partial",
+                cached_runs=cached.runs, delta=simulated,
+            )
+            # Tail children: spawn(runs)[k] == SeedSequence(seed,
+            # spawn_key=(k,)), so only the missing suffix is built.
+            children = [
+                np.random.SeedSequence(seed, spawn_key=(k,))
+                for k in range(cached.runs, runs)
+            ]
+            job.emit("simulating", runs=simulated, offset=cached.runs)
+            tail = simulator().run_slice(
+                children, iterations, monitor,
+                run_offset=cached.runs,
+            )
+            result = merge_batch_results([cached, tail])
+            self.cache.store(key, result)
+        else:
+            simulated = runs
+            self.metrics.add("mc_cache_misses")
+            self.metrics.add("runs_simulated_total", runs)
+            job.emit("cache", cache="miss")
+            job.emit("simulating", runs=runs, offset=0)
+            result = simulator().run_batch(
+                runs, iterations, monitor=monitor
+            )
+            self.cache.store(key, result)
+        entry = self._persist(job, spec, arch, impl, result, seed, runs)
+        averages = result.limit_averages()
+        rates = {
+            name: float(averages[name].mean())
+            for name in sorted(averages)
+        }
+        return {
+            "kind": "simulate",
+            "spec_hash": key.spec_hash,
+            "arch_hash": key.arch_hash,
+            "impl_hash": key.impl_hash,
+            "seed": seed,
+            "runs": runs,
+            "iterations": iterations,
+            "executor": result.executor,
+            "cache": kind,
+            "simulated_runs": simulated,
+            "rates": rates,
+            "lrcs": {
+                name: comm.lrc
+                for name, comm in sorted(spec.communicators.items())
+            },
+            "satisfied": bool(result.satisfies_lrcs(slack=slack)),
+            "monitor_events": len(result.monitor_events),
+            "ledger_entry": entry,
+        }
+
+    def _persist(
+        self, job: Job, spec, arch, impl, result, seed: int, runs: int
+    ) -> "int | None":
+        if self.ledger_dir is None:
+            return None
+        from repro.telemetry import (
+            RunLedger,
+            derive_run_id,
+            record_from_result,
+        )
+
+        record = record_from_result(
+            spec, arch, impl, result,
+            run_id=derive_run_id(seed),
+            command="batch",
+            seed=seed,
+            runs=runs,
+        )
+        index = RunLedger(self.ledger_dir).append(record)
+        job.emit("ledger", entry=index)
+        return index

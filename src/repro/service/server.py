@@ -1,0 +1,219 @@
+"""HTTP front-end of the reliability service (``repro serve``).
+
+Stdlib only: :class:`http.server.ThreadingHTTPServer` with JSON
+request/response bodies.  Endpoints:
+
+``POST /jobs``
+    Submit one job document (see :mod:`repro.service.jobs`); replies
+    ``202 {"id": ..., "state": "queued"}``.  Add ``?wait=1`` to block
+    until the job finishes and get the full job document instead.
+``GET /jobs``
+    Summaries of every submitted job, oldest first.
+``GET /jobs/<id>``
+    Full job document, including the result once done.
+``GET /jobs/<id>/events?since=N``
+    Progress events with ``seq >= N``; long-polls up to 10 s for the
+    next event, so clients can follow progress without busy-waiting.
+``GET /jobs/<id>/stream``
+    JSON-lines stream of progress events until the job finishes.
+``GET /metrics``
+    The service counters (cache hits/misses, runs simulated, ...).
+``GET /healthz``
+    Liveness probe.
+
+Errors reply with ``{"error": ...}`` and status 400 (bad document),
+404 (unknown job/path), or 500 (handler bug).
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Callable, Mapping
+from urllib.parse import parse_qs, urlparse
+
+from repro.errors import ReproError
+from repro.service.jobs import ReliabilityService, ServiceError
+
+#: Long-poll ceiling of ``/events`` in seconds.
+EVENT_POLL_TIMEOUT = 10.0
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Request handler bound to one :class:`ReliabilityService`."""
+
+    service: ReliabilityService  # injected by make_server
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing -------------------------------------------------------
+
+    def log_message(self, format: str, *args: Any) -> None:
+        pass  # tests and daemons don't want per-request stderr noise
+
+    def _reply(self, status: int, document: Any) -> None:
+        body = json.dumps(document).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(self, status: int, message: str) -> None:
+        self._reply(status, {"error": message})
+
+    def _read_document(self) -> Any:
+        length = int(self.headers.get("Content-Length", 0))
+        raw = self.rfile.read(length) if length else b"{}"
+        try:
+            return json.loads(raw.decode("utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError) as error:
+            raise ServiceError(f"request body is not JSON: {error}")
+
+    # -- verbs ----------------------------------------------------------
+
+    def do_POST(self) -> None:  # noqa: N802 (stdlib casing)
+        url = urlparse(self.path)
+        try:
+            if url.path != "/jobs":
+                self._error(404, f"no such endpoint: POST {url.path}")
+                return
+            document = self._read_document()
+            if not isinstance(document, dict):
+                raise ServiceError("job document must be a JSON object")
+            job = self.service.submit(document)
+            query = parse_qs(url.query)
+            if query.get("wait", ["0"])[0] in ("1", "true"):
+                job.wait()
+                self._reply(200, job.to_dict())
+            else:
+                self._reply(202, {"id": job.id, "state": job.state})
+        except ReproError as error:
+            self._error(400, str(error))
+        except Exception as error:  # pragma: no cover - handler bug
+            self._error(500, f"{type(error).__name__}: {error}")
+
+    def do_GET(self) -> None:  # noqa: N802 (stdlib casing)
+        url = urlparse(self.path)
+        try:
+            self._route_get(url)
+        except ServiceError as error:
+            self._error(404, str(error))
+        except ReproError as error:
+            self._error(400, str(error))
+        except Exception as error:  # pragma: no cover - handler bug
+            self._error(500, f"{type(error).__name__}: {error}")
+
+    def _route_get(self, url: Any) -> None:
+        parts = [part for part in url.path.split("/") if part]
+        if parts == ["healthz"]:
+            self._reply(200, {"status": "ok"})
+        elif parts == ["metrics"]:
+            self._reply(200, self.service.metrics.snapshot())
+        elif parts == ["jobs"]:
+            self._reply(
+                200,
+                {
+                    "jobs": [
+                        job.to_dict() for job in self.service.jobs()
+                    ]
+                },
+            )
+        elif len(parts) == 2 and parts[0] == "jobs":
+            self._reply(200, self.service.get(parts[1]).to_dict())
+        elif (
+            len(parts) == 3
+            and parts[0] == "jobs"
+            and parts[2] == "events"
+        ):
+            query = parse_qs(url.query)
+            since = int(query.get("since", ["0"])[0])
+            job = self.service.get(parts[1])
+            events = job.events_since(
+                since, timeout=EVENT_POLL_TIMEOUT
+            )
+            self._reply(
+                200,
+                {"job": job.id, "done": job.done, "events": events},
+            )
+        elif (
+            len(parts) == 3
+            and parts[0] == "jobs"
+            and parts[2] == "stream"
+        ):
+            self._stream(self.service.get(parts[1]))
+        else:
+            self._error(404, f"no such endpoint: GET {url.path}")
+
+    def _stream(self, job: Any) -> None:
+        self.send_response(200)
+        self.send_header("Content-Type", "application/x-ndjson")
+        self.send_header("Connection", "close")
+        self.end_headers()
+        since = 0
+        while True:
+            events = job.events_since(
+                since, timeout=EVENT_POLL_TIMEOUT
+            )
+            for event in events:
+                line = json.dumps(event) + "\n"
+                self.wfile.write(line.encode("utf-8"))
+            self.wfile.flush()
+            since += len(events)
+            if job.done and len(job.events) <= since:
+                return
+
+
+def make_server(
+    service: ReliabilityService,
+    host: str = "127.0.0.1",
+    port: int = 0,
+) -> ThreadingHTTPServer:
+    """Bind a (not yet serving) HTTP server to *service*.
+
+    ``port=0`` picks a free port; read it back from
+    ``server.server_address`` — the tests and the CLI banner both do.
+    """
+
+    class BoundHandler(_Handler):
+        pass
+
+    BoundHandler.service = service
+    server = ThreadingHTTPServer((host, port), BoundHandler)
+    server.daemon_threads = True
+    return server
+
+
+def serve(
+    host: str = "127.0.0.1",
+    port: int = 8765,
+    workers: int = 1,
+    ledger: "str | None" = None,
+    functions: "Mapping[str, Callable[..., Any]] | None" = None,
+    conditions: "Mapping[str, Callable[..., Any]] | None" = None,
+    banner: "Callable[[str], None] | None" = print,
+) -> None:
+    """Run the daemon until interrupted (the ``repro serve`` body)."""
+    service = ReliabilityService(
+        workers=workers,
+        ledger=ledger,
+        functions=functions,
+        conditions=conditions,
+    ).start()
+    server = make_server(service, host, port)
+    bound_host, bound_port = server.server_address[:2]
+    if banner is not None:
+        banner(
+            f"repro service listening on http://{bound_host}:"
+            f"{bound_port} ({workers} worker"
+            f"{'s' if workers != 1 else ''}"
+            + (f", ledger {ledger}" if ledger else "")
+            + ")"
+        )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        pass
+    finally:
+        server.shutdown()
+        server.server_close()
+        service.stop()

@@ -80,6 +80,7 @@ from repro.telemetry.provenance import (
     ProvenanceRecorder,
 )
 from repro.telemetry.runid import derive_run_id
+from repro.telemetry.shardbuffer import ShardEventBuffer, replay_sharded
 from repro.telemetry.sink import (
     HOOK_NAMES,
     HookSinks,
@@ -119,6 +120,7 @@ __all__ = [
     "Regression",
     "RunLedger",
     "RunRecord",
+    "ShardEventBuffer",
     "StageProfiler",
     "StageStats",
     "TelemetryBus",
@@ -139,6 +141,7 @@ __all__ = [
     "record_margins",
     "render_postmortem",
     "render_summary",
+    "replay_sharded",
     "sinks_for_hook",
     "summarize_trace",
 ]

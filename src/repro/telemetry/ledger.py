@@ -40,17 +40,96 @@ DEFAULT_LEDGER_DIR = ".repro/runs"
 DEFAULT_REGRESSION_THRESHOLD = 0.001
 
 
+def _canonical_numbers(document: Any) -> Any:
+    """Normalise integer-valued floats to ints, recursively.
+
+    ``json.dumps(1.0) != json.dumps(1)``, so a client that ships
+    ``"period": 40.0`` where the library emits ``"period": 40`` would
+    fork the cache key of an identical design.  Collapsing the two
+    spellings (bools excluded — they are ints to Python but distinct
+    JSON values) makes the hash a function of the *value*, not its
+    serialisation.
+    """
+    if isinstance(document, bool):
+        return document
+    if isinstance(document, float) and document.is_integer():
+        return int(document)
+    if isinstance(document, dict):
+        return {
+            key: _canonical_numbers(value)
+            for key, value in document.items()
+        }
+    if isinstance(document, (list, tuple)):
+        return [_canonical_numbers(item) for item in document]
+    return document
+
+
 def content_hash(document: Any) -> str:
     """Short content hash of a JSON-serialisable document.
 
-    Canonical JSON (sorted keys, minimal separators) through SHA-256,
-    truncated to 12 hex digits — collision-safe at ledger scale and
-    short enough for terminal tables.
+    Canonical JSON (sorted keys, minimal separators, integer-valued
+    floats collapsed to ints) through SHA-256, truncated to 12 hex
+    digits — collision-safe at ledger scale and short enough for
+    terminal tables.  Canonicalisation makes the hash insensitive to
+    dict-key order and int-vs-float spelling, so it is safe as a
+    cache key for the query service.
     """
     canonical = json.dumps(
-        document, sort_keys=True, separators=(",", ":"), default=str
+        _canonical_numbers(document),
+        sort_keys=True, separators=(",", ":"), default=str,
     )
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:12]
+
+
+class _AppendLock:
+    """Advisory file lock serialising ledger appends across processes.
+
+    Uses ``fcntl.flock`` on POSIX and ``msvcrt.locking`` on Windows;
+    platforms with neither degrade to no locking (single-process use
+    stays correct).  The lock lives in a sidecar file so readers
+    never contend with it.
+    """
+
+    def __init__(self, path: Path) -> None:
+        self.path = path
+        self._handle: "Any | None" = None
+
+    def __enter__(self) -> "_AppendLock":
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle = self.path.open("a+")
+        try:
+            import fcntl
+
+            fcntl.flock(self._handle.fileno(), fcntl.LOCK_EX)
+        except ImportError:  # pragma: no cover - Windows
+            try:
+                import msvcrt
+
+                self._handle.seek(0)
+                msvcrt.locking(
+                    self._handle.fileno(), msvcrt.LK_LOCK, 1
+                )
+            except ImportError:
+                pass
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        handle, self._handle = self._handle, None
+        if handle is None:  # pragma: no cover - defensive
+            return
+        try:
+            import fcntl
+
+            fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+        except ImportError:  # pragma: no cover - Windows
+            try:
+                import msvcrt
+
+                handle.seek(0)
+                msvcrt.locking(handle.fileno(), msvcrt.LK_UNLCK, 1)
+            except ImportError:
+                pass
+        handle.close()
 
 
 @dataclass
@@ -216,16 +295,24 @@ class RunLedger:
         self.path = self.root / "ledger.jsonl"
 
     def append(self, record: RunRecord) -> int:
-        """Append *record*; returns its entry index."""
+        """Append *record*; returns its entry index.
+
+        The count-then-append runs under an advisory file lock
+        (``ledger.lock`` next to the JSONL), so concurrent daemon
+        jobs and CLI runs get distinct entry indices and whole,
+        un-interleaved lines.
+        """
         self.root.mkdir(parents=True, exist_ok=True)
-        index = 0
-        if self.path.exists():
-            with self.path.open("r", encoding="utf-8") as handle:
-                index = sum(1 for line in handle if line.strip())
-        with self.path.open("a", encoding="utf-8") as handle:
-            handle.write(
-                json.dumps(record.to_dict(), sort_keys=True) + "\n"
-            )
+        with _AppendLock(self.root / "ledger.lock"):
+            index = 0
+            if self.path.exists():
+                with self.path.open("r", encoding="utf-8") as handle:
+                    index = sum(1 for line in handle if line.strip())
+            with self.path.open("a", encoding="utf-8") as handle:
+                handle.write(
+                    json.dumps(record.to_dict(), sort_keys=True) + "\n"
+                )
+                handle.flush()
         record.entry = index
         return index
 

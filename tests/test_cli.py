@@ -800,3 +800,126 @@ def test_resilient_simulate_records_ledger_and_forensics(
     assert any(c["trigger"] == "lrc-alarm" for c in doc["chains"])
     assert main(["postmortem", str(forensics)]) == 0
     assert "host:h2" in capsys.readouterr().out
+
+
+# ----------------------------------------------------------------------
+# Input validation (PR 7 satellite) and sharded batches.
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "extra, message",
+    [
+        (("--runs", "0"), "--runs must be >= 1"),
+        (("--runs", "-3"), "--runs must be >= 1"),
+        (("--iterations", "0"), "--iterations must be >= 1"),
+        (("--runs", "5", "--jobs", "0"), "--jobs must be >= 1"),
+        (("--runs", "5", "--jobs", "-2"), "--jobs must be >= 1"),
+        (("--runs", "1", "--jobs", "2"), "use --runs > 1"),
+    ],
+)
+def test_simulate_input_validation_exits_2(
+    workspace, capsys, extra, message
+):
+    status = _simulate(workspace, *extra)
+    assert status == 2
+    err = capsys.readouterr().err
+    assert err.startswith("error: ")
+    assert message in err
+    assert len(err.strip().splitlines()) == 1  # one line, no traceback
+
+
+def test_simulate_jobs_output_matches_serial(
+    workspace, tmp_path, capsys
+):
+    common = (
+        "--iterations", "60", "--runs", "20", "--seed", "3",
+        "--bernoulli",
+    )
+    assert _simulate(
+        workspace, *common, "--ledger", str(tmp_path / "serial")
+    ) == 0
+    serial_out = capsys.readouterr().out
+    assert _simulate(
+        workspace, *common, "--jobs", "3",
+        "--ledger", str(tmp_path / "sharded"),
+    ) == 0
+    sharded_out = capsys.readouterr().out
+
+    def body(text):
+        # Everything except the ledger path line is seed-determined.
+        return [
+            line for line in text.splitlines()
+            if not line.startswith("ledger:")
+        ]
+
+    assert body(serial_out) == body(sharded_out)
+
+    def record(path):
+        doc = json.loads((path / "ledger.jsonl").read_text())
+        del doc["recorded_at"]
+        return doc
+
+    assert record(tmp_path / "serial") == record(tmp_path / "sharded")
+
+
+def test_serve_and_submit_round_trip(workspace, tmp_path, capsys):
+    # Drive the real daemon in-process on an ephemeral port.
+    import threading
+
+    from repro.service import ReliabilityService
+    from repro.service.server import make_server
+    from repro.telemetry import RunLedger
+
+    exec(BINDINGS, (namespace := {}))
+    service = ReliabilityService(
+        workers=1,
+        ledger=str(tmp_path / "runs"),
+        functions=namespace["FUNCTIONS"],
+    ).start()
+    server = make_server(service, port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    port = str(server.server_address[1])
+    submit = [
+        "submit", "--port", port,
+        "--htl", str(workspace / "three_tank.htl"),
+        "--arch", str(workspace / "arch.json"),
+        "--impl", str(workspace / "baseline.json"),
+        "--runs", "10", "--iterations", "30", "--seed", "2",
+    ]
+    try:
+        assert main(submit) == 0
+        out = capsys.readouterr().out
+        assert "submitted job-1" in out
+        assert '"cache": "miss"' in out
+        assert main(submit) == 0
+        assert '"cache": "hit"' in capsys.readouterr().out
+        assert main(["jobs", "--port", port]) == 0
+        listing = capsys.readouterr().out
+        assert "job-1" in listing and "cache=hit" in listing
+        assert main(["jobs", "--port", port, "--metrics"]) == 0
+        metrics = json.loads(capsys.readouterr().out)
+        assert metrics["runs_simulated_total"] == 10
+        assert metrics["mc_cache_hits"] == 1
+    finally:
+        server.shutdown()
+        server.server_close()
+        service.stop()
+    assert len(RunLedger(tmp_path / "runs").records()) == 2
+
+
+def test_submit_unreachable_daemon_exits_2(workspace, capsys):
+    status = main([
+        "submit", "--port", "1",
+        "--htl", str(workspace / "three_tank.htl"),
+        "--arch", str(workspace / "arch.json"),
+        "--impl", str(workspace / "baseline.json"),
+    ])
+    assert status == 2
+    assert "cannot reach repro service" in capsys.readouterr().err
+
+
+def test_serve_rejects_bad_workers(capsys):
+    assert main(["serve", "--workers", "0"]) == 2
+    assert "--workers must be >= 1" in capsys.readouterr().err

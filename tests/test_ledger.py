@@ -64,6 +64,36 @@ def test_content_hash_is_canonical_and_sensitive():
     assert len(content_hash({"a": 1})) == 12
 
 
+def test_content_hash_normalizes_int_vs_float():
+    # A design's cache key must not depend on whether a client ships
+    # "period": 40 or "period": 40.0 — the service memo keys on it.
+    assert content_hash({"period": 40}) == content_hash(
+        {"period": 40.0}
+    )
+    assert content_hash([1, 2.0, {"x": 3.0}]) == content_hash(
+        [1.0, 2, {"x": 3}]
+    )
+    # Nested inside realistic design documents, with key reordering.
+    left = {
+        "communicators": [
+            {"name": "u1", "period": 500, "lrc": 0.99, "init": 0.0}
+        ],
+        "metrics": {"default_wcet": 1.0},
+    }
+    right = {
+        "metrics": {"default_wcet": 1},
+        "communicators": [
+            {"lrc": 0.99, "init": 0, "period": 500.0, "name": "u1"}
+        ],
+    }
+    assert content_hash(left) == content_hash(right)
+    # But genuinely different numbers still differ...
+    assert content_hash({"lrc": 0.99}) != content_hash({"lrc": 0.999})
+    # ...and bools keep their identity apart from 0/1.
+    assert content_hash({"x": True}) != content_hash({"x": 1})
+    assert content_hash({"x": False}) != content_hash({"x": 0})
+
+
 def test_run_record_round_trips():
     record = make_record(metrics={"counter:x": 3})
     restored = RunRecord.from_dict(
@@ -108,6 +138,46 @@ def test_ledger_append_and_records(tmp_path):
     lines = (tmp_path / "runs" / "ledger.jsonl").read_text().splitlines()
     assert len(lines) == 2
     assert json.loads(lines[0])["run_id"] == "s1"
+
+
+def _append_worker(root, worker, count):
+    ledger = RunLedger(root)
+    for index in range(count):
+        ledger.append(make_record(f"w{worker}-{index}"))
+
+
+def test_ledger_concurrent_appends_do_not_interleave(tmp_path):
+    # PR 7 satellite: the advisory file lock must keep concurrent
+    # daemon jobs and CLI runs from interleaving JSONL lines.
+    import multiprocessing
+
+    context = multiprocessing.get_context("fork")
+    workers, per_worker = 4, 12
+    processes = [
+        context.Process(
+            target=_append_worker, args=(tmp_path / "runs", w, per_worker)
+        )
+        for w in range(workers)
+    ]
+    for process in processes:
+        process.start()
+    for process in processes:
+        process.join()
+        assert process.exitcode == 0
+    lines = (
+        (tmp_path / "runs" / "ledger.jsonl").read_text().splitlines()
+    )
+    assert len(lines) == workers * per_worker
+    # Every line is whole, valid JSON — no torn or interleaved writes.
+    run_ids = [json.loads(line)["run_id"] for line in lines]
+    assert sorted(run_ids) == sorted(
+        f"w{w}-{i}" for w in range(workers) for i in range(per_worker)
+    )
+    # And the reader assigns dense, unique entry indices.
+    records = RunLedger(tmp_path / "runs").records()
+    assert [record.entry for record in records] == list(
+        range(workers * per_worker)
+    )
 
 
 def test_ledger_resolve_addressing(tmp_path):

@@ -1,0 +1,362 @@
+"""The reliability service: cache semantics, persistence, HTTP API.
+
+The acceptance contract: a repeated identical simulate job answers
+from cache *without simulating* (asserted via the
+``runs_simulated_total`` counter), a ``runs`` upgrade simulates only
+the delta and replies bit-identically to a fresh full batch, and
+every completed simulate job lands in the run ledger.  The HTTP tests
+drive the whole loop — submit, follow events, read results — over a
+real ``ThreadingHTTPServer`` on an ephemeral port.
+"""
+
+import json
+import threading
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.experiments import (
+    bind_control_functions,
+    three_tank_architecture,
+    three_tank_spec,
+)
+from repro.experiments.three_tank_system import baseline_implementation
+from repro.io import (
+    architecture_to_dict,
+    implementation_to_dict,
+    specification_to_dict,
+)
+from repro.resilience import MonitorConfig
+from repro.runtime import BatchSimulator, BernoulliFaults
+from repro.service import ReliabilityService
+from repro.service.client import ServiceClient, ServiceClientError
+from repro.service.jobs import ServiceError
+from repro.service.server import make_server
+from repro.telemetry import RunLedger
+
+FUNCTIONS = bind_control_functions()
+
+
+def design_documents():
+    spec = three_tank_spec(lrc_u=0.99, functions=FUNCTIONS)
+    return {
+        "spec": specification_to_dict(spec),
+        "arch": architecture_to_dict(three_tank_architecture()),
+        "impl": implementation_to_dict(baseline_implementation()),
+    }
+
+
+def simulate_document(runs=10, iterations=20, seed=5, **extra):
+    document = {
+        "kind": "simulate",
+        "runs": runs,
+        "iterations": iterations,
+        "seed": seed,
+        **design_documents(),
+        **extra,
+    }
+    return document
+
+
+def make_service(**kwargs):
+    kwargs.setdefault("functions", FUNCTIONS)
+    return ReliabilityService(**kwargs)
+
+
+def run_job(service, document):
+    job = service.submit(document)
+    service.run_pending()
+    assert job.state == "done", job.error
+    return job
+
+
+# ----------------------------------------------------------------------
+# Submission validation.
+# ----------------------------------------------------------------------
+
+
+def test_submit_rejects_malformed_documents():
+    service = make_service()
+    with pytest.raises(ServiceError):
+        service.submit({"kind": "nonsense", **design_documents()})
+    with pytest.raises(ServiceError):
+        service.submit({"kind": "simulate", "arch": {}})
+    with pytest.raises(ServiceError):
+        service.submit(simulate_document(runs=0))
+    with pytest.raises(ServiceError):
+        service.submit(simulate_document(iterations=-1))
+    with pytest.raises(ServiceError):
+        service.submit(simulate_document(jobs=0))
+    with pytest.raises(ServiceError):
+        service.submit(simulate_document(seed="abc"))
+    document = simulate_document()
+    del document["impl"]
+    with pytest.raises(ServiceError):
+        service.submit(document)
+
+
+def test_unknown_job_lookup_raises():
+    with pytest.raises(ServiceError):
+        make_service().get("job-999")
+
+
+# ----------------------------------------------------------------------
+# Cache semantics (the acceptance criteria).
+# ----------------------------------------------------------------------
+
+
+def test_repeated_job_answers_from_cache_without_simulating():
+    service = make_service()
+    first = run_job(service, simulate_document(runs=10))
+    assert first.result["cache"] == "miss"
+    assert service.metrics.get("runs_simulated_total") == 10
+
+    second = run_job(service, simulate_document(runs=10))
+    assert second.result["cache"] == "hit"
+    assert second.result["simulated_runs"] == 0
+    # The counter proves no new simulation happened.
+    assert service.metrics.get("runs_simulated_total") == 10
+    assert service.metrics.get("mc_cache_hits") == 1
+    assert second.result["rates"] == first.result["rates"]
+
+
+def test_runs_upgrade_simulates_only_the_delta():
+    service = make_service()
+    run_job(service, simulate_document(runs=8))
+    assert service.metrics.get("runs_simulated_total") == 8
+    upgraded = run_job(service, simulate_document(runs=20))
+    assert upgraded.result["cache"] == "partial"
+    assert upgraded.result["simulated_runs"] == 12
+    assert service.metrics.get("runs_simulated_total") == 20
+    assert service.metrics.get("mc_cache_partial") == 1
+
+
+def test_runs_upgrade_is_bit_identical_to_fresh_full_batch():
+    service = make_service()
+    run_job(
+        service, simulate_document(runs=6, monitor_window=5)
+    )
+    upgraded = run_job(
+        service, simulate_document(runs=17, monitor_window=5)
+    )
+    spec = three_tank_spec(lrc_u=0.99, functions=FUNCTIONS)
+    arch = three_tank_architecture()
+    fresh = BatchSimulator(
+        spec, arch, baseline_implementation(),
+        faults=BernoulliFaults(arch), seed=5,
+    ).run_batch(17, 20, monitor=MonitorConfig(window=5))
+    averages = fresh.limit_averages()
+    assert upgraded.result["rates"] == {
+        name: float(averages[name].mean()) for name in sorted(averages)
+    }
+    # The cached merged result is the fresh result, bit for bit.
+    (cached,) = service.cache._mc.values()
+    for name in fresh.reliable_counts:
+        assert np.array_equal(
+            cached.reliable_counts[name], fresh.reliable_counts[name]
+        )
+    assert cached.monitor_events == fresh.monitor_events
+
+
+def test_runs_downgrade_is_served_from_cache():
+    service = make_service()
+    run_job(service, simulate_document(runs=15))
+    smaller = run_job(service, simulate_document(runs=4))
+    assert smaller.result["cache"] == "hit"
+    assert smaller.result["runs"] == 4
+    assert service.metrics.get("runs_simulated_total") == 15
+    spec = three_tank_spec(lrc_u=0.99, functions=FUNCTIONS)
+    arch = three_tank_architecture()
+    fresh = BatchSimulator(
+        spec, arch, baseline_implementation(),
+        faults=BernoulliFaults(arch), seed=5,
+    ).run_batch(4, 20)
+    averages = fresh.limit_averages()
+    assert smaller.result["rates"] == {
+        name: float(averages[name].mean()) for name in sorted(averages)
+    }
+
+
+def test_different_seed_or_design_misses_the_cache():
+    service = make_service()
+    run_job(service, simulate_document(seed=5))
+    other_seed = run_job(service, simulate_document(seed=6))
+    assert other_seed.result["cache"] == "miss"
+    bumped = simulate_document(seed=5)
+    bumped["spec"]["communicators"][0]["lrc"] = 0.42
+    other_design = run_job(service, bumped)
+    assert other_design.result["cache"] == "miss"
+    assert service.metrics.get("mc_cache_misses") == 3
+
+
+def test_cache_key_survives_json_formatting_differences():
+    # A client shipping the same design with reversed dict-key order
+    # (and a JSON round trip) must land on the same cache line: the
+    # service hashes the *reconstructed* design via the canonicalised
+    # content_hash, not the request text.
+    service = make_service()
+    run_job(service, simulate_document(runs=10))
+
+    def reorder(value):
+        if isinstance(value, dict):
+            return {
+                key: reorder(value[key]) for key in reversed(value)
+            }
+        if isinstance(value, list):
+            return [reorder(item) for item in value]
+        return value
+
+    document = simulate_document(runs=10)
+    document["spec"] = reorder(json.loads(json.dumps(document["spec"])))
+    document["arch"] = reorder(document["arch"])
+    document["impl"] = reorder(document["impl"])
+    repeated = run_job(service, document)
+    assert repeated.result["cache"] == "hit"
+
+
+def test_verify_jobs_are_memoized():
+    service = make_service()
+    document = {"kind": "verify", **design_documents()}
+    first = run_job(service, document)
+    assert first.result["feasible"] is True
+    assert service.metrics.get("verify_cache_misses") == 1
+    second = run_job(service, document)
+    assert service.metrics.get("verify_cache_hits") == 1
+    assert second.result["report"] == first.result["report"]
+    assert first.result["cache"] == "miss"
+    assert second.result["cache"] == "hit"
+
+
+def test_sharded_job_matches_serial_job_rates():
+    serial = run_job(make_service(), simulate_document(runs=12))
+    sharded = run_job(
+        make_service(), simulate_document(runs=12, jobs=3)
+    )
+    assert sharded.result["rates"] == serial.result["rates"]
+
+
+# ----------------------------------------------------------------------
+# Ledger persistence and failure reporting.
+# ----------------------------------------------------------------------
+
+
+def test_completed_jobs_persist_to_ledger(tmp_path):
+    service = make_service(ledger=str(tmp_path / "runs"))
+    job = run_job(service, simulate_document(runs=10))
+    assert job.result["ledger_entry"] == 0
+    records = RunLedger(tmp_path / "runs").records()
+    assert len(records) == 1
+    assert records[0].runs == 10
+    assert records[0].rates == job.result["rates"]
+    # A cache hit is still a completed job: it appends too.
+    hit = run_job(service, simulate_document(runs=10))
+    assert hit.result["ledger_entry"] == 1
+    assert len(RunLedger(tmp_path / "runs").records()) == 2
+
+
+def test_failed_job_reports_error_event():
+    service = make_service()
+    document = simulate_document()
+    document["arch"] = {"hosts": "not-a-list"}  # fails in the worker
+    job = service.submit(document)
+    service.run_pending()
+    assert job.state == "failed"
+    assert job.error
+    states = [event["state"] for event in job.events]
+    assert states[0] == "queued"
+    assert states[-1] == "failed"
+    assert service.metrics.get("jobs_failed") == 1
+
+
+def test_worker_threads_drain_the_queue():
+    service = make_service(workers=2)
+    with service:
+        jobs = [
+            service.submit(simulate_document(runs=3, seed=seed))
+            for seed in range(4)
+        ]
+        for job in jobs:
+            assert job.wait(timeout=120)
+    assert all(job.state == "done" for job in jobs)
+    assert service.metrics.get("jobs_completed") == 4
+
+
+# ----------------------------------------------------------------------
+# The HTTP daemon, end to end.
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture()
+def http_service(tmp_path):
+    service = make_service(
+        workers=2, ledger=str(tmp_path / "runs")
+    ).start()
+    server = make_server(service, host="127.0.0.1", port=0)
+    thread = threading.Thread(
+        target=server.serve_forever, daemon=True
+    )
+    thread.start()
+    host, port = server.server_address[:2]
+    try:
+        yield ServiceClient(host, port), service
+    finally:
+        server.shutdown()
+        server.server_close()
+        service.stop()
+
+
+def test_http_submit_and_follow(http_service):
+    client, service = http_service
+    assert client.health() == {"status": "ok"}
+
+    reply = client.submit(simulate_document(runs=8))
+    assert reply["id"] == "job-1"
+    events = [event["state"] for event in client.iter_events("job-1")]
+    assert events[0] == "queued"
+    assert events[-1] == "done"
+    job = client.job("job-1")
+    assert job["state"] == "done"
+    assert job["result"]["cache"] == "miss"
+    assert job["result"]["runs"] == 8
+
+    # Repeat with wait=1: synchronous reply, answered from cache.
+    repeated = client.submit(simulate_document(runs=8), wait=True)
+    assert repeated["state"] == "done"
+    assert repeated["result"]["cache"] == "hit"
+    assert client.metrics()["runs_simulated_total"] == 8
+
+    listed = client.jobs()
+    assert [job["id"] for job in listed] == ["job-1", "job-2"]
+
+
+def test_http_verify_and_errors(http_service):
+    client, service = http_service
+    verdict = client.submit(
+        {"kind": "verify", **design_documents()}, wait=True
+    )
+    assert verdict["result"]["feasible"] is True
+
+    with pytest.raises(ServiceClientError, match="runs must be"):
+        client.submit(simulate_document(runs=0))
+    with pytest.raises(ServiceClientError, match="unknown job"):
+        client.job("job-999")
+    with pytest.raises(ServiceClientError, match="no such endpoint"):
+        client._request("GET", "/nope")
+
+
+def test_http_events_long_poll_and_since(http_service):
+    client, service = http_service
+    client.submit(simulate_document(runs=5), wait=True)
+    reply = client.events("job-1", since=0)
+    assert reply["done"] is True
+    seqs = [event["seq"] for event in reply["events"]]
+    assert seqs == list(range(len(seqs)))
+    tail = client.events("job-1", since=len(seqs) - 1)
+    assert [event["seq"] for event in tail["events"]] == [len(seqs) - 1]
+
+
+def test_client_error_when_daemon_unreachable():
+    client = ServiceClient("127.0.0.1", 1, timeout=2.0)
+    with pytest.raises(ServiceClientError, match="cannot reach"):
+        client.health()
