@@ -906,6 +906,26 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         raise ReproError(
             f"--workers must be >= 1, got {args.workers}"
         )
+    if args.queue_limit is not None and args.queue_limit < 1:
+        raise ReproError(
+            f"--queue-limit must be >= 1, got {args.queue_limit}"
+        )
+    if args.shard_retries < 0:
+        raise ReproError(
+            f"--shard-retries must be >= 0, got {args.shard_retries}"
+        )
+    if args.shard_deadline is not None and args.shard_deadline <= 0:
+        raise ReproError(
+            f"--shard-deadline must be > 0, got {args.shard_deadline}"
+        )
+    if args.cache_entries is not None and args.cache_entries < 1:
+        raise ReproError(
+            f"--cache-entries must be >= 1, got {args.cache_entries}"
+        )
+    if args.timeout is not None and args.timeout <= 0:
+        raise ReproError(
+            f"--timeout must be > 0, got {args.timeout}"
+        )
     functions, conditions = _load_bindings(args.bindings)
     serve(
         host=args.host,
@@ -914,6 +934,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         ledger=args.ledger,
         functions=functions,
         conditions=conditions,
+        queue_limit=args.queue_limit,
+        shard_retries=args.shard_retries,
+        shard_deadline_s=args.shard_deadline,
+        cache_entries=args.cache_entries,
+        cache_dir=args.cache_dir,
+        default_timeout_s=args.timeout,
     )
     return 0
 
@@ -944,6 +970,12 @@ def _build_job_document(args: argparse.Namespace) -> dict:
         )
         if args.monitor:
             document["monitor_window"] = args.monitor_window
+    if args.timeout is not None:
+        if args.timeout <= 0:
+            raise ReproError(
+                f"--timeout must be > 0, got {args.timeout}"
+            )
+        document["timeout_s"] = args.timeout
     return document
 
 
@@ -966,9 +998,12 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         suffix = f" {json.dumps(detail)}" if detail else ""
         print(f"  [{event['seq']}] {event['state']}{suffix}")
     job = client.job(job_id)
-    if job["state"] == "failed":
-        print(f"error: {job.get('error', 'job failed')}",
-              file=sys.stderr)
+    if job["state"] in ("failed", "timed_out", "cancelled"):
+        print(
+            f"error: job {job['state']}: "
+            f"{job.get('error', 'no detail')}",
+            file=sys.stderr,
+        )
         return 1
     result = job.get("result", {})
     print(json.dumps(result, indent=2, sort_keys=True))
@@ -1002,6 +1037,37 @@ def _cmd_jobs(args: argparse.Namespace) -> int:
             f"{note}"
         )
     return 0
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.chaos import ChaosConfig, run_chaos
+
+    for name in (
+        "waves", "unique_jobs", "runs", "iterations", "shards",
+        "workers", "queue_limit",
+    ):
+        flag = "--" + name.replace("_", "-")
+        if getattr(args, name) < 1:
+            raise ReproError(
+                f"{flag} must be >= 1, got {getattr(args, name)}"
+            )
+    if args.seed < 0:
+        raise ReproError(f"--seed must be >= 0, got {args.seed}")
+    config = ChaosConfig(
+        seed=args.seed,
+        waves=args.waves,
+        unique_jobs=args.unique_jobs,
+        runs=args.runs,
+        iterations=args.iterations,
+        shards=args.shards,
+        workers=args.workers,
+        queue_limit=args.queue_limit,
+    )
+    report = run_chaos(config, out_dir=args.out)
+    print(report.summary())
+    if args.out:
+        print(f"report and event log written under {args.out}")
+    return 0 if report.ok else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -1239,6 +1305,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="Python file exporting FUNCTIONS / CONDITIONS bound "
         "into submitted specifications",
     )
+    serve.add_argument(
+        "--queue-limit", type=int, metavar="N",
+        help="bound the job queue at N queued jobs; above it "
+        "submissions get HTTP 429 + Retry-After",
+    )
+    serve.add_argument(
+        "--shard-retries", type=int, default=2, metavar="N",
+        help="re-executions allowed per crashed/hung shard worker "
+        "(default 2)",
+    )
+    serve.add_argument(
+        "--shard-deadline", type=float, metavar="SECONDS",
+        help="per-shard hang deadline; a silent worker past it is "
+        "killed and retried",
+    )
+    serve.add_argument(
+        "--cache-entries", type=int, metavar="N",
+        help="LRU-bound the in-memory result cache at N entries",
+    )
+    serve.add_argument(
+        "--cache-dir", metavar="DIR",
+        help="crash-safe spill directory for evicted cache entries",
+    )
+    serve.add_argument(
+        "--timeout", type=float, metavar="SECONDS",
+        help="default per-job deadline applied to jobs without "
+        "their own timeout_s",
+    )
     serve.set_defaults(handler=_cmd_serve)
 
     submit = subparsers.add_parser(
@@ -1280,10 +1374,59 @@ def build_parser() -> argparse.ArgumentParser:
     )
     submit.add_argument("--monitor-window", type=int, default=50)
     submit.add_argument(
+        "--timeout", type=float, metavar="SECONDS",
+        help="per-job deadline; the daemon cancels the job with "
+        "state timed_out once it elapses",
+    )
+    submit.add_argument(
         "--no-wait", action="store_true",
         help="print the job id and return without following",
     )
     submit.set_defaults(handler=_cmd_submit)
+
+    chaos = subparsers.add_parser(
+        "chaos",
+        help="run the seeded chaos storm against a real service "
+        "stack and check the fleet's failure-mode guarantees",
+    )
+    chaos.add_argument(
+        "--seed", type=int, default=0,
+        help="storm seed; every injected fault derives from it",
+    )
+    chaos.add_argument(
+        "--out", metavar="DIR",
+        help="write chaos-events.jsonl and chaos-report.json "
+        "under DIR",
+    )
+    chaos.add_argument(
+        "--waves", type=int, default=2,
+        help="submission/corruption waves (default 2)",
+    )
+    chaos.add_argument(
+        "--unique-jobs", type=int, default=3,
+        help="distinct simulate documents per wave (default 3)",
+    )
+    chaos.add_argument(
+        "--runs", type=int, default=4,
+        help="Monte-Carlo runs per job (default 4)",
+    )
+    chaos.add_argument(
+        "--iterations", type=int, default=8,
+        help="iterations per run (default 8)",
+    )
+    chaos.add_argument(
+        "--shards", type=int, default=2,
+        help="shard workers per job (default 2)",
+    )
+    chaos.add_argument(
+        "--workers", type=int, default=2,
+        help="service worker threads (default 2)",
+    )
+    chaos.add_argument(
+        "--queue-limit", type=int, default=3,
+        help="bounded-queue capacity under the flood (default 3)",
+    )
+    chaos.set_defaults(handler=_cmd_chaos)
 
     jobs = subparsers.add_parser(
         "jobs",

@@ -18,18 +18,57 @@ are answered from cache instead of recomputed:
   ``repro serve`` daemon; :mod:`repro.service.client` is the matching
   ``repro submit`` / ``repro jobs`` client.
 
-See ``docs/service.md`` for the wire API and cache semantics.
+PR 8 hardens the fleet: per-job deadlines and cancellation (terminal
+states ``timed_out`` / ``cancelled``), a bounded queue with 429 +
+``Retry-After`` backpressure, graceful drain on SIGTERM, an
+LRU-bounded crash-safe cache, and
+:class:`~repro.service.supervision.SupervisedShardedExecutor`, which
+restarts crashed or hung shard workers bit-identically.  The
+:mod:`repro.chaos` harness injects those faults deterministically and
+asserts the guarantees hold.
+
+See ``docs/service.md`` for the wire API, cache semantics, and the
+failure-mode guarantees.
 """
 
 from repro.service.cache import McKey, ResultCache, ServiceMetrics
-from repro.service.jobs import Job, ReliabilityService
+from repro.service.client import (
+    ServiceBusyError,
+    ServiceClient,
+    ServiceClientError,
+)
+from repro.service.jobs import (
+    TERMINAL_STATES,
+    Job,
+    ReliabilityService,
+    ServiceDraining,
+    ServiceError,
+    ServiceQueueFull,
+)
 from repro.service.server import serve
+from repro.service.supervision import (
+    ChaosAction,
+    RetryPolicy,
+    ShardRetryEvent,
+    SupervisedShardedExecutor,
+)
 
 __all__ = [
+    "ChaosAction",
     "Job",
     "McKey",
     "ReliabilityService",
     "ResultCache",
+    "RetryPolicy",
+    "ServiceBusyError",
+    "ServiceClient",
+    "ServiceClientError",
+    "ServiceDraining",
+    "ServiceError",
     "ServiceMetrics",
+    "ServiceQueueFull",
+    "ShardRetryEvent",
+    "SupervisedShardedExecutor",
+    "TERMINAL_STATES",
     "serve",
 ]

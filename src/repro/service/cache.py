@@ -15,13 +15,35 @@ prefix-stable, a smaller ``runs`` query is exactly a prefix slice of
 the stored result, and a larger one only needs the missing tail of
 children simulated and merged.  :meth:`ResultCache.plan` classifies a
 query into ``hit`` / ``partial`` / ``miss`` accordingly.
+
+PR 8 hardens and bounds the store:
+
+* **LRU bounds** — ``max_entries`` / ``max_bytes`` cap the in-memory
+  footprint; least-recently-used entries are evicted (never the one
+  just stored) and evictions are counted through the attached
+  :class:`ServiceMetrics`.
+* **Crash-safe persistence** — with a ``root`` directory, entries are
+  spilled to one JSON file each, written atomically (temp file +
+  rename via :func:`~repro.telemetry.ledger.write_atomic`) with an
+  embedded content checksum.  A truncated or garbled file is detected
+  on load, quarantined to ``<name>.corrupt``, and treated as a cache
+  miss — a half-written cache can cost a recomputation, never a wrong
+  answer or a crash.  Memory eviction keeps the disk copy, so a
+  bounded memory cache still answers from disk.
 """
 
 from __future__ import annotations
 
-import threading
-from dataclasses import dataclass
+import json
+import os
+from collections import OrderedDict
+from dataclasses import asdict, dataclass
+from pathlib import Path
 from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+from repro.telemetry.ledger import content_hash, write_atomic
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.runtime.batch import BatchResult
@@ -51,20 +73,32 @@ class ServiceMetrics:
     The acceptance tests read these to prove cache behaviour: a
     repeated identical job must bump ``mc_cache_hits`` while leaving
     ``runs_simulated_total`` unchanged; a runs upgrade must add only
-    the delta.
+    the delta.  PR 8 adds the robustness counters: evictions,
+    quarantined corrupt entries, shard retries, timeouts,
+    cancellations, and queue-full rejections.
     """
 
     def __init__(self) -> None:
+        import threading
+
         self._lock = threading.Lock()
         self._counts: dict[str, int] = {
             "jobs_submitted": 0,
             "jobs_completed": 0,
             "jobs_failed": 0,
+            "jobs_timed_out": 0,
+            "jobs_cancelled": 0,
+            "jobs_rejected": 0,
             "mc_cache_hits": 0,
             "mc_cache_partial": 0,
             "mc_cache_misses": 0,
+            "mc_cache_evictions": 0,
+            "mc_cache_disk_hits": 0,
             "verify_cache_hits": 0,
             "verify_cache_misses": 0,
+            "verify_cache_evictions": 0,
+            "cache_corrupt_quarantined": 0,
+            "shard_retries": 0,
             "runs_simulated_total": 0,
         }
 
@@ -81,18 +115,66 @@ class ServiceMetrics:
             return self._counts.get(name, 0)
 
 
-class ResultCache:
-    """Memo of Monte-Carlo batches and verification reports."""
+def _estimate_bytes(result: "BatchResult") -> int:
+    """Rough in-memory footprint of one cached batch result."""
+    size = 512  # object + dict overhead
+    for counts in result.reliable_counts.values():
+        size += int(getattr(counts, "nbytes", 64))
+    size += 128 * len(result.monitor_events)
+    return size
 
-    def __init__(self) -> None:
+
+class ResultCache:
+    """Memo of Monte-Carlo batches and verification reports.
+
+    Parameters
+    ----------
+    max_entries / max_bytes:
+        LRU bounds on the in-memory Monte-Carlo store (``None`` means
+        unbounded, the PR 7 behaviour).  ``max_entries`` also bounds
+        the on-disk spill directory.  Verify reports share
+        ``max_entries`` (they are tiny, so no byte bound).
+    root:
+        Optional spill directory for crash-safe persistence.
+    metrics:
+        Optional :class:`ServiceMetrics` receiving eviction /
+        quarantine / disk-hit counters.
+    """
+
+    def __init__(
+        self,
+        max_entries: "int | None" = None,
+        max_bytes: "int | None" = None,
+        root: "str | Path | None" = None,
+        metrics: "ServiceMetrics | None" = None,
+    ) -> None:
+        import threading
+
+        if max_entries is not None and max_entries < 1:
+            raise ValueError(
+                f"max_entries must be >= 1, got {max_entries}"
+            )
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError(
+                f"max_bytes must be >= 1, got {max_bytes}"
+            )
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
+        self.root = None if root is None else Path(root)
+        self.metrics = metrics
         self._lock = threading.Lock()
-        self._mc: "dict[McKey, BatchResult]" = {}
-        self._verify: dict[Any, dict] = {}
+        self._mc: "OrderedDict[McKey, BatchResult]" = OrderedDict()
+        self._mc_bytes: dict[McKey, int] = {}
+        self._verify: "OrderedDict[Any, dict]" = OrderedDict()
+
+    def _bump(self, name: str, amount: int = 1) -> None:
+        if self.metrics is not None:
+            self.metrics.add(name, amount)
 
     # -- Monte-Carlo entries -------------------------------------------
 
     def plan(
-        self, key: McKey, runs: int
+        self, key: McKey, runs: int, spec: Any = None
     ) -> "tuple[str, BatchResult | None]":
         """Classify a query: ``(kind, cached)``.
 
@@ -100,9 +182,21 @@ class ResultCache:
         simulate.  ``("partial", cached)`` — simulate only runs
         ``cached.runs..runs-1`` and merge.  ``("miss", None)`` —
         simulate everything.
+
+        A memory miss falls through to the spill directory (when
+        configured); *spec* is needed to rebuild a
+        :class:`BatchResult` from its serialised form, so without it
+        disk entries cannot be thawed and count as misses.
         """
         with self._lock:
             cached = self._mc.get(key)
+            if cached is not None:
+                self._mc.move_to_end(key)
+        if cached is None and self.root is not None and spec is not None:
+            cached = self._load_mc(key, spec)
+            if cached is not None:
+                self._bump("mc_cache_disk_hits")
+                self._admit(key, cached, spill=False)
         if cached is None:
             return "miss", None
         if cached.runs >= runs:
@@ -113,19 +207,221 @@ class ResultCache:
         """Store *result* if it extends the cached entry."""
         with self._lock:
             cached = self._mc.get(key)
-            if cached is None or result.runs > cached.runs:
-                self._mc[key] = result
+            extends = cached is None or result.runs > cached.runs
+        if extends:
+            self._admit(key, result, spill=True)
+
+    def _admit(
+        self, key: McKey, result: "BatchResult", spill: bool
+    ) -> None:
+        """Insert into the LRU store, evict over-limit tails, spill."""
+        with self._lock:
+            self._mc[key] = result
+            self._mc.move_to_end(key)
+            self._mc_bytes[key] = _estimate_bytes(result)
+            evicted = 0
+            while len(self._mc) > 1 and (
+                (
+                    self.max_entries is not None
+                    and len(self._mc) > self.max_entries
+                )
+                or (
+                    self.max_bytes is not None
+                    and sum(self._mc_bytes.values()) > self.max_bytes
+                )
+            ):
+                victim, _ = self._mc.popitem(last=False)
+                self._mc_bytes.pop(victim, None)
+                evicted += 1
+        if evicted:
+            self._bump("mc_cache_evictions", evicted)
+        if spill and self.root is not None:
+            self._spill_mc(key, result)
 
     # -- verification reports ------------------------------------------
 
     def get_verify(self, key: Any) -> "dict | None":
         with self._lock:
-            return self._verify.get(key)
+            cached = self._verify.get(key)
+            if cached is not None:
+                self._verify.move_to_end(key)
+        if cached is None and self.root is not None:
+            cached = self._load_verify(key)
+            if cached is not None:
+                self.store_verify(key, cached, spill=False)
+        return cached
 
-    def store_verify(self, key: Any, report: dict) -> None:
+    def store_verify(
+        self, key: Any, report: dict, spill: bool = True
+    ) -> None:
+        evicted = 0
         with self._lock:
             self._verify[key] = report
+            self._verify.move_to_end(key)
+            while (
+                self.max_entries is not None
+                and len(self._verify) > max(1, self.max_entries)
+            ):
+                self._verify.popitem(last=False)
+                evicted += 1
+        if evicted:
+            self._bump("verify_cache_evictions", evicted)
+        if spill and self.root is not None:
+            self._spill_verify(key, report)
+
+    # -- introspection ---------------------------------------------------
+
+    def stats(self) -> dict[str, int]:
+        """Occupancy snapshot for ``/healthz``."""
+        with self._lock:
+            doc = {
+                "mc_entries": len(self._mc),
+                "mc_bytes": sum(self._mc_bytes.values()),
+                "verify_entries": len(self._verify),
+            }
+        if self.root is not None:
+            doc["disk_entries"] = (
+                len(list(self.root.glob("*.json")))
+                if self.root.is_dir() else 0
+            )
+        return doc
 
     def __len__(self) -> int:
         with self._lock:
             return len(self._mc) + len(self._verify)
+
+    # -- the spill directory --------------------------------------------
+
+    def _mc_path(self, key: McKey) -> Path:
+        assert self.root is not None
+        return self.root / f"mc-{content_hash(asdict(key))}.json"
+
+    def _verify_path(self, key: Any) -> Path:
+        assert self.root is not None
+        return self.root / f"verify-{content_hash(list(key))}.json"
+
+    def _quarantine(self, path: Path) -> None:
+        """Move a corrupt spill file aside and count it."""
+        try:
+            os.replace(path, path.with_name(path.name + ".corrupt"))
+        except OSError:  # pragma: no cover - already gone
+            pass
+        self._bump("cache_corrupt_quarantined")
+
+    def _read_sealed(self, path: Path) -> "dict | None":
+        """Load one checksummed spill file; quarantine on corruption."""
+        if not path.exists():
+            return None
+        try:
+            doc = json.loads(path.read_text(encoding="utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError, OSError):
+            self._quarantine(path)
+            return None
+        if not isinstance(doc, dict):
+            self._quarantine(path)
+            return None
+        check = doc.pop("check", None)
+        if check is None or check != content_hash(doc):
+            self._quarantine(path)
+            return None
+        return doc
+
+    def _write_sealed(self, path: Path, doc: dict) -> None:
+        sealed = {**doc, "check": content_hash(doc)}
+        write_atomic(path, json.dumps(sealed, sort_keys=True))
+        self._trim_disk()
+
+    def _trim_disk(self) -> None:
+        """Bound the spill directory, oldest files first.
+
+        Disk is the capacity-extending tier behind the in-memory LRU,
+        so its budget is deliberately much larger than
+        ``max_entries`` — an evicted entry must still thaw from disk.
+        """
+        if self.max_entries is None or self.root is None:
+            return
+        budget = max(64, 8 * self.max_entries)
+        files = sorted(
+            self.root.glob("*.json"),
+            key=lambda p: (p.stat().st_mtime, p.name),
+        )
+        while len(files) > budget:
+            victim = files.pop(0)
+            try:
+                victim.unlink()
+            except OSError:  # pragma: no cover - concurrent removal
+                pass
+
+    def _spill_mc(self, key: McKey, result: "BatchResult") -> None:
+        doc = {
+            "kind": "mc",
+            "key": asdict(key),
+            "runs": int(result.runs),
+            "iterations": int(result.iterations),
+            "executor": result.executor,
+            "samples_per_run": {
+                name: int(value)
+                for name, value in result.samples_per_run.items()
+            },
+            "counts": {
+                name: [int(v) for v in counts]
+                for name, counts in result.reliable_counts.items()
+            },
+            "events": [
+                event.to_dict() for event in result.monitor_events
+            ],
+        }
+        self._write_sealed(self._mc_path(key), doc)
+
+    def _load_mc(self, key: McKey, spec: Any) -> "BatchResult | None":
+        path = self._mc_path(key)
+        doc = self._read_sealed(path)
+        if doc is None:
+            return None
+        try:
+            if doc.get("kind") != "mc" or doc.get("key") != asdict(key):
+                raise ValueError("key mismatch")
+            from repro.resilience.events import event_from_dict
+            from repro.runtime.batch import BatchResult
+
+            return BatchResult(
+                spec=spec,
+                runs=int(doc["runs"]),
+                iterations=int(doc["iterations"]),
+                reliable_counts={
+                    name: np.asarray(values, dtype=np.int64)
+                    for name, values in doc["counts"].items()
+                },
+                samples_per_run={
+                    name: int(value)
+                    for name, value in doc["samples_per_run"].items()
+                },
+                executor=str(doc["executor"]),
+                monitor_events=tuple(
+                    event_from_dict(event) for event in doc["events"]
+                ),
+            )
+        except Exception:
+            # Checksum passed but the payload does not reconstruct
+            # (schema drift, key collision): same quarantine path.
+            self._quarantine(path)
+            return None
+
+    def _spill_verify(self, key: Any, report: dict) -> None:
+        self._write_sealed(
+            self._verify_path(key),
+            {"kind": "verify", "key": list(key), "report": report},
+        )
+
+    def _load_verify(self, key: Any) -> "dict | None":
+        path = self._verify_path(key)
+        doc = self._read_sealed(path)
+        if doc is None:
+            return None
+        if doc.get("kind") != "verify" or tuple(
+            doc.get("key", ())
+        ) != tuple(key):
+            self._quarantine(path)
+            return None
+        report = doc.get("report")
+        return report if isinstance(report, dict) else None

@@ -8,12 +8,19 @@ enough to script against directly:
 
 Uses :mod:`http.client` so the service stack stays dependency-free
 end to end.
+
+Backpressure (PR 8): a ``429`` reply from the bounded job queue is
+retried client-side with exponential backoff, honouring the server's
+``Retry-After`` hint, up to ``retries`` attempts before surfacing
+:class:`ServiceBusyError`.  ``503`` (service draining) is never
+retried — the daemon is going away.
 """
 
 from __future__ import annotations
 
 import http.client
 import json
+import time
 from typing import Any, Callable, Iterator, Mapping
 
 from repro.errors import ReproError
@@ -23,22 +30,43 @@ class ServiceClientError(ReproError):
     """The daemon was unreachable or replied with an error."""
 
 
+class ServiceBusyError(ServiceClientError):
+    """The job queue stayed full through every 429 retry."""
+
+
 class ServiceClient:
-    """Talks to one ``repro serve`` daemon."""
+    """Talks to one ``repro serve`` daemon.
+
+    Parameters
+    ----------
+    retries:
+        How many times a 429 (queue full) submission is retried
+        before :class:`ServiceBusyError`.  ``0`` disables retrying.
+    backoff_s:
+        Base of the exponential retry delay; the server's
+        ``Retry-After`` header takes precedence when larger.
+    """
 
     def __init__(
         self, host: str = "127.0.0.1", port: int = 8765,
         timeout: float = 60.0,
+        retries: int = 4,
+        backoff_s: float = 0.1,
+        sleep: Callable[[float], None] = time.sleep,
     ) -> None:
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.retries = retries
+        self.backoff_s = backoff_s
+        self._sleep = sleep
 
     # -- low-level ------------------------------------------------------
 
-    def _request(
+    def _request_once(
         self, method: str, path: str, document: "Any | None" = None
-    ) -> Any:
+    ) -> "tuple[int, dict, Any]":
+        """One HTTP round-trip → (status, headers-dict, body)."""
         connection = http.client.HTTPConnection(
             self.host, self.port, timeout=self.timeout
         )
@@ -61,16 +89,44 @@ class ServiceClient:
         finally:
             connection.close()
         try:
-            document = json.loads(raw.decode("utf-8")) if raw else {}
+            parsed = json.loads(raw.decode("utf-8")) if raw else {}
         except (json.JSONDecodeError, UnicodeDecodeError):
             raise ServiceClientError(
                 f"service replied non-JSON ({response.status})"
             )
-        if response.status >= 400:
-            raise ServiceClientError(
-                str(document.get("error", f"HTTP {response.status}"))
+        return response.status, dict(response.getheaders()), parsed
+
+    def _request(
+        self, method: str, path: str, document: "Any | None" = None
+    ) -> Any:
+        attempt = 0
+        while True:
+            status, headers, parsed = self._request_once(
+                method, path, document
             )
-        return document
+            if status == 429:
+                message = str(parsed.get("error", "HTTP 429"))
+                if attempt >= self.retries:
+                    raise ServiceBusyError(
+                        f"{message} (gave up after "
+                        f"{attempt} retr"
+                        f"{'y' if attempt == 1 else 'ies'})"
+                    )
+                attempt += 1
+                delay = self.backoff_s * 2 ** (attempt - 1)
+                hint = headers.get("Retry-After")
+                if hint is not None:
+                    try:
+                        delay = max(delay, float(hint))
+                    except ValueError:
+                        pass
+                self._sleep(delay)
+                continue
+            if status >= 400:
+                raise ServiceClientError(
+                    str(parsed.get("error", f"HTTP {status}"))
+                )
+            return parsed
 
     # -- API ------------------------------------------------------------
 
@@ -86,6 +142,10 @@ class ServiceClient:
         """Submit a job; with *wait* the reply is the finished job."""
         suffix = "?wait=1" if wait else ""
         return self._request("POST", f"/jobs{suffix}", dict(document))
+
+    def cancel(self, job_id: str) -> dict:
+        """Cancel a job (queued: never starts; running: discarded)."""
+        return self._request("POST", f"/jobs/{job_id}/cancel")
 
     def job(self, job_id: str) -> dict:
         return self._request("GET", f"/jobs/{job_id}")

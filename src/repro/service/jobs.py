@@ -14,22 +14,38 @@ Job document fields (``kind`` selects the pipeline):
     ``spec`` (specification dict) or ``htl`` (source text), ``arch``
     (dict), ``impl`` (dict), ``runs``, ``iterations``, ``seed``
     (default 0), ``jobs`` (shard count, default 1), ``bernoulli``
-    (default true), ``monitor_window`` (optional int).
+    (default true), ``monitor_window`` (optional int), ``timeout_s``
+    (optional per-job deadline).
 ``kind: "verify"``
     ``spec``/``htl``, ``arch``, optional ``impl`` — the analytic
     abstract-interpretation verdict, memoized by design fingerprint.
 
-Cache semantics (the tentpole contract): an identical repeated
-simulate job answers from cache without simulating; a ``runs``
-upgrade simulates only the tail ``cached.runs..runs-1`` — seeded by
+Cache semantics (the PR 7 contract): an identical repeated simulate
+job answers from cache without simulating; a ``runs`` upgrade
+simulates only the tail ``cached.runs..runs-1`` — seeded by
 ``SeedSequence(seed, spawn_key=(k,))``, which equals
 ``SeedSequence(seed).spawn(runs)[k]`` — and merges, so the reply is
 bit-identical to a fresh full batch.  Both facts are asserted through
 the :class:`~repro.service.cache.ServiceMetrics` counters.
 
-This module reads the wall clock (job timestamps) and is therefore on
-the determinism-lint allowlist; timestamps never reach simulation
-state.
+Robustness (PR 8): every submitted job reaches a **terminal state** —
+``done``, ``failed``, ``timed_out``, or ``cancelled``.  A per-job
+deadline (``timeout_s``) is enforced by a reaper thread whether the
+job is still queued or already running (a late worker result is
+discarded, never resurrected); the queue is bounded
+(:class:`ServiceQueueFull` maps to HTTP 429 + ``Retry-After``);
+:meth:`ReliabilityService.drain` finishes accepted work while
+rejecting new submissions (:class:`ServiceDraining` → 503), and
+:meth:`ReliabilityService.stop` cancels still-queued jobs so waiters
+return promptly instead of blocking out their full timeout.  Sharded
+cache misses run under the
+:class:`~repro.service.supervision.SupervisedShardedExecutor`, so a
+crashed or hung shard worker is retried (bit-identically) instead of
+failing the job.
+
+This module reads the wall clock (job timestamps, deadlines) and is
+therefore on the determinism-lint allowlist; timestamps never reach
+simulation state.
 """
 
 from __future__ import annotations
@@ -45,22 +61,54 @@ import numpy as np
 from repro.errors import ReproError
 from repro.service.cache import McKey, ResultCache, ServiceMetrics
 
+#: States a job can never leave.
+TERMINAL_STATES = frozenset(
+    {"done", "failed", "timed_out", "cancelled"}
+)
+
 
 class ServiceError(ReproError):
     """A job document is malformed or names an unknown job."""
 
 
+class ServiceQueueFull(ServiceError):
+    """The bounded job queue is at capacity (HTTP 429).
+
+    ``retry_after_s`` is the backpressure hint clients should wait
+    before retrying (the server forwards it as ``Retry-After``).
+    """
+
+    def __init__(self, message: str, retry_after_s: float = 1.0):
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+
+
+class ServiceDraining(ServiceError):
+    """The service is draining/stopped and rejects new jobs (503)."""
+
+
 class Job:
     """One submitted query: state, progress events, result."""
 
-    def __init__(self, job_id: str, document: dict) -> None:
+    def __init__(
+        self,
+        job_id: str,
+        document: dict,
+        timeout_s: "float | None" = None,
+    ) -> None:
         self.id = job_id
         self.document = document
-        self.state = "queued"  # queued | running | done | failed
+        # queued | running | done | failed | timed_out | cancelled
+        self.state = "queued"
         self.error: "str | None" = None
         self.result: "dict | None" = None
         self.submitted_at = time.time()
         self.finished_at: "float | None" = None
+        self.timeout_s = timeout_s
+        self.deadline = (
+            None if timeout_s is None
+            else time.monotonic() + timeout_s
+        )
         self.events: list[dict] = []
         self.condition = threading.Condition()
         self.emit("queued")
@@ -81,13 +129,69 @@ class Job:
 
     @property
     def done(self) -> bool:
-        return self.state in ("done", "failed")
+        return self.state in TERMINAL_STATES
+
+    def start_running(self) -> bool:
+        """Move ``queued`` → ``running``; ``False`` if already terminal.
+
+        The terminal check and the transition happen under the job
+        condition, so a racing deadline/cancel cannot interleave.
+        """
+        with self.condition:
+            if self.state in TERMINAL_STATES:
+                return False
+            self.state = "running"
+        self.emit("running")
+        return True
+
+    def finish(
+        self,
+        state: str,
+        error: "str | None" = None,
+        result: "dict | None" = None,
+        **detail: Any,
+    ) -> bool:
+        """First terminal transition wins; later ones are discarded.
+
+        Returns ``True`` when this call performed the transition.  A
+        worker completing after a timeout (or a reaper firing after
+        completion) therefore cannot flip the state back — the losing
+        side's result/error is simply dropped.
+        """
+        if state not in TERMINAL_STATES:
+            raise ServiceError(f"{state!r} is not a terminal state")
+        with self.condition:
+            if self.state in TERMINAL_STATES:
+                return False
+            self.state = state
+            self.error = error
+            if result is not None:
+                self.result = result
+            self.finished_at = time.time()
+        if error is not None:
+            detail.setdefault("error", error)
+        self.emit(state, **detail)
+        return True
+
+    def overdue(self, now: "float | None" = None) -> bool:
+        """Whether the deadline has passed (terminal jobs never are)."""
+        if self.deadline is None or self.done:
+            return False
+        return (
+            time.monotonic() if now is None else now
+        ) >= self.deadline
 
     def wait(self, timeout: "float | None" = None) -> bool:
-        """Block until the job reaches a terminal state."""
+        """Block until the job reaches a terminal state.
+
+        Spurious wakeups re-check the remaining budget against
+        ``time.monotonic()``; a service stop cancels queued jobs and
+        notifies, so waiters return promptly rather than sleeping out
+        their full timeout.
+        """
         deadline = None if timeout is None else time.monotonic() + timeout
         with self.condition:
-            while not self.done:
+            while self.state not in TERMINAL_STATES:
                 remaining = (
                     None if deadline is None
                     else deadline - time.monotonic()
@@ -103,7 +207,10 @@ class Job:
         """Events with ``seq >= since``; block up to *timeout* for one."""
         deadline = None if timeout is None else time.monotonic() + timeout
         with self.condition:
-            while len(self.events) <= since and not self.done:
+            while (
+                len(self.events) <= since
+                and self.state not in TERMINAL_STATES
+            ):
                 remaining = (
                     None if deadline is None
                     else deadline - time.monotonic()
@@ -122,6 +229,8 @@ class Job:
             "finished_at": self.finished_at,
             "events": len(self.events),
         }
+        if self.timeout_s is not None:
+            doc["timeout_s"] = self.timeout_s
         if self.error is not None:
             doc["error"] = self.error
         if self.result is not None:
@@ -143,6 +252,22 @@ class ReliabilityService:
     functions / conditions:
         Callable registries bound into submitted specifications,
         exactly like the CLI's ``--bindings`` module.
+    queue_limit:
+        Maximum *queued* (accepted, not yet started) jobs; above it,
+        :meth:`submit` raises :class:`ServiceQueueFull` (429).
+        ``None`` keeps the PR 7 unbounded queue.
+    shard_retries / shard_deadline_s:
+        Supervision knobs for sharded cache misses: re-executions
+        allowed per failed shard worker, and the per-shard hang
+        deadline (``None`` disables hang detection).
+    cache_entries / cache_bytes / cache_dir:
+        :class:`~repro.service.cache.ResultCache` LRU bounds and
+        crash-safe spill directory.
+    default_timeout_s:
+        Deadline applied to jobs that do not carry ``timeout_s``.
+    executor_factory:
+        Testing/chaos hook: ``factory(shards) -> BatchExecutor``
+        overriding the supervised default for sharded misses.
     """
 
     def __init__(
@@ -151,18 +276,47 @@ class ReliabilityService:
         ledger: "str | None" = None,
         functions: "Mapping[str, Callable[..., Any]] | None" = None,
         conditions: "Mapping[str, Callable[..., Any]] | None" = None,
+        queue_limit: "int | None" = None,
+        shard_retries: int = 2,
+        shard_deadline_s: "float | None" = None,
+        cache_entries: "int | None" = None,
+        cache_bytes: "int | None" = None,
+        cache_dir: "str | None" = None,
+        default_timeout_s: "float | None" = None,
+        executor_factory: "Callable[[int], Any] | None" = None,
     ) -> None:
         if workers < 1:
             raise ServiceError(f"workers must be >= 1, got {workers}")
-        self.cache = ResultCache()
+        if queue_limit is not None and queue_limit < 1:
+            raise ServiceError(
+                f"queue_limit must be >= 1, got {queue_limit}"
+            )
+        if shard_retries < 0:
+            raise ServiceError(
+                f"shard_retries must be >= 0, got {shard_retries}"
+            )
         self.metrics = ServiceMetrics()
+        self.cache = ResultCache(
+            max_entries=cache_entries,
+            max_bytes=cache_bytes,
+            root=cache_dir,
+            metrics=self.metrics,
+        )
         self.ledger_dir = ledger
         self.functions = dict(functions or {})
         self.conditions = dict(conditions or {})
+        self.queue_limit = queue_limit
+        self.shard_retries = shard_retries
+        self.shard_deadline_s = shard_deadline_s
+        self.default_timeout_s = default_timeout_s
+        self.executor_factory = executor_factory
         self._queue: "queue.Queue[Job | None]" = queue.Queue()
         self._jobs: dict[str, Job] = {}
         self._lock = threading.Lock()
         self._counter = 0
+        self._queued = 0   # accepted, not yet picked up by a worker
+        self._running = 0  # currently executing
+        self._idle = threading.Condition(self._lock)
         self._threads = [
             threading.Thread(
                 target=self._worker, name=f"repro-worker-{i}",
@@ -171,23 +325,87 @@ class ReliabilityService:
             for i in range(workers)
         ]
         self._started = False
+        self._draining = False
+        self._reaper_wake = threading.Event()
+        self._reaper_stop = threading.Event()
+        self._reaper: "threading.Thread | None" = None
 
     # -- lifecycle ------------------------------------------------------
 
     def start(self) -> "ReliabilityService":
         if not self._started:
             self._started = True
+            self._draining = False
             for thread in self._threads:
                 thread.start()
+            self._reaper_stop.clear()
+            self._reaper = threading.Thread(
+                target=self._reap, name="repro-reaper", daemon=True
+            )
+            self._reaper.start()
         return self
 
+    def begin_drain(self) -> None:
+        """Reject new submissions; accepted work keeps running."""
+        self._draining = True
+
+    def drain(self, timeout: "float | None" = None) -> bool:
+        """Graceful shutdown: finish accepted jobs, reject new ones.
+
+        Blocks until every queued and running job reached a terminal
+        state (or *timeout* elapsed), then stops the worker and
+        reaper threads.  The ledger needs no explicit flush — every
+        append is flushed and fsynced — so when this returns, all
+        completed work is durable.  Returns ``False`` on timeout.
+        """
+        self.begin_drain()
+        deadline = (
+            None if timeout is None else time.monotonic() + timeout
+        )
+        with self._idle:
+            while self._queued or self._running:
+                remaining = (
+                    None if deadline is None
+                    else deadline - time.monotonic()
+                )
+                if remaining is not None and remaining <= 0:
+                    return False
+                self._idle.wait(remaining)
+        self._shutdown_threads()
+        return True
+
     def stop(self) -> None:
+        """Fast shutdown: cancel queued jobs, let running ones finish.
+
+        Cancelling the queued jobs moves them to a terminal state and
+        notifies their conditions, so ``Job.wait`` callers return
+        promptly instead of blocking until their full timeout.
+        """
+        if not self._started:
+            return
+        self.begin_drain()
+        with self._lock:
+            pending = [
+                job for job in self._jobs.values()
+                if job.state == "queued"
+            ]
+        for job in pending:
+            if job.finish("cancelled", error="service stopped"):
+                self.metrics.add("jobs_cancelled")
+        self._shutdown_threads()
+
+    def _shutdown_threads(self) -> None:
         if not self._started:
             return
         for _ in self._threads:
             self._queue.put(None)
         for thread in self._threads:
             thread.join()
+        self._reaper_stop.set()
+        self._reaper_wake.set()
+        if self._reaper is not None:
+            self._reaper.join()
+            self._reaper = None
         self._started = False
 
     def __enter__(self) -> "ReliabilityService":
@@ -200,6 +418,10 @@ class ReliabilityService:
 
     def submit(self, document: Mapping[str, Any]) -> Job:
         """Validate and enqueue one job document."""
+        if self._draining:
+            raise ServiceDraining(
+                "service is draining and not accepting jobs"
+            )
         doc = dict(document)
         kind = doc.setdefault("kind", "simulate")
         if kind not in ("simulate", "verify"):
@@ -225,12 +447,47 @@ class ReliabilityService:
         seed = doc.setdefault("seed", 0)
         if not isinstance(seed, int):
             raise ServiceError(f"seed must be an int, got {seed!r}")
+        timeout_s = doc.get("timeout_s", self.default_timeout_s)
+        if timeout_s is not None:
+            if (
+                isinstance(timeout_s, bool)
+                or not isinstance(timeout_s, (int, float))
+                or timeout_s <= 0
+            ):
+                raise ServiceError(
+                    f"timeout_s must be a positive number, "
+                    f"got {timeout_s!r}"
+                )
+            timeout_s = float(timeout_s)
         with self._lock:
+            if (
+                self.queue_limit is not None
+                and self._queued >= self.queue_limit
+            ):
+                self.metrics.add("jobs_rejected")
+                raise ServiceQueueFull(
+                    f"job queue is full "
+                    f"({self._queued}/{self.queue_limit} queued); "
+                    f"retry later",
+                    retry_after_s=1.0,
+                )
             self._counter += 1
-            job = Job(f"job-{self._counter}", doc)
+            job = Job(
+                f"job-{self._counter}", doc, timeout_s=timeout_s
+            )
             self._jobs[job.id] = job
+            self._queued += 1
         self.metrics.add("jobs_submitted")
         self._queue.put(job)
+        if job.deadline is not None:
+            self._reaper_wake.set()
+        return job
+
+    def cancel(self, job_id: str) -> Job:
+        """Cancel a job; running work is discarded on completion."""
+        job = self.get(job_id)
+        if job.finish("cancelled", error="cancelled by client"):
+            self.metrics.add("jobs_cancelled")
         return job
 
     def get(self, job_id: str) -> Job:
@@ -250,6 +507,28 @@ class ReliabilityService:
                 )
             ]
 
+    def queue_depth(self) -> int:
+        """Accepted jobs not yet picked up by a worker."""
+        with self._lock:
+            return self._queued
+
+    def health(self) -> dict:
+        """The ``/healthz`` document: liveness, depth, cache stats."""
+        with self._lock:
+            queued, running = self._queued, self._running
+        alive = sum(
+            1 for thread in self._threads if thread.is_alive()
+        )
+        return {
+            "status": "draining" if self._draining else "ok",
+            "queue_depth": queued,
+            "queue_limit": self.queue_limit,
+            "jobs_running": running,
+            "workers": len(self._threads),
+            "workers_alive": alive,
+            "cache": self.cache.stats(),
+        }
+
     def run_pending(self) -> None:
         """Drain the queue synchronously (test/CLI convenience)."""
         while True:
@@ -258,7 +537,7 @@ class ReliabilityService:
             except queue.Empty:
                 return
             if job is not None:
-                self._execute(job)
+                self._claim_and_execute(job)
 
     # -- execution ------------------------------------------------------
 
@@ -267,29 +546,76 @@ class ReliabilityService:
             job = self._queue.get()
             if job is None:
                 return
-            self._execute(job)
+            self._claim_and_execute(job)
+
+    def _claim_and_execute(self, job: Job) -> None:
+        with self._lock:
+            self._queued -= 1
+            self._running += 1
+        try:
+            # A job cancelled or timed out while queued is already
+            # terminal: never start it.
+            if job.overdue():
+                if job.finish(
+                    "timed_out",
+                    error=f"deadline of {job.timeout_s}s exceeded "
+                    f"while queued",
+                ):
+                    self.metrics.add("jobs_timed_out")
+                return
+            if job.start_running():
+                self._execute(job)
+        finally:
+            with self._idle:
+                self._running -= 1
+                self._idle.notify_all()
 
     def _execute(self, job: Job) -> None:
-        job.state = "running"
-        job.emit("running")
         try:
             if job.document["kind"] == "verify":
-                job.result = self._verify(job)
+                result = self._verify(job)
             else:
-                job.result = self._simulate(job)
+                result = self._simulate(job)
         except Exception as error:
-            job.state = "failed"
-            job.error = f"{type(error).__name__}: {error}"
-            job.finished_at = time.time()
-            self.metrics.add("jobs_failed")
-            job.emit("failed", error=job.error)
-            if not isinstance(error, ReproError):
-                traceback.print_exc()
+            message = f"{type(error).__name__}: {error}"
+            if job.finish("failed", error=message):
+                self.metrics.add("jobs_failed")
+                if not isinstance(error, ReproError):
+                    traceback.print_exc()
             return
-        job.state = "done"
-        job.finished_at = time.time()
-        self.metrics.add("jobs_completed")
-        job.emit("done")
+        # finish() is idempotent: if the reaper timed the job out (or
+        # a client cancelled it) while we were simulating, this loses
+        # the race and the late result is discarded.
+        if job.finish("done", result=result):
+            self.metrics.add("jobs_completed")
+
+    # -- deadline enforcement -------------------------------------------
+
+    def _reap(self) -> None:
+        """Move overdue jobs to ``timed_out``, queued or running."""
+        while not self._reaper_stop.is_set():
+            now = time.monotonic()
+            horizon: "float | None" = None
+            with self._lock:
+                watched = [
+                    job for job in self._jobs.values()
+                    if job.deadline is not None and not job.done
+                ]
+            for job in watched:
+                if job.overdue(now):
+                    if job.finish(
+                        "timed_out",
+                        error=f"deadline of {job.timeout_s}s exceeded",
+                    ):
+                        self.metrics.add("jobs_timed_out")
+                elif horizon is None or job.deadline < horizon:
+                    horizon = job.deadline
+            timeout = (
+                None if horizon is None
+                else max(0.0, horizon - time.monotonic())
+            )
+            self._reaper_wake.wait(timeout)
+            self._reaper_wake.clear()
 
     # -- design construction -------------------------------------------
 
@@ -348,11 +674,33 @@ class ReliabilityService:
         self.cache.store_verify(fingerprint, doc)
         return doc
 
+    def _executor(self, shards: int):
+        """The batch executor of a sharded cache miss."""
+        if self.executor_factory is not None:
+            return self.executor_factory(shards)
+        from repro.service.supervision import (
+            RetryPolicy,
+            SupervisedShardedExecutor,
+        )
+
+        return SupervisedShardedExecutor(
+            shards,
+            policy=RetryPolicy(retries=self.shard_retries),
+            deadline_s=self.shard_deadline_s,
+        )
+
+    def _note_shard_retries(self, job: Job, executor: Any) -> None:
+        """Surface supervised retries on the job stream and counters."""
+        events = getattr(executor, "retry_events", None) or ()
+        for event in events:
+            job.emit("shard-retry", **event.to_dict())
+        if events:
+            self.metrics.add("shard_retries", len(events))
+
     def _simulate(self, job: Job) -> dict:
         from repro.analysis import Verifier
         from repro.runtime.batch import BatchSimulator
         from repro.runtime.executor import (
-            ShardedExecutor,
             merge_batch_results,
             slice_batch_result,
         )
@@ -382,18 +730,17 @@ class ReliabilityService:
             bernoulli=bernoulli,
             monitor_window=None if window is None else int(window),
         )
+        executor = self._executor(shards) if shards > 1 else None
 
         def simulator() -> BatchSimulator:
             return BatchSimulator(
                 spec, arch, impl,
                 faults=BernoulliFaults(arch) if bernoulli else None,
                 seed=seed,
-                executor=(
-                    ShardedExecutor(shards) if shards > 1 else None
-                ),
+                executor=executor,
             )
 
-        kind, cached = self.cache.plan(key, runs)
+        kind, cached = self.cache.plan(key, runs, spec=spec)
         simulated = 0
         if kind == "hit":
             self.metrics.add("mc_cache_hits")
@@ -418,6 +765,8 @@ class ReliabilityService:
                 children, iterations, monitor,
                 run_offset=cached.runs,
             )
+            if executor is not None:
+                self._note_shard_retries(job, executor)
             result = merge_batch_results([cached, tail])
             self.cache.store(key, result)
         else:
@@ -429,6 +778,8 @@ class ReliabilityService:
             result = simulator().run_batch(
                 runs, iterations, monitor=monitor
             )
+            if executor is not None:
+                self._note_shard_retries(job, executor)
             self.cache.store(key, result)
         entry = self._persist(job, spec, arch, impl, result, seed, runs)
         averages = result.limit_averages()

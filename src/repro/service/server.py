@@ -7,6 +7,11 @@ request/response bodies.  Endpoints:
     Submit one job document (see :mod:`repro.service.jobs`); replies
     ``202 {"id": ..., "state": "queued"}``.  Add ``?wait=1`` to block
     until the job finishes and get the full job document instead.
+    When the bounded queue is full the reply is ``429`` with a
+    ``Retry-After`` header; while draining it is ``503``.
+``POST /jobs/<id>/cancel``
+    Cancel a job; queued jobs never start, a running job's late
+    result is discarded.  Replies with the job document.
 ``GET /jobs``
     Summaries of every submitted job, oldest first.
 ``GET /jobs/<id>``
@@ -19,21 +24,33 @@ request/response bodies.  Endpoints:
 ``GET /metrics``
     The service counters (cache hits/misses, runs simulated, ...).
 ``GET /healthz``
-    Liveness probe.
+    Liveness probe: queue depth, worker liveness, cache stats.
 
 Errors reply with ``{"error": ...}`` and status 400 (bad document),
-404 (unknown job/path), or 500 (handler bug).
+404 (unknown job/path), 429 (queue full, with ``Retry-After``),
+503 (draining), or 500 (handler bug).
+
+``serve`` installs a SIGTERM handler that drains gracefully: running
+jobs finish, new submissions are rejected with 503, and the ledger —
+fsynced on every append — is durable before the process exits.
 """
 
 from __future__ import annotations
 
 import json
+import signal
+import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Callable, Mapping
 from urllib.parse import parse_qs, urlparse
 
 from repro.errors import ReproError
-from repro.service.jobs import ReliabilityService, ServiceError
+from repro.service.jobs import (
+    ReliabilityService,
+    ServiceDraining,
+    ServiceError,
+    ServiceQueueFull,
+)
 
 #: Long-poll ceiling of ``/events`` in seconds.
 EVENT_POLL_TIMEOUT = 10.0
@@ -50,16 +67,28 @@ class _Handler(BaseHTTPRequestHandler):
     def log_message(self, format: str, *args: Any) -> None:
         pass  # tests and daemons don't want per-request stderr noise
 
-    def _reply(self, status: int, document: Any) -> None:
+    def _reply(
+        self,
+        status: int,
+        document: Any,
+        headers: "Mapping[str, str] | None" = None,
+    ) -> None:
         body = json.dumps(document).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
-    def _error(self, status: int, message: str) -> None:
-        self._reply(status, {"error": message})
+    def _error(
+        self,
+        status: int,
+        message: str,
+        headers: "Mapping[str, str] | None" = None,
+    ) -> None:
+        self._reply(status, {"error": message}, headers=headers)
 
     def _read_document(self) -> Any:
         length = int(self.headers.get("Content-Length", 0))
@@ -73,7 +102,16 @@ class _Handler(BaseHTTPRequestHandler):
 
     def do_POST(self) -> None:  # noqa: N802 (stdlib casing)
         url = urlparse(self.path)
+        parts = [part for part in url.path.split("/") if part]
         try:
+            if (
+                len(parts) == 3
+                and parts[0] == "jobs"
+                and parts[2] == "cancel"
+            ):
+                job = self.service.cancel(parts[1])
+                self._reply(200, job.to_dict())
+                return
             if url.path != "/jobs":
                 self._error(404, f"no such endpoint: POST {url.path}")
                 return
@@ -87,6 +125,16 @@ class _Handler(BaseHTTPRequestHandler):
                 self._reply(200, job.to_dict())
             else:
                 self._reply(202, {"id": job.id, "state": job.state})
+        except ServiceQueueFull as error:
+            self._error(
+                429,
+                str(error),
+                headers={
+                    "Retry-After": format(error.retry_after_s, "g")
+                },
+            )
+        except ServiceDraining as error:
+            self._error(503, str(error))
         except ReproError as error:
             self._error(400, str(error))
         except Exception as error:  # pragma: no cover - handler bug
@@ -106,7 +154,7 @@ class _Handler(BaseHTTPRequestHandler):
     def _route_get(self, url: Any) -> None:
         parts = [part for part in url.path.split("/") if part]
         if parts == ["healthz"]:
-            self._reply(200, {"status": "ok"})
+            self._reply(200, self.service.health())
         elif parts == ["metrics"]:
             self._reply(200, self.service.metrics.snapshot())
         elif parts == ["jobs"]:
@@ -191,13 +239,34 @@ def serve(
     functions: "Mapping[str, Callable[..., Any]] | None" = None,
     conditions: "Mapping[str, Callable[..., Any]] | None" = None,
     banner: "Callable[[str], None] | None" = print,
+    queue_limit: "int | None" = None,
+    shard_retries: int = 2,
+    shard_deadline_s: "float | None" = None,
+    cache_entries: "int | None" = None,
+    cache_bytes: "int | None" = None,
+    cache_dir: "str | None" = None,
+    default_timeout_s: "float | None" = None,
+    drain_timeout_s: float = 30.0,
 ) -> None:
-    """Run the daemon until interrupted (the ``repro serve`` body)."""
+    """Run the daemon until interrupted (the ``repro serve`` body).
+
+    SIGTERM (and Ctrl-C) triggers a graceful drain: the listener
+    stops accepting connections, running jobs finish (up to
+    *drain_timeout_s*), still-queued jobs are cancelled only if the
+    drain times out, and the fsynced ledger needs no further flush.
+    """
     service = ReliabilityService(
         workers=workers,
         ledger=ledger,
         functions=functions,
         conditions=conditions,
+        queue_limit=queue_limit,
+        shard_retries=shard_retries,
+        shard_deadline_s=shard_deadline_s,
+        cache_entries=cache_entries,
+        cache_bytes=cache_bytes,
+        cache_dir=cache_dir,
+        default_timeout_s=default_timeout_s,
     ).start()
     server = make_server(service, host, port)
     bound_host, bound_port = server.server_address[:2]
@@ -207,8 +276,27 @@ def serve(
             f"{bound_port} ({workers} worker"
             f"{'s' if workers != 1 else ''}"
             + (f", ledger {ledger}" if ledger else "")
+            + (
+                f", queue limit {queue_limit}"
+                if queue_limit is not None else ""
+            )
             + ")"
         )
+
+    stop_requested = threading.Event()
+
+    def _on_sigterm(signum: int, frame: Any) -> None:
+        # Reject new jobs immediately; shut the listener down from a
+        # helper thread (shutdown() deadlocks if called from the
+        # serve_forever thread itself).
+        service.begin_drain()
+        stop_requested.set()
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    try:
+        previous = signal.signal(signal.SIGTERM, _on_sigterm)
+    except ValueError:  # pragma: no cover - non-main thread (tests)
+        previous = None
     try:
         server.serve_forever()
     except KeyboardInterrupt:  # pragma: no cover - interactive only
@@ -216,4 +304,13 @@ def serve(
     finally:
         server.shutdown()
         server.server_close()
+        if stop_requested.is_set():
+            drained = service.drain(timeout=drain_timeout_s)
+            if not drained and banner is not None:
+                banner(
+                    "repro service drain timed out; cancelling "
+                    "queued jobs"
+                )
         service.stop()
+        if previous is not None:  # pragma: no branch
+            signal.signal(signal.SIGTERM, previous)

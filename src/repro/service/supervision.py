@@ -1,0 +1,524 @@
+"""Supervised shard execution: crash/hang detection and bounded retry.
+
+PR 7's :class:`~repro.runtime.executor.ShardedExecutor` is fail-silent:
+a crashed worker aborts the whole batch, and a hung worker blocks the
+parent forever.  :class:`SupervisedShardedExecutor` wraps the same
+fork/slice/merge arithmetic in a supervision loop that
+
+* detects worker *crash* (process death, pipe EOF), worker-reported
+  *error*, and worker *hang* (a per-shard wall-clock deadline), and
+* re-executes only the failed shard, with capped exponential backoff
+  plus deterministic jitter, up to a bounded number of attempts.
+
+Retried shards are **bit-identical** to their first execution by
+construction: a shard's work is fully determined by its slice of the
+``SeedSequence.spawn`` children, so replaying the slice replays the
+exact same draws — supervision can never change a result, only rescue
+it (asserted differentially in ``tests/test_supervision.py``).
+
+Every retry surfaces as a typed :class:`ShardRetryEvent`, appended to
+the attached :class:`~repro.telemetry.bus.TelemetryBus` (and kept on
+``executor.retry_events``), so operators see *that* a fault happened
+even though the answer is unchanged.
+
+The module also defines the :class:`ChaosAction` / :class:`WorkerFaults`
+fault-injection surface the :mod:`repro.chaos` harness drives: the
+parent asks the plan for an action per ``(shard, attempt)`` and ships
+it to the worker, which kills, hangs, or slows itself accordingly.
+Production use simply leaves ``chaos=None``.
+
+This module reads wall clocks (deadlines, backoff sleeps) and is on
+the determinism-lint allowlist; clocks never reach simulation state.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import time
+from dataclasses import asdict, dataclass, field
+from typing import TYPE_CHECKING, Any, Protocol, Sequence
+
+import numpy as np
+
+from repro.errors import RuntimeSimulationError
+from repro.runtime.batch import BatchResult
+from repro.runtime.executor import (
+    _fork_context,
+    _payload_of,
+    _result_of,
+    merge_batch_results,
+    shard_slices,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.resilience.monitor import MonitorConfig
+    from repro.runtime.batch import BatchSimulator
+    from repro.telemetry.bus import TelemetryBus
+
+#: Sleep used by an injected "hang": far beyond any sane deadline, so
+#: the supervisor's terminate is what ends the worker.
+HANG_SLEEP_S = 3600.0
+
+
+@dataclass(frozen=True)
+class ShardRetryEvent:
+    """One supervised re-execution of a failed shard.
+
+    ``reason`` is ``"crash"`` (process died / pipe EOF), ``"hang"``
+    (per-shard deadline exceeded, worker killed), or ``"error"`` (the
+    worker reported an exception).  ``attempt`` is the 0-based attempt
+    that failed; the retry that follows is attempt ``attempt + 1``.
+    """
+
+    shard: int
+    attempt: int
+    reason: str
+    detail: str = ""
+    delay_s: float = 0.0
+    run_start: int = 0
+    run_stop: int = 0
+    #: Replay-order key parity with resilience events (no run index).
+    run: "int | None" = field(default=None, kw_only=True)
+
+    kind = "shard-retry"
+
+    def to_dict(self) -> dict:
+        doc = {"kind": self.kind}
+        doc.update(asdict(self))
+        if doc["run"] is None:
+            del doc["run"]
+        return doc
+
+
+@dataclass(frozen=True)
+class ChaosAction:
+    """A fault the chaos harness injects into one worker attempt.
+
+    ``kind`` is ``"kill"`` (hard ``os._exit``), ``"hang"`` (sleep past
+    any deadline until terminated), ``"slow"`` (sleep ``delay_s`` then
+    run normally), or ``"error"`` (raise inside the worker).
+    """
+
+    kind: str
+    delay_s: float = 0.0
+
+
+class WorkerFaults(Protocol):
+    """A chaos plan consulted once per ``(shard, attempt)`` launch."""
+
+    def action(
+        self, shard: int, attempt: int
+    ) -> "ChaosAction | None":
+        ...
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry with capped exponential backoff and jitter.
+
+    ``retries`` is the number of *re*-executions allowed per shard
+    (``retries=2`` means at most 3 attempts).  Delays grow as
+    ``base_delay_s * 2**(attempt-1)`` capped at ``max_delay_s``, then
+    stretched by up to ``jitter`` (a fraction) of deterministic,
+    shard/attempt-derived noise — reproducible, yet de-synchronised
+    across shards.
+    """
+
+    retries: int = 2
+    base_delay_s: float = 0.05
+    max_delay_s: float = 2.0
+    jitter: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.retries < 0:
+            raise RuntimeSimulationError(
+                f"retries must be >= 0, got {self.retries}"
+            )
+        if self.base_delay_s < 0 or self.max_delay_s < 0:
+            raise RuntimeSimulationError("backoff delays must be >= 0")
+
+    def delay(self, shard: int, attempt: int) -> float:
+        """Backoff before retry number *attempt* (1-based) of *shard*."""
+        if attempt < 1:
+            return 0.0
+        base = min(
+            self.max_delay_s,
+            self.base_delay_s * (2.0 ** (attempt - 1)),
+        )
+        return base * (1.0 + self.jitter * _unit_noise(shard, attempt))
+
+
+def _unit_noise(shard: int, attempt: int) -> float:
+    """Deterministic pseudo-uniform value in ``[0, 1)``.
+
+    Hash-derived so backoff jitter needs no RNG state (and therefore
+    cannot perturb any seeded simulation stream).
+    """
+    digest = hashlib.sha256(
+        f"shard-backoff:{shard}:{attempt}".encode("ascii")
+    ).digest()
+    return int.from_bytes(digest[:8], "big") / float(2**64)
+
+
+def _supervised_worker(
+    simulator, children, iterations, monitor, offset, conn, action
+):
+    """Entry point of one supervised shard worker.
+
+    Identical to the unsupervised worker except for the optional
+    injected *action*, applied before (or instead of) the real work.
+    """
+    try:
+        if action is not None:
+            if action.kind == "kill":
+                conn.close()
+                os._exit(17)
+            if action.kind == "hang":
+                time.sleep(
+                    action.delay_s if action.delay_s > 0
+                    else HANG_SLEEP_S
+                )
+            elif action.kind == "slow":
+                time.sleep(action.delay_s)
+            elif action.kind == "error":
+                raise RuntimeSimulationError(
+                    "chaos: injected worker error"
+                )
+        result = simulator.run_slice(
+            children, iterations, monitor, run_offset=offset
+        )
+        conn.send(("ok", _payload_of(result)))
+    except BaseException as error:  # ship the failure to the parent
+        try:
+            conn.send(("error", f"{type(error).__name__}: {error}"))
+        except (BrokenPipeError, OSError):  # pragma: no cover
+            pass
+    finally:
+        conn.close()
+
+
+class _ShardState:
+    """Supervision bookkeeping of one shard across its attempts."""
+
+    def __init__(self, index: int, start: int, stop: int) -> None:
+        self.index = index
+        self.start = start
+        self.stop = stop
+        self.attempt = 0
+        self.process: Any = None
+        self.conn: Any = None
+        self.deadline_at: "float | None" = None
+        self.result: "BatchResult | None" = None
+
+    def kill(self) -> None:
+        """Best-effort terminate of a live worker."""
+        if self.conn is not None:
+            try:
+                self.conn.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+            self.conn = None
+        if self.process is not None and self.process.is_alive():
+            self.process.terminate()
+            self.process.join(timeout=5.0)
+            if self.process.is_alive():  # pragma: no cover - stuck
+                self.process.kill()
+                self.process.join(timeout=5.0)
+        self.process = None
+
+
+class SupervisedShardedExecutor:
+    """A :class:`~repro.runtime.executor.ShardedExecutor` that survives
+    worker crash, hang, and transient error.
+
+    Parameters
+    ----------
+    jobs:
+        Worker shard count (>= 1).
+    policy:
+        :class:`RetryPolicy` bounding re-executions and backoff.
+    deadline_s:
+        Per-shard wall-clock deadline; a worker still silent past it
+        is killed and retried.  ``None`` disables hang detection
+        (crash/error supervision still applies).
+    processes:
+        ``False`` (or a platform without ``fork``) executes shards
+        inline with the same retry loop around each slice.
+    telemetry:
+        Optional bus; :class:`ShardRetryEvent` instances are appended
+        live, and the merged monitor-event stream is replayed in run
+        order after completion — exactly like the unsupervised
+        executor.
+    chaos:
+        Optional :class:`WorkerFaults` plan (testing/chaos only).
+    """
+
+    name = "supervised"
+
+    def __init__(
+        self,
+        jobs: int,
+        policy: "RetryPolicy | None" = None,
+        deadline_s: "float | None" = None,
+        processes: bool = True,
+        telemetry: "TelemetryBus | None" = None,
+        chaos: "WorkerFaults | None" = None,
+    ) -> None:
+        if jobs < 1:
+            raise RuntimeSimulationError(
+                f"jobs must be >= 1, got {jobs}"
+            )
+        if deadline_s is not None and deadline_s <= 0:
+            raise RuntimeSimulationError(
+                f"deadline_s must be > 0, got {deadline_s}"
+            )
+        self.jobs = jobs
+        self.policy = policy or RetryPolicy()
+        self.deadline_s = deadline_s
+        self.processes = processes
+        self.telemetry = telemetry
+        self.chaos = chaos
+        #: Retry events of the most recent :meth:`execute` call.
+        self.retry_events: list[ShardRetryEvent] = []
+
+    # -- the BatchExecutor protocol -------------------------------------
+
+    def execute(
+        self,
+        simulator: "BatchSimulator",
+        children: "Sequence[np.random.SeedSequence]",
+        iterations: int,
+        monitor: "MonitorConfig | None" = None,
+    ) -> BatchResult:
+        self.retry_events = []
+        slices = shard_slices(len(children), self.jobs)
+        context = _fork_context() if self.processes else None
+        if not slices:
+            return simulator.run_slice(children, iterations, monitor)
+        if len(slices) <= 1 or context is None:
+            shards = [
+                self._execute_inline(
+                    simulator, children, iterations, monitor,
+                    index, start, stop,
+                )
+                for index, (start, stop) in enumerate(slices)
+            ]
+        else:
+            shards = self._supervise(
+                context, simulator, children, iterations, monitor,
+                slices,
+            )
+        merged = merge_batch_results(shards)
+        if self.telemetry is not None:
+            from repro.telemetry.shardbuffer import (
+                ShardEventBuffer,
+                replay_sharded,
+            )
+
+            buffers = []
+            for index, shard in enumerate(shards):
+                buffer = ShardEventBuffer(shard=index)
+                for event in shard.monitor_events:
+                    buffer.on_event(event)
+                buffers.append(buffer)
+            replay_sharded(buffers, self.telemetry)
+        return merged
+
+    # -- retry bookkeeping ----------------------------------------------
+
+    def _note_retry(
+        self, state: _ShardState, reason: str, detail: str,
+        delay: float,
+    ) -> None:
+        event = ShardRetryEvent(
+            shard=state.index,
+            attempt=state.attempt,
+            reason=reason,
+            detail=detail,
+            delay_s=delay,
+            run_start=state.start,
+            run_stop=state.stop,
+        )
+        self.retry_events.append(event)
+        if self.telemetry is not None:
+            self.telemetry.append(event)
+
+    def _give_up(self, state: _ShardState, detail: str) -> None:
+        raise RuntimeSimulationError(
+            f"shard {state.index} (runs {state.start}..{state.stop - 1})"
+            f" failed after {state.attempt + 1} attempt(s): {detail}"
+        )
+
+    # -- inline path -----------------------------------------------------
+
+    def _execute_inline(
+        self, simulator, children, iterations, monitor,
+        index, start, stop,
+    ) -> BatchResult:
+        state = _ShardState(index, start, stop)
+        while True:
+            action = (
+                self.chaos.action(state.index, state.attempt)
+                if self.chaos is not None else None
+            )
+            try:
+                if action is not None and action.kind in (
+                    "kill", "hang", "error",
+                ):
+                    # Inline, every injected fault class degenerates
+                    # to a raised error (there is no process to kill).
+                    raise RuntimeSimulationError(
+                        f"chaos: injected {action.kind}"
+                    )
+                if action is not None and action.kind == "slow":
+                    time.sleep(action.delay_s)
+                return simulator.run_slice(
+                    children[start:stop], iterations, monitor,
+                    run_offset=start,
+                )
+            except RuntimeSimulationError as error:
+                if state.attempt >= self.policy.retries:
+                    self._give_up(state, str(error))
+                delay = self.policy.delay(
+                    state.index, state.attempt + 1
+                )
+                self._note_retry(state, "error", str(error), delay)
+                if delay > 0:
+                    time.sleep(delay)
+                state.attempt += 1
+
+    # -- process path ----------------------------------------------------
+
+    def _launch(self, context, simulator, children, iterations,
+                monitor, state: _ShardState) -> None:
+        action = (
+            self.chaos.action(state.index, state.attempt)
+            if self.chaos is not None else None
+        )
+        parent_conn, child_conn = context.Pipe(duplex=False)
+        process = context.Process(
+            target=_supervised_worker,
+            args=(
+                simulator, children[state.start:state.stop],
+                iterations, monitor, state.start, child_conn, action,
+            ),
+        )
+        process.start()
+        child_conn.close()
+        state.process = process
+        state.conn = parent_conn
+        state.deadline_at = (
+            None if self.deadline_s is None
+            else time.monotonic() + self.deadline_s
+        )
+
+    def _supervise(
+        self, context, simulator, children, iterations, monitor,
+        slices,
+    ) -> list[BatchResult]:
+        from multiprocessing.connection import wait as conn_wait
+
+        states = [
+            _ShardState(index, start, stop)
+            for index, (start, stop) in enumerate(slices)
+        ]
+        try:
+            for state in states:
+                self._launch(
+                    context, simulator, children, iterations, monitor,
+                    state,
+                )
+            #: Shards sleeping out a backoff: (wake_at, state).
+            parked: list[tuple[float, _ShardState]] = []
+            while True:
+                active = {
+                    state.conn: state
+                    for state in states
+                    if state.conn is not None
+                }
+                if not active and not parked:
+                    break
+                now = time.monotonic()
+                # Wake parked shards whose backoff elapsed.
+                due = [s for wake, s in parked if wake <= now]
+                parked = [
+                    (wake, s) for wake, s in parked if wake > now
+                ]
+                for state in due:
+                    self._launch(
+                        context, simulator, children, iterations,
+                        monitor, state,
+                    )
+                    active[state.conn] = state
+                # Earliest thing worth waking for: a shard deadline
+                # or a parked retry.
+                horizons = [
+                    state.deadline_at
+                    for state in active.values()
+                    if state.deadline_at is not None
+                ] + [wake for wake, _ in parked]
+                timeout = (
+                    None if not horizons
+                    else max(0.0, min(horizons) - now)
+                )
+                if active:
+                    ready = conn_wait(
+                        list(active), timeout=timeout
+                    )
+                elif timeout:  # all shards parked: sleep it out
+                    time.sleep(timeout)
+                    ready = []
+                else:
+                    ready = []
+                for conn in ready:
+                    state = active[conn]
+                    try:
+                        status, payload = conn.recv()
+                    except EOFError:
+                        self._retire(state, "crash",
+                                     "worker died before replying",
+                                     parked)
+                        continue
+                    if status == "ok":
+                        state.result = _result_of(
+                            payload, simulator, iterations
+                        )
+                        conn.close()
+                        state.conn = None
+                        state.process.join()
+                        state.process = None
+                    else:
+                        self._retire(state, "error", str(payload),
+                                     parked)
+                # Hang detection: anyone past their deadline?
+                now = time.monotonic()
+                for state in list(active.values()):
+                    if (
+                        state.conn is not None
+                        and state.deadline_at is not None
+                        and state.deadline_at <= now
+                    ):
+                        self._retire(
+                            state, "hang",
+                            f"no reply within {self.deadline_s}s "
+                            f"deadline", parked,
+                        )
+        except BaseException:
+            for state in states:
+                state.kill()
+            raise
+        return [state.result for state in states]
+
+    def _retire(
+        self, state: _ShardState, reason: str, detail: str,
+        parked: "list[tuple[float, _ShardState]]",
+    ) -> None:
+        """Kill a failed attempt and park the shard for retry."""
+        state.kill()
+        if state.attempt >= self.policy.retries:
+            self._give_up(state, f"{reason}: {detail}")
+        delay = self.policy.delay(state.index, state.attempt + 1)
+        self._note_retry(state, reason, detail, delay)
+        state.attempt += 1
+        parked.append((time.monotonic() + delay, state))

@@ -14,6 +14,17 @@ old margins, and a JSONL file is trivially diffable and artifacts
 well in CI.  Entries are addressed by position (``#0``, ``#3``), by
 ``latest``, or by ``run_id`` (latest match wins).
 
+Crash safety (PR 8): every appended line carries a ``check`` field —
+the :func:`content_hash` of the record itself — and appends repair a
+torn final line (a crash mid-write leaves no trailing newline) before
+writing, so one interrupted append can never garble its neighbour.
+Reads *quarantine* rather than crash: lines that fail JSON parsing or
+checksum verification are moved to ``ledger.jsonl.corrupt`` (under
+the append lock, via an atomic temp-file + rename rewrite) and the
+surviving records keep dense entry indices.  A corrupt line therefore
+costs exactly the one record it garbled — committed neighbours are
+never lost, which the chaos harness (:mod:`repro.chaos`) asserts.
+
 ``repro runs list|show|diff|regress`` is the CLI over this module;
 ``repro simulate --ledger DIR`` records into it from every execution
 path (scalar, batch, resilient, resilient batch).
@@ -26,6 +37,8 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
+import tempfile
 import time as _time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -79,6 +92,33 @@ def content_hash(document: Any) -> str:
         sort_keys=True, separators=(",", ":"), default=str,
     )
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:12]
+
+
+def write_atomic(path: Path, text: str) -> None:
+    """Write *text* to *path* atomically (temp file + ``os.replace``).
+
+    The temp file lives in the target directory so the rename never
+    crosses filesystems; the payload is fsynced before the swap, so a
+    crash leaves either the old file or the whole new one — never a
+    truncated hybrid.  Shared by the ledger quarantine rewrite and the
+    service's persistent result cache.
+    """
+    path.parent.mkdir(parents=True, exist_ok=True)
+    handle_fd, tmp_name = tempfile.mkstemp(
+        dir=str(path.parent), prefix=path.name + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(handle_fd, "w", encoding="utf-8") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
 
 
 class _AppendLock:
@@ -286,13 +326,115 @@ def record_from_result(
 
 
 class RunLedger:
-    """Append-only JSONL store of :class:`RunRecord` entries."""
+    """Append-only JSONL store of :class:`RunRecord` entries.
+
+    Crash-safe: lines carry a content checksum, appends repair torn
+    final lines, and reads quarantine corrupt lines to
+    ``ledger.jsonl.corrupt`` instead of raising (pass ``strict=True``
+    to :meth:`records` to get the old fail-fast behaviour).
+    """
 
     def __init__(
         self, root: "str | Path" = DEFAULT_LEDGER_DIR
     ) -> None:
         self.root = Path(root)
         self.path = self.root / "ledger.jsonl"
+        self.corrupt_path = self.root / "ledger.jsonl.corrupt"
+        #: Corrupt lines moved aside by the most recent scan.
+        self.quarantined = 0
+
+    # -- line integrity -------------------------------------------------
+
+    @staticmethod
+    def _checkable(doc: dict) -> dict:
+        """The deterministic payload the checksum covers.
+
+        ``recorded_at`` is wall-clock and excluded, so two records of
+        the same run carry the same ``check`` — serial vs ``--jobs N``
+        ledger diffs stay bit-identical up to the timestamp alone.
+        """
+        return {k: v for k, v in doc.items() if k != "recorded_at"}
+
+    @staticmethod
+    def _seal(doc: dict) -> str:
+        """Serialise *doc* with its ``check`` integrity field."""
+        return json.dumps(
+            {**doc, "check": content_hash(RunLedger._checkable(doc))},
+            sort_keys=True,
+        )
+
+    @staticmethod
+    def _parse_line(line: str) -> "dict | None":
+        """Parse and verify one ledger line; ``None`` when corrupt.
+
+        Lines without a ``check`` field (pre-PR 8 ledgers) are
+        accepted on JSON validity alone.
+        """
+        try:
+            doc = json.loads(line)
+        except json.JSONDecodeError:
+            return None
+        if not isinstance(doc, dict):
+            return None
+        check = doc.pop("check", None)
+        if check is not None and check != content_hash(
+            RunLedger._checkable(doc)
+        ):
+            return None
+        return doc
+
+    def _scan(self) -> "tuple[list[tuple[str, dict]], list[str]]":
+        """Split the file into ``(line, doc)`` survivors and corrupt raws.
+
+        A final line without a trailing newline is a torn append and
+        counts as corrupt even if it happens to parse — the writer
+        never commits a line without its newline.
+        """
+        if not self.path.exists():
+            return [], []
+        text = self.path.read_text(encoding="utf-8")
+        torn_tail = bool(text) and not text.endswith("\n")
+        lines = text.splitlines()
+        valid: list[tuple[str, dict]] = []
+        corrupt: list[str] = []
+        for lineno, line in enumerate(lines, start=1):
+            if not line.strip():
+                continue
+            doc = (
+                None if torn_tail and lineno == len(lines)
+                else self._parse_line(line)
+            )
+            if doc is None:
+                corrupt.append(line)
+            else:
+                valid.append((line, doc))
+        return valid, corrupt
+
+    def _quarantine(
+        self, valid: "list[tuple[str, dict]]", corrupt: "list[str]"
+    ) -> None:
+        """Move corrupt lines aside; keep survivors, atomically.
+
+        Runs under the append lock so a concurrent append cannot be
+        dropped by the rewrite.  The rewrite re-reads under the lock —
+        the unlocked pre-scan is only the cheap detection pass.
+        """
+        with _AppendLock(self.root / "ledger.lock"):
+            valid, corrupt = self._scan()
+            if not corrupt:
+                return
+            with self.corrupt_path.open(
+                "a", encoding="utf-8"
+            ) as handle:
+                for line in corrupt:
+                    handle.write(line + "\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+            write_atomic(
+                self.path,
+                "".join(line + "\n" for line, _ in valid),
+            )
+        self.quarantined += len(corrupt)
 
     def append(self, record: RunRecord) -> int:
         """Append *record*; returns its entry index.
@@ -300,41 +442,52 @@ class RunLedger:
         The count-then-append runs under an advisory file lock
         (``ledger.lock`` next to the JSONL), so concurrent daemon
         jobs and CLI runs get distinct entry indices and whole,
-        un-interleaved lines.
+        un-interleaved lines.  A torn final line left by a crashed
+        writer is sealed off with a newline first (the scan will
+        quarantine it), so the new record starts on a clean line.
         """
         self.root.mkdir(parents=True, exist_ok=True)
         with _AppendLock(self.root / "ledger.lock"):
-            index = 0
+            # Count only *intact* lines: corrupt ones will be moved
+            # aside by the next read, so the new record's index must
+            # already skip them.
+            valid, _ = self._scan()
+            index = len(valid)
+            torn_tail = False
             if self.path.exists():
-                with self.path.open("r", encoding="utf-8") as handle:
-                    index = sum(1 for line in handle if line.strip())
+                text = self.path.read_text(encoding="utf-8")
+                torn_tail = bool(text) and not text.endswith("\n")
             with self.path.open("a", encoding="utf-8") as handle:
-                handle.write(
-                    json.dumps(record.to_dict(), sort_keys=True) + "\n"
-                )
+                if torn_tail:
+                    handle.write("\n")
+                handle.write(self._seal(record.to_dict()) + "\n")
                 handle.flush()
+                os.fsync(handle.fileno())
         record.entry = index
         return index
 
-    def records(self) -> list[RunRecord]:
-        """Every ledger entry, oldest first, ``entry`` stamped."""
-        if not self.path.exists():
-            return []
+    def records(self, strict: bool = False) -> list[RunRecord]:
+        """Every intact ledger entry, oldest first, ``entry`` stamped.
+
+        Corrupt lines (bad JSON, checksum mismatch, torn final line)
+        are quarantined to ``ledger.jsonl.corrupt`` and skipped; with
+        ``strict=True`` the first corrupt line raises instead.
+        """
+        valid, corrupt = self._scan()
+        if corrupt:
+            if strict:
+                raise ReproError(
+                    f"ledger {str(self.path)!r} has "
+                    f"{len(corrupt)} corrupt line(s); first: "
+                    f"{corrupt[0][:80]!r}"
+                )
+            self._quarantine(valid, corrupt)
+            valid, _ = self._scan()
         records: list[RunRecord] = []
-        with self.path.open("r", encoding="utf-8") as handle:
-            for lineno, line in enumerate(handle, start=1):
-                if not line.strip():
-                    continue
-                try:
-                    doc = json.loads(line)
-                except json.JSONDecodeError as error:
-                    raise ReproError(
-                        f"ledger {str(self.path)!r} line {lineno} is "
-                        f"not valid JSON: {error.msg}"
-                    )
-                record = RunRecord.from_dict(doc)
-                record.entry = len(records)
-                records.append(record)
+        for _, doc in valid:
+            record = RunRecord.from_dict(doc)
+            record.entry = len(records)
+            records.append(record)
         return records
 
     def resolve(self, key: str) -> RunRecord:

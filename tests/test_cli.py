@@ -923,3 +923,28 @@ def test_submit_unreachable_daemon_exits_2(workspace, capsys):
 def test_serve_rejects_bad_workers(capsys):
     assert main(["serve", "--workers", "0"]) == 2
     assert "--workers must be >= 1" in capsys.readouterr().err
+
+
+def test_serve_rejects_bad_robustness_flags(capsys):
+    assert main(["serve", "--queue-limit", "0"]) == 2
+    assert "--queue-limit must be >= 1" in capsys.readouterr().err
+    assert main(["serve", "--shard-retries", "-1"]) == 2
+    assert "--shard-retries must be >= 0" in capsys.readouterr().err
+    assert main(["serve", "--shard-deadline", "0"]) == 2
+    assert "--shard-deadline must be > 0" in capsys.readouterr().err
+    assert main(["serve", "--cache-entries", "0"]) == 2
+    assert "--cache-entries must be >= 1" in capsys.readouterr().err
+    assert main(["serve", "--timeout", "-2"]) == 2
+    assert "--timeout must be > 0" in capsys.readouterr().err
+
+
+def test_submit_rejects_bad_timeout(workspace, capsys):
+    status = main([
+        "submit", "--port", "1",
+        "--htl", str(workspace / "three_tank.htl"),
+        "--arch", str(workspace / "arch.json"),
+        "--impl", str(workspace / "baseline.json"),
+        "--timeout", "0",
+    ])
+    assert status == 2
+    assert "--timeout must be > 0" in capsys.readouterr().err

@@ -201,13 +201,24 @@ def test_ledger_resolve_on_empty_ledger(tmp_path):
         RunLedger(tmp_path / "void").resolve("latest")
 
 
-def test_ledger_rejects_corrupt_lines(tmp_path):
+def test_ledger_quarantines_corrupt_lines(tmp_path):
     ledger = RunLedger(tmp_path)
     ledger.append(make_record("s1"))
+    ledger.append(make_record("s2"))
     with ledger.path.open("a") as handle:
         handle.write("{not json\n")
-    with pytest.raises(ReproError, match="line 2 is not valid JSON"):
-        ledger.records()
+    # strict mode still refuses to silently skip damage ...
+    with pytest.raises(ReproError, match="corrupt line"):
+        ledger.records(strict=True)
+    # ... the default quarantines it and keeps the intact records.
+    records = ledger.records()
+    assert [record.run_id for record in records] == ["s1", "s2"]
+    assert ledger.quarantined == 1
+    assert "{not json" in ledger.corrupt_path.read_text()
+    # The rewritten ledger is clean: appends keep dense indices.
+    index = ledger.append(make_record("s3"))
+    assert index == 2
+    assert len(ledger.records(strict=True)) == 3
 
 
 # ----------------------------------------------------------------------

@@ -308,7 +308,11 @@ def http_service(tmp_path):
 
 def test_http_submit_and_follow(http_service):
     client, service = http_service
-    assert client.health() == {"status": "ok"}
+    health = client.health()
+    assert health["status"] == "ok"
+    assert health["queue_depth"] == 0
+    assert health["workers_alive"] == health["workers"]
+    assert "mc_entries" in health["cache"]
 
     reply = client.submit(simulate_document(runs=8))
     assert reply["id"] == "job-1"
@@ -360,3 +364,255 @@ def test_client_error_when_daemon_unreachable():
     client = ServiceClient("127.0.0.1", 1, timeout=2.0)
     with pytest.raises(ServiceClientError, match="cannot reach"):
         client.health()
+
+
+# ----------------------------------------------------------------------
+# Robustness: deadlines, cancellation, backpressure, drain (PR 8).
+# ----------------------------------------------------------------------
+
+
+def test_job_timeout_while_queued_is_terminal():
+    import time as _time
+
+    service = make_service()  # not started: the job stays queued
+    job = service.submit(simulate_document(timeout_s=0.01))
+    _time.sleep(0.05)
+    service.run_pending()
+    assert job.state == "timed_out"
+    assert "deadline" in job.error
+    assert service.metrics.get("jobs_timed_out") == 1
+    assert job.events[-1]["state"] == "timed_out"
+
+
+class SlowExecutor:
+    """Inline executor that dawdles before simulating (tests only)."""
+
+    name = "slow"
+
+    def __init__(self, delay_s):
+        self.delay_s = delay_s
+
+    def execute(self, simulator, children, iterations, monitor=None):
+        import time as _time
+
+        _time.sleep(self.delay_s)
+        return simulator.run_slice(children, iterations, monitor)
+
+
+def test_running_job_times_out_and_late_result_is_discarded():
+    service = make_service(
+        workers=1,
+        executor_factory=lambda shards: SlowExecutor(0.5),
+    ).start()
+    try:
+        job = service.submit(
+            simulate_document(seed=901, jobs=2, timeout_s=0.05)
+        )
+        assert job.wait(timeout=60)
+        assert job.state == "timed_out"
+    finally:
+        service.stop()  # joins the worker: the late result arrived
+    assert job.state == "timed_out"  # ... and was discarded
+    assert job.result is None
+    assert service.metrics.get("jobs_timed_out") == 1
+    assert service.metrics.get("jobs_completed") == 0
+
+
+def test_finish_is_idempotent_first_transition_wins():
+    from repro.service.jobs import Job
+
+    job = Job("job-x", {"kind": "simulate"})
+    assert job.finish("done", result={"rates": {}})
+    assert not job.finish("timed_out", error="too late")
+    assert job.state == "done"
+    assert job.error is None
+    with pytest.raises(ServiceError, match="not a terminal state"):
+        job.finish("running")
+
+
+def test_invalid_timeout_rejected():
+    service = make_service()
+    for bad in (0, -1.5, "soon", True):
+        with pytest.raises(ServiceError, match="timeout_s"):
+            service.submit(simulate_document(timeout_s=bad))
+
+
+def test_cancel_queued_job_never_runs():
+    service = make_service()
+    job = service.submit(simulate_document(seed=902))
+    service.cancel(job.id)
+    assert job.state == "cancelled"
+    service.run_pending()  # must skip the cancelled job
+    assert job.state == "cancelled"
+    assert job.result is None
+    assert service.metrics.get("jobs_cancelled") == 1
+    assert service.metrics.get("jobs_completed") == 0
+
+
+def test_queue_limit_rejects_with_retry_hint():
+    from repro.service.jobs import ServiceQueueFull
+
+    service = make_service(queue_limit=1)
+    service.submit(simulate_document(seed=903))
+    with pytest.raises(ServiceQueueFull) as excinfo:
+        service.submit(simulate_document(seed=904))
+    assert excinfo.value.retry_after_s > 0
+    assert service.metrics.get("jobs_rejected") == 1
+    # Draining the queue frees capacity again.
+    service.run_pending()
+    service.submit(simulate_document(seed=904))
+
+
+def test_http_429_retry_after_and_client_backoff(tmp_path):
+    from repro.service.client import ServiceBusyError
+
+    service = make_service(queue_limit=1)  # no workers started
+    server = make_server(service, host="127.0.0.1", port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    try:
+        impatient = ServiceClient(host, port, retries=0)
+        impatient.submit(simulate_document(seed=905))
+        with pytest.raises(ServiceBusyError, match="queue is full"):
+            impatient.submit(simulate_document(seed=906))
+
+        # A retrying client succeeds once capacity frees up: its
+        # sleep hook drains the queue, standing in for the passage
+        # of time, and must observe the server's Retry-After >= 1s.
+        delays = []
+
+        def unblock(delay):
+            delays.append(delay)
+            service.run_pending()
+
+        patient = ServiceClient(
+            host, port, retries=3, backoff_s=0.01, sleep=unblock
+        )
+        reply = patient.submit(simulate_document(seed=907))
+        assert reply["state"] == "queued"
+        assert delays and delays[0] >= 1.0
+    finally:
+        server.shutdown()
+        server.server_close()
+
+
+def test_http_cancel_endpoint(http_service):
+    client, service = http_service
+    reply = client.submit(simulate_document(runs=40, seed=908))
+    cancelled = client.cancel(reply["id"])
+    assert cancelled["state"] in ("cancelled", "done")
+    final = client.job(reply["id"])
+    assert final["state"] in ("cancelled", "done")
+
+
+def test_drain_finishes_accepted_work_and_rejects_new():
+    from repro.service.jobs import ServiceDraining
+
+    service = make_service(workers=2).start()
+    jobs = [
+        service.submit(simulate_document(runs=3, seed=910 + k))
+        for k in range(3)
+    ]
+    service.begin_drain()
+    with pytest.raises(ServiceDraining):
+        service.submit(simulate_document(seed=999))
+    assert service.drain(timeout=120)
+    assert all(job.state == "done" for job in jobs)
+    assert service.health()["status"] == "draining"
+
+
+def test_stop_cancels_queued_jobs_and_wakes_waiters():
+    import time as _time
+
+    service = make_service(
+        workers=1,
+        executor_factory=lambda shards: SlowExecutor(1.0),
+    ).start()
+    slow = service.submit(simulate_document(seed=920, jobs=2))
+    queued = service.submit(simulate_document(seed=921, jobs=2))
+    woke_after = {}
+
+    def waiter():
+        start = _time.monotonic()
+        queued.wait(timeout=120)
+        woke_after["s"] = _time.monotonic() - start
+
+    thread = threading.Thread(target=waiter)
+    thread.start()
+    _time.sleep(0.2)
+    service.stop()
+    thread.join(timeout=30)
+    assert not thread.is_alive()
+    assert queued.state == "cancelled"
+    assert woke_after["s"] < 60  # woke on cancel, not on timeout
+    assert slow.state in ("done", "cancelled")
+
+
+def test_healthz_reports_liveness_and_depth():
+    service = make_service(queue_limit=5)
+    service.submit(simulate_document(seed=930))
+    health = service.health()
+    assert health["queue_depth"] == 1
+    assert health["queue_limit"] == 5
+    assert health["workers"] == 1
+    assert "mc_entries" in health["cache"]
+
+
+# ----------------------------------------------------------------------
+# Cache bounds, disk spill, and corruption quarantine (PR 8).
+# ----------------------------------------------------------------------
+
+
+def test_lru_eviction_is_counted_and_bounded(tmp_path):
+    service = make_service(cache_entries=1)
+    run_job(service, simulate_document(runs=4, seed=940))
+    run_job(service, simulate_document(runs=4, seed=941))
+    assert service.cache.stats()["mc_entries"] == 1
+    assert service.metrics.get("mc_cache_evictions") == 1
+    # The evicted entry is gone: re-running it simulates again.
+    run_job(service, simulate_document(runs=4, seed=940))
+    assert service.metrics.get("runs_simulated_total") == 12
+
+
+def test_evicted_entry_thaws_from_disk_bit_identically(tmp_path):
+    service = make_service(
+        cache_entries=1, cache_dir=str(tmp_path / "spill")
+    )
+    first = run_job(service, simulate_document(runs=4, seed=950))
+    run_job(service, simulate_document(runs=4, seed=951))  # evicts
+    assert service.metrics.get("mc_cache_evictions") == 1
+    again = run_job(service, simulate_document(runs=4, seed=950))
+    assert again.result["cache"] == "hit"
+    assert service.metrics.get("mc_cache_disk_hits") == 1
+    assert again.result["rates"] == first.result["rates"]
+    # No extra simulation happened for the disk-served answer.
+    assert service.metrics.get("runs_simulated_total") == 8
+
+
+def test_corrupt_spill_file_is_quarantined_and_recomputed(tmp_path):
+    spill = tmp_path / "spill"
+    service = make_service(cache_entries=1, cache_dir=str(spill))
+    first = run_job(service, simulate_document(runs=4, seed=960))
+    run_job(service, simulate_document(runs=4, seed=961))  # evicts
+    # Garble every spill file: the disk copies are now lies.
+    for path in spill.glob("*.json"):
+        data = bytearray(path.read_bytes())
+        data[len(data) // 2] ^= 0xFF
+        path.write_bytes(bytes(data))
+    again = run_job(service, simulate_document(runs=4, seed=960))
+    assert again.result["cache"] == "miss"
+    assert again.result["rates"] == first.result["rates"]
+    assert service.metrics.get("cache_corrupt_quarantined") >= 1
+    assert list(spill.glob("*.corrupt"))
+
+
+def test_metrics_expose_robustness_counters(http_service):
+    client, service = http_service
+    snapshot = client.metrics()
+    for counter in (
+        "jobs_timed_out", "jobs_cancelled", "jobs_rejected",
+        "mc_cache_evictions", "mc_cache_disk_hits",
+        "cache_corrupt_quarantined", "shard_retries",
+    ):
+        assert counter in snapshot

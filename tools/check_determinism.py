@@ -51,6 +51,10 @@ CLOCK_ALLOWLIST = frozenset(
         "service/jobs.py",
         "service/server.py",
         "service/client.py",
+        # Supervision and chaos read deadlines and backoff clocks;
+        # faults and jitter are hash-derived, never RNG-stateful.
+        "service/supervision.py",
+        "chaos/harness.py",
     }
 )
 
