@@ -33,6 +33,7 @@ from repro.service.supervision import (
     RetryPolicy,
     SupervisedShardedExecutor,
 )
+from repro.service.top import parse_prometheus, scrape_metrics
 
 
 def _draw(seed: int, *site: Any) -> float:
@@ -311,8 +312,16 @@ def run_chaos(
     ``ledger-durability``
         The ledger still yields one intact record per persisted job;
         quarantine removed only the injected garbage.
+    ``observability``
+        A mid-storm ``/metrics`` scrape is valid Prometheus text
+        whose ``repro_service_shard_retries_total`` agrees with the
+        service's own counter, and a retried job yields one merged
+        Chrome trace with spans under a single trace id.
 
-    Writes ``chaos-events.jsonl`` and ``chaos-report.json`` under
+    Writes ``chaos-events.jsonl``, ``chaos-report.json``,
+    ``service-log.jsonl`` (the daemon's structured log),
+    ``metrics.prom`` (the scraped exposition), and
+    ``job-trace.json`` (the merged trace of a retried job) under
     *out_dir* when given.
     """
     config = config or ChaosConfig()
@@ -360,6 +369,10 @@ def run_chaos(
             queue_limit=config.queue_limit,
             cache_dir=str(cache_dir),
             executor_factory=executor_factory,
+            log=(
+                None if out_path is None
+                else str(out_path / "service-log.jsonl")
+            ),
         ).start()
         server = make_server(service)
         server_thread = threading.Thread(
@@ -386,6 +399,7 @@ def run_chaos(
                 job_ids.append(reply["id"])
                 log.note(
                     "submitted", job=reply["id"],
+                    trace=reply.get("trace_id"),
                     seed=doc.get("seed"),
                     timeout_s=doc.get("timeout_s"),
                 )
@@ -455,6 +469,27 @@ def run_chaos(
                 )
 
             _wait_quiescent(client, job_ids, deadline)
+
+            # Scrape the live daemon's Prometheus exposition while
+            # the storm's counters are still on the wire (the
+            # ``observability`` invariant parses it below).
+            scrape_error = ""
+            scrape_type = ""
+            scrape_body = ""
+            try:
+                status, scrape_type, scrape_body = scrape_metrics(
+                    host, port
+                )
+                if status != 200:
+                    scrape_error = f"/metrics replied HTTP {status}"
+            except ReproError as error:
+                scrape_error = str(error)
+            log.note(
+                "metrics-scraped",
+                content_type=scrape_type,
+                bytes=len(scrape_body),
+                error=scrape_error or None,
+            )
         finally:
             server.shutdown()
             server.server_close()
@@ -562,9 +597,88 @@ def run_chaos(
         }
         report.quarantined["ledger"] = ledger.quarantined
 
+        # -- invariant 4: the storm stayed observable --------------------
+        problems = []
+        exposition: dict = {}
+        if scrape_error:
+            problems.append(scrape_error)
+        elif "text/plain" not in scrape_type:
+            problems.append(
+                f"/metrics Content-Type not Prometheus text: "
+                f"{scrape_type!r}"
+            )
+        else:
+            try:
+                exposition = parse_prometheus(scrape_body)
+            except ReproError as error:
+                problems.append(f"exposition unparseable: {error}")
+        if exposition:
+            scraped_retries = sum(
+                value for _, value in exposition.get(
+                    "repro_service_shard_retries_total", []
+                )
+            )
+            if int(scraped_retries) != report.shard_retries:
+                problems.append(
+                    f"scraped shard_retries_total "
+                    f"{scraped_retries:.0f} != service counter "
+                    f"{report.shard_retries}"
+                )
+        # One merged Chrome trace for a job that survived a retry
+        # (falling back to any completed job on a fault-free seed).
+        traced = next(
+            (
+                job for job in jobs.values()
+                if job.state == "done" and any(
+                    event.get("state") == "shard-retry"
+                    for event in job.events
+                )
+            ),
+            next(
+                (
+                    job for job in jobs.values()
+                    if job.state == "done"
+                ),
+                None,
+            ),
+        )
+        trace_doc: "dict | None" = None
+        if traced is None:
+            problems.append("no completed job to trace")
+        else:
+            trace_doc = service.job_trace(traced.id)
+            trace_ids = {
+                event.get("args", {}).get("trace_id")
+                for event in trace_doc.get("traceEvents", [])
+                if event.get("ph") != "M"
+            }
+            if not trace_doc.get("traceEvents"):
+                problems.append(f"job {traced.id} trace is empty")
+            elif trace_ids != {traced.trace_id}:
+                problems.append(
+                    f"trace of {traced.id} mixes trace ids: "
+                    f"{sorted(str(t) for t in trace_ids)}"
+                )
+        report.invariants["observability"] = {
+            "ok": not problems,
+            "detail": (
+                f"exposition parsed ({len(exposition)} metrics), "
+                f"retry counter consistent, traced job "
+                f"{traced.id if traced else '?'}"
+                if not problems else "; ".join(problems)
+            ),
+        }
+
     log.note("storm-end", ok=report.ok)
     if out_path is not None:
         out_path.mkdir(parents=True, exist_ok=True)
+        if scrape_body:
+            (out_path / "metrics.prom").write_text(scrape_body)
+        if trace_doc is not None:
+            (out_path / "job-trace.json").write_text(
+                json.dumps(trace_doc, indent=2, sort_keys=True)
+                + "\n"
+            )
         (out_path / "chaos-report.json").write_text(
             json.dumps(report.to_dict(), indent=2, sort_keys=True)
             + "\n"

@@ -940,6 +940,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         cache_entries=args.cache_entries,
         cache_dir=args.cache_dir,
         default_timeout_s=args.timeout,
+        log=args.log,
+        tracing=not args.no_trace,
     )
     return 0
 
@@ -982,11 +984,23 @@ def _build_job_document(args: argparse.Namespace) -> dict:
 def _cmd_submit(args: argparse.Namespace) -> int:
     from repro.service.client import ServiceClient
 
-    client = ServiceClient(args.host, args.port)
+    if args.trace and args.no_wait:
+        raise ReproError(
+            "--trace needs the finished job; drop --no-wait"
+        )
+
+    def _log_backoff(event: dict) -> None:
+        print(json.dumps(event, sort_keys=True), file=sys.stderr)
+
+    client = ServiceClient(args.host, args.port, on_log=_log_backoff)
     document = _build_job_document(args)
     reply = client.submit(document)
     job_id = reply["id"]
-    print(f"submitted {job_id}")
+    trace_id = reply.get("trace_id")
+    print(
+        f"submitted {job_id}"
+        + (f" trace {trace_id}" if trace_id else "")
+    )
     if args.no_wait:
         return 0
     for event in client.iter_events(job_id):
@@ -998,6 +1012,15 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         suffix = f" {json.dumps(detail)}" if detail else ""
         print(f"  [{event['seq']}] {event['state']}{suffix}")
     job = client.job(job_id)
+    if args.trace:
+        trace_doc = client.job_trace(job_id)
+        with open(args.trace, "w", encoding="utf-8") as handle:
+            json.dump(trace_doc, handle)
+        print(
+            f"wrote merged trace ({len(trace_doc['traceEvents'])} "
+            f"events) to {args.trace}",
+            file=sys.stderr,
+        )
     if job["state"] in ("failed", "timed_out", "cancelled"):
         print(
             f"error: job {job['state']}: "
@@ -1037,6 +1060,19 @@ def _cmd_jobs(args: argparse.Namespace) -> int:
             f"{note}"
         )
     return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    from repro.service.top import run_top
+
+    if args.interval <= 0:
+        raise ReproError(
+            f"--interval must be > 0, got {args.interval}"
+        )
+    return run_top(
+        host=args.host, port=args.port,
+        interval=args.interval, once=args.once,
+    )
 
 
 def _cmd_chaos(args: argparse.Namespace) -> int:
@@ -1333,6 +1369,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="default per-job deadline applied to jobs without "
         "their own timeout_s",
     )
+    serve.add_argument(
+        "--log", metavar="FILE",
+        help="append structured JSONL service-log events "
+        "(trace_id/job_id-stamped state transitions) to FILE",
+    )
+    serve.add_argument(
+        "--no-trace", action="store_true",
+        help="disable distributed span collection (jobs still "
+        "carry trace ids)",
+    )
     serve.set_defaults(handler=_cmd_serve)
 
     submit = subparsers.add_parser(
@@ -1382,7 +1428,29 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-wait", action="store_true",
         help="print the job id and return without following",
     )
+    submit.add_argument(
+        "--trace", metavar="FILE",
+        help="after completion, write the job's merged Chrome "
+        "trace (client + daemon + shard spans) to FILE",
+    )
     submit.set_defaults(handler=_cmd_submit)
+
+    top = subparsers.add_parser(
+        "top",
+        help="live dashboard over a running repro serve daemon "
+        "(/metrics + /healthz)",
+    )
+    top.add_argument("--host", default="127.0.0.1")
+    top.add_argument("--port", type=int, default=8765)
+    top.add_argument(
+        "--interval", type=float, default=1.0, metavar="SECONDS",
+        help="refresh interval (default 1.0)",
+    )
+    top.add_argument(
+        "--once", action="store_true",
+        help="print one frame to stdout and exit (no curses)",
+    )
+    top.set_defaults(handler=_cmd_top)
 
     chaos = subparsers.add_parser(
         "chaos",

@@ -234,15 +234,20 @@ class _ShardPayload:
     samples_per_run: dict[str, int]
     executor: str
     monitor_events: tuple
+    #: Distributed-tracing span dicts recorded by the worker.  They
+    #: ride NEXT TO the batch data, never inside it, so merge — and
+    #: therefore the bit-identity contract — is unaffected by tracing.
+    spans: tuple = ()
 
 
-def _payload_of(result: BatchResult) -> _ShardPayload:
+def _payload_of(result: BatchResult, spans: tuple = ()) -> _ShardPayload:
     return _ShardPayload(
         runs=result.runs,
         reliable_counts=result.reliable_counts,
         samples_per_run=result.samples_per_run,
         executor=result.executor,
         monitor_events=result.monitor_events,
+        spans=spans,
     )
 
 
@@ -259,13 +264,22 @@ def _result_of(payload: _ShardPayload, simulator: "BatchSimulator",
     )
 
 
-def _shard_worker(simulator, children, iterations, monitor, offset, conn):
+def _shard_worker(
+    simulator, children, iterations, monitor, offset, conn, trace=None
+):
     """Entry point of one forked shard worker."""
+    from repro.telemetry.distributed import shard_span
+
     try:
-        result = simulator.run_slice(
-            children, iterations, monitor, run_offset=offset
+        with shard_span(
+            trace, offset, offset + len(children)
+        ) as recorder:
+            result = simulator.run_slice(
+                children, iterations, monitor, run_offset=offset
+            )
+        conn.send(
+            ("ok", _payload_of(result, tuple(recorder.spans)))
         )
-        conn.send(("ok", _payload_of(result)))
     except BaseException as error:  # ship the failure to the parent
         conn.send(("error", f"{type(error).__name__}: {error}"))
     finally:
@@ -296,6 +310,13 @@ class ShardedExecutor:
         Optional :class:`~repro.telemetry.bus.TelemetryBus`; the
         merged monitor-event stream is replayed onto it in
         deterministic run order after the shards complete.
+    trace:
+        Optional :class:`~repro.telemetry.distributed.TraceContext`.
+        When set, every shard (forked or inline) records one
+        epoch-stamped span; the merged, run-ordered span list is left
+        on :attr:`shard_spans` after :meth:`execute` for the service's
+        distributed job trace.  Tracing is observer-only — it rides
+        outside the batch payload and never changes results.
     """
 
     name = "sharded"
@@ -305,6 +326,7 @@ class ShardedExecutor:
         jobs: int,
         processes: bool = True,
         telemetry: "TelemetryBus | None" = None,
+        trace: "Any | None" = None,
     ) -> None:
         if jobs < 1:
             raise RuntimeSimulationError(
@@ -313,6 +335,8 @@ class ShardedExecutor:
         self.jobs = jobs
         self.processes = processes
         self.telemetry = telemetry
+        self.trace_context = trace
+        self.shard_spans: list[dict] = []
 
     def execute(
         self,
@@ -321,27 +345,37 @@ class ShardedExecutor:
         iterations: int,
         monitor: "MonitorConfig | None" = None,
     ) -> BatchResult:
+        from repro.telemetry.distributed import shard_span
+
+        self.shard_spans = []
         slices = shard_slices(len(children), self.jobs)
         context = _fork_context() if self.processes else None
+        span_lists: list[tuple] = []
         if len(slices) <= 1 or context is None:
-            shards = [
-                simulator.run_slice(
-                    children[start:stop], iterations, monitor,
-                    run_offset=start,
-                )
-                for start, stop in slices
-            ]
+            shards = []
+            for start, stop in slices:
+                with shard_span(
+                    self.trace_context, start, stop
+                ) as recorder:
+                    shards.append(
+                        simulator.run_slice(
+                            children[start:stop], iterations, monitor,
+                            run_offset=start,
+                        )
+                    )
+                span_lists.append(tuple(recorder.spans))
         else:
-            shards = self._execute_processes(
+            shards, span_lists = self._execute_processes(
                 context, simulator, children, iterations, monitor,
                 slices,
             )
         merged = merge_batch_results(shards) if shards else (
             simulator.run_slice(children, iterations, monitor)
         )
-        if self.telemetry is not None:
+        if self.telemetry is not None or self.trace_context is not None:
             from repro.telemetry.shardbuffer import (
                 ShardEventBuffer,
+                collect_spans,
                 replay_sharded,
             )
 
@@ -350,13 +384,18 @@ class ShardedExecutor:
                 buffer = ShardEventBuffer(shard=index)
                 for event in shard.monitor_events:
                     buffer.on_event(event)
+                if index < len(span_lists):
+                    for span in span_lists[index]:
+                        buffer.on_span(span)
                 buffers.append(buffer)
-            replay_sharded(buffers, self.telemetry)
+            if self.telemetry is not None:
+                replay_sharded(buffers, self.telemetry)
+            self.shard_spans = collect_spans(buffers)
         return merged
 
     def _execute_processes(
         self, context, simulator, children, iterations, monitor, slices
-    ) -> list[BatchResult]:
+    ) -> tuple[list[BatchResult], list[tuple]]:
         workers = []
         for start, stop in slices:
             parent_conn, child_conn = context.Pipe(duplex=False)
@@ -364,13 +403,14 @@ class ShardedExecutor:
                 target=_shard_worker,
                 args=(
                     simulator, children[start:stop], iterations,
-                    monitor, start, child_conn,
+                    monitor, start, child_conn, self.trace_context,
                 ),
             )
             process.start()
             child_conn.close()
             workers.append((process, parent_conn))
         shards: list[BatchResult] = []
+        span_lists: list[tuple] = []
         failures: list[str] = []
         for process, conn in workers:
             try:
@@ -384,10 +424,11 @@ class ShardedExecutor:
                 shards.append(
                     _result_of(payload, simulator, iterations)
                 )
+                span_lists.append(tuple(payload.spans))
             else:
                 failures.append(str(payload))
         if failures:
             raise RuntimeSimulationError(
                 f"sharded batch worker failed: {failures[0]}"
             )
-        return shards
+        return shards, span_lists

@@ -27,8 +27,19 @@ restarts crashed or hung shard workers bit-identically.  The
 :mod:`repro.chaos` harness injects those faults deterministically and
 asserts the guarantees hold.
 
+PR 9 makes the fleet observable end to end: jobs carry distributed
+trace ids from the client header through forked shard workers
+(:meth:`~repro.service.jobs.ReliabilityService.job_trace` merges one
+Chrome trace per job), :class:`~repro.service.cache.ServiceMetrics`
+is backed by the PR 4 metrics registry with Prometheus exposition and
+latency histograms, state transitions stream to a structured JSONL
+:class:`~repro.service.slog.ServiceLog`, rolling SLOs
+(:class:`~repro.service.slo.SloTracker`) surface in ``/healthz``, and
+:mod:`repro.service.top` is the live ``repro top`` dashboard.
+
 See ``docs/service.md`` for the wire API, cache semantics, and the
-failure-mode guarantees.
+failure-mode guarantees, and ``docs/observability.md`` for tracing a
+job across the fleet.
 """
 
 from repro.service.cache import McKey, ResultCache, ServiceMetrics
@@ -46,11 +57,19 @@ from repro.service.jobs import (
     ServiceQueueFull,
 )
 from repro.service.server import serve
+from repro.service.slo import SloTracker
+from repro.service.slog import ServiceLog
 from repro.service.supervision import (
     ChaosAction,
     RetryPolicy,
     ShardRetryEvent,
     SupervisedShardedExecutor,
+)
+from repro.service.top import (
+    parse_prometheus,
+    render_frame,
+    run_top,
+    scrape_metrics,
 )
 
 __all__ = [
@@ -65,10 +84,16 @@ __all__ = [
     "ServiceClientError",
     "ServiceDraining",
     "ServiceError",
+    "ServiceLog",
     "ServiceMetrics",
     "ServiceQueueFull",
     "ShardRetryEvent",
+    "SloTracker",
     "SupervisedShardedExecutor",
     "TERMINAL_STATES",
+    "parse_prometheus",
+    "render_frame",
+    "run_top",
+    "scrape_metrics",
     "serve",
 ]

@@ -67,52 +67,203 @@ class McKey:
     monitor_window: "int | None"
 
 
-class ServiceMetrics:
-    """Thread-safe monotonic counters, exported at ``/metrics``.
+#: Legacy flat counter name → (registry metric name, labels, help).
+#: The flat names are the service's stable JSON contract (`/metrics`
+#: default shape, chaos invariants, acceptance tests); the registry
+#: names are what Prometheus scrapes see.
+_LEGACY_COUNTERS: dict[str, tuple[str, tuple, str]] = {
+    **{
+        f"jobs_{event}": (
+            "repro_service_jobs_total",
+            (("event", event),),
+            "Jobs by lifecycle event.",
+        )
+        for event in (
+            "submitted", "completed", "failed", "timed_out",
+            "cancelled", "rejected",
+        )
+    },
+    **{
+        f"mc_cache_{legacy}": (
+            "repro_service_cache_events_total",
+            (("cache", "mc"), ("outcome", outcome)),
+            "Cache lookups and evictions by outcome.",
+        )
+        for legacy, outcome in (
+            ("hits", "hit"), ("partial", "partial"), ("misses", "miss"),
+        )
+    },
+    "mc_cache_evictions": (
+        "repro_service_cache_events_total",
+        (("cache", "mc"), ("outcome", "eviction")),
+        "Cache lookups and evictions by outcome.",
+    ),
+    "mc_cache_disk_hits": (
+        "repro_service_cache_events_total",
+        (("cache", "mc"), ("outcome", "disk_hit")),
+        "Cache lookups and evictions by outcome.",
+    ),
+    "verify_cache_hits": (
+        "repro_service_cache_events_total",
+        (("cache", "verify"), ("outcome", "hit")),
+        "Cache lookups and evictions by outcome.",
+    ),
+    "verify_cache_misses": (
+        "repro_service_cache_events_total",
+        (("cache", "verify"), ("outcome", "miss")),
+        "Cache lookups and evictions by outcome.",
+    ),
+    "verify_cache_evictions": (
+        "repro_service_cache_events_total",
+        (("cache", "verify"), ("outcome", "eviction")),
+        "Cache lookups and evictions by outcome.",
+    ),
+    "cache_corrupt_quarantined": (
+        "repro_service_cache_corrupt_quarantined_total",
+        (),
+        "Corrupt cache files quarantined on load.",
+    ),
+    "shard_retries": (
+        "repro_service_shard_retries_total",
+        (),
+        "Supervised shard worker retries.",
+    ),
+    "runs_simulated_total": (
+        "repro_service_runs_simulated",
+        (),
+        "Monte-Carlo runs actually simulated (cache hits excluded).",
+    ),
+}
 
-    The acceptance tests read these to prove cache behaviour: a
-    repeated identical job must bump ``mc_cache_hits`` while leaving
-    ``runs_simulated_total`` unchanged; a runs upgrade must add only
-    the delta.  PR 8 adds the robustness counters: evictions,
-    quarantined corrupt entries, shard retries, timeouts,
-    cancellations, and queue-full rejections.
+
+class ServiceMetrics:
+    """Thread-safe service metrics over the PR 4 ``MetricsRegistry``.
+
+    The PR 7/8 facade API is preserved exactly — ``add``/``get``/
+    ``snapshot`` over the flat counter names the acceptance tests and
+    chaos invariants read (a repeated identical job must bump
+    ``mc_cache_hits`` while leaving ``runs_simulated_total`` unchanged;
+    a runs upgrade must add only the delta) — but the storage is a
+    :class:`~repro.telemetry.metrics.MetricsRegistry`, which adds
+    labelled counters, latency histograms (per endpoint, per job
+    stage, per job outcome), gauges, and Prometheus text exposition
+    (:meth:`to_prometheus`) on top of the same numbers.
+
+    The registry itself is not internally locked; every touch goes
+    through ``self._lock``.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, registry: "Any | None" = None) -> None:
         import threading
 
+        from repro.telemetry.metrics import MetricsRegistry
+
         self._lock = threading.Lock()
-        self._counts: dict[str, int] = {
-            "jobs_submitted": 0,
-            "jobs_completed": 0,
-            "jobs_failed": 0,
-            "jobs_timed_out": 0,
-            "jobs_cancelled": 0,
-            "jobs_rejected": 0,
-            "mc_cache_hits": 0,
-            "mc_cache_partial": 0,
-            "mc_cache_misses": 0,
-            "mc_cache_evictions": 0,
-            "mc_cache_disk_hits": 0,
-            "verify_cache_hits": 0,
-            "verify_cache_misses": 0,
-            "verify_cache_evictions": 0,
-            "cache_corrupt_quarantined": 0,
-            "shard_retries": 0,
-            "runs_simulated_total": 0,
-        }
+        self.registry = registry or MetricsRegistry()
+        self._legacy: dict[str, Any] = {}
+        for name, (metric, labels, help_text) in (
+            _LEGACY_COUNTERS.items()
+        ):
+            self._legacy[name] = self.registry.counter(
+                metric, labels=dict(labels), help=help_text
+            )
+        self._gauges: dict[tuple, Any] = {}
+
+    # -- the legacy flat-counter API ------------------------------------
 
     def add(self, name: str, amount: int = 1) -> None:
         with self._lock:
-            self._counts[name] = self._counts.get(name, 0) + amount
+            counter = self._legacy.get(name)
+            if counter is None:
+                counter = self.registry.counter(
+                    f"repro_service_{name}_total"
+                )
+                self._legacy[name] = counter
+            counter.inc(amount)
 
     def snapshot(self) -> dict[str, int]:
         with self._lock:
-            return dict(self._counts)
+            return {
+                name: int(counter.value)
+                for name, counter in self._legacy.items()
+            }
 
     def get(self, name: str) -> int:
         with self._lock:
-            return self._counts.get(name, 0)
+            counter = self._legacy.get(name)
+            return 0 if counter is None else int(counter.value)
+
+    # -- the labelled / histogram layer ---------------------------------
+
+    def observe_request(
+        self, endpoint: str, method: str, status: int, seconds: float
+    ) -> None:
+        """Record one HTTP request (counter + latency histogram)."""
+        with self._lock:
+            self.registry.counter(
+                "repro_service_requests_total",
+                labels={
+                    "endpoint": endpoint,
+                    "method": method,
+                    "status": str(status),
+                },
+                help="HTTP requests by endpoint, method, and status.",
+            ).inc()
+            self.registry.histogram(
+                "repro_service_request_seconds",
+                labels={"endpoint": endpoint},
+                help="HTTP request latency.",
+                unit="seconds",
+            ).observe(seconds)
+
+    def observe_stage(self, stage: str, seconds: float) -> None:
+        """Record one job-pipeline stage duration."""
+        with self._lock:
+            self.registry.histogram(
+                "repro_service_job_stage_seconds",
+                labels={"stage": stage},
+                help="Job pipeline stage latency.",
+                unit="seconds",
+            ).observe(seconds)
+
+    def observe_job(
+        self, kind: str, outcome: str, seconds: float
+    ) -> None:
+        """Record one finished job's submit-to-terminal latency."""
+        with self._lock:
+            self.registry.histogram(
+                "repro_service_job_seconds",
+                labels={"kind": kind, "outcome": outcome},
+                help="Whole-job latency from submit to terminal state.",
+                unit="seconds",
+            ).observe(seconds)
+
+    def set_gauge(
+        self,
+        name: str,
+        value: float,
+        labels: "dict[str, str] | None" = None,
+        help: str = "",
+    ) -> None:
+        with self._lock:
+            key = (name, tuple(sorted((labels or {}).items())))
+            gauge = self._gauges.get(key)
+            if gauge is None:
+                gauge = self.registry.gauge(
+                    name, labels=labels, help=help
+                )
+                self._gauges[key] = gauge
+            gauge.set(value)
+
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition of every registered metric."""
+        with self._lock:
+            return self.registry.to_prometheus()
+
+    def registry_snapshot(self) -> dict:
+        """The registry's structured (labelled) snapshot."""
+        with self._lock:
+            return self.registry.snapshot()
 
 
 def _estimate_bytes(result: "BatchResult") -> int:

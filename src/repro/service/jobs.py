@@ -43,6 +43,17 @@ cache misses run under the
 crashed or hung shard worker is retried (bit-identically) instead of
 failing the job.
 
+Observability (PR 9): every job carries a ``trace_id`` (client-minted
+or server-minted), job-lifecycle stages feed latency histograms in
+:class:`ServiceMetrics`, state transitions stream to a structured
+JSONL :class:`~repro.service.slog.ServiceLog`, finished jobs feed a
+rolling :class:`~repro.service.slo.SloTracker` (p99 latency, error
+burn) surfaced in :meth:`ReliabilityService.health`, and
+:meth:`ReliabilityService.job_trace` merges the job's events with the
+shard workers' spans into one Chrome trace spanning every process.
+Tracing is observer-only: spans ride outside batch payloads, so
+results stay bit-identical with tracing on or off.
+
 This module reads the wall clock (job timestamps, deadlines) and is
 therefore on the determinism-lint allowlist; timestamps never reach
 simulation state.
@@ -60,6 +71,13 @@ import numpy as np
 
 from repro.errors import ReproError
 from repro.service.cache import McKey, ResultCache, ServiceMetrics
+from repro.service.slo import SloTracker
+from repro.service.slog import ServiceLog
+from repro.telemetry.distributed import (
+    TraceContext,
+    build_job_trace,
+    mint_trace_id,
+)
 
 #: States a job can never leave.
 TERMINAL_STATES = frozenset(
@@ -95,6 +113,8 @@ class Job:
         job_id: str,
         document: dict,
         timeout_s: "float | None" = None,
+        trace_id: "str | None" = None,
+        observer: "Callable[[Job, dict], None] | None" = None,
     ) -> None:
         self.id = job_id
         self.document = document
@@ -109,6 +129,15 @@ class Job:
             None if timeout_s is None
             else time.monotonic() + timeout_s
         )
+        #: Distributed-tracing correlation key: client-minted (sent in
+        #: the X-Repro-Trace-Id header) or server-minted here.
+        self.trace_id = trace_id or mint_trace_id()
+        #: Worker shard spans collected after a sharded execution.
+        self.spans: list[dict] = []
+        #: Called as ``observer(job, event)`` after every emit —
+        #: the service hooks the structured log here.  Set before the
+        #: "queued" emit so no transition escapes the log.
+        self.observer = observer
         self.events: list[dict] = []
         self.condition = threading.Condition()
         self.emit("queued")
@@ -116,16 +145,22 @@ class Job:
     def emit(self, state: str, **detail: Any) -> None:
         """Append one progress event and wake any waiters."""
         with self.condition:
-            self.events.append(
-                {
-                    "seq": len(self.events),
-                    "job": self.id,
-                    "state": state,
-                    "at": time.time(),
-                    **detail,
-                }
-            )
+            event = {
+                "seq": len(self.events),
+                "job": self.id,
+                "state": state,
+                "at": time.time(),
+                **detail,
+            }
+            self.events.append(event)
             self.condition.notify_all()
+        if self.observer is not None:
+            # Outside the condition: the observer writes a log line
+            # and must not hold up (or deadlock against) waiters.
+            try:
+                self.observer(self, event)
+            except Exception:  # pragma: no cover - log must not kill
+                pass
 
     @property
     def done(self) -> bool:
@@ -225,6 +260,7 @@ class Job:
             "id": self.id,
             "kind": self.document.get("kind", "simulate"),
             "state": self.state,
+            "trace_id": self.trace_id,
             "submitted_at": self.submitted_at,
             "finished_at": self.finished_at,
             "events": len(self.events),
@@ -268,6 +304,16 @@ class ReliabilityService:
     executor_factory:
         Testing/chaos hook: ``factory(shards) -> BatchExecutor``
         overriding the supervised default for sharded misses.
+    log:
+        Structured JSONL service log: a
+        :class:`~repro.service.slog.ServiceLog`, a path to append to,
+        or ``None`` for an in-memory-only log (always on — the ring
+        buffer is cheap and the chaos harness reads it).
+    tracing:
+        ``False`` disables distributed span collection (jobs still
+        carry trace ids; the benchmark guard compares both modes).
+    slo_window:
+        Finished-job window for the rolling SLO tracker.
     """
 
     def __init__(
@@ -284,6 +330,9 @@ class ReliabilityService:
         cache_dir: "str | None" = None,
         default_timeout_s: "float | None" = None,
         executor_factory: "Callable[[int], Any] | None" = None,
+        log: "ServiceLog | str | None" = None,
+        tracing: bool = True,
+        slo_window: int = 512,
     ) -> None:
         if workers < 1:
             raise ServiceError(f"workers must be >= 1, got {workers}")
@@ -310,6 +359,13 @@ class ReliabilityService:
         self.shard_deadline_s = shard_deadline_s
         self.default_timeout_s = default_timeout_s
         self.executor_factory = executor_factory
+        self.tracing = tracing
+        self.log = (
+            log if isinstance(log, ServiceLog) else ServiceLog(log)
+        )
+        self.slo = SloTracker(window=slo_window)
+        self.started_at = time.time()
+        self._started_monotonic = time.monotonic()
         self._queue: "queue.Queue[Job | None]" = queue.Queue()
         self._jobs: dict[str, Job] = {}
         self._lock = threading.Lock()
@@ -393,6 +449,8 @@ class ReliabilityService:
             if job.finish("cancelled", error="service stopped"):
                 self.metrics.add("jobs_cancelled")
         self._shutdown_threads()
+        self.log.emit("service-stopped")
+        self.log.close()
 
     def _shutdown_threads(self) -> None:
         if not self._started:
@@ -416,9 +474,21 @@ class ReliabilityService:
 
     # -- submission / lookup -------------------------------------------
 
-    def submit(self, document: Mapping[str, Any]) -> Job:
-        """Validate and enqueue one job document."""
+    def submit(
+        self,
+        document: Mapping[str, Any],
+        trace_id: "str | None" = None,
+    ) -> Job:
+        """Validate and enqueue one job document.
+
+        *trace_id* is the client-propagated distributed-tracing id
+        (from the ``X-Repro-Trace-Id`` header); ``None`` mints one
+        server-side, so every job is traceable either way.
+        """
         if self._draining:
+            self.log.emit(
+                "rejected", reason="draining", trace_id=trace_id
+            )
             raise ServiceDraining(
                 "service is draining and not accepting jobs"
             )
@@ -465,6 +535,12 @@ class ReliabilityService:
                 and self._queued >= self.queue_limit
             ):
                 self.metrics.add("jobs_rejected")
+                self.log.emit(
+                    "rejected", reason="queue-full",
+                    queue_depth=self._queued,
+                    queue_limit=self.queue_limit,
+                    trace_id=trace_id,
+                )
                 raise ServiceQueueFull(
                     f"job queue is full "
                     f"({self._queued}/{self.queue_limit} queued); "
@@ -473,7 +549,8 @@ class ReliabilityService:
                 )
             self._counter += 1
             job = Job(
-                f"job-{self._counter}", doc, timeout_s=timeout_s
+                f"job-{self._counter}", doc, timeout_s=timeout_s,
+                trace_id=trace_id, observer=self._on_job_event,
             )
             self._jobs[job.id] = job
             self._queued += 1
@@ -482,6 +559,22 @@ class ReliabilityService:
         if job.deadline is not None:
             self._reaper_wake.set()
         return job
+
+    def _on_job_event(self, job: Job, event: dict) -> None:
+        """Mirror one job state transition into the structured log."""
+        detail = {
+            key: value
+            for key, value in event.items()
+            if key not in ("seq", "job", "state", "at")
+        }
+        self.log.emit(
+            event["state"],
+            trace_id=job.trace_id,
+            job_id=job.id,
+            job_seq=event["seq"],
+            at=event["at"],
+            **detail,
+        )
 
     def cancel(self, job_id: str) -> Job:
         """Cancel a job; running work is discarded on completion."""
@@ -512,22 +605,116 @@ class ReliabilityService:
         with self._lock:
             return self._queued
 
+    def uptime_seconds(self) -> float:
+        """Monotonic seconds since this service object was created."""
+        return time.monotonic() - self._started_monotonic
+
     def health(self) -> dict:
-        """The ``/healthz`` document: liveness, depth, cache stats."""
+        """The ``/healthz`` document: liveness, depth, cache, SLOs."""
+        from repro import __version__
+
         with self._lock:
             queued, running = self._queued, self._running
+            active = [
+                job.trace_id
+                for job in self._jobs.values()
+                if not job.done
+            ]
         alive = sum(
             1 for thread in self._threads if thread.is_alive()
         )
         return {
             "status": "draining" if self._draining else "ok",
+            "version": __version__,
+            "uptime_seconds": self.uptime_seconds(),
             "queue_depth": queued,
             "queue_limit": self.queue_limit,
             "jobs_running": running,
             "workers": len(self._threads),
             "workers_alive": alive,
             "cache": self.cache.stats(),
+            "slo": self.slo.snapshot(),
+            "active_traces": active[:32],
         }
+
+    def job_trace(self, job_id: str) -> dict:
+        """One merged Chrome trace for *job_id* across every process.
+
+        Combines the job's daemon-side lifecycle events (including
+        supervised shard-retry events) with the worker shard spans
+        collected after execution; the client merges its own spans in
+        afterwards (``ServiceClient.job_trace``).  Loads directly in
+        ``chrome://tracing``/Perfetto and in ``repro trace``.
+        """
+        job = self.get(job_id)
+        with job.condition:
+            events = list(job.events)
+            spans = list(job.spans)
+        return build_job_trace(
+            trace_id=job.trace_id,
+            job_id=job.id,
+            events=events,
+            spans=spans,
+            submitted_at=job.submitted_at,
+            finished_at=job.finished_at,
+        )
+
+    def metrics_exposition(self) -> str:
+        """Prometheus text exposition, with live gauges refreshed.
+
+        Counters and histograms accrue as work happens; point-in-time
+        state (queue depth, liveness, uptime, SLO view, cache sizes)
+        is mirrored into gauges here, at scrape time.
+        """
+        health = self.health()
+        gauge = self.metrics.set_gauge
+        gauge(
+            "repro_service_queue_depth", health["queue_depth"],
+            help="Accepted jobs not yet picked up by a worker.",
+        )
+        gauge(
+            "repro_service_jobs_running", health["jobs_running"],
+            help="Jobs currently executing.",
+        )
+        gauge(
+            "repro_service_workers", health["workers"],
+            help="Configured worker threads.",
+        )
+        gauge(
+            "repro_service_workers_alive", health["workers_alive"],
+            help="Worker threads currently alive.",
+        )
+        gauge(
+            "repro_service_uptime_seconds", health["uptime_seconds"],
+            help="Seconds since the service started.",
+        )
+        slo = health["slo"]
+        for quantile in ("p50_s", "p90_s", "p99_s"):
+            if slo.get(quantile) is not None:
+                gauge(
+                    "repro_service_job_latency_seconds",
+                    slo[quantile],
+                    labels={"quantile": quantile[:-2]},
+                    help="Rolling job latency quantiles (SLO window).",
+                )
+        gauge(
+            "repro_service_error_rate", slo["error_rate"],
+            help="Windowed failed-job fraction.",
+        )
+        gauge(
+            "repro_service_burn_alarm",
+            1.0 if slo["burn_alarm"] else 0.0,
+            help="1 when the error-rate burn alarm is tripped.",
+        )
+        for key, value in health["cache"].items():
+            if isinstance(value, (int, float)):
+                gauge(
+                    "repro_service_cache_size",
+                    value,
+                    labels={"stat": key},
+                    help="Result-cache sizes by statistic.",
+                )
+        return self.metrics.to_prometheus()
 
     def run_pending(self) -> None:
         """Drain the queue synchronously (test/CLI convenience)."""
@@ -553,6 +740,9 @@ class ReliabilityService:
             self._queued -= 1
             self._running += 1
         try:
+            self.metrics.observe_stage(
+                "queued", max(0.0, time.time() - job.submitted_at)
+            )
             # A job cancelled or timed out while queued is already
             # terminal: never start it.
             if job.overdue():
@@ -566,6 +756,7 @@ class ReliabilityService:
             if job.start_running():
                 self._execute(job)
         finally:
+            self._record_outcome(job)
             with self._idle:
                 self._running -= 1
                 self._idle.notify_all()
@@ -588,6 +779,17 @@ class ReliabilityService:
         # the race and the late result is discarded.
         if job.finish("done", result=result):
             self.metrics.add("jobs_completed")
+
+    def _record_outcome(self, job: Job) -> None:
+        """Feed a finished job into the latency/SLO accounting."""
+        if not job.done or job.finished_at is None:
+            return
+        latency = max(0.0, job.finished_at - job.submitted_at)
+        kind = job.document.get("kind", "simulate")
+        self.metrics.observe_job(kind, job.state, latency)
+        if job.state != "cancelled":
+            # A client cancel is neither a success nor an error burn.
+            self.slo.record(latency, ok=job.state == "done")
 
     # -- deadline enforcement -------------------------------------------
 
@@ -696,6 +898,9 @@ class ReliabilityService:
             job.emit("shard-retry", **event.to_dict())
         if events:
             self.metrics.add("shard_retries", len(events))
+        # Worker shard spans ride on the executor after execution;
+        # collect them onto the job for the merged distributed trace.
+        job.spans.extend(getattr(executor, "shard_spans", None) or ())
 
     def _simulate(self, job: Job) -> dict:
         from repro.analysis import Verifier
@@ -731,6 +936,12 @@ class ReliabilityService:
             monitor_window=None if window is None else int(window),
         )
         executor = self._executor(shards) if shards > 1 else None
+        if executor is not None and self.tracing:
+            # Plain attribute set so chaos/test executor factories
+            # participate without changing their constructors.
+            executor.trace_context = TraceContext(
+                job.trace_id, job.id
+            )
 
         def simulator() -> BatchSimulator:
             return BatchSimulator(
@@ -740,7 +951,11 @@ class ReliabilityService:
                 executor=executor,
             )
 
+        stage_t0 = time.perf_counter()
         kind, cached = self.cache.plan(key, runs, spec=spec)
+        self.metrics.observe_stage(
+            "cache-lookup", time.perf_counter() - stage_t0
+        )
         simulated = 0
         if kind == "hit":
             self.metrics.add("mc_cache_hits")
@@ -761,13 +976,25 @@ class ReliabilityService:
                 for k in range(cached.runs, runs)
             ]
             job.emit("simulating", runs=simulated, offset=cached.runs)
+            stage_t0 = time.perf_counter()
             tail = simulator().run_slice(
                 children, iterations, monitor,
                 run_offset=cached.runs,
             )
+            self.metrics.observe_stage(
+                "simulate", time.perf_counter() - stage_t0
+            )
             if executor is not None:
                 self._note_shard_retries(job, executor)
+            job.emit(
+                "merging", cached_runs=cached.runs,
+                tail_runs=tail.runs,
+            )
+            stage_t0 = time.perf_counter()
             result = merge_batch_results([cached, tail])
+            self.metrics.observe_stage(
+                "merge", time.perf_counter() - stage_t0
+            )
             self.cache.store(key, result)
         else:
             simulated = runs
@@ -775,13 +1002,21 @@ class ReliabilityService:
             self.metrics.add("runs_simulated_total", runs)
             job.emit("cache", cache="miss")
             job.emit("simulating", runs=runs, offset=0)
+            stage_t0 = time.perf_counter()
             result = simulator().run_batch(
                 runs, iterations, monitor=monitor
+            )
+            self.metrics.observe_stage(
+                "simulate", time.perf_counter() - stage_t0
             )
             if executor is not None:
                 self._note_shard_retries(job, executor)
             self.cache.store(key, result)
+        stage_t0 = time.perf_counter()
         entry = self._persist(job, spec, arch, impl, result, seed, runs)
+        self.metrics.observe_stage(
+            "persist", time.perf_counter() - stage_t0
+        )
         averages = result.limit_averages()
         rates = {
             name: float(averages[name].mean())

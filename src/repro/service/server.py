@@ -21,10 +21,25 @@ request/response bodies.  Endpoints:
     next event, so clients can follow progress without busy-waiting.
 ``GET /jobs/<id>/stream``
     JSON-lines stream of progress events until the job finishes.
+``GET /jobs/<id>/trace``
+    The job's merged Chrome trace (daemon lifecycle + shard spans),
+    ready for ``chrome://tracing`` / ``repro trace``.
 ``GET /metrics``
-    The service counters (cache hits/misses, runs simulated, ...).
+    Content-negotiated: Prometheus text exposition (Content-Type
+    ``text/plain; version=0.0.4``) when the client sends
+    ``Accept: text/plain``/``openmetrics`` or ``?format=prometheus``;
+    otherwise the legacy flat JSON counter object
+    (``application/json``), so pre-PR 9 clients are unchanged.
 ``GET /healthz``
-    Liveness probe: queue depth, worker liveness, cache stats.
+    Liveness probe: queue depth, worker liveness, cache stats,
+    uptime, package version, rolling SLOs, and active trace ids.
+
+Every request lands in the ``repro_service_requests_total`` counter
+and ``repro_service_request_seconds`` histogram, labelled by a
+bounded-cardinality endpoint pattern (job ids are collapsed to
+``{id}``).  ``POST /jobs`` honours the ``X-Repro-Trace-Id`` header:
+the client-minted trace id is attached to the job and echoed in the
+202 reply.
 
 Errors reply with ``{"error": ...}`` and status 400 (bad document),
 404 (unknown job/path), 429 (queue full, with ``Retry-After``),
@@ -40,6 +55,7 @@ from __future__ import annotations
 import json
 import signal
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Callable, Mapping
 from urllib.parse import parse_qs, urlparse
@@ -51,9 +67,13 @@ from repro.service.jobs import (
     ServiceError,
     ServiceQueueFull,
 )
+from repro.telemetry.distributed import TRACE_HEADER
 
 #: Long-poll ceiling of ``/events`` in seconds.
 EVENT_POLL_TIMEOUT = 10.0
+
+#: The Prometheus text exposition content type (the 0.0.4 format).
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -70,12 +90,16 @@ class _Handler(BaseHTTPRequestHandler):
     def _reply(
         self,
         status: int,
-        document: Any,
+        document: Any = None,
         headers: "Mapping[str, str] | None" = None,
+        content_type: str = "application/json",
+        body: "bytes | None" = None,
     ) -> None:
-        body = json.dumps(document).encode("utf-8")
+        if body is None:
+            body = json.dumps(document).encode("utf-8")
+        self._status = status
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         for name, value in (headers or {}).items():
             self.send_header(name, value)
@@ -98,9 +122,46 @@ class _Handler(BaseHTTPRequestHandler):
         except (json.JSONDecodeError, UnicodeDecodeError) as error:
             raise ServiceError(f"request body is not JSON: {error}")
 
+    # -- request metrics ------------------------------------------------
+
+    def _endpoint(self) -> str:
+        """Bounded-cardinality endpoint label for request metrics."""
+        parts = [
+            part for part in urlparse(self.path).path.split("/")
+            if part
+        ]
+        if not parts:
+            return "/"
+        if parts[0] != "jobs" or len(parts) == 1:
+            return "/" + parts[0] if len(parts) == 1 else "/other"
+        if len(parts) == 2:
+            return "/jobs/{id}"
+        if len(parts) == 3 and parts[2] in (
+            "events", "stream", "cancel", "trace",
+        ):
+            return "/jobs/{id}/" + parts[2]
+        return "/other"
+
+    def _timed(self, method: str, handler: Callable[[], None]) -> None:
+        start = time.perf_counter()
+        self._status = 0
+        try:
+            handler()
+        finally:
+            try:
+                self.service.metrics.observe_request(
+                    self._endpoint(), method, self._status,
+                    time.perf_counter() - start,
+                )
+            except Exception:  # pragma: no cover - metrics bug
+                pass
+
     # -- verbs ----------------------------------------------------------
 
     def do_POST(self) -> None:  # noqa: N802 (stdlib casing)
+        self._timed("POST", self._handle_post)
+
+    def _handle_post(self) -> None:
         url = urlparse(self.path)
         parts = [part for part in url.path.split("/") if part]
         try:
@@ -118,13 +179,21 @@ class _Handler(BaseHTTPRequestHandler):
             document = self._read_document()
             if not isinstance(document, dict):
                 raise ServiceError("job document must be a JSON object")
-            job = self.service.submit(document)
+            trace_id = self.headers.get(TRACE_HEADER) or None
+            job = self.service.submit(document, trace_id=trace_id)
             query = parse_qs(url.query)
             if query.get("wait", ["0"])[0] in ("1", "true"):
                 job.wait()
                 self._reply(200, job.to_dict())
             else:
-                self._reply(202, {"id": job.id, "state": job.state})
+                self._reply(
+                    202,
+                    {
+                        "id": job.id,
+                        "state": job.state,
+                        "trace_id": job.trace_id,
+                    },
+                )
         except ServiceQueueFull as error:
             self._error(
                 429,
@@ -141,6 +210,9 @@ class _Handler(BaseHTTPRequestHandler):
             self._error(500, f"{type(error).__name__}: {error}")
 
     def do_GET(self) -> None:  # noqa: N802 (stdlib casing)
+        self._timed("GET", self._handle_get)
+
+    def _handle_get(self) -> None:
         url = urlparse(self.path)
         try:
             self._route_get(url)
@@ -156,7 +228,7 @@ class _Handler(BaseHTTPRequestHandler):
         if parts == ["healthz"]:
             self._reply(200, self.service.health())
         elif parts == ["metrics"]:
-            self._reply(200, self.service.metrics.snapshot())
+            self._metrics(parse_qs(url.query))
         elif parts == ["jobs"]:
             self._reply(
                 200,
@@ -189,10 +261,41 @@ class _Handler(BaseHTTPRequestHandler):
             and parts[2] == "stream"
         ):
             self._stream(self.service.get(parts[1]))
+        elif (
+            len(parts) == 3
+            and parts[0] == "jobs"
+            and parts[2] == "trace"
+        ):
+            self._reply(200, self.service.job_trace(parts[1]))
         else:
             self._error(404, f"no such endpoint: GET {url.path}")
 
+    def _metrics(self, query: "Mapping[str, list[str]]") -> None:
+        """``/metrics`` with content negotiation.
+
+        Prometheus exposition when asked for explicitly
+        (``?format=prometheus``) or via ``Accept`` (``text/plain`` or
+        an OpenMetrics type); the legacy flat JSON counters otherwise
+        — including ``?format=json`` — so existing JSON clients keep
+        the exact pre-PR 9 shape and Content-Type.
+        """
+        fmt = query.get("format", [""])[0].lower()
+        accept = self.headers.get("Accept", "").lower()
+        wants_prometheus = fmt == "prometheus" or (
+            fmt != "json"
+            and ("text/plain" in accept or "openmetrics" in accept)
+        )
+        if wants_prometheus:
+            self._reply(
+                200,
+                content_type=PROMETHEUS_CONTENT_TYPE,
+                body=self.service.metrics_exposition().encode("utf-8"),
+            )
+        else:
+            self._reply(200, self.service.metrics.snapshot())
+
     def _stream(self, job: Any) -> None:
+        self._status = 200
         self.send_response(200)
         self.send_header("Content-Type", "application/x-ndjson")
         self.send_header("Connection", "close")
@@ -247,6 +350,8 @@ def serve(
     cache_dir: "str | None" = None,
     default_timeout_s: "float | None" = None,
     drain_timeout_s: float = 30.0,
+    log: "str | None" = None,
+    tracing: bool = True,
 ) -> None:
     """Run the daemon until interrupted (the ``repro serve`` body).
 
@@ -267,6 +372,8 @@ def serve(
         cache_bytes=cache_bytes,
         cache_dir=cache_dir,
         default_timeout_s=default_timeout_s,
+        log=log,
+        tracing=tracing,
     ).start()
     server = make_server(service, host, port)
     bound_host, bound_port = server.server_address[:2]

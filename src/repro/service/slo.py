@@ -1,0 +1,96 @@
+"""Rolling SLO tracking: job-latency quantiles and error-burn alarms.
+
+The daemon records every finished job's submit-to-terminal latency and
+outcome into a bounded sliding window; :meth:`SloTracker.snapshot`
+derives p50/p90/p99 latency (nearest-rank over the window) and the
+windowed error rate, with a simple burn alarm that trips when the
+error rate exceeds the configured threshold over enough samples.
+The snapshot is surfaced in ``/healthz`` and mirrored into gauge
+metrics for Prometheus/`repro top`.
+
+Deliberately clock-free: latencies are measured by the caller (the
+service owns the clocks) and passed in, so this module stays off the
+determinism-lint allowlist by construction.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+
+from repro.errors import ReproError
+
+
+def _nearest_rank(sorted_values: list[float], q: float) -> float:
+    """The nearest-rank *q*-quantile of an ascending non-empty list."""
+    rank = max(1, round(q * len(sorted_values)))
+    return sorted_values[min(rank, len(sorted_values)) - 1]
+
+
+class SloTracker:
+    """Sliding-window job latency/error SLO accounting.
+
+    Parameters
+    ----------
+    window:
+        Number of most recent finished jobs retained.
+    error_burn_threshold:
+        Windowed error-rate fraction above which ``burn_alarm`` trips.
+    min_samples:
+        Samples required before the alarm may trip (a single failed
+        job on an idle daemon is not a burn).
+    """
+
+    def __init__(
+        self,
+        window: int = 512,
+        error_burn_threshold: float = 0.1,
+        min_samples: int = 10,
+    ) -> None:
+        if window < 1:
+            raise ReproError(f"window must be >= 1, got {window}")
+        if not 0.0 < error_burn_threshold <= 1.0:
+            raise ReproError(
+                "error_burn_threshold must be in (0, 1], got "
+                f"{error_burn_threshold}"
+            )
+        self.window = window
+        self.error_burn_threshold = error_burn_threshold
+        self.min_samples = max(1, min_samples)
+        self._lock = threading.Lock()
+        self._samples: deque[tuple[float, bool]] = deque(maxlen=window)
+
+    def record(self, latency_s: float, ok: bool) -> None:
+        """Record one finished job (latency and success flag)."""
+        with self._lock:
+            self._samples.append((max(0.0, float(latency_s)), bool(ok)))
+
+    def snapshot(self) -> dict:
+        """The current SLO view (quantiles, error rate, burn alarm)."""
+        with self._lock:
+            samples = list(self._samples)
+        doc: dict = {
+            "window": self.window,
+            "samples": len(samples),
+            "error_burn_threshold": self.error_burn_threshold,
+        }
+        if not samples:
+            doc.update(
+                p50_s=None, p90_s=None, p99_s=None,
+                error_rate=0.0, burn_alarm=False,
+            )
+            return doc
+        latencies = sorted(latency for latency, _ in samples)
+        failures = sum(1 for _, ok in samples if not ok)
+        error_rate = failures / len(samples)
+        doc.update(
+            p50_s=_nearest_rank(latencies, 0.50),
+            p90_s=_nearest_rank(latencies, 0.90),
+            p99_s=_nearest_rank(latencies, 0.99),
+            error_rate=error_rate,
+            burn_alarm=(
+                len(samples) >= self.min_samples
+                and error_rate > self.error_burn_threshold
+            ),
+        )
+        return doc

@@ -1,0 +1,91 @@
+"""Structured JSONL service log.
+
+Every daemon-side state transition — job lifecycle events, submission
+rejections, chaos notes — is appended as one JSON object per line,
+stamped with a globally monotone ``seq``, a wall-clock ``ts``, and
+(for job events) the job's ``trace_id``/``job_id``, so the log joins
+against the distributed job trace and the per-job event stream by id.
+
+The log is an operator artifact, not a durability mechanism (the run
+ledger owns durability): writes are flushed per line but not fsynced,
+and a ``None`` path degrades to an in-memory ring buffer (``recent``)
+that tests and the chaos harness can read back without touching disk.
+
+This module reads the wall clock (event timestamps) and is on the
+determinism-lint allowlist; timestamps never reach simulation state.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+from pathlib import Path
+from typing import Any, TextIO
+
+#: In-memory tail kept regardless of whether a file is attached.
+RECENT_LIMIT = 2048
+
+
+class ServiceLog:
+    """Thread-safe append-only JSONL event log.
+
+    Parameters
+    ----------
+    path:
+        File to append JSONL lines to (created with parents).  ``None``
+        keeps events only in the in-memory ``recent`` ring.
+    stream:
+        Alternative already-open text stream (takes precedence over
+        *path*; not closed by :meth:`close`).
+    """
+
+    def __init__(
+        self,
+        path: "str | Path | None" = None,
+        stream: "TextIO | None" = None,
+    ) -> None:
+        self._lock = threading.Lock()
+        self._seq = 0
+        self.recent: deque[dict] = deque(maxlen=RECENT_LIMIT)
+        self.path = None if path is None else Path(path)
+        self._owned: "TextIO | None" = None
+        self._stream = stream
+        if stream is None and self.path is not None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._owned = self.path.open("a", encoding="utf-8")
+            self._stream = self._owned
+
+    def emit(self, event: str, **fields: Any) -> dict:
+        """Append one structured event; returns the record written."""
+        with self._lock:
+            record = {
+                "seq": self._seq,
+                "ts": time.time(),
+                "event": event,
+                **fields,
+            }
+            self._seq += 1
+            self.recent.append(record)
+            if self._stream is not None:
+                try:
+                    self._stream.write(
+                        json.dumps(record, default=str) + "\n"
+                    )
+                    self._stream.flush()
+                except (OSError, ValueError):
+                    # A torn log line must never take the service
+                    # down; the in-memory ring still has the event.
+                    pass
+            return record
+
+    def close(self) -> None:
+        with self._lock:
+            if self._owned is not None:
+                try:
+                    self._owned.close()
+                except OSError:  # pragma: no cover
+                    pass
+                self._owned = None
+                self._stream = None

@@ -80,6 +80,10 @@ class ShardRetryEvent:
     run_stop: int = 0
     #: Replay-order key parity with resilience events (no run index).
     run: "int | None" = field(default=None, kw_only=True)
+    #: Epoch timestamp of the retry decision (distributed tracing);
+    #: 0.0 means "unstamped" and is dropped from the dict form so the
+    #: serialized shape is unchanged for pre-tracing consumers.
+    noted_at: float = field(default=0.0, kw_only=True)
 
     kind = "shard-retry"
 
@@ -88,6 +92,8 @@ class ShardRetryEvent:
         doc.update(asdict(self))
         if doc["run"] is None:
             del doc["run"]
+        if not doc["noted_at"]:
+            del doc["noted_at"]
         return doc
 
 
@@ -162,13 +168,18 @@ def _unit_noise(shard: int, attempt: int) -> float:
 
 
 def _supervised_worker(
-    simulator, children, iterations, monitor, offset, conn, action
+    simulator, children, iterations, monitor, offset, conn, action,
+    trace=None,
 ):
     """Entry point of one supervised shard worker.
 
     Identical to the unsupervised worker except for the optional
     injected *action*, applied before (or instead of) the real work.
+    A failed attempt ships no span: only the attempt that succeeds
+    records one, so a retried shard still yields exactly one span.
     """
+    from repro.telemetry.distributed import shard_span
+
     try:
         if action is not None:
             if action.kind == "kill":
@@ -185,10 +196,13 @@ def _supervised_worker(
                 raise RuntimeSimulationError(
                     "chaos: injected worker error"
                 )
-        result = simulator.run_slice(
-            children, iterations, monitor, run_offset=offset
-        )
-        conn.send(("ok", _payload_of(result)))
+        with shard_span(
+            trace, offset, offset + len(children)
+        ) as recorder:
+            result = simulator.run_slice(
+                children, iterations, monitor, run_offset=offset
+            )
+        conn.send(("ok", _payload_of(result, tuple(recorder.spans))))
     except BaseException as error:  # ship the failure to the parent
         try:
             conn.send(("error", f"{type(error).__name__}: {error}"))
@@ -210,6 +224,7 @@ class _ShardState:
         self.conn: Any = None
         self.deadline_at: "float | None" = None
         self.result: "BatchResult | None" = None
+        self.spans: tuple = ()
 
     def kill(self) -> None:
         """Best-effort terminate of a live worker."""
@@ -252,6 +267,13 @@ class SupervisedShardedExecutor:
         executor.
     chaos:
         Optional :class:`WorkerFaults` plan (testing/chaos only).
+    trace:
+        Optional :class:`~repro.telemetry.distributed.TraceContext`.
+        When set, the successful attempt of every shard records one
+        epoch-stamped span (stamped with the attempt number by the
+        supervisor), merged in run order onto :attr:`shard_spans`
+        after :meth:`execute`.  Failed attempts ship no span, so a
+        kill/retry still leaves exactly one span per shard.
     """
 
     name = "supervised"
@@ -264,6 +286,7 @@ class SupervisedShardedExecutor:
         processes: bool = True,
         telemetry: "TelemetryBus | None" = None,
         chaos: "WorkerFaults | None" = None,
+        trace: "Any | None" = None,
     ) -> None:
         if jobs < 1:
             raise RuntimeSimulationError(
@@ -279,8 +302,11 @@ class SupervisedShardedExecutor:
         self.processes = processes
         self.telemetry = telemetry
         self.chaos = chaos
+        self.trace_context = trace
         #: Retry events of the most recent :meth:`execute` call.
         self.retry_events: list[ShardRetryEvent] = []
+        #: Merged tracing spans of the most recent :meth:`execute`.
+        self.shard_spans: list[dict] = []
 
     # -- the BatchExecutor protocol -------------------------------------
 
@@ -292,27 +318,31 @@ class SupervisedShardedExecutor:
         monitor: "MonitorConfig | None" = None,
     ) -> BatchResult:
         self.retry_events = []
+        self.shard_spans = []
         slices = shard_slices(len(children), self.jobs)
         context = _fork_context() if self.processes else None
         if not slices:
             return simulator.run_slice(children, iterations, monitor)
+        span_lists: list[tuple] = []
         if len(slices) <= 1 or context is None:
-            shards = [
-                self._execute_inline(
+            shards = []
+            for index, (start, stop) in enumerate(slices):
+                result, spans = self._execute_inline(
                     simulator, children, iterations, monitor,
                     index, start, stop,
                 )
-                for index, (start, stop) in enumerate(slices)
-            ]
+                shards.append(result)
+                span_lists.append(spans)
         else:
-            shards = self._supervise(
+            shards, span_lists = self._supervise(
                 context, simulator, children, iterations, monitor,
                 slices,
             )
         merged = merge_batch_results(shards)
-        if self.telemetry is not None:
+        if self.telemetry is not None or self.trace_context is not None:
             from repro.telemetry.shardbuffer import (
                 ShardEventBuffer,
+                collect_spans,
                 replay_sharded,
             )
 
@@ -321,8 +351,13 @@ class SupervisedShardedExecutor:
                 buffer = ShardEventBuffer(shard=index)
                 for event in shard.monitor_events:
                     buffer.on_event(event)
+                if index < len(span_lists):
+                    for span in span_lists[index]:
+                        buffer.on_span(span)
                 buffers.append(buffer)
-            replay_sharded(buffers, self.telemetry)
+            if self.telemetry is not None:
+                replay_sharded(buffers, self.telemetry)
+            self.shard_spans = collect_spans(buffers)
         return merged
 
     # -- retry bookkeeping ----------------------------------------------
@@ -339,6 +374,7 @@ class SupervisedShardedExecutor:
             delay_s=delay,
             run_start=state.start,
             run_stop=state.stop,
+            noted_at=time.time(),
         )
         self.retry_events.append(event)
         if self.telemetry is not None:
@@ -355,7 +391,9 @@ class SupervisedShardedExecutor:
     def _execute_inline(
         self, simulator, children, iterations, monitor,
         index, start, stop,
-    ) -> BatchResult:
+    ) -> tuple[BatchResult, tuple]:
+        from repro.telemetry.distributed import shard_span
+
         state = _ShardState(index, start, stop)
         while True:
             action = (
@@ -373,10 +411,15 @@ class SupervisedShardedExecutor:
                     )
                 if action is not None and action.kind == "slow":
                     time.sleep(action.delay_s)
-                return simulator.run_slice(
-                    children[start:stop], iterations, monitor,
-                    run_offset=start,
-                )
+                with shard_span(
+                    self.trace_context, start, stop,
+                    attempt=state.attempt,
+                ) as recorder:
+                    result = simulator.run_slice(
+                        children[start:stop], iterations, monitor,
+                        run_offset=start,
+                    )
+                return result, tuple(recorder.spans)
             except RuntimeSimulationError as error:
                 if state.attempt >= self.policy.retries:
                     self._give_up(state, str(error))
@@ -402,6 +445,7 @@ class SupervisedShardedExecutor:
             args=(
                 simulator, children[state.start:state.stop],
                 iterations, monitor, state.start, child_conn, action,
+                self.trace_context,
             ),
         )
         process.start()
@@ -416,7 +460,7 @@ class SupervisedShardedExecutor:
     def _supervise(
         self, context, simulator, children, iterations, monitor,
         slices,
-    ) -> list[BatchResult]:
+    ) -> tuple[list[BatchResult], list[tuple]]:
         from multiprocessing.connection import wait as conn_wait
 
         states = [
@@ -484,6 +528,13 @@ class SupervisedShardedExecutor:
                         state.result = _result_of(
                             payload, simulator, iterations
                         )
+                        # Workers don't know which attempt they are;
+                        # the supervisor stamps it parent-side so the
+                        # surviving span names the rescue attempt.
+                        state.spans = tuple(
+                            {**span, "attempt": state.attempt}
+                            for span in payload.spans
+                        )
                         conn.close()
                         state.conn = None
                         state.process.join()
@@ -508,7 +559,10 @@ class SupervisedShardedExecutor:
             for state in states:
                 state.kill()
             raise
-        return [state.result for state in states]
+        return (
+            [state.result for state in states],
+            [state.spans for state in states],
+        )
 
     def _retire(
         self, state: _ShardState, reason: str, detail: str,

@@ -1,0 +1,287 @@
+"""``repro top``: a live curses dashboard over ``/metrics`` + ``/healthz``.
+
+Polls one ``repro serve`` daemon, parsing its Prometheus text
+exposition (:func:`parse_prometheus` — also the parser the chaos
+harness and CI use to validate the exposition) and its health
+document, and renders queue depth, worker/shard liveness, job
+throughput, cache hit ratio, rolling latency quantiles, the
+error-burn alarm, and the currently active trace ids.
+
+Stdlib only: :mod:`curses` for the live screen, plain ``print`` for
+``--once`` (tests, non-TTY pipes).  The module itself reads no
+clocks — polling sleeps go through :func:`time.sleep` (legal
+everywhere) and all timing data comes from the daemon.
+"""
+
+from __future__ import annotations
+
+import http.client
+import math
+import time
+from typing import Any, Callable, Mapping
+
+from repro.errors import ReproError
+
+#: Samples of one metric: list of (labels-dict, value).
+Samples = list[tuple[dict, float]]
+
+
+def _parse_labels(text: str, line: str) -> dict:
+    """Parse the ``{a="b",...}`` label block of one exposition line."""
+    labels: dict[str, str] = {}
+    index = 0
+    while index < len(text):
+        if text[index] == ",":
+            index += 1
+            continue
+        equals = text.find("=", index)
+        if equals < 0 or len(text) <= equals + 1:
+            raise ReproError(f"malformed label set in line: {line!r}")
+        name = text[index:equals].strip()
+        if text[equals + 1] != '"':
+            raise ReproError(f"unquoted label value in line: {line!r}")
+        value_chars: list[str] = []
+        cursor = equals + 2
+        while cursor < len(text):
+            char = text[cursor]
+            if char == "\\" and cursor + 1 < len(text):
+                escape = text[cursor + 1]
+                value_chars.append(
+                    {"n": "\n", "\\": "\\", '"': '"'}.get(
+                        escape, "\\" + escape
+                    )
+                )
+                cursor += 2
+                continue
+            if char == '"':
+                break
+            value_chars.append(char)
+            cursor += 1
+        else:
+            raise ReproError(
+                f"unterminated label value in line: {line!r}"
+            )
+        labels[name] = "".join(value_chars)
+        index = cursor + 1
+    return labels
+
+
+def parse_prometheus(text: str) -> dict[str, Samples]:
+    """Parse Prometheus text exposition → ``{metric: [(labels, v)]}``.
+
+    Strict enough to catch a broken exposition (the CI chaos-smoke
+    assertion): every non-comment line must be
+    ``name[{labels}] value``, values must parse as floats (``+Inf``/
+    ``-Inf``/``NaN`` included), label values must be quoted with
+    closed braces.  Raises :class:`~repro.errors.ReproError` on the
+    first malformed line.
+    """
+    metrics: dict[str, Samples] = {}
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        if "{" in line:
+            brace = line.index("{")
+            close = line.rfind("}")
+            if close < brace:
+                raise ReproError(
+                    f"unbalanced braces in line: {line!r}"
+                )
+            name = line[:brace].strip()
+            labels = _parse_labels(line[brace + 1:close], line)
+            rest = line[close + 1:].strip()
+        else:
+            fields = line.split()
+            if len(fields) < 2:
+                raise ReproError(f"malformed sample line: {line!r}")
+            name, rest = fields[0], " ".join(fields[1:])
+            labels = {}
+        if not name:
+            raise ReproError(f"sample without a name: {line!r}")
+        value_text = rest.split()[0] if rest else ""
+        try:
+            value = float(value_text.replace("+Inf", "inf"))
+        except ValueError:
+            raise ReproError(
+                f"non-numeric sample value in line: {line!r}"
+            )
+        metrics.setdefault(name, []).append((labels, value))
+    return metrics
+
+
+def scrape_metrics(
+    host: str, port: int, timeout: float = 10.0
+) -> tuple[int, str, str]:
+    """GET ``/metrics`` asking for Prometheus text.
+
+    Returns ``(status, content_type, body)`` — the caller decides
+    whether to parse or assert on them.
+    """
+    connection = http.client.HTTPConnection(
+        host, port, timeout=timeout
+    )
+    try:
+        connection.request(
+            "GET", "/metrics",
+            headers={"Accept": "text/plain; version=0.0.4"},
+        )
+        response = connection.getresponse()
+        body = response.read().decode("utf-8", "replace")
+        return (
+            response.status,
+            response.getheader("Content-Type", ""),
+            body,
+        )
+    except (OSError, http.client.HTTPException) as error:
+        raise ReproError(
+            f"cannot scrape {host}:{port}/metrics: {error}"
+        )
+    finally:
+        connection.close()
+
+
+def _fetch_health(host: str, port: int, timeout: float = 10.0) -> dict:
+    import json
+
+    connection = http.client.HTTPConnection(
+        host, port, timeout=timeout
+    )
+    try:
+        connection.request("GET", "/healthz")
+        response = connection.getresponse()
+        return json.loads(response.read().decode("utf-8"))
+    except (OSError, http.client.HTTPException, ValueError) as error:
+        raise ReproError(
+            f"cannot reach {host}:{port}/healthz: {error}"
+        )
+    finally:
+        connection.close()
+
+
+def _sum_where(samples: Samples, **want: str) -> float:
+    return sum(
+        value for labels, value in samples
+        if all(labels.get(k) == v for k, v in want.items())
+    )
+
+
+def _fmt_seconds(value: "float | None") -> str:
+    if value is None or (
+        isinstance(value, float) and math.isnan(value)
+    ):
+        return "-"
+    if value < 1.0:
+        return f"{value * 1e3:.1f}ms"
+    return f"{value:.2f}s"
+
+
+def render_frame(
+    metrics: Mapping[str, Samples], health: Mapping[str, Any],
+    width: int = 78,
+) -> str:
+    """One dashboard frame as plain text (shared by curses & --once)."""
+    jobs = metrics.get("repro_service_jobs_total", [])
+    cache = metrics.get("repro_service_cache_events_total", [])
+    retries = sum(
+        value for _, value in
+        metrics.get("repro_service_shard_retries_total", [])
+    )
+    mc_hits = _sum_where(cache, cache="mc", outcome="hit")
+    mc_partial = _sum_where(cache, cache="mc", outcome="partial")
+    mc_misses = _sum_where(cache, cache="mc", outcome="miss")
+    lookups = mc_hits + mc_partial + mc_misses
+    hit_ratio = (mc_hits + mc_partial) / lookups if lookups else 0.0
+    slo = health.get("slo", {})
+    status = str(health.get("status", "?"))
+    if slo.get("burn_alarm"):
+        status += "  ** ERROR BURN **"
+    lines = [
+        f"repro top — {status}  v{health.get('version', '?')}  "
+        f"up {float(health.get('uptime_seconds', 0.0)):.0f}s",
+        "-" * width,
+        f"queue {health.get('queue_depth', 0)}"
+        f"/{health.get('queue_limit') or '∞'}"
+        f"   running {health.get('jobs_running', 0)}"
+        f"   workers {health.get('workers_alive', 0)}"
+        f"/{health.get('workers', 0)} alive"
+        f"   shard retries {retries:.0f}",
+        "jobs  "
+        + "  ".join(
+            f"{event}:{_sum_where(jobs, event=event):.0f}"
+            for event in (
+                "submitted", "completed", "failed", "timed_out",
+                "cancelled", "rejected",
+            )
+        ),
+        f"cache hit ratio {hit_ratio:6.1%}  "
+        f"(hit {mc_hits:.0f} / partial {mc_partial:.0f} / "
+        f"miss {mc_misses:.0f})",
+        f"job latency  p50 {_fmt_seconds(slo.get('p50_s'))}  "
+        f"p90 {_fmt_seconds(slo.get('p90_s'))}  "
+        f"p99 {_fmt_seconds(slo.get('p99_s'))}  "
+        f"error rate {float(slo.get('error_rate', 0.0)):.1%}  "
+        f"({slo.get('samples', 0)} in window)",
+    ]
+    active = list(health.get("active_traces", []))
+    lines.append(
+        f"active traces ({len(active)}): "
+        + (" ".join(active[:6]) if active else "none")
+    )
+    return "\n".join(line[:width] for line in lines)
+
+
+def run_top(
+    host: str = "127.0.0.1",
+    port: int = 8765,
+    interval: float = 1.0,
+    once: bool = False,
+    out: Callable[[str], None] = print,
+) -> int:
+    """The ``repro top`` body.  Returns a process exit code.
+
+    ``once`` prints a single frame and returns — usable in pipes,
+    tests, and CI.  Otherwise a curses screen refreshes every
+    *interval* seconds until ``q``.
+    """
+    if once:
+        metrics = parse_prometheus(scrape_metrics(host, port)[2])
+        out(render_frame(metrics, _fetch_health(host, port)))
+        return 0
+
+    import curses
+
+    def _loop(screen: Any) -> None:
+        curses.curs_set(0)
+        screen.nodelay(True)
+        while True:
+            try:
+                metrics = parse_prometheus(
+                    scrape_metrics(host, port)[2]
+                )
+                frame = render_frame(
+                    metrics, _fetch_health(host, port),
+                    width=max(20, screen.getmaxyx()[1] - 2),
+                )
+            except ReproError as error:
+                frame = f"repro top — {error}"
+            screen.erase()
+            for row, line in enumerate(frame.splitlines()):
+                if row >= screen.getmaxyx()[0] - 1:
+                    break
+                try:
+                    screen.addstr(row, 0, line)
+                except curses.error:  # pragma: no cover - tiny term
+                    pass
+            screen.refresh()
+            # Poll the keyboard while sleeping out the interval so
+            # 'q' quits promptly even with slow refresh rates.
+            slept = 0.0
+            while slept < interval:
+                if screen.getch() in (ord("q"), ord("Q")):
+                    return
+                time.sleep(0.1)
+                slept += 0.1
+
+    curses.wrapper(_loop)
+    return 0

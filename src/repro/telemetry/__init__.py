@@ -37,6 +37,18 @@ simulation draws (the PR 2 seed contract is regression-tested in
 """
 
 from repro.telemetry.bus import TelemetryBus
+from repro.telemetry.distributed import (
+    TRACE_ENV,
+    TRACE_HEADER,
+    ShardSpanRecorder,
+    TraceContext,
+    build_job_trace,
+    client_span_record,
+    merge_client_events,
+    mint_trace_id,
+    shard_span,
+    tracing_enabled,
+)
 from repro.telemetry.ledger import (
     MarginDiff,
     Regression,
@@ -80,7 +92,11 @@ from repro.telemetry.provenance import (
     ProvenanceRecorder,
 )
 from repro.telemetry.runid import derive_run_id
-from repro.telemetry.shardbuffer import ShardEventBuffer, replay_sharded
+from repro.telemetry.shardbuffer import (
+    ShardEventBuffer,
+    collect_spans,
+    replay_sharded,
+)
 from repro.telemetry.sink import (
     HOOK_NAMES,
     HookSinks,
@@ -121,20 +137,29 @@ __all__ = [
     "RunLedger",
     "RunRecord",
     "ShardEventBuffer",
+    "ShardSpanRecorder",
     "StageProfiler",
     "StageStats",
+    "TRACE_ENV",
+    "TRACE_HEADER",
     "TelemetryBus",
+    "TraceContext",
     "TraceEvent",
     "TraceSummary",
     "Tracer",
     "blame_scores",
+    "build_job_trace",
     "check_regression",
+    "client_span_record",
+    "collect_spans",
     "content_hash",
     "counterfactual",
     "derive_run_id",
     "diff_records",
     "load_forensics_file",
     "load_trace_file",
+    "merge_client_events",
+    "mint_trace_id",
     "postmortem_to_dict",
     "record_batch_result",
     "record_from_result",
@@ -142,6 +167,8 @@ __all__ = [
     "render_postmortem",
     "render_summary",
     "replay_sharded",
+    "shard_span",
     "sinks_for_hook",
     "summarize_trace",
+    "tracing_enabled",
 ]

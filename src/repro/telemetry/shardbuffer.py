@@ -44,6 +44,7 @@ class ShardEventBuffer(InstrumentationSink):
         self.shard = shard
         self.run_offset = run_offset
         self.events: list[Any] = []
+        self.spans: list[dict] = []
 
     # The buffer accepts events both as a list-protocol sink (the
     # monitor/watchdog convention) and through the instrumentation
@@ -64,6 +65,24 @@ class ShardEventBuffer(InstrumentationSink):
 
     def on_event(self, event: Any) -> None:
         self.append(event)
+
+    def on_span(self, span: dict) -> None:
+        """Buffer one distributed-tracing span dict for this shard.
+
+        Stamps the shard index and rebases ``run_start``/``run_stop``
+        by ``run_offset`` when the recording side used local indices
+        (the same convention :meth:`append` applies to event ``run``
+        fields).  Span dicts ride next to the typed events — they are
+        never replayed onto the bus; :func:`collect_spans` merges them
+        for the distributed trace builder instead.
+        """
+        span = dict(span)
+        span.setdefault("shard", self.shard)
+        if self.run_offset:
+            for key in ("run_start", "run_stop"):
+                if key in span:
+                    span[key] = int(span[key]) + self.run_offset
+        self.spans.append(span)
 
     def __len__(self) -> int:
         return len(self.events)
@@ -90,3 +109,20 @@ def replay_sharded(
     )
     bus.extend(events)
     return len(events)
+
+
+def collect_spans(buffers: Sequence[ShardEventBuffer]) -> list[dict]:
+    """Merge buffered tracing spans across shards in run order.
+
+    Returns the flattened span dicts sorted by (``run_start``, start
+    time) so the merged per-job span list is deterministic regardless
+    of which worker finished first.
+    """
+    spans = [span for buffer in buffers for span in buffer.spans]
+    spans.sort(
+        key=lambda span: (
+            span.get("run_start", 0),
+            span.get("started_at", 0.0),
+        )
+    )
+    return spans

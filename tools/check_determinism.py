@@ -55,6 +55,10 @@ CLOCK_ALLOWLIST = frozenset(
         # faults and jitter are hash-derived, never RNG-stateful.
         "service/supervision.py",
         "chaos/harness.py",
+        # Distributed tracing and the structured service log stamp
+        # epoch timestamps onto observer-only records.
+        "telemetry/distributed.py",
+        "service/slog.py",
     }
 )
 
