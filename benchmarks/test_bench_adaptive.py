@@ -1,0 +1,185 @@
+"""Adaptive-stopping benchmark: convergence speedup, checkpoint cost.
+
+The acceptance criteria of the convergence-observability layer:
+
+* **savings**: on a converged 3TS workload, adaptive stopping reaches
+  the same per-communicator LRC verdicts as the full fixed-run batch
+  while simulating at least :data:`SAVINGS_FLOOR` times fewer runs;
+* **overhead**: emitting checkpoint telemetry from the batch kernel
+  costs at most :data:`OVERHEAD_CEILING` of the plain no-checkpoint
+  batch path — the checkpoint fold is a handful of prefix sums per
+  boundary, never inner-loop work;
+* **determinism**: the stop point is bit-identical serial vs sharded,
+  because stop decisions are functions of pooled counts at global
+  checkpoint boundaries only.
+
+Statistical assertions (savings, verdict agreement) are gated on
+``bench_scale.full``: the smoke scale shrinks iteration counts, which
+changes per-run sample sizes and therefore where the sequential test
+decides.  The overhead and determinism assertions always run.
+"""
+
+import time
+
+from repro.experiments import (
+    baseline_implementation,
+    bind_control_functions,
+    three_tank_architecture,
+    three_tank_spec,
+)
+from repro.runtime import BatchSimulator, BernoulliFaults
+from repro.runtime.executor import ShardedExecutor
+from repro.telemetry.convergence import (
+    StoppingRule,
+    checkpoint_schedule,
+)
+
+MAX_RUNS = 640
+ITERATIONS = 40
+MIN_RUNS = 8
+SEED = 7
+SAVINGS_FLOOR = 5.0
+OVERHEAD_RUNS = 256
+OVERHEAD_ITERATIONS = 2500
+OVERHEAD_CEILING = 1.1
+#: Noise allowance when the smoke scale shrinks runs to milliseconds.
+SMOKE_SLACK = 2.5
+
+
+def _three_tank_batch(seed=SEED, executor=None):
+    # lrc_s relaxed to 0.99: the default 0.999 sits exactly at the
+    # sensor reliability, so the sequential test can never separate
+    # the rate from its own LRC and the workload would not converge.
+    spec = three_tank_spec(
+        lrc_u=0.99, lrc_s=0.99, functions=bind_control_functions()
+    )
+    arch = three_tank_architecture()
+    return spec, BatchSimulator(
+        spec, arch, baseline_implementation(),
+        faults=BernoulliFaults(arch), seed=seed, executor=executor,
+    )
+
+
+def test_bench_adaptive_savings(benchmark, report, bench_scale):
+    iterations = bench_scale(ITERATIONS)
+    rule = StoppingRule(min_runs=MIN_RUNS)
+    spec, batch = _three_tank_batch()
+
+    adaptive = benchmark.pedantic(
+        lambda: batch.run_adaptive(MAX_RUNS, iterations, rule=rule),
+        rounds=1, iterations=1,
+    )
+    _, fixed_batch = _three_tank_batch()
+    fixed = fixed_batch.run_batch(MAX_RUNS, iterations)
+
+    averages = fixed.limit_averages()
+    fixed_verdicts = {
+        name: "meets"
+        if float(averages[name].mean()) >= spec.communicators[name].lrc
+        else "violates"
+        for name in spec.communicators
+    }
+    final = adaptive.snapshots[-1]
+    adaptive_verdicts = {
+        diag.communicator: diag.verdict.value
+        for diag in final.diagnostics
+    }
+
+    if bench_scale.full:
+        assert adaptive.decision.reason == "converged"
+        assert adaptive.savings_factor >= SAVINGS_FLOOR
+        assert adaptive_verdicts == fixed_verdicts
+
+    report(
+        "adaptive stopping — runs saved on a converged 3TS workload",
+        [
+            ("budget (runs)", f"{MAX_RUNS}", f"{MAX_RUNS}"),
+            ("stopped at", "(adaptive)", f"{adaptive.stopped_at}"),
+            ("savings", f">= {SAVINGS_FLOOR:.0f}x",
+             f"{adaptive.savings_factor:.1f}x"),
+            ("verdicts agree", "yes",
+             "yes" if adaptive_verdicts == fixed_verdicts else "NO"),
+        ],
+    )
+
+
+def test_bench_checkpoint_overhead(benchmark, report, bench_scale):
+    iterations = bench_scale(OVERHEAD_ITERATIONS)
+    schedule = checkpoint_schedule(OVERHEAD_RUNS, first=32)
+    marks: list = []
+
+    def run(checkpoints=None, on_checkpoint=None):
+        _, batch = _three_tank_batch(seed=99)
+        return batch.run_batch(
+            OVERHEAD_RUNS, iterations,
+            checkpoints=checkpoints, on_checkpoint=on_checkpoint,
+        )
+
+    def best_of(fn, rounds=3):
+        elapsed = []
+        for _ in range(rounds):
+            start = time.perf_counter()
+            fn()
+            elapsed.append(time.perf_counter() - start)
+        return min(elapsed)
+
+    checkpointed = benchmark.pedantic(
+        lambda: run(schedule, marks.append), rounds=1, iterations=1
+    )
+    assert marks, "no checkpoint events were emitted"
+    assert [event.run for event in marks] == list(schedule)
+
+    plain_elapsed = best_of(lambda: run())
+    marked_elapsed = best_of(lambda: run(schedule, lambda _: None))
+    overhead = marked_elapsed / plain_elapsed
+
+    # Checkpointing observes; the counts must not change.
+    plain = run()
+    for name, counts in plain.reliable_counts.items():
+        assert (checkpointed.reliable_counts[name] == counts).all()
+
+    ceiling = (
+        OVERHEAD_CEILING if bench_scale.full
+        else OVERHEAD_CEILING * SMOKE_SLACK
+    )
+    assert overhead <= ceiling
+
+    report(
+        "adaptive stopping — checkpoint telemetry overhead",
+        [
+            ("batch runtime (s)", "(baseline)",
+             f"{plain_elapsed:.3f}"),
+            ("checkpointed (s)", f"<= {OVERHEAD_CEILING:.1f}x",
+             f"{marked_elapsed:.3f}"),
+            ("overhead", f"<= {OVERHEAD_CEILING:.1f}x",
+             f"{overhead:.2f}x"),
+        ],
+    )
+
+
+def test_bench_adaptive_stop_parity_sharded(report, bench_scale):
+    iterations = bench_scale(ITERATIONS)
+    rule = StoppingRule(min_runs=MIN_RUNS)
+
+    _, serial_batch = _three_tank_batch()
+    serial = serial_batch.run_adaptive(MAX_RUNS, iterations, rule=rule)
+    _, sharded_batch = _three_tank_batch(
+        executor=ShardedExecutor(2, processes=False)
+    )
+    sharded = sharded_batch.run_adaptive(
+        MAX_RUNS, iterations, rule=rule
+    )
+
+    assert sharded.stopped_at == serial.stopped_at
+    assert sharded.decision.reason == serial.decision.reason
+    for name, counts in serial.result.reliable_counts.items():
+        assert (sharded.result.reliable_counts[name] == counts).all()
+
+    report(
+        "adaptive stopping — serial vs sharded stop parity",
+        [
+            ("serial stop", "(reference)", f"{serial.stopped_at}"),
+            ("sharded stop", "= serial", f"{sharded.stopped_at}"),
+            ("counts", "bit-identical", "bit-identical"),
+        ],
+    )

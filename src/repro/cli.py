@@ -464,8 +464,15 @@ def _write_forensics(recorder, path: str) -> None:
 def _record_ledger(
     args: argparse.Namespace, spec, arch, implementation, result,
     command: str,
+    runs: "int | None" = None,
+    metrics: "dict | None" = None,
 ) -> None:
-    """Append this run's reliability outcome to the run ledger."""
+    """Append this run's reliability outcome to the run ledger.
+
+    *runs* overrides ``args.runs`` (an adaptive batch records the
+    stop point, not the budget) and *metrics* attaches extra
+    metadata — the adaptive stopping summary — to the record.
+    """
     if not getattr(args, "ledger", None):
         return
     from repro.telemetry import (
@@ -482,7 +489,8 @@ def _record_ledger(
         run_id=derive_run_id(args.seed),
         command=command,
         seed=args.seed,
-        runs=args.runs,
+        runs=args.runs if runs is None else runs,
+        metrics=metrics,
     )
     ledger = RunLedger(args.ledger)
     index = ledger.append(record)
@@ -578,6 +586,16 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         from repro.resilience import MonitorConfig
 
         monitor_config = MonitorConfig(window=args.monitor_window)
+
+    if args.adaptive:
+        if args.recover:
+            raise ReproError(
+                "--adaptive drives the batch executor; drop --recover"
+            )
+        if args.runs <= 1:
+            raise ReproError("--adaptive needs --runs > 1")
+    elif args.target_width is not None:
+        raise ReproError("--target-width needs --adaptive")
 
     if args.recover:
         # The detect->decide->recover loop runs on the scalar
@@ -709,10 +727,33 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             profiler=profiler, executor=executor,
         )
         started = time.perf_counter()
-        batch_result = batch.run_batch(
-            args.runs, args.iterations, monitor=monitor_config
-        )
+        adaptive = None
+        if args.adaptive:
+            from repro.telemetry.convergence import StoppingRule
+
+            rule = StoppingRule(
+                target_rel_half_width=args.target_width,
+                min_runs=min(args.min_runs, args.runs),
+                indifference=args.indifference,
+            )
+            adaptive = batch.run_adaptive(
+                args.runs, args.iterations, rule=rule,
+                monitor=monitor_config,
+                on_checkpoint=lambda snap: print("  " + snap.summary()),
+            )
+            batch_result = adaptive.result
+        else:
+            batch_result = batch.run_batch(
+                args.runs, args.iterations, monitor=monitor_config
+            )
         elapsed = time.perf_counter() - started
+        if adaptive is not None:
+            print(
+                f"adaptive stop at run {adaptive.stopped_at}"
+                f"/{adaptive.max_runs} ({adaptive.decision.reason}; "
+                f"saved {adaptive.runs_saved} runs, "
+                f"{adaptive.savings_factor:.1f}x)"
+            )
         print(batch_result.summary())
         estimates = batch_result.srg_estimates()
         print("\nobserved vs analytic SRG:")
@@ -724,11 +765,16 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         if monitor_config is not None:
             print(
                 f"\nonline monitor: {len(batch_result.monitor_events)} "
-                f"alarm/clear events across {args.runs} runs"
+                f"alarm/clear events across {batch_result.runs} runs"
             )
             _write_events(batch_result.monitor_events, args.events)
         _record_ledger(
-            args, spec, arch, implementation, batch_result, "batch"
+            args, spec, arch, implementation, batch_result, "batch",
+            runs=None if adaptive is None else adaptive.stopped_at,
+            metrics=(
+                None if adaptive is None
+                else {"adaptive": adaptive.to_dict()}
+            ),
         )
         if args.metrics:
             from repro.telemetry import MetricsSink, record_batch_result
@@ -972,6 +1018,14 @@ def _build_job_document(args: argparse.Namespace) -> dict:
         )
         if args.monitor:
             document["monitor_window"] = args.monitor_window
+        if args.adaptive:
+            document["adaptive"] = True
+            document["min_runs"] = args.min_runs
+            document["indifference"] = args.indifference
+            if args.target_width is not None:
+                document["target_rel_half_width"] = args.target_width
+        elif args.target_width is not None:
+            raise ReproError("--target-width needs --adaptive")
     if args.timeout is not None:
         if args.timeout <= 0:
             raise ReproError(
@@ -1260,6 +1314,27 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--slack", type=float, default=0.01,
                           help="LRC slack for finite-sample noise")
     simulate.add_argument(
+        "--adaptive", action="store_true",
+        help="treat --runs as a budget and stop the batch early at "
+        "the first checkpoint where every LRC verdict is decided; "
+        "deterministic (same stop point serial or sharded) and "
+        "bit-identical to a fixed batch truncated at the stop point",
+    )
+    simulate.add_argument(
+        "--target-width", type=float, metavar="REL",
+        help="with --adaptive, additionally require every "
+        "communicator's relative CI half-width to shrink below REL",
+    )
+    simulate.add_argument(
+        "--min-runs", type=int, default=64, metavar="N",
+        help="first adaptive checkpoint (default 64)",
+    )
+    simulate.add_argument(
+        "--indifference", type=float, default=0.002, metavar="DELTA",
+        help="half-width of the sequential test's indifference "
+        "region around each LRC (default 0.002)",
+    )
+    simulate.add_argument(
         "--bernoulli", action="store_true",
         help="inject transient faults matching hrel/srel",
     )
@@ -1413,6 +1488,25 @@ def build_parser() -> argparse.ArgumentParser:
     submit.add_argument(
         "--no-bernoulli", action="store_true",
         help="disable transient fault injection",
+    )
+    submit.add_argument(
+        "--adaptive", action="store_true",
+        help="adaptive stopping: the daemon treats --runs as a "
+        "budget and stops at the first checkpoint where every LRC "
+        "verdict is decided",
+    )
+    submit.add_argument(
+        "--target-width", type=float, metavar="REL",
+        help="with --adaptive, also require every communicator's "
+        "relative CI half-width below REL",
+    )
+    submit.add_argument(
+        "--min-runs", type=int, default=64, metavar="N",
+        help="first adaptive checkpoint (default 64)",
+    )
+    submit.add_argument(
+        "--indifference", type=float, default=0.002, metavar="DELTA",
+        help="sequential-test indifference half-width (default 0.002)",
     )
     submit.add_argument(
         "--monitor", action="store_true",

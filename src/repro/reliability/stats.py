@@ -159,6 +159,106 @@ def lrc_test(
     )
 
 
+def interval_half_width(
+    successes: int, samples: int, confidence: float = 0.99
+) -> float:
+    """Half-width of the Clopper–Pearson interval for a proportion.
+
+    The convergence diagnostic of the streaming estimator: the
+    interval ``[lower, upper]`` shrinks as pooled samples accumulate,
+    and ``(upper - lower) / 2`` is the precision the estimate has
+    reached so far.
+    """
+    lower, upper = binomial_confidence_interval(
+        successes, samples, confidence
+    )
+    return (upper - lower) / 2.0
+
+
+def sprt_bounds(confidence: float = 0.99) -> tuple[float, float]:
+    """Wald SPRT decision bounds ``(accept, reject)`` on the LLR.
+
+    Symmetric error budget ``alpha = beta = 1 - confidence``: the test
+    accepts ``H1: p >= lrc + delta`` once the log-likelihood ratio
+    climbs past ``log((1 - beta) / alpha)`` and accepts
+    ``H0: p <= lrc - delta`` once it falls below
+    ``log(beta / (1 - alpha))``.
+    """
+    import math
+
+    if not 0.0 < confidence < 1.0:
+        raise AnalysisError(
+            f"confidence must lie in (0, 1), got {confidence}"
+        )
+    alpha = 1.0 - confidence
+    return (
+        math.log((1.0 - alpha) / alpha),
+        math.log(alpha / (1.0 - alpha)),
+    )
+
+
+def sprt_log_likelihood(
+    successes: int,
+    samples: int,
+    lrc: float,
+    indifference: float = 0.002,
+) -> float:
+    """Wald SPRT log-likelihood ratio for one LRC.
+
+    Tests ``H1: p >= lrc + indifference`` against
+    ``H0: p <= lrc - indifference`` on pooled binomial counts.  The
+    statistic is a pure function of the counts, so it can be
+    recomputed at any checkpoint boundary without per-sample state —
+    which is what makes sequential stopping deterministic across
+    executors.
+    """
+    import math
+
+    if samples < 0 or not 0 <= successes <= samples:
+        raise AnalysisError(
+            f"successes must lie in [0, {samples}], got {successes}"
+        )
+    if indifference <= 0.0:
+        raise AnalysisError(
+            f"indifference must be positive, got {indifference}"
+        )
+    p0 = lrc - indifference
+    p1 = lrc + indifference
+    if not 0.0 < p0 < p1 < 1.0:
+        raise AnalysisError(
+            f"indifference region ({p0}, {p1}) must lie inside (0, 1); "
+            f"shrink indifference for LRC {lrc}"
+        )
+    failures = samples - successes
+    return successes * math.log(p1 / p0) + failures * math.log(
+        (1.0 - p1) / (1.0 - p0)
+    )
+
+
+def sprt_verdict(
+    successes: int,
+    samples: int,
+    lrc: float,
+    confidence: float = 0.99,
+    indifference: float = 0.002,
+) -> ComplianceVerdict:
+    """Sequential accept/reject verdict for one LRC.
+
+    *Meets* when the SPRT accepts ``p >= lrc + indifference``,
+    *violates* when it accepts ``p <= lrc - indifference``, and
+    *undecided* while the log-likelihood ratio sits between the Wald
+    bounds.  A true rate inside the indifference region may stay
+    undecided forever — callers must pair this with a run budget.
+    """
+    accept, reject = sprt_bounds(confidence)
+    llr = sprt_log_likelihood(successes, samples, lrc, indifference)
+    if llr >= accept:
+        return ComplianceVerdict.MEETS
+    if llr <= reject:
+        return ComplianceVerdict.VIOLATES
+    return ComplianceVerdict.UNDECIDED
+
+
 def required_samples(
     lrc: float, margin: float, confidence: float = 0.99
 ) -> int:

@@ -115,6 +115,29 @@ class BatchResult:
             for name, counts in self.reliable_counts.items()
         }
 
+    def prefix_pooled_counts(
+        self, runs: int
+    ) -> dict[str, tuple[int, int]]:
+        """Pooled ``(successes, samples)`` over the first *runs* runs.
+
+        Under the spawn contract the first *runs* runs of a larger
+        batch are exactly the runs of a ``runs``-sized batch, so this
+        is the pooled statistic a truncated batch would report —
+        which is how the convergence layer replays checkpoint
+        trajectories over cached results without re-simulating.
+        """
+        if runs < 0 or runs > self.runs:
+            raise RuntimeSimulationError(
+                f"cannot pool {runs} of {self.runs} runs"
+            )
+        return {
+            name: (
+                int(counts[:runs].sum()),
+                self.samples_per_run[name] * runs,
+            )
+            for name, counts in self.reliable_counts.items()
+        }
+
     def srg_estimates(self) -> dict[str, float]:
         """Return the pooled reliable fraction per communicator."""
         return {
@@ -246,6 +269,8 @@ class BatchSimulator:
         iterations: int,
         seed: "int | None" = None,
         monitor: "MonitorConfig | None" = None,
+        checkpoints: "Sequence[int] | None" = None,
+        on_checkpoint: "Callable[..., None] | None" = None,
     ) -> BatchResult:
         """Execute *runs* independent simulations of *iterations* periods.
 
@@ -259,6 +284,17 @@ class BatchSimulator:
         per-access status tensors (no per-run Python loop), or as one
         scalar monitor per run on the fallback path.  The resulting
         alarm/clear events land in ``BatchResult.monitor_events``.
+
+        With *checkpoints* (global run-count boundaries) and/or
+        *on_checkpoint*, the executor emits globally-pooled
+        :class:`~repro.telemetry.convergence.CheckpointEvent` records
+        at the boundaries — observer-only convergence telemetry that
+        never changes the batch result.  ``on_checkpoint`` without an
+        explicit schedule uses the default geometric
+        :func:`~repro.telemetry.convergence.checkpoint_schedule`.
+        Both arguments are forwarded to the executor only when set,
+        so custom executors without checkpoint support keep working
+        until checkpoints are actually requested.
         """
         if runs <= 0:
             raise RuntimeSimulationError(
@@ -271,7 +307,116 @@ class BatchSimulator:
         children = np.random.SeedSequence(
             self.seed if seed is None else seed
         ).spawn(runs)
-        return self.executor.execute(self, children, iterations, monitor)
+        if checkpoints is None and on_checkpoint is None:
+            return self.executor.execute(
+                self, children, iterations, monitor
+            )
+        if checkpoints is None:
+            from repro.telemetry.convergence import checkpoint_schedule
+
+            checkpoints = checkpoint_schedule(runs)
+        return self.executor.execute(
+            self,
+            children,
+            iterations,
+            monitor,
+            checkpoints=checkpoints,
+            on_checkpoint=on_checkpoint,
+        )
+
+    def run_adaptive(
+        self,
+        max_runs: int,
+        iterations: int,
+        rule: "object | None" = None,
+        seed: "int | None" = None,
+        monitor: "MonitorConfig | None" = None,
+        on_checkpoint: "Callable[..., None] | None" = None,
+    ):
+        """Run until a stopping rule fires, within a *max_runs* budget.
+
+        Simulates the batch chunk by chunk along the rule's checkpoint
+        schedule and, at every boundary, evaluates a convergence
+        snapshot of the pooled counts and asks the
+        :class:`~repro.telemetry.convergence.StoppingRule` whether the
+        evidence suffices.  Because chunks are contiguous slices of
+        the one spawned run sequence and decisions are pure functions
+        of pooled counts, the result is **bit-identical** to
+        ``run_batch(stopped_at, iterations)`` of the same seed, and
+        the stop point does not depend on the executor.
+
+        *on_checkpoint* observes each
+        :class:`~repro.telemetry.convergence.ConvergenceSnapshot` as
+        it is taken.  Returns an
+        :class:`~repro.telemetry.convergence.AdaptiveResult`.
+        """
+        from repro.runtime.executor import merge_batch_results
+        from repro.telemetry.convergence import (
+            AdaptiveResult,
+            StoppingRule,
+            snapshot_from_counts,
+        )
+
+        if rule is None:
+            rule = StoppingRule()
+        if not isinstance(rule, StoppingRule):
+            raise RuntimeSimulationError(
+                f"rule must be a StoppingRule, got {type(rule).__name__}"
+            )
+        if max_runs <= 0:
+            raise RuntimeSimulationError(
+                f"max_runs must be positive, got {max_runs}"
+            )
+        if iterations <= 0:
+            raise RuntimeSimulationError(
+                f"iterations must be positive, got {iterations}"
+            )
+        seed_value = self.seed if seed is None else seed
+        schedule = rule.schedule(max_runs)
+        lrcs = {
+            name: comm.lrc
+            for name, comm in self.spec.communicators.items()
+        }
+        merged: BatchResult | None = None
+        snapshots = []
+        decision = None
+        previous = 0
+        for boundary in schedule:
+            children = [
+                np.random.SeedSequence(seed_value, spawn_key=(k,))
+                for k in range(previous, boundary)
+            ]
+            chunk = self.executor.execute(
+                self, children, iterations, monitor,
+                run_offset=previous,
+            )
+            merged = (
+                chunk if merged is None
+                else merge_batch_results([merged, chunk])
+            )
+            snapshot = snapshot_from_counts(
+                boundary,
+                merged.pooled_counts(),
+                lrcs,
+                confidence=rule.confidence,
+                indifference=rule.indifference,
+            )
+            snapshots.append(snapshot)
+            if on_checkpoint is not None:
+                on_checkpoint(snapshot)
+            decision = rule.decide(snapshot, max_runs)
+            previous = boundary
+            if decision.stop:
+                break
+        assert merged is not None and decision is not None
+        return AdaptiveResult(
+            result=merged,
+            stopped_at=decision.run,
+            max_runs=max_runs,
+            schedule=schedule,
+            snapshots=tuple(snapshots),
+            decision=decision,
+        )
 
     def run_slice(
         self,
@@ -279,6 +424,8 @@ class BatchSimulator:
         iterations: int,
         monitor: "MonitorConfig | None" = None,
         run_offset: int = 0,
+        checkpoints: "Sequence[int] | None" = None,
+        on_checkpoint: "Callable[..., None] | None" = None,
     ) -> BatchResult:
         """Execute an explicit list of spawned per-run seeds.
 
@@ -288,6 +435,15 @@ class BatchSimulator:
         *global* indices, so disjoint slices of one batch merge (via
         :func:`~repro.runtime.executor.merge_batch_results`) into
         exactly the unsharded result.
+
+        With *checkpoints* (**global** run-count boundaries) and/or
+        *on_checkpoint*, the slice's
+        :class:`~repro.telemetry.convergence.CheckpointEvent` records
+        — counts cumulative within the slice, per the
+        :func:`~repro.telemetry.convergence.merge_checkpoint_events`
+        contract — are delivered to the callback after the result is
+        computed.  Checkpoint emission is observer-only: it reads the
+        finished count arrays and never touches the simulation draws.
         """
         runs = len(children)
         if runs == 0:
@@ -303,12 +459,23 @@ class BatchSimulator:
             # A declining precompute may have consumed draws; the
             # fallback rebuilds every generator from its spawn key.
             with self.profiler.stage("scalar-fallback"):
-                return self._run_scalar(
+                result = self._run_scalar(
                     children, iterations, monitor, run_offset
                 )
-        return self._run_vectorized(
-            masks, runs, iterations, monitor, run_offset
-        )
+        else:
+            result = self._run_vectorized(
+                masks, runs, iterations, monitor, run_offset
+            )
+        if on_checkpoint is not None:
+            from repro.telemetry.convergence import (
+                checkpoint_events_for_slice,
+            )
+
+            for event in checkpoint_events_for_slice(
+                result, run_offset, checkpoints or ()
+            ):
+                on_checkpoint(event)
+        return result
 
     def _empty_result(self, iterations: int) -> BatchResult:
         """The zero-run result (identity element of a merge)."""

@@ -68,6 +68,16 @@ class BatchExecutor(Protocol):
     must return exactly the result of
     ``simulator.run_slice(children, iterations, monitor)`` — the
     bit-identity contract every implementation is tested against.
+
+    The keyword-only extras are optional capabilities:
+    ``run_offset`` declares the global run index of ``children[0]``
+    (the adaptive driver executes contiguous chunks of one spawned
+    sequence), and ``checkpoints``/``on_checkpoint`` request pooled
+    :class:`~repro.telemetry.convergence.CheckpointEvent` emission at
+    global run-count boundaries.  Callers forward them only when
+    used, so minimal executors (tests, third-party strategies) that
+    accept the positional form keep working until those features are
+    actually requested.
     """
 
     def execute(
@@ -76,6 +86,10 @@ class BatchExecutor(Protocol):
         children: "Sequence[np.random.SeedSequence]",
         iterations: int,
         monitor: "MonitorConfig | None" = None,
+        *,
+        run_offset: int = 0,
+        checkpoints: "Sequence[int] | None" = None,
+        on_checkpoint: "Any | None" = None,
     ) -> BatchResult:
         ...
 
@@ -205,10 +219,44 @@ def dataclasses_replace_runs(
 slice_batch_result = dataclasses_replace_runs
 
 
+def fold_shard_checkpoints(
+    mark_lists: "Sequence[tuple]",
+) -> list:
+    """Fold per-shard checkpoint streams into the global trajectory.
+
+    Each shard's slice-local events pass through a
+    :class:`~repro.telemetry.shardbuffer.ShardEventBuffer` (which
+    stamps the shard index), then
+    :func:`~repro.telemetry.convergence.merge_checkpoint_events`
+    rebases them into the one globally-pooled trajectory a serial
+    execution would have emitted — shared by every sharded executor.
+    """
+    if not any(mark_lists):
+        return []
+    from repro.telemetry.convergence import merge_checkpoint_events
+    from repro.telemetry.shardbuffer import ShardEventBuffer
+
+    stamped: list = []
+    for index, marks in enumerate(mark_lists):
+        buffer = ShardEventBuffer(shard=index)
+        buffer.extend(marks)
+        stamped.extend(buffer.events)
+    return merge_checkpoint_events(stamped)
+
+
 class SerialExecutor:
-    """The in-process reference executor (the pre-refactor loop)."""
+    """The in-process reference executor (the pre-refactor loop).
+
+    After an :meth:`execute` that requested checkpoints, the folded
+    global trajectory is left on :attr:`checkpoint_events` — the same
+    attribute the sharded executors expose, so callers read one
+    surface regardless of strategy.
+    """
 
     name = "serial"
+
+    def __init__(self) -> None:
+        self.checkpoint_events: list = []
 
     def execute(
         self,
@@ -216,8 +264,30 @@ class SerialExecutor:
         children: "Sequence[np.random.SeedSequence]",
         iterations: int,
         monitor: "MonitorConfig | None" = None,
+        *,
+        run_offset: int = 0,
+        checkpoints: "Sequence[int] | None" = None,
+        on_checkpoint: "Any | None" = None,
     ) -> BatchResult:
-        return simulator.run_slice(children, iterations, monitor)
+        self.checkpoint_events = []
+        if checkpoints is None and on_checkpoint is None:
+            return simulator.run_slice(
+                children, iterations, monitor, run_offset=run_offset
+            )
+        from repro.telemetry.convergence import merge_checkpoint_events
+
+        raw: list = []
+        result = simulator.run_slice(
+            children, iterations, monitor,
+            run_offset=run_offset,
+            checkpoints=checkpoints,
+            on_checkpoint=raw.append,
+        )
+        self.checkpoint_events = merge_checkpoint_events(raw)
+        if on_checkpoint is not None:
+            for event in self.checkpoint_events:
+                on_checkpoint(event)
+        return result
 
 
 @dataclass
@@ -238,9 +308,18 @@ class _ShardPayload:
     #: ride NEXT TO the batch data, never inside it, so merge — and
     #: therefore the bit-identity contract — is unaffected by tracing.
     spans: tuple = ()
+    #: Slice-local convergence checkpoint events
+    #: (:class:`~repro.telemetry.convergence.CheckpointEvent`).  Like
+    #: spans they are observer-only cargo outside the batch result;
+    #: the parent folds them into the global trajectory.
+    checkpoints: tuple = ()
 
 
-def _payload_of(result: BatchResult, spans: tuple = ()) -> _ShardPayload:
+def _payload_of(
+    result: BatchResult,
+    spans: tuple = (),
+    checkpoints: tuple = (),
+) -> _ShardPayload:
     return _ShardPayload(
         runs=result.runs,
         reliable_counts=result.reliable_counts,
@@ -248,6 +327,7 @@ def _payload_of(result: BatchResult, spans: tuple = ()) -> _ShardPayload:
         executor=result.executor,
         monitor_events=result.monitor_events,
         spans=spans,
+        checkpoints=checkpoints,
     )
 
 
@@ -265,20 +345,31 @@ def _result_of(payload: _ShardPayload, simulator: "BatchSimulator",
 
 
 def _shard_worker(
-    simulator, children, iterations, monitor, offset, conn, trace=None
+    simulator, children, iterations, monitor, offset, conn,
+    trace=None, checkpoints=None,
 ):
     """Entry point of one forked shard worker."""
     from repro.telemetry.distributed import shard_span
 
     try:
+        marks: list = []
         with shard_span(
             trace, offset, offset + len(children)
         ) as recorder:
             result = simulator.run_slice(
-                children, iterations, monitor, run_offset=offset
+                children, iterations, monitor, run_offset=offset,
+                checkpoints=checkpoints,
+                on_checkpoint=(
+                    marks.append if checkpoints is not None else None
+                ),
             )
         conn.send(
-            ("ok", _payload_of(result, tuple(recorder.spans)))
+            (
+                "ok",
+                _payload_of(
+                    result, tuple(recorder.spans), tuple(marks)
+                ),
+            )
         )
     except BaseException as error:  # ship the failure to the parent
         conn.send(("error", f"{type(error).__name__}: {error}"))
@@ -337,6 +428,7 @@ class ShardedExecutor:
         self.telemetry = telemetry
         self.trace_context = trace
         self.shard_spans: list[dict] = []
+        self.checkpoint_events: list = []
 
     def execute(
         self,
@@ -344,34 +436,54 @@ class ShardedExecutor:
         children: "Sequence[np.random.SeedSequence]",
         iterations: int,
         monitor: "MonitorConfig | None" = None,
+        *,
+        run_offset: int = 0,
+        checkpoints: "Sequence[int] | None" = None,
+        on_checkpoint: "Any | None" = None,
     ) -> BatchResult:
         from repro.telemetry.distributed import shard_span
 
         self.shard_spans = []
+        self.checkpoint_events = []
         slices = shard_slices(len(children), self.jobs)
         context = _fork_context() if self.processes else None
         span_lists: list[tuple] = []
+        mark_lists: list[tuple] = []
+        want_marks = (
+            checkpoints is not None or on_checkpoint is not None
+        )
         if len(slices) <= 1 or context is None:
             shards = []
             for start, stop in slices:
+                marks: list = []
                 with shard_span(
-                    self.trace_context, start, stop
+                    self.trace_context,
+                    run_offset + start,
+                    run_offset + stop,
                 ) as recorder:
                     shards.append(
                         simulator.run_slice(
                             children[start:stop], iterations, monitor,
-                            run_offset=start,
+                            run_offset=run_offset + start,
+                            checkpoints=checkpoints,
+                            on_checkpoint=(
+                                marks.append if want_marks else None
+                            ),
                         )
                     )
                 span_lists.append(tuple(recorder.spans))
+                mark_lists.append(tuple(marks))
         else:
-            shards, span_lists = self._execute_processes(
+            shards, span_lists, mark_lists = self._execute_processes(
                 context, simulator, children, iterations, monitor,
-                slices,
+                slices, run_offset, checkpoints if want_marks else None,
             )
         merged = merge_batch_results(shards) if shards else (
-            simulator.run_slice(children, iterations, monitor)
+            simulator.run_slice(
+                children, iterations, monitor, run_offset=run_offset
+            )
         )
+        self._deliver_checkpoints(mark_lists, on_checkpoint)
         if self.telemetry is not None or self.trace_context is not None:
             from repro.telemetry.shardbuffer import (
                 ShardEventBuffer,
@@ -390,12 +502,24 @@ class ShardedExecutor:
                 buffers.append(buffer)
             if self.telemetry is not None:
                 replay_sharded(buffers, self.telemetry)
+                if self.checkpoint_events:
+                    self.telemetry.extend(self.checkpoint_events)
             self.shard_spans = collect_spans(buffers)
         return merged
 
+    def _deliver_checkpoints(
+        self, mark_lists: "Sequence[tuple]", on_checkpoint
+    ) -> None:
+        """Fold per-shard checkpoint streams and notify the observer."""
+        self.checkpoint_events = fold_shard_checkpoints(mark_lists)
+        if on_checkpoint is not None:
+            for event in self.checkpoint_events:
+                on_checkpoint(event)
+
     def _execute_processes(
-        self, context, simulator, children, iterations, monitor, slices
-    ) -> tuple[list[BatchResult], list[tuple]]:
+        self, context, simulator, children, iterations, monitor,
+        slices, run_offset=0, checkpoints=None,
+    ) -> tuple[list[BatchResult], list[tuple], list[tuple]]:
         workers = []
         for start, stop in slices:
             parent_conn, child_conn = context.Pipe(duplex=False)
@@ -403,7 +527,8 @@ class ShardedExecutor:
                 target=_shard_worker,
                 args=(
                     simulator, children[start:stop], iterations,
-                    monitor, start, child_conn, self.trace_context,
+                    monitor, run_offset + start, child_conn,
+                    self.trace_context, checkpoints,
                 ),
             )
             process.start()
@@ -411,6 +536,7 @@ class ShardedExecutor:
             workers.append((process, parent_conn))
         shards: list[BatchResult] = []
         span_lists: list[tuple] = []
+        mark_lists: list[tuple] = []
         failures: list[str] = []
         for process, conn in workers:
             try:
@@ -425,10 +551,11 @@ class ShardedExecutor:
                     _result_of(payload, simulator, iterations)
                 )
                 span_lists.append(tuple(payload.spans))
+                mark_lists.append(tuple(payload.checkpoints))
             else:
                 failures.append(str(payload))
         if failures:
             raise RuntimeSimulationError(
                 f"sharded batch worker failed: {failures[0]}"
             )
-        return shards, span_lists
+        return shards, span_lists, mark_lists

@@ -267,6 +267,16 @@ class ServiceClient:
         ]
         return merge_client_events(doc, mine)
 
+    def convergence(self, job_id: str) -> dict:
+        """The job's latest convergence snapshot.
+
+        ``{"job": ..., "state": ..., "convergence": ...}`` where
+        ``convergence`` is the per-communicator diagnostics dict of an
+        adaptive simulate job's most recent checkpoint, or ``None``
+        for fixed-run jobs (and before the first checkpoint).
+        """
+        return self._request("GET", f"/jobs/{job_id}/convergence")
+
     def jobs(self) -> list[dict]:
         return list(self._request("GET", "/jobs").get("jobs", []))
 

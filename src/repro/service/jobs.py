@@ -134,6 +134,9 @@ class Job:
         self.trace_id = trace_id or mint_trace_id()
         #: Worker shard spans collected after a sharded execution.
         self.spans: list[dict] = []
+        #: Latest convergence snapshot of an adaptive simulate job
+        #: (updated at every checkpoint boundary while running).
+        self.convergence: "dict | None" = None
         #: Called as ``observer(job, event)`` after every emit —
         #: the service hooks the structured log here.  Set before the
         #: "queued" emit so no transition escapes the log.
@@ -269,6 +272,8 @@ class Job:
             doc["timeout_s"] = self.timeout_s
         if self.error is not None:
             doc["error"] = self.error
+        if self.convergence is not None:
+            doc["convergence"] = self.convergence
         if self.result is not None:
             doc["result"] = self.result
         return doc
@@ -514,6 +519,11 @@ class ReliabilityService:
             jobs = doc.setdefault("jobs", 1)
             if not isinstance(jobs, int) or jobs < 1:
                 raise ServiceError(f"jobs must be >= 1, got {jobs!r}")
+            self._validate_adaptive(doc)
+        elif doc.get("adaptive"):
+            raise ServiceError(
+                "adaptive stopping applies to simulate jobs only"
+            )
         seed = doc.setdefault("seed", 0)
         if not isinstance(seed, int):
             raise ServiceError(f"seed must be an int, got {seed!r}")
@@ -559,6 +569,63 @@ class ReliabilityService:
         if job.deadline is not None:
             self._reaper_wake.set()
         return job
+
+    @staticmethod
+    def _validate_adaptive(doc: dict) -> None:
+        """Validate the adaptive-stopping fields of a simulate job.
+
+        ``adaptive: true`` turns ``runs`` into a budget (``max_runs``)
+        the :class:`~repro.telemetry.convergence.StoppingRule` may cut
+        short; the optional knobs mirror the rule's parameters.
+        """
+        adaptive = doc.get("adaptive", False)
+        if not isinstance(adaptive, bool):
+            raise ServiceError(
+                f"adaptive must be a bool, got {adaptive!r}"
+            )
+        if not adaptive:
+            return
+        target = doc.get("target_rel_half_width")
+        if target is not None and (
+            isinstance(target, bool)
+            or not isinstance(target, (int, float))
+            or target <= 0
+        ):
+            raise ServiceError(
+                f"target_rel_half_width must be a positive number, "
+                f"got {target!r}"
+            )
+        min_runs = doc.get("min_runs")
+        if min_runs is not None and (
+            not isinstance(min_runs, int) or min_runs < 1
+        ):
+            raise ServiceError(
+                f"min_runs must be >= 1, got {min_runs!r}"
+            )
+        confidence = doc.get("stop_confidence")
+        if confidence is not None and (
+            isinstance(confidence, bool)
+            or not isinstance(confidence, (int, float))
+            or not 0.0 < confidence < 1.0
+        ):
+            raise ServiceError(
+                f"stop_confidence must lie in (0, 1), "
+                f"got {confidence!r}"
+            )
+        indifference = doc.get("indifference")
+        if indifference is not None and (
+            isinstance(indifference, bool)
+            or not isinstance(indifference, (int, float))
+            or indifference <= 0
+        ):
+            raise ServiceError(
+                f"indifference must be positive, got {indifference!r}"
+            )
+        sequential = doc.get("sequential", True)
+        if not isinstance(sequential, bool):
+            raise ServiceError(
+                f"sequential must be a bool, got {sequential!r}"
+            )
 
     def _on_job_event(self, job: Job, event: dict) -> None:
         """Mirror one job state transition into the structured log."""
@@ -951,6 +1018,12 @@ class ReliabilityService:
                 executor=executor,
             )
 
+        if doc.get("adaptive"):
+            return self._simulate_adaptive(
+                job, doc, spec, arch, impl, key, simulator, executor,
+                runs, iterations, seed, monitor, slack,
+            )
+
         stage_t0 = time.perf_counter()
         kind, cached = self.cache.plan(key, runs, spec=spec)
         self.metrics.observe_stage(
@@ -1043,8 +1116,216 @@ class ReliabilityService:
             "ledger_entry": entry,
         }
 
+    def _simulate_adaptive(
+        self, job: Job, doc, spec, arch, impl, key, simulator,
+        executor, max_runs: int, iterations: int, seed: int,
+        monitor, slack: float,
+    ) -> dict:
+        """The adaptive-stopping simulate pipeline.
+
+        ``runs`` is the budget; the batch grows chunk by chunk along
+        the stopping rule's checkpoint schedule, a convergence
+        snapshot is evaluated at every boundary (and surfaced on the
+        job event stream, the job document, and the metrics gauges),
+        and the rule decides — from pooled counts only — whether to
+        stop.  Cached runs replay through the identical snapshot
+        sequence via ``prefix_pooled_counts``, so a cache hit stops at
+        exactly the run count a cold execution would have chosen, and
+        the stored batch makes any later fixed-run request with
+        ``runs <= stopped_at`` a prefix hit.
+        """
+        from repro.runtime.executor import (
+            merge_batch_results,
+            slice_batch_result,
+        )
+        from repro.telemetry.convergence import (
+            AdaptiveResult,
+            StoppingRule,
+            snapshot_from_counts,
+        )
+
+        rule = StoppingRule(
+            target_rel_half_width=doc.get("target_rel_half_width"),
+            sequential=bool(doc.get("sequential", True)),
+            confidence=float(doc.get("stop_confidence", 0.99)),
+            indifference=float(doc.get("indifference", 0.002)),
+            min_runs=int(doc.get("min_runs", 64)),
+        )
+        schedule = rule.schedule(max_runs)
+        lrcs = {
+            name: comm.lrc
+            for name, comm in spec.communicators.items()
+        }
+        stage_t0 = time.perf_counter()
+        plan_kind, cached = self.cache.plan(key, max_runs, spec=spec)
+        self.metrics.observe_stage(
+            "cache-lookup", time.perf_counter() - stage_t0
+        )
+        job.emit(
+            "cache", cache=plan_kind,
+            cached_runs=0 if cached is None else cached.runs,
+        )
+        sim = None
+        merged = cached
+        simulated = 0
+        snapshots = []
+        decision = None
+        for boundary in schedule:
+            have = 0 if merged is None else merged.runs
+            if boundary > have:
+                children = [
+                    np.random.SeedSequence(seed, spawn_key=(k,))
+                    for k in range(have, boundary)
+                ]
+                job.emit(
+                    "simulating", runs=len(children), offset=have,
+                )
+                if sim is None:
+                    sim = simulator()
+                stage_t0 = time.perf_counter()
+                chunk = sim.executor.execute(
+                    sim, children, iterations, monitor,
+                    run_offset=have,
+                )
+                self.metrics.observe_stage(
+                    "simulate", time.perf_counter() - stage_t0
+                )
+                simulated += chunk.runs
+                if executor is not None:
+                    self._note_shard_retries(job, executor)
+                merged = (
+                    chunk if merged is None
+                    else merge_batch_results([merged, chunk])
+                )
+            snapshot = snapshot_from_counts(
+                boundary,
+                merged.prefix_pooled_counts(boundary),
+                lrcs,
+                confidence=rule.confidence,
+                indifference=rule.indifference,
+            )
+            snapshots.append(snapshot)
+            job.convergence = snapshot.to_dict()
+            decision = rule.decide(snapshot, max_runs)
+            job.emit(
+                "checkpoint",
+                run=boundary,
+                decided=snapshot.decided(),
+                max_rel_half_width=snapshot.max_rel_half_width(),
+                stop=decision.stop,
+            )
+            self._record_convergence_gauges(snapshot)
+            if decision.stop:
+                break
+        assert merged is not None and decision is not None
+        stopped = decision.run
+        adaptive = AdaptiveResult(
+            result=merged,
+            stopped_at=stopped,
+            max_runs=max_runs,
+            schedule=schedule,
+            snapshots=tuple(snapshots),
+            decision=decision,
+        )
+        if stopped < max_runs:
+            self.metrics.add("adaptive_stops")
+            self.metrics.add(
+                "adaptive_runs_saved", max_runs - stopped
+            )
+        job.emit(
+            "stopping",
+            run=stopped,
+            reason=decision.reason,
+            runs_saved=adaptive.runs_saved,
+        )
+        # The cache keeps the longest computed batch: any later
+        # fixed-run request with runs <= merged.runs is a prefix hit.
+        if simulated:
+            self.metrics.add("runs_simulated_total", simulated)
+            self.cache.store(key, merged)
+        if simulated == 0:
+            kind = "hit"
+            self.metrics.add("mc_cache_hits")
+        elif cached is not None:
+            kind = "partial"
+            self.metrics.add("mc_cache_partial")
+        else:
+            kind = "miss"
+            self.metrics.add("mc_cache_misses")
+        result = (
+            slice_batch_result(merged, stopped)
+            if merged.runs > stopped else merged
+        )
+        stage_t0 = time.perf_counter()
+        entry = self._persist(
+            job, spec, arch, impl, result, seed, stopped,
+            metrics={"adaptive": adaptive.to_dict()},
+        )
+        self.metrics.observe_stage(
+            "persist", time.perf_counter() - stage_t0
+        )
+        averages = result.limit_averages()
+        rates = {
+            name: float(averages[name].mean())
+            for name in sorted(averages)
+        }
+        return {
+            "kind": "simulate",
+            "spec_hash": key.spec_hash,
+            "arch_hash": key.arch_hash,
+            "impl_hash": key.impl_hash,
+            "seed": seed,
+            "runs": stopped,
+            "iterations": iterations,
+            "executor": result.executor,
+            "cache": kind,
+            "simulated_runs": simulated,
+            "adaptive": adaptive.to_dict(),
+            "rates": rates,
+            "lrcs": {
+                name: comm.lrc
+                for name, comm in sorted(spec.communicators.items())
+            },
+            "satisfied": bool(result.satisfies_lrcs(slack=slack)),
+            "monitor_events": len(result.monitor_events),
+            "ledger_entry": entry,
+        }
+
+    def _record_convergence_gauges(self, snapshot) -> None:
+        """Mirror one snapshot into the ``/metrics`` gauges.
+
+        Labelled by communicator only (not by job) to keep label
+        cardinality bounded; concurrent adaptive jobs overwrite each
+        other last-writer-wins, which is the usual Prometheus gauge
+        semantics for "most recent observation".
+        """
+        for diag in snapshot.diagnostics:
+            labels = {"communicator": diag.communicator}
+            self.metrics.set_gauge(
+                "repro_service_convergence_half_width",
+                diag.half_width,
+                labels=labels,
+                help="Clopper-Pearson interval half-width at the "
+                "latest adaptive checkpoint.",
+            )
+            self.metrics.set_gauge(
+                "repro_service_convergence_rel_half_width",
+                diag.rel_half_width,
+                labels=labels,
+                help="Relative interval half-width at the latest "
+                "adaptive checkpoint.",
+            )
+            self.metrics.set_gauge(
+                "repro_service_convergence_margin",
+                diag.margin,
+                labels=labels,
+                help="Empirical LRC margin at the latest adaptive "
+                "checkpoint.",
+            )
+
     def _persist(
-        self, job: Job, spec, arch, impl, result, seed: int, runs: int
+        self, job: Job, spec, arch, impl, result, seed: int, runs: int,
+        metrics: "dict | None" = None,
     ) -> "int | None":
         if self.ledger_dir is None:
             return None
@@ -1060,6 +1341,7 @@ class ReliabilityService:
             command="batch",
             seed=seed,
             runs=runs,
+            metrics=metrics,
         )
         index = RunLedger(self.ledger_dir).append(record)
         job.emit("ledger", entry=index)

@@ -24,6 +24,11 @@ request/response bodies.  Endpoints:
 ``GET /jobs/<id>/trace``
     The job's merged Chrome trace (daemon lifecycle + shard spans),
     ready for ``chrome://tracing`` / ``repro trace``.
+``GET /jobs/<id>/convergence``
+    The latest convergence snapshot of an adaptive simulate job
+    (per-communicator rate, interval half-width, LRC margin, and
+    sequential verdict); ``convergence`` is null for fixed-run jobs
+    and before the first checkpoint.
 ``GET /metrics``
     Content-negotiated: Prometheus text exposition (Content-Type
     ``text/plain; version=0.0.4``) when the client sends
@@ -137,7 +142,7 @@ class _Handler(BaseHTTPRequestHandler):
         if len(parts) == 2:
             return "/jobs/{id}"
         if len(parts) == 3 and parts[2] in (
-            "events", "stream", "cancel", "trace",
+            "events", "stream", "cancel", "trace", "convergence",
         ):
             return "/jobs/{id}/" + parts[2]
         return "/other"
@@ -267,6 +272,20 @@ class _Handler(BaseHTTPRequestHandler):
             and parts[2] == "trace"
         ):
             self._reply(200, self.service.job_trace(parts[1]))
+        elif (
+            len(parts) == 3
+            and parts[0] == "jobs"
+            and parts[2] == "convergence"
+        ):
+            job = self.service.get(parts[1])
+            self._reply(
+                200,
+                {
+                    "job": job.id,
+                    "state": job.state,
+                    "convergence": job.convergence,
+                },
+            )
         else:
             self._error(404, f"no such endpoint: GET {url.path}")
 

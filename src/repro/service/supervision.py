@@ -47,6 +47,7 @@ from repro.runtime.executor import (
     _fork_context,
     _payload_of,
     _result_of,
+    fold_shard_checkpoints,
     merge_batch_results,
     shard_slices,
 )
@@ -169,14 +170,15 @@ def _unit_noise(shard: int, attempt: int) -> float:
 
 def _supervised_worker(
     simulator, children, iterations, monitor, offset, conn, action,
-    trace=None,
+    trace=None, checkpoints=None,
 ):
     """Entry point of one supervised shard worker.
 
     Identical to the unsupervised worker except for the optional
     injected *action*, applied before (or instead of) the real work.
-    A failed attempt ships no span: only the attempt that succeeds
-    records one, so a retried shard still yields exactly one span.
+    A failed attempt ships no span and no checkpoint events: only the
+    attempt that succeeds records them, so a retried shard still
+    yields exactly one span and one slice-local checkpoint stream.
     """
     from repro.telemetry.distributed import shard_span
 
@@ -196,13 +198,25 @@ def _supervised_worker(
                 raise RuntimeSimulationError(
                     "chaos: injected worker error"
                 )
+        marks: list = []
         with shard_span(
             trace, offset, offset + len(children)
         ) as recorder:
             result = simulator.run_slice(
-                children, iterations, monitor, run_offset=offset
+                children, iterations, monitor, run_offset=offset,
+                checkpoints=checkpoints,
+                on_checkpoint=(
+                    marks.append if checkpoints is not None else None
+                ),
             )
-        conn.send(("ok", _payload_of(result, tuple(recorder.spans))))
+        conn.send(
+            (
+                "ok",
+                _payload_of(
+                    result, tuple(recorder.spans), tuple(marks)
+                ),
+            )
+        )
     except BaseException as error:  # ship the failure to the parent
         try:
             conn.send(("error", f"{type(error).__name__}: {error}"))
@@ -215,16 +229,23 @@ def _supervised_worker(
 class _ShardState:
     """Supervision bookkeeping of one shard across its attempts."""
 
-    def __init__(self, index: int, start: int, stop: int) -> None:
+    def __init__(
+        self, index: int, start: int, stop: int, offset: int = 0
+    ) -> None:
         self.index = index
         self.start = start
         self.stop = stop
+        #: Global run index of the whole batch's first run (nonzero
+        #: when the adaptive driver executes a chunk mid-sequence);
+        #: ``offset + start`` is this shard's global first run.
+        self.offset = offset
         self.attempt = 0
         self.process: Any = None
         self.conn: Any = None
         self.deadline_at: "float | None" = None
         self.result: "BatchResult | None" = None
         self.spans: tuple = ()
+        self.checkpoints: tuple = ()
 
     def kill(self) -> None:
         """Best-effort terminate of a live worker."""
@@ -307,6 +328,12 @@ class SupervisedShardedExecutor:
         self.retry_events: list[ShardRetryEvent] = []
         #: Merged tracing spans of the most recent :meth:`execute`.
         self.shard_spans: list[dict] = []
+        #: Globally-pooled convergence trajectory of the most recent
+        #: :meth:`execute` call that requested checkpoints.
+        self.checkpoint_events: list = []
+        #: The checkpoint schedule of the in-flight :meth:`execute`
+        #: (read by `_launch`, including relaunches after a retry).
+        self._chunk_checkpoints: "Sequence[int] | None" = None
 
     # -- the BatchExecutor protocol -------------------------------------
 
@@ -316,29 +343,47 @@ class SupervisedShardedExecutor:
         children: "Sequence[np.random.SeedSequence]",
         iterations: int,
         monitor: "MonitorConfig | None" = None,
+        *,
+        run_offset: int = 0,
+        checkpoints: "Sequence[int] | None" = None,
+        on_checkpoint: "Any | None" = None,
     ) -> BatchResult:
         self.retry_events = []
         self.shard_spans = []
+        self.checkpoint_events = []
+        self._chunk_checkpoints = checkpoints
+        want_marks = (
+            checkpoints is not None or on_checkpoint is not None
+        )
         slices = shard_slices(len(children), self.jobs)
         context = _fork_context() if self.processes else None
         if not slices:
-            return simulator.run_slice(children, iterations, monitor)
+            return simulator.run_slice(
+                children, iterations, monitor, run_offset=run_offset
+            )
         span_lists: list[tuple] = []
+        mark_lists: list[tuple] = []
         if len(slices) <= 1 or context is None:
             shards = []
             for index, (start, stop) in enumerate(slices):
-                result, spans = self._execute_inline(
+                result, spans, marks = self._execute_inline(
                     simulator, children, iterations, monitor,
-                    index, start, stop,
+                    index, start, stop, run_offset,
+                    collect_marks=want_marks,
                 )
                 shards.append(result)
                 span_lists.append(spans)
+                mark_lists.append(marks)
         else:
-            shards, span_lists = self._supervise(
+            shards, span_lists, mark_lists = self._supervise(
                 context, simulator, children, iterations, monitor,
-                slices,
+                slices, run_offset,
             )
         merged = merge_batch_results(shards)
+        self.checkpoint_events = fold_shard_checkpoints(mark_lists)
+        if on_checkpoint is not None:
+            for event in self.checkpoint_events:
+                on_checkpoint(event)
         if self.telemetry is not None or self.trace_context is not None:
             from repro.telemetry.shardbuffer import (
                 ShardEventBuffer,
@@ -357,6 +402,8 @@ class SupervisedShardedExecutor:
                 buffers.append(buffer)
             if self.telemetry is not None:
                 replay_sharded(buffers, self.telemetry)
+                if self.checkpoint_events:
+                    self.telemetry.extend(self.checkpoint_events)
             self.shard_spans = collect_spans(buffers)
         return merged
 
@@ -372,8 +419,8 @@ class SupervisedShardedExecutor:
             reason=reason,
             detail=detail,
             delay_s=delay,
-            run_start=state.start,
-            run_stop=state.stop,
+            run_start=state.offset + state.start,
+            run_stop=state.offset + state.stop,
             noted_at=time.time(),
         )
         self.retry_events.append(event)
@@ -390,11 +437,11 @@ class SupervisedShardedExecutor:
 
     def _execute_inline(
         self, simulator, children, iterations, monitor,
-        index, start, stop,
-    ) -> tuple[BatchResult, tuple]:
+        index, start, stop, run_offset=0, collect_marks=False,
+    ) -> tuple[BatchResult, tuple, tuple]:
         from repro.telemetry.distributed import shard_span
 
-        state = _ShardState(index, start, stop)
+        state = _ShardState(index, start, stop, offset=run_offset)
         while True:
             action = (
                 self.chaos.action(state.index, state.attempt)
@@ -411,15 +458,21 @@ class SupervisedShardedExecutor:
                     )
                 if action is not None and action.kind == "slow":
                     time.sleep(action.delay_s)
+                marks: list = []
                 with shard_span(
-                    self.trace_context, start, stop,
+                    self.trace_context,
+                    run_offset + start, run_offset + stop,
                     attempt=state.attempt,
                 ) as recorder:
                     result = simulator.run_slice(
                         children[start:stop], iterations, monitor,
-                        run_offset=start,
+                        run_offset=run_offset + start,
+                        checkpoints=self._chunk_checkpoints,
+                        on_checkpoint=(
+                            marks.append if collect_marks else None
+                        ),
                     )
-                return result, tuple(recorder.spans)
+                return result, tuple(recorder.spans), tuple(marks)
             except RuntimeSimulationError as error:
                 if state.attempt >= self.policy.retries:
                     self._give_up(state, str(error))
@@ -444,8 +497,9 @@ class SupervisedShardedExecutor:
             target=_supervised_worker,
             args=(
                 simulator, children[state.start:state.stop],
-                iterations, monitor, state.start, child_conn, action,
-                self.trace_context,
+                iterations, monitor, state.offset + state.start,
+                child_conn, action, self.trace_context,
+                self._chunk_checkpoints,
             ),
         )
         process.start()
@@ -459,12 +513,12 @@ class SupervisedShardedExecutor:
 
     def _supervise(
         self, context, simulator, children, iterations, monitor,
-        slices,
-    ) -> tuple[list[BatchResult], list[tuple]]:
+        slices, run_offset=0,
+    ) -> tuple[list[BatchResult], list[tuple], list[tuple]]:
         from multiprocessing.connection import wait as conn_wait
 
         states = [
-            _ShardState(index, start, stop)
+            _ShardState(index, start, stop, offset=run_offset)
             for index, (start, stop) in enumerate(slices)
         ]
         try:
@@ -535,6 +589,7 @@ class SupervisedShardedExecutor:
                             {**span, "attempt": state.attempt}
                             for span in payload.spans
                         )
+                        state.checkpoints = tuple(payload.checkpoints)
                         conn.close()
                         state.conn = None
                         state.process.join()
@@ -562,6 +617,7 @@ class SupervisedShardedExecutor:
         return (
             [state.result for state in states],
             [state.spans for state in states],
+            [state.checkpoints for state in states],
         )
 
     def _retire(

@@ -228,7 +228,54 @@ def render_frame(
         f"active traces ({len(active)}): "
         + (" ".join(active[:6]) if active else "none")
     )
+    lines.extend(_convergence_lines(metrics))
     return "\n".join(line[:width] for line in lines)
+
+
+def _convergence_lines(metrics: Mapping[str, Samples]) -> list[str]:
+    """The adaptive-convergence pane (empty before any checkpoint).
+
+    One line per communicator showing the latest interval half-width,
+    relative half-width, and LRC margin gauges, plus an adaptive
+    stop/savings summary — together a glanceable answer to "has the
+    estimator converged and how much slack does each LRC have".
+    """
+    half = metrics.get("repro_service_convergence_half_width", [])
+    rel = metrics.get("repro_service_convergence_rel_half_width", [])
+    margin = metrics.get("repro_service_convergence_margin", [])
+    if not half and not rel:
+        return []
+
+    def by_comm(samples: Samples) -> dict[str, float]:
+        return {
+            labels.get("communicator", "?"): value
+            for labels, value in samples
+        }
+
+    halves, rels, margins = by_comm(half), by_comm(rel), by_comm(margin)
+    stops = sum(
+        value for _, value in
+        metrics.get("repro_service_adaptive_stops_total", [])
+    )
+    saved = sum(
+        value for _, value in
+        metrics.get("repro_service_adaptive_runs_saved_total", [])
+    )
+    lines = [
+        f"convergence (latest checkpoint)   adaptive stops "
+        f"{stops:.0f}   runs saved {saved:.0f}",
+    ]
+    for name in sorted(set(halves) | set(rels)):
+        margin_value = margins.get(name)
+        margin_text = (
+            f"{margin_value:+.4f}" if margin_value is not None else "-"
+        )
+        lines.append(
+            f"  {name:<10} ±{halves.get(name, float('nan')):.4f}"
+            f"  rel {rels.get(name, float('nan')):.4f}"
+            f"  margin {margin_text}"
+        )
+    return lines
 
 
 def run_top(
@@ -237,16 +284,30 @@ def run_top(
     interval: float = 1.0,
     once: bool = False,
     out: Callable[[str], None] = print,
+    err: "Callable[[str], None] | None" = None,
 ) -> int:
     """The ``repro top`` body.  Returns a process exit code.
 
     ``once`` prints a single frame and returns — usable in pipes,
     tests, and CI.  Otherwise a curses screen refreshes every
     *interval* seconds until ``q``.
+
+    An unreachable daemon, an unparseable ``/metrics`` exposition, or
+    a non-TTY terminal (curses init failure) produce a one-line
+    message on *err* and exit code 1 — never a traceback.
     """
+    if err is None:
+        import functools
+        import sys
+
+        err = functools.partial(print, file=sys.stderr)
     if once:
-        metrics = parse_prometheus(scrape_metrics(host, port)[2])
-        out(render_frame(metrics, _fetch_health(host, port)))
+        try:
+            metrics = parse_prometheus(scrape_metrics(host, port)[2])
+            out(render_frame(metrics, _fetch_health(host, port)))
+        except ReproError as error:
+            err(f"repro top: {error}")
+            return 1
         return 0
 
     import curses
@@ -283,5 +344,12 @@ def run_top(
                 time.sleep(0.1)
                 slept += 0.1
 
-    curses.wrapper(_loop)
+    try:
+        curses.wrapper(_loop)
+    except curses.error as error:
+        err(f"repro top: cannot initialise terminal: {error}")
+        return 1
+    except ReproError as error:  # pragma: no cover - loop catches
+        err(f"repro top: {error}")
+        return 1
     return 0

@@ -37,6 +37,19 @@ simulation draws (the PR 2 seed contract is regression-tested in
 """
 
 from repro.telemetry.bus import TelemetryBus
+from repro.telemetry.convergence import (
+    AdaptiveResult,
+    CheckpointEvent,
+    CommunicatorDiagnostics,
+    ConvergenceSnapshot,
+    StopDecision,
+    StoppingRule,
+    checkpoint_events_for_slice,
+    checkpoint_schedule,
+    merge_checkpoint_events,
+    snapshot_from_counts,
+    snapshot_from_event,
+)
 from repro.telemetry.distributed import (
     TRACE_ENV,
     TRACE_HEADER,
@@ -113,8 +126,12 @@ from repro.telemetry.summary import (
 from repro.telemetry.trace import TraceEvent, Tracer
 
 __all__ = [
+    "AdaptiveResult",
     "BlameEntry",
     "CausalChain",
+    "CheckpointEvent",
+    "CommunicatorDiagnostics",
+    "ConvergenceSnapshot",
     "Counter",
     "CounterfactualReport",
     "FaultLink",
@@ -140,6 +157,8 @@ __all__ = [
     "ShardSpanRecorder",
     "StageProfiler",
     "StageStats",
+    "StopDecision",
+    "StoppingRule",
     "TRACE_ENV",
     "TRACE_HEADER",
     "TelemetryBus",
@@ -150,6 +169,8 @@ __all__ = [
     "blame_scores",
     "build_job_trace",
     "check_regression",
+    "checkpoint_events_for_slice",
+    "checkpoint_schedule",
     "client_span_record",
     "collect_spans",
     "content_hash",
@@ -158,6 +179,7 @@ __all__ = [
     "diff_records",
     "load_forensics_file",
     "load_trace_file",
+    "merge_checkpoint_events",
     "merge_client_events",
     "mint_trace_id",
     "postmortem_to_dict",
@@ -169,6 +191,8 @@ __all__ = [
     "replay_sharded",
     "shard_span",
     "sinks_for_hook",
+    "snapshot_from_counts",
+    "snapshot_from_event",
     "summarize_trace",
     "tracing_enabled",
 ]

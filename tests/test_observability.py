@@ -604,3 +604,55 @@ def test_top_once_renders_live_daemon(http_service, capsys):
     assert len(frames) == 1
     assert "repro top — ok" in frames[0]
     assert "completed:1" in frames[0]
+
+
+def test_top_once_reports_unreachable_daemon_in_one_line():
+    from repro.service.top import run_top
+
+    # Bind-and-close to reserve a port nothing is listening on.
+    import socket
+
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        dead_port = probe.getsockname()[1]
+
+    frames, errors = [], []
+    status = run_top(
+        "127.0.0.1", dead_port, once=True,
+        out=frames.append, err=errors.append,
+    )
+    assert status == 1
+    assert frames == []
+    assert len(errors) == 1
+    assert errors[0].startswith("repro top: ")
+    assert "\n" not in errors[0]
+
+
+def test_render_frame_shows_convergence_pane():
+    metrics = {
+        "repro_service_jobs_total": [({"event": "completed"}, 1.0)],
+        "repro_service_convergence_half_width": [
+            ({"communicator": "u"}, 0.0125),
+            ({"communicator": "s"}, 0.0031),
+        ],
+        "repro_service_convergence_rel_half_width": [
+            ({"communicator": "u"}, 0.0127),
+            ({"communicator": "s"}, 0.0031),
+        ],
+        "repro_service_convergence_margin": [
+            ({"communicator": "u"}, 0.0044),
+            ({"communicator": "s"}, -0.0002),
+        ],
+        "repro_service_adaptive_stops_total": [({}, 2.0)],
+        "repro_service_adaptive_runs_saved_total": [({}, 512.0)],
+    }
+    frame = render_frame(metrics, {"status": "ok"})
+    assert "convergence (latest checkpoint)" in frame
+    assert "adaptive stops 2" in frame
+    assert "runs saved 512" in frame
+    assert "u          ±0.0125  rel 0.0127  margin +0.0044" in frame
+    assert "margin -0.0002" in frame
+    # Without convergence samples the pane stays out of the frame.
+    assert "convergence" not in render_frame(
+        {"repro_service_jobs_total": []}, {"status": "ok"}
+    )

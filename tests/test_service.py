@@ -237,6 +237,131 @@ def test_sharded_job_matches_serial_job_rates():
 
 
 # ----------------------------------------------------------------------
+# Adaptive stopping on the service.
+# ----------------------------------------------------------------------
+
+
+def adaptive_document(**extra):
+    """An adaptive job on a workload the sequential test can decide.
+
+    ``lrc_s`` is relaxed to 0.99: the default 0.999 equals the sensor
+    reliability, where the indifference region straddles the true
+    rate and the sequential test cannot converge.
+    """
+    document = simulate_document(
+        runs=320, iterations=40, seed=7,
+        adaptive=True, min_runs=8, **extra,
+    )
+    spec = three_tank_spec(
+        lrc_u=0.99, lrc_s=0.99, functions=FUNCTIONS
+    )
+    document["spec"] = specification_to_dict(spec)
+    return document
+
+
+def test_adaptive_job_stops_early_with_convergence_telemetry():
+    service = make_service()
+    job = run_job(service, adaptive_document())
+    result = job.result
+    adaptive = result["adaptive"]
+    assert result["runs"] == adaptive["stopped_at"] < 320
+    assert adaptive["reason"] == "converged"
+    assert adaptive["savings_factor"] >= 5.0
+    assert result["satisfied"] is True
+    # The convergence snapshot rides on the job document and every
+    # checkpoint landed on the event stream before the stop notice.
+    assert job.convergence is not None
+    assert job.convergence["decided"] is True
+    assert job.to_dict()["convergence"] == job.convergence
+    checkpoints = [
+        event["run"] for event in job.events
+        if event["state"] == "checkpoint"
+    ]
+    assert checkpoints == list(
+        adaptive["schedule"][:adaptive["checkpoints"]]
+    )
+    stops = [
+        event for event in job.events if event["state"] == "stopping"
+    ]
+    assert [e["run"] for e in stops] == [adaptive["stopped_at"]]
+    assert service.metrics.get("adaptive_stops") == 1
+    assert (
+        service.metrics.get("adaptive_runs_saved")
+        == 320 - adaptive["stopped_at"]
+    )
+    exposition = service.metrics_exposition()
+    assert "repro_service_convergence_rel_half_width" in exposition
+    # Each checkpoint also lands as an instant in the merged trace.
+    trace = service.job_trace(job.id)
+    instants = [
+        event["args"]["run"]
+        for event in trace["traceEvents"]
+        if event.get("ph") == "i" and event["name"] == "checkpoint"
+    ]
+    assert instants == checkpoints
+
+
+def test_adaptive_result_equals_fixed_run_truncation():
+    service = make_service()
+    job = run_job(service, adaptive_document())
+    stopped = job.result["runs"]
+    # Satellite contract: a later fixed-run request at (or below) the
+    # adaptive stop point is a prefix hit — no new simulation.
+    document = adaptive_document()
+    for key in ("adaptive", "min_runs"):
+        document.pop(key)
+    document["runs"] = stopped
+    fixed = run_job(service, document)
+    assert fixed.result["cache"] == "hit"
+    assert fixed.result["simulated_runs"] == 0
+    assert fixed.result["rates"] == job.result["rates"]
+    smaller = dict(document, runs=stopped // 2)
+    assert run_job(service, smaller).result["cache"] == "hit"
+
+
+def test_adaptive_replay_on_warm_cache_is_a_pure_hit():
+    service = make_service()
+    cold = run_job(service, adaptive_document())
+    simulated = service.metrics.get("runs_simulated_total")
+    warm = run_job(service, adaptive_document())
+    # Deterministic replay over the cached batch: same stop point,
+    # same rates, not one new simulated run.
+    assert warm.result["cache"] == "hit"
+    assert warm.result["simulated_runs"] == 0
+    assert warm.result["runs"] == cold.result["runs"]
+    assert warm.result["rates"] == cold.result["rates"]
+    assert service.metrics.get("runs_simulated_total") == simulated
+
+
+def test_adaptive_sharded_job_stops_at_the_serial_point():
+    serial = run_job(make_service(), adaptive_document())
+    sharded = run_job(
+        make_service(), adaptive_document(jobs=3)
+    )
+    assert sharded.result["runs"] == serial.result["runs"]
+    assert sharded.result["rates"] == serial.result["rates"]
+
+
+def test_adaptive_validation_rejects_nonsense():
+    service = make_service()
+    for bad in (
+        {"adaptive": "yes"},
+        {"adaptive": True, "target_rel_half_width": 0.0},
+        {"adaptive": True, "target_rel_half_width": True},
+        {"adaptive": True, "min_runs": 0},
+        {"adaptive": True, "stop_confidence": 1.0},
+        {"adaptive": True, "indifference": -0.1},
+        {"adaptive": True, "sequential": "always"},
+    ):
+        with pytest.raises(ServiceError):
+            service.submit(simulate_document(**bad))
+    with pytest.raises(ServiceError):
+        service.submit(
+            {"kind": "verify", "adaptive": True, **design_documents()}
+        )
+
+
+# ----------------------------------------------------------------------
 # Ledger persistence and failure reporting.
 # ----------------------------------------------------------------------
 

@@ -1,0 +1,204 @@
+#!/usr/bin/env python3
+"""Run the benchmark suite and write one aggregated perf artifact.
+
+``python tools/bench_record.py --out BENCH_10.json`` executes the
+``benchmarks/`` suite under pytest-benchmark, captures both the
+machine-readable timing JSON and the human ``=== experiment ===``
+paper-vs-measured tables the ``report`` fixture prints, and folds
+them into a single perf-trajectory document::
+
+    {
+      "suite": "benchmarks",
+      "scale": 1.0,                  # REPRO_BENCH_SCALE in effect
+      "exit_status": 0,             # pytest's exit status
+      "benchmarks": [               # one entry per timed benchmark
+        {"name": ..., "min_s": ..., "mean_s": ...,
+         "stddev_s": ..., "rounds": ...},
+      ],
+      "experiments": {              # one entry per report table
+        "<experiment>": [
+          {"quantity": ..., "paper": ..., "measured": ...},
+        ],
+      },
+      "multipliers": {              # measured "<n>x" values, parsed
+        "<experiment>": {"<quantity>": 1.06},
+      }
+    }
+
+CI uploads the artifact per commit, so the measured multipliers
+(telemetry overheads, shard speedups, adaptive savings, ...) form a
+queryable trajectory across the repository's history instead of
+scrolling away in job logs.  The runner is stdlib-only and returns
+pytest's own exit status, so wiring it into CI cannot mask a red
+benchmark run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import re
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: ``=== experiment name ===`` table headers printed by ``report``.
+_TABLE_HEADER = re.compile(r"^=== (?P<name>.+) ===$")
+
+#: A measured multiplier cell: ``1.06x``, ``10.0x``, ``<= 1.1x``.
+_MULTIPLIER = re.compile(r"(?P<value>\d+(?:\.\d+)?)x\s*$")
+
+
+def parse_report_tables(stdout: str) -> dict[str, list[dict]]:
+    """Parse the ``report`` fixture's tables out of pytest stdout.
+
+    Rows are aligned with two-or-more spaces between the three
+    columns; a table ends at the first line that does not split into
+    three fields (blank line, the next test's dot, ...).
+    """
+    tables: dict[str, list[dict]] = {}
+    current: "list[dict] | None" = None
+    for raw in stdout.splitlines():
+        line = raw.rstrip()
+        match = _TABLE_HEADER.match(line.strip())
+        if match:
+            current = tables.setdefault(match.group("name"), [])
+            continue
+        if current is None:
+            continue
+        fields = re.split(r"\s{2,}", line.strip())
+        if len(fields) != 3:
+            current = None
+            continue
+        quantity, paper, measured = fields
+        if (quantity, paper, measured) == (
+            "quantity", "paper", "measured"
+        ):
+            continue
+        current.append(
+            {
+                "quantity": quantity,
+                "paper": paper,
+                "measured": measured,
+            }
+        )
+    return tables
+
+
+def extract_multipliers(
+    tables: dict[str, list[dict]]
+) -> dict[str, dict[str, float]]:
+    """Pull every measured ``<n>x`` cell out of the report tables."""
+    multipliers: dict[str, dict[str, float]] = {}
+    for experiment, rows in tables.items():
+        for row in rows:
+            match = _MULTIPLIER.search(row["measured"])
+            if match:
+                multipliers.setdefault(experiment, {})[
+                    row["quantity"]
+                ] = float(match.group("value"))
+    return multipliers
+
+
+def summarize_benchmarks(document: dict) -> list[dict]:
+    """Per-benchmark timing summary from pytest-benchmark's JSON."""
+    summary = []
+    for bench in document.get("benchmarks", []):
+        stats = bench.get("stats", {})
+        summary.append(
+            {
+                "name": bench.get("fullname", bench.get("name", "?")),
+                "min_s": stats.get("min"),
+                "mean_s": stats.get("mean"),
+                "stddev_s": stats.get("stddev"),
+                "rounds": stats.get("rounds"),
+            }
+        )
+    summary.sort(key=lambda entry: entry["name"])
+    return summary
+
+
+def run_suite(
+    select: "str | None", timings: bool, bench_json: Path
+) -> tuple[int, str]:
+    """Run pytest over ``benchmarks/``; return (status, stdout)."""
+    command = [
+        sys.executable, "-m", "pytest", "benchmarks", "-q", "-s",
+    ]
+    if timings:
+        command.append(f"--benchmark-json={bench_json}")
+    else:
+        command.append("--benchmark-disable")
+    if select:
+        command.extend(["-k", select])
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = (
+        src + os.pathsep + env["PYTHONPATH"]
+        if env.get("PYTHONPATH") else src
+    )
+    completed = subprocess.run(
+        command, cwd=REPO_ROOT, env=env,
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        text=True,
+    )
+    sys.stdout.write(completed.stdout)
+    return completed.returncode, completed.stdout
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="run the benchmark suite and write an "
+        "aggregated perf-trajectory JSON artifact"
+    )
+    parser.add_argument(
+        "--out", default="BENCH_10.json", metavar="FILE",
+        help="output artifact path (default BENCH_10.json)",
+    )
+    parser.add_argument(
+        "-k", "--select", metavar="EXPR",
+        help="pytest -k selection forwarded to the suite",
+    )
+    parser.add_argument(
+        "--no-timings", action="store_true",
+        help="run with --benchmark-disable (CI smoke mode): the "
+        "artifact then carries report tables and multipliers only",
+    )
+    args = parser.parse_args(argv)
+
+    with tempfile.TemporaryDirectory() as scratch:
+        bench_json = Path(scratch) / "pytest-benchmark.json"
+        status, stdout = run_suite(
+            args.select, not args.no_timings, bench_json
+        )
+        timings: list[dict] = []
+        if bench_json.exists():
+            timings = summarize_benchmarks(
+                json.loads(bench_json.read_text())
+            )
+
+    tables = parse_report_tables(stdout)
+    artifact = {
+        "suite": "benchmarks",
+        "scale": float(os.environ.get("REPRO_BENCH_SCALE", "1")),
+        "exit_status": status,
+        "benchmarks": timings,
+        "experiments": tables,
+        "multipliers": extract_multipliers(tables),
+    }
+    out = Path(args.out)
+    out.write_text(json.dumps(artifact, indent=2, sort_keys=True))
+    print(
+        f"wrote {out} ({len(timings)} timed benchmarks, "
+        f"{len(tables)} experiment tables, "
+        f"exit status {status})"
+    )
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())
